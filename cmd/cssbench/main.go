@@ -1,0 +1,91 @@
+// Command cssbench regenerates the tables and figures of "Cache Conscious
+// Indexing for Decision-Support in Main Memory" (Rao & Ross, 1998/99).
+//
+// Usage:
+//
+//	cssbench -list
+//	cssbench -run fig10
+//	cssbench -run table1,fig7,fig14 -quick
+//	cssbench -run all -lookups 100000 -seed 7
+//
+// Simulated experiments (fig10–fig13) replay each algorithm's memory
+// accesses against the paper's exact Ultra Sparc II / Pentium II cache
+// configurations; wall-clock sections time the real implementations on this
+// machine.  Absolute numbers differ from the paper's 1998 hardware — the
+// shapes (who wins, by what factor, where the crossovers fall) are the
+// reproduction target, as recorded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"cssidx/internal/bench"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cssbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		runIDs  = fs.String("run", "", "comma-separated experiment ids, or 'all'")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		quick   = fs.Bool("quick", false, "shrink data sizes for a fast pass")
+		lookups = fs.Int("lookups", 100000, "lookups per measurement (paper: 100000)")
+		seed    = fs.Int64("seed", 1, "workload seed")
+		repeats = fs.Int("repeats", 3, "wall-clock repetitions, minimum reported (paper: 5)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list || *runIDs == "" {
+		fmt.Fprintln(stdout, "experiments:")
+		for _, e := range bench.Experiments() {
+			fmt.Fprintf(stdout, "  %-8s %s\n", e.ID, e.Title)
+		}
+		if *runIDs == "" && !*list {
+			fmt.Fprintln(stdout, "\nrun with -run <id>[,<id>…] or -run all")
+		}
+		return 0
+	}
+
+	cfg := bench.Config{
+		Seed:    *seed,
+		Lookups: *lookups,
+		Quick:   *quick,
+		Repeats: *repeats,
+	}
+
+	var ids []string
+	if *runIDs == "all" {
+		for _, e := range bench.Experiments() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*runIDs, ",")
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := bench.Lookup(id)
+		if !ok {
+			fmt.Fprintf(stderr, "cssbench: unknown experiment %q (use -list)\n", id)
+			return 2
+		}
+		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(cfg, stdout); err != nil {
+			fmt.Fprintf(stderr, "cssbench: %s: %v\n", e.ID, err)
+			return 1
+		}
+		fmt.Fprintln(stdout)
+	}
+	return 0
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListShowsAllExperiments(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	for _, id := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("list missing %s", id)
+		}
+	}
+}
+
+func TestNoArgsPrintsHelp(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 0 {
+		t.Fatalf("exit=%d", code)
+	}
+	if !strings.Contains(out.String(), "-run") {
+		t.Error("help hint missing")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "table1", "-quick", "-lookups", "100", "-repeats", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "cache line") {
+		t.Errorf("table1 output missing:\n%s", out.String())
+	}
+}
+
+func TestRunMultipleAndAlias(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "fig5, fig2", "-quick", "-lookups", "100", "-repeats", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "comparison ratio") {
+		t.Error("fig5 output missing")
+	}
+	if !strings.Contains(out.String(), "stepped frontier") {
+		t.Error("fig2→fig14 alias output missing")
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit=%d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Error("error message missing")
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
+		t.Fatalf("exit=%d, want 2", code)
+	}
+}

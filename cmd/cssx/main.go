@@ -1,0 +1,190 @@
+// Command cssx is an index explorer: it generates a data set, builds any of
+// the paper's index structures over it, and reports the numbers the paper's
+// analysis is about — structure space, levels, simulated cache misses per
+// lookup on the paper's machines, and host lookup throughput.
+//
+// Usage:
+//
+//	cssx -kind levelcss -n 1000000
+//	cssx -kind all -n 5000000 -node 64 -machine ultra
+//	cssx -kind hash -n 1000000 -hashdir 262144 -dist skewed
+//
+// Example output column meanings:
+//
+//	space      bytes the structure needs beyond the sorted key array
+//	levels     node levels a lookup traverses (tree methods)
+//	L1/L2      simulated misses per lookup on the chosen machine
+//	est        modelled seconds per lookup on that machine (§5.1 cost model)
+//	host       measured seconds per lookup on this machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"cssidx"
+	"cssidx/internal/cachesim"
+	"cssidx/internal/mem"
+	"cssidx/internal/simidx"
+	"cssidx/internal/workload"
+)
+
+var kinds = map[string]cssidx.Kind{
+	"binary":   cssidx.KindBinarySearch,
+	"interp":   cssidx.KindInterpolation,
+	"bst":      cssidx.KindBST,
+	"ttree":    cssidx.KindTTree,
+	"bptree":   cssidx.KindBPlusTree,
+	"fullcss":  cssidx.KindFullCSS,
+	"levelcss": cssidx.KindLevelCSS,
+	"hash":     cssidx.KindHash,
+}
+
+// kindOrder fixes display order for -kind all.
+var kindOrder = []string{"binary", "bst", "interp", "ttree", "bptree", "fullcss", "levelcss", "hash"}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the CLI and returns the process exit code.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cssx", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		kind    = fs.String("kind", "levelcss", "index kind: "+strings.Join(kindOrder, ", ")+", or all")
+		n       = fs.Int("n", 1_000_000, "number of keys")
+		node    = fs.Int("node", cssidx.DefaultNodeBytes, "node size in bytes for tree methods")
+		hashdir = fs.Int("hashdir", 0, "hash directory size (0 = auto)")
+		dist    = fs.String("dist", "uniform", "key distribution: uniform, linear, skewed, dups")
+		machine = fs.String("machine", "ultra", "simulated machine: ultra, pc, modern")
+		lookups = fs.Int("lookups", 100_000, "lookups to simulate/measure")
+		seed    = fs.Int64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	g := workload.New(*seed)
+	var keys []uint32
+	switch *dist {
+	case "uniform":
+		keys = g.SortedUniform(*n)
+	case "linear":
+		keys = g.SortedLinear(*n)
+	case "skewed":
+		keys = g.SortedSkewed(*n)
+	case "dups":
+		keys = g.SortedWithDuplicates(*n, 4)
+	default:
+		fmt.Fprintf(stderr, "cssx: unknown distribution %q\n", *dist)
+		return 2
+	}
+	probes := g.Lookups(keys, *lookups)
+
+	var mach *cachesim.Machine
+	switch *machine {
+	case "ultra":
+		mach = cachesim.UltraSparcII()
+	case "pc":
+		mach = cachesim.PentiumII()
+	case "modern":
+		mach = cachesim.ModernServer()
+	default:
+		fmt.Fprintf(stderr, "cssx: unknown machine %q\n", *machine)
+		return 2
+	}
+
+	var selected []string
+	if *kind == "all" {
+		selected = kindOrder
+	} else {
+		if _, ok := kinds[*kind]; !ok {
+			fmt.Fprintf(stderr, "cssx: unknown kind %q\n", *kind)
+			return 2
+		}
+		selected = []string{*kind}
+	}
+
+	dir := *hashdir
+	if dir == 0 {
+		dir = cssidx.DefaultHashDirSize(*n)
+	}
+
+	fmt.Fprintf(stdout, "n=%d dist=%s node=%dB lookups=%d machine=%s\n\n", *n, *dist, *node, *lookups, mach.Name)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "kind\tspace\tL1 miss/lkp\tL2 miss/lkp\tcmp/lkp\test s/lkp\thost s/lkp")
+	for _, name := range selected {
+		sim := buildSim(name, keys, *node, dir)
+		res := simidx.Run(sim, mach, probes)
+
+		idx := cssidx.New(kinds[name], keys, cssidx.Options{NodeBytes: *node, HashDirSize: dir})
+		host := measure(idx.Search, probes)
+
+		fmt.Fprintf(tw, "%s\t%s\t%.2f\t%.2f\t%.1f\t%.2e\t%.2e\n",
+			idx.Name(), mem.Bytes(int64(sim.SpaceBytes())),
+			res.MissesPerLookup(0), res.MissesPerLookup(1),
+			float64(res.Cmps)/float64(res.Lookups),
+			res.SecondsPerLookup(), host)
+	}
+	tw.Flush()
+	return 0
+}
+
+// buildSim constructs the simulated index for a kind name.
+func buildSim(name string, keys []uint32, nodeBytes, hashDir int) simidx.Sim {
+	alloc := cachesim.NewAddrAlloc()
+	slots := nodeBytes / 4
+	switch name {
+	case "binary":
+		return simidx.NewBinarySearch(keys, alloc)
+	case "interp":
+		return simidx.NewInterpolationSearch(keys, alloc)
+	case "bst":
+		return simidx.NewBST(keys, alloc)
+	case "ttree":
+		cap := (nodeBytes - 8) / 8
+		if cap < 2 {
+			cap = 2
+		}
+		return simidx.NewTTree(keys, cap, alloc)
+	case "bptree":
+		if slots%2 == 1 {
+			slots++
+		}
+		return simidx.NewBPlusTree(keys, slots, alloc)
+	case "fullcss":
+		return simidx.NewFullCSS(keys, slots, alloc)
+	case "levelcss":
+		return simidx.NewLevelCSS(keys, mem.NextPow2(slots), alloc)
+	case "hash":
+		return simidx.NewHash(keys, hashDir, mem.CacheLine, alloc)
+	default:
+		panic("unreachable")
+	}
+}
+
+var sink int
+
+// measure returns host seconds per lookup (single pass; cssbench does the
+// full min-of-N protocol).
+func measure(search func(uint32) int, probes []uint32) float64 {
+	if len(probes) == 0 {
+		return 0
+	}
+	start := nowSeconds()
+	s := 0
+	for _, k := range probes {
+		s += search(k)
+	}
+	sink += s
+	return (nowSeconds() - start) / float64(len(probes))
+}
+
+// nowSeconds is time.Now in seconds, isolated for readability above.
+func nowSeconds() float64 { return float64(time.Now().UnixNano()) / 1e9 }

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestExploreSingleKind(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "levelcss", "-n", "5000", "-lookups", "500"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "level CSS-tree") {
+		t.Errorf("output missing method name:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "L2 miss/lkp") {
+		t.Error("header missing")
+	}
+}
+
+func TestExploreAllKinds(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "all", "-n", "3000", "-lookups", "300", "-machine", "pc"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	for _, want := range []string{"array binary search", "T-tree", "B+-tree", "full CSS-tree", "hash", "Pentium"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestExploreDistributions(t *testing.T) {
+	for _, dist := range []string{"uniform", "linear", "skewed", "dups"} {
+		var out, errb bytes.Buffer
+		code := run([]string{"-kind", "binary", "-n", "2000", "-lookups", "200", "-dist", dist}, &out, &errb)
+		if code != 0 {
+			t.Fatalf("dist=%s: exit=%d stderr=%s", dist, code, errb.String())
+		}
+	}
+}
+
+func TestExploreBadInputs(t *testing.T) {
+	cases := [][]string{
+		{"-kind", "btree"},
+		{"-dist", "bimodal"},
+		{"-machine", "cray"},
+		{"-badflag"},
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit=%d, want 2", args, code)
+		}
+	}
+}
+
+func TestExploreHashDirOverride(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "hash", "-n", "5000", "-lookups", "200", "-hashdir", "64"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+}

@@ -1,0 +1,99 @@
+package cssidx_test
+
+import (
+	"sync"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+// TestConcurrentLookups hammers every index from many goroutines.  All
+// structures are immutable after build, so concurrent readers need no
+// locking — run with -race to verify (the repository's test suite always
+// is, in CI terms: `go test -race ./...`).
+func TestConcurrentLookups(t *testing.T) {
+	g := workload.New(170)
+	keys := g.SortedDistinct(50000)
+	probes := g.Lookups(keys, 10000)
+	for _, kind := range cssidx.Kinds() {
+		idx := cssidx.New(kind, keys, cssidx.Options{})
+		t.Run(kind.String(), func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for w := 0; w < 8; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := w; i < len(probes); i += 8 {
+						k := probes[i]
+						got := idx.Search(k)
+						if got < 0 || keys[got] != k {
+							select {
+							case errs <- kind.String():
+							default:
+							}
+							return
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(errs)
+			if e, bad := <-errs; bad {
+				t.Fatalf("%s returned a wrong answer under concurrency", e)
+			}
+		})
+	}
+}
+
+// TestConcurrentRangeQueries exercises ordered access concurrently.
+func TestConcurrentRangeQueries(t *testing.T) {
+	g := workload.New(171)
+	keys := g.SortedDistinct(50000)
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	var wg sync.WaitGroup
+	fail := make(chan struct{}, 1)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				lo := keys[(w*997+i*13)%len(keys)]
+				first := idx.LowerBound(lo)
+				if first >= len(keys) || keys[first] != lo {
+					select {
+					case fail <- struct{}{}:
+					default:
+					}
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case <-fail:
+		t.Fatal("concurrent range query returned a wrong bound")
+	default:
+	}
+}
+
+// BenchmarkParallelLookups measures lookup scaling across GOMAXPROCS —
+// read-only indexes should scale linearly since there is no shared mutable
+// state.
+func BenchmarkParallelLookups(b *testing.B) {
+	g := workload.New(172)
+	keys := g.SortedUniform(5_000_000)
+	probes := g.Lookups(keys, 100_000)
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		s := 0
+		for pb.Next() {
+			s += idx.Search(probes[i%len(probes)])
+			i++
+		}
+		benchSink += s
+	})
+}

@@ -1,0 +1,213 @@
+package cssidx_test
+
+import (
+	"sort"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+// buildAll constructs one index per kind over keys.
+func buildAll(keys []cssidx.Key) map[cssidx.Kind]cssidx.Index {
+	out := map[cssidx.Kind]cssidx.Index{}
+	for _, k := range cssidx.Kinds() {
+		out[k] = cssidx.New(k, keys, cssidx.Options{})
+	}
+	return out
+}
+
+// TestConformanceSearch drives the shared contract through every method:
+// every present key resolves to its leftmost position, every absent key to
+// -1, on distinct, duplicate-heavy, linear and skewed data sets.
+func TestConformanceSearch(t *testing.T) {
+	g := workload.New(100)
+	datasets := map[string][]uint32{
+		"distinct":   g.SortedDistinct(20000),
+		"duplicates": g.SortedWithDuplicates(20000, 5),
+		"linear":     g.SortedLinear(20000),
+		"skewed":     g.SortedSkewed(20000),
+	}
+	for dsName, keys := range datasets {
+		probes := g.Lookups(keys, 2000)
+		misses := g.Misses(keys, 2000)
+		for kind, idx := range buildAll(keys) {
+			t.Run(dsName+"/"+kind.String(), func(t *testing.T) {
+				for _, k := range probes {
+					got := idx.Search(k)
+					want := refLowerBound(keys, k)
+					if got != want {
+						t.Fatalf("Search(%d)=%d, want %d", k, got, want)
+					}
+				}
+				for _, k := range misses {
+					if got := idx.Search(k); got != -1 {
+						t.Fatalf("absent key %d found at %d", k, got)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestConformanceLowerBound checks LowerBound and EqualRange on every
+// ordered method.
+func TestConformanceLowerBound(t *testing.T) {
+	g := workload.New(101)
+	keys := g.SortedWithDuplicates(15000, 4)
+	probes := append(g.Lookups(keys, 1500), g.Misses(keys, 1500)...)
+	for kind, idx := range buildAll(keys) {
+		ord, ok := idx.(cssidx.OrderedIndex)
+		if !ok {
+			if kind != cssidx.KindHash {
+				t.Errorf("%v should be ordered", kind)
+			}
+			continue
+		}
+		t.Run(kind.String(), func(t *testing.T) {
+			for _, k := range probes {
+				want := refLowerBound(keys, k)
+				if got := ord.LowerBound(k); got != want {
+					t.Fatalf("LowerBound(%d)=%d, want %d", k, got, want)
+				}
+				f, l := ord.EqualRange(k)
+				wantL := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+				if f != want || l != wantL {
+					t.Fatalf("EqualRange(%d)=[%d,%d), want [%d,%d)", k, f, l, want, wantL)
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceEmptyAndTiny exercises the degenerate sizes on every method.
+func TestConformanceEmptyAndTiny(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3} {
+		keys := make([]cssidx.Key, n)
+		for i := range keys {
+			keys[i] = uint32(10 * (i + 1))
+		}
+		for kind, idx := range buildAll(keys) {
+			for i, k := range keys {
+				if got := idx.Search(k); got != i {
+					t.Errorf("%v n=%d: Search(%d)=%d, want %d", kind, n, k, got, i)
+				}
+			}
+			if got := idx.Search(5); got != -1 {
+				t.Errorf("%v n=%d: Search(5)=%d", kind, n, got)
+			}
+		}
+	}
+}
+
+func TestSpaceRanking(t *testing.T) {
+	// Figure 7's ordering on real structures: binary/interp free; CSS
+	// directories small; B+ larger; T-tree and hash largest.
+	g := workload.New(102)
+	keys := g.SortedDistinct(200000)
+	idx := buildAll(keys)
+	space := func(k cssidx.Kind) int { return idx[k].SpaceBytes() }
+
+	if space(cssidx.KindBinarySearch) != 0 || space(cssidx.KindInterpolation) != 0 {
+		t.Error("array searches must be zero-space")
+	}
+	if !(space(cssidx.KindFullCSS) < space(cssidx.KindLevelCSS)) {
+		t.Errorf("full %d < level %d expected", space(cssidx.KindFullCSS), space(cssidx.KindLevelCSS))
+	}
+	if !(space(cssidx.KindLevelCSS) < space(cssidx.KindBPlusTree)) {
+		t.Errorf("level %d < B+ %d expected", space(cssidx.KindLevelCSS), space(cssidx.KindBPlusTree))
+	}
+	if !(space(cssidx.KindBPlusTree) < space(cssidx.KindTTree)) {
+		t.Errorf("B+ %d < T-tree %d expected", space(cssidx.KindBPlusTree), space(cssidx.KindTTree))
+	}
+	if !(space(cssidx.KindFullCSS)*4 < space(cssidx.KindHash)) {
+		t.Errorf("hash %d should dwarf CSS %d", space(cssidx.KindHash), space(cssidx.KindFullCSS))
+	}
+}
+
+func TestNodeBytesOption(t *testing.T) {
+	g := workload.New(103)
+	keys := g.SortedDistinct(50000)
+	small := cssidx.New(cssidx.KindFullCSS, keys, cssidx.Options{NodeBytes: 32})
+	big := cssidx.New(cssidx.KindFullCSS, keys, cssidx.Options{NodeBytes: 256})
+	// Larger nodes → shallower tree → slightly smaller or similar directory;
+	// both must stay correct.
+	for _, k := range g.Lookups(keys, 500) {
+		if small.Search(k) != big.Search(k) {
+			t.Fatalf("node size changed answers for key %d", k)
+		}
+	}
+}
+
+func TestHashDirSizeOption(t *testing.T) {
+	g := workload.New(104)
+	keys := g.SortedDistinct(10000)
+	idx := cssidx.New(cssidx.KindHash, keys, cssidx.Options{HashDirSize: 64})
+	for _, k := range g.Lookups(keys, 500) {
+		want := refLowerBound(keys, k)
+		if got := idx.Search(k); got != want {
+			t.Fatalf("Search(%d)=%d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestDefaultHashDirSize(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 4}, {3, 4}, {4, 4}, {16, 4}, {64, 16}, {1 << 20, 1 << 18},
+	}
+	for _, c := range cases {
+		if got := cssidx.DefaultHashDirSize(c.n); got != c.want {
+			t.Errorf("DefaultHashDirSize(%d)=%d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestKindStringsAndNames(t *testing.T) {
+	g := workload.New(105)
+	keys := g.SortedDistinct(100)
+	for kind, idx := range buildAll(keys) {
+		if kind.String() == "" || idx.Name() == "" {
+			t.Errorf("kind %d unnamed", int(kind))
+		}
+		if kind.String() != idx.Name() {
+			t.Errorf("kind name %q != index name %q", kind.String(), idx.Name())
+		}
+	}
+}
+
+func TestNewPanicsOnBadInput(t *testing.T) {
+	for _, fn := range []func(){
+		func() { cssidx.New(cssidx.Kind(99), nil, cssidx.Options{}) },
+		func() { cssidx.NewFullCSS(nil, 5) },
+		func() { cssidx.NewTTree(nil, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRangeQueryViaLowerBound(t *testing.T) {
+	// The §2.2 usage: a range query on the indexed attribute becomes a
+	// LowerBound pair over the sorted RID list.
+	g := workload.New(106)
+	keys := g.SortedDistinct(10000)
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes).(interface {
+		LowerBound(cssidx.Key) int
+	})
+	lo, hi := keys[2000], keys[7000]
+	first := idx.LowerBound(lo)
+	last := idx.LowerBound(hi + 1)
+	if first != 2000 || last != 7001 {
+		t.Fatalf("range [%d,%d] → positions [%d,%d), want [2000,7001)", lo, hi, first, last)
+	}
+}

@@ -1,0 +1,85 @@
+package cssidx_test
+
+import (
+	"bytes"
+	"fmt"
+
+	"cssidx"
+)
+
+// The sorted array is the leaf level; Search returns positions in it.
+func ExampleNewLevelCSS() {
+	keys := []cssidx.Key{2, 3, 5, 8, 13, 21, 34}
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	fmt.Println(idx.Search(13))
+	fmt.Println(idx.Search(14))
+	fmt.Println(idx.LowerBound(9))
+	// Output:
+	// 4
+	// -1
+	// 4
+}
+
+// EqualRange enumerates duplicates: the paper's §3.6 access pattern.
+func ExampleOrderedIndex_equalRange() {
+	keys := []cssidx.Key{1, 4, 4, 4, 7, 9}
+	idx := cssidx.NewFullCSS(keys, cssidx.DefaultNodeBytes)
+	first, last := idx.EqualRange(4)
+	fmt.Println(first, last)
+	// Output: 1 4
+}
+
+// New builds any of the paper's methods behind one interface.
+func ExampleNew() {
+	keys := []cssidx.Key{10, 20, 30, 40, 50}
+	for _, kind := range []cssidx.Kind{cssidx.KindBinarySearch, cssidx.KindBPlusTree, cssidx.KindLevelCSS} {
+		idx := cssidx.New(kind, keys, cssidx.Options{})
+		fmt.Printf("%s: %d\n", idx.Name(), idx.Search(30))
+	}
+	// Output:
+	// array binary search: 2
+	// B+-tree: 2
+	// level CSS-tree: 2
+}
+
+// Generic CSS-trees index any ordered key type.
+func ExampleNewGenericFull() {
+	words := []string{"ant", "bee", "cat", "dog"}
+	tr := cssidx.NewGenericFull(words, 2)
+	fmt.Println(tr.Search("cat"))
+	fmt.Println(tr.LowerBound("bat"))
+	// Output:
+	// 2
+	// 1
+}
+
+// RecordTree indexes records in place through a key extractor.
+func ExampleNewRecordTree() {
+	type row struct {
+		ID   uint32
+		Name string
+	}
+	rows := []row{{10, "x"}, {20, "y"}, {30, "z"}}
+	tr := cssidx.NewRecordTree(len(rows), func(i int) uint32 { return rows[i].ID }, 16)
+	i := tr.Search(20)
+	fmt.Println(i, rows[i].Name)
+	// Output: 1 y
+}
+
+// Snapshots persist a built directory and re-attach it to the same array.
+func ExampleSaveIndex() {
+	keys := []cssidx.Key{1, 2, 3, 5, 8, 13}
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	var buf bytes.Buffer
+	if err := cssidx.SaveIndex(&buf, idx); err != nil {
+		fmt.Println("save:", err)
+		return
+	}
+	restored, err := cssidx.LoadIndex(&buf, keys)
+	if err != nil {
+		fmt.Println("load:", err)
+		return
+	}
+	fmt.Println(restored.Search(8))
+	// Output: 4
+}

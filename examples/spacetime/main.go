@@ -1,0 +1,81 @@
+// Spacetime: reproduce the paper's space/time trade-off (Figure 2/14) for a
+// data size of your choosing, on your machine.
+//
+// Every method is built over the same sorted array and timed on the same
+// random matching lookups; the output lists (space, time) points and marks
+// the stepped frontier — the paper's conclusion made concrete: T-trees and
+// B+-trees are dominated, and the frontier runs binary search → CSS-trees →
+// hashing.
+//
+// Run: go run ./examples/spacetime [-n 2000000] [-lookups 100000]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"cssidx"
+	"cssidx/internal/analytic"
+	"cssidx/internal/bench"
+	"cssidx/internal/mem"
+	"cssidx/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 2_000_000, "number of keys")
+	lookups := flag.Int("lookups", 100_000, "random matching lookups per timing")
+	flag.Parse()
+
+	g := workload.New(1)
+	keys := g.SortedUniform(*n)
+	probes := g.Lookups(keys, *lookups)
+
+	var points []analytic.Point
+	add := func(m analytic.Method, label string, idx cssidx.Index, extraSpace int) {
+		t := bench.MeasureLookups(idx.Search, probes, 3)
+		points = append(points, analytic.Point{
+			Method: m, Label: label,
+			Space: float64(idx.SpaceBytes() + extraSpace),
+			Time:  t,
+		})
+	}
+
+	add(analytic.BinarySearch, "", cssidx.NewBinarySearch(keys), 0)
+	for _, nb := range []int{32, 64, 128, 256} {
+		lbl := fmt.Sprintf("%dB node", nb)
+		add(analytic.TTree, lbl, cssidx.NewTTree(keys, nb), 0)
+		add(analytic.BPlusTree, lbl, cssidx.NewBPlusTree(keys, nb), 0)
+		add(analytic.FullCSS, lbl, cssidx.NewFullCSS(keys, nb), 0)
+		add(analytic.LevelCSS, lbl, cssidx.NewLevelCSS(keys, nb), 0)
+	}
+	for _, d := range []int{1 << 16, 1 << 18, 1 << 20} {
+		// Hashing still needs the ordered RID list for ordered access: add n·R.
+		add(analytic.Hash, fmt.Sprintf("dir 2^%d", mem.Log2(d)), cssidx.NewHash(keys, d), 4**n)
+	}
+
+	frontier := analytic.Frontier(points)
+	mark := map[string]bool{}
+	for _, p := range frontier {
+		mark[p.Method.String()+p.Label] = true
+	}
+
+	fmt.Printf("space/time trade-off, n=%d, %d lookups (min of 3 runs)\n\n", *n, *lookups)
+	tw := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "method\tconfig\tspace\ttime\t")
+	for _, p := range points {
+		star := ""
+		if mark[p.Method.String()+p.Label] {
+			star = "  *frontier"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.4fs\t%s\n",
+			p.Method, p.Label, mem.Bytes(int64(p.Space)), p.Time, star)
+	}
+	tw.Flush()
+
+	fmt.Println("\nstepped frontier (best time for a space budget):")
+	for _, p := range frontier {
+		fmt.Printf("  ≥ %-12s → %s %s (%.4fs)\n", mem.Bytes(int64(p.Space)), p.Method, p.Label, p.Time)
+	}
+}

@@ -1,0 +1,205 @@
+package cssidx_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+func TestGenericUint64Exhaustive(t *testing.T) {
+	for _, m := range []int{2, 4, 8, 16} {
+		for n := 0; n <= 130; n++ {
+			keys := make([]uint64, n)
+			for i := range keys {
+				keys[i] = uint64(3*i + 5)
+			}
+			full := cssidx.NewGenericFull(keys, m)
+			level := cssidx.NewGenericLevel(keys, m)
+			for probe := uint64(0); probe <= uint64(3*n+8); probe++ {
+				want := sort.Search(n, func(i int) bool { return keys[i] >= probe })
+				if got := full.LowerBound(probe); got != want {
+					t.Fatalf("full m=%d n=%d: LowerBound(%d)=%d, want %d", m, n, probe, got, want)
+				}
+				if got := level.LowerBound(probe); got != want {
+					t.Fatalf("level m=%d n=%d: LowerBound(%d)=%d, want %d", m, n, probe, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestGenericStringKeys(t *testing.T) {
+	words := []string{
+		"ant", "bee", "cat", "dog", "eel", "fox", "gnu", "hen",
+		"ibis", "jay", "kite", "lark", "mole", "newt", "owl", "pig",
+		"quail", "rat", "swan", "toad", "urchin", "vole", "wasp", "yak",
+	}
+	tr := cssidx.NewGenericFull(words, 4)
+	for i, w := range words {
+		if got := tr.Search(w); got != i {
+			t.Errorf("Search(%q)=%d, want %d", w, got, i)
+		}
+	}
+	if got := tr.Search("zebra"); got != -1 {
+		t.Errorf("Search(zebra)=%d", got)
+	}
+	if got := tr.LowerBound("catfish"); got != 3 {
+		t.Errorf("LowerBound(catfish)=%d, want 3 (dog)", got)
+	}
+	if got := tr.LowerBound(""); got != 0 {
+		t.Errorf("LowerBound(\"\")=%d", got)
+	}
+}
+
+func TestGenericFloatKeys(t *testing.T) {
+	keys := []float64{-3.5, -1.0, 0.0, 0.25, 2.75, 1e9}
+	tr := cssidx.NewGenericLevel(keys, 2)
+	for i, k := range keys {
+		if got := tr.Search(k); got != i {
+			t.Errorf("Search(%v)=%d, want %d", k, got, i)
+		}
+	}
+	if got := tr.LowerBound(0.1); got != 3 {
+		t.Errorf("LowerBound(0.1)=%d, want 3", got)
+	}
+	if got := tr.Search(3.14); got != -1 {
+		t.Errorf("Search(3.14)=%d", got)
+	}
+}
+
+func TestGenericDuplicatesLeftmost(t *testing.T) {
+	keys := make([]int64, 500)
+	for i := range keys {
+		keys[i] = int64(i / 50) // runs of 50
+	}
+	for _, m := range []int{4, 8} {
+		tr := cssidx.NewGenericFull(keys, m)
+		for v := int64(0); v < 10; v++ {
+			if got := tr.Search(v); got != int(v)*50 {
+				t.Errorf("m=%d: Search(%d)=%d, want %d", m, v, got, v*50)
+			}
+			f, l := tr.EqualRange(v)
+			if f != int(v)*50 || l != int(v+1)*50 {
+				t.Errorf("m=%d: EqualRange(%d)=[%d,%d)", m, v, f, l)
+			}
+		}
+	}
+}
+
+func TestGenericMatchesSpecialised(t *testing.T) {
+	g := workload.New(130)
+	keys := g.SortedWithDuplicates(30000, 4)
+	spec := cssidx.NewLevelCSS(keys, 64)
+	gen := cssidx.NewGenericLevel(keys, 16)
+	probes := append(g.Lookups(keys, 3000), g.Misses(keys, 3000)...)
+	for _, k := range probes {
+		if a, b := spec.LowerBound(k), gen.LowerBound(k); a != b {
+			t.Fatalf("specialised %d vs generic %d for key %d", a, b, k)
+		}
+	}
+}
+
+func TestGenericQuickProperty(t *testing.T) {
+	f := func(raw []int16, probe int16) bool {
+		keys := make([]int16, len(raw))
+		copy(keys, raw)
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= probe })
+		return cssidx.NewGenericFull(keys, 4).LowerBound(probe) == want &&
+			cssidx.NewGenericLevel(keys, 4).LowerBound(probe) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGenericLevelRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	cssidx.NewGenericLevel([]int{1, 2, 3}, 6)
+}
+
+// record is a fat row type for RecordTree tests: the key is buried inside.
+type record struct {
+	Pad  [3]uint64
+	Key  uint32
+	Name string
+}
+
+func TestRecordTreeIndexesInPlace(t *testing.T) {
+	g := workload.New(131)
+	keys := g.SortedWithDuplicates(20000, 3)
+	recs := make([]record, len(keys))
+	for i, k := range keys {
+		recs[i] = record{Key: k, Name: fmt.Sprintf("row-%d", i)}
+	}
+	tr := cssidx.NewRecordTree(len(recs), func(i int) uint32 { return recs[i].Key }, 16)
+	probes := append(g.Lookups(keys, 2000), g.Misses(keys, 2000)...)
+	for _, k := range probes {
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if got := tr.LowerBound(k); got != want {
+			t.Fatalf("LowerBound(%d)=%d, want %d", k, got, want)
+		}
+	}
+	// Search lands on the record itself.
+	k := keys[777]
+	i := tr.Search(k)
+	if i < 0 || recs[i].Key != k {
+		t.Fatalf("Search(%d)=%d", k, i)
+	}
+}
+
+func TestRecordTreeStringKeyExtractor(t *testing.T) {
+	names := []string{"alice", "bob", "carol", "dave", "erin", "frank"}
+	tr := cssidx.NewRecordTree(len(names), func(i int) string { return names[i] }, 2)
+	for i, n := range names {
+		if got := tr.Search(n); got != i {
+			t.Errorf("Search(%q)=%d, want %d", n, got, i)
+		}
+	}
+	if got := tr.Search("mallory"); got != -1 {
+		t.Errorf("Search(mallory)=%d", got)
+	}
+	f, l := tr.EqualRange("carol")
+	if f != 2 || l != 3 {
+		t.Errorf("EqualRange(carol)=[%d,%d)", f, l)
+	}
+}
+
+func TestRecordTreeEmptyAndTiny(t *testing.T) {
+	tr := cssidx.NewRecordTree(0, func(int) int { panic("no records") }, 8)
+	if got := tr.LowerBound(5); got != 0 {
+		t.Errorf("empty: %d", got)
+	}
+	one := []int{42}
+	tr2 := cssidx.NewRecordTree(1, func(i int) int { return one[i] }, 8)
+	if got := tr2.Search(42); got != 0 {
+		t.Errorf("single: %d", got)
+	}
+	if tr2.Levels() < 1 {
+		t.Error("levels must count the leaf")
+	}
+}
+
+func TestGenericLevelsAndDirectory(t *testing.T) {
+	g := workload.New(132)
+	keys64 := make([]uint64, 100000)
+	for i, k := range g.SortedDistinct(100000) {
+		keys64[i] = uint64(k) << 10
+	}
+	// 8-byte keys on a 64-byte line → m=8 is the cache-line node.
+	tr := cssidx.NewGenericFull(keys64, 8)
+	if tr.Levels() < 4 {
+		t.Errorf("levels=%d, implausibly shallow for 12500 leaves at fanout 9", tr.Levels())
+	}
+	if tr.DirectoryLen() == 0 {
+		t.Error("directory empty")
+	}
+}

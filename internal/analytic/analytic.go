@@ -1,0 +1,275 @@
+// Package analytic implements the closed-form time and space models of the
+// paper's §5 and the derived curves of Figures 5–8, plus the dominance
+// ("stepped line") analysis of §7.
+//
+// The models are symbolic in the Table 1 parameters, so the same code
+// renders the paper's typical values (R=K=P=4 bytes, n=10⁷, h=1.2, c=64 B,
+// s=1) and any other configuration.
+package analytic
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Params are the Table 1 parameters.
+type Params struct {
+	R int     // bytes per record identifier
+	K int     // bytes per key
+	P int     // bytes per child pointer
+	N int     // number of records indexed
+	H float64 // hashing fudge factor (table is H× raw data)
+	C int     // cache line size in bytes
+	S int     // node size in cache lines
+}
+
+// DefaultParams returns the paper's Table 1 typical values.
+func DefaultParams() Params {
+	return Params{R: 4, K: 4, P: 4, N: 10_000_000, H: 1.2, C: 64, S: 1}
+}
+
+// M returns the slots per node implied by the node size: s·c/K.
+func (p Params) M() int { return p.S * p.C / p.K }
+
+// Method identifies an indexing method in the models.
+type Method int
+
+// The methods of Figures 6–8, in the paper's row order.
+const (
+	BinarySearch Method = iota
+	InterpolationSearch
+	TTree
+	BPlusTree
+	FullCSS
+	LevelCSS
+	Hash
+	numMethods
+)
+
+// String returns the paper's name for the method.
+func (m Method) String() string {
+	switch m {
+	case BinarySearch:
+		return "binary search"
+	case InterpolationSearch:
+		return "interpolation search"
+	case TTree:
+		return "T-trees"
+	case BPlusTree:
+		return "B+-trees"
+	case FullCSS:
+		return "full CSS-trees"
+	case LevelCSS:
+		return "level CSS-trees"
+	case Hash:
+		return "hash table"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// Methods lists all modelled methods in paper order.
+func Methods() []Method {
+	ms := make([]Method, numMethods)
+	for i := range ms {
+		ms[i] = Method(i)
+	}
+	return ms
+}
+
+// log2 is log₂ x.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// logB is log_base x.
+func logB(base, x float64) float64 { return math.Log(x) / math.Log(base) }
+
+// --- Figure 6: time analysis ---------------------------------------------
+
+// TimeRow is one row of Figure 6's first table: structural counts per
+// method for slots-per-node m over n keys.
+type TimeRow struct {
+	Method       Method
+	Branching    float64 // branching factor
+	Levels       float64 // number of levels traversed
+	CmpsInternal float64 // comparisons per internal node
+	CmpsLeaf     float64 // comparisons per leaf node
+	TotalCmps    float64 // total comparisons for one lookup
+	CacheMisses  float64 // cache misses per lookup (cold, node ≤/≥ line per §5.1)
+}
+
+// TimeModel evaluates Figure 6 for the given parameters.  It returns rows
+// for the tree/array methods (hashing is constant-time and not in the
+// paper's table).
+func TimeModel(p Params) []TimeRow {
+	n := float64(p.N)
+	m := float64(p.M())
+	mk := float64(p.M()*p.K) / float64(p.C) // node size in cache lines
+	missFactor := 1.0
+	if mk > 1 {
+		// §5.1: log₂(mK/c) + c/(mK) misses per node when a node spans
+		// multiple lines.
+		missFactor = log2(mk) + 1/mk
+	}
+	rows := []TimeRow{
+		{
+			Method:       BinarySearch,
+			Branching:    2,
+			Levels:       log2(n),
+			CmpsInternal: 1,
+			CmpsLeaf:     1,
+			TotalCmps:    log2(n),
+			CacheMisses:  log2(n),
+		},
+		{
+			Method:       TTree,
+			Branching:    2,
+			Levels:       log2(n/m) - 1,
+			CmpsInternal: 1,
+			CmpsLeaf:     log2(m),
+			TotalCmps:    log2(n),
+			CacheMisses:  log2(n / m), // one line per node visit + leaf search ≈ log2 n/m
+		},
+		{
+			Method:       BPlusTree,
+			Branching:    m / 2,
+			Levels:       logB(m/2, n/m),
+			CmpsInternal: log2(m) - 1,
+			CmpsLeaf:     log2(m),
+			TotalCmps:    log2(n),
+			CacheMisses:  logB(m/2, n) * missFactor,
+		},
+		{
+			Method:       FullCSS,
+			Branching:    m + 1,
+			Levels:       logB(m+1, n/m),
+			CmpsInternal: (1 + 2/(m+1)) * log2(m),
+			CmpsLeaf:     log2(m),
+			TotalCmps:    (1 + 2/(m+1)) * logB(m+1, m) * log2(n),
+			CacheMisses:  logB(m+1, n) * missFactor,
+		},
+		{
+			Method:       LevelCSS,
+			Branching:    m,
+			Levels:       logB(m, n/m),
+			CmpsInternal: log2(m),
+			CmpsLeaf:     log2(m),
+			TotalCmps:    log2(n),
+			CacheMisses:  logB(m, n) * missFactor,
+		},
+	}
+	return rows
+}
+
+// --- Figure 5: level vs full CSS ratio curves -----------------------------
+
+// LevelFullRatio holds the two curves of Figure 5 at one m.
+type LevelFullRatio struct {
+	M          int
+	Comparison float64 // level/full total comparisons: (m+1)·log_m(m+1)/(m+3)... see below
+	CacheAcc   float64 // level/full cache accesses: log_m N / log_{m+1} N
+}
+
+// LevelFullRatios evaluates Figure 5 for m in [4, maxM].
+// The comparison ratio is the §4.2 closed form
+//
+//	(m+1)·log_m(m+1) / (m+3)
+//
+// — always < 1 (level CSS does fewer comparisons) — while the cache-access
+// ratio log(m+1)/log(m) is always > 1 (level CSS touches more nodes).
+func LevelFullRatios(maxM int) []LevelFullRatio {
+	var out []LevelFullRatio
+	for m := 4; m <= maxM; m++ {
+		fm := float64(m)
+		out = append(out, LevelFullRatio{
+			M:          m,
+			Comparison: (fm + 1) * logB(fm, fm+1) / (fm + 3),
+			CacheAcc:   math.Log(fm+1) / math.Log(fm),
+		})
+	}
+	return out
+}
+
+// --- Figure 7 / Figure 8: space analysis ----------------------------------
+
+// SpaceIndirect returns the method's space in bytes when the RID list may be
+// rearranged (Figure 7, "indirect" column).
+func SpaceIndirect(m Method, p Params) float64 {
+	n := float64(p.N)
+	k := float64(p.K)
+	r := float64(p.R)
+	pt := float64(p.P)
+	sc := float64(p.S * p.C)
+	switch m {
+	case BinarySearch, InterpolationSearch:
+		return 0
+	case FullCSS:
+		return n * k * k / sc
+	case LevelCSS:
+		return n * k * k / (sc - k)
+	case BPlusTree:
+		return n * k * (pt + k) / (sc - pt - k)
+	case Hash:
+		return (p.H - 1) * n * r
+	case TTree:
+		return 2 * n * pt * (k + r) / (sc - 2*pt)
+	default:
+		return math.NaN()
+	}
+}
+
+// SpaceDirect returns the method's space in bytes when records cannot be
+// rearranged, so methods that internalise RIDs pay for them (Figure 7,
+// "direct" column).
+func SpaceDirect(m Method, p Params) float64 {
+	n := float64(p.N)
+	r := float64(p.R)
+	switch m {
+	case Hash:
+		return p.H * n * r
+	case TTree:
+		return SpaceIndirect(TTree, p) + n*r
+	default:
+		return SpaceIndirect(m, p)
+	}
+}
+
+// SupportsRIDOrder reports the "RID-Ordered Access" column of Figure 7.
+func SupportsRIDOrder(m Method) bool { return m != Hash }
+
+// --- §7: space/time dominance ---------------------------------------------
+
+// Point is one (space, time) measurement of a method configuration.
+type Point struct {
+	Method Method
+	Label  string  // e.g. node size
+	Space  float64 // bytes
+	Time   float64 // seconds per run
+}
+
+// Frontier returns the subset of points forming the §7 stepped line: points
+// not dominated in both space and time by any other point, sorted by time.
+func Frontier(points []Point) []Point {
+	sorted := append([]Point(nil), points...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Time != sorted[j].Time {
+			return sorted[i].Time < sorted[j].Time
+		}
+		return sorted[i].Space < sorted[j].Space
+	})
+	var out []Point
+	bestSpace := math.Inf(1)
+	for _, pt := range sorted {
+		if pt.Space < bestSpace {
+			out = append(out, pt)
+			bestSpace = pt.Space
+		}
+	}
+	return out
+}
+
+// Dominates reports whether a is at least as good as b on both axes and
+// strictly better on one.
+func Dominates(a, b Point) bool {
+	return a.Space <= b.Space && a.Time <= b.Time && (a.Space < b.Space || a.Time < b.Time)
+}

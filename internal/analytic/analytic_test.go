@@ -1,0 +1,234 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultParamsMatchTable1(t *testing.T) {
+	p := DefaultParams()
+	if p.R != 4 || p.K != 4 || p.P != 4 || p.N != 10_000_000 || p.H != 1.2 || p.C != 64 || p.S != 1 {
+		t.Errorf("defaults diverge from Table 1: %+v", p)
+	}
+	if p.M() != 16 {
+		t.Errorf("m=%d, want 16 slots for a 64-byte line", p.M())
+	}
+}
+
+func TestSpaceModelTypicalValues(t *testing.T) {
+	// Figure 7's "Typical Value" column (n=10⁷): full CSS 2.5 MB, level CSS
+	// 2.7 MB, B+ 5.7 MB, hash 8 MB indirect / 48 MB direct, T-tree 11.4 MB
+	// indirect / 51.4 MB direct.  (Paper MB = 10⁶ bytes.)
+	p := DefaultParams()
+	const MB = 1e6
+	cases := []struct {
+		m        Method
+		indirect float64
+		direct   float64
+	}{
+		{BinarySearch, 0, 0},
+		{InterpolationSearch, 0, 0},
+		{FullCSS, 2.5 * MB, 2.5 * MB},
+		{LevelCSS, 2.67 * MB, 2.67 * MB},
+		{BPlusTree, 5.7 * MB, 5.7 * MB},
+		{Hash, 8 * MB, 48 * MB},
+		{TTree, 11.4 * MB, 51.4 * MB},
+	}
+	for _, c := range cases {
+		gotI := SpaceIndirect(c.m, p)
+		gotD := SpaceDirect(c.m, p)
+		if math.Abs(gotI-c.indirect) > 0.05*MB+0.02*c.indirect {
+			t.Errorf("%v indirect space=%.2f MB, paper %.2f MB", c.m, gotI/MB, c.indirect/MB)
+		}
+		if math.Abs(gotD-c.direct) > 0.05*MB+0.02*c.direct {
+			t.Errorf("%v direct space=%.2f MB, paper %.2f MB", c.m, gotD/MB, c.direct/MB)
+		}
+	}
+}
+
+func TestSpaceOrderingMatchesFigure7(t *testing.T) {
+	// CSS < B+ < hash(indirect) < T-tree(indirect); binary search free.
+	p := DefaultParams()
+	if !(SpaceIndirect(FullCSS, p) < SpaceIndirect(LevelCSS, p)) {
+		t.Error("full CSS should be smaller than level CSS")
+	}
+	if !(SpaceIndirect(LevelCSS, p) < SpaceIndirect(BPlusTree, p)) {
+		t.Error("level CSS should be smaller than B+")
+	}
+	if !(SpaceIndirect(BPlusTree, p) < SpaceIndirect(Hash, p)) {
+		t.Error("B+ should be smaller than hash")
+	}
+	if !(SpaceIndirect(Hash, p) < SpaceIndirect(TTree, p)) {
+		t.Error("hash(indirect) should be smaller than T-tree(indirect)")
+	}
+}
+
+func TestSpaceScalesLinearlyInN(t *testing.T) {
+	// Figure 8: all curves are linear in n.
+	p := DefaultParams()
+	p2 := p
+	p2.N = 3 * p.N
+	for _, m := range Methods() {
+		a, b := SpaceIndirect(m, p), SpaceIndirect(m, p2)
+		if a == 0 {
+			if b != 0 {
+				t.Errorf("%v: zero-space method grew", m)
+			}
+			continue
+		}
+		if math.Abs(b/a-3) > 1e-9 {
+			t.Errorf("%v: space not linear in n: ratio %.3f", m, b/a)
+		}
+	}
+}
+
+func TestRIDOrderColumn(t *testing.T) {
+	for _, m := range Methods() {
+		want := m != Hash
+		if got := SupportsRIDOrder(m); got != want {
+			t.Errorf("%v: RID-ordered access = %v", m, got)
+		}
+	}
+}
+
+func TestTimeModelStructure(t *testing.T) {
+	p := DefaultParams()
+	rows := TimeModel(p)
+	byMethod := map[Method]TimeRow{}
+	for _, r := range rows {
+		byMethod[r.Method] = r
+	}
+	bin, ok1 := byMethod[BinarySearch]
+	full, ok2 := byMethod[FullCSS]
+	level, ok3 := byMethod[LevelCSS]
+	bp, ok4 := byMethod[BPlusTree]
+	tt, ok5 := byMethod[TTree]
+	if !(ok1 && ok2 && ok3 && ok4 && ok5) {
+		t.Fatalf("missing rows: %v", rows)
+	}
+	// Figure 6's orderings at m=16, n=10⁷:
+	if !(full.CacheMisses < bp.CacheMisses) {
+		t.Errorf("full CSS misses %.2f should be < B+ %.2f", full.CacheMisses, bp.CacheMisses)
+	}
+	if !(bp.CacheMisses < bin.CacheMisses) {
+		t.Errorf("B+ misses %.2f should be < binary %.2f", bp.CacheMisses, bin.CacheMisses)
+	}
+	if math.Abs(tt.CacheMisses-log2(float64(p.N)/16)) > 1e-9 {
+		t.Errorf("T-tree misses %.2f, want log2(n/m)", tt.CacheMisses)
+	}
+	// Branching factors: CSS full m+1=17, level m=16, B+ m/2=8, others 2.
+	if full.Branching != 17 || level.Branching != 16 || bp.Branching != 8 || bin.Branching != 2 {
+		t.Errorf("branching factors wrong: %+v %+v %+v %+v", full, level, bp, bin)
+	}
+	// Total comparisons ≈ log2 n for every method except full CSS slightly more.
+	want := log2(float64(p.N))
+	for _, r := range []TimeRow{bin, level, bp, tt} {
+		if math.Abs(r.TotalCmps-want) > 1e-9 {
+			t.Errorf("%v total comparisons %.2f, want %.2f", r.Method, r.TotalCmps, want)
+		}
+	}
+	if full.TotalCmps <= want {
+		t.Errorf("full CSS total comparisons %.2f should exceed log2 n %.2f", full.TotalCmps, want)
+	}
+}
+
+func TestTimeModelLargeNodesDegradeToBinarySearch(t *testing.T) {
+	// §5.1: "as m gets larger, the number of cache misses for all the
+	// methods approaches log₂ n."
+	small := DefaultParams()
+	big := small
+	big.S = 64 // 4096-byte nodes, m=1024
+	rowsSmall := TimeModel(small)
+	rowsBig := TimeModel(big)
+	find := func(rows []TimeRow, m Method) TimeRow {
+		for _, r := range rows {
+			if r.Method == m {
+				return r
+			}
+		}
+		t.Fatalf("row %v missing", m)
+		return TimeRow{}
+	}
+	binMisses := find(rowsBig, BinarySearch).CacheMisses
+	cssSmall := find(rowsSmall, FullCSS).CacheMisses
+	cssBig := find(rowsBig, FullCSS).CacheMisses
+	if cssBig <= cssSmall {
+		t.Errorf("larger nodes should cost more misses: %.2f vs %.2f", cssBig, cssSmall)
+	}
+	if cssBig < 0.5*binMisses {
+		t.Errorf("huge nodes should approach binary search: css %.2f vs binary %.2f", cssBig, binMisses)
+	}
+}
+
+func TestLevelFullRatiosMatchFigure5(t *testing.T) {
+	ratios := LevelFullRatios(60)
+	if len(ratios) == 0 {
+		t.Fatal("no ratios")
+	}
+	for _, r := range ratios {
+		// Figure 5: the comparison ratio is < 1 (level wins comparisons),
+		// the cache-access ratio > 1 (level loses accesses); both → 1 as m
+		// grows.
+		if r.Comparison >= 1 {
+			t.Errorf("m=%d: comparison ratio %.4f ≥ 1", r.M, r.Comparison)
+		}
+		if r.CacheAcc <= 1 {
+			t.Errorf("m=%d: cache-access ratio %.4f ≤ 1", r.M, r.CacheAcc)
+		}
+	}
+	first, last := ratios[0], ratios[len(ratios)-1]
+	if !(last.Comparison > first.Comparison && last.CacheAcc < first.CacheAcc) {
+		t.Errorf("ratios should converge toward 1: first %+v last %+v", first, last)
+	}
+}
+
+func TestFrontier(t *testing.T) {
+	pts := []Point{
+		{Method: BinarySearch, Space: 0, Time: 10},
+		{Method: FullCSS, Space: 5, Time: 3},
+		{Method: BPlusTree, Space: 12, Time: 4},  // dominated by FullCSS? space 12>5, time 4>3 → dominated
+		{Method: TTree, Space: 20, Time: 9},      // dominated
+		{Method: Hash, Space: 100, Time: 1},      // frontier (fastest)
+		{Method: LevelCSS, Space: 6, Time: 2.95}, // frontier
+	}
+	f := Frontier(pts)
+	onFrontier := map[Method]bool{}
+	for _, p := range f {
+		onFrontier[p.Method] = true
+	}
+	for _, want := range []Method{BinarySearch, FullCSS, Hash, LevelCSS} {
+		if !onFrontier[want] {
+			t.Errorf("%v missing from frontier %v", want, f)
+		}
+	}
+	for _, not := range []Method{BPlusTree, TTree} {
+		if onFrontier[not] {
+			t.Errorf("%v should be dominated", not)
+		}
+	}
+	// Frontier is sorted by time and strictly decreasing in space.
+	for i := 1; i < len(f); i++ {
+		if f[i].Time < f[i-1].Time || f[i].Space >= f[i-1].Space {
+			t.Errorf("frontier not a stepped line: %v", f)
+		}
+	}
+}
+
+func TestDominates(t *testing.T) {
+	a := Point{Space: 1, Time: 1}
+	b := Point{Space: 2, Time: 2}
+	if !Dominates(a, b) || Dominates(b, a) {
+		t.Error("dominance backwards")
+	}
+	if Dominates(a, a) {
+		t.Error("a point must not dominate itself")
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for _, m := range Methods() {
+		if m.String() == "" {
+			t.Errorf("method %d has empty name", int(m))
+		}
+	}
+}

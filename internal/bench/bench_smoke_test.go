@@ -1,0 +1,122 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quickCfg keeps smoke runs small: tiny data, few lookups, one repeat.
+func quickCfg() Config {
+	return Config{Seed: 1, Lookups: 2000, Quick: true, Repeats: 1}
+}
+
+func TestEveryExperimentRunsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments in -short mode")
+	}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(quickCfg(), &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if buf.Len() == 0 {
+				t.Fatalf("%s produced no output", e.ID)
+			}
+		})
+	}
+}
+
+func TestLookupAliases(t *testing.T) {
+	if _, ok := Lookup("fig2"); !ok {
+		t.Error("fig2 alias missing")
+	}
+	if _, ok := Lookup("fig14"); !ok {
+		t.Error("fig14 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("unknown id found")
+	}
+	for _, e := range Experiments() {
+		if got, ok := Lookup(e.ID); !ok || got.ID != e.ID {
+			t.Errorf("Lookup(%s) failed", e.ID)
+		}
+		if e.Title == "" {
+			t.Errorf("%s untitled", e.ID)
+		}
+	}
+}
+
+func TestTable1Content(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runTable1(quickCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"R (record identifier)", "10000000", "64 bytes", "1.2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig7ContainsPaperValues(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runFig7(quickCfg(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// The headline numbers of Figure 7 at n=10⁷.
+	for _, want := range []string{"2.50 MB", "48.00 MB", "T-trees", "N"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig7 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMeasureLookupsReturnsPositive(t *testing.T) {
+	probes := make([]uint32, 1000)
+	s := MeasureLookups(func(k uint32) int { return int(k) }, probes, 2)
+	if s < 0 {
+		t.Errorf("negative time %v", s)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.withDefaults()
+	if c.Seed != 1 || c.Lookups != 100000 || c.Machine != "ultra" || c.Repeats != 3 {
+		t.Errorf("defaults wrong: %+v", c)
+	}
+	c2 := Config{Machine: "pc", Lookups: 5}.withDefaults()
+	if c2.Machine != "pc" || c2.Lookups != 5 {
+		t.Errorf("overrides lost: %+v", c2)
+	}
+}
+
+func TestSecsFormatting(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{5e-5, "50.0µs"},
+		{0.25, "0.2500s"},
+		{2.5, "2.500s"},
+	}
+	for _, c := range cases {
+		if got := secs(c.in); got != c.want {
+			t.Errorf("secs(%v)=%q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestAscendingKeysStrictlyAscending(t *testing.T) {
+	keys := ascendingKeys(100000, 7)
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			t.Fatalf("not ascending at %d", i)
+		}
+	}
+}

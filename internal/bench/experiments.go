@@ -1,0 +1,418 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"cssidx"
+	"cssidx/internal/analytic"
+	"cssidx/internal/cachesim"
+	"cssidx/internal/csstree"
+	"cssidx/internal/mem"
+	"cssidx/internal/simidx"
+	"cssidx/internal/workload"
+)
+
+// machineFor maps the config's machine name to a cache preset.
+func machineFor(cfg Config) *cachesim.Machine {
+	if cfg.Machine == "pc" {
+		return cachesim.PentiumII()
+	}
+	return cachesim.UltraSparcII()
+}
+
+// --- table1 ------------------------------------------------------------------
+
+func runTable1(cfg Config, w io.Writer) error {
+	p := analytic.DefaultParams()
+	t := newTable(w)
+	t.row("Parameter", "Typical Value")
+	t.row("R (record identifier)", fmt.Sprintf("%d bytes", p.R))
+	t.row("K (key)", fmt.Sprintf("%d bytes", p.K))
+	t.row("P (child pointer)", fmt.Sprintf("%d bytes", p.P))
+	t.row("n (records)", fmt.Sprintf("%d", p.N))
+	t.row("h (hash fudge factor)", fmt.Sprintf("%.1f", p.H))
+	t.row("c (cache line)", fmt.Sprintf("%d bytes", p.C))
+	t.row("s (node size in cache lines)", fmt.Sprintf("%d", p.S))
+	t.flush()
+	return nil
+}
+
+// --- fig5 ---------------------------------------------------------------------
+
+func runFig5(cfg Config, w io.Writer) error {
+	t := newTable(w)
+	t.row("m", "comparison ratio (level/full)", "cache access ratio (level/full)")
+	for _, r := range analytic.LevelFullRatios(60) {
+		if r.M%4 != 0 {
+			continue
+		}
+		t.row(fmt.Sprintf("%d", r.M), fmt.Sprintf("%.4f", r.Comparison), fmt.Sprintf("%.4f", r.CacheAcc))
+	}
+	t.flush()
+	return nil
+}
+
+// --- fig6 ---------------------------------------------------------------------
+
+func runFig6(cfg Config, w io.Writer) error {
+	p := analytic.DefaultParams()
+	rows := analytic.TimeModel(p)
+	fmt.Fprintf(w, "typical values: n=%d, m=%d slots/node, node=%d bytes\n\n", p.N, p.M(), p.S*p.C)
+	t := newTable(w)
+	t.row("method", "branching", "levels", "cmps/internal", "cmps/leaf", "total cmps", "cache misses")
+	for _, r := range rows {
+		t.row(r.Method.String(),
+			fmt.Sprintf("%.0f", r.Branching),
+			fmt.Sprintf("%.2f", r.Levels),
+			fmt.Sprintf("%.2f", r.CmpsInternal),
+			fmt.Sprintf("%.2f", r.CmpsLeaf),
+			fmt.Sprintf("%.2f", r.TotalCmps),
+			fmt.Sprintf("%.2f", r.CacheMisses))
+	}
+	t.flush()
+	return nil
+}
+
+// --- fig7 ---------------------------------------------------------------------
+
+func runFig7(cfg Config, w io.Writer) error {
+	p := analytic.DefaultParams()
+	t := newTable(w)
+	t.row("method", "space (indirect)", "space (direct)", "RID-ordered access")
+	for _, m := range analytic.Methods() {
+		ordered := "Y"
+		if !analytic.SupportsRIDOrder(m) {
+			ordered = "N"
+		}
+		t.row(m.String(), mb(analytic.SpaceIndirect(m, p)), mb(analytic.SpaceDirect(m, p)), ordered)
+	}
+	t.flush()
+	return nil
+}
+
+// --- fig8 ---------------------------------------------------------------------
+
+func runFig8(cfg Config, w io.Writer) error {
+	p := analytic.DefaultParams()
+	for _, mode := range []string{"indirect", "direct"} {
+		fmt.Fprintf(w, "(%s)\n", mode)
+		t := newTable(w)
+		header := []string{"n"}
+		for _, m := range analytic.Methods() {
+			header = append(header, m.String())
+		}
+		t.row(header...)
+		for n := 10_000_000; n <= 90_000_000; n += 20_000_000 {
+			pp := p
+			pp.N = n
+			cells := []string{fmt.Sprintf("%.0e", float64(n))}
+			for _, m := range analytic.Methods() {
+				var v float64
+				if mode == "indirect" {
+					v = analytic.SpaceIndirect(m, pp)
+				} else {
+					v = analytic.SpaceDirect(m, pp)
+				}
+				cells = append(cells, mb(v))
+			}
+			t.row(cells...)
+		}
+		t.flush()
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// --- fig9 ---------------------------------------------------------------------
+
+// ascendingKeys generates n strictly ascending keys in O(n) without sorting;
+// key distribution is irrelevant to build time.
+func ascendingKeys(n int, seed int64) []uint32 {
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]uint32, n)
+	cur := uint32(0)
+	for i := range keys {
+		cur += 1 + uint32(rng.Intn(120))
+		keys[i] = cur
+	}
+	return keys
+}
+
+func runFig9(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	sizes := []int{1_000_000, 5_000_000, 10_000_000, 15_000_000, 20_000_000, 25_000_000}
+	if cfg.Quick {
+		sizes = []int{200_000, 500_000, 1_000_000, 2_000_000}
+	}
+	t := newTable(w)
+	t.row("size of sorted array", "full CSS-tree build", "level CSS-tree build", "full keys/s", "level keys/s")
+	for _, n := range sizes {
+		keys := ascendingKeys(n, cfg.Seed)
+		full := Measure(func() {
+			tr := csstree.BuildFull(keys, 16)
+			Sink += tr.SpaceBytes()
+		}, cfg.Repeats)
+		level := Measure(func() {
+			tr := csstree.BuildLevel(keys, 16)
+			Sink += tr.SpaceBytes()
+		}, cfg.Repeats)
+		t.row(fmt.Sprintf("%d", n), secs(full), secs(level),
+			fmt.Sprintf("%.1fM", float64(n)/full/1e6),
+			fmt.Sprintf("%.1fM", float64(n)/level/1e6))
+	}
+	t.flush()
+	fmt.Fprintln(w, "\nshape target (paper): linear in n; 25M keys < 1s; level builds faster than full")
+	return nil
+}
+
+// --- fig10/fig11: vary array size ------------------------------------------------
+
+// simMethods constructs every method's simulated index in the paper's legend
+// order.  nodeSlots is the tree node size in 4-byte slots.
+func simMethods(keys []uint32, nodeSlots int, hashDir int) []simidx.Sim {
+	ttreeCap := (nodeSlots*4 - 8) / 8
+	if ttreeCap < 2 {
+		ttreeCap = 2
+	}
+	return []simidx.Sim{
+		simidx.NewBinarySearch(keys, cachesim.NewAddrAlloc()),
+		simidx.NewBST(keys, cachesim.NewAddrAlloc()),
+		simidx.NewInterpolationSearch(keys, cachesim.NewAddrAlloc()),
+		simidx.NewTTree(keys, ttreeCap, cachesim.NewAddrAlloc()),
+		simidx.NewBPlusTree(keys, evenSlots(nodeSlots), cachesim.NewAddrAlloc()),
+		simidx.NewFullCSS(keys, nodeSlots, cachesim.NewAddrAlloc()),
+		simidx.NewLevelCSS(keys, mem.NextPow2(nodeSlots), cachesim.NewAddrAlloc()),
+		simidx.NewHash(keys, hashDir, mem.CacheLine, cachesim.NewAddrAlloc()),
+	}
+}
+
+// evenSlots rounds slots up to the even count B+-trees need.
+func evenSlots(s int) int {
+	if s%2 == 1 {
+		return s + 1
+	}
+	return s
+}
+
+// hostMethods constructs every method's real index for wall-clock timing.
+func hostMethods(keys []uint32, nodeBytes int, hashDir int) []cssidx.Index {
+	return []cssidx.Index{
+		cssidx.NewBinarySearch(keys),
+		cssidx.NewBST(keys),
+		cssidx.NewInterpolation(keys),
+		cssidx.NewTTree(keys, nodeBytes),
+		cssidx.NewBPlusTree(keys, nodeBytes),
+		cssidx.NewFullCSS(keys, nodeBytes),
+		cssidx.NewLevelCSS(keys, nodeBytes),
+		cssidx.NewHash(keys, hashDir),
+	}
+}
+
+func varyArraySizes(cfg Config) []int {
+	if cfg.Quick {
+		return []int{100, 1000, 10_000, 100_000}
+	}
+	return []int{100, 1000, 10_000, 100_000, 1_000_000, 10_000_000}
+}
+
+func runVaryArray(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	machine := machineFor(cfg)
+	g := workload.New(cfg.Seed)
+
+	for _, nodeSlots := range []int{8, 16} {
+		fmt.Fprintf(w, "simulated on %s, %d integers per node, %d lookups\n", machine.Name, nodeSlots, cfg.Lookups)
+		t := newTable(w)
+		t.row("array size", "binary", "tree bin", "interp", "T-tree", "B+-tree", "full CSS", "level CSS", "hash")
+		for _, n := range varyArraySizes(cfg) {
+			keys := g.SortedUniform(n)
+			probes := g.Lookups(keys, cfg.Lookups)
+			cells := []string{fmt.Sprintf("%d", n)}
+			for _, s := range simMethods(keys, nodeSlots, cssidx.DefaultHashDirSize(n)) {
+				res := simidx.Run(s, machine, probes)
+				cells = append(cells, secs(res.Seconds))
+			}
+			t.row(cells...)
+		}
+		t.flush()
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintf(w, "host wall-clock, 64-byte nodes, %d lookups (min of %d runs)\n", cfg.Lookups, cfg.Repeats)
+	t := newTable(w)
+	t.row("array size", "binary", "tree bin", "interp", "T-tree", "B+-tree", "full CSS", "level CSS", "hash")
+	for _, n := range varyArraySizes(cfg) {
+		keys := g.SortedUniform(n)
+		probes := g.Lookups(keys, cfg.Lookups)
+		cells := []string{fmt.Sprintf("%d", n)}
+		for _, idx := range hostMethods(keys, 64, cssidx.DefaultHashDirSize(n)) {
+			cells = append(cells, secs(MeasureLookups(idx.Search, probes, cfg.Repeats)))
+		}
+		t.row(cells...)
+	}
+	t.flush()
+	fmt.Fprintln(w, "\nshape target (paper): all methods converge in-cache; at large n CSS-trees beat")
+	fmt.Fprintln(w, "binary search and T-trees by >2x, B+-trees sit between, hash is fastest at ~20x the space")
+	return nil
+}
+
+func runFig10(cfg Config, w io.Writer) error {
+	cfg.Machine = "ultra"
+	return runVaryArray(cfg, w)
+}
+
+func runFig11(cfg Config, w io.Writer) error {
+	cfg.Machine = "pc"
+	return runVaryArray(cfg, w)
+}
+
+// --- fig12/fig13: vary node size --------------------------------------------------
+
+func runVaryNode(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	machine := machineFor(cfg)
+	g := workload.New(cfg.Seed)
+	rows := []int{5_000_000, 10_000_000}
+	if cfg.Quick {
+		rows = []int{500_000, 1_000_000}
+	}
+	entries := []int{4, 8, 16, 24, 32, 48, 64, 96, 128}
+
+	for _, n := range rows {
+		keys := g.SortedUniform(n)
+		probes := g.Lookups(keys, cfg.Lookups)
+		fmt.Fprintf(w, "simulated on %s, %d rows, %d lookups\n", machine.Name, n, cfg.Lookups)
+		t := newTable(w)
+		t.row("entries/node", "T-tree", "B+-tree", "full CSS", "level CSS")
+		for _, e := range entries {
+			cells := []string{fmt.Sprintf("%d", e)}
+			// T-tree: e 4-byte slots → (4e−8)/8 pairs.
+			if cap := (4*e - 8) / 8; cap >= 2 {
+				res := simidx.Run(simidx.NewTTree(keys, cap, cachesim.NewAddrAlloc()), machine, probes)
+				cells = append(cells, secs(res.Seconds))
+			} else {
+				cells = append(cells, "-")
+			}
+			if e%2 == 0 {
+				res := simidx.Run(simidx.NewBPlusTree(keys, e, cachesim.NewAddrAlloc()), machine, probes)
+				cells = append(cells, secs(res.Seconds))
+			} else {
+				cells = append(cells, "-")
+			}
+			res := simidx.Run(simidx.NewFullCSS(keys, e, cachesim.NewAddrAlloc()), machine, probes)
+			cells = append(cells, secs(res.Seconds))
+			if mem.IsPow2(e) {
+				res := simidx.Run(simidx.NewLevelCSS(keys, e, cachesim.NewAddrAlloc()), machine, probes)
+				cells = append(cells, secs(res.Seconds))
+			} else {
+				cells = append(cells, "-")
+			}
+			t.row(cells...)
+		}
+		t.flush()
+		fmt.Fprintln(w)
+	}
+
+	// Hash directory sweep (the hash points of Figure 12).
+	n := rows[0]
+	keys := g.SortedUniform(n)
+	probes := g.Lookups(keys, cfg.Lookups)
+	fmt.Fprintf(w, "hash directory sweep, %d rows (simulated on %s)\n", n, machine.Name)
+	dirs := []int{1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22, 1 << 23}
+	if cfg.Quick {
+		dirs = []int{1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	}
+	t := newTable(w)
+	t.row("directory size", "time", "space")
+	for _, d := range dirs {
+		sim := simidx.NewHash(keys, d, mem.CacheLine, cachesim.NewAddrAlloc())
+		res := simidx.Run(sim, machine, probes)
+		t.row(fmt.Sprintf("2^%d", mem.Log2(d)), secs(res.Seconds), mb(float64(sim.SpaceBytes())))
+	}
+	t.flush()
+	fmt.Fprintln(w, "\nshape target (paper): CSS minimum at the cache-line node size; bumps at")
+	fmt.Fprintln(w, "non-multiple node sizes; T-trees flat and slow; larger hash directories buy time with space")
+	return nil
+}
+
+func runFig12(cfg Config, w io.Writer) error {
+	cfg.Machine = "ultra"
+	return runVaryNode(cfg, w)
+}
+
+func runFig13(cfg Config, w io.Writer) error {
+	cfg.Machine = "pc"
+	return runVaryNode(cfg, w)
+}
+
+// --- fig14 (= fig2): space/time trade-offs ------------------------------------------
+
+func runFig14(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	g := workload.New(cfg.Seed)
+	n := 5_000_000
+	if cfg.Quick {
+		n = 200_000
+	}
+	keys := g.SortedUniform(n)
+	probes := g.Lookups(keys, cfg.Lookups)
+
+	var points []analytic.Point
+	label := func(m analytic.Method, lbl string, space int, t float64) {
+		points = append(points, analytic.Point{Method: m, Label: lbl, Space: float64(space), Time: t})
+	}
+
+	label(analytic.BinarySearch, "", 0,
+		MeasureLookups(cssidx.NewBinarySearch(keys).Search, probes, cfg.Repeats))
+
+	nodeBytes := []int{32, 64, 128, 256, 512}
+	for _, nb := range nodeBytes {
+		tt := cssidx.NewTTree(keys, nb)
+		label(analytic.TTree, fmt.Sprintf("%dB node", nb), tt.SpaceBytes(),
+			MeasureLookups(tt.Search, probes, cfg.Repeats))
+		bp := cssidx.NewBPlusTree(keys, nb)
+		label(analytic.BPlusTree, fmt.Sprintf("%dB node", nb), bp.SpaceBytes(),
+			MeasureLookups(bp.Search, probes, cfg.Repeats))
+		fc := cssidx.NewFullCSS(keys, nb)
+		label(analytic.FullCSS, fmt.Sprintf("%dB node", nb), fc.SpaceBytes(),
+			MeasureLookups(fc.Search, probes, cfg.Repeats))
+		lc := cssidx.NewLevelCSS(keys, nb)
+		label(analytic.LevelCSS, fmt.Sprintf("%dB node", nb), lc.SpaceBytes(),
+			MeasureLookups(lc.Search, probes, cfg.Repeats))
+	}
+	hashDirs := []int{1 << 18, 1 << 19, 1 << 20, 1 << 21, 1 << 22}
+	if cfg.Quick {
+		hashDirs = []int{1 << 12, 1 << 14, 1 << 16}
+	}
+	for _, d := range hashDirs {
+		hx := cssidx.NewHash(keys, d)
+		// Direct accounting: hashing still needs an ordered RID list for
+		// ordered access (Figure 7), so add n·R.
+		label(analytic.Hash, fmt.Sprintf("dir 2^%d", mem.Log2(d)), hx.SpaceBytes()+4*n,
+			MeasureLookups(hx.Search, probes, cfg.Repeats))
+	}
+
+	frontier := analytic.Frontier(points)
+	onFrontier := map[string]bool{}
+	for _, p := range frontier {
+		onFrontier[p.Method.String()+p.Label] = true
+	}
+
+	fmt.Fprintf(w, "host wall-clock, n=%d, %d lookups (min of %d runs); * = on the stepped frontier\n",
+		n, cfg.Lookups, cfg.Repeats)
+	t := newTable(w)
+	t.row("method", "config", "space", "time", "frontier")
+	for _, p := range points {
+		mark := ""
+		if onFrontier[p.Method.String()+p.Label] {
+			mark = "*"
+		}
+		t.row(p.Method.String(), p.Label, mb(p.Space), secs(p.Time), mark)
+	}
+	t.flush()
+	fmt.Fprintln(w, "\nshape target (paper): T-trees and B+-trees dominated by CSS-trees; frontier runs")
+	fmt.Fprintln(w, "binary search → CSS-trees → hash, trading space for time")
+	return nil
+}

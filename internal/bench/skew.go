@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"cssidx/internal/cachesim"
+	"cssidx/internal/mem"
+	"cssidx/internal/simidx"
+	"cssidx/internal/workload"
+)
+
+// runSkew is an extension experiment (not a numbered paper artifact): it
+// quantifies the three skew-sensitivity claims the paper makes in passing.
+//
+//  1. §6.3: "interpolation search performs well only for data sets that
+//     behave linearly … performs even worse on non-uniform data."
+//  2. §3.5: "skewed data can seriously affect the performance of hash
+//     indices" with a cheap low-order-bit hash function.
+//  3. §5.1: "if a bunch of searches are performed in sequence, the top
+//     level nodes will stay in the cache.  Since CSS-trees have fewer
+//     levels than all the other methods, it will gain the most benefit
+//     from a warm cache" — measured with Zipf-skewed lookups.
+func runSkew(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	machine := machineFor(cfg)
+	g := workload.New(cfg.Seed)
+	n := 2_000_000
+	if cfg.Quick {
+		n = 200_000
+	}
+
+	// (1) Interpolation search vs binary search across distributions.
+	fmt.Fprintf(w, "interpolation vs binary search by key distribution (n=%d, simulated on %s)\n", n, machine.Name)
+	t := newTable(w)
+	t.row("distribution", "interp cmps/lkp", "binary cmps/lkp", "interp time", "binary time")
+	for _, d := range []struct {
+		name string
+		gen  func(int) []uint32
+	}{
+		{"linear", g.SortedLinear},
+		{"uniform", g.SortedUniform},
+		{"skewed", g.SortedSkewed},
+	} {
+		keys := d.gen(n)
+		probes := g.Lookups(keys, cfg.Lookups)
+		ir := simidx.Run(simidx.NewInterpolationSearch(keys, cachesim.NewAddrAlloc()), machine, probes)
+		br := simidx.Run(simidx.NewBinarySearch(keys, cachesim.NewAddrAlloc()), machine, probes)
+		t.row(d.name,
+			fmt.Sprintf("%.1f", float64(ir.Cmps)/float64(ir.Lookups)),
+			fmt.Sprintf("%.1f", float64(br.Cmps)/float64(br.Lookups)),
+			secs(ir.Seconds), secs(br.Seconds))
+	}
+	t.flush()
+	fmt.Fprintln(w, "shape target: interp ≪ binary on linear keys, advantage shrinking/inverting with skew")
+	fmt.Fprintln(w)
+
+	// (2) Hash chains under value clustering with the low-order-bit hash.
+	fmt.Fprintf(w, "hash chain lengths, low-order-bit hash, dir=2^16 (n=%d)\n", n)
+	t = newTable(w)
+	t.row("key pattern", "avg chain (buckets)", "max chain", "simulated time")
+	dir := 1 << 16
+	uniform := g.SortedUniform(n)
+	clustered := make([]uint32, n)
+	for i := range clustered {
+		clustered[i] = uint32(i * dir) // identical low bits: every key collides
+	}
+	for _, d := range []struct {
+		name string
+		keys []uint32
+	}{
+		{"uniform", uniform},
+		{"stride-2^16 (adversarial)", clustered},
+	} {
+		sim := simidx.NewHash(d.keys, dir, mem.CacheLine, cachesim.NewAddrAlloc())
+		probes := g.Lookups(d.keys, cfg.Lookups)
+		res := simidx.Run(sim, machine, probes)
+		avg, max := hashChainStats(d.keys, dir)
+		t.row(d.name, fmt.Sprintf("%.2f", avg), fmt.Sprintf("%d", max), secs(res.Seconds))
+	}
+	t.flush()
+	fmt.Fprintln(w, "shape target: clustered keys explode chain lengths and lookup time (§3.5)")
+	fmt.Fprintln(w)
+
+	// (3) Warm-cache benefit under Zipf-skewed lookups.
+	fmt.Fprintf(w, "uniform vs Zipf lookups (s=1.3), n=%d, simulated on %s\n", n, machine.Name)
+	t = newTable(w)
+	t.row("method", "uniform time", "zipf time", "speedup")
+	keys := uniform
+	uniProbes := g.Lookups(keys, cfg.Lookups)
+	zipfProbes := g.ZipfLookups(keys, cfg.Lookups, 1.3)
+	for _, s := range []func() simidx.Sim{
+		func() simidx.Sim { return simidx.NewBinarySearch(keys, cachesim.NewAddrAlloc()) },
+		func() simidx.Sim { return simidx.NewTTree(keys, 7, cachesim.NewAddrAlloc()) },
+		func() simidx.Sim { return simidx.NewBPlusTree(keys, 16, cachesim.NewAddrAlloc()) },
+		func() simidx.Sim { return simidx.NewFullCSS(keys, 16, cachesim.NewAddrAlloc()) },
+	} {
+		uni := simidx.Run(s(), machine, uniProbes)
+		zipf := simidx.Run(s(), machine, zipfProbes)
+		t.row(uni.Sim, secs(uni.Seconds), secs(zipf.Seconds),
+			fmt.Sprintf("%.2fx", uni.Seconds/zipf.Seconds))
+	}
+	t.flush()
+	fmt.Fprintln(w, "shape target: every method gains from hot keys; CSS-trees reach the floor fastest (§5.1)")
+	return nil
+}
+
+// hashChainStats computes average/max chain length in buckets for a
+// hypothetical build, without keeping the table.
+func hashChainStats(keys []uint32, dir int) (avg float64, max int) {
+	const pairsPerBucket = (mem.CacheLine/4 - 2) / 2
+	counts := make([]int, dir)
+	mask := uint32(dir - 1)
+	for _, k := range keys {
+		counts[k&mask]++
+	}
+	total := 0
+	for _, c := range counts {
+		buckets := 1
+		if c > pairsPerBucket {
+			buckets = (c + pairsPerBucket - 1) / pairsPerBucket
+		}
+		total += buckets
+		if buckets > max {
+			max = buckets
+		}
+	}
+	return float64(total) / float64(dir), max
+}

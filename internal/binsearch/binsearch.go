@@ -1,0 +1,348 @@
+// Package binsearch implements search over a sorted array of 4-byte keys:
+// the paper's zero-space baseline (§3.2) and the within-node search routines
+// shared by the tree structures.
+//
+// Array binary search needs no space beyond the sorted array itself but has
+// poor reference locality: when the array is much larger than the cache, the
+// number of cache misses approaches the number of key comparisons (log₂ n).
+//
+// Following §6.2 of the paper, the hot routines are specialised: the loop
+// uses shifts rather than division, small ranges fall back to a sequential
+// equality scan ("better performance when there are less than 5 keys in the
+// range"), and fixed-size node searches (8/16/32/64 slots) are fully
+// unrolled, hard-coded binary searches.
+package binsearch
+
+// tailScanMax is the range size below which sequential scan beats binary
+// halving (§6.2: "less than 5 keys").
+const tailScanMax = 5
+
+// Search returns the index of the leftmost occurrence of key in the sorted
+// slice a, or -1 if absent.
+func Search(a []uint32, key uint32) int {
+	i := LowerBound(a, key)
+	if i < len(a) && a[i] == key {
+		return i
+	}
+	return -1
+}
+
+// LowerBound returns the smallest index i with a[i] >= key, or len(a) when
+// every element is smaller.  The slice must be sorted ascending.  The loop
+// halves with a shift (§4: "even if this calculation uses a shift rather
+// than a division by two") and finishes with a sequential tail scan.
+func LowerBound(a []uint32, key uint32) int {
+	lo, hi := 0, len(a)
+	for hi-lo > tailScanMax {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi && a[lo] < key {
+		lo++
+	}
+	return lo
+}
+
+// UpperBound returns the smallest index i with a[i] > key, or len(a).
+func UpperBound(a []uint32, key uint32) int {
+	lo, hi := 0, len(a)
+	for hi-lo > tailScanMax {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi && a[lo] <= key {
+		lo++
+	}
+	return lo
+}
+
+// EqualRange returns the half-open index range [first,last) of entries equal
+// to key; first==last means key is absent.  This is how duplicates are
+// enumerated per §3.6 ("find the leftmost element of all the duplicates and
+// sequentially scan towards right").
+func EqualRange(a []uint32, key uint32) (first, last int) {
+	first = LowerBound(a, key)
+	last = first
+	for last < len(a) && a[last] == key {
+		last++
+	}
+	return first, last
+}
+
+// SearchGeneric is the non-specialised loop the paper measured against its
+// hard-coded version (reported 20–45% slower); kept for the ablation bench.
+func SearchGeneric(a []uint32, key uint32) int {
+	lo, hi := 0, len(a)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case a[mid] < key:
+			lo = mid + 1
+		case a[mid] > key:
+			hi = mid - 1
+		default:
+			// Walk left to the first duplicate.
+			for mid > 0 && a[mid-1] == key {
+				mid--
+			}
+			return mid
+		}
+	}
+	return -1
+}
+
+// --- Hard-coded node searches -------------------------------------------
+//
+// The tree structures store m keys per node and need the leftmost slot whose
+// key is ≥ the probe ("we keep checking the keys in the left part if it's
+// greater than or equal to the searching key", §4.1.2).  For the node sizes
+// used in the paper these are fully unrolled so a node visit costs no loop
+// overhead.  All take a full window of exactly m slots.
+
+// NodeLowerBound returns the leftmost index in a[:m] with a[i] >= key, or m.
+// It dispatches to an unrolled routine when m matches a specialised size.
+func NodeLowerBound(a []uint32, m int, key uint32) int {
+	switch m {
+	case 3:
+		return nlb3(a, key)
+	case 4:
+		return nlb4(a, key)
+	case 7:
+		return nlb7(a, key)
+	case 8:
+		return nlb8(a, key)
+	case 15:
+		return nlb15(a, key)
+	case 16:
+		return nlb16(a, key)
+	case 31:
+		return nlb31(a, key)
+	case 32:
+		return nlb32(a, key)
+	case 63:
+		return nlb63(a, key)
+	case 64:
+		return nlb64(a, key)
+	default:
+		return NodeLowerBoundGeneric(a, m, key)
+	}
+}
+
+// NodeLowerBoundGeneric is the loop fallback for arbitrary m.
+func NodeLowerBoundGeneric(a []uint32, m int, key uint32) int {
+	lo, hi := 0, m
+	for hi-lo > tailScanMax {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi && a[lo] < key {
+		lo++
+	}
+	return lo
+}
+
+// nlb3 .. nlb64: hard-coded leftmost-≥ search over exactly m slots, the
+// paper's "hardcoding all the if-else tests" (§6.2).  Each is a flat,
+// call-free halving sequence — every step shrinks the candidate window by
+// a fixed power of two, so the whole search is straight-line code the
+// compiler keeps in registers.  The 2ᵗ−1 sizes (3, 7, 15, 31, 63) are the
+// perfect-binary-tree searches of level CSS-tree nodes (§4.2): exactly t
+// comparisons on every path.  The 2ᵗ sizes need t+1 (Figure 4's point that
+// a full node costs one extra comparison on some paths).
+
+func nlb3(a []uint32, key uint32) int {
+	base := 0
+	if a[1] < key {
+		base = 2
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb7(a []uint32, key uint32) int {
+	base := 0
+	if a[3] < key {
+		base = 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb15(a []uint32, key uint32) int {
+	base := 0
+	if a[7] < key {
+		base = 8
+	}
+	if a[base+3] < key {
+		base += 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb31(a []uint32, key uint32) int {
+	base := 0
+	if a[15] < key {
+		base = 16
+	}
+	if a[base+7] < key {
+		base += 8
+	}
+	if a[base+3] < key {
+		base += 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb63(a []uint32, key uint32) int {
+	base := 0
+	if a[31] < key {
+		base = 32
+	}
+	if a[base+15] < key {
+		base += 16
+	}
+	if a[base+7] < key {
+		base += 8
+	}
+	if a[base+3] < key {
+		base += 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb4(a []uint32, key uint32) int {
+	base := 0
+	if a[1] < key {
+		base = 2
+	}
+	if a[base] < key {
+		base++
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb8(a []uint32, key uint32) int {
+	base := 0
+	if a[3] < key {
+		base = 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb16(a []uint32, key uint32) int {
+	base := 0
+	if a[7] < key {
+		base = 8
+	}
+	if a[base+3] < key {
+		base += 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb32(a []uint32, key uint32) int {
+	base := 0
+	if a[15] < key {
+		base = 16
+	}
+	if a[base+7] < key {
+		base += 8
+	}
+	if a[base+3] < key {
+		base += 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}
+
+func nlb64(a []uint32, key uint32) int {
+	base := 0
+	if a[31] < key {
+		base = 32
+	}
+	if a[base+15] < key {
+		base += 16
+	}
+	if a[base+7] < key {
+		base += 8
+	}
+	if a[base+3] < key {
+		base += 4
+	}
+	if a[base+1] < key {
+		base += 2
+	}
+	if a[base] < key {
+		base++
+	}
+	if a[base] < key {
+		base++
+	}
+	return base
+}

@@ -1,0 +1,234 @@
+package binsearch
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+func refUpperBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] > key })
+}
+
+func toU32(raw []uint16) []uint32 {
+	a := make([]uint32, len(raw))
+	for i, v := range raw {
+		a[i] = uint32(v)
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return a
+}
+
+func TestSearchBasic(t *testing.T) {
+	a := []uint32{2, 4, 4, 4, 9, 11, 30}
+	cases := []struct {
+		key  uint32
+		want int
+	}{
+		{2, 0}, {4, 1}, {9, 4}, {11, 5}, {30, 6},
+		{1, -1}, {3, -1}, {10, -1}, {31, -1},
+	}
+	for _, c := range cases {
+		if got := Search(a, c.key); got != c.want {
+			t.Errorf("Search(%d)=%d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestSearchEmptyAndSingle(t *testing.T) {
+	if got := Search(nil, 5); got != -1 {
+		t.Errorf("empty: got %d", got)
+	}
+	if got := Search([]uint32{7}, 7); got != 0 {
+		t.Errorf("single hit: got %d", got)
+	}
+	if got := Search([]uint32{7}, 8); got != -1 {
+		t.Errorf("single miss: got %d", got)
+	}
+}
+
+func TestLowerBoundMatchesSortSearch(t *testing.T) {
+	f := func(raw []uint16, key uint16) bool {
+		a := toU32(raw)
+		return LowerBound(a, uint32(key)) == refLowerBound(a, uint32(key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUpperBoundMatchesSortSearch(t *testing.T) {
+	f := func(raw []uint16, key uint16) bool {
+		a := toU32(raw)
+		return UpperBound(a, uint32(key)) == refUpperBound(a, uint32(key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualRange(t *testing.T) {
+	a := []uint32{1, 3, 3, 3, 5, 5, 8}
+	cases := []struct {
+		key         uint32
+		first, last int
+	}{
+		{1, 0, 1}, {3, 1, 4}, {5, 4, 6}, {8, 6, 7},
+		{0, 0, 0}, {2, 1, 1}, {4, 4, 4}, {9, 7, 7},
+	}
+	for _, c := range cases {
+		f, l := EqualRange(a, c.key)
+		if f != c.first || l != c.last {
+			t.Errorf("EqualRange(%d)=(%d,%d), want (%d,%d)", c.key, f, l, c.first, c.last)
+		}
+	}
+}
+
+func TestSearchFindsLeftmostDuplicate(t *testing.T) {
+	g := workload.New(11)
+	a := g.SortedWithDuplicates(5000, 6)
+	for _, key := range g.Lookups(a, 2000) {
+		got := Search(a, key)
+		want := refLowerBound(a, key)
+		if got != want {
+			t.Fatalf("Search(%d)=%d, want leftmost %d", key, got, want)
+		}
+	}
+}
+
+func TestSearchGenericAgrees(t *testing.T) {
+	g := workload.New(12)
+	a := g.SortedWithDuplicates(3000, 3)
+	probes := append(g.Lookups(a, 1000), g.Misses(a, 1000)...)
+	for _, key := range probes {
+		if got, want := SearchGeneric(a, key), Search(a, key); got != want {
+			t.Fatalf("SearchGeneric(%d)=%d, Search=%d", key, got, want)
+		}
+	}
+}
+
+func TestSearchLargeRandom(t *testing.T) {
+	g := workload.New(13)
+	a := g.SortedDistinct(100000)
+	for i, key := range g.Lookups(a, 5000) {
+		got := Search(a, key)
+		if got < 0 || a[got] != key {
+			t.Fatalf("probe %d: Search(%d)=%d", i, key, got)
+		}
+	}
+	for _, key := range g.Misses(a, 5000) {
+		if got := Search(a, key); got != -1 {
+			t.Fatalf("miss key %d found at %d", key, got)
+		}
+	}
+}
+
+func TestNodeLowerBoundSpecialisedSizes(t *testing.T) {
+	g := workload.New(14)
+	for _, m := range []int{3, 4, 7, 8, 15, 16, 31, 32, 63, 64} {
+		keys := g.SortedDistinct(m)
+		// Probe every key, every predecessor, and the extremes.
+		probes := make([]uint32, 0, 2*m+2)
+		for _, k := range keys {
+			probes = append(probes, k)
+			if k > 0 {
+				probes = append(probes, k-1)
+			}
+		}
+		probes = append(probes, 0, ^uint32(0))
+		for _, p := range probes {
+			got := NodeLowerBound(keys, m, p)
+			want := refLowerBound(keys, p)
+			if got != want {
+				t.Fatalf("m=%d NodeLowerBound(%d)=%d, want %d (keys=%v)", m, p, got, want, keys)
+			}
+		}
+	}
+}
+
+func TestNodeLowerBoundWithDuplicates(t *testing.T) {
+	// Duplicate keys inside a node happen when a CSS-tree pads dangling
+	// slots (§4.1.1); the search must still return the leftmost slot.
+	for _, m := range []int{4, 8, 16, 32, 64} {
+		keys := make([]uint32, m)
+		for i := range keys {
+			if i < m/2 {
+				keys[i] = 10
+			} else {
+				keys[i] = 20
+			}
+		}
+		if got := NodeLowerBound(keys, m, 10); got != 0 {
+			t.Errorf("m=%d: leftmost dup of 10 = %d, want 0", m, got)
+		}
+		if got := NodeLowerBound(keys, m, 20); got != m/2 {
+			t.Errorf("m=%d: leftmost dup of 20 = %d, want %d", m, got, m/2)
+		}
+		if got := NodeLowerBound(keys, m, 21); got != m {
+			t.Errorf("m=%d: beyond max = %d, want %d", m, got, m)
+		}
+	}
+}
+
+func TestNodeLowerBoundGenericArbitraryM(t *testing.T) {
+	g := workload.New(15)
+	for _, m := range []int{1, 2, 3, 5, 6, 7, 12, 24, 48, 100, 128} {
+		keys := g.SortedDistinct(m)
+		for _, p := range append(g.Lookups(keys, 50), 0, ^uint32(0)) {
+			got := NodeLowerBound(keys, m, p)
+			want := refLowerBound(keys, p)
+			if got != want {
+				t.Fatalf("m=%d NodeLowerBound(%d)=%d, want %d", m, p, got, want)
+			}
+		}
+	}
+}
+
+func TestNodeLowerBoundPropertyQuick(t *testing.T) {
+	f := func(raw [16]uint16, key uint16) bool {
+		a := make([]uint32, 16)
+		for i, v := range raw {
+			a[i] = uint32(v)
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return NodeLowerBound(a, 16, uint32(key)) == refLowerBound(a, uint32(key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundsOnAllEqual(t *testing.T) {
+	a := []uint32{5, 5, 5, 5, 5, 5, 5, 5}
+	if got := LowerBound(a, 5); got != 0 {
+		t.Errorf("LowerBound=%d, want 0", got)
+	}
+	if got := UpperBound(a, 5); got != 8 {
+		t.Errorf("UpperBound=%d, want 8", got)
+	}
+	if got := LowerBound(a, 6); got != 8 {
+		t.Errorf("LowerBound(6)=%d, want 8", got)
+	}
+	if got := UpperBound(a, 4); got != 0 {
+		t.Errorf("UpperBound(4)=%d, want 0", got)
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	a := []uint32{0, 1, ^uint32(0) - 1, ^uint32(0)}
+	if got := Search(a, 0); got != 0 {
+		t.Errorf("Search(0)=%d", got)
+	}
+	if got := Search(a, ^uint32(0)); got != 3 {
+		t.Errorf("Search(max)=%d", got)
+	}
+	if got := LowerBound(a, ^uint32(0)); got != 3 {
+		t.Errorf("LowerBound(max)=%d", got)
+	}
+}

@@ -1,0 +1,246 @@
+// Package bptree implements the search-optimised, main-memory B+-tree the
+// paper benchmarks against CSS-trees (§3.4, §6.2).
+//
+// Matching the paper's implementation choices:
+//
+//   - Nodes are a fixed number of 4-byte slots (typically one cache line).
+//   - In internal nodes each key is physically adjacent to a child pointer
+//     ("we forced each key and child pointer to be adjacent to each other").
+//     With one more pointer than keys, a node of S slots holds ⌊(S−1)/2⌋
+//     keys — the branching factor is about half a CSS-tree's, which is
+//     exactly why the paper's B+-tree needs more levels, and hence more
+//     cache misses, for the same node size.
+//   - Record pointers live in leaf nodes only; leaves hold ⟨key,RID⟩ pairs.
+//   - The tree is bulk-loaded 100% full from a sorted array and rebuilt on
+//     batch updates ("in an OLAP environment, we can use all the slots in a
+//     B+-tree node and rebuild the tree when batch updates arrive").
+//
+// Child references are 4-byte arena offsets rather than machine pointers,
+// which keeps the structure GC-transparent and reproduces the paper's
+// 4-byte pointer size (P in Table 1).
+package bptree
+
+import (
+	"fmt"
+
+	"cssidx/internal/mem"
+)
+
+// Tree is a bulk-loaded, read-only B+-tree over 4-byte keys.
+// Build one with Build; the zero value is an empty tree.
+type Tree struct {
+	inner    []uint32 // internal nodes, `slots` each; layout [c0,k0,c1,k1,…,c_f(,pad)]
+	leaves   []uint32 // leaf nodes, `slots` each; layout [k0,r0,k1,r1,…]
+	levelOff []int    // slot offset of each internal level, root level first
+	slots    int      // S: 4-byte slots per node
+	fanout   int      // children per internal node = ⌊(S−1)/2⌋ + 1
+	pairs    int      // ⟨key,RID⟩ pairs per leaf = S/2
+	nLeaf    int      // number of leaf nodes
+	n        int      // number of keys
+}
+
+// Build constructs a B+-tree over the sorted slice keys with the given node
+// size in 4-byte slots (slots=16 → 64-byte nodes).  RIDs are the positions
+// in keys, so lookups return sorted-array indexes like the other methods.
+// slots must be even and ≥ 4.
+func Build(keys []uint32, slots int) *Tree {
+	if slots < 4 || slots%2 != 0 {
+		panic(fmt.Sprintf("bptree: node slots %d must be even and ≥ 4", slots))
+	}
+	t := &Tree{
+		slots:  slots,
+		fanout: (slots-1)/2 + 1,
+		pairs:  slots / 2,
+		n:      len(keys),
+	}
+	if len(keys) == 0 {
+		return t
+	}
+
+	// Leaves: pack pairs left to right, 100% full except the last, whose
+	// spare slots replicate the final pair so in-leaf search needs no count.
+	t.nLeaf = mem.CeilDiv(len(keys), t.pairs)
+	t.leaves = mem.AlignedU32(t.nLeaf*slots, mem.CacheLine)
+	for i := 0; i < t.nLeaf*t.pairs; i++ {
+		src := i
+		if src >= len(keys) {
+			src = len(keys) - 1
+		}
+		base := (i/t.pairs)*slots + 2*(i%t.pairs)
+		t.leaves[base] = keys[src]
+		t.leaves[base+1] = uint32(src)
+	}
+
+	// Internal levels, bottom-up.  childMax[i] is the largest key in child
+	// i's subtree; the separator left-adjacent to a child pointer is that
+	// child's subtree max, which with leftmost-≥ node search routes
+	// duplicates to their first occurrence.
+	childMax := make([]uint32, t.nLeaf)
+	for i := range childMax {
+		end := (i + 1) * t.pairs
+		if end > len(keys) {
+			end = len(keys)
+		}
+		childMax[i] = keys[end-1]
+	}
+	var arenas [][]uint32 // bottom-up
+	childCount := t.nLeaf
+	for childCount > 1 {
+		parentCount := mem.CeilDiv(childCount, t.fanout)
+		arena := mem.AlignedU32(parentCount*slots, mem.CacheLine)
+		maxes := make([]uint32, parentCount)
+		for p := 0; p < parentCount; p++ {
+			first := p * t.fanout
+			last := first + t.fanout
+			if last > childCount {
+				last = childCount
+			}
+			base := p * slots
+			for j := 0; j < t.fanout; j++ {
+				c := first + j
+				if c >= last {
+					c = last - 1 // pad short nodes with the final child
+				}
+				arena[base+2*j] = uint32(c)
+				if j < t.fanout-1 {
+					arena[base+2*j+1] = childMax[c]
+				}
+			}
+			maxes[p] = childMax[last-1]
+		}
+		arenas = append(arenas, arena)
+		childMax = maxes
+		childCount = parentCount
+	}
+
+	// Concatenate levels top-down (root level first) and record offsets.
+	total := 0
+	for _, a := range arenas {
+		total += len(a)
+	}
+	t.inner = mem.AlignedU32(total, mem.CacheLine)
+	t.levelOff = make([]int, len(arenas))
+	off := 0
+	for i := len(arenas) - 1; i >= 0; i-- {
+		t.levelOff[len(arenas)-1-i] = off
+		copy(t.inner[off:], arenas[i])
+		off += len(arenas[i])
+	}
+	return t
+}
+
+// Search returns the RID (sorted-array index) of the leftmost occurrence of
+// key and true, or 0,false if absent.
+func (t *Tree) Search(key uint32) (uint32, bool) {
+	i := t.LowerBound(key)
+	if i < t.n && t.leafKey(i) == key {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// LowerBound returns the smallest global pair index i whose key is ≥ key,
+// or n.  Pair indexes equal sorted-array indexes because leaves are packed
+// full in key order.
+func (t *Tree) LowerBound(key uint32) int {
+	if t.n == 0 {
+		return 0
+	}
+	node := 0
+	for _, off := range t.levelOff {
+		base := off + node*t.slots
+		j := t.branch(base, key)
+		node = int(t.inner[base+2*j])
+	}
+	// node is a leaf number; find the leftmost pair ≥ key within it.
+	lo, hi := 0, t.pairs
+	base := node * t.slots
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.leaves[base+2*mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	i := node*t.pairs + lo
+	if i > t.n {
+		// Ran past the real data into the last leaf's padding (or past a
+		// full leaf whose successors don't exist): everything is < key.
+		i = t.n
+	}
+	return i
+}
+
+// leafKey reads the key of global pair index i.
+func (t *Tree) leafKey(i int) uint32 {
+	return t.leaves[(i/t.pairs)*t.slots+2*(i%t.pairs)]
+}
+
+// branch finds the child branch within the internal node at slot offset
+// base: the leftmost separator ≥ key (binary search over fanout−1
+// separators in the interleaved layout).
+func (t *Tree) branch(base int, key uint32) int {
+	lo, hi := 0, t.fanout-1
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.inner[base+2*mid+1] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// EqualRange returns [first,last) of pair indexes holding key.
+func (t *Tree) EqualRange(key uint32) (first, last int) {
+	first = t.LowerBound(key)
+	last = first
+	for last < t.n && t.leafKey(last) == key {
+		last++
+	}
+	return first, last
+}
+
+// SpaceBytes returns the total size of internal and leaf arenas — unlike
+// CSS-trees the leaves duplicate the keys and RIDs, which is where the
+// paper's nK(P+K)/(sc−P−K) overhead comes from.
+func (t *Tree) SpaceBytes() int {
+	return mem.SliceBytes(t.inner) + mem.SliceBytes(t.leaves)
+}
+
+// InnerBytes returns the internal-node arena size only.
+func (t *Tree) InnerBytes() int { return mem.SliceBytes(t.inner) }
+
+// Levels returns the number of node levels a search traverses, counting the
+// leaf level.
+func (t *Tree) Levels() int { return len(t.levelOff) + 1 }
+
+// Fanout returns the branching factor.
+func (t *Tree) Fanout() int { return t.fanout }
+
+// Inner returns the internal-node arena (read-only), for the cache simulator.
+func (t *Tree) Inner() []uint32 { return t.inner }
+
+// LeafArena returns the leaf-node arena (read-only), for the cache simulator.
+func (t *Tree) LeafArena() []uint32 { return t.leaves }
+
+// LevelOffsets returns the slot offset of each internal level, root first,
+// for the cache simulator.
+func (t *Tree) LevelOffsets() []int { return t.levelOff }
+
+// Slots returns the node size in uint32 slots.
+func (t *Tree) Slots() int { return t.slots }
+
+// Pairs returns the ⟨key,RID⟩ pairs per leaf.
+func (t *Tree) Pairs() int { return t.pairs }
+
+// Len returns the number of indexed keys.
+func (t *Tree) Len() int { return t.n }
+
+// String describes the tree for diagnostics.
+func (t *Tree) String() string {
+	return fmt.Sprintf("B+-tree{n=%d slots=%d fanout=%d levels=%d space=%s}",
+		t.n, t.slots, t.fanout, t.Levels(), mem.Bytes(t.SpaceBytes()))
+}

@@ -1,0 +1,195 @@
+package bptree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+func TestExhaustiveSmallArrays(t *testing.T) {
+	for _, slots := range []int{4, 6, 8, 16} {
+		for n := 0; n <= 130; n++ {
+			keys := make([]uint32, n)
+			for i := range keys {
+				keys[i] = uint32(3*i + 5)
+			}
+			tr := Build(keys, slots)
+			probes := []uint32{0, ^uint32(0)}
+			for _, k := range keys {
+				probes = append(probes, k, k-1, k+1)
+			}
+			for _, p := range probes {
+				want := refLowerBound(keys, p)
+				if got := tr.LowerBound(p); got != want {
+					t.Fatalf("slots=%d n=%d: LowerBound(%d)=%d, want %d", slots, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchFoundAndMissing(t *testing.T) {
+	g := workload.New(40)
+	keys := g.SortedDistinct(20000)
+	for _, slots := range []int{8, 16, 32, 64, 128} {
+		tr := Build(keys, slots)
+		for _, k := range g.Lookups(keys, 2000) {
+			rid, ok := tr.Search(k)
+			if !ok || keys[rid] != k {
+				t.Fatalf("slots=%d: Search(%d)=(%d,%v)", slots, k, rid, ok)
+			}
+		}
+		for _, k := range g.Misses(keys, 2000) {
+			if _, ok := tr.Search(k); ok {
+				t.Fatalf("slots=%d: found absent key %d", slots, k)
+			}
+		}
+	}
+}
+
+func TestLeftmostDuplicate(t *testing.T) {
+	g := workload.New(41)
+	keys := g.SortedWithDuplicates(30000, 8)
+	tr := Build(keys, 16)
+	for _, k := range g.Lookups(keys, 3000) {
+		rid, ok := tr.Search(k)
+		want := refLowerBound(keys, k)
+		if !ok || int(rid) != want {
+			t.Fatalf("Search(%d)=(%d,%v), want leftmost %d", k, rid, ok, want)
+		}
+	}
+}
+
+func TestEqualRange(t *testing.T) {
+	g := workload.New(42)
+	keys := g.SortedWithDuplicates(5000, 4)
+	tr := Build(keys, 16)
+	probes := append(g.Lookups(keys, 500), g.Misses(keys, 500)...)
+	for _, k := range probes {
+		f, l := tr.EqualRange(k)
+		wantF := refLowerBound(keys, k)
+		wantL := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+		if f != wantF || l != wantL {
+			t.Fatalf("EqualRange(%d)=[%d,%d), want [%d,%d)", k, f, l, wantF, wantL)
+		}
+	}
+}
+
+func TestFanoutIsHalfCSS(t *testing.T) {
+	// §3.4: "for any given node size, only half of the space can be used to
+	// store keys".  16 slots → 7 keys, 8 children.
+	tr := Build([]uint32{1, 2, 3}, 16)
+	if tr.Fanout() != 8 {
+		t.Errorf("fanout=%d, want 8", tr.Fanout())
+	}
+	tr = Build([]uint32{1, 2, 3}, 8)
+	if tr.Fanout() != 4 {
+		t.Errorf("fanout=%d, want 4", tr.Fanout())
+	}
+}
+
+func TestLevelsDeeperThanCSSFanout(t *testing.T) {
+	g := workload.New(43)
+	keys := g.SortedDistinct(100000)
+	tr := Build(keys, 16)
+	// 100000/8 = 12500 leaves; fanout 8: 8⁴=4096 < 12500 ≤ 8⁵ → 5 internal
+	// levels + leaf = 6.
+	if tr.Levels() != 6 {
+		t.Errorf("levels=%d, want 6", tr.Levels())
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		keys := make([]uint32, len(raw))
+		for i, v := range raw {
+			keys[i] = uint32(v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		tr := Build(keys, 8)
+		return tr.LowerBound(uint32(probe)) == refLowerBound(keys, uint32(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr := Build(nil, 16)
+	if _, ok := tr.Search(5); ok {
+		t.Error("found key in empty tree")
+	}
+	if got := tr.LowerBound(5); got != 0 {
+		t.Errorf("empty LowerBound=%d", got)
+	}
+	tr = Build([]uint32{42}, 16)
+	if rid, ok := tr.Search(42); !ok || rid != 0 {
+		t.Errorf("single: (%d,%v)", rid, ok)
+	}
+	if _, ok := tr.Search(41); ok {
+		t.Error("single: found absent")
+	}
+}
+
+func TestBuildPanicsOnBadSlots(t *testing.T) {
+	for _, slots := range []int{0, 2, 3, 7, 15} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("slots=%d: expected panic", slots)
+				}
+			}()
+			Build([]uint32{1}, slots)
+		}()
+	}
+}
+
+func TestSpaceLargerThanCSSDirectory(t *testing.T) {
+	// §5.2 / Figure 7: B+-trees use more space than CSS-tree directories
+	// because leaves duplicate keys and RIDs.
+	g := workload.New(44)
+	keys := g.SortedDistinct(100000)
+	tr := Build(keys, 16)
+	// Leaves alone are ≥ 2 slots per key = 8 bytes/key.
+	if tr.SpaceBytes() < 8*len(keys) {
+		t.Errorf("space %d implausibly small", tr.SpaceBytes())
+	}
+	if tr.InnerBytes() >= tr.SpaceBytes() {
+		t.Error("inner arena not smaller than total")
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	keys := []uint32{0, 0, 1, ^uint32(0) - 1, ^uint32(0), ^uint32(0)}
+	tr := Build(keys, 4)
+	if rid, ok := tr.Search(0); !ok || rid != 0 {
+		t.Errorf("Search(0)=(%d,%v)", rid, ok)
+	}
+	if rid, ok := tr.Search(^uint32(0)); !ok || rid != 4 {
+		t.Errorf("Search(max)=(%d,%v)", rid, ok)
+	}
+	if got := tr.LowerBound(2); got != 3 {
+		t.Errorf("LowerBound(2)=%d", got)
+	}
+}
+
+func TestLargeRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build in -short mode")
+	}
+	g := workload.New(45)
+	keys := g.SortedDistinct(500000)
+	tr := Build(keys, 16)
+	probes := append(g.Lookups(keys, 10000), g.Misses(keys, 10000)...)
+	for _, k := range probes {
+		if got, want := tr.LowerBound(k), refLowerBound(keys, k); got != want {
+			t.Fatalf("LowerBound(%d)=%d, want %d", k, got, want)
+		}
+	}
+}

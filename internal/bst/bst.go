@@ -1,0 +1,176 @@
+// Package bst implements the pointer-based binary search tree — the "tree
+// binary search" baseline of the paper's Figures 10–11.
+//
+// One key per node, two child pointers, balanced bulk build from the sorted
+// array.  The paper's observation (§3.3, §6.3): a BST performs the same
+// log₂ n comparisons as array binary search but adds pointer dereferences,
+// and each comparison is a potential cache miss, so on modern machines it is
+// sometimes *worse* than binary search on an array — the reverse of the 1986
+// ranking.
+//
+// Nodes live in a flat arena (4-byte links, matching P in Table 1) and are
+// allocated in preorder, which mildly favours the upper levels staying in
+// cache across repeated lookups, like a real allocator building the tree
+// top-down would.
+package bst
+
+import (
+	"fmt"
+
+	"cssidx/internal/mem"
+)
+
+const nilNode = int32(-1)
+
+// Tree is a balanced, search-only binary search tree.  Build with Build.
+type Tree struct {
+	key   []uint32
+	rid   []uint32
+	left  []int32
+	right []int32
+	root  int32
+	n     int
+}
+
+// Build constructs a balanced BST over the sorted slice keys; RIDs are the
+// positions in keys.
+func Build(keys []uint32) *Tree {
+	n := len(keys)
+	t := &Tree{root: nilNode, n: n}
+	if n == 0 {
+		return t
+	}
+	t.key = make([]uint32, n)
+	t.rid = make([]uint32, n)
+	t.left = make([]int32, n)
+	t.right = make([]int32, n)
+	next := int32(0)
+	var build func(lo, hi int) int32
+	build = func(lo, hi int) int32 {
+		if lo >= hi {
+			return nilNode
+		}
+		mid := int(uint(lo+hi) >> 1)
+		id := next
+		next++
+		t.key[id] = keys[mid]
+		t.rid[id] = uint32(mid)
+		t.left[id] = build(lo, mid)
+		t.right[id] = build(mid+1, hi)
+		return id
+	}
+	t.root = build(0, n)
+	return t
+}
+
+// Search returns the RID (sorted-array index) of the leftmost occurrence of
+// key and true, or 0,false if absent.
+func (t *Tree) Search(key uint32) (uint32, bool) {
+	i, found, ok := t.lowerBound(key)
+	if ok && found == key {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// LowerBound returns the smallest sorted-array index whose key is ≥ key,
+// or n.
+func (t *Tree) LowerBound(key uint32) int {
+	i, _, _ := t.lowerBound(key)
+	return i
+}
+
+// lowerBound is the classic BST descent remembering the last node where the
+// search went left; it returns the index, that node's key, and whether any
+// node qualified.
+func (t *Tree) lowerBound(key uint32) (int, uint32, bool) {
+	best, bestKey, ok := t.n, uint32(0), false
+	cur := t.root
+	for cur != nilNode {
+		if t.key[cur] >= key {
+			best, bestKey, ok = int(t.rid[cur]), t.key[cur], true
+			cur = t.left[cur]
+		} else {
+			cur = t.right[cur]
+		}
+	}
+	return best, bestKey, ok
+}
+
+// keyAt returns the key stored for sorted-array index i.  Because the bulk
+// build assigns rid=mid over the sorted array, the node holding rid i holds
+// the i-th smallest key; a descent finds it.
+func (t *Tree) keyAt(i int) (uint32, bool) {
+	cur := t.root
+	lo, hi := 0, t.n
+	for cur != nilNode {
+		mid := int(uint(lo+hi) >> 1)
+		switch {
+		case i == mid:
+			return t.key[cur], true
+		case i < mid:
+			cur, hi = t.left[cur], mid
+		default:
+			cur, lo = t.right[cur], mid+1
+		}
+	}
+	return 0, false
+}
+
+// EqualRange returns [first,last) of sorted-array indexes equal to key.
+func (t *Tree) EqualRange(key uint32) (first, last int) {
+	first = t.LowerBound(key)
+	last = first
+	for last < t.n {
+		if k, ok := t.keyAt(last); !ok || k != key {
+			break
+		}
+		last++
+	}
+	return first, last
+}
+
+// InOrder appends all keys in sorted order to dst and returns it.
+func (t *Tree) InOrder(dst []uint32) []uint32 {
+	var walk func(id int32)
+	walk = func(id int32) {
+		if id == nilNode {
+			return
+		}
+		walk(t.left[id])
+		dst = append(dst, t.key[id])
+		walk(t.right[id])
+	}
+	walk(t.root)
+	return dst
+}
+
+// SpaceBytes returns the arena footprint: key, RID and two links per node
+// (16 bytes per key — why Figure 7 shows binary trees far above CSS-trees).
+func (t *Tree) SpaceBytes() int {
+	return 4 * (len(t.key) + len(t.rid) + len(t.left) + len(t.right))
+}
+
+// Levels returns the tree depth in nodes.
+func (t *Tree) Levels() int {
+	var depth func(id int32) int
+	depth = func(id int32) int {
+		if id == nilNode {
+			return 0
+		}
+		l, r := depth(t.left[id]), depth(t.right[id])
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.root)
+}
+
+// Len returns the number of indexed keys.
+func (t *Tree) Len() int { return t.n }
+
+// String describes the tree for diagnostics.
+func (t *Tree) String() string {
+	return fmt.Sprintf("BST{n=%d levels=%d space=%s}", t.n, t.Levels(), mem.Bytes(t.SpaceBytes()))
+}

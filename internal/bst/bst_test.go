@@ -1,0 +1,150 @@
+package bst
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+func TestExhaustiveSmallArrays(t *testing.T) {
+	for n := 0; n <= 200; n++ {
+		keys := make([]uint32, n)
+		for i := range keys {
+			keys[i] = uint32(3*i + 5)
+		}
+		tr := Build(keys)
+		probes := []uint32{0, ^uint32(0)}
+		for _, k := range keys {
+			probes = append(probes, k, k-1, k+1)
+		}
+		for _, p := range probes {
+			want := refLowerBound(keys, p)
+			if got := tr.LowerBound(p); got != want {
+				t.Fatalf("n=%d: LowerBound(%d)=%d, want %d", n, p, got, want)
+			}
+		}
+	}
+}
+
+func TestSearchFoundAndMissing(t *testing.T) {
+	g := workload.New(60)
+	keys := g.SortedDistinct(20000)
+	tr := Build(keys)
+	for _, k := range g.Lookups(keys, 3000) {
+		rid, ok := tr.Search(k)
+		if !ok || keys[rid] != k {
+			t.Fatalf("Search(%d)=(%d,%v)", k, rid, ok)
+		}
+	}
+	for _, k := range g.Misses(keys, 3000) {
+		if _, ok := tr.Search(k); ok {
+			t.Fatalf("found absent key %d", k)
+		}
+	}
+}
+
+func TestLeftmostDuplicate(t *testing.T) {
+	g := workload.New(61)
+	keys := g.SortedWithDuplicates(20000, 6)
+	tr := Build(keys)
+	for _, k := range g.Lookups(keys, 2000) {
+		rid, ok := tr.Search(k)
+		want := refLowerBound(keys, k)
+		if !ok || int(rid) != want {
+			t.Fatalf("Search(%d)=(%d,%v), want leftmost %d", k, rid, ok, want)
+		}
+	}
+}
+
+func TestEqualRange(t *testing.T) {
+	keys := []uint32{1, 3, 3, 3, 5, 5, 8}
+	tr := Build(keys)
+	cases := []struct {
+		key         uint32
+		first, last int
+	}{
+		{1, 0, 1}, {3, 1, 4}, {5, 4, 6}, {8, 6, 7}, {2, 1, 1}, {9, 7, 7},
+	}
+	for _, c := range cases {
+		f, l := tr.EqualRange(c.key)
+		if f != c.first || l != c.last {
+			t.Errorf("EqualRange(%d)=[%d,%d), want [%d,%d)", c.key, f, l, c.first, c.last)
+		}
+	}
+}
+
+func TestInOrderIsSorted(t *testing.T) {
+	g := workload.New(62)
+	keys := g.SortedWithDuplicates(5000, 3)
+	got := Build(keys).InOrder(nil)
+	if len(got) != len(keys) {
+		t.Fatalf("InOrder returned %d keys", len(got))
+	}
+	for i := range got {
+		if got[i] != keys[i] {
+			t.Fatalf("InOrder[%d]=%d, want %d", i, got[i], keys[i])
+		}
+	}
+}
+
+func TestBalancedDepth(t *testing.T) {
+	g := workload.New(63)
+	keys := g.SortedDistinct(1 << 16)
+	tr := Build(keys)
+	// Perfectly balanced over 2^16 keys: depth 17 max.
+	if d := tr.Levels(); d > 17 {
+		t.Errorf("depth %d, want ≤ 17", d)
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		keys := make([]uint32, len(raw))
+		for i, v := range raw {
+			keys[i] = uint32(v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		return Build(keys).LowerBound(uint32(probe)) == refLowerBound(keys, uint32(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr := Build(nil)
+	if _, ok := tr.Search(1); ok {
+		t.Error("found key in empty tree")
+	}
+	if got := tr.LowerBound(1); got != 0 {
+		t.Errorf("empty LowerBound=%d", got)
+	}
+	tr = Build([]uint32{9})
+	if rid, ok := tr.Search(9); !ok || rid != 0 {
+		t.Errorf("single: (%d,%v)", rid, ok)
+	}
+}
+
+func TestSpaceIs16BytesPerKey(t *testing.T) {
+	tr := Build(make([]uint32, 1000))
+	if got := tr.SpaceBytes(); got != 16000 {
+		t.Errorf("space=%d, want 16000", got)
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	keys := []uint32{0, 0, 1, ^uint32(0) - 1, ^uint32(0), ^uint32(0)}
+	tr := Build(keys)
+	if rid, ok := tr.Search(0); !ok || rid != 0 {
+		t.Errorf("Search(0)=(%d,%v)", rid, ok)
+	}
+	if rid, ok := tr.Search(^uint32(0)); !ok || rid != 4 {
+		t.Errorf("Search(max)=(%d,%v)", rid, ok)
+	}
+}

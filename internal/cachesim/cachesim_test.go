@@ -1,0 +1,225 @@
+package cachesim
+
+import (
+	"testing"
+)
+
+// tiny returns a machine with one small, fully analysable level.
+func tiny(capacity, line, assoc int) *Machine {
+	return &Machine{
+		Name:    "tiny",
+		ClockHz: 1e6,
+		Levels: []Level{
+			{Name: "L1", Capacity: capacity, Line: line, Assoc: assoc, MissPenalty: 10},
+		},
+		CmpCycles:  1,
+		MoveCycles: 1,
+	}
+}
+
+func TestColdMissThenHit(t *testing.T) {
+	h := New(tiny(1024, 64, 1))
+	h.Access(0, 4)
+	h.Access(4, 4) // same line
+	s := h.Stats()
+	if s.Misses[0] != 1 || s.Hits[0] != 1 {
+		t.Errorf("misses=%d hits=%d, want 1/1", s.Misses[0], s.Hits[0])
+	}
+}
+
+func TestAccessSpanningLines(t *testing.T) {
+	h := New(tiny(1024, 64, 1))
+	h.Access(60, 8) // crosses the 64-byte boundary
+	s := h.Stats()
+	if s.Accesses != 2 || s.Misses[0] != 2 {
+		t.Errorf("accesses=%d misses=%d, want 2/2", s.Accesses, s.Misses[0])
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	// capacity 1024, line 64, direct mapped → 16 sets.  Addresses 0 and
+	// 1024 map to set 0 and evict each other every time.
+	h := New(tiny(1024, 64, 1))
+	for i := 0; i < 10; i++ {
+		h.Access(0, 4)
+		h.Access(1024, 4)
+	}
+	s := h.Stats()
+	if s.Hits[0] != 0 {
+		t.Errorf("conflict pair should never hit, got %d hits", s.Hits[0])
+	}
+	if s.Misses[0] != 20 {
+		t.Errorf("misses=%d, want 20", s.Misses[0])
+	}
+}
+
+func TestAssociativityResolvesConflict(t *testing.T) {
+	// Same addresses with 2-way associativity coexist in one set.
+	h := New(tiny(1024, 64, 2))
+	for i := 0; i < 10; i++ {
+		h.Access(0, 4)
+		h.Access(1024, 4)
+	}
+	s := h.Stats()
+	if s.Misses[0] != 2 {
+		t.Errorf("misses=%d, want 2 cold misses", s.Misses[0])
+	}
+	if s.Hits[0] != 18 {
+		t.Errorf("hits=%d, want 18", s.Hits[0])
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	// 2-way set: touch A, B (set full), then A again (A most recent), then
+	// C (evicts B), then A must still hit and B must miss.
+	h := New(tiny(128, 64, 2)) // 1 set of 2 ways
+	A, B, C := uint64(0), uint64(64), uint64(128)
+	h.Access(A, 4)
+	h.Access(B, 4)
+	h.Access(A, 4) // refresh A
+	h.Access(C, 4) // evicts B (LRU)
+	h.Reset()
+	h.Access(A, 4)
+	if h.Stats().Hits[0] != 1 {
+		t.Error("A should still be cached")
+	}
+	h.Access(B, 4)
+	if h.Stats().Misses[0] != 1 {
+		t.Error("B should have been evicted")
+	}
+}
+
+func TestWorkingSetFitsNoCapacityMisses(t *testing.T) {
+	// Sequentially touching a region smaller than the cache twice: second
+	// pass is all hits.
+	h := New(tiny(4096, 64, 1))
+	for pass := 0; pass < 2; pass++ {
+		if pass == 1 {
+			h.Reset()
+		}
+		for a := uint64(0); a < 4096; a += 64 {
+			h.Access(a, 4)
+		}
+	}
+	s := h.Stats()
+	if s.Misses[0] != 0 {
+		t.Errorf("warm pass misses=%d, want 0", s.Misses[0])
+	}
+	if s.Hits[0] != 64 {
+		t.Errorf("warm pass hits=%d, want 64", s.Hits[0])
+	}
+}
+
+func TestTwoLevelPropagation(t *testing.T) {
+	m := &Machine{
+		Name:    "2L",
+		ClockHz: 1e6,
+		Levels: []Level{
+			{Name: "L1", Capacity: 128, Line: 32, Assoc: 1, MissPenalty: 5},
+			{Name: "L2", Capacity: 4096, Line: 32, Assoc: 1, MissPenalty: 50},
+		},
+	}
+	h := New(m)
+	// Touch 16 distinct lines: L1 (4 lines) thrashes, L2 (128 lines) holds all.
+	for pass := 0; pass < 2; pass++ {
+		for a := uint64(0); a < 16*32; a += 32 {
+			h.Access(a, 4)
+		}
+	}
+	s := h.Stats()
+	if s.Misses[1] != 16 {
+		t.Errorf("L2 misses=%d, want 16 cold only", s.Misses[1])
+	}
+	if s.Misses[0] != 32 {
+		t.Errorf("L1 misses=%d, want 32 (thrash both passes)", s.Misses[0])
+	}
+	// Penalty: 32*5 + 16*50 = 960.
+	if got := s.PenaltyCycles(m); got != 960 {
+		t.Errorf("penalty=%v, want 960", got)
+	}
+}
+
+func TestPaperMachinePresets(t *testing.T) {
+	u := UltraSparcII()
+	if u.Levels[0].Sets() != 16<<10/32 {
+		t.Errorf("ultra L1 sets=%d", u.Levels[0].Sets())
+	}
+	if u.Levels[1].Line != 64 || u.Levels[1].Assoc != 1 {
+		t.Error("ultra L2 config wrong")
+	}
+	p := PentiumII()
+	if p.Levels[0].Assoc != 4 || p.Levels[1].Capacity != 512<<10 {
+		t.Error("pentium config wrong")
+	}
+	if p.Levels[1].Line != 32 {
+		t.Error("pentium L2 line must be 32B per §6.1")
+	}
+	// The paper's premise: an L2 miss costs an order of magnitude more than
+	// a comparison.
+	if u.Levels[1].MissPenalty < 10*u.CmpCycles {
+		t.Error("ultra L2 penalty implausibly small")
+	}
+}
+
+func TestModernServerPreset(t *testing.T) {
+	m := ModernServer()
+	if len(m.Levels) != 3 {
+		t.Fatalf("modern machine has %d levels, want 3", len(m.Levels))
+	}
+	if m.Levels[2].Capacity < 100<<20 {
+		t.Error("modern L3 should be huge — that is its whole point")
+	}
+	// Penalties must grow down the hierarchy.
+	for i := 1; i < len(m.Levels); i++ {
+		if m.Levels[i].MissPenalty <= m.Levels[i-1].MissPenalty {
+			t.Errorf("penalty not increasing at level %d", i)
+		}
+	}
+	// The hierarchy must actually instantiate.
+	h := New(m)
+	h.Access(0, 4)
+	if h.Stats().Misses[2] != 1 {
+		t.Error("cold access should miss all three levels")
+	}
+}
+
+func TestAddrAlloc(t *testing.T) {
+	a := NewAddrAlloc()
+	x := a.Alloc(100, 64)
+	y := a.Alloc(10, 64)
+	if x%64 != 0 || y%64 != 0 {
+		t.Error("allocations not aligned")
+	}
+	if y < x+100 {
+		t.Error("allocations overlap")
+	}
+	z := a.Alloc(4, 4096)
+	if z%4096 != 0 {
+		t.Error("page alignment violated")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	for _, m := range []*Machine{
+		{Levels: []Level{{Capacity: 100, Line: 48, Assoc: 1}}},
+		{Levels: []Level{{Capacity: 100, Line: 32, Assoc: 3}}},
+		{Levels: []Level{{Capacity: 64, Line: 32, Assoc: 0}}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			New(m)
+		}()
+	}
+}
+
+func TestZeroSizeAccessIgnored(t *testing.T) {
+	h := New(tiny(1024, 64, 1))
+	h.Access(0, 0)
+	if h.Stats().Accesses != 0 {
+		t.Error("zero-size access counted")
+	}
+}

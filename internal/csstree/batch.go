@@ -1,0 +1,130 @@
+package csstree
+
+// Batched lookups: decision-support plans rarely need one key — an indexed
+// nested-loop join probes millions (§2.2).  Descending a group of
+// independent probes in lockstep lets the out-of-order core overlap their
+// cache misses (memory-level parallelism), recovering much of the miss
+// latency the paper's single-lookup analysis counts one at a time.  This is
+// the batching counterpart of the paper's §8 direction of exploiting cache
+// behaviour across whole operations.
+//
+// The answers are bit-identical to the scalar LowerBound; only the schedule
+// of memory accesses changes.
+
+// batchWidth is the number of probes descended in lockstep.  Wide enough to
+// cover DRAM latency with independent misses, small enough that the group's
+// working state stays in registers/L1.
+const batchWidth = 8
+
+// LowerBoundBatch computes LowerBound for every probe into out
+// (len(out) must equal len(probes)).
+func (t *Full) LowerBoundBatch(probes []uint32, out []int32) {
+	if len(out) != len(probes) {
+		panic("csstree: probes/out length mismatch")
+	}
+	g := &t.g
+	if g.Internal == 0 {
+		for i, p := range probes {
+			out[i] = int32(t.LowerBound(p))
+		}
+		return
+	}
+	var nodes [batchWidth]int32
+	i := 0
+	for ; i+batchWidth <= len(probes); i += batchWidth {
+		group := probes[i : i+batchWidth]
+		for j := range nodes {
+			nodes[j] = 0
+		}
+		// Lockstep descent: advance every probe one level per pass, so the
+		// group issues batchWidth independent node reads back to back.
+		for {
+			active := false
+			for j := 0; j < batchWidth; j++ {
+				d := int(nodes[j])
+				if d > g.LNode {
+					continue
+				}
+				active = true
+				base := d * g.M
+				k := nodeLowerBound32(t.dir[base:base+g.M], group[j])
+				nodes[j] = int32(d*g.Fanout + 1 + k)
+			}
+			if !active {
+				break
+			}
+		}
+		for j := 0; j < batchWidth; j++ {
+			lo, hi := g.LeafRange(int(nodes[j]))
+			out[i+j] = int32(lo + nodeLowerBound32(t.keys[lo:hi], group[j]))
+		}
+	}
+	for ; i < len(probes); i++ {
+		out[i] = int32(t.LowerBound(probes[i]))
+	}
+}
+
+// LowerBoundBatch computes LowerBound for every probe into out
+// (len(out) must equal len(probes)).
+func (t *Level) LowerBoundBatch(probes []uint32, out []int32) {
+	if len(out) != len(probes) {
+		panic("csstree: probes/out length mismatch")
+	}
+	g := &t.g
+	if g.Internal == 0 {
+		for i, p := range probes {
+			out[i] = int32(t.LowerBound(p))
+		}
+		return
+	}
+	var nodes [batchWidth]int32
+	i := 0
+	for ; i+batchWidth <= len(probes); i += batchWidth {
+		group := probes[i : i+batchWidth]
+		for j := range nodes {
+			nodes[j] = 0
+		}
+		for {
+			active := false
+			for j := 0; j < batchWidth; j++ {
+				d := int(nodes[j])
+				if d > g.LNode {
+					continue
+				}
+				active = true
+				base := d * g.M
+				k := nodeLowerBound32(t.dir[base:base+g.M-1], group[j])
+				nodes[j] = int32(d*g.M + 1 + k)
+			}
+			if !active {
+				break
+			}
+		}
+		for j := 0; j < batchWidth; j++ {
+			lo, hi := g.LeafRange(int(nodes[j]))
+			out[i+j] = int32(lo + nodeLowerBound32(t.keys[lo:hi], group[j]))
+		}
+	}
+	for ; i < len(probes); i++ {
+		out[i] = int32(t.LowerBound(probes[i]))
+	}
+}
+
+// nodeLowerBound32 is the in-node leftmost-≥ search used by the batch path;
+// identical semantics to binsearch.NodeLowerBound but local so the compiler
+// can inline it into the lockstep loops.
+func nodeLowerBound32(a []uint32, key uint32) int {
+	lo, hi := 0, len(a)
+	for hi-lo > 5 {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi && a[lo] < key {
+		lo++
+	}
+	return lo
+}

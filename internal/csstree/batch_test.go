@@ -1,0 +1,88 @@
+package csstree
+
+import (
+	"testing"
+
+	"cssidx/internal/workload"
+)
+
+func TestBatchMatchesScalarFull(t *testing.T) {
+	g := workload.New(180)
+	for _, n := range []int{0, 1, 7, 100, 1000, 50000} {
+		keys := g.SortedWithDuplicates(n, 3)
+		tr := BuildFull(keys, 16)
+		probes := append(g.Lookups(keys, 1000), g.Misses(keys, 500)...)
+		probes = append(probes, 0, ^uint32(0)) // odd tail exercises the scalar remainder
+		out := make([]int32, len(probes))
+		tr.LowerBoundBatch(probes, out)
+		for i, p := range probes {
+			if int(out[i]) != tr.LowerBound(p) {
+				t.Fatalf("n=%d: batch[%d]=%d, scalar=%d (key %d)", n, i, out[i], tr.LowerBound(p), p)
+			}
+		}
+	}
+}
+
+func TestBatchMatchesScalarLevel(t *testing.T) {
+	g := workload.New(181)
+	for _, n := range []int{0, 3, 999, 50000} {
+		keys := g.SortedDistinct(n)
+		tr := BuildLevel(keys, 16)
+		probes := append(g.Lookups(keys, 1000), g.Misses(keys, 500)...)
+		out := make([]int32, len(probes))
+		tr.LowerBoundBatch(probes, out)
+		for i, p := range probes {
+			if int(out[i]) != tr.LowerBound(p) {
+				t.Fatalf("n=%d: batch[%d]=%d, scalar=%d (key %d)", n, i, out[i], tr.LowerBound(p), p)
+			}
+		}
+	}
+}
+
+func TestBatchSmallerThanWidth(t *testing.T) {
+	keys := []uint32{10, 20, 30}
+	tr := BuildFull(keys, 16)
+	probes := []uint32{5, 20, 35}
+	out := make([]int32, 3)
+	tr.LowerBoundBatch(probes, out)
+	want := []int32{0, 1, 3}
+	for i := range out {
+		if out[i] != want[i] {
+			t.Errorf("out[%d]=%d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestBatchLengthMismatchPanics(t *testing.T) {
+	tr := BuildFull([]uint32{1, 2, 3}, 16)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tr.LowerBoundBatch(make([]uint32, 4), make([]int32, 3))
+}
+
+func BenchmarkBatchVsScalar(b *testing.B) {
+	g := workload.New(182)
+	keys := g.SortedUniform(10_000_000)
+	probes := g.Lookups(keys, 100_000)
+	full := BuildFull(keys, 16)
+	out := make([]int32, len(probes))
+	b.Run("scalar", func(b *testing.B) {
+		s := 0
+		for i := 0; i < b.N; i++ {
+			s += full.LowerBound(probes[i%len(probes)])
+		}
+		sinkBatch += s
+	})
+	b.Run("batch", func(b *testing.B) {
+		for i := 0; i < b.N; i += len(probes) {
+			full.LowerBoundBatch(probes, out)
+		}
+		b.SetBytes(0)
+		sinkBatch += int(out[0])
+	})
+}
+
+var sinkBatch int

@@ -1,0 +1,366 @@
+package csstree
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+// searcher abstracts the two tree variants so every behaviour is tested on
+// both through one suite.
+type searcher interface {
+	Search(key uint32) int
+	LowerBound(key uint32) int
+	EqualRange(key uint32) (int, int)
+	LowerBoundGeneric(key uint32) int
+	SpaceBytes() int
+	Levels() int
+}
+
+func buildBoth(t *testing.T, keys []uint32, m int) map[string]searcher {
+	t.Helper()
+	s := map[string]searcher{
+		fmt.Sprintf("full/m=%d", m): BuildFull(keys, m),
+	}
+	if m&(m-1) == 0 {
+		s[fmt.Sprintf("level/m=%d", m)] = BuildLevel(keys, m)
+	}
+	return s
+}
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+// probesFor returns a punishing probe set: every key, its neighbours, and
+// the extremes.
+func probesFor(keys []uint32) []uint32 {
+	probes := make([]uint32, 0, 3*len(keys)+2)
+	for _, k := range keys {
+		probes = append(probes, k)
+		if k > 0 {
+			probes = append(probes, k-1)
+		}
+		if k < ^uint32(0) {
+			probes = append(probes, k+1)
+		}
+	}
+	return append(probes, 0, ^uint32(0))
+}
+
+func TestExhaustiveSmallArrays(t *testing.T) {
+	// Every (n, m) combination for small sizes, probing all keys and gaps.
+	// This sweeps every padding/dangling/region-switch edge case.
+	for _, m := range []int{2, 3, 4, 5, 8, 16} {
+		for n := 0; n <= 130; n++ {
+			keys := make([]uint32, n)
+			for i := range keys {
+				keys[i] = uint32(3*i + 5) // gaps of 3 → misses between keys
+			}
+			for name, tr := range buildBoth(t, keys, m) {
+				for _, p := range probesFor(keys) {
+					want := refLowerBound(keys, p)
+					if got := tr.LowerBound(p); got != want {
+						t.Fatalf("%s n=%d: LowerBound(%d)=%d, want %d", name, n, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSearchFoundAndMissing(t *testing.T) {
+	g := workload.New(30)
+	keys := g.SortedDistinct(20000)
+	for _, m := range []int{4, 8, 16, 32, 64} {
+		for name, tr := range buildBoth(t, keys, m) {
+			for _, k := range g.Lookups(keys, 3000) {
+				got := tr.Search(k)
+				if got < 0 || keys[got] != k {
+					t.Fatalf("%s: Search(%d)=%d", name, k, got)
+				}
+			}
+			for _, k := range g.Misses(keys, 3000) {
+				if got := tr.Search(k); got != -1 {
+					t.Fatalf("%s: absent key %d found at %d", name, k, got)
+				}
+			}
+		}
+	}
+}
+
+func TestLeftmostDuplicate(t *testing.T) {
+	g := workload.New(31)
+	keys := g.SortedWithDuplicates(30000, 8)
+	for _, m := range []int{4, 16, 32} {
+		for name, tr := range buildBoth(t, keys, m) {
+			for _, k := range g.Lookups(keys, 3000) {
+				want := refLowerBound(keys, k)
+				if got := tr.Search(k); got != want {
+					t.Fatalf("%s: Search(%d)=%d, want leftmost %d", name, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestDuplicateRunsSpanningManyNodes(t *testing.T) {
+	// A single value repeated across multiple leaves and internal nodes:
+	// the 4.1.1 duplicate-routing guarantee must still find index 0 of the run.
+	keys := make([]uint32, 10000)
+	for i := range keys {
+		switch {
+		case i < 3000:
+			keys[i] = 100
+		case i < 9000:
+			keys[i] = 200
+		default:
+			keys[i] = 300
+		}
+	}
+	for _, m := range []int{4, 16} {
+		for name, tr := range buildBoth(t, keys, m) {
+			if got := tr.Search(100); got != 0 {
+				t.Errorf("%s: Search(100)=%d, want 0", name, got)
+			}
+			if got := tr.Search(200); got != 3000 {
+				t.Errorf("%s: Search(200)=%d, want 3000", name, got)
+			}
+			if got := tr.Search(300); got != 9000 {
+				t.Errorf("%s: Search(300)=%d, want 9000", name, got)
+			}
+			if got := tr.Search(150); got != -1 {
+				t.Errorf("%s: Search(150)=%d, want -1", name, got)
+			}
+			f, l := tr.EqualRange(200)
+			if f != 3000 || l != 9000 {
+				t.Errorf("%s: EqualRange(200)=[%d,%d)", name, f, l)
+			}
+		}
+	}
+}
+
+func TestEqualRangeAgainstReference(t *testing.T) {
+	g := workload.New(32)
+	keys := g.SortedWithDuplicates(8000, 5)
+	for name, tr := range buildBoth(t, keys, 16) {
+		probes := append(g.Lookups(keys, 1000), g.Misses(keys, 1000)...)
+		for _, k := range probes {
+			f, l := tr.EqualRange(k)
+			wantF := refLowerBound(keys, k)
+			wantL := sort.Search(len(keys), func(i int) bool { return keys[i] > k })
+			if f != wantF || l != wantL {
+				t.Fatalf("%s: EqualRange(%d)=[%d,%d), want [%d,%d)", name, k, f, l, wantF, wantL)
+			}
+		}
+	}
+}
+
+func TestGenericSearchAgrees(t *testing.T) {
+	g := workload.New(33)
+	keys := g.SortedDistinct(5000)
+	for _, m := range []int{8, 16, 24, 32} { // 24: non-power-of-two full tree
+		for name, tr := range buildBoth(t, keys, m) {
+			probes := append(g.Lookups(keys, 500), g.Misses(keys, 500)...)
+			for _, k := range probes {
+				if a, b := tr.LowerBound(k), tr.LowerBoundGeneric(k); a != b {
+					t.Fatalf("%s: specialised %d vs generic %d for key %d", name, a, b, k)
+				}
+			}
+		}
+	}
+}
+
+func TestNonMultipleSizes(t *testing.T) {
+	// n deliberately not a multiple of m, including n = B·m − 1 and B·m + 1.
+	g := workload.New(34)
+	for _, m := range []int{4, 16} {
+		for _, n := range []int{m + 1, 2*m - 1, 2*m + 1, 17*m - 3, 1000, 1001, 1023, 4097} {
+			keys := g.SortedDistinct(n)
+			for name, tr := range buildBoth(t, keys, m) {
+				probes := append(g.Lookups(keys, 500), g.Misses(keys, 500)...)
+				for _, k := range probes {
+					want := refLowerBound(keys, k)
+					if got := tr.LowerBound(k); got != want {
+						t.Fatalf("%s n=%d: LowerBound(%d)=%d, want %d", name, n, k, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestLargeTreeAgainstReference(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large build in -short mode")
+	}
+	g := workload.New(35)
+	keys := g.SortedDistinct(1_000_000)
+	for _, m := range []int{16, 32} {
+		for name, tr := range buildBoth(t, keys, m) {
+			probes := append(g.Lookups(keys, 20000), g.Misses(keys, 20000)...)
+			for _, k := range probes {
+				want := refLowerBound(keys, k)
+				if got := tr.LowerBound(k); got != want {
+					t.Fatalf("%s: LowerBound(%d)=%d, want %d", name, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16, mSel uint8) bool {
+		ms := []int{2, 4, 8, 16}
+		m := ms[int(mSel)%len(ms)]
+		keys := make([]uint32, len(raw))
+		for i, v := range raw {
+			keys[i] = uint32(v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		want := refLowerBound(keys, uint32(probe))
+		return BuildFull(keys, m).LowerBound(uint32(probe)) == want &&
+			BuildLevel(keys, m).LowerBound(uint32(probe)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBoundaryKeyValues(t *testing.T) {
+	keys := []uint32{0, 0, 1, 5, ^uint32(0) - 1, ^uint32(0), ^uint32(0)}
+	for name, tr := range buildBoth(t, keys, 2) {
+		if got := tr.Search(0); got != 0 {
+			t.Errorf("%s: Search(0)=%d", name, got)
+		}
+		if got := tr.Search(^uint32(0)); got != 5 {
+			t.Errorf("%s: Search(max)=%d", name, got)
+		}
+		if got := tr.LowerBound(^uint32(0) - 1); got != 4 {
+			t.Errorf("%s: LowerBound(max-1)=%d", name, got)
+		}
+		if got := tr.Search(2); got != -1 {
+			t.Errorf("%s: Search(2)=%d", name, got)
+		}
+	}
+}
+
+func TestEmptyAndTinyTrees(t *testing.T) {
+	for name, tr := range buildBoth(t, nil, 16) {
+		if got := tr.Search(5); got != -1 {
+			t.Errorf("%s empty: %d", name, got)
+		}
+		if got := tr.LowerBound(5); got != 0 {
+			t.Errorf("%s empty LowerBound: %d", name, got)
+		}
+		if tr.SpaceBytes() != 0 {
+			t.Errorf("%s empty: directory %d bytes", name, tr.SpaceBytes())
+		}
+	}
+	one := []uint32{42}
+	for name, tr := range buildBoth(t, one, 16) {
+		if got := tr.Search(42); got != 0 {
+			t.Errorf("%s single: %d", name, got)
+		}
+		if got := tr.Search(41); got != -1 {
+			t.Errorf("%s single miss: %d", name, got)
+		}
+	}
+}
+
+func TestBuildLevelRejectsNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for m=24")
+		}
+	}()
+	BuildLevel([]uint32{1, 2, 3}, 24)
+}
+
+func TestLevelsCount(t *testing.T) {
+	g := workload.New(36)
+	keys := g.SortedDistinct(78400) // 4900 leaves of 16 keys
+	full := BuildFull(keys, 16)
+	level := BuildLevel(keys, 16)
+	// Full tree fanout 17: 17²=289 < 4900 ≤ 17³=4913 → depth 3 → 4 levels.
+	// Level tree fanout 16: 16³=4096 < 4900 ≤ 16⁴ → depth 4 → 5 levels.
+	if full.Levels() != 4 {
+		t.Errorf("full levels=%d, want 4", full.Levels())
+	}
+	if level.Levels() != 5 {
+		t.Errorf("level levels=%d, want 5", level.Levels())
+	}
+	// The paper's tradeoff: level trees are never shallower than full trees.
+	if level.Levels() < full.Levels() {
+		t.Error("level tree shallower than full tree")
+	}
+}
+
+func TestSpaceLevelVsFull(t *testing.T) {
+	// §5.2: level trees use slightly more space than full trees
+	// (nK²/(sc−K) vs nK²/sc) since only m−1 of m slots route.
+	g := workload.New(37)
+	keys := g.SortedDistinct(500000)
+	full := BuildFull(keys, 16).SpaceBytes()
+	level := BuildLevel(keys, 16).SpaceBytes()
+	if level <= full {
+		t.Errorf("level directory %d ≤ full directory %d; paper says level is larger", level, full)
+	}
+	if float64(level) > 1.3*float64(full) {
+		t.Errorf("level directory %d far larger than full %d", level, full)
+	}
+}
+
+func TestDirectoryIsAligned(t *testing.T) {
+	g := workload.New(38)
+	keys := g.SortedDistinct(10000)
+	full := BuildFull(keys, 16)
+	if len(full.dir) == 0 {
+		t.Fatal("no directory")
+	}
+	// Alignment is asserted inside mem.AlignedU32; spot-check node stride:
+	// node size 16 keys = 64 bytes = exactly one cache line.
+	if full.M()*4 != 64 {
+		t.Fatalf("m=16 node is %d bytes", full.M()*4)
+	}
+}
+
+func TestKeysAccessorSharesArray(t *testing.T) {
+	keys := []uint32{1, 2, 3, 4, 5}
+	tr := BuildFull(keys, 2)
+	if &tr.Keys()[0] != &keys[0] {
+		t.Error("tree copied the sorted array; it must be a directory over the caller's array")
+	}
+}
+
+func TestStringDiagnostics(t *testing.T) {
+	g := workload.New(39)
+	keys := g.SortedDistinct(1000)
+	if s := BuildFull(keys, 16).String(); s == "" {
+		t.Error("empty String()")
+	}
+	if s := BuildLevel(keys, 16).String(); s == "" {
+		t.Error("empty String()")
+	}
+}
+
+func TestAllEqualKeysEntireArray(t *testing.T) {
+	keys := make([]uint32, 5000)
+	for i := range keys {
+		keys[i] = 7
+	}
+	for name, tr := range buildBoth(t, keys, 16) {
+		if got := tr.Search(7); got != 0 {
+			t.Errorf("%s: Search(7)=%d, want 0", name, got)
+		}
+		if got := tr.Search(6); got != -1 {
+			t.Errorf("%s: Search(6)=%d", name, got)
+		}
+		if got := tr.LowerBound(8); got != 5000 {
+			t.Errorf("%s: LowerBound(8)=%d", name, got)
+		}
+	}
+}

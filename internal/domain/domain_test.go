@@ -1,0 +1,153 @@
+package domain
+
+import (
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+func TestBuildIntRoundTrip(t *testing.T) {
+	col := []uint32{30, 10, 20, 10, 30, 30}
+	d, ids := BuildInt(col)
+	if d.Len() != 3 {
+		t.Fatalf("distinct=%d, want 3", d.Len())
+	}
+	for i, v := range col {
+		if got := d.Value(ids[i]); got != v {
+			t.Errorf("row %d: decode(%d)=%d, want %d", i, ids[i], got, v)
+		}
+	}
+	// IDs are ranks: 10→0, 20→1, 30→2.
+	wantIDs := []uint32{2, 0, 1, 0, 2, 2}
+	for i := range ids {
+		if ids[i] != wantIDs[i] {
+			t.Errorf("ids[%d]=%d, want %d", i, ids[i], wantIDs[i])
+		}
+	}
+}
+
+func TestIntIDOrderPreservesValueOrder(t *testing.T) {
+	g := workload.New(110)
+	col := g.Shuffled(g.SortedDistinct(5000))
+	d, _ := BuildInt(col)
+	f := func(a, b uint32) bool {
+		ia, oka := d.ID(d.Value(a % uint32(d.Len())))
+		ib, okb := d.ID(d.Value(b % uint32(d.Len())))
+		if !oka || !okb {
+			return false
+		}
+		va, vb := d.Value(ia), d.Value(ib)
+		return (va < vb) == (ia < ib) || va == vb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntIDAbsent(t *testing.T) {
+	d, _ := BuildInt([]uint32{2, 4, 6})
+	if _, ok := d.ID(3); ok {
+		t.Error("found absent value")
+	}
+	if id, ok := d.ID(4); !ok || id != 1 {
+		t.Errorf("ID(4)=(%d,%v)", id, ok)
+	}
+}
+
+func TestIntIDRange(t *testing.T) {
+	d, _ := BuildInt([]uint32{10, 20, 30, 40, 50})
+	cases := []struct {
+		lo, hi       uint32
+		wantL, wantH uint32
+	}{
+		{20, 40, 1, 4},        // values 20,30,40
+		{15, 45, 1, 4},        // same: predicate bounds between values
+		{0, 5, 0, 0},          // empty below
+		{60, 99, 5, 5},        // empty above
+		{10, 50, 0, 5},        // everything
+		{30, 30, 2, 3},        // point
+		{0, ^uint32(0), 0, 5}, // full key space
+	}
+	for _, c := range cases {
+		l, h := d.IDRange(c.lo, c.hi)
+		if l != c.wantL || h != c.wantH {
+			t.Errorf("IDRange(%d,%d)=(%d,%d), want (%d,%d)", c.lo, c.hi, l, h, c.wantL, c.wantH)
+		}
+	}
+}
+
+func TestIntLargeDomain(t *testing.T) {
+	g := workload.New(111)
+	col := g.Shuffled(g.SortedDistinct(200000))
+	d, ids := BuildInt(col)
+	if d.Len() != 200000 {
+		t.Fatalf("distinct=%d", d.Len())
+	}
+	for i := 0; i < len(col); i += 997 {
+		if d.Value(ids[i]) != col[i] {
+			t.Fatalf("round trip failed at %d", i)
+		}
+	}
+}
+
+func TestIntSpaceAccounting(t *testing.T) {
+	d, _ := BuildInt([]uint32{1, 2, 3, 4, 5})
+	if d.SpaceBytes() < 20 {
+		t.Errorf("space=%d below raw values", d.SpaceBytes())
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	col := []string{"pear", "apple", "mango", "apple"}
+	d, ids := BuildString(col)
+	if d.Len() != 3 {
+		t.Fatalf("distinct=%d", d.Len())
+	}
+	for i, v := range col {
+		if d.Value(ids[i]) != v {
+			t.Errorf("row %d decode mismatch", i)
+		}
+	}
+	// Sorted: apple=0, mango=1, pear=2 — equality on IDs == equality on values.
+	if ids[1] != ids[3] {
+		t.Error("equal strings got different IDs")
+	}
+	if !(ids[1] < ids[2] && ids[2] < ids[0]) {
+		t.Errorf("ID order should follow string order: %v", ids)
+	}
+}
+
+func TestStringIDRange(t *testing.T) {
+	d, _ := BuildString([]string{"ant", "bee", "cat", "dog"})
+	l, h := d.IDRange("bee", "cat")
+	if l != 1 || h != 3 {
+		t.Errorf("IDRange(bee,cat)=(%d,%d), want (1,3)", l, h)
+	}
+	l, h = d.IDRange("ba", "bz")
+	if l != 1 || h != 2 {
+		t.Errorf("IDRange(ba,bz)=(%d,%d), want (1,2)", l, h)
+	}
+	l, h = d.IDRange("x", "z")
+	if l != h {
+		t.Errorf("empty range got (%d,%d)", l, h)
+	}
+}
+
+func TestStringAbsent(t *testing.T) {
+	d, _ := BuildString([]string{"a", "c"})
+	if _, ok := d.ID("b"); ok {
+		t.Error("found absent string")
+	}
+}
+
+func TestEmptyDomains(t *testing.T) {
+	d, ids := BuildInt(nil)
+	if d.Len() != 0 || len(ids) != 0 {
+		t.Error("empty int domain mishandled")
+	}
+	sd, sids := BuildString(nil)
+	if sd.Len() != 0 || len(sids) != 0 {
+		t.Error("empty string domain mishandled")
+	}
+}

@@ -1,0 +1,206 @@
+// Package hashidx implements chained bucket hashing the way the paper
+// (§3.5, §6.2) configures it, following Graefe et al. [GBC98]: the bucket
+// size is the cache-line size, each bucket holds a slot counter, an overflow
+// link, and as many ⟨key,RID⟩ pairs as fit, and the hash function is simply
+// the low-order bits of the key ("cheap to compute").
+//
+// Hashing is the time/space extreme of the paper's trade-off: with a large
+// enough directory it answers lookups in about a third of a CSS-tree's time,
+// but the directory plus chains cost roughly 20× the space of the CSS-tree
+// directory, it cannot answer range queries, and an ordered RID list must be
+// kept separately for ordered access (the "direct" space column of
+// Figure 7).  Skewed key sets lengthen chains and erode the advantage,
+// which ChainStats makes observable.
+package hashidx
+
+import (
+	"fmt"
+
+	"cssidx/internal/mem"
+)
+
+// noNext marks a bucket without an overflow link.
+const noNext = ^uint32(0)
+
+// Layout of a bucket in uint32 slots: [count, next, k0, r0, k1, r1, …].
+const bucketHeader = 2
+
+// Table is a chained-bucket hash index over 4-byte keys.  Build with Build.
+type Table struct {
+	buckets    []uint32 // directory buckets then overflow buckets, slotsPerBucket each
+	slots      int      // uint32 slots per bucket (cache line / 4)
+	pairsPer   int      // pairs per bucket
+	dirSize    int      // directory buckets (power of two)
+	mask       uint32   // dirSize-1
+	n          int
+	overflowCt int
+}
+
+// Build constructs a hash table over keys (not necessarily sorted); RIDs are
+// positions in keys.  dirSize must be a power of two; bucketBytes is the
+// bucket size in bytes (use mem.CacheLine to match the paper) and must hold
+// the header plus at least one pair.
+func Build(keys []uint32, dirSize, bucketBytes int) *Table {
+	if !mem.IsPow2(dirSize) {
+		panic(fmt.Sprintf("hashidx: directory size %d is not a power of two", dirSize))
+	}
+	slots := bucketBytes / 4
+	if bucketBytes%4 != 0 || slots < bucketHeader+2 {
+		panic(fmt.Sprintf("hashidx: bucket size %d bytes cannot hold a pair", bucketBytes))
+	}
+	t := &Table{
+		slots:    slots,
+		pairsPer: (slots - bucketHeader) / 2,
+		dirSize:  dirSize,
+		mask:     uint32(dirSize - 1),
+		n:        len(keys),
+	}
+
+	// Two-pass bulk build: size every chain first, then fill.  All space is
+	// preallocated once and stays cache-line aligned (the paper's footnote:
+	// "in a main memory database system, all the space will be preallocated
+	// once").
+	counts := make([]int, dirSize)
+	for _, k := range keys {
+		counts[k&t.mask]++
+	}
+	totalBuckets := dirSize
+	for _, c := range counts {
+		if c > t.pairsPer {
+			totalBuckets += mem.CeilDiv(c, t.pairsPer) - 1
+		}
+	}
+	t.overflowCt = totalBuckets - dirSize
+	t.buckets = mem.AlignedU32(totalBuckets*slots, mem.CacheLine)
+	// Pre-link each chain; overflow buckets are handed out sequentially.
+	nextFree := dirSize
+	cursor := make([]int, dirSize) // current tail bucket per directory slot
+	for d := 0; d < dirSize; d++ {
+		cursor[d] = d
+		need := 0
+		if counts[d] > t.pairsPer {
+			need = mem.CeilDiv(counts[d], t.pairsPer) - 1
+		}
+		b := d
+		for o := 0; o < need; o++ {
+			t.buckets[b*slots+1] = uint32(nextFree)
+			b = nextFree
+			nextFree++
+		}
+		t.buckets[b*slots+1] = noNext
+	}
+	// Fill in insertion order, preserving lowest-RID-first within chains
+	// (leftmost-duplicate semantics shared with the ordered methods).
+	for i, k := range keys {
+		d := int(k & t.mask)
+		b := cursor[d]
+		base := b * slots
+		cnt := int(t.buckets[base])
+		if cnt == t.pairsPer {
+			b = int(t.buckets[base+1])
+			cursor[d] = b
+			base = b * slots
+			cnt = 0
+		}
+		t.buckets[base+bucketHeader+2*cnt] = k
+		t.buckets[base+bucketHeader+2*cnt+1] = uint32(i)
+		t.buckets[base] = uint32(cnt + 1)
+	}
+	return t
+}
+
+// Search returns the RID of the first-inserted occurrence of key and true,
+// or 0,false if absent.
+func (t *Table) Search(key uint32) (uint32, bool) {
+	b := int(key & t.mask)
+	for {
+		base := b * t.slots
+		cnt := int(t.buckets[base])
+		for i := 0; i < cnt; i++ {
+			if t.buckets[base+bucketHeader+2*i] == key {
+				return t.buckets[base+bucketHeader+2*i+1], true
+			}
+		}
+		next := t.buckets[base+1]
+		if next == noNext {
+			return 0, false
+		}
+		b = int(next)
+	}
+}
+
+// SearchAll appends the RIDs of every occurrence of key to dst and returns
+// it — §3.6: "hashing needs to search the entire bucket for all the
+// matches" (here: the entire chain).
+func (t *Table) SearchAll(key uint32, dst []uint32) []uint32 {
+	b := int(key & t.mask)
+	for {
+		base := b * t.slots
+		cnt := int(t.buckets[base])
+		for i := 0; i < cnt; i++ {
+			if t.buckets[base+bucketHeader+2*i] == key {
+				dst = append(dst, t.buckets[base+bucketHeader+2*i+1])
+			}
+		}
+		next := t.buckets[base+1]
+		if next == noNext {
+			return dst
+		}
+		b = int(next)
+	}
+}
+
+// SpaceBytes returns the arena footprint: directory plus overflow buckets.
+// The paper's "indirect" accounting ((h−1)·n·R) counts only the overhead
+// beyond raw pairs; we report the whole structure, which is what the
+// "direct" column of Figure 7 uses.
+func (t *Table) SpaceBytes() int { return mem.SliceBytes(t.buckets) }
+
+// DirSize returns the number of directory buckets.
+func (t *Table) DirSize() int { return t.dirSize }
+
+// RawBuckets returns the bucket arena (read-only), exposed for the cache
+// simulator which replays bucket accesses address by address.
+func (t *Table) RawBuckets() []uint32 { return t.buckets }
+
+// SlotsPerBucket returns the bucket size in uint32 slots.
+func (t *Table) SlotsPerBucket() int { return t.slots }
+
+// OverflowBuckets returns how many chain buckets were allocated beyond the
+// directory.
+func (t *Table) OverflowBuckets() int { return t.overflowCt }
+
+// Len returns the number of indexed keys.
+func (t *Table) Len() int { return t.n }
+
+// ChainStats reports chain-length statistics in buckets: the average and
+// maximum number of buckets a lookup may traverse, and the load factor in
+// pairs per directory bucket.  Long maxima under skewed keys are the §3.5
+// caveat ("skewed data can seriously affect the performance of hash
+// indices").
+func (t *Table) ChainStats() (avgBuckets float64, maxBuckets int, loadFactor float64) {
+	totalBuckets := 0
+	for d := 0; d < t.dirSize; d++ {
+		length := 1
+		b := d
+		for {
+			next := t.buckets[b*t.slots+1]
+			if next == noNext {
+				break
+			}
+			b = int(next)
+			length++
+		}
+		totalBuckets += length
+		if length > maxBuckets {
+			maxBuckets = length
+		}
+	}
+	return float64(totalBuckets) / float64(t.dirSize), maxBuckets, float64(t.n) / float64(t.dirSize)
+}
+
+// String describes the table for diagnostics.
+func (t *Table) String() string {
+	return fmt.Sprintf("hash{n=%d dir=%d overflow=%d space=%s}",
+		t.n, t.dirSize, t.overflowCt, mem.Bytes(t.SpaceBytes()))
+}

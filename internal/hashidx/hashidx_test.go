@@ -1,0 +1,216 @@
+package hashidx
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/mem"
+	"cssidx/internal/workload"
+)
+
+func TestSearchFoundAndMissing(t *testing.T) {
+	g := workload.New(70)
+	keys := g.SortedDistinct(20000)
+	for _, dir := range []int{1 << 8, 1 << 12, 1 << 15} {
+		tab := Build(keys, dir, mem.CacheLine)
+		for _, k := range g.Lookups(keys, 3000) {
+			rid, ok := tab.Search(k)
+			if !ok || keys[rid] != k {
+				t.Fatalf("dir=%d: Search(%d)=(%d,%v)", dir, k, rid, ok)
+			}
+		}
+		for _, k := range g.Misses(keys, 3000) {
+			if _, ok := tab.Search(k); ok {
+				t.Fatalf("dir=%d: found absent key %d", dir, k)
+			}
+		}
+	}
+}
+
+func TestTinyDirectoryForcesChains(t *testing.T) {
+	g := workload.New(71)
+	keys := g.SortedDistinct(5000)
+	tab := Build(keys, 4, mem.CacheLine) // 4 buckets × 7 pairs: heavy overflow
+	if tab.OverflowBuckets() == 0 {
+		t.Fatal("expected overflow buckets")
+	}
+	for _, k := range g.Lookups(keys, 1000) {
+		rid, ok := tab.Search(k)
+		if !ok || keys[rid] != k {
+			t.Fatalf("Search(%d)=(%d,%v)", k, rid, ok)
+		}
+	}
+	for _, k := range g.Misses(keys, 1000) {
+		if _, ok := tab.Search(k); ok {
+			t.Fatalf("found absent key %d", k)
+		}
+	}
+}
+
+func TestFirstInsertedWinsOnDuplicates(t *testing.T) {
+	g := workload.New(72)
+	keys := g.SortedWithDuplicates(10000, 5)
+	tab := Build(keys, 1<<10, mem.CacheLine)
+	for _, k := range g.Lookups(keys, 2000) {
+		rid, ok := tab.Search(k)
+		want := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if !ok || int(rid) != want {
+			t.Fatalf("Search(%d)=(%d,%v), want leftmost %d", k, rid, ok, want)
+		}
+	}
+}
+
+func TestSearchAllFindsEveryDuplicate(t *testing.T) {
+	keys := []uint32{7, 7, 7, 12, 12, 99}
+	tab := Build(keys, 8, mem.CacheLine)
+	rids := tab.SearchAll(7, nil)
+	if len(rids) != 3 {
+		t.Fatalf("SearchAll(7) returned %d rids", len(rids))
+	}
+	seen := map[uint32]bool{}
+	for _, r := range rids {
+		seen[r] = true
+	}
+	for want := uint32(0); want < 3; want++ {
+		if !seen[want] {
+			t.Errorf("SearchAll(7) missing rid %d", want)
+		}
+	}
+	if got := tab.SearchAll(8, nil); len(got) != 0 {
+		t.Errorf("SearchAll(8) returned %v", got)
+	}
+}
+
+func TestChainStatsUniform(t *testing.T) {
+	g := workload.New(73)
+	keys := g.SortedDistinct(1 << 14)
+	tab := Build(keys, 1<<12, mem.CacheLine) // load factor 4 pairs/bucket < 7
+	avg, max, load := tab.ChainStats()
+	if load != 4 {
+		t.Errorf("load factor %v, want 4", load)
+	}
+	if avg > 1.2 {
+		t.Errorf("uniform keys: avg chain %.2f buckets, want ≈1", avg)
+	}
+	if max > 4 {
+		t.Errorf("uniform keys: max chain %d buckets", max)
+	}
+}
+
+func TestChainStatsSkewedClustersCollide(t *testing.T) {
+	// Low-order-bit hashing is the paper's cheap function; keys sharing low
+	// bits (stride = dirSize) all collide — the §3.5 skew caveat.
+	dir := 1 << 8
+	keys := make([]uint32, 2000)
+	for i := range keys {
+		keys[i] = uint32(i * dir) // identical low bits
+	}
+	tab := Build(keys, dir, mem.CacheLine)
+	_, max, _ := tab.ChainStats()
+	if max < 100 {
+		t.Errorf("adversarial keys: max chain %d buckets, expected a long chain", max)
+	}
+	// Still correct, just slow.
+	for _, k := range []uint32{0, uint32(dir), uint32(1999 * dir)} {
+		if _, ok := tab.Search(k); !ok {
+			t.Errorf("Search(%d) missed", k)
+		}
+	}
+}
+
+func TestSpaceGrowsWithDirectory(t *testing.T) {
+	g := workload.New(74)
+	keys := g.SortedDistinct(10000)
+	small := Build(keys, 1<<8, mem.CacheLine).SpaceBytes()
+	large := Build(keys, 1<<16, mem.CacheLine).SpaceBytes()
+	if large <= small {
+		t.Errorf("space should grow with directory: %d vs %d", small, large)
+	}
+	// §6.3: a fast hash table costs far more than the raw pairs.
+	if large < 8*len(keys) {
+		t.Errorf("large directory %d below pair bytes", large)
+	}
+}
+
+func TestBuildPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Build([]uint32{1}, 3, 64) },  // non-power-of-two dir
+		func() { Build([]uint32{1}, 8, 12) },  // bucket too small for a pair
+		func() { Build([]uint32{1}, 8, 14) },  // not a multiple of 4
+		func() { Build([]uint32{1}, 0, 64) },  // zero directory
+		func() { Build([]uint32{1}, -4, 64) }, // negative
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := Build(nil, 16, mem.CacheLine)
+	if _, ok := tab.Search(1); ok {
+		t.Error("found key in empty table")
+	}
+	if tab.OverflowBuckets() != 0 {
+		t.Error("overflow in empty table")
+	}
+}
+
+func TestQuickPropertyMembership(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		keys := make([]uint32, len(raw))
+		present := map[uint32]int{}
+		for i, v := range raw {
+			keys[i] = uint32(v)
+			if _, seen := present[uint32(v)]; !seen {
+				present[uint32(v)] = i
+			}
+		}
+		tab := Build(keys, 64, mem.CacheLine)
+		rid, ok := tab.Search(uint32(probe))
+		wantRID, wantOK := present[uint32(probe)]
+		if ok != wantOK {
+			return false
+		}
+		return !ok || int(rid) == wantRID
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBucketGeometry(t *testing.T) {
+	// 64-byte bucket = 16 slots: count + next + 7 pairs.
+	tab := Build([]uint32{1, 2, 3}, 4, 64)
+	if tab.pairsPer != 7 {
+		t.Errorf("pairsPer=%d, want 7", tab.pairsPer)
+	}
+	// 32-byte bucket (the paper's Pentium L1 line) = count + next + 3 pairs.
+	tab = Build([]uint32{1, 2, 3}, 4, 32)
+	if tab.pairsPer != 3 {
+		t.Errorf("pairsPer=%d, want 3", tab.pairsPer)
+	}
+}
+
+func TestExactOverflowAccounting(t *testing.T) {
+	// 1 bucket directory, 7 pairs per bucket, 30 keys → 1 + ceil(30/7)-1 = 5 buckets.
+	keys := make([]uint32, 30)
+	for i := range keys {
+		keys[i] = uint32(i)
+	}
+	tab := Build(keys, 1, mem.CacheLine)
+	if tab.OverflowBuckets() != 4 {
+		t.Errorf("overflow=%d, want 4", tab.OverflowBuckets())
+	}
+	for _, k := range keys {
+		if rid, ok := tab.Search(k); !ok || rid != k {
+			t.Fatalf("Search(%d)=(%d,%v)", k, rid, ok)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+// Package interp implements interpolation search over a sorted array of
+// 4-byte keys.
+//
+// The paper's finding (§1, §6.3): interpolation search "performs well only
+// for data sets that behave linearly. It doesn't perform very well on random
+// data and performs even worse on non-uniform data" — each probe is cheap on
+// locality only when the position estimate is accurate; on skewed data the
+// estimates are wildly off and the search degrades past binary search.
+// Like binary search it needs no space beyond the array.
+package interp
+
+// maxProbes bounds the interpolation phase before falling back to binary
+// halving, so adversarially skewed data cannot make a lookup linear-time.
+const maxProbes = 64
+
+// seqScanMax mirrors the paper's §6.2 specialisation: below this range size
+// a sequential scan wins.
+const seqScanMax = 5
+
+// Search returns the index of the leftmost occurrence of key in the sorted
+// slice a, or -1 if absent.
+func Search(a []uint32, key uint32) int {
+	i := LowerBound(a, key)
+	if i < len(a) && a[i] == key {
+		return i
+	}
+	return -1
+}
+
+// LowerBound returns the smallest index i with a[i] >= key, or len(a).
+// It interpolates the probe position from the key distribution across the
+// current range, narrowing to [lo,hi] where a[lo] ≤ key ≤ a[hi].
+func LowerBound(a []uint32, key uint32) int {
+	n := len(a)
+	if n == 0 {
+		return 0
+	}
+	if key <= a[0] {
+		return 0
+	}
+	if key > a[n-1] {
+		return n
+	}
+	lo, hi := 0, n-1
+	// Invariant: a[lo] < key (strictly; duplicates of key lie right of lo)
+	// and key <= a[hi].
+	for probes := 0; hi-lo > seqScanMax; probes++ {
+		var mid int
+		if probes < maxProbes {
+			span := uint64(a[hi]) - uint64(a[lo])
+			if span == 0 {
+				break
+			}
+			frac := uint64(key) - uint64(a[lo])
+			mid = lo + int(frac*uint64(hi-lo)/span)
+			// Clamp inside the open interval so progress is guaranteed.
+			if mid <= lo {
+				mid = lo + 1
+			} else if mid >= hi {
+				mid = hi - 1
+			}
+		} else {
+			mid = int(uint(lo+hi) >> 1)
+		}
+		if a[mid] < key {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	for i := lo; i <= hi; i++ {
+		if a[i] >= key {
+			return i
+		}
+	}
+	return hi + 1
+}
+
+// EqualRange returns the half-open range [first,last) of entries equal to
+// key (duplicate handling per §3.6).
+func EqualRange(a []uint32, key uint32) (first, last int) {
+	first = LowerBound(a, key)
+	last = first
+	for last < len(a) && a[last] == key {
+		last++
+	}
+	return first, last
+}
+
+// ProbeCount returns the number of position probes LowerBound makes for key —
+// exposed for the experiments that show interpolation degrading on skewed
+// data while binary search stays at log₂ n.
+func ProbeCount(a []uint32, key uint32) int {
+	n := len(a)
+	if n == 0 || key <= a[0] || key > a[n-1] {
+		return 1
+	}
+	lo, hi := 0, n-1
+	count := 0
+	for probes := 0; hi-lo > seqScanMax; probes++ {
+		count++
+		var mid int
+		if probes < maxProbes {
+			span := uint64(a[hi]) - uint64(a[lo])
+			if span == 0 {
+				break
+			}
+			frac := uint64(key) - uint64(a[lo])
+			mid = lo + int(frac*uint64(hi-lo)/span)
+			if mid <= lo {
+				mid = lo + 1
+			} else if mid >= hi {
+				mid = hi - 1
+			}
+		} else {
+			mid = int(uint(lo+hi) >> 1)
+		}
+		if a[mid] < key {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return count + (hi - lo)
+}

@@ -1,0 +1,169 @@
+package interp
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+func TestSearchBasic(t *testing.T) {
+	a := []uint32{2, 4, 4, 4, 9, 11, 30}
+	cases := []struct {
+		key  uint32
+		want int
+	}{
+		{2, 0}, {4, 1}, {9, 4}, {11, 5}, {30, 6},
+		{1, -1}, {3, -1}, {10, -1}, {31, -1},
+	}
+	for _, c := range cases {
+		if got := Search(a, c.key); got != c.want {
+			t.Errorf("Search(%d)=%d, want %d", c.key, got, c.want)
+		}
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	if got := Search(nil, 1); got != -1 {
+		t.Errorf("empty: %d", got)
+	}
+	if got := LowerBound(nil, 1); got != 0 {
+		t.Errorf("empty LowerBound: %d", got)
+	}
+	if got := Search([]uint32{3}, 3); got != 0 {
+		t.Errorf("single: %d", got)
+	}
+	if got := Search([]uint32{3}, 4); got != -1 {
+		t.Errorf("single miss: %d", got)
+	}
+}
+
+func TestLowerBoundMatchesReferenceLinear(t *testing.T) {
+	g := workload.New(20)
+	a := g.SortedLinear(20000)
+	probes := append(g.Lookups(a, 3000), g.Misses(a, 3000)...)
+	for _, key := range probes {
+		if got, want := LowerBound(a, key), refLowerBound(a, key); got != want {
+			t.Fatalf("LowerBound(%d)=%d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestLowerBoundMatchesReferenceSkewed(t *testing.T) {
+	g := workload.New(21)
+	a := g.SortedSkewed(20000)
+	probes := append(g.Lookups(a, 3000), g.Misses(a, 3000)...)
+	for _, key := range probes {
+		if got, want := LowerBound(a, key), refLowerBound(a, key); got != want {
+			t.Fatalf("LowerBound(%d)=%d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestLowerBoundMatchesReferenceUniform(t *testing.T) {
+	g := workload.New(22)
+	a := g.SortedDistinct(20000)
+	probes := append(g.Lookups(a, 3000), g.Misses(a, 3000)...)
+	for _, key := range probes {
+		if got, want := LowerBound(a, key), refLowerBound(a, key); got != want {
+			t.Fatalf("LowerBound(%d)=%d, want %d", key, got, want)
+		}
+	}
+}
+
+func TestLowerBoundQuick(t *testing.T) {
+	f := func(raw []uint16, key uint16) bool {
+		a := make([]uint32, len(raw))
+		for i, v := range raw {
+			a[i] = uint32(v)
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		return LowerBound(a, uint32(key)) == refLowerBound(a, uint32(key))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEqualRangeDuplicates(t *testing.T) {
+	g := workload.New(23)
+	a := g.SortedWithDuplicates(5000, 5)
+	for _, key := range g.Lookups(a, 500) {
+		first, last := EqualRange(a, key)
+		if first >= last {
+			t.Fatalf("EqualRange(%d) empty for present key", key)
+		}
+		if a[first] != key || a[last-1] != key {
+			t.Fatalf("EqualRange(%d)=[%d,%d) wrong values", key, first, last)
+		}
+		if first > 0 && a[first-1] == key {
+			t.Fatalf("EqualRange(%d) not leftmost", key)
+		}
+		if last < len(a) && a[last] == key {
+			t.Fatalf("EqualRange(%d) not rightmost", key)
+		}
+	}
+}
+
+func TestAllEqualArray(t *testing.T) {
+	a := make([]uint32, 100)
+	for i := range a {
+		a[i] = 7
+	}
+	if got := Search(a, 7); got != 0 {
+		t.Errorf("all-equal leftmost = %d", got)
+	}
+	if got := Search(a, 6); got != -1 {
+		t.Errorf("miss below = %d", got)
+	}
+	if got := Search(a, 8); got != -1 {
+		t.Errorf("miss above = %d", got)
+	}
+}
+
+func TestProbeCountLinearVsSkewed(t *testing.T) {
+	// The paper's qualitative claim: interpolation converges very fast on
+	// linear data, much slower on skewed data.
+	g := workload.New(24)
+	lin := g.SortedLinear(200000)
+	skw := g.SortedSkewed(200000)
+
+	avg := func(a []uint32, probes []uint32) float64 {
+		total := 0
+		for _, k := range probes {
+			total += ProbeCount(a, k)
+		}
+		return float64(total) / float64(len(probes))
+	}
+	linAvg := avg(lin, g.Lookups(lin, 2000))
+	skwAvg := avg(skw, g.Lookups(skw, 2000))
+	if linAvg >= skwAvg {
+		t.Errorf("expected linear data to need fewer probes: linear=%.2f skewed=%.2f", linAvg, skwAvg)
+	}
+	// log2(200000) ≈ 17.6; linear interpolation should be far below that.
+	if linAvg > 10 {
+		t.Errorf("interpolation on linear data too slow: %.2f probes", linAvg)
+	}
+}
+
+func TestAdversarialTermination(t *testing.T) {
+	// Extremely skewed: one huge outlier forces near-zero interpolation
+	// steps; the maxProbes fallback must keep lookups fast and correct.
+	a := make([]uint32, 100000)
+	for i := range a {
+		a[i] = uint32(i)
+	}
+	a[len(a)-1] = ^uint32(0)
+	for _, key := range []uint32{0, 1, 50000, 99998, ^uint32(0), ^uint32(0) - 5} {
+		got := LowerBound(a, key)
+		want := refLowerBound(a, key)
+		if got != want {
+			t.Errorf("LowerBound(%d)=%d, want %d", key, got, want)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestAlignedU32Alignment(t *testing.T) {
+	for _, align := range []int{4, 8, 16, 32, 64, 128} {
+		for _, n := range []int{1, 2, 5, 15, 16, 17, 1000} {
+			s := AlignedU32(n, align)
+			if len(s) != n {
+				t.Fatalf("AlignedU32(%d,%d): len=%d", n, align, len(s))
+			}
+			if !IsAligned(unsafe.Pointer(&s[0]), align) {
+				t.Errorf("AlignedU32(%d,%d): base %p not aligned", n, align, &s[0])
+			}
+		}
+	}
+}
+
+func TestAlignedU32Zeroed(t *testing.T) {
+	s := AlignedU32(257, 64)
+	for i, v := range s {
+		if v != 0 {
+			t.Fatalf("element %d not zeroed: %d", i, v)
+		}
+	}
+}
+
+func TestAlignedU32Empty(t *testing.T) {
+	s := AlignedU32(0, 64)
+	if len(s) != 0 {
+		t.Fatalf("want empty slice, got len %d", len(s))
+	}
+}
+
+func TestAlignedU32CapacityClamped(t *testing.T) {
+	// The returned slice must not allow appends to silently reuse padding,
+	// which would break alignment assumptions of neighbours.
+	s := AlignedU32(8, 64)
+	if cap(s) != 8 {
+		t.Fatalf("cap=%d, want 8 (three-index slice expression)", cap(s))
+	}
+}
+
+func TestAlignedU32PanicsOnBadAlign(t *testing.T) {
+	for _, align := range []int{0, -8, 3, 6, 48} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("align=%d: expected panic", align)
+				}
+			}()
+			AlignedU32(4, align)
+		}()
+	}
+}
+
+func TestAlignedU32PanicsOnNegativeLen(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative length")
+		}
+	}()
+	AlignedU32(-1, 64)
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 1, 0}, {1, 1, 1}, {1, 2, 1}, {2, 2, 1}, {3, 2, 2},
+		{10, 3, 4}, {9, 3, 3}, {1000000, 16, 62500}, {1000001, 16, 62501},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d)=%d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	f := func(a uint16, b uint8) bool {
+		bb := int(b) + 1
+		q := CeilDiv(int(a), bb)
+		return q*bb >= int(a) && (q-1)*bb < int(a) || (a == 0 && q == 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{1, 1}, {2, 2}, {3, 4}, {4, 4}, {5, 8}, {15, 16}, {16, 16}, {17, 32}, {1000, 1024},
+	}
+	for _, c := range cases {
+		if got := NextPow2(c.in); got != c.want {
+			t.Errorf("NextPow2(%d)=%d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []int{1, 2, 4, 8, 1024} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d)=false", v)
+		}
+	}
+	for _, v := range []int{0, -1, -2, 3, 5, 6, 7, 1023} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d)=true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := []struct{ in, want int }{{1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3}, {1 << 20, 20}}
+	for _, c := range cases {
+		if got := Log2(c.in); got != c.want {
+			t.Errorf("Log2(%d)=%d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestBytesString(t *testing.T) {
+	cases := []struct {
+		in   Bytes
+		want string
+	}{
+		{512, "512 B"},
+		{2048, "2.00 KB"},
+		{5 << 20, "5.00 MB"},
+		{3 << 30, "3.00 GB"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Bytes(%d)=%q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestSliceBytes(t *testing.T) {
+	s := AlignedU32(10, 64)
+	if got := SliceBytes(s); got != 40 {
+		t.Errorf("SliceBytes=%d, want 40", got)
+	}
+}

@@ -1,0 +1,268 @@
+// Package mmdb is a miniature main-memory column store providing the §2
+// decision-support context the paper's indexes live in: domain-encoded
+// columns, record-identifier lists sorted by an attribute, selections and
+// range queries through a pluggable index, indexed nested-loop joins, and
+// the OLAP batch-update cycle where indexes are rebuilt from scratch rather
+// than maintained incrementally (§2.3).
+//
+// A Table stores columns of uint32 values.  Each column is domain-encoded
+// (internal/domain): the column holds rank IDs, the domain holds each
+// distinct value once in sorted order.  An index on a column is a RID list
+// sorted by the column ("a list of record identifiers sorted by some columns
+// provides ordered access to the base relation", §2.2) plus a companion
+// sorted key array searched by any cssidx method.
+package mmdb
+
+import (
+	"cssidx/internal/sortu32"
+	"errors"
+	"fmt"
+
+	"cssidx"
+	"cssidx/internal/domain"
+)
+
+// ErrNoOrderedAccess is returned for range queries on indexes whose method
+// cannot provide ordered access (hashing, §3.5).
+var ErrNoOrderedAccess = errors.New("mmdb: index method does not support ordered access")
+
+// Table is a named collection of equal-length uint32 columns.
+type Table struct {
+	name    string
+	rows    int
+	cols    map[string]*Column
+	order   []string
+	indexes map[string]*SortedIndex
+}
+
+// Column is one domain-encoded attribute.
+type Column struct {
+	name string
+	raw  []uint32 // source values, row order
+	dom  *domain.IntDomain
+	ids  []uint32 // domain IDs, row order
+}
+
+// NewTable creates an empty table.
+func NewTable(name string) *Table {
+	return &Table{
+		name:    name,
+		cols:    map[string]*Column{},
+		indexes: map[string]*SortedIndex{},
+	}
+}
+
+// AddColumn adds a column with one value per row.  The first column fixes
+// the row count; later columns must match it.
+func (t *Table) AddColumn(name string, values []uint32) error {
+	if _, dup := t.cols[name]; dup {
+		return fmt.Errorf("mmdb: table %s already has column %s", t.name, name)
+	}
+	if len(t.cols) > 0 && len(values) != t.rows {
+		return fmt.Errorf("mmdb: column %s has %d rows, table %s has %d", name, len(values), t.name, t.rows)
+	}
+	dom, ids := domain.BuildInt(values)
+	t.cols[name] = &Column{
+		name: name,
+		raw:  append([]uint32(nil), values...),
+		dom:  dom,
+		ids:  ids,
+	}
+	t.order = append(t.order, name)
+	t.rows = len(values)
+	return nil
+}
+
+// Rows returns the number of rows.
+func (t *Table) Rows() int { return t.rows }
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Columns returns the column names in definition order.
+func (t *Table) Columns() []string { return append([]string(nil), t.order...) }
+
+// Column returns a column by name.
+func (t *Table) Column(name string) (*Column, bool) {
+	c, ok := t.cols[name]
+	return c, ok
+}
+
+// Value returns the raw value at (row, column).
+func (c *Column) Value(row int) uint32 { return c.raw[row] }
+
+// Domain returns the column's ordered domain.
+func (c *Column) Domain() *domain.IntDomain { return c.dom }
+
+// Len returns the number of rows in the column.
+func (c *Column) Len() int { return len(c.raw) }
+
+// --- sorted RID lists with a search index ----------------------------------
+
+// SortedIndex is a RID list sorted by one column, with a companion sorted
+// key array (of domain IDs) searched by the chosen cssidx method.  Queries
+// arrive as raw values and are translated through the domain first — the
+// §2.2 flow: "transforming domain values to domain IDs requires searching on
+// the domain".
+type SortedIndex struct {
+	col  *Column
+	kind cssidx.Kind
+	opts cssidx.Options
+	keys []uint32 // domain IDs in sorted order
+	rids []uint32 // RIDs ordered by column value
+	idx  cssidx.Index
+}
+
+// BuildIndex builds (or rebuilds) an index on the column using the given
+// method, and registers it on the table.
+func (t *Table) BuildIndex(colName string, kind cssidx.Kind, opts cssidx.Options) (*SortedIndex, error) {
+	col, ok := t.cols[colName]
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no column %s in table %s", colName, t.name)
+	}
+	ix := &SortedIndex{col: col, kind: kind, opts: opts}
+	ix.rebuild()
+	t.indexes[colName] = ix
+	return ix, nil
+}
+
+// Index returns the registered index on a column, if any.
+func (t *Table) Index(colName string) (*SortedIndex, bool) {
+	ix, ok := t.indexes[colName]
+	return ix, ok
+}
+
+// rebuild re-sorts the RID list and reconstructs the search structure.
+// The key/RID pair sort is a stable radix sort (internal/sortu32), the
+// cache-conscious choice for the 4-byte keys of Table 1.
+func (ix *SortedIndex) rebuild() {
+	n := len(ix.col.ids)
+	ix.rids = make([]uint32, n)
+	ix.keys = make([]uint32, n)
+	copy(ix.keys, ix.col.ids)
+	for i := range ix.rids {
+		ix.rids[i] = uint32(i)
+	}
+	sortu32.SortPairs(ix.keys, ix.rids)
+	ix.idx = cssidx.New(ix.kind, ix.keys, ix.opts)
+}
+
+// Kind returns the index method.
+func (ix *SortedIndex) Kind() cssidx.Kind { return ix.kind }
+
+// SpaceBytes returns the index footprint: RID list, key array and structure.
+func (ix *SortedIndex) SpaceBytes() int {
+	return 4*len(ix.rids) + 4*len(ix.keys) + ix.idx.SpaceBytes()
+}
+
+// RIDs returns the RID list in column-value order (ordered access, §2.2).
+func (ix *SortedIndex) RIDs() []uint32 { return ix.rids }
+
+// SelectEqual returns the RIDs of rows whose column equals value, in RID
+// order of the sorted list (stable: insertion order within duplicates).
+func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
+	id, ok := ix.col.dom.ID(value)
+	if !ok {
+		return nil
+	}
+	pos := ix.idx.Search(id)
+	if pos < 0 {
+		return nil
+	}
+	var out []uint32
+	for ; pos < len(ix.keys) && ix.keys[pos] == id; pos++ {
+		out = append(out, ix.rids[pos])
+	}
+	return out
+}
+
+// SelectRange returns the RIDs of rows with lo ≤ column ≤ hi.  Methods
+// without ordered access return ErrNoOrderedAccess.
+func (ix *SortedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
+	ord, ok := ix.idx.(cssidx.OrderedIndex)
+	if !ok {
+		return nil, ErrNoOrderedAccess
+	}
+	loID, hiID := ix.col.dom.IDRange(lo, hi)
+	if loID >= hiID {
+		return nil, nil
+	}
+	first := ord.LowerBound(loID)
+	last := ord.LowerBound(hiID)
+	out := make([]uint32, last-first)
+	copy(out, ix.rids[first:last])
+	return out, nil
+}
+
+// CountRange is SelectRange without materialising RIDs.
+func (ix *SortedIndex) CountRange(lo, hi uint32) (int, error) {
+	ord, ok := ix.idx.(cssidx.OrderedIndex)
+	if !ok {
+		return 0, ErrNoOrderedAccess
+	}
+	loID, hiID := ix.col.dom.IDRange(lo, hi)
+	if loID >= hiID {
+		return 0, nil
+	}
+	return ord.LowerBound(hiID) - ord.LowerBound(loID), nil
+}
+
+// --- joins -------------------------------------------------------------------
+
+// Join performs the indexed nested-loop join of §2.2: for every row of the
+// outer table, the inner index is probed with the outer column value; emit
+// is called for each matching (outerRID, innerRID) pair.  It returns the
+// number of result pairs.  The join is pipelinable and needs no intermediate
+// storage — the reason the paper highlights it for main memory.
+func Join(outer *Table, outerCol string, inner *SortedIndex, emit func(outerRID, innerRID uint32)) (int, error) {
+	col, ok := outer.cols[outerCol]
+	if !ok {
+		return 0, fmt.Errorf("mmdb: no column %s in table %s", outerCol, outer.name)
+	}
+	count := 0
+	for r := 0; r < len(col.raw); r++ {
+		for _, ir := range inner.SelectEqual(col.raw[r]) {
+			count++
+			if emit != nil {
+				emit(uint32(r), ir)
+			}
+		}
+	}
+	return count, nil
+}
+
+// --- batch updates -------------------------------------------------------------
+
+// AppendRows appends a batch of rows: newCols must supply every column with
+// equal-length slices.  Domains and ID encodings are rebuilt (domain IDs are
+// ranks, so inserting new distinct values renumbers them), and every
+// registered index is rebuilt from scratch — the paper's OLAP position:
+// "in a main-memory system, it may be relatively cheap to rebuild an index
+// from scratch after a batch of updates."
+func (t *Table) AppendRows(newCols map[string][]uint32) error {
+	if len(t.cols) == 0 {
+		return errors.New("mmdb: table has no columns")
+	}
+	var batch int
+	for i, name := range t.order {
+		vals, ok := newCols[name]
+		if !ok {
+			return fmt.Errorf("mmdb: batch missing column %s", name)
+		}
+		if i == 0 {
+			batch = len(vals)
+		} else if len(vals) != batch {
+			return fmt.Errorf("mmdb: batch column %s has %d rows, want %d", name, len(vals), batch)
+		}
+	}
+	for _, name := range t.order {
+		c := t.cols[name]
+		c.raw = append(c.raw, newCols[name]...)
+		c.dom, c.ids = domain.BuildInt(c.raw)
+	}
+	t.rows += batch
+	for _, ix := range t.indexes {
+		ix.rebuild()
+	}
+	return nil
+}

@@ -1,0 +1,302 @@
+package mmdb
+
+import (
+	"errors"
+	"sort"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+// fixture builds a small orders table: amount (with duplicates), customer.
+func fixture(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable("orders")
+	if err := tab.AddColumn("amount", []uint32{50, 10, 30, 10, 99, 30, 30}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("customer", []uint32{1, 2, 3, 1, 2, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestAddColumnValidation(t *testing.T) {
+	tab := NewTable("t")
+	if err := tab.AddColumn("a", []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("a", []uint32{1, 2}); err == nil {
+		t.Error("duplicate column accepted")
+	}
+	if err := tab.AddColumn("b", []uint32{1}); err == nil {
+		t.Error("row-count mismatch accepted")
+	}
+	if tab.Rows() != 2 || len(tab.Columns()) != 1 {
+		t.Errorf("rows=%d cols=%v", tab.Rows(), tab.Columns())
+	}
+}
+
+func TestSelectEqualAllKinds(t *testing.T) {
+	tab := fixture(t)
+	for _, kind := range cssidx.Kinds() {
+		ix, err := tab.BuildIndex("amount", kind, cssidx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids := ix.SelectEqual(30)
+		if len(rids) != 3 {
+			t.Fatalf("%v: SelectEqual(30)=%v, want 3 rids", kind, rids)
+		}
+		got := map[uint32]bool{}
+		for _, r := range rids {
+			got[r] = true
+		}
+		for _, want := range []uint32{2, 5, 6} {
+			if !got[want] {
+				t.Errorf("%v: missing rid %d in %v", kind, want, rids)
+			}
+		}
+		if rids := ix.SelectEqual(31); rids != nil {
+			t.Errorf("%v: SelectEqual(31)=%v, want none", kind, rids)
+		}
+	}
+}
+
+func TestSelectRangeOrderedKinds(t *testing.T) {
+	tab := fixture(t)
+	for _, kind := range cssidx.Kinds() {
+		ix, err := tab.BuildIndex("amount", kind, cssidx.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rids, err := ix.SelectRange(10, 30)
+		if kind == cssidx.KindHash {
+			if !errors.Is(err, ErrNoOrderedAccess) {
+				t.Errorf("hash range query: err=%v, want ErrNoOrderedAccess", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		// amounts ≤30: rows 1,3 (10) and 2,5,6 (30) = 5 rows.
+		if len(rids) != 5 {
+			t.Errorf("%v: SelectRange(10,30)=%v, want 5 rids", kind, rids)
+		}
+		n, err := ix.CountRange(10, 30)
+		if err != nil || n != 5 {
+			t.Errorf("%v: CountRange=(%d,%v)", kind, n, err)
+		}
+	}
+}
+
+func TestRangeBoundsBetweenValues(t *testing.T) {
+	tab := fixture(t)
+	ix, _ := tab.BuildIndex("amount", cssidx.KindLevelCSS, cssidx.Options{})
+	// Bounds that fall between stored values.
+	rids, err := ix.SelectRange(11, 98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 30,30,30,50 → 4 rows.
+	if len(rids) != 4 {
+		t.Errorf("SelectRange(11,98)=%v, want 4 rids", rids)
+	}
+	if n, _ := ix.CountRange(100, 200); n != 0 {
+		t.Errorf("empty range counted %d", n)
+	}
+	if n, _ := ix.CountRange(0, 9); n != 0 {
+		t.Errorf("below-min range counted %d", n)
+	}
+}
+
+func TestRIDsAreOrderedByValue(t *testing.T) {
+	g := workload.New(120)
+	vals := g.Shuffled(g.SortedWithDuplicates(5000, 3))
+	tab := NewTable("t")
+	if err := tab.AddColumn("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := tab.BuildIndex("v", cssidx.KindFullCSS, cssidx.Options{})
+	rids := ix.RIDs()
+	col, _ := tab.Column("v")
+	for i := 1; i < len(rids); i++ {
+		if col.Value(int(rids[i-1])) > col.Value(int(rids[i])) {
+			t.Fatalf("RID list not value-ordered at %d", i)
+		}
+	}
+}
+
+func TestIndexedNestedLoopJoin(t *testing.T) {
+	orders := fixture(t)
+	cust := NewTable("customers")
+	if err := cust.AddColumn("id", []uint32{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	idIx, err := cust.BuildIndex("id", cssidx.KindLevelCSS, cssidx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pairs [][2]uint32
+	n, err := Join(orders, "customer", idIx, func(o, i uint32) {
+		pairs = append(pairs, [2]uint32{o, i})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every order row matches exactly one customer.
+	if n != orders.Rows() || len(pairs) != n {
+		t.Fatalf("join produced %d pairs, want %d", n, orders.Rows())
+	}
+	custCol, _ := orders.Column("customer")
+	idCol, _ := cust.Column("id")
+	for _, p := range pairs {
+		if custCol.Value(int(p[0])) != idCol.Value(int(p[1])) {
+			t.Errorf("pair %v joins mismatched values", p)
+		}
+	}
+}
+
+func TestJoinWithDuplicateInnerKeys(t *testing.T) {
+	outer := NewTable("o")
+	if err := outer.AddColumn("k", []uint32{7, 8}); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewTable("i")
+	if err := inner.AddColumn("k", []uint32{7, 7, 7, 9}); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := inner.BuildIndex("k", cssidx.KindBPlusTree, cssidx.Options{})
+	n, err := Join(outer, "k", ix, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("join count=%d, want 3 (7 matches three inner rows, 8 none)", n)
+	}
+}
+
+func TestJoinMissingColumn(t *testing.T) {
+	outer := NewTable("o")
+	if err := outer.AddColumn("k", []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	inner := NewTable("i")
+	if err := inner.AddColumn("k", []uint32{1}); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := inner.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{})
+	if _, err := Join(outer, "nope", ix, nil); err == nil {
+		t.Error("missing column accepted")
+	}
+}
+
+func TestBatchUpdateRebuildsIndexes(t *testing.T) {
+	tab := fixture(t)
+	ix, _ := tab.BuildIndex("amount", cssidx.KindLevelCSS, cssidx.Options{})
+	before, _ := ix.CountRange(0, 1000)
+	if before != 7 {
+		t.Fatalf("precondition: count=%d", before)
+	}
+	err := tab.AppendRows(map[string][]uint32{
+		"amount":   {20, 75},
+		"customer": {4, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 9 {
+		t.Fatalf("rows=%d", tab.Rows())
+	}
+	// The registered index must reflect the new rows without being rebuilt
+	// by hand.
+	after, _ := ix.CountRange(0, 1000)
+	if after != 9 {
+		t.Errorf("after batch: count=%d, want 9", after)
+	}
+	rids := ix.SelectEqual(20)
+	if len(rids) != 1 || rids[0] != 7 {
+		t.Errorf("SelectEqual(20)=%v, want [7]", rids)
+	}
+	// Domain renumbering must keep value order: range query spanning old and
+	// new values.
+	got, _ := ix.SelectRange(20, 50)
+	wantCount := 0
+	col, _ := tab.Column("amount")
+	for r := 0; r < tab.Rows(); r++ {
+		if v := col.Value(r); v >= 20 && v <= 50 {
+			wantCount++
+		}
+	}
+	if len(got) != wantCount {
+		t.Errorf("range after batch: %d rids, want %d", len(got), wantCount)
+	}
+}
+
+func TestBatchUpdateValidation(t *testing.T) {
+	tab := fixture(t)
+	if err := tab.AppendRows(map[string][]uint32{"amount": {1}}); err == nil {
+		t.Error("batch missing a column accepted")
+	}
+	if err := tab.AppendRows(map[string][]uint32{
+		"amount":   {1, 2},
+		"customer": {1},
+	}); err == nil {
+		t.Error("ragged batch accepted")
+	}
+	if err := NewTable("empty").AppendRows(nil); err == nil {
+		t.Error("append to empty table accepted")
+	}
+}
+
+func TestSelectEqualMatchesScan(t *testing.T) {
+	g := workload.New(121)
+	vals := g.Shuffled(g.SortedWithDuplicates(20000, 4))
+	tab := NewTable("t")
+	if err := tab.AddColumn("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := tab.BuildIndex("v", cssidx.KindFullCSS, cssidx.Options{})
+	probes := g.Lookups(vals, 200)
+	for _, v := range probes {
+		got := append([]uint32(nil), ix.SelectEqual(v)...)
+		var want []uint32
+		for r, rv := range vals {
+			if rv == v {
+				want = append(want, uint32(r))
+			}
+		}
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if len(got) != len(want) {
+			t.Fatalf("SelectEqual(%d): %d rids, scan found %d", v, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("SelectEqual(%d) diverges from scan at %d", v, i)
+			}
+		}
+	}
+}
+
+func TestIndexRegistryAndSpace(t *testing.T) {
+	tab := fixture(t)
+	if _, ok := tab.Index("amount"); ok {
+		t.Error("index exists before build")
+	}
+	ix, _ := tab.BuildIndex("amount", cssidx.KindLevelCSS, cssidx.Options{})
+	got, ok := tab.Index("amount")
+	if !ok || got != ix {
+		t.Error("index not registered")
+	}
+	if ix.SpaceBytes() < 8*tab.Rows() {
+		t.Errorf("space=%d below RID+key floor", ix.SpaceBytes())
+	}
+	if ix.Kind() != cssidx.KindLevelCSS {
+		t.Error("kind lost")
+	}
+	if _, err := tab.BuildIndex("nope", cssidx.KindLevelCSS, cssidx.Options{}); err == nil {
+		t.Error("index on missing column accepted")
+	}
+}

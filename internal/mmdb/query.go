@@ -1,0 +1,219 @@
+package mmdb
+
+import (
+	"fmt"
+
+	"cssidx/internal/sortu32"
+)
+
+// This file adds the decision-support query layer on top of the storage:
+// grouped aggregation over domain IDs (the classic dictionary-encoded OLAP
+// aggregate) and access-path selection between an index probe and a
+// sequential scan — the §2.2 observation that indexes "reduce overall
+// computation time" only when selective, echoing the access-path selection
+// of [SAC+79].
+
+// GroupRow is one group of an aggregation: the group's raw value and the
+// aggregates of the measure column within it.
+type GroupRow struct {
+	Value uint32 // group-by column value
+	Count int64
+	Sum   uint64
+	Min   uint32
+	Max   uint32
+}
+
+// GroupAggregate computes COUNT/SUM/MIN/MAX of measureCol grouped by
+// groupCol over the given rows (nil rids = all rows).  Grouping runs on
+// domain IDs: one array slot per distinct value, no hashing — the payoff of
+// §2.1's ordered domain encoding.  Groups come back in value order.
+func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]GroupRow, error) {
+	gc, ok := t.cols[groupCol]
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no column %s in table %s", groupCol, t.name)
+	}
+	mc, ok := t.cols[measureCol]
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no column %s in table %s", measureCol, t.name)
+	}
+	nGroups := gc.dom.Len()
+	counts := make([]int64, nGroups)
+	sums := make([]uint64, nGroups)
+	mins := make([]uint32, nGroups)
+	maxs := make([]uint32, nGroups)
+
+	accumulate := func(row int) {
+		id := gc.ids[row]
+		v := mc.raw[row]
+		if counts[id] == 0 {
+			mins[id] = v
+			maxs[id] = v
+		} else {
+			if v < mins[id] {
+				mins[id] = v
+			}
+			if v > maxs[id] {
+				maxs[id] = v
+			}
+		}
+		counts[id]++
+		sums[id] += uint64(v)
+	}
+	if rids == nil {
+		for row := 0; row < t.rows; row++ {
+			accumulate(row)
+		}
+	} else {
+		for _, r := range rids {
+			accumulate(int(r))
+		}
+	}
+
+	out := make([]GroupRow, 0, nGroups)
+	for id := 0; id < nGroups; id++ {
+		if counts[id] == 0 {
+			continue
+		}
+		out = append(out, GroupRow{
+			Value: gc.dom.Value(uint32(id)),
+			Count: counts[id],
+			Sum:   sums[id],
+			Min:   mins[id],
+			Max:   maxs[id],
+		})
+	}
+	return out, nil
+}
+
+// Plan describes the access path chosen for a range predicate.
+type Plan struct {
+	UseIndex bool
+	EstRows  int    // estimated qualifying rows (uniform-within-domain assumption)
+	Why      string // one-line explanation for EXPLAIN-style output
+}
+
+// scanBreakEven is the estimated selectivity above which a sequential scan
+// beats probing + gathering through the index: in main memory a scan
+// streams cache lines while index-ordered RID gathering hops randomly.
+const scanBreakEven = 0.20
+
+// PlanRange chooses between the column's index and a sequential scan for
+// the predicate lo ≤ col ≤ hi.
+func (t *Table) PlanRange(col string, lo, hi uint32) (Plan, error) {
+	c, ok := t.cols[col]
+	if !ok {
+		return Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
+	}
+	loID, hiID := c.dom.IDRange(lo, hi)
+	frac := 0.0
+	if c.dom.Len() > 0 {
+		frac = float64(hiID-loID) / float64(c.dom.Len())
+	}
+	est := int(frac * float64(t.rows))
+	ix, indexed := t.indexes[col]
+	switch {
+	case !indexed:
+		return Plan{UseIndex: false, EstRows: est, Why: "no index on column"}, nil
+	case ix.Kind().String() == "hash":
+		return Plan{UseIndex: false, EstRows: est, Why: "hash index has no ordered access"}, nil
+	case frac > scanBreakEven:
+		return Plan{UseIndex: false, EstRows: est,
+			Why: fmt.Sprintf("selectivity %.0f%% above scan break-even", 100*frac)}, nil
+	default:
+		return Plan{UseIndex: true, EstRows: est,
+			Why: fmt.Sprintf("selectivity %.1f%% below scan break-even", 100*frac)}, nil
+	}
+}
+
+// SelectRange returns the RIDs of rows with lo ≤ col ≤ hi, choosing the
+// access path with PlanRange.  RIDs come back in row order for scans and in
+// value order for index probes; callers needing a specific order should
+// sort (the set is identical either way).
+func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
+	plan, err := t.PlanRange(col, lo, hi)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	if plan.UseIndex {
+		rids, err := t.indexes[col].SelectRange(lo, hi)
+		return rids, plan, err
+	}
+	c := t.cols[col]
+	var out []uint32
+	for row, v := range c.raw {
+		if v >= lo && v <= hi {
+			out = append(out, uint32(row))
+		}
+	}
+	return out, plan, nil
+}
+
+// RangePred is one conjunct of a multi-column predicate: lo ≤ Col ≤ hi.
+type RangePred struct {
+	Col    string
+	Lo, Hi uint32
+}
+
+// SelectWhere evaluates a conjunction of range predicates.  Each conjunct
+// picks its own access path (PlanRange), most selective first, and the RID
+// sets are merge-intersected — the standard multi-index AND.  The returned
+// RIDs are ascending.
+func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
+	if len(preds) == 0 {
+		return nil, nil, fmt.Errorf("mmdb: SelectWhere needs at least one predicate")
+	}
+	plans := make([]Plan, len(preds))
+	// Order conjuncts by estimated selectivity so the cheapest set drives
+	// the intersection.
+	order := make([]int, len(preds))
+	for i := range order {
+		order[i] = i
+		p, err := t.PlanRange(preds[i].Col, preds[i].Lo, preds[i].Hi)
+		if err != nil {
+			return nil, nil, err
+		}
+		plans[i] = p
+	}
+	for a := 1; a < len(order); a++ {
+		for b := a; b > 0 && plans[order[b]].EstRows < plans[order[b-1]].EstRows; b-- {
+			order[b], order[b-1] = order[b-1], order[b]
+		}
+	}
+	var acc []uint32
+	for step, oi := range order {
+		p := preds[oi]
+		rids, _, err := t.SelectRange(p.Col, p.Lo, p.Hi)
+		if err != nil {
+			return nil, nil, err
+		}
+		sortu32.Sort(rids)
+		if step == 0 {
+			acc = rids
+			continue
+		}
+		acc = intersectSorted(acc, rids)
+		if len(acc) == 0 {
+			break
+		}
+	}
+	return acc, plans, nil
+}
+
+// intersectSorted merge-intersects two ascending RID slices.
+func intersectSorted(a, b []uint32) []uint32 {
+	out := a[:0]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,284 @@
+package mmdb
+
+import (
+	"sort"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+// salesFixture: region (3 groups) and amount columns over 9 rows.
+func salesFixture(t *testing.T) *Table {
+	t.Helper()
+	tab := NewTable("sales")
+	if err := tab.AddColumn("region", []uint32{1, 2, 3, 1, 2, 3, 1, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("amount", []uint32{10, 20, 30, 40, 50, 60, 70, 80, 90}); err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestGroupAggregateAllRows(t *testing.T) {
+	tab := salesFixture(t)
+	rows, err := GroupAggregate(tab, "region", "amount", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups=%d, want 3", len(rows))
+	}
+	// Region 1: rows 0,3,6,7 → amounts 10,40,70,80.
+	r1 := rows[0]
+	if r1.Value != 1 || r1.Count != 4 || r1.Sum != 200 || r1.Min != 10 || r1.Max != 80 {
+		t.Errorf("region 1 aggregate wrong: %+v", r1)
+	}
+	// Region 2: 20,50,90.
+	r2 := rows[1]
+	if r2.Value != 2 || r2.Count != 3 || r2.Sum != 160 || r2.Min != 20 || r2.Max != 90 {
+		t.Errorf("region 2 aggregate wrong: %+v", r2)
+	}
+	// Groups come back in value order.
+	if !(rows[0].Value < rows[1].Value && rows[1].Value < rows[2].Value) {
+		t.Error("groups not in value order")
+	}
+}
+
+func TestGroupAggregateFilteredByRIDs(t *testing.T) {
+	tab := salesFixture(t)
+	// Only rows 0..2.
+	rows, err := GroupAggregate(tab, "region", "amount", []uint32{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups=%d", len(rows))
+	}
+	for _, r := range rows {
+		if r.Count != 1 {
+			t.Errorf("group %d count=%d, want 1", r.Value, r.Count)
+		}
+	}
+}
+
+func TestGroupAggregateComposesWithRangeSelect(t *testing.T) {
+	tab := salesFixture(t)
+	if _, err := tab.BuildIndex("amount", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	ix, _ := tab.Index("amount")
+	rids, err := ix.SelectRange(30, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := GroupAggregate(tab, "region", "amount", rids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Amounts 30..70 → rows 2(30,r3) 3(40,r1) 4(50,r2) 5(60,r3) 6(70,r1).
+	total := int64(0)
+	for _, r := range rows {
+		total += r.Count
+	}
+	if total != 5 {
+		t.Errorf("filtered aggregate covers %d rows, want 5", total)
+	}
+}
+
+func TestGroupAggregateErrors(t *testing.T) {
+	tab := salesFixture(t)
+	if _, err := GroupAggregate(tab, "nope", "amount", nil); err == nil {
+		t.Error("missing group column accepted")
+	}
+	if _, err := GroupAggregate(tab, "region", "nope", nil); err == nil {
+		t.Error("missing measure column accepted")
+	}
+}
+
+func TestPlanRangePrefersIndexWhenSelective(t *testing.T) {
+	g := workload.New(160)
+	vals := g.Shuffled(g.SortedDistinct(50000))
+	tab := NewTable("t")
+	if err := tab.AddColumn("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildIndex("v", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// Narrow predicate → index.
+	sorted := append([]uint32(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	plan, err := tab.PlanRange("v", sorted[100], sorted[200])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UseIndex {
+		t.Errorf("narrow range should use index: %+v", plan)
+	}
+	// Wide predicate → scan.
+	plan, err = tab.PlanRange("v", sorted[0], sorted[40000])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UseIndex {
+		t.Errorf("wide range should scan: %+v", plan)
+	}
+	if plan.EstRows < 30000 {
+		t.Errorf("estimate %d implausibly low for 80%% selectivity", plan.EstRows)
+	}
+}
+
+func TestPlanRangeNoIndexFallsBackToScan(t *testing.T) {
+	tab := salesFixture(t)
+	plan, err := tab.PlanRange("amount", 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UseIndex {
+		t.Error("plan used a non-existent index")
+	}
+	rids, plan2, err := tab.SelectRange("amount", 30, 70)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.UseIndex {
+		t.Error("select used a non-existent index")
+	}
+	if len(rids) != 5 {
+		t.Errorf("scan found %d rows, want 5", len(rids))
+	}
+}
+
+func TestSelectRangeIndexAndScanAgree(t *testing.T) {
+	g := workload.New(161)
+	vals := g.Shuffled(g.SortedWithDuplicates(20000, 3))
+	tab := NewTable("t")
+	if err := tab.AddColumn("v", vals); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildIndex("v", cssidx.KindFullCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sorted := append([]uint32(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, rng := range [][2]uint32{
+		{sorted[10], sorted[50]},        // narrow → index
+		{sorted[0], sorted[19000]},      // wide → scan
+		{sorted[5000], sorted[5000]},    // point
+		{sorted[19999] + 1, ^uint32(0)}, // empty above
+	} {
+		viaTable, plan, err := tab.SelectRange("v", rng[0], rng[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		var viaScan []uint32
+		for row, v := range vals {
+			if v >= rng[0] && v <= rng[1] {
+				viaScan = append(viaScan, uint32(row))
+			}
+		}
+		a := append([]uint32(nil), viaTable...)
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		if len(a) != len(viaScan) {
+			t.Fatalf("range %v (plan %+v): %d rows vs scan %d", rng, plan, len(a), len(viaScan))
+		}
+		for i := range a {
+			if a[i] != viaScan[i] {
+				t.Fatalf("range %v: rid sets diverge at %d", rng, i)
+			}
+		}
+	}
+}
+
+func TestSelectWhereConjunction(t *testing.T) {
+	g := workload.New(162)
+	n := 20000
+	a := g.Shuffled(g.SortedWithDuplicates(n, 3))
+	b := g.Shuffled(g.SortedWithDuplicates(n, 3))
+	tab := NewTable("t")
+	if err := tab.AddColumn("a", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("b", b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildIndex("a", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// No index on b: forces a mixed index+scan conjunction.
+	sa := append([]uint32(nil), a...)
+	sort.Slice(sa, func(i, j int) bool { return sa[i] < sa[j] })
+	sb := append([]uint32(nil), b...)
+	sort.Slice(sb, func(i, j int) bool { return sb[i] < sb[j] })
+
+	preds := []RangePred{
+		{Col: "a", Lo: sa[100], Hi: sa[900]},
+		{Col: "b", Lo: sb[0], Hi: sb[15000]},
+	}
+	got, plans, err := tab.SelectWhere(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 2 {
+		t.Fatalf("plans=%v", plans)
+	}
+	var want []uint32
+	for row := 0; row < n; row++ {
+		if a[row] >= preds[0].Lo && a[row] <= preds[0].Hi &&
+			b[row] >= preds[1].Lo && b[row] <= preds[1].Hi {
+			want = append(want, uint32(row))
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("conjunction found %d rows, scan found %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("rid sets diverge at %d: %d vs %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSelectWhereEmptyAndErrors(t *testing.T) {
+	tab := salesFixture(t)
+	if _, _, err := tab.SelectWhere(nil); err == nil {
+		t.Error("empty predicate list accepted")
+	}
+	if _, _, err := tab.SelectWhere([]RangePred{{Col: "nope", Lo: 0, Hi: 1}}); err == nil {
+		t.Error("unknown column accepted")
+	}
+	// Disjoint conjuncts → empty result, no error.
+	got, _, err := tab.SelectWhere([]RangePred{
+		{Col: "amount", Lo: 10, Hi: 10},
+		{Col: "amount", Lo: 99, Hi: 99},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("disjoint conjunction returned %v", got)
+	}
+}
+
+func TestPlanRangeHashIndexScans(t *testing.T) {
+	tab := salesFixture(t)
+	if _, err := tab.BuildIndex("amount", cssidx.KindHash, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tab.PlanRange("amount", 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.UseIndex {
+		t.Errorf("hash index chosen for a range predicate: %+v", plan)
+	}
+	rids, _, err := tab.SelectRange("amount", 10, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rids) != 3 {
+		t.Errorf("scan fallback found %d rows, want 3", len(rids))
+	}
+}

@@ -1,0 +1,136 @@
+package simidx
+
+import (
+	"cssidx/internal/cachesim"
+	"cssidx/internal/mem"
+)
+
+// tailScanMax mirrors internal/binsearch: below this range size the real
+// code switches to a sequential scan.
+const tailScanMax = 5
+
+// BinarySearch models array binary search (§3.2): no extra structure; every
+// probe of the halving loop touches a[mid], which for large arrays is a
+// cache miss almost every time.
+type BinarySearch struct {
+	keys []uint32
+	base uint64
+}
+
+// NewBinarySearch places the sorted array in simulated memory.
+func NewBinarySearch(keys []uint32, alloc *cachesim.AddrAlloc) *BinarySearch {
+	return &BinarySearch{keys: keys, base: alloc.Alloc(4*len(keys), mem.CacheLine)}
+}
+
+// Name implements Sim.
+func (s *BinarySearch) Name() string { return "array binary search" }
+
+// SpaceBytes implements Sim: binary search needs no space beyond the array.
+func (s *BinarySearch) SpaceBytes() int { return 0 }
+
+// Probe replays binsearch.LowerBound.
+func (s *BinarySearch) Probe(h *cachesim.Hierarchy, key uint32) ProbeResult {
+	var pr ProbeResult
+	lo, hi := 0, len(s.keys)
+	for hi-lo > tailScanMax {
+		mid := int(uint(lo+hi) >> 1)
+		access(h, s.base+4*uint64(mid), 4)
+		pr.Cmps++
+		pr.Moves++ // offset recalculation (A_b in §5.1)
+		if s.keys[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi {
+		access(h, s.base+4*uint64(lo), 4)
+		pr.Cmps++
+		if s.keys[lo] >= key {
+			break
+		}
+		lo++
+	}
+	pr.Index = lo
+	return pr
+}
+
+// InterpolationSearch models interpolation search (§1, §6.3): position
+// estimates from the value distribution; near-random jumps on non-linear
+// data give it binary-search-like (or worse) cache behaviour.
+type InterpolationSearch struct {
+	keys []uint32
+	base uint64
+}
+
+// NewInterpolationSearch places the sorted array in simulated memory.
+func NewInterpolationSearch(keys []uint32, alloc *cachesim.AddrAlloc) *InterpolationSearch {
+	return &InterpolationSearch{keys: keys, base: alloc.Alloc(4*len(keys), mem.CacheLine)}
+}
+
+// Name implements Sim.
+func (s *InterpolationSearch) Name() string { return "interpolation search" }
+
+// SpaceBytes implements Sim.
+func (s *InterpolationSearch) SpaceBytes() int { return 0 }
+
+// Probe replays interp.LowerBound, including its bounded-probe fallback.
+func (s *InterpolationSearch) Probe(h *cachesim.Hierarchy, key uint32) ProbeResult {
+	const maxProbes = 64
+	var pr ProbeResult
+	a := s.keys
+	n := len(a)
+	if n == 0 {
+		return pr
+	}
+	access(h, s.base, 4)
+	pr.Cmps++
+	if key <= a[0] {
+		return pr
+	}
+	access(h, s.base+4*uint64(n-1), 4)
+	pr.Cmps++
+	if key > a[n-1] {
+		pr.Index = n
+		return pr
+	}
+	lo, hi := 0, n-1
+	for probes := 0; hi-lo > tailScanMax; probes++ {
+		var mid int
+		if probes < maxProbes {
+			span := uint64(a[hi]) - uint64(a[lo])
+			if span == 0 {
+				break
+			}
+			frac := uint64(key) - uint64(a[lo])
+			mid = lo + int(frac*uint64(hi-lo)/span)
+			if mid <= lo {
+				mid = lo + 1
+			} else if mid >= hi {
+				mid = hi - 1
+			}
+			pr.Moves += 2 // interpolation arithmetic is pricier than a shift
+		} else {
+			mid = int(uint(lo+hi) >> 1)
+			pr.Moves++
+		}
+		access(h, s.base+4*uint64(mid), 4)
+		pr.Cmps++
+		if a[mid] < key {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	i := lo
+	for ; i <= hi; i++ {
+		access(h, s.base+4*uint64(i), 4)
+		pr.Cmps++
+		if a[i] >= key {
+			pr.Index = i
+			return pr
+		}
+	}
+	pr.Index = hi + 1
+	return pr
+}

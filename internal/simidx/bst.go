@@ -1,0 +1,90 @@
+package simidx
+
+import (
+	"cssidx/internal/bst"
+	"cssidx/internal/cachesim"
+	"cssidx/internal/mem"
+)
+
+// BST models the pointer-based binary search tree ("tree binary search"):
+// 16-byte nodes [key, rid, left, right] allocated in preorder; every node
+// visit dereferences a pointer and risks a miss — the same miss count as
+// array binary search plus dereference cost, which is why Figures 10–11
+// show it at or below binary search.
+type BST struct {
+	t    *bst.Tree
+	keys []uint32
+	base uint64
+	// preorder shape mirror of bst.Build
+	left, right []int32
+	key         []uint32
+	rid         []uint32
+	root        int32
+}
+
+// nodeBytes is the simulated node size: key+rid+left+right.
+const bstNodeBytes = 16
+
+// NewBST builds the model over the sorted keys.
+func NewBST(keys []uint32, alloc *cachesim.AddrAlloc) *BST {
+	s := &BST{
+		t:    bst.Build(keys),
+		keys: keys,
+		base: alloc.Alloc(len(keys)*bstNodeBytes, mem.CacheLine),
+		root: -1,
+	}
+	if len(keys) == 0 {
+		return s
+	}
+	n := len(keys)
+	s.left = make([]int32, n)
+	s.right = make([]int32, n)
+	s.key = make([]uint32, n)
+	s.rid = make([]uint32, n)
+	next := int32(0)
+	var build func(lo, hi int) int32
+	build = func(lo, hi int) int32 {
+		if lo >= hi {
+			return -1
+		}
+		mid := int(uint(lo+hi) >> 1)
+		id := next
+		next++
+		s.key[id] = keys[mid]
+		s.rid[id] = uint32(mid)
+		s.left[id] = build(lo, mid)
+		s.right[id] = build(mid+1, hi)
+		return id
+	}
+	s.root = build(0, n)
+	return s
+}
+
+// Name implements Sim.
+func (s *BST) Name() string { return "tree binary search" }
+
+// SpaceBytes implements Sim.
+func (s *BST) SpaceBytes() int { return s.t.SpaceBytes() }
+
+// Probe replays the lower-bound descent: one node access per level.
+func (s *BST) Probe(h *cachesim.Hierarchy, key uint32) ProbeResult {
+	var pr ProbeResult
+	best := len(s.keys)
+	cur := s.root
+	for cur != -1 {
+		access(h, s.base+uint64(cur)*bstNodeBytes, bstNodeBytes)
+		pr.Cmps++
+		pr.Moves++
+		if s.key[cur] >= key {
+			best = int(s.rid[cur])
+			cur = s.left[cur]
+		} else {
+			cur = s.right[cur]
+		}
+	}
+	pr.Index = best
+	return pr
+}
+
+// RealLowerBound exposes the wrapped tree's answer for equivalence tests.
+func (s *BST) RealLowerBound(key uint32) int { return s.t.LowerBound(key) }

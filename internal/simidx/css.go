@@ -1,0 +1,114 @@
+package simidx
+
+import (
+	"cssidx/internal/cachesim"
+	"cssidx/internal/csstree"
+	"cssidx/internal/mem"
+)
+
+// CSSTree models full and level CSS-tree lookups: one region for the
+// directory, one for the sorted array; a node visit binary-searches slots
+// within one (or s) cache line(s) and moves by arithmetic, never touching
+// pointers.
+type CSSTree struct {
+	name    string
+	dir     []uint32
+	keys    []uint32
+	g       csstree.Geometry
+	routing int // routing keys per node: m (full) or m-1 (level)
+	space   int
+	dirBase uint64
+	arrBase uint64
+
+	// the real tree, kept so equivalence tests can compare answers cheaply
+	lower func(uint32) int
+}
+
+// NewFullCSS builds a full CSS-tree and assigns simulated addresses.
+func NewFullCSS(keys []uint32, m int, alloc *cachesim.AddrAlloc) *CSSTree {
+	t := csstree.BuildFull(keys, m)
+	return &CSSTree{
+		name:    "full CSS-tree",
+		dir:     t.Dir(),
+		keys:    keys,
+		g:       t.Geometry(),
+		routing: m,
+		space:   t.SpaceBytes(),
+		dirBase: alloc.Alloc(t.SpaceBytes(), mem.CacheLine),
+		arrBase: alloc.Alloc(4*len(keys), mem.CacheLine),
+		lower:   t.LowerBound,
+	}
+}
+
+// NewLevelCSS builds a level CSS-tree and assigns simulated addresses.
+func NewLevelCSS(keys []uint32, m int, alloc *cachesim.AddrAlloc) *CSSTree {
+	t := csstree.BuildLevel(keys, m)
+	return &CSSTree{
+		name:    "level CSS-tree",
+		dir:     t.Dir(),
+		keys:    keys,
+		g:       t.Geometry(),
+		routing: m - 1,
+		space:   t.SpaceBytes(),
+		dirBase: alloc.Alloc(t.SpaceBytes(), mem.CacheLine),
+		arrBase: alloc.Alloc(4*len(keys), mem.CacheLine),
+		lower:   t.LowerBound,
+	}
+}
+
+// Name implements Sim.
+func (s *CSSTree) Name() string { return s.name }
+
+// SpaceBytes implements Sim.
+func (s *CSSTree) SpaceBytes() int { return s.space }
+
+// Probe replays Algorithm 4.2: descend the directory by offset arithmetic,
+// then search the mapped leaf range of the sorted array.
+func (s *CSSTree) Probe(h *cachesim.Hierarchy, key uint32) ProbeResult {
+	var pr ProbeResult
+	g := &s.g
+	if g.Internal == 0 {
+		i := s.searchRange(h, s.arrBase, s.keys, 0, len(s.keys), key, &pr)
+		pr.Index = i
+		return pr
+	}
+	m := g.M
+	d := 0
+	for d <= g.LNode {
+		base := d * m
+		j := s.searchRange(h, s.dirBase, s.dir, base, base+s.routing, key, &pr)
+		d = d*g.Fanout + 1 + (j - base)
+		pr.Moves++
+	}
+	lo, hi := g.LeafRange(d)
+	pr.Index = s.searchRange(h, s.arrBase, s.keys, lo, hi, key, &pr)
+	return pr
+}
+
+// searchRange binary-searches slice[lo:hi] for the leftmost slot ≥ key,
+// reporting each touched slot at base+4·index, and returns the absolute slot
+// index.  This is the access pattern of the hard-coded node searches.
+func (s *CSSTree) searchRange(h *cachesim.Hierarchy, base uint64, slice []uint32, lo, hi int, key uint32, pr *ProbeResult) int {
+	for hi-lo > tailScanMax {
+		mid := int(uint(lo+hi) >> 1)
+		access(h, base+4*uint64(mid), 4)
+		pr.Cmps++
+		if slice[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	for lo < hi {
+		access(h, base+4*uint64(lo), 4)
+		pr.Cmps++
+		if slice[lo] >= key {
+			break
+		}
+		lo++
+	}
+	return lo
+}
+
+// RealLowerBound exposes the wrapped tree's answer for equivalence tests.
+func (s *CSSTree) RealLowerBound(key uint32) int { return s.lower(key) }

@@ -1,0 +1,63 @@
+package simidx
+
+import (
+	"cssidx/internal/cachesim"
+	"cssidx/internal/hashidx"
+	"cssidx/internal/mem"
+)
+
+// Hash models chained bucket hashing: one bucket (= one cache line) per
+// chain hop.  With a generous directory a lookup is a single miss — the
+// time floor of Figures 10–14 — bought with the largest footprint of any
+// method.
+type Hash struct {
+	t    *hashidx.Table
+	base uint64
+}
+
+// NewHash builds the table and assigns simulated addresses.
+func NewHash(keys []uint32, dirSize, bucketBytes int, alloc *cachesim.AddrAlloc) *Hash {
+	t := hashidx.Build(keys, dirSize, bucketBytes)
+	return &Hash{t: t, base: alloc.Alloc(t.SpaceBytes(), mem.CacheLine)}
+}
+
+// Name implements Sim.
+func (s *Hash) Name() string { return "hash" }
+
+// SpaceBytes implements Sim.
+func (s *Hash) SpaceBytes() int { return s.t.SpaceBytes() }
+
+// Probe replays Table.Search: hash, then walk the chain scanning pairs.
+func (s *Hash) Probe(h *cachesim.Hierarchy, key uint32) ProbeResult {
+	var pr ProbeResult
+	pr.Index = -1
+	buckets := s.t.RawBuckets()
+	slots := s.t.SlotsPerBucket()
+	if len(buckets) == 0 {
+		return pr
+	}
+	b := int(key & uint32(s.t.DirSize()-1))
+	pr.Moves++ // hash computation
+	for {
+		base := b * slots
+		// The whole bucket is scanned as one line-sized unit.
+		access(h, s.base+4*uint64(base), 4*slots)
+		cnt := int(buckets[base])
+		for i := 0; i < cnt; i++ {
+			pr.Cmps++
+			if buckets[base+2+2*i] == key {
+				pr.Index = int(buckets[base+2+2*i+1])
+				return pr
+			}
+		}
+		next := buckets[base+1]
+		if next == ^uint32(0) {
+			return pr
+		}
+		b = int(next)
+		pr.Moves++
+	}
+}
+
+// RealSearch exposes the wrapped table's answer for equivalence tests.
+func (s *Hash) RealSearch(key uint32) (uint32, bool) { return s.t.Search(key) }

@@ -1,0 +1,109 @@
+// Package simidx provides address-trace models of every index structure in
+// this repository: each model performs a lookup while reporting the memory
+// references the real implementation makes to a simulated cache hierarchy
+// (internal/cachesim).
+//
+// This is the substitution for the paper's 1998 hardware: miss counts depend
+// only on access patterns and cache geometry, so running these traces against
+// the Ultra Sparc II and Pentium II presets regenerates Figures 10–13
+// deterministically.  Lookup time is then estimated with the §5.1 cost
+// model:
+//
+//	time = comparisons·cmp + level-moves·move + Σ missesᵢ·penaltyᵢ   (cycles)
+//
+// Every model returns the same lookup answer as the real implementation —
+// the equivalence is enforced by tests — so a trace is a faithful replay,
+// not a re-derivation.
+package simidx
+
+import (
+	"fmt"
+
+	"cssidx/internal/cachesim"
+)
+
+// ProbeResult reports one simulated lookup.
+type ProbeResult struct {
+	Index int // lower-bound index (ordered methods) or RID (hash); -1 = miss for hash
+	Cmps  int // key comparisons performed
+	Moves int // node-to-node transitions (pointer dereference or offset arithmetic)
+}
+
+// Sim is a simulated index: a structure with assigned virtual addresses
+// whose Probe replays one lookup's memory references into h.
+type Sim interface {
+	Name() string
+	// Probe simulates one lookup.  h may be nil to skip cache accounting
+	// (used by the equivalence tests).
+	Probe(h *cachesim.Hierarchy, key uint32) ProbeResult
+	// SpaceBytes is the structure's footprint beyond the sorted RID list
+	// (0 for binary and interpolation search).
+	SpaceBytes() int
+}
+
+// Result aggregates a simulated run of many lookups.
+type Result struct {
+	Sim     string
+	Machine string
+	Lookups int
+	Cmps    int64
+	Moves   int64
+	Stats   cachesim.Stats
+	Seconds float64 // §5.1 model estimate for the whole run
+}
+
+// MissesPerLookup returns the average misses per lookup at cache level i.
+func (r Result) MissesPerLookup(i int) float64 {
+	if r.Lookups == 0 || i >= len(r.Stats.Misses) {
+		return 0
+	}
+	return float64(r.Stats.Misses[i]) / float64(r.Lookups)
+}
+
+// SecondsPerLookup returns the modelled time per lookup.
+func (r Result) SecondsPerLookup() float64 {
+	if r.Lookups == 0 {
+		return 0
+	}
+	return r.Seconds / float64(r.Lookups)
+}
+
+// String summarises the run.
+func (r Result) String() string {
+	return fmt.Sprintf("%s on %s: %d lookups, %.1f cmps/lookup, %.2f L2miss/lookup, %.3fs",
+		r.Sim, r.Machine, r.Lookups, float64(r.Cmps)/float64(max(r.Lookups, 1)),
+		r.MissesPerLookup(len(r.Stats.Misses)-1), r.Seconds)
+}
+
+// Run replays all probes through a cold hierarchy for machine m, exactly
+// like the paper's protocol of timing a long sequence of random lookups
+// (cold start, §5.1; the warm top levels emerge naturally across lookups).
+func Run(s Sim, m *cachesim.Machine, probes []uint32) Result {
+	h := cachesim.New(m)
+	res := Result{Sim: s.Name(), Machine: m.Name, Lookups: len(probes)}
+	for _, key := range probes {
+		pr := s.Probe(h, key)
+		res.Cmps += int64(pr.Cmps)
+		res.Moves += int64(pr.Moves)
+	}
+	res.Stats = h.Stats()
+	cycles := float64(res.Cmps)*m.CmpCycles +
+		float64(res.Moves)*m.MoveCycles +
+		res.Stats.PenaltyCycles(m)
+	res.Seconds = cycles / m.ClockHz
+	return res
+}
+
+// access reports a size-byte reference at addr when h is non-nil.
+func access(h *cachesim.Hierarchy, addr uint64, size int) {
+	if h != nil {
+		h.Access(addr, size)
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

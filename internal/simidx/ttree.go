@@ -1,0 +1,131 @@
+package simidx
+
+import (
+	"cssidx/internal/cachesim"
+	"cssidx/internal/mem"
+	"cssidx/internal/ttree"
+)
+
+// TTree models the improved T-tree with the paper's physical node layout:
+// each node is one contiguous block [left, right, key₀ … key_{c−1},
+// rid₀ … rid_{c−1}], with the child pointers adjacent to the smallest key
+// (§6.2) so the descent touches a single 12-byte region per node.  The
+// final candidate node is binary searched.
+//
+// The §3.3 prediction this model reproduces: node visits ≈ log₂(n/c), and
+// each visit costs a cache miss regardless of node size, so T-trees track
+// binary search rather than B+-/CSS-trees.
+type TTree struct {
+	t        *ttree.Tree
+	keys     []uint32
+	capacity int
+	nodeSize int // bytes per node block
+	base     uint64
+
+	// Balanced-over-chunks shape, recomputed to mirror ttree.Build: node ids
+	// are preorder, chunk(i) the chunk a node holds.
+	left, right []int32
+	chunk       []int32
+	root        int32
+}
+
+// NewTTree builds the T-tree model over the sorted keys with the given node
+// capacity in pairs.
+func NewTTree(keys []uint32, capacity int, alloc *cachesim.AddrAlloc) *TTree {
+	nChunks := 0
+	if len(keys) > 0 {
+		nChunks = mem.CeilDiv(len(keys), capacity)
+	}
+	s := &TTree{
+		t:        ttree.Build(keys, capacity),
+		keys:     keys,
+		capacity: capacity,
+		nodeSize: 8 + 8*capacity,
+		root:     -1,
+	}
+	s.base = alloc.Alloc(nChunks*s.nodeSize, mem.CacheLine)
+	if nChunks == 0 {
+		return s
+	}
+	s.left = make([]int32, nChunks)
+	s.right = make([]int32, nChunks)
+	s.chunk = make([]int32, nChunks)
+	next := int32(0)
+	var build func(lo, hi int) int32
+	build = func(lo, hi int) int32 {
+		if lo >= hi {
+			return -1
+		}
+		mid := (lo + hi) / 2
+		id := next
+		next++
+		s.chunk[id] = int32(mid)
+		s.left[id] = build(lo, mid)
+		s.right[id] = build(mid+1, hi)
+		return id
+	}
+	s.root = build(0, nChunks)
+	return s
+}
+
+// Name implements Sim.
+func (s *TTree) Name() string { return "T-tree" }
+
+// SpaceBytes implements Sim.
+func (s *TTree) SpaceBytes() int { return s.t.SpaceBytes() }
+
+// chunkBounds returns the key range [lo,hi) of chunk c.
+func (s *TTree) chunkBounds(c int32) (int, int) {
+	lo := int(c) * s.capacity
+	hi := lo + s.capacity
+	if hi > len(s.keys) {
+		hi = len(s.keys)
+	}
+	return lo, hi
+}
+
+// Probe replays the improved [LC86b] descent and final node search.
+func (s *TTree) Probe(h *cachesim.Hierarchy, key uint32) ProbeResult {
+	var pr ProbeResult
+	candidate := int32(-1)
+	cur := s.root
+	for cur != -1 {
+		// One access covers left, right and the adjacent smallest key.
+		access(h, s.base+uint64(int(cur)*s.nodeSize), 12)
+		pr.Cmps++
+		pr.Moves++
+		lo, _ := s.chunkBounds(s.chunk[cur])
+		if key <= s.keys[lo] {
+			cur = s.left[cur]
+		} else {
+			candidate = cur
+			cur = s.right[cur]
+		}
+	}
+	if candidate == -1 {
+		pr.Index = 0
+		return pr
+	}
+	lo, hi := s.chunkBounds(s.chunk[candidate])
+	nodeBase := s.base + uint64(int(candidate)*s.nodeSize) + 8 // keys region
+	a, b := 0, hi-lo
+	for a < b {
+		mid := int(uint(a+b) >> 1)
+		access(h, nodeBase+4*uint64(mid), 4)
+		pr.Cmps++
+		if s.keys[lo+mid] < key {
+			a = mid + 1
+		} else {
+			b = mid
+		}
+	}
+	if lo+a < hi {
+		// Read the record pointer next to the matched key.
+		access(h, nodeBase+4*uint64(s.capacity)+4*uint64(a), 4)
+	}
+	pr.Index = lo + a
+	return pr
+}
+
+// RealLowerBound exposes the wrapped tree's answer for equivalence tests.
+func (s *TTree) RealLowerBound(key uint32) int { return s.t.LowerBound(key) }

@@ -1,0 +1,263 @@
+// Package ttree implements the T-tree of Lehman & Carey [LC86a] in the
+// improved variant of [LC86b], the main-memory index the paper re-evaluates
+// (§3.3, §6.2).
+//
+// A T-tree is a balanced binary tree whose nodes hold many adjacent
+// ⟨key,RID⟩ pairs.  Search in the improved variant compares the probe with
+// only the *smallest* key of each node while descending, remembering the
+// last node whose minimum is below the probe, and binary-searches that
+// single candidate node at the end — one comparison per node instead of two.
+//
+// The paper's §3.3 analysis, which this package lets you verify empirically:
+// although a node holds m keys, each node visit uses just the boundary
+// key(s), so a T-tree does the same log₂ n comparisons as binary search with
+// essentially one cache miss per comparison — node size buys no cache
+// benefit.  It also stores a record pointer per key plus two child pointers
+// per node, giving it the largest footprint of all the tree methods
+// (Figure 7).
+//
+// Following the paper we avoid parent pointers and, mirroring the "child
+// pointers adjacent to the smallest key" layout trick, the per-node minimum
+// and child links live in small parallel arrays so the descent touches one
+// compact region per node.
+package ttree
+
+import (
+	"fmt"
+
+	"cssidx/internal/mem"
+)
+
+// nilNode marks an absent child.
+const nilNode = int32(-1)
+
+// Tree is a bulk-built, search-only T-tree.  Build one with Build.
+type Tree struct {
+	// Descent state, one entry per node: the smallest key plus both child
+	// links — everything the improved search touches until the final node.
+	minKey []uint32
+	left   []int32
+	right  []int32
+
+	// Node contents: node i holds pairs [start[i], start[i]+count[i]) of the
+	// indexed array, copied into the keys/rids arenas (the T-tree owns its
+	// data; this is the space overhead of Figure 7).
+	start []int32
+	count []int32
+	keys  []uint32
+	rids  []uint32
+
+	chunkNode []int32 // chunk number → node id
+	capacity  int     // pairs per node
+	root      int32
+	n         int
+}
+
+// Build constructs a balanced T-tree over the sorted slice keys with the
+// given node capacity in ⟨key,RID⟩ pairs ("entries per node" in the paper's
+// Figures 12–13).  RIDs are positions in keys.  capacity ≥ 2.
+func Build(keys []uint32, capacity int) *Tree {
+	if capacity < 2 {
+		panic(fmt.Sprintf("ttree: node capacity %d too small", capacity))
+	}
+	n := len(keys)
+	t := &Tree{capacity: capacity, root: nilNode, n: n}
+	if n == 0 {
+		return t
+	}
+	chunks := mem.CeilDiv(n, capacity)
+	t.minKey = make([]uint32, chunks)
+	t.left = make([]int32, chunks)
+	t.right = make([]int32, chunks)
+	t.start = make([]int32, chunks)
+	t.count = make([]int32, chunks)
+	t.keys = mem.AlignedU32(chunks*capacity, mem.CacheLine)
+	t.rids = make([]uint32, chunks*capacity)
+
+	// Chunk c covers keys[c*capacity : …]; a balanced BST over chunk
+	// numbers preserves the T-tree ordering invariant because chunks are
+	// consecutive key ranges.
+	next := int32(0)
+	var build func(loChunk, hiChunk int) int32
+	build = func(loChunk, hiChunk int) int32 {
+		if loChunk >= hiChunk {
+			return nilNode
+		}
+		mid := (loChunk + hiChunk) / 2
+		id := next
+		next++
+		lo := mid * capacity
+		hi := lo + capacity
+		if hi > n {
+			hi = n
+		}
+		t.start[id] = int32(lo)
+		t.count[id] = int32(hi - lo)
+		t.minKey[id] = keys[lo]
+		base := int(id) * capacity
+		for i := lo; i < hi; i++ {
+			t.keys[base+i-lo] = keys[i]
+			t.rids[base+i-lo] = uint32(i)
+		}
+		t.left[id] = build(loChunk, mid)
+		t.right[id] = build(mid+1, hiChunk)
+		return id
+	}
+	t.root = build(0, chunks)
+	t.chunkNode = make([]int32, chunks)
+	for id := range t.start {
+		t.chunkNode[int(t.start[id])/capacity] = int32(id)
+	}
+	return t
+}
+
+// Search returns the RID (sorted-array index) of the leftmost occurrence of
+// key and true, or 0,false if absent.
+func (t *Tree) Search(key uint32) (uint32, bool) {
+	i := t.LowerBound(key)
+	if i >= t.n {
+		return 0, false
+	}
+	node, off := t.locate(i)
+	if t.keys[int(node)*t.capacity+off] == key {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// LowerBound returns the smallest sorted-array index whose key is ≥ key,
+// or n.  This is the improved [LC86b] descent: one min-key comparison per
+// node, then a single bounded node search.
+func (t *Tree) LowerBound(key uint32) int {
+	candidate := nilNode
+	cur := t.root
+	for cur != nilNode {
+		if key <= t.minKey[cur] {
+			cur = t.left[cur]
+		} else {
+			candidate = cur
+			cur = t.right[cur]
+		}
+	}
+	if candidate == nilNode {
+		// key ≤ global minimum (or the tree is empty).
+		return 0
+	}
+	// candidate is the last node with min < key; previous chunks are all
+	// strictly below key, so the global lower bound is in this node or
+	// immediately after it.
+	base := int(candidate) * t.capacity
+	cnt := int(t.count[candidate])
+	lo, hi := 0, cnt
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.keys[base+mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return int(t.start[candidate]) + lo
+}
+
+// SearchBasic is the original [LC86a] descent — min and max compared at
+// every node — kept for the improved-vs-basic ablation.
+func (t *Tree) SearchBasic(key uint32) (uint32, bool) {
+	cur := t.root
+	for cur != nilNode {
+		base := int(cur) * t.capacity
+		cnt := int(t.count[cur])
+		switch {
+		case key < t.minKey[cur]:
+			cur = t.left[cur]
+		case key > t.keys[base+cnt-1]:
+			cur = t.right[cur]
+		default:
+			for i := 0; i < cnt; i++ {
+				if t.keys[base+i] == key {
+					return t.rids[base+i], true
+				}
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// EqualRange returns [first,last) of sorted-array indexes equal to key.
+func (t *Tree) EqualRange(key uint32) (first, last int) {
+	first = t.LowerBound(key)
+	last = first
+	for last < t.n {
+		node, off := t.locate(last)
+		if t.keys[int(node)*t.capacity+off] != key {
+			break
+		}
+		last++
+	}
+	return first, last
+}
+
+// locate maps a sorted-array index to (node, offset within node).  Chunks
+// are laid out in index order; chunkNode resolves which preorder-allocated
+// node owns a chunk.
+func (t *Tree) locate(i int) (int32, int) {
+	return t.chunkNode[i/t.capacity], i % t.capacity
+}
+
+// InOrder appends all keys in sorted order to dst and returns it — the
+// paper's §3.6 duplicate enumeration via in-order traversal, and the
+// invariant check that the tree really is a T-tree.
+func (t *Tree) InOrder(dst []uint32) []uint32 {
+	var walk func(id int32)
+	walk = func(id int32) {
+		if id == nilNode {
+			return
+		}
+		walk(t.left[id])
+		base := int(id) * t.capacity
+		for i := 0; i < int(t.count[id]); i++ {
+			dst = append(dst, t.keys[base+i])
+		}
+		walk(t.right[id])
+	}
+	walk(t.root)
+	return dst
+}
+
+// SpaceBytes returns the structure's footprint: copied keys, record
+// pointers, child links, per-node bookkeeping — the paper's point that
+// "essentially half of the space in each node is wasted" on RIDs.
+func (t *Tree) SpaceBytes() int {
+	return mem.SliceBytes(t.keys) + 4*len(t.rids) +
+		4*(len(t.minKey)+len(t.left)+len(t.right)+len(t.start)+len(t.count))
+}
+
+// Levels returns the depth of the node tree (longest root-to-leaf path in
+// nodes).
+func (t *Tree) Levels() int {
+	var depth func(id int32) int
+	depth = func(id int32) int {
+		if id == nilNode {
+			return 0
+		}
+		l, r := depth(t.left[id]), depth(t.right[id])
+		if l > r {
+			return l + 1
+		}
+		return r + 1
+	}
+	return depth(t.root)
+}
+
+// Capacity returns the node capacity in pairs.
+func (t *Tree) Capacity() int { return t.capacity }
+
+// Len returns the number of indexed keys.
+func (t *Tree) Len() int { return t.n }
+
+// String describes the tree for diagnostics.
+func (t *Tree) String() string {
+	return fmt.Sprintf("T-tree{n=%d capacity=%d nodes=%d levels=%d space=%s}",
+		t.n, t.capacity, len(t.start), t.Levels(), mem.Bytes(t.SpaceBytes()))
+}

@@ -1,0 +1,208 @@
+package ttree
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"cssidx/internal/workload"
+)
+
+func refLowerBound(a []uint32, key uint32) int {
+	return sort.Search(len(a), func(i int) bool { return a[i] >= key })
+}
+
+func TestExhaustiveSmallArrays(t *testing.T) {
+	for _, capacity := range []int{2, 3, 7, 8, 16} {
+		for n := 0; n <= 130; n++ {
+			keys := make([]uint32, n)
+			for i := range keys {
+				keys[i] = uint32(3*i + 5)
+			}
+			tr := Build(keys, capacity)
+			probes := []uint32{0, ^uint32(0)}
+			for _, k := range keys {
+				probes = append(probes, k, k-1, k+1)
+			}
+			for _, p := range probes {
+				want := refLowerBound(keys, p)
+				if got := tr.LowerBound(p); got != want {
+					t.Fatalf("cap=%d n=%d: LowerBound(%d)=%d, want %d", capacity, n, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSearchFoundAndMissing(t *testing.T) {
+	g := workload.New(50)
+	keys := g.SortedDistinct(20000)
+	for _, capacity := range []int{7, 14, 30, 62} {
+		tr := Build(keys, capacity)
+		for _, k := range g.Lookups(keys, 2000) {
+			rid, ok := tr.Search(k)
+			if !ok || keys[rid] != k {
+				t.Fatalf("cap=%d: Search(%d)=(%d,%v)", capacity, k, rid, ok)
+			}
+		}
+		for _, k := range g.Misses(keys, 2000) {
+			if _, ok := tr.Search(k); ok {
+				t.Fatalf("cap=%d: found absent key %d", capacity, k)
+			}
+		}
+	}
+}
+
+func TestBasicSearchAgreesWithImproved(t *testing.T) {
+	g := workload.New(51)
+	keys := g.SortedDistinct(10000)
+	tr := Build(keys, 14)
+	probes := append(g.Lookups(keys, 2000), g.Misses(keys, 2000)...)
+	for _, k := range probes {
+		ridI, okI := tr.Search(k)
+		ridB, okB := tr.SearchBasic(k)
+		if okI != okB {
+			t.Fatalf("Search(%d): improved ok=%v basic ok=%v", k, okI, okB)
+		}
+		if okI && ridI != ridB {
+			t.Fatalf("Search(%d): improved rid=%d basic rid=%d", k, ridI, ridB)
+		}
+	}
+}
+
+func TestLeftmostDuplicate(t *testing.T) {
+	g := workload.New(52)
+	keys := g.SortedWithDuplicates(30000, 8)
+	tr := Build(keys, 14)
+	for _, k := range g.Lookups(keys, 3000) {
+		rid, ok := tr.Search(k)
+		want := refLowerBound(keys, k)
+		if !ok || int(rid) != want {
+			t.Fatalf("Search(%d)=(%d,%v), want leftmost %d", k, rid, ok, want)
+		}
+	}
+}
+
+func TestDuplicateRunsSpanningChunks(t *testing.T) {
+	keys := make([]uint32, 1000)
+	for i := range keys {
+		switch {
+		case i < 300:
+			keys[i] = 10
+		case i < 700:
+			keys[i] = 20
+		default:
+			keys[i] = 30
+		}
+	}
+	tr := Build(keys, 7)
+	if got, ok := tr.Search(10); !ok || got != 0 {
+		t.Errorf("Search(10)=(%d,%v)", got, ok)
+	}
+	if got, ok := tr.Search(20); !ok || got != 300 {
+		t.Errorf("Search(20)=(%d,%v)", got, ok)
+	}
+	if got, ok := tr.Search(30); !ok || got != 700 {
+		t.Errorf("Search(30)=(%d,%v)", got, ok)
+	}
+	if _, ok := tr.Search(15); ok {
+		t.Error("found absent 15")
+	}
+	f, l := tr.EqualRange(20)
+	if f != 300 || l != 700 {
+		t.Errorf("EqualRange(20)=[%d,%d)", f, l)
+	}
+}
+
+func TestInOrderIsSorted(t *testing.T) {
+	g := workload.New(53)
+	for _, n := range []int{0, 1, 5, 100, 9999} {
+		keys := g.SortedWithDuplicates(n, 3)
+		tr := Build(keys, 7)
+		got := tr.InOrder(nil)
+		if len(got) != len(keys) {
+			t.Fatalf("n=%d: InOrder returned %d keys", n, len(got))
+		}
+		for i := range got {
+			if got[i] != keys[i] {
+				t.Fatalf("n=%d: InOrder[%d]=%d, want %d", n, i, got[i], keys[i])
+			}
+		}
+	}
+}
+
+func TestBalancedDepth(t *testing.T) {
+	g := workload.New(54)
+	keys := g.SortedDistinct(100000)
+	tr := Build(keys, 14)
+	// ~7143 chunks → balanced depth ⌈log₂ 7143⌉+… ≤ 14.
+	if d := tr.Levels(); d > 14 {
+		t.Errorf("depth %d too deep for balanced tree over %d chunks", d, 100000/14)
+	}
+}
+
+func TestQuickProperty(t *testing.T) {
+	f := func(raw []uint16, probe uint16) bool {
+		keys := make([]uint32, len(raw))
+		for i, v := range raw {
+			keys[i] = uint32(v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		tr := Build(keys, 4)
+		return tr.LowerBound(uint32(probe)) == refLowerBound(keys, uint32(probe))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	tr := Build(nil, 8)
+	if _, ok := tr.Search(5); ok {
+		t.Error("found key in empty tree")
+	}
+	if got := tr.LowerBound(5); got != 0 {
+		t.Errorf("empty LowerBound=%d", got)
+	}
+	tr = Build([]uint32{42}, 8)
+	if rid, ok := tr.Search(42); !ok || rid != 0 {
+		t.Errorf("single: (%d,%v)", rid, ok)
+	}
+}
+
+func TestBuildPanicsOnBadCapacity(t *testing.T) {
+	for _, c := range []int{-1, 0, 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("capacity=%d: expected panic", c)
+				}
+			}()
+			Build([]uint32{1}, c)
+		}()
+	}
+}
+
+func TestSpaceIncludesRIDs(t *testing.T) {
+	// §3.3: a T-tree stores a record pointer per key — space ≥ 8 bytes/key.
+	g := workload.New(55)
+	keys := g.SortedDistinct(50000)
+	tr := Build(keys, 14)
+	if tr.SpaceBytes() < 8*len(keys) {
+		t.Errorf("space %d below keys+RIDs floor %d", tr.SpaceBytes(), 8*len(keys))
+	}
+}
+
+func TestBoundaryKeys(t *testing.T) {
+	keys := []uint32{0, 0, 1, ^uint32(0) - 1, ^uint32(0), ^uint32(0)}
+	tr := Build(keys, 2)
+	if rid, ok := tr.Search(0); !ok || rid != 0 {
+		t.Errorf("Search(0)=(%d,%v)", rid, ok)
+	}
+	if rid, ok := tr.Search(^uint32(0)); !ok || rid != 4 {
+		t.Errorf("Search(max)=(%d,%v)", rid, ok)
+	}
+	if got := tr.LowerBound(2); got != 3 {
+		t.Errorf("LowerBound(2)=%d", got)
+	}
+}

@@ -1,0 +1,232 @@
+// Package workload generates the data sets and lookup streams used in the
+// paper's evaluation (§6.1): sorted arrays of distinct random 4-byte integer
+// keys, plus the variations the paper discusses — linearly distributed keys
+// (where interpolation search shines), non-uniform/skewed keys (where it and
+// naive hashing degrade), and duplicate-heavy keys (§3.6).
+//
+// All generators are deterministic given a seed, so every experiment in this
+// repository is reproducible run-to-run.
+package workload
+
+import (
+	"cssidx/internal/sortu32"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// MaxKey bounds generated keys; one below ^uint32(0) so probes for
+// "key just above the maximum" stay representable in tests.
+const MaxKey = math.MaxUint32 - 1
+
+// Gen produces data sets and lookup streams from a seeded source.
+type Gen struct {
+	rng *rand.Rand
+}
+
+// New returns a generator seeded with seed.
+func New(seed int64) *Gen {
+	return &Gen{rng: rand.New(rand.NewSource(seed))}
+}
+
+// SortedDistinct returns n distinct uint32 keys in ascending order, drawn
+// uniformly at random — the paper's primary data set ("all the keys are
+// distinct integers and are chosen randomly").
+func (g *Gen) SortedDistinct(n int) []uint32 {
+	if n < 0 {
+		panic("workload: negative n")
+	}
+	if n == 0 {
+		return nil
+	}
+	// Draw with a surplus, dedupe, top up until we have n distinct keys.
+	seen := make(map[uint32]struct{}, n+n/8)
+	keys := make([]uint32, 0, n)
+	for len(keys) < n {
+		k := uint32(g.rng.Int63n(MaxKey + 1))
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// SortedUniform returns n strictly ascending keys drawn uniformly from the
+// key space.  Unlike SortedDistinct it avoids a dedup map, so it scales to
+// the paper's 25-million-key experiments: collisions after sorting are
+// nudged apart (+1), which perturbs a vanishing fraction of a uniform draw.
+func (g *Gen) SortedUniform(n int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(g.rng.Int63n(MaxKey + 1))
+	}
+	sortu32.Sort(keys)
+	forceStrictlyAscending(keys)
+	return keys
+}
+
+// SortedLinear returns n keys forming an (almost) arithmetic progression with
+// small jitter: the "data sets that behave linearly" on which interpolation
+// search performs well.
+func (g *Gen) SortedLinear(n int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	keys := make([]uint32, n)
+	step := uint64(MaxKey) / uint64(n+1)
+	if step == 0 {
+		step = 1
+	}
+	jitter := int64(step / 2)
+	for i := range keys {
+		base := uint64(i+1) * step
+		if jitter > 0 {
+			base += uint64(g.rng.Int63n(jitter))
+		}
+		if base > MaxKey {
+			base = MaxKey
+		}
+		keys[i] = uint32(base)
+	}
+	forceStrictlyAscending(keys)
+	return keys
+}
+
+// SortedSkewed returns n distinct keys whose *values* are clumped
+// non-uniformly (quadratically stretched), the "non-uniform data" on which
+// the paper reports interpolation search doing worse than binary search.
+func (g *Gen) SortedSkewed(n int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	keys := make([]uint32, n)
+	for i := range keys {
+		u := g.rng.Float64()
+		// Square the uniform variate: mass piles up near zero, the tail
+		// stretches; a linear interpolator's position estimate is badly off.
+		v := uint64(u * u * float64(MaxKey))
+		keys[i] = uint32(v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	forceStrictlyAscending(keys)
+	return keys
+}
+
+// SortedWithDuplicates returns n ascending keys where each distinct value
+// repeats with expected multiplicity dup (≥1) — the duplicate handling
+// scenario of §3.6.
+func (g *Gen) SortedWithDuplicates(n, dup int) []uint32 {
+	if n <= 0 {
+		return nil
+	}
+	if dup < 1 {
+		dup = 1
+	}
+	keys := make([]uint32, 0, n)
+	cur := uint32(g.rng.Int63n(1 << 16))
+	for len(keys) < n {
+		reps := 1 + g.rng.Intn(2*dup-1)
+		for r := 0; r < reps && len(keys) < n; r++ {
+			keys = append(keys, cur)
+		}
+		gap := uint32(1 + g.rng.Int63n(1<<12))
+		if cur > MaxKey-gap {
+			// Wrapped the key space; restart low but keep the array sorted by
+			// rebuilding from what we have (extremely unlikely in practice).
+			break
+		}
+		cur += gap
+	}
+	for len(keys) < n {
+		keys = append(keys, cur)
+	}
+	return keys
+}
+
+// Lookups returns q keys sampled uniformly (with replacement) from keys —
+// the paper's "100,000 searches on randomly chosen matching keys".
+func (g *Gen) Lookups(keys []uint32, q int) []uint32 {
+	if len(keys) == 0 || q <= 0 {
+		return nil
+	}
+	out := make([]uint32, q)
+	for i := range out {
+		out[i] = keys[g.rng.Intn(len(keys))]
+	}
+	return out
+}
+
+// ZipfLookups returns q keys sampled from keys with Zipfian skew s (>1 means
+// skew; the classic hot-key access pattern that stresses hash chains and
+// rewards warm caches).
+func (g *Gen) ZipfLookups(keys []uint32, q int, s float64) []uint32 {
+	if len(keys) == 0 || q <= 0 {
+		return nil
+	}
+	if s <= 1 {
+		s = 1.0001
+	}
+	z := rand.NewZipf(g.rng, s, 1, uint64(len(keys)-1))
+	out := make([]uint32, q)
+	for i := range out {
+		out[i] = keys[z.Uint64()]
+	}
+	return out
+}
+
+// Misses returns q keys guaranteed absent from the sorted slice keys,
+// for negative-lookup experiments.
+func (g *Gen) Misses(keys []uint32, q int) []uint32 {
+	out := make([]uint32, 0, q)
+	for len(out) < q {
+		k := uint32(g.rng.Int63n(MaxKey + 1))
+		i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if i < len(keys) && keys[i] == k {
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}
+
+// Shuffled returns a shuffled copy of keys (e.g. insertion order for
+// structures built by repeated insertion).
+func (g *Gen) Shuffled(keys []uint32) []uint32 {
+	out := make([]uint32, len(keys))
+	copy(out, keys)
+	g.rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// forceStrictlyAscending nudges equal neighbours apart so the slice is
+// strictly ascending, preserving sortedness.  Used by generators whose raw
+// draws may collide.
+func forceStrictlyAscending(keys []uint32) {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			keys[i] = keys[i-1] + 1
+		}
+	}
+}
+
+// IsSorted reports whether keys is in non-decreasing order.
+func IsSorted(keys []uint32) bool {
+	return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+}
+
+// IsStrictlyAscending reports whether keys is strictly increasing
+// (all distinct).
+func IsStrictlyAscending(keys []uint32) bool {
+	for i := 1; i < len(keys); i++ {
+		if keys[i] <= keys[i-1] {
+			return false
+		}
+	}
+	return true
+}

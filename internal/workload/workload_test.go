@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSortedDistinct(t *testing.T) {
+	g := New(1)
+	for _, n := range []int{0, 1, 2, 100, 10000} {
+		keys := g.SortedDistinct(n)
+		if len(keys) != n {
+			t.Fatalf("n=%d: got %d keys", n, len(keys))
+		}
+		if !IsStrictlyAscending(keys) {
+			t.Errorf("n=%d: keys not strictly ascending", n)
+		}
+	}
+}
+
+func TestSortedDistinctDeterministic(t *testing.T) {
+	a := New(42).SortedDistinct(1000)
+	b := New(42).SortedDistinct(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSortedDistinctSeedsDiffer(t *testing.T) {
+	a := New(1).SortedDistinct(100)
+	b := New(2).SortedDistinct(100)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical data")
+	}
+}
+
+func TestSortedUniform(t *testing.T) {
+	g := New(2)
+	keys := g.SortedUniform(100000)
+	if len(keys) != 100000 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	if !IsStrictlyAscending(keys) {
+		t.Fatal("keys not strictly ascending")
+	}
+	// Uniformity: the median should sit near the middle of the key space.
+	mid := float64(keys[len(keys)/2]) / float64(MaxKey)
+	if mid < 0.45 || mid > 0.55 {
+		t.Errorf("median at %.3f of key space, want ≈0.5", mid)
+	}
+	if got := g.SortedUniform(0); got != nil {
+		t.Error("n=0 should be nil")
+	}
+}
+
+func TestSortedLinear(t *testing.T) {
+	g := New(3)
+	keys := g.SortedLinear(10000)
+	if !IsStrictlyAscending(keys) {
+		t.Fatal("linear keys not strictly ascending")
+	}
+	// Linearity: middle element should be near half of the last element.
+	mid := float64(keys[len(keys)/2])
+	last := float64(keys[len(keys)-1])
+	ratio := mid / last
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Errorf("linear data set not linear: mid/last=%.3f", ratio)
+	}
+}
+
+func TestSortedSkewed(t *testing.T) {
+	g := New(4)
+	keys := g.SortedSkewed(10000)
+	if !IsStrictlyAscending(keys) {
+		t.Fatal("skewed keys not strictly ascending")
+	}
+	// Skew: the median must sit well below half the max (mass near zero).
+	mid := float64(keys[len(keys)/2])
+	last := float64(keys[len(keys)-1])
+	if mid/last > 0.4 {
+		t.Errorf("skewed data set looks uniform: mid/last=%.3f", mid/last)
+	}
+}
+
+func TestSortedWithDuplicates(t *testing.T) {
+	g := New(5)
+	keys := g.SortedWithDuplicates(10000, 4)
+	if len(keys) != 10000 {
+		t.Fatalf("got %d keys", len(keys))
+	}
+	if !IsSorted(keys) {
+		t.Fatal("duplicate data set not sorted")
+	}
+	distinct := 1
+	dups := 0
+	for i := 1; i < len(keys); i++ {
+		if keys[i] != keys[i-1] {
+			distinct++
+		} else {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Error("no duplicates generated")
+	}
+	if distinct < 1000 {
+		t.Errorf("too few distinct values: %d", distinct)
+	}
+}
+
+func TestLookupsAreMembers(t *testing.T) {
+	g := New(6)
+	keys := g.SortedDistinct(5000)
+	q := g.Lookups(keys, 20000)
+	if len(q) != 20000 {
+		t.Fatalf("got %d lookups", len(q))
+	}
+	for _, k := range q {
+		i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if i == len(keys) || keys[i] != k {
+			t.Fatalf("lookup key %d not a member", k)
+		}
+	}
+}
+
+func TestLookupsEmpty(t *testing.T) {
+	g := New(7)
+	if got := g.Lookups(nil, 10); got != nil {
+		t.Errorf("lookups on empty data should be nil, got %v", got)
+	}
+	if got := g.Lookups([]uint32{1}, 0); got != nil {
+		t.Errorf("zero lookups should be nil, got %v", got)
+	}
+}
+
+func TestZipfLookupsSkewed(t *testing.T) {
+	g := New(8)
+	keys := g.SortedDistinct(1000)
+	q := g.ZipfLookups(keys, 50000, 1.5)
+	counts := map[uint32]int{}
+	for _, k := range q {
+		counts[k]++
+	}
+	// The hottest key must dominate: far above the uniform expectation of 50.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 500 {
+		t.Errorf("zipf lookups look uniform: hottest key hit %d times", max)
+	}
+}
+
+func TestMissesAreAbsent(t *testing.T) {
+	g := New(9)
+	keys := g.SortedDistinct(5000)
+	misses := g.Misses(keys, 1000)
+	if len(misses) != 1000 {
+		t.Fatalf("got %d misses", len(misses))
+	}
+	for _, k := range misses {
+		i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+		if i < len(keys) && keys[i] == k {
+			t.Fatalf("miss key %d is present", k)
+		}
+	}
+}
+
+func TestShuffledIsPermutation(t *testing.T) {
+	g := New(10)
+	keys := g.SortedDistinct(2000)
+	sh := g.Shuffled(keys)
+	if len(sh) != len(keys) {
+		t.Fatal("length changed")
+	}
+	back := make([]uint32, len(sh))
+	copy(back, sh)
+	sort.Slice(back, func(i, j int) bool { return back[i] < back[j] })
+	for i := range back {
+		if back[i] != keys[i] {
+			t.Fatalf("not a permutation at %d", i)
+		}
+	}
+	// And actually shuffled.
+	moved := 0
+	for i := range sh {
+		if sh[i] != keys[i] {
+			moved++
+		}
+	}
+	if moved < len(keys)/2 {
+		t.Errorf("shuffle barely moved anything: %d/%d", moved, len(keys))
+	}
+}
+
+func TestForceStrictlyAscendingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := make([]uint32, len(raw))
+		for i, v := range raw {
+			keys[i] = uint32(v)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		forceStrictlyAscending(keys)
+		return IsStrictlyAscending(keys)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfLookupsEdgeCases(t *testing.T) {
+	g := New(16)
+	if got := g.ZipfLookups(nil, 10, 2); got != nil {
+		t.Error("zipf on empty keys should be nil")
+	}
+	keys := g.SortedDistinct(100)
+	if got := g.ZipfLookups(keys, 0, 2); got != nil {
+		t.Error("zero zipf lookups should be nil")
+	}
+	// s ≤ 1 is clamped, not an error.
+	got := g.ZipfLookups(keys, 100, 0.5)
+	if len(got) != 100 {
+		t.Fatalf("clamped skew returned %d lookups", len(got))
+	}
+}
+
+func TestSortedWithDuplicatesEdgeCases(t *testing.T) {
+	g := New(17)
+	if got := g.SortedWithDuplicates(0, 3); got != nil {
+		t.Error("n=0 should be nil")
+	}
+	// dup < 1 clamps to 1.
+	keys := g.SortedWithDuplicates(100, 0)
+	if len(keys) != 100 || !IsSorted(keys) {
+		t.Error("dup=0 mishandled")
+	}
+}
+
+func TestGeneratorsEmpty(t *testing.T) {
+	g := New(18)
+	if g.SortedLinear(0) != nil || g.SortedSkewed(0) != nil || g.SortedUniform(-1) != nil {
+		t.Error("empty generators should return nil")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("SortedDistinct(-1) should panic")
+		}
+	}()
+	g.SortedDistinct(-1)
+}
+
+func TestIsSortedHelpers(t *testing.T) {
+	if !IsSorted([]uint32{1, 1, 2}) {
+		t.Error("IsSorted failed on sorted-with-dup")
+	}
+	if IsStrictlyAscending([]uint32{1, 1, 2}) {
+		t.Error("IsStrictlyAscending accepted a duplicate")
+	}
+	if IsSorted([]uint32{2, 1}) {
+		t.Error("IsSorted accepted descending")
+	}
+}

@@ -1,0 +1,47 @@
+package cssidx
+
+import (
+	"fmt"
+	"io"
+
+	"cssidx/internal/csstree"
+)
+
+// SaveIndex writes a restartable snapshot of a CSS-tree index (either
+// variant) to w.  The snapshot holds the directory and a checksum of the
+// indexed keys; the sorted array itself is not stored — on restart it is
+// re-attached with LoadIndex, which verifies the checksum so a stale
+// snapshot cannot silently index the wrong data.
+//
+// Only CSS-trees are snapshottable: the other methods either need no
+// structure (array searches) or rebuild quickly enough that persisting them
+// has no benefit over their bulk load.
+func SaveIndex(w io.Writer, idx Index) error {
+	switch x := idx.(type) {
+	case fullCSS:
+		_, err := x.t.WriteTo(w)
+		return err
+	case levelCSS:
+		_, err := x.t.WriteTo(w)
+		return err
+	default:
+		return fmt.Errorf("cssidx: %s does not support snapshots", idx.Name())
+	}
+}
+
+// LoadIndex restores a snapshot written by SaveIndex over keys, which must
+// be the identical sorted array the snapshot was built from.
+func LoadIndex(r io.Reader, keys []Key) (OrderedIndex, error) {
+	tr, err := csstree.Restore(r, keys)
+	if err != nil {
+		return nil, err
+	}
+	switch t := tr.(type) {
+	case *csstree.Full:
+		return fullCSS{t}, nil
+	case *csstree.Level:
+		return levelCSS{t}, nil
+	default:
+		return nil, fmt.Errorf("cssidx: unknown snapshot variant %T", tr)
+	}
+}

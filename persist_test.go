@@ -1,0 +1,67 @@
+package cssidx_test
+
+import (
+	"bytes"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	g := workload.New(150)
+	keys := g.SortedDistinct(30000)
+	for _, kind := range []cssidx.Kind{cssidx.KindFullCSS, cssidx.KindLevelCSS} {
+		idx := cssidx.New(kind, keys, cssidx.Options{})
+		var buf bytes.Buffer
+		if err := cssidx.SaveIndex(&buf, idx); err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		loaded, err := cssidx.LoadIndex(&buf, keys)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		if loaded.Name() != idx.Name() {
+			t.Errorf("%v: restored as %q", kind, loaded.Name())
+		}
+		probes := append(g.Lookups(keys, 2000), g.Misses(keys, 2000)...)
+		for _, k := range probes {
+			if a, b := idx.Search(k), loaded.Search(k); a != b {
+				t.Fatalf("%v: snapshot diverges at key %d: %d vs %d", kind, k, a, b)
+			}
+		}
+		if loaded.SpaceBytes() != idx.SpaceBytes() {
+			t.Errorf("%v: space changed: %d vs %d", kind, loaded.SpaceBytes(), idx.SpaceBytes())
+		}
+	}
+}
+
+func TestSaveUnsupportedKinds(t *testing.T) {
+	g := workload.New(151)
+	keys := g.SortedDistinct(100)
+	for _, kind := range []cssidx.Kind{
+		cssidx.KindBinarySearch, cssidx.KindBST, cssidx.KindTTree,
+		cssidx.KindBPlusTree, cssidx.KindHash,
+	} {
+		idx := cssidx.New(kind, keys, cssidx.Options{})
+		if err := cssidx.SaveIndex(&bytes.Buffer{}, idx); err == nil {
+			t.Errorf("%v: expected unsupported error", kind)
+		}
+	}
+}
+
+func TestLoadRejectsChangedKeys(t *testing.T) {
+	g := workload.New(152)
+	keys := g.SortedDistinct(5000)
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	var buf bytes.Buffer
+	if err := cssidx.SaveIndex(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	// OLAP batch arrived: the array changed; the snapshot must be refused.
+	changed := append([]uint32(nil), keys...)
+	changed[0] = changed[0] + 1
+	if _, err := cssidx.LoadIndex(&buf, changed); err == nil {
+		t.Error("stale snapshot attached to updated array")
+	}
+}
