@@ -11,7 +11,7 @@ func TestListShowsAllExperiments(t *testing.T) {
 	if code := run([]string{"-list"}, &out, &errb); code != 0 {
 		t.Fatalf("exit=%d stderr=%s", code, errb.String())
 	}
-	for _, id := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14"} {
+	for _, id := range []string{"table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "skew", "shard"} {
 		if !strings.Contains(out.String(), id) {
 			t.Errorf("list missing %s", id)
 		}

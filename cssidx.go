@@ -26,6 +26,23 @@
 // The sorted array itself is the leaf level: Search and LowerBound return
 // positions in it, which double as RIDs for a record-identifier list sorted
 // by the indexed attribute (§2.2).
+//
+// # Concurrent serving: ShardedIndex
+//
+// ShardedIndex turns the §2.3 rebuild cycle into a concurrent serving
+// layer: the key space is range-partitioned across N shards (equal-count,
+// or skew-aware from a probe sample), each shard's CSS-tree sits behind an
+// atomic pointer, and Search/LowerBound/EqualRange/range scans are
+// lock-free while a background goroutine absorbs batched Insert/Delete
+// traffic per shard and publishes freshly rebuilt trees with epoch-swaps.
+//
+//	idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[cssidx.Key]{Shards: 8})
+//	defer idx.Close()
+//	go func() { idx.Insert(batch...); idx.Sync() }()   // writers
+//	pos := idx.Search(13)                              // readers, lock-free
+//
+// Use Snapshot for repeatable reads with stable positions across shards,
+// and Ascend for merged cross-shard range scans.
 package cssidx
 
 import (

@@ -66,6 +66,29 @@ func ExampleNewRecordTree() {
 	// Output: 1 y
 }
 
+// ShardedIndex serves lock-free concurrent lookups while batched updates
+// are absorbed by background epoch-swap rebuilds.
+func ExampleNewSharded() {
+	keys := []cssidx.Key{2, 3, 5, 8, 13, 21, 34}
+	idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[cssidx.Key]{Shards: 2})
+	defer idx.Close()
+	fmt.Println(idx.Search(13))
+	idx.Insert(14, 15)
+	idx.Delete(2)
+	idx.Sync() // wait for the epoch-swap
+	fmt.Println(idx.Search(14))
+	idx.Ascend(10, 20, func(pos int, key cssidx.Key) bool {
+		fmt.Println(pos, key)
+		return true
+	})
+	// Output:
+	// 4
+	// 4
+	// 3 13
+	// 4 14
+	// 5 15
+}
+
 // Snapshots persist a built directory and re-attach it to the same array.
 func ExampleSaveIndex() {
 	keys := []cssidx.Key{1, 2, 3, 5, 8, 13}

@@ -1,0 +1,105 @@
+// Sharded: the §2.3 rebuild cycle as a concurrent serving layer.  A
+// ShardedIndex range-partitions the key space, serves lock-free lookups
+// from every CPU, and absorbs update batches in the background: each
+// affected shard's CSS-tree is rebuilt from scratch and published with an
+// epoch-swap, so readers never block and never see a half-updated
+// structure.
+//
+// The example starts a pool of reader goroutines over a 2M-key index, then
+// pushes "nightly" batches through the rebuilder while the readers keep
+// serving, and finally cross-checks every answer against a single-threaded
+// binary search over the final key set.
+//
+// Run: go run ./examples/sharded
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+func main() {
+	g := workload.New(11)
+	keys := g.SortedUniform(2_000_000)
+
+	idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 8})
+	defer idx.Close()
+	fmt.Printf("built sharded index: %d keys across %d shards\n", idx.Len(), idx.ShardCount())
+
+	// Readers: hammer the index from every CPU while updates flow.
+	probes := g.Lookups(keys, 100_000)
+	stop := make(chan struct{})
+	var served atomic.Int64
+	var wg sync.WaitGroup
+	readers := runtime.GOMAXPROCS(0)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for n := int64(0); ; n++ {
+				select {
+				case <-stop:
+					served.Add(n)
+					return
+				default:
+				}
+				if idx.Search(probes[i%len(probes)]) < 0 {
+					log.Fatal("present key not found")
+				}
+				i++
+			}
+		}(r * 8191)
+	}
+
+	// Writer: three "nights" of batch updates, absorbed by epoch-swaps
+	// while the readers above keep running.
+	all := append([]uint32(nil), keys...)
+	for night := 1; night <= 3; night++ {
+		batch := g.SortedUniform(200_000)
+		start := time.Now()
+		idx.Insert(batch...)
+		idx.Sync()
+		all = append(all, batch...)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for _, k := range batch[:1000] {
+			if idx.Search(k) < 0 {
+				log.Fatalf("night %d: batch key invisible after Sync", night)
+			}
+		}
+		fmt.Printf("night %d: +%d keys absorbed in %v while serving\n",
+			night, len(batch), time.Since(start).Round(time.Millisecond))
+	}
+	close(stop)
+	wg.Wait()
+
+	swaps := uint64(0)
+	for _, e := range idx.Epochs() {
+		swaps += e - 1
+	}
+	fmt.Printf("served %d lookups concurrently with %d epoch swaps\n", served.Load(), swaps)
+
+	// Cross-check the final state against plain binary search.
+	check := g.Lookups(all, 20_000)
+	bin := cssidx.NewBinarySearch(all)
+	for _, k := range check {
+		if idx.Search(k) != bin.Search(k) {
+			log.Fatalf("sharded and binary search disagree on %d", k)
+		}
+	}
+	lo, hi := all[len(all)/4], all[len(all)/2]
+	count := 0
+	idx.Ascend(lo, hi, func(pos int, key uint32) bool { count++; return true })
+	want := bin.LowerBound(hi) - bin.LowerBound(lo)
+	if count != want {
+		log.Fatalf("range scan saw %d keys, binary search says %d", count, want)
+	}
+	fmt.Printf("lookups agree with binary search; range scan of %d keys agrees too\n", count)
+}

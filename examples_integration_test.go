@@ -35,6 +35,10 @@ func TestExamplesRun(t *testing.T) {
 			dir:   "./examples/batchupdate",
 			wants: []string{"day 0:", "day 3:", "index rebuild"},
 		},
+		{
+			dir:   "./examples/sharded",
+			wants: []string{"built sharded index", "epoch swaps", "lookups agree with binary search"},
+		},
 	}
 	for _, c := range cases {
 		c := c

@@ -1,0 +1,3 @@
+module cssidx
+
+go 1.24

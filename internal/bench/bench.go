@@ -72,6 +72,7 @@ func Experiments() []Experiment {
 		{"fig13", "Figure 13: search time varying node size (Pentium II)", runFig13},
 		{"fig14", "Figure 2/14: space/time trade-offs and the stepped frontier", runFig14},
 		{"skew", "Extension: skew sensitivity (interpolation, hash chains, Zipf warm cache)", runSkew},
+		{"shard", "Extension: sharded serving throughput under concurrent epoch-swap rebuilds", runShard},
 	}
 }
 

@@ -33,6 +33,7 @@ type Table struct {
 	cols    map[string]*Column
 	order   []string
 	indexes map[string]*SortedIndex
+	sharded map[string]*ShardedIndex
 }
 
 // Column is one domain-encoded attribute.
@@ -49,6 +50,7 @@ func NewTable(name string) *Table {
 		name:    name,
 		cols:    map[string]*Column{},
 		indexes: map[string]*SortedIndex{},
+		sharded: map[string]*ShardedIndex{},
 	}
 }
 
@@ -262,6 +264,9 @@ func (t *Table) AppendRows(newCols map[string][]uint32) error {
 	}
 	t.rows += batch
 	for _, ix := range t.indexes {
+		ix.rebuild()
+	}
+	for _, ix := range t.sharded {
 		ix.rebuild()
 	}
 	return nil

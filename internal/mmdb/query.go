@@ -110,15 +110,25 @@ func (t *Table) PlanRange(col string, lo, hi uint32) (Plan, error) {
 		frac = float64(hiID-loID) / float64(c.dom.Len())
 	}
 	est := int(frac * float64(t.rows))
+	// Ordered access comes from a non-hash SortedIndex or, failing that, a
+	// sharded index (note that Table-level planning reads mutable table
+	// state, so PlanRange/SelectRange themselves must not race AppendRows;
+	// for queries concurrent with batch rebuilds go through the
+	// ShardedIndex methods directly).
 	ix, indexed := t.indexes[col]
+	_, shardedOK := t.sharded[col]
+	ordered := (indexed && ix.Kind().String() != "hash") || (!indexed && shardedOK)
 	switch {
-	case !indexed:
+	case !indexed && !shardedOK:
 		return Plan{UseIndex: false, EstRows: est, Why: "no index on column"}, nil
-	case ix.Kind().String() == "hash":
+	case !ordered:
 		return Plan{UseIndex: false, EstRows: est, Why: "hash index has no ordered access"}, nil
 	case frac > scanBreakEven:
 		return Plan{UseIndex: false, EstRows: est,
 			Why: fmt.Sprintf("selectivity %.0f%% above scan break-even", 100*frac)}, nil
+	case !indexed:
+		return Plan{UseIndex: true, EstRows: est,
+			Why: fmt.Sprintf("sharded index, selectivity %.1f%% below scan break-even", 100*frac)}, nil
 	default:
 		return Plan{UseIndex: true, EstRows: est,
 			Why: fmt.Sprintf("selectivity %.1f%% below scan break-even", 100*frac)}, nil
@@ -135,7 +145,11 @@ func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 		return nil, Plan{}, err
 	}
 	if plan.UseIndex {
-		rids, err := t.indexes[col].SelectRange(lo, hi)
+		if ix, ok := t.indexes[col]; ok {
+			rids, err := ix.SelectRange(lo, hi)
+			return rids, plan, err
+		}
+		rids, err := t.sharded[col].SelectRange(lo, hi)
 		return rids, plan, err
 	}
 	c := t.cols[col]

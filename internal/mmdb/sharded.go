@@ -1,0 +1,144 @@
+package mmdb
+
+// Sharded serving for table queries: a ShardedIndex is the concurrent
+// counterpart of SortedIndex.  The whole index state — sorted domain-ID
+// keys, the RID list, and the cssidx.ShardedIndex over the keys — lives in
+// one immutable snapshot behind an atomic pointer, so selections and range
+// queries keep serving, lock-free and torn-read-free, while AppendRows
+// rebuilds and publishes the next epoch (the §2.3 cycle applied at the
+// table level, on top of the per-shard epoch-swaps inside the index).
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"cssidx"
+	"cssidx/internal/domain"
+	"cssidx/internal/sortu32"
+)
+
+// ShardedIndex is a concurrently servable RID list + sharded search index
+// on one column.  Build with Table.BuildShardedIndex; queries may run from
+// any goroutine, concurrently with AppendRows.
+type ShardedIndex struct {
+	col    *Column
+	shards int
+	cur    atomic.Pointer[shardedEpoch]
+}
+
+// shardedEpoch is one published rebuild of the index state.
+type shardedEpoch struct {
+	epoch uint64
+	dom   *domain.IntDomain // the domain the keys were encoded against
+	keys  []uint32          // domain IDs in sorted order
+	rids  []uint32          // RIDs ordered by column value
+	idx   *cssidx.ShardedIndex[uint32]
+}
+
+// BuildShardedIndex builds a sharded index on the column and registers it;
+// shards ≤ 0 picks the cssidx default (GOMAXPROCS, capped at 16).
+// AppendRows rebuilds the index and publishes the new state atomically.
+func (t *Table) BuildShardedIndex(colName string, shards int) (*ShardedIndex, error) {
+	col, ok := t.cols[colName]
+	if !ok {
+		return nil, fmt.Errorf("mmdb: no column %s in table %s", colName, t.name)
+	}
+	ix := &ShardedIndex{col: col, shards: shards}
+	ix.rebuild()
+	if old, ok := t.sharded[colName]; ok {
+		old.Close() // release the replaced index's background rebuilder
+	}
+	t.sharded[colName] = ix
+	return ix, nil
+}
+
+// ShardedIndex returns the registered sharded index on a column, if any.
+func (t *Table) ShardedIndex(colName string) (*ShardedIndex, bool) {
+	ix, ok := t.sharded[colName]
+	return ix, ok
+}
+
+// rebuild constructs the next epoch from the column's current encoding and
+// publishes it with a single pointer swap.  The previous epoch's background
+// rebuilder is released; readers still holding it keep valid results.
+func (ix *ShardedIndex) rebuild() {
+	n := len(ix.col.ids)
+	keys := make([]uint32, n)
+	rids := make([]uint32, n)
+	copy(keys, ix.col.ids)
+	for i := range rids {
+		rids[i] = uint32(i)
+	}
+	sortu32.SortPairs(keys, rids)
+	next := &shardedEpoch{
+		epoch: 1,
+		dom:   ix.col.dom,
+		keys:  keys,
+		rids:  rids,
+		idx:   cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: ix.shards}),
+	}
+	if old := ix.cur.Load(); old != nil {
+		next.epoch = old.epoch + 1
+		old.idx.Close()
+	}
+	ix.cur.Store(next)
+}
+
+// Epoch returns the current table-level epoch (1 = initial build, +1 per
+// AppendRows rebuild).
+func (ix *ShardedIndex) Epoch() uint64 { return ix.cur.Load().epoch }
+
+// ShardCount returns the shard count of the current epoch's index.
+func (ix *ShardedIndex) ShardCount() int { return ix.cur.Load().idx.ShardCount() }
+
+// SpaceBytes returns the current epoch's footprint: RID list, key array and
+// the per-shard arrays (counted as one extra key copy across shards).
+func (ix *ShardedIndex) SpaceBytes() int {
+	s := ix.cur.Load()
+	return 4*len(s.rids) + 4*len(s.keys) + 4*s.idx.Len()
+}
+
+// SelectEqual returns the RIDs of rows whose column equals value.
+func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
+	s := ix.cur.Load()
+	id, ok := s.dom.ID(value)
+	if !ok {
+		return nil
+	}
+	first, last := s.idx.EqualRange(id)
+	if first >= last {
+		return nil
+	}
+	out := make([]uint32, last-first)
+	copy(out, s.rids[first:last])
+	return out
+}
+
+// SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in column-
+// value order.
+func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
+	s := ix.cur.Load()
+	loID, hiID := s.dom.IDRange(lo, hi)
+	if loID >= hiID {
+		return nil, nil
+	}
+	first := s.idx.LowerBound(loID)
+	last := s.idx.LowerBound(hiID)
+	out := make([]uint32, last-first)
+	copy(out, s.rids[first:last])
+	return out, nil
+}
+
+// CountRange is SelectRange without materialising RIDs.
+func (ix *ShardedIndex) CountRange(lo, hi uint32) (int, error) {
+	s := ix.cur.Load()
+	loID, hiID := s.dom.IDRange(lo, hi)
+	if loID >= hiID {
+		return 0, nil
+	}
+	return s.idx.LowerBound(hiID) - s.idx.LowerBound(loID), nil
+}
+
+// Close releases the current epoch's background rebuilder.  Queries remain
+// valid; call when the table is done serving.
+func (ix *ShardedIndex) Close() { ix.cur.Load().idx.Close() }

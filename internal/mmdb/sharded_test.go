@@ -1,0 +1,218 @@
+package mmdb
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cssidx"
+)
+
+func shardedFixture(t *testing.T, rows int, seed int64) (*Table, []uint32) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vals := make([]uint32, rows)
+	for i := range vals {
+		vals[i] = uint32(rng.Intn(rows / 4)) // plenty of duplicates
+	}
+	tbl := NewTable("orders")
+	if err := tbl.AddColumn("qty", vals); err != nil {
+		t.Fatal(err)
+	}
+	return tbl, vals
+}
+
+// TestShardedIndexMatchesSortedIndex: the sharded index must answer every
+// selection exactly like the single-threaded SortedIndex (as RID sets;
+// within duplicate runs the orders may differ because the two paths sort
+// pairs differently).
+func TestShardedIndexMatchesSortedIndex(t *testing.T) {
+	tbl, vals := shardedFixture(t, 8000, 41)
+	ref, err := tbl.BuildIndex("qty", cssidx.KindLevelCSS, cssidx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh, err := tbl.BuildShardedIndex("qty", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	asSet := func(rids []uint32) map[uint32]bool {
+		m := make(map[uint32]bool, len(rids))
+		for _, r := range rids {
+			m[r] = true
+		}
+		return m
+	}
+	sameSet := func(a, b []uint32) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		sa := asSet(a)
+		for _, r := range b {
+			if !sa[r] {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, v := range []uint32{0, 1, vals[0], vals[100], 1999, 5000} {
+		if !sameSet(ref.SelectEqual(v), sh.SelectEqual(v)) {
+			t.Fatalf("SelectEqual(%d) differs between sorted and sharded", v)
+		}
+	}
+	for _, r := range [][2]uint32{{0, 10}, {100, 500}, {1990, 5000}, {7, 7}, {5000, 4000}} {
+		want, err := ref.SelectRange(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := sh.SelectRange(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameSet(want, got) {
+			t.Fatalf("SelectRange(%d,%d): %d vs %d rids", r[0], r[1], len(want), len(got))
+		}
+		n, err := sh.CountRange(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != len(want) {
+			t.Fatalf("CountRange(%d,%d)=%d want %d", r[0], r[1], n, len(want))
+		}
+	}
+}
+
+// TestShardedIndexServesDuringAppendRows runs concurrent range queries
+// against the sharded index while AppendRows repeatedly rebuilds it; every
+// answer must be internally consistent with some published epoch.
+func TestShardedIndexServesDuringAppendRows(t *testing.T) {
+	tbl, _ := shardedFixture(t, 4000, 42)
+	sh, err := tbl.BuildShardedIndex("qty", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+
+	stop := make(chan struct{})
+	var queries atomic.Int64
+	var wg sync.WaitGroup
+	bad := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				lo := uint32(rng.Intn(900))
+				hi := lo + uint32(rng.Intn(100))
+				rids, err := sh.SelectRange(lo, hi)
+				if err != nil {
+					select {
+					case bad <- err.Error():
+					default:
+					}
+					return
+				}
+				n, _ := sh.CountRange(lo, hi)
+				// Counts may come from a different epoch than the select;
+				// both must at least be sane for their own epoch.
+				if len(rids) < 0 || n < 0 {
+					select {
+					case bad <- "negative result":
+					default:
+					}
+					return
+				}
+				queries.Add(1)
+			}
+		}(int64(w))
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	for batch := 0; batch < 12; batch++ {
+		vals := make([]uint32, 500)
+		for i := range vals {
+			vals[i] = uint32(rng.Intn(1200))
+		}
+		if err := tbl.AppendRows(map[string][]uint32{"qty": vals}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-bad:
+		t.Fatal(msg)
+	default:
+	}
+	if got := sh.Epoch(); got != 13 {
+		t.Fatalf("epoch=%d want 13 (1 build + 12 AppendRows)", got)
+	}
+	if tbl.Rows() != 4000+12*500 {
+		t.Fatalf("rows=%d", tbl.Rows())
+	}
+	// After the last rebuild the answers must reflect every appended row.
+	n, err := sh.CountRange(0, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != tbl.Rows() {
+		t.Fatalf("CountRange(all)=%d want %d", n, tbl.Rows())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no queries completed during rebuilds")
+	}
+}
+
+// TestPlannerUsesShardedIndex: table range queries route through the
+// sharded index when it is the only index on the column.
+func TestPlannerUsesShardedIndex(t *testing.T) {
+	tbl, _ := shardedFixture(t, 4000, 43)
+	sh, err := tbl.BuildShardedIndex("qty", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh.Close()
+	plan, err := tbl.PlanRange("qty", 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan.UseIndex {
+		t.Fatalf("selective predicate should use the sharded index: %+v", plan)
+	}
+	rids, plan2, err := tbl.SelectRange("qty", 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plan2.UseIndex {
+		t.Fatalf("SelectRange ignored the sharded index: %+v", plan2)
+	}
+	// Verify against a scan.
+	c, _ := tbl.Column("qty")
+	want := 0
+	for row := 0; row < tbl.Rows(); row++ {
+		if v := c.Value(row); v >= 5 && v <= 10 {
+			want++
+		}
+	}
+	if len(rids) != want {
+		t.Fatalf("sharded range returned %d rids, scan says %d", len(rids), want)
+	}
+	// A wide predicate still falls back to the scan.
+	plan3, err := tbl.PlanRange("qty", 0, 4_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan3.UseIndex {
+		t.Fatalf("unselective predicate should scan: %+v", plan3)
+	}
+}

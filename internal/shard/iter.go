@@ -1,0 +1,131 @@
+package shard
+
+// Frozen cross-shard views and the merging range iterator.  A View captures
+// every shard's current snapshot with one atomic load each; the captured
+// snapshots are immutable, so a View gives repeatable reads with stable
+// global positions no matter how many epoch-swaps happen behind it — the
+// serving layer's equivalent of a read transaction.
+
+import (
+	"cmp"
+	"sort"
+)
+
+// View is a frozen capture of all shards.  Each shard's snapshot is
+// internally consistent; the set reflects each shard's latest epoch at
+// capture time.  Views are cheap (no copying) and safe for concurrent use.
+type View[K cmp.Ordered] struct {
+	bounds []K
+	snaps  []*snapshot[K]
+	offs   []int // offs[i] = global start of shard i; offs[len(snaps)] = Len
+}
+
+// View captures the current snapshot of every shard.
+func (x *Index[K]) View() *View[K] {
+	v := &View[K]{
+		bounds: x.bounds,
+		snaps:  make([]*snapshot[K], len(x.shards)),
+		offs:   make([]int, len(x.shards)+1),
+	}
+	for i, s := range x.shards {
+		v.snaps[i] = s.cur.Load()
+		v.offs[i+1] = v.offs[i] + len(v.snaps[i].keys)
+	}
+	return v
+}
+
+// Len returns the total number of keys in the view.
+func (v *View[K]) Len() int { return v.offs[len(v.snaps)] }
+
+// Epochs returns the epoch of each captured shard snapshot.
+func (v *View[K]) Epochs() []uint64 {
+	out := make([]uint64, len(v.snaps))
+	for i, s := range v.snaps {
+		out[i] = s.epoch
+	}
+	return out
+}
+
+// Key returns the key at a global position.
+func (v *View[K]) Key(pos int) K {
+	s := sort.Search(len(v.snaps), func(i int) bool { return v.offs[i+1] > pos })
+	return v.snaps[s].keys[pos-v.offs[s]]
+}
+
+func (v *View[K]) shardFor(key K) int {
+	return sort.Search(len(v.bounds), func(i int) bool { return key < v.bounds[i] })
+}
+
+// Search returns the global position of the leftmost occurrence of key, or -1.
+func (v *View[K]) Search(key K) int {
+	s := v.shardFor(key)
+	i := v.snaps[s].tree.Search(key)
+	if i < 0 {
+		return -1
+	}
+	return v.offs[s] + i
+}
+
+// LowerBound returns the smallest global position with key ≥ key, or Len().
+func (v *View[K]) LowerBound(key K) int {
+	s := v.shardFor(key)
+	return v.offs[s] + v.snaps[s].tree.LowerBound(key)
+}
+
+// EqualRange returns the half-open global position range equal to key.
+func (v *View[K]) EqualRange(key K) (first, last int) {
+	s := v.shardFor(key)
+	lo, hi := v.snaps[s].tree.EqualRange(key)
+	return v.offs[s] + lo, v.offs[s] + hi
+}
+
+// Range returns an iterator over the keys in the half-open value range
+// [lo, hi), in ascending order with their global positions.
+func (v *View[K]) Range(lo, hi K) *RangeIter[K] {
+	start := v.LowerBound(lo)
+	end := start
+	if lo < hi {
+		end = v.LowerBound(hi)
+	}
+	return v.rangeAt(start, end)
+}
+
+// RangeAll returns an iterator over every key in the view.
+func (v *View[K]) RangeAll() *RangeIter[K] { return v.rangeAt(0, v.Len()) }
+
+func (v *View[K]) rangeAt(start, end int) *RangeIter[K] {
+	it := &RangeIter[K]{v: v, pos: start, end: end}
+	it.shard = sort.Search(len(v.snaps), func(i int) bool { return v.offs[i+1] > start })
+	return it
+}
+
+// RangeIter is a merging cross-shard iterator: it stitches the per-shard
+// sorted snapshot arrays together in boundary order.  Because the shards
+// range-partition the key space, the k-way merge of their streams
+// degenerates to ordered concatenation — each shard's stream is exhausted
+// before the next one's first key — so Next is a plain array walk with an
+// occasional shard hop.
+type RangeIter[K cmp.Ordered] struct {
+	v     *View[K]
+	shard int
+	pos   int // global position of the next key
+	end   int // global position to stop before
+}
+
+// Remaining returns the number of keys left to yield.
+func (it *RangeIter[K]) Remaining() int { return it.end - it.pos }
+
+// Next yields the next key and its global position, or ok=false at the end.
+func (it *RangeIter[K]) Next() (key K, pos int, ok bool) {
+	if it.pos >= it.end {
+		return key, 0, false
+	}
+	v := it.v
+	for it.pos >= v.offs[it.shard+1] { // hop empty or exhausted shards
+		it.shard++
+	}
+	pos = it.pos
+	key = v.snaps[it.shard].keys[pos-v.offs[it.shard]]
+	it.pos++
+	return key, pos, true
+}

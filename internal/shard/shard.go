@@ -1,0 +1,352 @@
+// Package shard is the concurrent serving layer over the paper's read-only
+// indexes: it partitions the key space across N range shards, holds each
+// shard's search tree behind an atomic pointer, and makes the §2.3 OLAP
+// maintenance cycle — "absorb a batch of updates, then rebuild from scratch"
+// — concurrent.
+//
+// Readers are lock-free: a lookup routes to its shard by the fixed range
+// boundaries, loads that shard's current snapshot with a single atomic
+// pointer load, and searches an immutable tree.  Writers never touch a
+// published tree; Insert/Delete only append to a per-shard pending batch
+// under a short mutex.  One background goroutine drains dirty shards,
+// merges each batch into a freshly built sorted array, rebuilds the shard's
+// tree, and publishes the result with an epoch-swap: a new snapshot whose
+// epoch is one greater than the one it replaces.  A reader therefore always
+// sees a complete, internally consistent (keys, tree, epoch) triple, and the
+// epoch it observes for any shard never decreases.
+//
+// Sharding also bounds rebuild latency — only the shards a batch touches are
+// rebuilt, each over 1/N of the data — and lets rebuilds of different shards
+// proceed while readers keep serving, which is what the ROADMAP's
+// heavy-traffic target needs from the paper's rebuild-don't-maintain
+// position.  Boundaries and WeightedBoundaries choose the split points:
+// equal-count by default, or skew-aware from a sample of the probe
+// distribution so hot ranges get more (smaller) shards.
+package shard
+
+import (
+	"cmp"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"cssidx/internal/csstree"
+)
+
+// Tree is the read-only search structure a shard publishes: the ordered
+// subset of cssidx's OrderedIndex the serving layer needs.  Positions are
+// local to the shard's sorted key slice.
+type Tree[K cmp.Ordered] interface {
+	Search(key K) int
+	LowerBound(key K) int
+	EqualRange(key K) (first, last int)
+}
+
+// Builder constructs a shard's tree over its sorted keys.  It is called on
+// the background goroutine at every epoch-swap, so it must not retain or
+// mutate shared state.
+type Builder[K cmp.Ordered] func(sorted []K) Tree[K]
+
+// LevelCSSBuilder returns a Builder producing the tuned uint32 level
+// CSS-tree (§4.2) with m slots per node — the recommended tree for uint32
+// shards.  m must be a power of two ≥ 2.
+func LevelCSSBuilder(m int) Builder[uint32] {
+	return func(sorted []uint32) Tree[uint32] {
+		return csstree.BuildLevel(sorted, m)
+	}
+}
+
+// snapshot is one published epoch of a shard: an immutable sorted key slice
+// and the tree over it.  Snapshots are never mutated after publication.
+type snapshot[K cmp.Ordered] struct {
+	epoch uint64
+	keys  []K
+	tree  Tree[K]
+}
+
+// shardState is one range shard: the current snapshot plus the pending
+// update batch the background goroutine has not yet absorbed.
+type shardState[K cmp.Ordered] struct {
+	cur atomic.Pointer[snapshot[K]]
+
+	mu      sync.Mutex // guards the pending batches only
+	insPend []K
+	delPend []K
+}
+
+// Index is a sharded, concurrently servable index over a multiset of keys.
+// Construct with New or NewEqual; Close releases the background rebuilder.
+//
+// Search, LowerBound and EqualRange return positions in the conceptual
+// concatenation of all shard arrays in boundary order.  Each lookup reads a
+// single shard's snapshot atomically; the per-shard offsets are gathered
+// with independent atomic loads, so during concurrent rebuilds of *other*
+// shards a global position reflects each shard's own latest epoch rather
+// than one instant in time.  Use View for a frozen cross-shard snapshot.
+type Index[K cmp.Ordered] struct {
+	build  Builder[K]
+	bounds []K // strictly ascending; shard i serves keys < bounds[i], last serves the rest
+	shards []*shardState[K]
+
+	wake      chan struct{}
+	syncs     chan chan struct{}
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+// New builds a sharded index over the sorted keys with the given split
+// boundaries (strictly ascending; len(bounds)+1 shards).  Shard i holds the
+// keys k with bounds[i-1] ≤ k < bounds[i]; duplicates of a boundary key all
+// land in the shard to its right, so EqualRange never straddles shards.
+// keys must be sorted ascending (duplicates allowed) and is not copied at
+// build; after the first epoch-swap a shard owns a fresh array.
+func New[K cmp.Ordered](keys []K, bounds []K, build Builder[K]) *Index[K] {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("shard: boundaries not strictly ascending at %d", i))
+		}
+	}
+	x := &Index[K]{
+		build:  build,
+		bounds: slices.Clone(bounds),
+		shards: make([]*shardState[K], len(bounds)+1),
+		wake:   make(chan struct{}, 1),
+		syncs:  make(chan chan struct{}),
+		done:   make(chan struct{}),
+	}
+	lo := 0
+	for i := range x.shards {
+		hi := len(keys)
+		if i < len(bounds) {
+			b := bounds[i]
+			hi = lo + sort.Search(len(keys)-lo, func(j int) bool { return keys[lo+j] >= b })
+		}
+		part := keys[lo:hi]
+		s := &shardState[K]{}
+		s.cur.Store(&snapshot[K]{epoch: 1, keys: part, tree: build(part)})
+		x.shards[i] = s
+		lo = hi
+	}
+	x.wg.Add(1)
+	go x.loop()
+	return x
+}
+
+// NewEqual builds a sharded index with equal-count boundaries (Boundaries).
+func NewEqual[K cmp.Ordered](keys []K, nshards int, build Builder[K]) *Index[K] {
+	return New(keys, Boundaries(keys, nshards), build)
+}
+
+// Close flushes any pending batches, publishes their epoch-swaps, and stops
+// the background rebuilder.  Close is idempotent; reads remain valid after
+// Close, writes after Close are absorbed only by a later manual Sync (none
+// runs), so finish writing first.
+func (x *Index[K]) Close() {
+	x.closeOnce.Do(func() {
+		close(x.done)
+		x.wg.Wait()
+	})
+}
+
+// ShardCount returns the number of shards.
+func (x *Index[K]) ShardCount() int { return len(x.shards) }
+
+// Bounds returns the split boundaries (len = ShardCount()-1).
+func (x *Index[K]) Bounds() []K { return slices.Clone(x.bounds) }
+
+// Epochs returns each shard's current epoch.  A shard's epoch starts at 1
+// and increments by exactly 1 per published rebuild, so Epochs-1 summed is
+// the total number of epoch-swaps served.
+func (x *Index[K]) Epochs() []uint64 {
+	out := make([]uint64, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = s.cur.Load().epoch
+	}
+	return out
+}
+
+// Len returns the total number of keys across shards (see the type comment
+// for consistency during concurrent rebuilds).
+func (x *Index[K]) Len() int {
+	n := 0
+	for _, s := range x.shards {
+		n += len(s.cur.Load().keys)
+	}
+	return n
+}
+
+// shardFor routes a key to its shard.
+func (x *Index[K]) shardFor(key K) int {
+	return sort.Search(len(x.bounds), func(i int) bool { return key < x.bounds[i] })
+}
+
+// offsetTo sums the lengths of shards before s (one atomic load each).
+func (x *Index[K]) offsetTo(s int) int {
+	off := 0
+	for i := 0; i < s; i++ {
+		off += len(x.shards[i].cur.Load().keys)
+	}
+	return off
+}
+
+// Search returns the global position of the leftmost occurrence of key,
+// or -1 if absent.
+func (x *Index[K]) Search(key K) int {
+	s := x.shardFor(key)
+	snap := x.shards[s].cur.Load()
+	i := snap.tree.Search(key)
+	if i < 0 {
+		return -1
+	}
+	return x.offsetTo(s) + i
+}
+
+// LowerBound returns the smallest global position whose key is ≥ key, or
+// Len() if none is.
+func (x *Index[K]) LowerBound(key K) int {
+	s := x.shardFor(key)
+	snap := x.shards[s].cur.Load()
+	return x.offsetTo(s) + snap.tree.LowerBound(key)
+}
+
+// EqualRange returns the half-open global position range [first,last) of
+// occurrences of key.  Routing sends every duplicate of a key to one shard,
+// so the range never spans shards.
+func (x *Index[K]) EqualRange(key K) (first, last int) {
+	s := x.shardFor(key)
+	snap := x.shards[s].cur.Load()
+	lo, hi := snap.tree.EqualRange(key)
+	off := x.offsetTo(s)
+	return off + lo, off + hi
+}
+
+// Insert enqueues keys for insertion.  The keys become visible after the
+// background rebuilder publishes the affected shards' next epochs; call
+// Sync to wait for that.
+func (x *Index[K]) Insert(keys ...K) { x.enqueue(keys, true) }
+
+// Delete enqueues keys for deletion with multiset semantics: each requested
+// key removes at most one occurrence; absent keys are ignored.
+func (x *Index[K]) Delete(keys ...K) { x.enqueue(keys, false) }
+
+func (x *Index[K]) enqueue(keys []K, ins bool) {
+	if len(keys) == 0 {
+		return
+	}
+	buckets := make([][]K, len(x.shards))
+	for _, k := range keys {
+		s := x.shardFor(k)
+		buckets[s] = append(buckets[s], k)
+	}
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		s := x.shards[i]
+		s.mu.Lock()
+		if ins {
+			s.insPend = append(s.insPend, b...)
+		} else {
+			s.delPend = append(s.delPend, b...)
+		}
+		s.mu.Unlock()
+	}
+	select {
+	case x.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Sync blocks until every update enqueued before the call has been absorbed
+// and its epoch-swap published.  After Close, Sync returns immediately
+// (Close already flushed).
+func (x *Index[K]) Sync() {
+	ack := make(chan struct{})
+	select {
+	case x.syncs <- ack:
+		<-ack
+	case <-x.done:
+	}
+}
+
+// loop is the background rebuilder: it drains dirty shards on every wake or
+// sync request and once more on Close.
+func (x *Index[K]) loop() {
+	defer x.wg.Done()
+	for {
+		select {
+		case <-x.done:
+			x.drain()
+			return
+		case ack := <-x.syncs:
+			x.drain()
+			close(ack)
+		case <-x.wake:
+			x.drain()
+		}
+	}
+}
+
+// drain repeatedly sweeps the shards, absorbing and publishing any pending
+// batches, until a full sweep finds nothing to do.
+func (x *Index[K]) drain() {
+	for {
+		dirty := false
+		for _, s := range x.shards {
+			s.mu.Lock()
+			ins, del := s.insPend, s.delPend
+			s.insPend, s.delPend = nil, nil
+			s.mu.Unlock()
+			if len(ins) == 0 && len(del) == 0 {
+				continue
+			}
+			dirty = true
+			old := s.cur.Load()
+			keys := applyBatch(old.keys, ins, del)
+			s.cur.Store(&snapshot[K]{epoch: old.epoch + 1, keys: keys, tree: x.build(keys)})
+		}
+		if !dirty {
+			return
+		}
+	}
+}
+
+// applyBatch merges the insert batch into the sorted base and removes one
+// occurrence per delete key, returning a fresh sorted array.  base is only
+// read; ins and del are consumed (sorted in place).
+func applyBatch[K cmp.Ordered](base, ins, del []K) []K {
+	slices.Sort(ins)
+	slices.Sort(del)
+	merged := make([]K, 0, len(base)+len(ins))
+	i, j := 0, 0
+	for i < len(base) && j < len(ins) {
+		if base[i] <= ins[j] {
+			merged = append(merged, base[i])
+			i++
+		} else {
+			merged = append(merged, ins[j])
+			j++
+		}
+	}
+	merged = append(merged, base[i:]...)
+	merged = append(merged, ins[j:]...)
+	if len(del) == 0 {
+		return merged
+	}
+	out := merged[:0]
+	d := 0
+	for _, k := range merged {
+		for d < len(del) && del[d] < k {
+			d++ // delete of an absent key: ignored
+		}
+		if d < len(del) && del[d] == k {
+			d++ // remove this one occurrence
+			continue
+		}
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cssidx/internal/workload"
+)
+
+// TestConcurrentReadersDuringEpochSwaps is the race-detector stress test for
+// the serving layer: ≥8 reader goroutines hammer Search/LowerBound/
+// EqualRange/range scans while the background rebuilder publishes well over
+// 100 epoch-swaps.  Run with -race.  It asserts:
+//
+//   - no torn reads: every snapshot a reader observes is internally
+//     consistent — the key found at a returned position matches, bounds are
+//     in range, EqualRange brackets are sane;
+//   - monotonic epoch visibility: the epoch a reader observes for any given
+//     shard never decreases.
+func TestConcurrentReadersDuringEpochSwaps(t *testing.T) {
+	const (
+		readers   = 8
+		rounds    = 40
+		batchSize = 256
+		minSwaps  = 100
+	)
+	g := workload.New(600)
+	keys := g.SortedUniform(20000)
+	x := NewEqual(keys, 4, LevelCSSBuilder(16))
+	defer x.Close()
+
+	stop := make(chan struct{})
+	var reads atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan string, readers)
+	fail := func(msg string) {
+		select {
+		case errc <- msg:
+		default:
+		}
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			lastEpoch := make([]uint64, x.ShardCount())
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := x.View()
+				for s, e := range v.Epochs() {
+					if e < lastEpoch[s] {
+						fail("epoch went backwards")
+						return
+					}
+					lastEpoch[s] = e
+				}
+				if v.Len() == 0 {
+					continue
+				}
+				// Point reads against the frozen view: position/key must agree.
+				for i := 0; i < 16; i++ {
+					p := v.Key(rng.Intn(v.Len()))
+					pos := v.Search(p)
+					if pos < 0 || v.Key(pos) != p {
+						fail("Search returned a position whose key mismatches")
+						return
+					}
+					lb := v.LowerBound(p)
+					if lb < 0 || lb > pos || v.Key(lb) != p {
+						fail("LowerBound inconsistent with Search")
+						return
+					}
+					first, last := v.EqualRange(p)
+					if !(first <= pos && pos < last) || first != lb {
+						fail("EqualRange does not bracket the key")
+						return
+					}
+				}
+				// Lock-free reads straight off the index (crossing epochs):
+				// the key must be found wherever the live shard placed it.
+				p := v.Key(rng.Intn(v.Len()))
+				live := x.shards[x.shardFor(p)].cur.Load()
+				if live.tree.Search(p) < 0 && v.Search(p) >= 0 {
+					// p was deleted by a swap that raced us; that is legal —
+					// but only if an epoch actually advanced for its shard.
+					if live.epoch == v.Epochs()[x.shardFor(p)] {
+						fail("key vanished without an epoch-swap")
+						return
+					}
+				}
+				// A short range scan over the frozen view must be sorted.
+				lo := v.Key(rng.Intn(v.Len()))
+				it := v.Range(lo, lo+1000)
+				prev, havePrev := uint32(0), false
+				for {
+					k, _, ok := it.Next()
+					if !ok {
+						break
+					}
+					if havePrev && k < prev {
+						fail("range scan out of order")
+						return
+					}
+					prev, havePrev = k, true
+				}
+				reads.Add(1)
+			}
+		}(int64(r + 1))
+	}
+
+	// Writer: churn batches through every shard until well past minSwaps.
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < rounds; round++ {
+		batch := make([]uint32, batchSize)
+		for i := range batch {
+			batch[i] = uint32(rng.Int63n(workload.MaxKey))
+		}
+		x.Insert(batch...)
+		x.Sync()
+		x.Delete(batch...)
+		x.Sync()
+	}
+	close(stop)
+	wg.Wait()
+
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	swaps := uint64(0)
+	for _, e := range x.Epochs() {
+		swaps += e - 1
+	}
+	if swaps < minSwaps {
+		t.Fatalf("only %d epoch-swaps published, want ≥ %d", swaps, minSwaps)
+	}
+	if reads.Load() == 0 {
+		t.Fatal("readers made no progress")
+	}
+	t.Logf("%d reader passes over %d epoch-swaps", reads.Load(), swaps)
+}

@@ -1,0 +1,284 @@
+package simidx_test
+
+// Differential test harness: every index method in the repository — the
+// real implementations behind the public API, the address-trace simulators
+// of this package, and the new concurrent ShardedIndex — is driven against
+// a sorted-slice oracle on random and adversarial key sets.  The sims are
+// required by their package contract to return the same answers as the real
+// structures; this harness enforces that contract and the public one from a
+// single source of truth, extending the model-vs-simulation cross-checks of
+// crossvalidate_test.go down to exact per-probe equality.
+
+import (
+	"math"
+	"slices"
+	"sort"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/cachesim"
+	"cssidx/internal/mem"
+	"cssidx/internal/simidx"
+	"cssidx/internal/workload"
+)
+
+// sliceOracle answers every query by definition on a sorted slice.
+type sliceOracle struct{ keys []uint32 }
+
+func (o sliceOracle) lowerBound(k uint32) int {
+	return sort.Search(len(o.keys), func(i int) bool { return o.keys[i] >= k })
+}
+func (o sliceOracle) search(k uint32) int {
+	if i := o.lowerBound(k); i < len(o.keys) && o.keys[i] == k {
+		return i
+	}
+	return -1
+}
+func (o sliceOracle) equalRange(k uint32) (int, int) {
+	first := o.lowerBound(k)
+	last := first
+	for last < len(o.keys) && o.keys[last] == k {
+		last++
+	}
+	return first, last
+}
+
+// adversarialSets are the key sets that historically break index edge
+// cases: empty, single key, all-duplicates, keys at the uint32 extremes,
+// and runs straddling node boundaries.
+func adversarialSets() map[string][]uint32 {
+	allDup := make([]uint32, 100)
+	for i := range allDup {
+		allDup[i] = 42
+	}
+	runs := make([]uint32, 0, 96)
+	for v := uint32(1); v <= 6; v++ {
+		for i := 0; i < 16; i++ { // run length = node size
+			runs = append(runs, v*1000)
+		}
+	}
+	return map[string][]uint32{
+		"empty":      {},
+		"single":     {7},
+		"single-max": {math.MaxUint32},
+		"all-dup":    allDup,
+		"extremes":   {0, 0, 1, 2, math.MaxUint32 - 1, math.MaxUint32, math.MaxUint32},
+		"node-runs":  runs,
+	}
+}
+
+// probeSet covers hits, misses, and the boundary values for a key set.
+func probeSet(keys []uint32, g *workload.Gen) []uint32 {
+	probes := []uint32{0, 1, 41, 42, 43, math.MaxUint32 - 1, math.MaxUint32}
+	for _, k := range keys {
+		probes = append(probes, k)
+		if k > 0 {
+			probes = append(probes, k-1)
+		}
+		if k < math.MaxUint32 {
+			probes = append(probes, k+1)
+		}
+		if len(probes) > 3000 {
+			break
+		}
+	}
+	if len(keys) > 0 && g != nil {
+		probes = append(probes, g.Lookups(keys, 500)...)
+		probes = append(probes, g.Misses(keys, 200)...)
+	}
+	return probes
+}
+
+// checkIndex verifies one public-API index against the oracle.
+func checkIndex(t *testing.T, name string, idx cssidx.Index, o sliceOracle, probes []uint32) {
+	t.Helper()
+	ord, ordered := idx.(cssidx.OrderedIndex)
+	for _, p := range probes {
+		if got, want := idx.Search(p), o.search(p); got != want {
+			t.Fatalf("%s: Search(%d)=%d want %d", name, p, got, want)
+		}
+		if !ordered {
+			continue
+		}
+		if got, want := ord.LowerBound(p), o.lowerBound(p); got != want {
+			t.Fatalf("%s: LowerBound(%d)=%d want %d", name, p, got, want)
+		}
+		gf, gl := ord.EqualRange(p)
+		wf, wl := o.equalRange(p)
+		if gf != wf || gl != wl {
+			t.Fatalf("%s: EqualRange(%d)=[%d,%d) want [%d,%d)", name, p, gf, gl, wf, wl)
+		}
+	}
+}
+
+// checkSim verifies one simulated index against the oracle: Probe's Index
+// field is the lower bound for ordered methods and the hit position (or -1)
+// for hash.
+func checkSim(t *testing.T, s simidx.Sim, o sliceOracle, probes []uint32) {
+	t.Helper()
+	_, isHash := s.(*simidx.Hash)
+	for _, p := range probes {
+		got := s.Probe(nil, p).Index
+		if isHash {
+			if want := o.search(p); got != want {
+				t.Fatalf("sim %s: Probe(%d)=%d want %d", s.Name(), p, got, want)
+			}
+		} else if want := o.lowerBound(p); got != want {
+			t.Fatalf("sim %s: Probe(%d)=%d want %d", s.Name(), p, got, want)
+		}
+	}
+}
+
+// checkSharded verifies the concurrent sharded index against the oracle.
+func checkSharded(t *testing.T, keys []uint32, o sliceOracle, probes []uint32, shards int) {
+	t.Helper()
+	x := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: shards})
+	defer x.Close()
+	for _, p := range probes {
+		if got, want := x.Search(p), o.search(p); got != want {
+			t.Fatalf("sharded(%d): Search(%d)=%d want %d", shards, p, got, want)
+		}
+		if got, want := x.LowerBound(p), o.lowerBound(p); got != want {
+			t.Fatalf("sharded(%d): LowerBound(%d)=%d want %d", shards, p, got, want)
+		}
+		gf, gl := x.EqualRange(p)
+		wf, wl := o.equalRange(p)
+		if gf != wf || gl != wl {
+			t.Fatalf("sharded(%d): EqualRange(%d)=[%d,%d) want [%d,%d)", shards, p, gf, gl, wf, wl)
+		}
+	}
+	// Ascend over the full range must replay the oracle slice exactly.
+	i := 0
+	x.Ascend(0, math.MaxUint32, func(pos int, key uint32) bool {
+		if pos != i || key != o.keys[i] {
+			t.Fatalf("sharded(%d): Ascend at %d got (%d,%d)", shards, i, pos, key)
+		}
+		i++
+		return true
+	})
+	// MaxUint32 keys sit outside the half-open Ascend range; account for them.
+	f, l := o.equalRange(math.MaxUint32)
+	if i != len(o.keys)-(l-f) {
+		t.Fatalf("sharded(%d): Ascend yielded %d keys, oracle has %d below max", shards, i, len(o.keys)-(l-f))
+	}
+}
+
+// checkEverything drives every method over one key set.
+func checkEverything(t *testing.T, keys []uint32, g *workload.Gen) {
+	t.Helper()
+	o := sliceOracle{keys: keys}
+	probes := probeSet(keys, g)
+	n := len(keys)
+	for _, kind := range cssidx.Kinds() {
+		checkIndex(t, kind.String(), cssidx.New(kind, keys, cssidx.Options{}), o, probes)
+	}
+	ttCap := (16*4 - 8) / 8
+	sims := []simidx.Sim{
+		simidx.NewBinarySearch(keys, cachesim.NewAddrAlloc()),
+		simidx.NewBST(keys, cachesim.NewAddrAlloc()),
+		simidx.NewInterpolationSearch(keys, cachesim.NewAddrAlloc()),
+		simidx.NewTTree(keys, ttCap, cachesim.NewAddrAlloc()),
+		simidx.NewBPlusTree(keys, 16, cachesim.NewAddrAlloc()),
+		simidx.NewFullCSS(keys, 16, cachesim.NewAddrAlloc()),
+		simidx.NewLevelCSS(keys, 16, cachesim.NewAddrAlloc()),
+		simidx.NewHash(keys, cssidx.DefaultHashDirSize(n), mem.CacheLine, cachesim.NewAddrAlloc()),
+	}
+	for _, s := range sims {
+		checkSim(t, s, o, probes)
+	}
+	for _, shards := range []int{1, 4} {
+		checkSharded(t, keys, o, probes, shards)
+	}
+}
+
+func TestDifferentialAdversarial(t *testing.T) {
+	for name, keys := range adversarialSets() {
+		t.Run(name, func(t *testing.T) { checkEverything(t, keys, nil) })
+	}
+}
+
+func TestDifferentialRandom(t *testing.T) {
+	sizes := []int{100, 4097}
+	if !testing.Short() {
+		sizes = append(sizes, 60000)
+	}
+	for _, seed := range []int64{1, 2, 3} {
+		g := workload.New(seed)
+		for _, n := range sizes {
+			for name, keys := range map[string][]uint32{
+				"distinct": g.SortedDistinct(n),
+				"dups":     g.SortedWithDuplicates(n, 4),
+				"skewed":   g.SortedSkewed(n),
+			} {
+				t.Run(name, func(t *testing.T) { checkEverything(t, keys, g) })
+			}
+		}
+	}
+}
+
+// TestDifferentialShardedMutations drives random Insert/Delete batches
+// through the sharded index and a mirrored oracle, comparing after every
+// Sync — the serving layer's §2.3 rebuild cycle against first principles.
+func TestDifferentialShardedMutations(t *testing.T) {
+	g := workload.New(77)
+	keys := g.SortedWithDuplicates(4000, 3)
+	x := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 4})
+	defer x.Close()
+	ok := slices.Clone(keys)
+	for round := 0; round < 15; round++ {
+		ins := g.Misses(ok, 80)
+		ins = append(ins, g.Lookups(ok, 40)...) // duplicate existing keys too
+		var del []uint32
+		del = append(del, g.Lookups(ok, 60)...)
+		del = append(del, g.Misses(ok, 10)...) // deletes of absent keys: no-ops
+		x.Insert(ins...)
+		x.Delete(del...)
+		x.Sync()
+		ok = append(ok, ins...)
+		slices.Sort(ok)
+		for _, k := range del {
+			if i, found := slices.BinarySearch(ok, k); found {
+				ok = append(ok[:i], ok[i+1:]...)
+			}
+		}
+		o := sliceOracle{keys: ok}
+		for _, p := range probeSet(ok, g) {
+			if got, want := x.LowerBound(p), o.lowerBound(p); got != want {
+				t.Fatalf("round %d: LowerBound(%d)=%d want %d", round, p, got, want)
+			}
+			if got, want := x.Search(p), o.search(p); got != want {
+				t.Fatalf("round %d: Search(%d)=%d want %d", round, p, got, want)
+			}
+		}
+		if x.Len() != len(ok) {
+			t.Fatalf("round %d: Len=%d want %d", round, x.Len(), len(ok))
+		}
+	}
+}
+
+// FuzzDifferentialLowerBound fuzzes arbitrary key sets and probes through
+// the full method matrix.  Bytes decode as: first byte = probe count, the
+// rest as little-endian uint32 keys.
+func FuzzDifferentialLowerBound(f *testing.F) {
+	f.Add([]byte{3, 1, 0, 0, 0, 1, 0, 0, 0, 255, 255, 255, 255})
+	f.Add([]byte{0})
+	f.Add([]byte{8, 42, 0, 0, 0, 42, 0, 0, 0, 42, 0, 0, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 || len(data) > 4096 {
+			t.Skip()
+		}
+		body := data[1:]
+		keys := make([]uint32, 0, len(body)/4)
+		for i := 0; i+4 <= len(body); i += 4 {
+			k := uint32(body[i]) | uint32(body[i+1])<<8 | uint32(body[i+2])<<16 | uint32(body[i+3])<<24
+			keys = append(keys, k)
+		}
+		slices.Sort(keys)
+		o := sliceOracle{keys: keys}
+		probes := probeSet(keys, nil)
+		for _, kind := range cssidx.Kinds() {
+			checkIndex(t, kind.String(), cssidx.New(kind, keys, cssidx.Options{}), o, probes)
+		}
+		checkSharded(t, keys, o, probes, 3)
+	})
+}

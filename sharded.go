@@ -1,0 +1,164 @@
+// Sharded concurrent serving: the §2.3 rebuild cycle made concurrent.  The
+// paper's position is that OLAP indexes are read-mostly and absorb batch
+// updates by rebuilding rather than by incremental maintenance;
+// ShardedIndex turns that into a serving layer.  The key space is
+// range-partitioned across N shards (equal-count by default, or skew-aware
+// from a probe sample), each shard's CSS-tree sits behind an atomic
+// pointer, and reads are lock-free while a background goroutine absorbs
+// batched inserts/deletes per shard and publishes freshly rebuilt trees
+// with epoch-swaps.  See internal/shard for the machinery.
+package cssidx
+
+import (
+	"cmp"
+	"runtime"
+
+	"cssidx/internal/csstree"
+	"cssidx/internal/shard"
+)
+
+// ShardedOptions configures NewSharded.
+type ShardedOptions[K cmp.Ordered] struct {
+	// Shards is the number of range shards; 0 picks GOMAXPROCS (capped at 16).
+	Shards int
+	// NodeSlots is the CSS-tree node size in key slots (a power of two ≥ 2);
+	// 0 means 16, one 64-byte cache line of 4-byte keys.
+	NodeSlots int
+	// SkewSample, when non-empty, is a sample of the expected lookup
+	// distribution (e.g. workload.Gen.ZipfLookups); shard boundaries are
+	// then placed at its quantiles so each shard receives roughly equal
+	// traffic instead of roughly equal keys.
+	SkewSample []K
+}
+
+// ShardedIndex is a concurrently servable index over a multiset of keys of
+// any ordered type: lock-free Search/LowerBound/EqualRange/range scans,
+// batched Insert/Delete absorbed by background epoch-swap rebuilds.
+//
+// Positions follow the same convention as every other index in this
+// package — offsets into the (conceptual) sorted key array, here the
+// concatenation of the shard arrays in key order.  While rebuilds of other
+// shards are in flight, a global position reflects each shard's own latest
+// epoch; use Snapshot for a frozen cross-shard view with stable positions.
+//
+// Close releases the background rebuilder when the index is done serving.
+type ShardedIndex[K cmp.Ordered] struct {
+	ix *shard.Index[K]
+}
+
+// NewSharded builds a sharded index over the sorted keys (duplicates
+// allowed).  keys is not copied at build; shards own fresh arrays from
+// their first epoch-swap on.  For K = uint32 each shard uses the tuned
+// level CSS-tree; other key types use the generic CSS-tree (generic.go).
+func NewSharded[K cmp.Ordered](keys []K, opts ShardedOptions[K]) *ShardedIndex[K] {
+	ns := opts.Shards
+	if ns <= 0 {
+		ns = runtime.GOMAXPROCS(0)
+		if ns > 16 {
+			ns = 16
+		}
+	}
+	m := opts.NodeSlots
+	if m == 0 {
+		m = 16
+	}
+	bounds := shard.WeightedBoundaries(keys, opts.SkewSample, ns)
+	return &ShardedIndex[K]{ix: shard.New(keys, bounds, shardedBuilder[K](m))}
+}
+
+// shardedBuilder picks the tuned uint32 level CSS-tree when K is uint32 and
+// the generic CSS-tree otherwise.  The any-round-trip succeeds exactly when
+// the instantiated K is uint32, so the fast path costs one type assertion
+// per shard rebuild.
+func shardedBuilder[K cmp.Ordered](m int) shard.Builder[K] {
+	return func(sorted []K) shard.Tree[K] {
+		if u, ok := any(sorted).([]uint32); ok {
+			if t, ok := any(shard.Tree[uint32](csstree.BuildLevel(u, m))).(shard.Tree[K]); ok {
+				return t
+			}
+		}
+		return NewGenericLevel(sorted, m)
+	}
+}
+
+// Search returns the global position of the leftmost occurrence of key, or -1.
+func (x *ShardedIndex[K]) Search(key K) int { return x.ix.Search(key) }
+
+// LowerBound returns the smallest global position whose key is ≥ key, or Len().
+func (x *ShardedIndex[K]) LowerBound(key K) int { return x.ix.LowerBound(key) }
+
+// EqualRange returns the half-open global position range of occurrences of
+// key; duplicates of a key always live in one shard, so the range is exact.
+func (x *ShardedIndex[K]) EqualRange(key K) (first, last int) { return x.ix.EqualRange(key) }
+
+// Len returns the total number of keys.
+func (x *ShardedIndex[K]) Len() int { return x.ix.Len() }
+
+// ShardCount returns the number of range shards.
+func (x *ShardedIndex[K]) ShardCount() int { return x.ix.ShardCount() }
+
+// Epochs returns each shard's current epoch (1 = initial build; +1 per
+// published rebuild).
+func (x *ShardedIndex[K]) Epochs() []uint64 { return x.ix.Epochs() }
+
+// Insert enqueues keys for insertion; they become visible at the affected
+// shards' next epoch-swaps (Sync waits for that).
+func (x *ShardedIndex[K]) Insert(keys ...K) { x.ix.Insert(keys...) }
+
+// Delete enqueues keys for deletion (multiset semantics: one occurrence per
+// requested key; absent keys are ignored).
+func (x *ShardedIndex[K]) Delete(keys ...K) { x.ix.Delete(keys...) }
+
+// Sync blocks until every update enqueued before the call is visible.
+func (x *ShardedIndex[K]) Sync() { x.ix.Sync() }
+
+// Close flushes pending updates and stops the background rebuilder.
+// The index remains readable; Close is idempotent.
+func (x *ShardedIndex[K]) Close() { x.ix.Close() }
+
+// Ascend calls fn for every key in the half-open value range [lo, hi) in
+// ascending order over a frozen snapshot, with the key's global position;
+// fn returning false stops the scan.
+func (x *ShardedIndex[K]) Ascend(lo, hi K, fn func(pos int, key K) bool) {
+	x.Snapshot().Ascend(lo, hi, fn)
+}
+
+// Snapshot captures a frozen cross-shard view: repeatable reads with stable
+// global positions, unaffected by concurrent epoch-swaps.  Snapshots are
+// cheap (one atomic load per shard, no copying).
+func (x *ShardedIndex[K]) Snapshot() *ShardedView[K] {
+	return &ShardedView[K]{v: x.ix.View()}
+}
+
+// ShardedView is a frozen capture of every shard at one point; see
+// ShardedIndex.Snapshot.
+type ShardedView[K cmp.Ordered] struct {
+	v *shard.View[K]
+}
+
+// Len returns the number of keys in the view.
+func (s *ShardedView[K]) Len() int { return s.v.Len() }
+
+// Key returns the key at a global position in the view.
+func (s *ShardedView[K]) Key(pos int) K { return s.v.Key(pos) }
+
+// Search returns the position of the leftmost occurrence of key, or -1.
+func (s *ShardedView[K]) Search(key K) int { return s.v.Search(key) }
+
+// LowerBound returns the smallest position whose key is ≥ key, or Len().
+func (s *ShardedView[K]) LowerBound(key K) int { return s.v.LowerBound(key) }
+
+// EqualRange returns the half-open position range of occurrences of key.
+func (s *ShardedView[K]) EqualRange(key K) (first, last int) { return s.v.EqualRange(key) }
+
+// Ascend calls fn for every key in [lo, hi) ascending, with its position;
+// fn returning false stops the scan.  The scan is the merging cross-shard
+// range iterator of internal/shard.
+func (s *ShardedView[K]) Ascend(lo, hi K, fn func(pos int, key K) bool) {
+	for it := s.v.Range(lo, hi); ; {
+		k, pos, ok := it.Next()
+		if !ok || !fn(pos, k) {
+			return
+		}
+	}
+}
