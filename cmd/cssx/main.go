@@ -9,6 +9,13 @@
 //	cssx -kind all -n 5000000 -node 64 -machine ultra
 //	cssx -kind hash -n 1000000 -hashdir 262144 -dist skewed
 //
+// Batch lookup mode probes the built index with keys read from a file (or
+// stdin with "-"), one decimal key per line, driving the batched lockstep
+// descent in chunks of -batch and reporting per-batch timings:
+//
+//	cssx -kind levelcss -n 1000000 -probefile probes.txt -batch 512
+//	generate-keys | cssx -probefile - -batch 64 -sortbatch
+//
 // Example output column meanings:
 //
 //	space      bytes the structure needs beyond the sorted key array
@@ -19,10 +26,12 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"text/tabwriter"
 	"time"
@@ -65,6 +74,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		machine = fs.String("machine", "ultra", "simulated machine: ultra, pc, modern")
 		lookups = fs.Int("lookups", 100_000, "lookups to simulate/measure")
 		seed    = fs.Int64("seed", 1, "workload seed")
+
+		probefile = fs.String("probefile", "", "batch mode: file of probe keys, one per line (\"-\" = stdin)")
+		batchSize = fs.Int("batch", 512, "batch mode: probes per lockstep batch")
+		sortBatch = fs.Bool("sortbatch", false, "batch mode: sort-probes-first schedule (radix sort + dedup)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -85,6 +98,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "cssx: unknown distribution %q\n", *dist)
 		return 2
 	}
+	if *probefile != "" {
+		if *kind == "all" {
+			fmt.Fprintln(stderr, "cssx: batch mode needs a single -kind")
+			return 2
+		}
+		if _, ok := kinds[*kind]; !ok {
+			fmt.Fprintf(stderr, "cssx: unknown kind %q\n", *kind)
+			return 2
+		}
+		return runBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *sortBatch)
+	}
+
 	probes := g.Lookups(keys, *lookups)
 
 	var mach *cachesim.Machine
@@ -134,6 +159,108 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	tw.Flush()
 	return 0
+}
+
+// runBatchMode probes the index with keys from a file (or stdin), driving
+// the batched search surface in chunks and reporting per-batch timings.
+func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, sortBatch bool) int {
+	probes, err := readProbes(probefile)
+	if err != nil {
+		fmt.Fprintf(stderr, "cssx: %v\n", err)
+		return 2
+	}
+	if len(probes) == 0 {
+		fmt.Fprintln(stderr, "cssx: probe file holds no keys")
+		return 2
+	}
+	if batchSize < 1 {
+		fmt.Fprintf(stderr, "cssx: batch size %d must be ≥ 1\n", batchSize)
+		return 2
+	}
+	idx := cssidx.New(kinds[kindName], keys, cssidx.Options{NodeBytes: nodeBytes, HashDirSize: hashDir})
+	var batched cssidx.BatchIndex
+	if sortBatch {
+		ord, ok := idx.(cssidx.OrderedIndex)
+		if !ok {
+			fmt.Fprintf(stderr, "cssx: -sortbatch needs an ordered method, %s has none\n", idx.Name())
+			return 2
+		}
+		batched = cssidx.NewSortedBatch(ord)
+	} else {
+		batched = cssidx.AsBatch(idx)
+	}
+
+	sched := "input-order"
+	if sortBatch {
+		sched = "sorted"
+	}
+	fmt.Fprintf(stdout, "%s over n=%d keys: %d probes in batches of %d (%s schedule)\n\n",
+		idx.Name(), len(keys), len(probes), batchSize, sched)
+	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "batch\tkeys\thits\tµs\tMkeys/s")
+	out := make([]int32, batchSize)
+	hits, total := 0, 0.0
+	minB, maxB := 0.0, 0.0
+	for b, base := 0, 0; base < len(probes); b, base = b+1, base+batchSize {
+		end := base + batchSize
+		if end > len(probes) {
+			end = len(probes)
+		}
+		chunk := probes[base:end]
+		start := time.Now()
+		batched.SearchBatch(chunk, out[:len(chunk)])
+		el := time.Since(start).Seconds()
+		h := 0
+		for _, r := range out[:len(chunk)] {
+			if r >= 0 {
+				h++
+			}
+		}
+		hits += h
+		total += el
+		if b == 0 || el < minB {
+			minB = el
+		}
+		if el > maxB {
+			maxB = el
+		}
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\n", b, len(chunk), h, el*1e6, float64(len(chunk))/el/1e6)
+	}
+	tw.Flush()
+	nBatches := (len(probes) + batchSize - 1) / batchSize
+	fmt.Fprintf(stdout, "\ntotal: %d probes, %d hits, %.1fµs (%.2f Mkeys/s); per-batch min %.1fµs max %.1fµs over %d batches\n",
+		len(probes), hits, total*1e6, float64(len(probes))/total/1e6, minB*1e6, maxB*1e6, nBatches)
+	return 0
+}
+
+// readProbes parses one decimal uint32 key per line; "-" reads stdin.
+func readProbes(path string) ([]uint32, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var probes []uint32
+	sc := bufio.NewScanner(r)
+	for line := 1; sc.Scan(); line++ {
+		s := strings.TrimSpace(sc.Text())
+		if s == "" {
+			continue
+		}
+		v, err := strconv.ParseUint(s, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("probe file line %d: %q is not a uint32 key", line, s)
+		}
+		probes = append(probes, uint32(v))
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return probes, nil
 }
 
 // buildSim constructs the simulated index for a kind name.

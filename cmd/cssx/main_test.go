@@ -2,8 +2,13 @@ package main
 
 import (
 	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"cssidx/internal/workload"
 )
 
 func TestExploreSingleKind(t *testing.T) {
@@ -54,6 +59,77 @@ func TestExploreBadInputs(t *testing.T) {
 		var out, errb bytes.Buffer
 		if code := run(args, &out, &errb); code != 2 {
 			t.Errorf("args %v: exit=%d, want 2", args, code)
+		}
+	}
+}
+
+// writeProbeFile writes a probe file with hits and misses for the seed-1
+// uniform key set run generates, returning its path and the hit count.
+func writeProbeFile(t *testing.T, n, q int) (path string, hits int) {
+	t.Helper()
+	g := workload.New(1)
+	keys := g.SortedUniform(n) // same keys run() builds for -n with -seed 1
+	probes := append(g.Lookups(keys, q), g.Misses(keys, q/2)...)
+	hits = q
+	var b strings.Builder
+	for i, p := range probes {
+		fmt.Fprintf(&b, "%d\n", p)
+		if i == 0 {
+			b.WriteString("\n") // blank lines are skipped
+		}
+	}
+	path = filepath.Join(t.TempDir(), "probes.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path, hits
+}
+
+func TestBatchModeFile(t *testing.T) {
+	path, hits := writeProbeFile(t, 4000, 600)
+	for _, extra := range [][]string{nil, {"-sortbatch"}, {"-kind", "hash"}} {
+		args := append([]string{"-kind", "levelcss", "-n", "4000", "-probefile", path, "-batch", "128"}, extra...)
+		if len(extra) == 2 { // kind override replaces the leading pair
+			args = append([]string{"-n", "4000", "-probefile", path, "-batch", "128"}, extra...)
+		}
+		var out, errb bytes.Buffer
+		code := run(args, &out, &errb)
+		if code != 0 {
+			t.Fatalf("args %v: exit=%d stderr=%s", args, code, errb.String())
+		}
+		s := out.String()
+		if !strings.Contains(s, fmt.Sprintf("%d hits", hits)) {
+			t.Errorf("args %v: expected %d hits in summary:\n%s", args, hits, s)
+		}
+		if !strings.Contains(s, "Mkeys/s") || !strings.Contains(s, "per-batch min") {
+			t.Errorf("args %v: missing per-batch timing report:\n%s", args, s)
+		}
+	}
+}
+
+func TestBatchModeBadInputs(t *testing.T) {
+	path, _ := writeProbeFile(t, 1000, 50)
+	bad := filepath.Join(t.TempDir(), "bad.txt")
+	if err := os.WriteFile(bad, []byte("12\nnope\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.txt")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-kind", "all", "-probefile", path},                      // batch mode needs one kind
+		{"-kind", "btree", "-probefile", path},                    // unknown kind
+		{"-kind", "hash", "-probefile", path, "-sortbatch"},       // hash has no ordered schedule
+		{"-probefile", bad},                                       // malformed key
+		{"-probefile", empty},                                     // no keys
+		{"-probefile", filepath.Join(t.TempDir(), "missing.txt")}, // unreadable
+		{"-probefile", path, "-batch", "0"},                       // bad batch size
+	}
+	for _, args := range cases {
+		var out, errb bytes.Buffer
+		if code := run(append([]string{"-n", "1000"}, args...), &out, &errb); code != 2 {
+			t.Errorf("args %v: exit=%d, want 2 (stderr=%s)", args, code, errb.String())
 		}
 	}
 }

@@ -27,6 +27,21 @@
 // positions in it, which double as RIDs for a record-identifier list sorted
 // by the indexed attribute (§2.2).
 //
+// # Batched probing: the execution model
+//
+// Decision-support operations probe in bulk — a join once per outer row, an
+// IN-list once per element — so the batch, not the single lookup, is the
+// unit of execution.  BatchIndex/BatchOrderedIndex answer whole probe
+// batches: the CSS-trees descend a batch in lockstep (independent cache
+// misses overlap; upper directory levels stay cache-resident across the
+// group), AsBatch/AsBatchOrdered adapt every other method, and SortedBatch
+// adds the sort-probes-first schedule for skewed streams (radix-sort the
+// batch, descend each distinct key once, scatter results back).  Batched
+// results are bit-identical to the scalar methods; only the memory-access
+// schedule changes.  ShardedIndex batches partition by shard boundary and
+// run against one frozen snapshot epoch, and the mmdb joins, IN-lists and
+// access-path selection are built on this surface.
+//
 // # Concurrent serving: ShardedIndex
 //
 // ShardedIndex turns the §2.3 rebuild cycle into a concurrent serving

@@ -42,6 +42,26 @@ func ExampleNew() {
 	// level CSS-tree: 2
 }
 
+// Batched probing answers a whole probe batch with one lockstep descent;
+// results are bit-identical to the scalar methods.  SortedBatch adds the
+// sort-probes-first schedule for skewed streams (note the repeated 21s
+// descend once).
+func ExampleAsBatchOrdered() {
+	keys := []cssidx.Key{2, 3, 5, 8, 13, 21, 34}
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+
+	probes := []cssidx.Key{13, 4, 21, 21, 21, 40}
+	out := make([]int32, len(probes))
+	cssidx.AsBatchOrdered(idx).SearchBatch(probes, out)
+	fmt.Println(out)
+
+	cssidx.NewSortedBatch(idx).LowerBoundBatch(probes, out)
+	fmt.Println(out)
+	// Output:
+	// [4 -1 5 5 5 -1]
+	// [4 2 5 5 5 7]
+}
+
 // Generic CSS-trees index any ordered key type.
 func ExampleNewGenericFull() {
 	words := []string{"ant", "bee", "cat", "dog"}

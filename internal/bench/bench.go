@@ -73,6 +73,7 @@ func Experiments() []Experiment {
 		{"fig14", "Figure 2/14: space/time trade-offs and the stepped frontier", runFig14},
 		{"skew", "Extension: skew sensitivity (interpolation, hash chains, Zipf warm cache)", runSkew},
 		{"shard", "Extension: sharded serving throughput under concurrent epoch-swap rebuilds", runShard},
+		{"batch", "Extension: batched lockstep probing vs scalar (batch size, skew, join)", runBatch},
 	}
 }
 

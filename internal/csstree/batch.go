@@ -8,8 +8,10 @@ package csstree
 // the batching counterpart of the paper's §8 direction of exploiting cache
 // behaviour across whole operations.
 //
-// The answers are bit-identical to the scalar LowerBound; only the schedule
-// of memory accesses changes.
+// The answers are bit-identical to the scalar Search/LowerBound/EqualRange;
+// only the schedule of memory accesses changes.
+
+import "cssidx/internal/binsearch"
 
 // batchWidth is the number of probes descended in lockstep.  Wide enough to
 // cover DRAM latency with independent misses, small enough that the group's
@@ -29,6 +31,7 @@ func (t *Full) LowerBoundBatch(probes []uint32, out []int32) {
 		}
 		return
 	}
+	m, fan, lNode := g.M, g.Fanout, g.LNode
 	var nodes [batchWidth]int32
 	i := 0
 	for ; i+batchWidth <= len(probes); i += batchWidth {
@@ -38,30 +41,49 @@ func (t *Full) LowerBoundBatch(probes []uint32, out []int32) {
 		}
 		// Lockstep descent: advance every probe one level per pass, so the
 		// group issues batchWidth independent node reads back to back.
-		for {
-			active := false
+		// Leaves exist only on the two deepest levels, so the first Depth-1
+		// passes are internal for every probe — no depth checks needed.
+		for pass := 0; pass < g.Depth-1; pass++ {
 			for j := 0; j < batchWidth; j++ {
 				d := int(nodes[j])
-				if d > g.LNode {
-					continue
-				}
-				active = true
-				base := d * g.M
-				k := nodeLowerBound32(t.dir[base:base+g.M], group[j])
-				nodes[j] = int32(d*g.Fanout + 1 + k)
+				base := d * m
+				k := binsearch.NodeLowerBound(t.dir[base:base+m], m, group[j])
+				nodes[j] = int32(d*fan + 1 + k)
 			}
-			if !active {
-				break
+		}
+		// Final internal level: only region-I probes are still on a node.
+		for j := 0; j < batchWidth; j++ {
+			d := int(nodes[j])
+			if d > lNode {
+				continue
 			}
+			base := d * m
+			k := binsearch.NodeLowerBound(t.dir[base:base+m], m, group[j])
+			nodes[j] = int32(d*fan + 1 + k)
 		}
 		for j := 0; j < batchWidth; j++ {
 			lo, hi := g.LeafRange(int(nodes[j]))
-			out[i+j] = int32(lo + nodeLowerBound32(t.keys[lo:hi], group[j]))
+			out[i+j] = int32(lo + binsearch.NodeLowerBound(t.keys[lo:hi], hi-lo, group[j]))
 		}
 	}
 	for ; i < len(probes); i++ {
 		out[i] = int32(t.LowerBound(probes[i]))
 	}
+}
+
+// SearchBatch computes Search for every probe into out (len(out) must equal
+// len(probes)): the position of the leftmost occurrence, or -1 if absent.
+func (t *Full) SearchBatch(probes []uint32, out []int32) {
+	t.LowerBoundBatch(probes, out)
+	fixupSearch(t.keys, probes, out)
+}
+
+// EqualRangeBatch computes EqualRange for every probe: first and last receive
+// the half-open position range of each probe's occurrences (all three slices
+// must have equal length).
+func (t *Full) EqualRangeBatch(probes []uint32, first, last []int32) {
+	t.LowerBoundBatch(probes, first)
+	fixupEqualRange(t.keys, probes, first, last)
 }
 
 // LowerBoundBatch computes LowerBound for every probe into out
@@ -77,6 +99,7 @@ func (t *Level) LowerBoundBatch(probes []uint32, out []int32) {
 		}
 		return
 	}
+	m, lNode := g.M, g.LNode
 	var nodes [batchWidth]int32
 	i := 0
 	for ; i+batchWidth <= len(probes); i += batchWidth {
@@ -84,25 +107,27 @@ func (t *Level) LowerBoundBatch(probes []uint32, out []int32) {
 		for j := range nodes {
 			nodes[j] = 0
 		}
-		for {
-			active := false
+		// See the Full kernel: the first Depth-1 passes need no depth checks.
+		for pass := 0; pass < g.Depth-1; pass++ {
 			for j := 0; j < batchWidth; j++ {
 				d := int(nodes[j])
-				if d > g.LNode {
-					continue
-				}
-				active = true
-				base := d * g.M
-				k := nodeLowerBound32(t.dir[base:base+g.M-1], group[j])
-				nodes[j] = int32(d*g.M + 1 + k)
-			}
-			if !active {
-				break
+				base := d * m
+				k := binsearch.NodeLowerBound(t.dir[base:base+m-1], m-1, group[j])
+				nodes[j] = int32(d*m + 1 + k)
 			}
 		}
 		for j := 0; j < batchWidth; j++ {
+			d := int(nodes[j])
+			if d > lNode {
+				continue
+			}
+			base := d * m
+			k := binsearch.NodeLowerBound(t.dir[base:base+m-1], m-1, group[j])
+			nodes[j] = int32(d*m + 1 + k)
+		}
+		for j := 0; j < batchWidth; j++ {
 			lo, hi := g.LeafRange(int(nodes[j]))
-			out[i+j] = int32(lo + nodeLowerBound32(t.keys[lo:hi], group[j]))
+			out[i+j] = int32(lo + binsearch.NodeLowerBound(t.keys[lo:hi], hi-lo, group[j]))
 		}
 	}
 	for ; i < len(probes); i++ {
@@ -110,21 +135,44 @@ func (t *Level) LowerBoundBatch(probes []uint32, out []int32) {
 	}
 }
 
-// nodeLowerBound32 is the in-node leftmost-≥ search used by the batch path;
-// identical semantics to binsearch.NodeLowerBound but local so the compiler
-// can inline it into the lockstep loops.
-func nodeLowerBound32(a []uint32, key uint32) int {
-	lo, hi := 0, len(a)
-	for hi-lo > 5 {
-		mid := int(uint(lo+hi) >> 1)
-		if a[mid] < key {
-			lo = mid + 1
-		} else {
-			hi = mid
+// SearchBatch computes Search for every probe into out (len(out) must equal
+// len(probes)): the position of the leftmost occurrence, or -1 if absent.
+func (t *Level) SearchBatch(probes []uint32, out []int32) {
+	t.LowerBoundBatch(probes, out)
+	fixupSearch(t.keys, probes, out)
+}
+
+// EqualRangeBatch computes EqualRange for every probe: first and last receive
+// the half-open position range of each probe's occurrences (all three slices
+// must have equal length).
+func (t *Level) EqualRangeBatch(probes []uint32, first, last []int32) {
+	t.LowerBoundBatch(probes, first)
+	fixupEqualRange(t.keys, probes, first, last)
+}
+
+// fixupSearch turns in-place lower bounds into Search results: -1 where the
+// landing key does not match the probe.
+func fixupSearch(keys []uint32, probes []uint32, out []int32) {
+	n := int32(len(keys))
+	for i, p := range probes {
+		if lb := out[i]; lb >= n || keys[lb] != p {
+			out[i] = -1
 		}
 	}
-	for lo < hi && a[lo] < key {
-		lo++
+}
+
+// fixupEqualRange extends lower bounds in first to half-open equal ranges by
+// scanning duplicates rightward (§3.6).
+func fixupEqualRange(keys []uint32, probes []uint32, first, last []int32) {
+	if len(first) != len(probes) || len(last) != len(probes) {
+		panic("csstree: probes/first/last length mismatch")
 	}
-	return lo
+	n := int32(len(keys))
+	for i, p := range probes {
+		end := first[i]
+		for end < n && keys[end] == p {
+			end++
+		}
+		last[i] = end
+	}
 }

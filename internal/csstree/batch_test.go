@@ -39,6 +39,39 @@ func TestBatchMatchesScalarLevel(t *testing.T) {
 	}
 }
 
+func TestSearchAndEqualRangeBatchMatchScalar(t *testing.T) {
+	g := workload.New(183)
+	for _, n := range []int{0, 1, 9, 1000, 20000} {
+		keys := g.SortedWithDuplicates(n, 4)
+		probes := append(g.Lookups(keys, 600), g.Misses(keys, 300)...)
+		probes = append(probes, 0, ^uint32(0))
+		out := make([]int32, len(probes))
+		first := make([]int32, len(probes))
+		last := make([]int32, len(probes))
+		full := BuildFull(keys, 16)
+		level := BuildLevel(keys, 16)
+		for _, tr := range []interface {
+			Search(uint32) int
+			EqualRange(uint32) (int, int)
+			SearchBatch([]uint32, []int32)
+			EqualRangeBatch([]uint32, []int32, []int32)
+		}{full, level} {
+			tr.SearchBatch(probes, out)
+			tr.EqualRangeBatch(probes, first, last)
+			for i, p := range probes {
+				if int(out[i]) != tr.Search(p) {
+					t.Fatalf("n=%d: SearchBatch[%d]=%d, scalar=%d (key %d)", n, i, out[i], tr.Search(p), p)
+				}
+				wf, wl := tr.EqualRange(p)
+				if int(first[i]) != wf || int(last[i]) != wl {
+					t.Fatalf("n=%d: EqualRangeBatch[%d]=[%d,%d), scalar=[%d,%d) (key %d)",
+						n, i, first[i], last[i], wf, wl, p)
+				}
+			}
+		}
+	}
+}
+
 func TestBatchSmallerThanWidth(t *testing.T) {
 	keys := []uint32{10, 20, 30}
 	tr := BuildFull(keys, 16)

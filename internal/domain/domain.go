@@ -60,6 +60,14 @@ func (d *IntDomain) ID(value uint32) (uint32, bool) {
 	return uint32(i), true
 }
 
+// IDsBatch translates a batch of values to domain IDs in one lockstep
+// descent of the domain's CSS-tree: ids[i] receives the rank of values[i], or
+// -1 when the value is not in the domain (len(ids) must equal len(values)).
+// Since IDs are ranks, Search's leftmost position IS the ID.
+func (d *IntDomain) IDsBatch(values []uint32, ids []int32) {
+	d.idx.SearchBatch(values, ids)
+}
+
 // Value returns the value for a domain ID.
 func (d *IntDomain) Value(id uint32) uint32 { return d.values[int(id)] }
 

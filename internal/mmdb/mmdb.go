@@ -107,12 +107,14 @@ func (c *Column) Len() int { return len(c.raw) }
 // §2.2 flow: "transforming domain values to domain IDs requires searching on
 // the domain".
 type SortedIndex struct {
-	col  *Column
-	kind cssidx.Kind
-	opts cssidx.Options
-	keys []uint32 // domain IDs in sorted order
-	rids []uint32 // RIDs ordered by column value
-	idx  cssidx.Index
+	col   *Column
+	kind  cssidx.Kind
+	opts  cssidx.Options
+	keys  []uint32 // domain IDs in sorted order
+	rids  []uint32 // RIDs ordered by column value
+	idx   cssidx.Index
+	batch cssidx.BatchIndex        // idx behind the batch surface (native or adapted)
+	bord  cssidx.BatchOrderedIndex // non-nil when the method has ordered access
 }
 
 // BuildIndex builds (or rebuilds) an index on the column using the given
@@ -147,6 +149,11 @@ func (ix *SortedIndex) rebuild() {
 	}
 	sortu32.SortPairs(ix.keys, ix.rids)
 	ix.idx = cssidx.New(ix.kind, ix.keys, ix.opts)
+	ix.batch = cssidx.AsBatch(ix.idx)
+	ix.bord = nil
+	if ord, ok := ix.idx.(cssidx.OrderedIndex); ok {
+		ix.bord = cssidx.AsBatchOrdered(ord)
+	}
 }
 
 // Kind returns the index method.
@@ -174,6 +181,32 @@ func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
 	var out []uint32
 	for ; pos < len(ix.keys) && ix.keys[pos] == id; pos++ {
 		out = append(out, ix.rids[pos])
+	}
+	return out
+}
+
+// SelectIn returns the RIDs of rows whose column equals any value in the
+// IN-list, driving the index through the batched probe surface (one lockstep
+// domain translation + one batched equal-range probe per chunk of
+// cssidx.DefaultBatchSize values).  Duplicate list values contribute their
+// rows once; RIDs come back grouped by list order, ascending within a value.
+func (ix *SortedIndex) SelectIn(values []uint32) []uint32 {
+	var out []uint32
+	forEachEqualRange(ix.col.dom, dedupeValues(values), ix.equalRangeBatchIDs, func(first, last int32) {
+		out = append(out, ix.rids[first:last]...)
+	})
+	return out
+}
+
+// dedupeValues keeps the first occurrence of each value, preserving order.
+func dedupeValues(values []uint32) []uint32 {
+	seen := make(map[uint32]struct{}, len(values))
+	out := make([]uint32, 0, len(values))
+	for _, v := range values {
+		if _, dup := seen[v]; !dup {
+			seen[v] = struct{}{}
+			out = append(out, v)
+		}
 	}
 	return out
 }
@@ -209,26 +242,174 @@ func (ix *SortedIndex) CountRange(lo, hi uint32) (int, error) {
 	return ord.LowerBound(hiID) - ord.LowerBound(loID), nil
 }
 
+// --- batched probing core ------------------------------------------------------
+
+// probeScratch holds the reusable buffers of one batched probe stream; sized
+// once per operation, reused across chunks.
+type probeScratch struct {
+	ids    []int32  // domain IDs per raw value (-1 = absent from the domain)
+	probes []uint32 // compacted present IDs
+	ord    []int32  // original ordinal within the chunk per compacted probe
+	first  []int32
+	last   []int32
+}
+
+func newProbeScratch(n int) *probeScratch {
+	return &probeScratch{
+		ids:    make([]int32, n),
+		probes: make([]uint32, 0, n),
+		ord:    make([]int32, 0, n),
+		first:  make([]int32, n),
+		last:   make([]int32, n),
+	}
+}
+
+// probeEqualBatch probes the index with one chunk of raw values: the chunk is
+// translated to domain IDs in one lockstep descent of the domain tree, the
+// present IDs are compacted and answered by one batched equal-range probe
+// (lockstep again for CSS methods, scalar loop for the rest), and emit is
+// called per occurrence with the value's ordinal in the chunk and its
+// position in the sorted key/RID arrays.  Emission order matches the scalar
+// path: chunk order, then ascending position within a value's duplicates.
+func (ix *SortedIndex) probeEqualBatch(values []uint32, s *probeScratch, emit func(ordinal int, pos int)) int {
+	ids := s.ids[:len(values)]
+	ix.col.dom.IDsBatch(values, ids)
+	s.probes = s.probes[:0]
+	s.ord = s.ord[:0]
+	for i, id := range ids {
+		if id >= 0 {
+			s.probes = append(s.probes, uint32(id))
+			s.ord = append(s.ord, int32(i))
+		}
+	}
+	if len(s.probes) == 0 {
+		return 0
+	}
+	first := s.first[:len(s.probes)]
+	last := s.last[:len(s.probes)]
+	ix.equalRangeBatchIDs(s.probes, first, last)
+	count := 0
+	for j := range s.probes {
+		f, l := first[j], last[j]
+		if f < 0 {
+			continue
+		}
+		count += int(l - f)
+		if emit != nil {
+			for pos := f; pos < l; pos++ {
+				emit(int(s.ord[j]), int(pos))
+			}
+		}
+	}
+	return count
+}
+
+// equalRangeBatchIDs answers the equal range of every domain-ID probe:
+// batched through the ordered surface when the method has one, or — for hash
+// — batched leftmost-hit searches extended across each hit's duplicate run
+// in the sorted key array (§3.6).
+func (ix *SortedIndex) equalRangeBatchIDs(probes []uint32, first, last []int32) {
+	if ix.bord != nil {
+		ix.bord.EqualRangeBatch(probes, first, last)
+		return
+	}
+	ix.batch.SearchBatch(probes, first)
+	n := int32(len(ix.keys))
+	for j, f := range first {
+		e := f
+		if f >= 0 {
+			e++
+			for e < n && ix.keys[e] == probes[j] {
+				e++
+			}
+		}
+		last[j] = e
+	}
+}
+
+// forEachEqualRange drives the shared IN-list flow: values (pre-deduplicated)
+// are translated to domain IDs in chunks of cssidx.DefaultBatchSize with one
+// lockstep descent each, absent values are compacted away, present IDs are
+// answered by one batched equal-range probe, and emit is called per value
+// with its half-open position range.
+func forEachEqualRange(dom *domain.IntDomain, values []uint32, probe func(ids []uint32, first, last []int32), emit func(first, last int32)) {
+	if len(values) == 0 {
+		return
+	}
+	batch := cssidx.DefaultBatchSize
+	if batch > len(values) {
+		batch = len(values)
+	}
+	ids := make([]int32, batch)
+	probes := make([]uint32, 0, batch)
+	first := make([]int32, batch)
+	last := make([]int32, batch)
+	for base := 0; base < len(values); base += batch {
+		end := base + batch
+		if end > len(values) {
+			end = len(values)
+		}
+		chunk := values[base:end]
+		dom.IDsBatch(chunk, ids[:len(chunk)])
+		probes = probes[:0]
+		for _, id := range ids[:len(chunk)] {
+			if id >= 0 {
+				probes = append(probes, uint32(id))
+			}
+		}
+		if len(probes) == 0 {
+			continue
+		}
+		probe(probes, first[:len(probes)], last[:len(probes)])
+		for j := range probes {
+			emit(first[j], last[j])
+		}
+	}
+}
+
 // --- joins -------------------------------------------------------------------
 
-// Join performs the indexed nested-loop join of §2.2: for every row of the
-// outer table, the inner index is probed with the outer column value; emit
-// is called for each matching (outerRID, innerRID) pair.  It returns the
-// number of result pairs.  The join is pipelinable and needs no intermediate
-// storage — the reason the paper highlights it for main memory.
+// Join performs the indexed nested-loop join of §2.2 with the default probe
+// batch size; see JoinBatch.
 func Join(outer *Table, outerCol string, inner *SortedIndex, emit func(outerRID, innerRID uint32)) (int, error) {
+	return JoinBatch(outer, outerCol, inner, 0, emit)
+}
+
+// JoinBatch performs the indexed nested-loop join of §2.2, driving the inner
+// index through the batched probe surface: outer rows are processed in chunks
+// of batchSize (0 = cssidx.DefaultBatchSize, 1 = the scalar schedule), each
+// chunk is translated through the inner domain and probed with one lockstep
+// descent per batch, and emit is called for each matching (outerRID,
+// innerRID) pair, in the same order as scalar probing.  It returns the number
+// of result pairs.  The join is pipelinable and needs no intermediate storage
+// — the reason the paper highlights it for main memory — while batching lets
+// the cache-resident upper directory levels serve the whole chunk.
+func JoinBatch(outer *Table, outerCol string, inner *SortedIndex, batchSize int, emit func(outerRID, innerRID uint32)) (int, error) {
 	col, ok := outer.cols[outerCol]
 	if !ok {
 		return 0, fmt.Errorf("mmdb: no column %s in table %s", outerCol, outer.name)
 	}
+	if batchSize <= 0 {
+		batchSize = cssidx.DefaultBatchSize
+	}
+	if batchSize > len(col.raw) && len(col.raw) > 0 {
+		batchSize = len(col.raw)
+	}
+	s := newProbeScratch(batchSize)
 	count := 0
-	for r := 0; r < len(col.raw); r++ {
-		for _, ir := range inner.SelectEqual(col.raw[r]) {
-			count++
-			if emit != nil {
-				emit(uint32(r), ir)
+	for base := 0; base < len(col.raw); base += batchSize {
+		end := base + batchSize
+		if end > len(col.raw) {
+			end = len(col.raw)
+		}
+		chunkBase := base
+		var chunkEmit func(ordinal, pos int)
+		if emit != nil {
+			chunkEmit = func(ordinal, pos int) {
+				emit(uint32(chunkBase+ordinal), inner.rids[pos])
 			}
 		}
+		count += inner.probeEqualBatch(col.raw[base:end], s, chunkEmit)
 	}
 	return count, nil
 }

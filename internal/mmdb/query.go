@@ -97,6 +97,13 @@ type Plan struct {
 // streams cache lines while index-ordered RID gathering hops randomly.
 const scanBreakEven = 0.20
 
+// batchScanBreakEven is the break-even for *batched* probe streams (IN-lists,
+// join chunks): lockstep descents overlap the probes' cache misses and the
+// directory's upper levels stay cache-resident across the batch, so the
+// per-probe cost drops and the index stays ahead of a scan to markedly
+// higher selectivity than a scalar probe would.
+const batchScanBreakEven = 0.35
+
 // PlanRange chooses between the column's index and a sequential scan for
 // the predicate lo ≤ col ≤ hi.
 func (t *Table) PlanRange(col string, lo, hi uint32) (Plan, error) {
@@ -156,6 +163,76 @@ func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 	var out []uint32
 	for row, v := range c.raw {
 		if v >= lo && v <= hi {
+			out = append(out, uint32(row))
+		}
+	}
+	return out, plan, nil
+}
+
+// PlanIn chooses between the column's index and a sequential scan for the
+// predicate col IN (values).  An IN-list is a probe *batch*, so the index
+// side is costed with the batched break-even: batch amortisation keeps the
+// index competitive to higher selectivity than a scalar probe.  Hash indexes
+// qualify — an IN-list needs only equality probes, not ordered access.
+func (t *Table) PlanIn(col string, values []uint32) (Plan, error) {
+	c, ok := t.cols[col]
+	if !ok {
+		return Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
+	}
+	distinct := dedupeValues(values)
+	present := 0
+	if len(distinct) > 0 {
+		ids := make([]int32, len(distinct))
+		c.dom.IDsBatch(distinct, ids)
+		for _, id := range ids {
+			if id >= 0 {
+				present++
+			}
+		}
+	}
+	frac := 0.0
+	if c.dom.Len() > 0 {
+		frac = float64(present) / float64(c.dom.Len())
+	}
+	est := int(frac * float64(t.rows))
+	_, indexed := t.indexes[col]
+	_, shardedOK := t.sharded[col]
+	switch {
+	case !indexed && !shardedOK:
+		return Plan{UseIndex: false, EstRows: est, Why: "no index on column"}, nil
+	case frac > batchScanBreakEven:
+		return Plan{UseIndex: false, EstRows: est,
+			Why: fmt.Sprintf("selectivity %.0f%% above batched scan break-even", 100*frac)}, nil
+	default:
+		return Plan{UseIndex: true, EstRows: est,
+			Why: fmt.Sprintf("batched IN probe, selectivity %.1f%% below batched break-even", 100*frac)}, nil
+	}
+}
+
+// SelectIn returns the RIDs of rows whose column equals any value in the
+// IN-list, choosing the access path with PlanIn.  The index path drives the
+// batched probe surface; the scan path streams the column once.  RIDs come
+// back in probe order for index probes and in row order for scans (the set
+// is identical either way); duplicate list values contribute rows once.
+func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
+	plan, err := t.PlanIn(col, values)
+	if err != nil {
+		return nil, Plan{}, err
+	}
+	if plan.UseIndex {
+		if ix, ok := t.indexes[col]; ok {
+			return ix.SelectIn(values), plan, nil
+		}
+		return t.sharded[col].SelectIn(values), plan, nil
+	}
+	want := make(map[uint32]struct{}, len(values))
+	for _, v := range values {
+		want[v] = struct{}{}
+	}
+	c := t.cols[col]
+	var out []uint32
+	for row, v := range c.raw {
+		if _, hit := want[v]; hit {
 			out = append(out, uint32(row))
 		}
 	}

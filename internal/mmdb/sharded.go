@@ -114,6 +114,21 @@ func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
 	return out
 }
 
+// SelectIn returns the RIDs of rows whose column equals any value in the
+// IN-list, against one table-level epoch: the list is translated through the
+// domain with one lockstep descent per chunk and probed with the sharded
+// index's batched equal-range (itself against one frozen shard snapshot).
+// Duplicate list values contribute their rows once; RIDs come back grouped
+// by list order, ascending within a value.
+func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
+	s := ix.cur.Load()
+	var out []uint32
+	forEachEqualRange(s.dom, dedupeValues(values), s.idx.EqualRangeBatch, func(first, last int32) {
+		out = append(out, s.rids[first:last]...)
+	})
+	return out
+}
+
 // SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in column-
 // value order.
 func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {

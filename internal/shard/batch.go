@@ -1,0 +1,299 @@
+package shard
+
+// Batched probing across shards.  A probe batch is partitioned by the shard
+// boundaries, each shard's group descends its tree with the lockstep batch
+// kernel (when the tree provides one), and results scatter back to input
+// order with the shard's global offset applied.  The whole batch runs against
+// ONE frozen View — a single snapshot epoch per shard — so a batch never
+// mixes answers from different epochs even while rebuilds are publishing.
+//
+// The optional key-ordered schedule sorts the batch by probe key before the
+// descent (results still scatter back to input order) and deduplicates it:
+// repeated probes descend once and fan their result out.  Because shards are
+// key ranges, sorting also groups probes by shard for free, and inside a
+// shard consecutive probes then walk neighbouring root-to-leaf paths: a
+// skewed batch touches each directory node once instead of bouncing randomly
+// across the directory — random access turned near-sequential, the probe
+// scheduling payoff of the skew literature.  uint32 batches sort with the
+// radix pair-sort of internal/sortu32; other key types fall back to a
+// comparison sort.
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+
+	"cssidx/internal/sortu32"
+)
+
+// BatchTree is the optional batch extension of Tree: shard trees that
+// implement it (the uint32 CSS-trees, the generic CSS-tree) answer a whole
+// probe group with one lockstep descent.
+type BatchTree[K cmp.Ordered] interface {
+	Tree[K]
+	LowerBoundBatch(probes []K, out []int32)
+}
+
+// batchRun is a maximal run of grouped probes landing in one shard:
+// gathered[lo:hi] all route to shard sid.
+type batchRun struct {
+	sid    int
+	lo, hi int
+}
+
+// batchPlan partitions a probe batch by shard: the descent probes
+// gathered[r.lo:r.hi] per run r, and position j of gathered answers the
+// original probe perm[j] (expand == nil), or — in the key-ordered schedule,
+// where gathered is sorted and deduplicated — original probe perm[j] takes
+// gathered's answer at expand[j].
+func (v *View[K]) batchPlan(probes []K, keyOrdered bool) (perm []int32, gathered []K, runs []batchRun, expand []int32) {
+	n := len(probes)
+	switch {
+	case keyOrdered:
+		perm, gathered = sortByKey(probes)
+		// Dedup in place: repeated probes descend once, expand[j] maps each
+		// sorted position to its unique slot.
+		expand = make([]int32, n)
+		uq := 0
+		for j := 0; j < n; j++ {
+			if uq > 0 && gathered[j] == gathered[uq-1] {
+				expand[j] = int32(uq - 1)
+				continue
+			}
+			gathered[uq] = gathered[j]
+			expand[j] = int32(uq)
+			uq++
+		}
+		gathered = gathered[:uq]
+		// gathered is sorted, so shard runs end at each boundary's lower bound.
+		for lo := 0; lo < uq; {
+			sid := v.shardFor(gathered[lo])
+			hi := uq
+			if sid < len(v.bounds) {
+				b := v.bounds[sid]
+				hi = lo + sort.Search(uq-lo, func(j int) bool { return gathered[lo+j] >= b })
+			}
+			runs = append(runs, batchRun{sid: sid, lo: lo, hi: hi})
+			lo = hi
+		}
+	case len(v.snaps) > 1:
+		// Counting sort by shard keeps the within-shard probe order stable;
+		// the prefix sums are the run boundaries.
+		perm = make([]int32, n)
+		sids := make([]int32, n)
+		counts := make([]int32, len(v.snaps)+1)
+		for i, p := range probes {
+			s := int32(v.shardFor(p))
+			sids[i] = s
+			counts[s+1]++
+		}
+		for s := 1; s < len(counts); s++ {
+			counts[s] += counts[s-1]
+		}
+		next := slices.Clone(counts)
+		for i := range probes {
+			s := sids[i]
+			perm[next[s]] = int32(i)
+			next[s]++
+		}
+		gathered = make([]K, n)
+		for j, pi := range perm {
+			gathered[j] = probes[pi]
+		}
+		for s := 0; s < len(v.snaps); s++ {
+			if counts[s] < counts[s+1] {
+				runs = append(runs, batchRun{sid: s, lo: int(counts[s]), hi: int(counts[s+1])})
+			}
+		}
+	default:
+		// One shard: the batch is one run in input order.
+		perm = make([]int32, n)
+		for i := range perm {
+			perm[i] = int32(i)
+		}
+		gathered = probes
+		if n > 0 {
+			runs = []batchRun{{sid: 0, lo: 0, hi: n}}
+		}
+	}
+	return perm, gathered, runs, expand
+}
+
+// sortByKey returns the key-sorted copy of probes and the permutation mapping
+// sorted position j to its original index: radix pair-sort for uint32, a
+// comparison sort for other key types.
+func sortByKey[K cmp.Ordered](probes []K) (perm []int32, gathered []K) {
+	n := len(probes)
+	perm = make([]int32, n)
+	if u, ok := any(probes).([]uint32); ok {
+		gu := make([]uint32, n)
+		pu := make([]uint32, n)
+		copy(gu, u)
+		for i := range pu {
+			pu[i] = uint32(i)
+		}
+		sortu32.SortPairs(gu, pu)
+		for i, p := range pu {
+			perm[i] = int32(p)
+		}
+		gathered, _ = any(gu).([]K)
+		return perm, gathered
+	}
+	for i := range perm {
+		perm[i] = int32(i)
+	}
+	slices.SortFunc(perm, func(a, b int32) int { return cmp.Compare(probes[a], probes[b]) })
+	gathered = make([]K, n)
+	for j, pi := range perm {
+		gathered[j] = probes[pi]
+	}
+	return perm, gathered
+}
+
+// treeLowerBoundBatch descends one shard's probe group: lockstep when the
+// tree has the batch kernel, scalar per probe otherwise.
+func treeLowerBoundBatch[K cmp.Ordered](t Tree[K], probes []K, out []int32) {
+	if bt, ok := t.(BatchTree[K]); ok {
+		bt.LowerBoundBatch(probes, out)
+		return
+	}
+	for i, p := range probes {
+		out[i] = int32(t.LowerBound(p))
+	}
+}
+
+// scatter writes the per-gathered-position results back to input order.
+func scatter(out, res, perm, expand []int32) {
+	if expand == nil {
+		for j, pi := range perm {
+			out[pi] = res[j]
+		}
+		return
+	}
+	for j, pi := range perm {
+		out[pi] = res[expand[j]]
+	}
+}
+
+// LowerBoundBatch stores the global LowerBound of every probe into out
+// (len(out) must equal len(probes)).  keyOrdered selects the sort-probes-
+// first schedule; results are identical either way and bit-identical to the
+// scalar LowerBound against this view.
+func (v *View[K]) LowerBoundBatch(probes []K, out []int32, keyOrdered bool) {
+	if len(out) != len(probes) {
+		panic("shard: probes/out length mismatch")
+	}
+	if len(v.snaps) == 1 && !keyOrdered {
+		// Single shard, input order: descend straight into out (offset 0).
+		treeLowerBoundBatch(v.snaps[0].tree, probes, out)
+		return
+	}
+	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered)
+	res := make([]int32, len(gathered))
+	for _, r := range runs {
+		treeLowerBoundBatch(v.snaps[r.sid].tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
+		off := int32(v.offs[r.sid])
+		for j := r.lo; j < r.hi; j++ {
+			res[j] += off
+		}
+	}
+	scatter(out, res, perm, expand)
+}
+
+// SearchBatch stores the global Search of every probe into out: the position
+// of the leftmost occurrence, or -1 if absent.
+func (v *View[K]) SearchBatch(probes []K, out []int32, keyOrdered bool) {
+	if len(out) != len(probes) {
+		panic("shard: probes/out length mismatch")
+	}
+	if len(v.snaps) == 1 && !keyOrdered {
+		snap := v.snaps[0]
+		treeLowerBoundBatch(snap.tree, probes, out)
+		n := int32(len(snap.keys))
+		for i, p := range probes {
+			if lb := out[i]; lb >= n || snap.keys[lb] != p {
+				out[i] = -1
+			}
+		}
+		return
+	}
+	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered)
+	res := make([]int32, len(gathered))
+	for _, r := range runs {
+		snap := v.snaps[r.sid]
+		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
+		off := int32(v.offs[r.sid])
+		n := int32(len(snap.keys))
+		for j := r.lo; j < r.hi; j++ {
+			if lb := res[j]; lb < n && snap.keys[lb] == gathered[j] {
+				res[j] = off + lb
+			} else {
+				res[j] = -1
+			}
+		}
+	}
+	scatter(out, res, perm, expand)
+}
+
+// EqualRangeBatch stores the global EqualRange of every probe into
+// (first[i], last[i]); all three slices must have equal length.  Duplicates
+// of a key never straddle shards, so each range is exact.
+func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32, keyOrdered bool) {
+	if len(first) != len(probes) || len(last) != len(probes) {
+		panic("shard: probes/first/last length mismatch")
+	}
+	if len(v.snaps) == 1 && !keyOrdered {
+		snap := v.snaps[0]
+		treeLowerBoundBatch(snap.tree, probes, first)
+		n := int32(len(snap.keys))
+		for i, p := range probes {
+			end := first[i]
+			for end < n && snap.keys[end] == p {
+				end++
+			}
+			last[i] = end
+		}
+		return
+	}
+	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered)
+	resF := make([]int32, len(gathered))
+	resL := make([]int32, len(gathered))
+	for _, r := range runs {
+		snap := v.snaps[r.sid]
+		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], resF[r.lo:r.hi])
+		off := int32(v.offs[r.sid])
+		n := int32(len(snap.keys))
+		for j := r.lo; j < r.hi; j++ {
+			lb := resF[j]
+			end := lb
+			for end < n && snap.keys[end] == gathered[j] {
+				end++
+			}
+			resF[j] = off + lb
+			resL[j] = off + end
+		}
+	}
+	scatter(first, resF, perm, expand)
+	scatter(last, resL, perm, expand)
+}
+
+// SetBatchKeyOrder selects the sort-probes-first schedule for the Index-level
+// batch methods (View-level calls take the schedule explicitly).  Set it
+// before serving; it is not synchronised with concurrent readers.
+func (x *Index[K]) SetBatchKeyOrder(on bool) { x.batchKeyOrder = on }
+
+// LowerBoundBatch answers the whole batch against one frozen View, so every
+// result reflects a single snapshot epoch per shard.
+func (x *Index[K]) LowerBoundBatch(probes []K, out []int32) {
+	x.View().LowerBoundBatch(probes, out, x.batchKeyOrder)
+}
+
+// SearchBatch answers the whole batch against one frozen View.
+func (x *Index[K]) SearchBatch(probes []K, out []int32) {
+	x.View().SearchBatch(probes, out, x.batchKeyOrder)
+}
+
+// EqualRangeBatch answers the whole batch against one frozen View.
+func (x *Index[K]) EqualRangeBatch(probes []K, first, last []int32) {
+	x.View().EqualRangeBatch(probes, first, last, x.batchKeyOrder)
+}

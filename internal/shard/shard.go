@@ -90,6 +90,10 @@ type Index[K cmp.Ordered] struct {
 	bounds []K // strictly ascending; shard i serves keys < bounds[i], last serves the rest
 	shards []*shardState[K]
 
+	// batchKeyOrder selects the sort-probes-first batch schedule
+	// (SetBatchKeyOrder); set before serving.
+	batchKeyOrder bool
+
 	wake      chan struct{}
 	syncs     chan chan struct{}
 	done      chan struct{}

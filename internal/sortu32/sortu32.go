@@ -88,6 +88,14 @@ func insertion(a []uint32) {
 // SortPairs sorts keys ascending in place, applying the identical stable
 // permutation to vals (e.g. RIDs).  len(vals) must equal len(keys).
 func SortPairs(keys, vals []uint32) {
+	SortPairsScratch(keys, vals, nil, nil)
+}
+
+// SortPairsScratch is SortPairs with caller-provided scratch space, for hot
+// paths that sort many small batches (the sort-probes-first probe schedule):
+// tmpK and tmpV are used as the radix ping-pong buffers when they have
+// capacity ≥ len(keys), and allocated otherwise.
+func SortPairsScratch(keys, vals, tmpK, tmpV []uint32) {
 	if len(keys) != len(vals) {
 		panic("sortu32: keys and vals length mismatch")
 	}
@@ -96,9 +104,11 @@ func SortPairs(keys, vals []uint32) {
 		insertionPairs(keys, vals)
 		return
 	}
-	tmpK := make([]uint32, n)
-	tmpV := make([]uint32, n)
-	srcK, srcV, dstK, dstV := keys, vals, tmpK, tmpV
+	if cap(tmpK) < n || cap(tmpV) < n {
+		tmpK = make([]uint32, n)
+		tmpV = make([]uint32, n)
+	}
+	srcK, srcV, dstK, dstV := keys, vals, tmpK[:n], tmpV[:n]
 	for shift := uint(0); shift < 32; shift += radixBits {
 		if sortedBy(srcK, shift) {
 			continue

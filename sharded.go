@@ -29,6 +29,12 @@ type ShardedOptions[K cmp.Ordered] struct {
 	// then placed at its quantiles so each shard receives roughly equal
 	// traffic instead of roughly equal keys.
 	SkewSample []K
+	// SortBatches selects the sort-probes-first batch schedule: each probe
+	// batch is sorted by key before the lockstep descent (results still come
+	// back in input order).  Key-ordered probes walk neighbouring
+	// root-to-leaf paths, so a skewed batch touches each directory node once
+	// instead of bouncing randomly across the directory.
+	SortBatches bool
 }
 
 // ShardedIndex is a concurrently servable index over a multiset of keys of
@@ -43,7 +49,8 @@ type ShardedOptions[K cmp.Ordered] struct {
 //
 // Close releases the background rebuilder when the index is done serving.
 type ShardedIndex[K cmp.Ordered] struct {
-	ix *shard.Index[K]
+	ix          *shard.Index[K]
+	sortBatches bool
 }
 
 // NewSharded builds a sharded index over the sorted keys (duplicates
@@ -63,7 +70,9 @@ func NewSharded[K cmp.Ordered](keys []K, opts ShardedOptions[K]) *ShardedIndex[K
 		m = 16
 	}
 	bounds := shard.WeightedBoundaries(keys, opts.SkewSample, ns)
-	return &ShardedIndex[K]{ix: shard.New(keys, bounds, shardedBuilder[K](m))}
+	ix := shard.New(keys, bounds, shardedBuilder[K](m))
+	ix.SetBatchKeyOrder(opts.SortBatches)
+	return &ShardedIndex[K]{ix: ix, sortBatches: opts.SortBatches}
 }
 
 // shardedBuilder picks the tuned uint32 level CSS-tree when K is uint32 and
@@ -90,6 +99,24 @@ func (x *ShardedIndex[K]) LowerBound(key K) int { return x.ix.LowerBound(key) }
 // EqualRange returns the half-open global position range of occurrences of
 // key; duplicates of a key always live in one shard, so the range is exact.
 func (x *ShardedIndex[K]) EqualRange(key K) (first, last int) { return x.ix.EqualRange(key) }
+
+// SearchBatch stores Search(probes[i]) into out[i] for every probe
+// (len(out) must equal len(probes)).  The probes are partitioned by shard
+// boundaries and each shard's group descends its tree in lockstep — all
+// against one frozen snapshot, so a batch never mixes epochs even while
+// rebuilds publish concurrently.  Results are bit-identical to the scalar
+// calls against that snapshot.
+func (x *ShardedIndex[K]) SearchBatch(probes []K, out []int32) { x.ix.SearchBatch(probes, out) }
+
+// LowerBoundBatch stores LowerBound(probes[i]) into out[i] for every probe;
+// see SearchBatch for the batch execution model.
+func (x *ShardedIndex[K]) LowerBoundBatch(probes []K, out []int32) { x.ix.LowerBoundBatch(probes, out) }
+
+// EqualRangeBatch stores EqualRange(probes[i]) into (first[i], last[i]); all
+// three slices must have equal length.
+func (x *ShardedIndex[K]) EqualRangeBatch(probes []K, first, last []int32) {
+	x.ix.EqualRangeBatch(probes, first, last)
+}
 
 // Len returns the total number of keys.
 func (x *ShardedIndex[K]) Len() int { return x.ix.Len() }
@@ -127,13 +154,14 @@ func (x *ShardedIndex[K]) Ascend(lo, hi K, fn func(pos int, key K) bool) {
 // global positions, unaffected by concurrent epoch-swaps.  Snapshots are
 // cheap (one atomic load per shard, no copying).
 func (x *ShardedIndex[K]) Snapshot() *ShardedView[K] {
-	return &ShardedView[K]{v: x.ix.View()}
+	return &ShardedView[K]{v: x.ix.View(), sortBatches: x.sortBatches}
 }
 
 // ShardedView is a frozen capture of every shard at one point; see
 // ShardedIndex.Snapshot.
 type ShardedView[K cmp.Ordered] struct {
-	v *shard.View[K]
+	v           *shard.View[K]
+	sortBatches bool
 }
 
 // Len returns the number of keys in the view.
@@ -150,6 +178,22 @@ func (s *ShardedView[K]) LowerBound(key K) int { return s.v.LowerBound(key) }
 
 // EqualRange returns the half-open position range of occurrences of key.
 func (s *ShardedView[K]) EqualRange(key K) (first, last int) { return s.v.EqualRange(key) }
+
+// SearchBatch answers a whole probe batch against the frozen view; results
+// are bit-identical to the scalar calls (see ShardedIndex.SearchBatch).
+func (s *ShardedView[K]) SearchBatch(probes []K, out []int32) {
+	s.v.SearchBatch(probes, out, s.sortBatches)
+}
+
+// LowerBoundBatch answers a whole probe batch against the frozen view.
+func (s *ShardedView[K]) LowerBoundBatch(probes []K, out []int32) {
+	s.v.LowerBoundBatch(probes, out, s.sortBatches)
+}
+
+// EqualRangeBatch answers a whole probe batch against the frozen view.
+func (s *ShardedView[K]) EqualRangeBatch(probes []K, first, last []int32) {
+	s.v.EqualRangeBatch(probes, first, last, s.sortBatches)
+}
 
 // Ascend calls fn for every key in [lo, hi) ascending, with its position;
 // fn returning false stops the scan.  The scan is the merging cross-shard
