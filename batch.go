@@ -239,9 +239,9 @@ func (x levelCSS) EqualRangeBatch(probes []Key, first, last []int32) {
 // --- generic CSS-tree batch descent -----------------------------------------
 
 // genericBatchWidth mirrors the lockstep width of internal/csstree: wide
-// enough to overlap DRAM misses, small enough to keep the group state in
-// registers/L1.
-const genericBatchWidth = 8
+// enough to keep a full complement of independent node reads in flight per
+// level, small enough to keep the group state in registers/L1.
+const genericBatchWidth = 16
 
 // LowerBoundBatch computes LowerBound for every probe into out
 // (len(out) must equal len(probes)), descending the group in lockstep.

@@ -35,12 +35,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("cssbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		runIDs  = fs.String("run", "", "comma-separated experiment ids, or 'all'")
-		list    = fs.Bool("list", false, "list experiments and exit")
-		quick   = fs.Bool("quick", false, "shrink data sizes for a fast pass")
-		lookups = fs.Int("lookups", 100000, "lookups per measurement (paper: 100000)")
-		seed    = fs.Int64("seed", 1, "workload seed")
-		repeats = fs.Int("repeats", 3, "wall-clock repetitions, minimum reported (paper: 5)")
+		runIDs   = fs.String("run", "", "comma-separated experiment ids, or 'all'")
+		list     = fs.Bool("list", false, "list experiments and exit")
+		quick    = fs.Bool("quick", false, "shrink data sizes for a fast pass")
+		lookups  = fs.Int("lookups", 100000, "lookups per measurement (paper: 100000)")
+		seed     = fs.Int64("seed", 1, "workload seed")
+		repeats  = fs.Int("repeats", 3, "wall-clock repetitions, minimum reported (paper: 5)")
+		jsonPath = fs.String("json", "", "write machine-readable records to this file (\"-\" = stdout, suppressing tables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -63,6 +64,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Quick:   *quick,
 		Repeats: *repeats,
 	}
+	tableOut := stdout
+	if *jsonPath != "" {
+		cfg.Recorder = &bench.Recorder{}
+		if *jsonPath == "-" {
+			tableOut = io.Discard // JSON owns stdout
+		}
+	}
 
 	var ids []string
 	if *runIDs == "all" {
@@ -80,12 +88,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "cssbench: unknown experiment %q (use -list)\n", id)
 			return 2
 		}
-		fmt.Fprintf(stdout, "=== %s: %s ===\n", e.ID, e.Title)
-		if err := e.Run(cfg, stdout); err != nil {
+		fmt.Fprintf(tableOut, "=== %s: %s ===\n", e.ID, e.Title)
+		if err := e.Run(cfg, tableOut); err != nil {
 			fmt.Fprintf(stderr, "cssbench: %s: %v\n", e.ID, err)
 			return 1
 		}
-		fmt.Fprintln(stdout)
+		fmt.Fprintln(tableOut)
+	}
+	if cfg.Recorder != nil {
+		if *jsonPath == "-" {
+			if err := cfg.Recorder.WriteJSON(stdout); err != nil {
+				fmt.Fprintf(stderr, "cssbench: writing json: %v\n", err)
+				return 1
+			}
+			return 0
+		}
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(stderr, "cssbench: %v\n", err)
+			return 1
+		}
+		werr := cfg.Recorder.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr // surface write-back errors reported at close
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "cssbench: writing json: %v\n", werr)
+			return 1
+		}
 	}
 	return 0
 }

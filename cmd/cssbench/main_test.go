@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -67,5 +70,73 @@ func TestBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := run([]string{"-nonsense"}, &out, &errb); code != 2 {
 		t.Fatalf("exit=%d, want 2", code)
+	}
+}
+
+// benchDoc mirrors the -json document shape.
+type benchDoc struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Records    []struct {
+		Experiment string         `json:"experiment"`
+		Params     map[string]any `json:"params"`
+		Metric     string         `json:"metric"`
+		Value      float64        `json:"value"`
+		Unit       string         `json:"unit"`
+	} `json:"records"`
+}
+
+func TestJSONToStdoutSuppressesTables(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "parallel", "-quick", "-lookups", "2000", "-repeats", "1", "-json", "-"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("stdout is not one JSON document: %v\n%s", err, out.String())
+	}
+	if doc.GoVersion == "" || doc.GOMAXPROCS < 1 {
+		t.Errorf("environment context missing: %+v", doc)
+	}
+	if len(doc.Records) == 0 {
+		t.Fatal("no records emitted")
+	}
+	surfaces := map[string]bool{}
+	for _, r := range doc.Records {
+		if r.Experiment != "parallel" || r.Metric != "throughput" || r.Value <= 0 {
+			t.Fatalf("bad record: %+v", r)
+		}
+		if s, ok := r.Params["surface"].(string); ok {
+			surfaces[s] = true
+		}
+	}
+	for _, want := range []string{"LowerBoundBatch", "sharded", "node-search-scalar", "node-search-branch-free"} {
+		if !surfaces[want] {
+			t.Errorf("no records for surface %q", want)
+		}
+	}
+}
+
+func TestJSONToFileKeepsTables(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out, errb bytes.Buffer
+	code := run([]string{"-run", "parallel", "-quick", "-lookups", "2000", "-repeats", "1", "-json", path}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "parallel batch engine") {
+		t.Error("table output suppressed with -json FILE")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("file is not JSON: %v", err)
+	}
+	if len(doc.Records) == 0 {
+		t.Error("file holds no records")
 	}
 }

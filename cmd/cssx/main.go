@@ -78,6 +78,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		probefile = fs.String("probefile", "", "batch mode: file of probe keys, one per line (\"-\" = stdin)")
 		batchSize = fs.Int("batch", 512, "batch mode: probes per lockstep batch")
 		sortBatch = fs.Bool("sortbatch", false, "batch mode: sort-probes-first schedule (radix sort + dedup)")
+		workers   = fs.Int("workers", 1, "batch mode: worker goroutines per batch (0 = GOMAXPROCS; needs an ordered method)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -107,7 +108,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "cssx: unknown kind %q\n", *kind)
 			return 2
 		}
-		return runBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *sortBatch)
+		return runBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *sortBatch, *workers)
 	}
 
 	probes := g.Lookups(keys, *lookups)
@@ -162,8 +163,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // runBatchMode probes the index with keys from a file (or stdin), driving
-// the batched search surface in chunks and reporting per-batch timings.
-func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, sortBatch bool) int {
+// the batched search surface in chunks — fanned across the parallel engine
+// when -workers asks for it — and reporting per-batch timings.
+func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, sortBatch bool, workers int) int {
 	probes, err := readProbes(probefile)
 	if err != nil {
 		fmt.Fprintf(stderr, "cssx: %v\n", err)
@@ -178,21 +180,38 @@ func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, node
 		return 2
 	}
 	idx := cssidx.New(kinds[kindName], keys, cssidx.Options{NodeBytes: nodeBytes, HashDirSize: hashDir})
+	parallel := workers != 1
 	var batched cssidx.BatchIndex
-	if sortBatch {
+	switch {
+	case sortBatch || parallel:
 		ord, ok := idx.(cssidx.OrderedIndex)
 		if !ok {
-			fmt.Fprintf(stderr, "cssx: -sortbatch needs an ordered method, %s has none\n", idx.Name())
+			fmt.Fprintf(stderr, "cssx: -sortbatch/-workers need an ordered method, %s has none\n", idx.Name())
 			return 2
 		}
-		batched = cssidx.NewSortedBatch(ord)
-	} else {
+		b := cssidx.BatchOrderedIndex(cssidx.AsBatchOrdered(ord))
+		if parallel {
+			b = cssidx.NewParallel(ord, cssidx.ParallelOptions{Workers: workers})
+		}
+		if sortBatch {
+			// Sorting stays on the caller; the descent underneath fans out.
+			batched = cssidx.NewSortedBatch(b)
+		} else {
+			batched = b
+		}
+	default:
 		batched = cssidx.AsBatch(idx)
 	}
 
 	sched := "input-order"
 	if sortBatch {
 		sched = "sorted"
+	}
+	switch {
+	case workers == 0:
+		sched += ", GOMAXPROCS workers"
+	case parallel:
+		sched += fmt.Sprintf(", %d workers", workers)
 	}
 	fmt.Fprintf(stdout, "%s over n=%d keys: %d probes in batches of %d (%s schedule)\n\n",
 		idx.Name(), len(keys), len(probes), batchSize, sched)

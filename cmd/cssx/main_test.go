@@ -87,7 +87,7 @@ func writeProbeFile(t *testing.T, n, q int) (path string, hits int) {
 
 func TestBatchModeFile(t *testing.T) {
 	path, hits := writeProbeFile(t, 4000, 600)
-	for _, extra := range [][]string{nil, {"-sortbatch"}, {"-kind", "hash"}} {
+	for _, extra := range [][]string{nil, {"-sortbatch"}, {"-kind", "hash"}, {"-workers", "4"}, {"-workers", "0"}, {"-sortbatch", "-workers", "3"}} {
 		args := append([]string{"-kind", "levelcss", "-n", "4000", "-probefile", path, "-batch", "128"}, extra...)
 		if len(extra) == 2 { // kind override replaces the leading pair
 			args = append([]string{"-n", "4000", "-probefile", path, "-batch", "128"}, extra...)
@@ -121,6 +121,7 @@ func TestBatchModeBadInputs(t *testing.T) {
 		{"-kind", "all", "-probefile", path},                      // batch mode needs one kind
 		{"-kind", "btree", "-probefile", path},                    // unknown kind
 		{"-kind", "hash", "-probefile", path, "-sortbatch"},       // hash has no ordered schedule
+		{"-kind", "hash", "-probefile", path, "-workers", "4"},    // hash has no parallel batch either
 		{"-probefile", bad},                                       // malformed key
 		{"-probefile", empty},                                     // no keys
 		{"-probefile", filepath.Join(t.TempDir(), "missing.txt")}, // unreadable

@@ -126,3 +126,20 @@ func ExampleSaveIndex() {
 	fmt.Println(restored.Search(8))
 	// Output: 4
 }
+
+// The parallel engine fans one large batch across workers; results are
+// bit-identical to the scalar methods at every worker count.
+func ExampleNewParallel() {
+	keys := make([]cssidx.Key, 100000)
+	for i := range keys {
+		keys[i] = cssidx.Key(2 * i)
+	}
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	par := cssidx.NewParallel(idx, cssidx.ParallelOptions{}) // defaults: GOMAXPROCS workers
+
+	probes := []cssidx.Key{0, 19998, 199998, 5}
+	out := make([]int32, len(probes))
+	par.SearchBatch(probes, out)
+	fmt.Println(out)
+	// Output: [0 9999 99999 -1]
+}

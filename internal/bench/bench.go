@@ -18,8 +18,11 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"sync"
 	"text/tabwriter"
 	"time"
 )
@@ -31,6 +34,68 @@ type Config struct {
 	Machine string // "ultra" (default) or "pc" for simulated experiments
 	Quick   bool   // shrink data sizes for smoke runs / CI
 	Repeats int    // wall-clock repetitions, minimum reported (default 3; paper used 5)
+
+	// Recorder, when non-nil, collects machine-readable measurements from
+	// experiments that emit them (cssbench -json), alongside their table
+	// output.
+	Recorder *Recorder
+}
+
+// Record is one machine-readable measurement of an experiment cell: the
+// experiment id, the parameters identifying the cell, and one metric value.
+type Record struct {
+	Experiment string         `json:"experiment"`
+	Params     map[string]any `json:"params,omitempty"`
+	Metric     string         `json:"metric"`
+	Value      float64        `json:"value"`
+	Unit       string         `json:"unit,omitempty"`
+}
+
+// Recorder accumulates Records; safe for concurrent Add.
+type Recorder struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends one record.
+func (r *Recorder) Add(rec Record) {
+	r.mu.Lock()
+	r.records = append(r.records, rec)
+	r.mu.Unlock()
+}
+
+// Records returns the accumulated records in insertion order.
+func (r *Recorder) Records() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Record(nil), r.records...)
+}
+
+// record is the experiments' no-op-when-unset emission helper.
+func (c Config) record(rec Record) {
+	if c.Recorder != nil {
+		c.Recorder.Add(rec)
+	}
+}
+
+// WriteJSON writes the records as one indented JSON document with enough
+// environment context (Go version, GOMAXPROCS) to compare baselines across
+// machines and commits.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	doc := struct {
+		GoVersion  string   `json:"go_version"`
+		GOMAXPROCS int      `json:"gomaxprocs"`
+		NumCPU     int      `json:"num_cpu"`
+		Records    []Record `json:"records"`
+	}{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Records:    r.Records(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // withDefaults fills zero fields.
@@ -74,6 +139,7 @@ func Experiments() []Experiment {
 		{"skew", "Extension: skew sensitivity (interpolation, hash chains, Zipf warm cache)", runSkew},
 		{"shard", "Extension: sharded serving throughput under concurrent epoch-swap rebuilds", runShard},
 		{"batch", "Extension: batched lockstep probing vs scalar (batch size, skew, join)", runBatch},
+		{"parallel", "Extension: parallel batch engine (batch size × workers × skew, branch-free nodes)", runParallel},
 	}
 }
 

@@ -108,8 +108,41 @@ func SearchGeneric(a []uint32, key uint32) int {
 // overhead.  All take a full window of exactly m slots.
 
 // NodeLowerBound returns the leftmost index in a[:m] with a[i] >= key, or m.
-// It dispatches to an unrolled routine when m matches a specialised size.
+// It dispatches to a branch-free unrolled routine when m matches a
+// specialised size and to the branch-free halving loop otherwise; see the
+// bflb* family below for why the hot path carries no data-dependent branch.
 func NodeLowerBound(a []uint32, m int, key uint32) int {
+	switch m {
+	case 3:
+		return bflb3(a, key)
+	case 4:
+		return bflb4(a, key)
+	case 7:
+		return bflb7(a, key)
+	case 8:
+		return bflb8(a, key)
+	case 15:
+		return bflb15(a, key)
+	case 16:
+		return bflb16(a, key)
+	case 31:
+		return bflb31(a, key)
+	case 32:
+		return bflb32(a, key)
+	case 63:
+		return bflb63(a, key)
+	case 64:
+		return bflb64(a, key)
+	default:
+		return nodeLowerBoundBF(a, m, key)
+	}
+}
+
+// NodeLowerBoundScalar is NodeLowerBound through the original scalar
+// (branchy) unrolled routines.  It is the differential-test oracle for the
+// branch-free family and the ablation baseline the bench compares against;
+// results are bit-identical to NodeLowerBound on every sorted window.
+func NodeLowerBoundScalar(a []uint32, m int, key uint32) int {
 	switch m {
 	case 3:
 		return nlb3(a, key)
@@ -345,4 +378,143 @@ func nlb64(a []uint32, key uint32) int {
 		base++
 	}
 	return base
+}
+
+// --- Branch-free node searches -------------------------------------------
+//
+// The nlb* searches above halve with `if` steps whose outcome depends on the
+// probe key, so a random probe stream mispredicts roughly every other step —
+// and a pipeline flush costs more than the comparison it guards.  The bflb*
+// family computes the same halving sequence arithmetically: ltu turns each
+// comparison into a borrow bit (no flags-to-branch round trip), and the bit
+// feeds straight into the index arithmetic, so an out-of-order core runs the
+// whole node search as one dependency chain of cheap ALU ops with zero
+// mispredictions.  This is also what keeps the lockstep batch kernels
+// streaming: with no data-dependent branches between the probes of a group,
+// the independent node loads of the whole group stay in flight together.
+//
+// Results are bit-identical to the scalar routines on every sorted window
+// (binsearch's differential tests prove it exhaustively).
+
+// ltu returns 1 when x < key and 0 otherwise, branch-free: widening both
+// sides to uint64 makes the subtraction borrow into bit 63 exactly when
+// x < key.
+func ltu(x, key uint32) int {
+	return int((uint64(x) - uint64(key)) >> 63)
+}
+
+// nodeLowerBoundBF is the branch-free halving loop for arbitrary m: the
+// classic branchless lower bound — the candidate window [base, base+n]
+// shrinks by conditional base advances that compile to conditional moves.
+func nodeLowerBoundBF(a []uint32, m int, key uint32) int {
+	base, n := 0, m
+	for n > 1 {
+		half := n >> 1
+		base += half & -ltu(a[base+half-1], key)
+		n -= half
+	}
+	if n == 1 {
+		base += ltu(a[base], key)
+	}
+	return base
+}
+
+// bflb3 .. bflb64: branch-free forms of the hard-coded searches.  The 2ᵗ−1
+// sizes are pure shift-and-add ladders; the 2ᵗ sizes end with the same two
+// dependent single-step advances as their scalar twins (Figure 4's extra
+// comparison), each a borrow-bit add.
+
+func bflb3(a []uint32, key uint32) int {
+	_ = a[2]
+	b := ltu(a[1], key) << 1
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb7(a []uint32, key uint32) int {
+	_ = a[6]
+	b := ltu(a[3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb15(a []uint32, key uint32) int {
+	_ = a[14]
+	b := ltu(a[7], key) << 3
+	b += ltu(a[b+3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb31(a []uint32, key uint32) int {
+	_ = a[30]
+	b := ltu(a[15], key) << 4
+	b += ltu(a[b+7], key) << 3
+	b += ltu(a[b+3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb63(a []uint32, key uint32) int {
+	_ = a[62]
+	b := ltu(a[31], key) << 5
+	b += ltu(a[b+15], key) << 4
+	b += ltu(a[b+7], key) << 3
+	b += ltu(a[b+3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb4(a []uint32, key uint32) int {
+	_ = a[3]
+	b := ltu(a[1], key) << 1
+	b += ltu(a[b], key)
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb8(a []uint32, key uint32) int {
+	_ = a[7]
+	b := ltu(a[3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb16(a []uint32, key uint32) int {
+	_ = a[15]
+	b := ltu(a[7], key) << 3
+	b += ltu(a[b+3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb32(a []uint32, key uint32) int {
+	_ = a[31]
+	b := ltu(a[15], key) << 4
+	b += ltu(a[b+7], key) << 3
+	b += ltu(a[b+3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	b += ltu(a[b], key)
+	return b
+}
+
+func bflb64(a []uint32, key uint32) int {
+	_ = a[63]
+	b := ltu(a[31], key) << 5
+	b += ltu(a[b+15], key) << 4
+	b += ltu(a[b+7], key) << 3
+	b += ltu(a[b+3], key) << 2
+	b += ltu(a[b+1], key) << 1
+	b += ltu(a[b], key)
+	b += ltu(a[b], key)
+	return b
 }

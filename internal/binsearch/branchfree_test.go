@@ -1,0 +1,191 @@
+package binsearch
+
+// Exhaustive differential tests for the branch-free node searches: every
+// specialised size and a sweep of arbitrary sizes, driven over adversarial
+// windows (boundary keys 0 and MaxUint32, duplicate runs, padded all-equal
+// tails) with every distinguishing probe.  The scalar nlb* family is the
+// oracle; a linear scan arbitrates both.
+
+import (
+	"sort"
+	"testing"
+
+	"cssidx/internal/workload"
+)
+
+// specialisedSizes are the node sizes with hard-coded routines.
+var specialisedSizes = []int{3, 4, 7, 8, 15, 16, 31, 32, 63, 64}
+
+// refNodeLB is the trusted linear-scan lower bound.
+func refNodeLB(a []uint32, m int, key uint32) int {
+	for i := 0; i < m; i++ {
+		if a[i] >= key {
+			return i
+		}
+	}
+	return m
+}
+
+// probesFor returns every probe that can distinguish behaviours on the
+// window: each key, its predecessor and successor, and the extremes.
+func probesFor(keys []uint32) []uint32 {
+	probes := []uint32{0, 1, ^uint32(0), ^uint32(0) - 1}
+	for _, k := range keys {
+		probes = append(probes, k)
+		if k > 0 {
+			probes = append(probes, k-1)
+		}
+		if k < ^uint32(0) {
+			probes = append(probes, k+1)
+		}
+	}
+	return probes
+}
+
+// windowsFor builds adversarial sorted windows of exactly m slots.
+func windowsFor(m int, g *workload.Gen) [][]uint32 {
+	var ws [][]uint32
+	add := func(w []uint32) {
+		sort.Slice(w, func(i, j int) bool { return w[i] < w[j] })
+		ws = append(ws, w)
+	}
+	// Distinct random keys.
+	add(g.SortedDistinct(m))
+	// All-equal windows at the extremes and in the middle — the shape of a
+	// CSS node whose dangling slots were padded with the last real key.
+	for _, v := range []uint32{0, 42, ^uint32(0)} {
+		w := make([]uint32, m)
+		for i := range w {
+			w[i] = v
+		}
+		add(w)
+	}
+	// Half low, half high (maximal duplicate runs on both sides).
+	w := make([]uint32, m)
+	for i := range w {
+		if i < m/2 {
+			w[i] = 7
+		} else {
+			w[i] = 1000
+		}
+	}
+	add(w)
+	// Real prefix, padded tail: first ⌈m/3⌉ distinct, rest replicate the last.
+	w = make([]uint32, m)
+	real := (m + 2) / 3
+	for i := 0; i < real; i++ {
+		w[i] = uint32(i * 5)
+	}
+	for i := real; i < m; i++ {
+		w[i] = w[real-1]
+	}
+	add(w)
+	// Boundary-heavy: 0s and MaxUint32s only.
+	w = make([]uint32, m)
+	for i := range w {
+		if i >= m/2 {
+			w[i] = ^uint32(0)
+		}
+	}
+	add(w)
+	// Consecutive keys (every probe hits or just-misses).
+	w = make([]uint32, m)
+	for i := range w {
+		w[i] = uint32(i)
+	}
+	add(w)
+	return ws
+}
+
+// TestBranchFreeMatchesScalarExhaustive proves the branch-free dispatch
+// bit-identical to the scalar dispatch (and both to a linear scan) on every
+// specialised node size over adversarial windows and probes.
+func TestBranchFreeMatchesScalarExhaustive(t *testing.T) {
+	g := workload.New(77)
+	for _, m := range specialisedSizes {
+		for wi, w := range windowsFor(m, g) {
+			for _, p := range probesFor(w) {
+				want := refNodeLB(w, m, p)
+				if got := NodeLowerBoundScalar(w, m, p); got != want {
+					t.Fatalf("m=%d window=%d: scalar(%d)=%d, linear scan %d", m, wi, p, got, want)
+				}
+				if got := NodeLowerBound(w, m, p); got != want {
+					t.Fatalf("m=%d window=%d: branch-free(%d)=%d, want %d (window=%v)", m, wi, p, got, want, w)
+				}
+			}
+		}
+	}
+}
+
+// TestBranchFreeArbitrarySizes sweeps every m from 1 to 96 — covering the
+// m−1 routing windows of level nodes, short leaf tails, and sizes with no
+// specialised routine — through the same differential harness.
+func TestBranchFreeArbitrarySizes(t *testing.T) {
+	g := workload.New(78)
+	for m := 1; m <= 96; m++ {
+		for wi, w := range windowsFor(m, g) {
+			for _, p := range probesFor(w) {
+				want := refNodeLB(w, m, p)
+				if got := NodeLowerBound(w, m, p); got != want {
+					t.Fatalf("m=%d window=%d: branch-free(%d)=%d, want %d", m, wi, p, got, want)
+				}
+				if got := NodeLowerBoundGeneric(w, m, p); got != want {
+					t.Fatalf("m=%d window=%d: generic(%d)=%d, want %d", m, wi, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestBranchFreeEmptyWindow pins the m=0 edge: no slots, lower bound 0.
+func TestBranchFreeEmptyWindow(t *testing.T) {
+	if got := NodeLowerBound(nil, 0, 5); got != 0 {
+		t.Errorf("empty window: got %d, want 0", got)
+	}
+	if got := nodeLowerBoundBF(nil, 0, 5); got != 0 {
+		t.Errorf("empty window (loop): got %d, want 0", got)
+	}
+}
+
+// TestLtu pins the borrow-bit comparison on its boundary cases.
+func TestLtu(t *testing.T) {
+	max := ^uint32(0)
+	cases := []struct {
+		x, key uint32
+		want   int
+	}{
+		{0, 0, 0}, {0, 1, 1}, {1, 0, 0},
+		{max, max, 0}, {max - 1, max, 1}, {max, 0, 0}, {0, max, 1},
+		{1 << 31, 1<<31 - 1, 0}, {1<<31 - 1, 1 << 31, 1},
+	}
+	for _, c := range cases {
+		if got := ltu(c.x, c.key); got != c.want {
+			t.Errorf("ltu(%d, %d)=%d, want %d", c.x, c.key, got, c.want)
+		}
+	}
+}
+
+// --- benchmarks: branch-free vs scalar on uniform random probes -----------
+
+func benchNodeSearch(b *testing.B, m int, f func([]uint32, int, uint32) int) {
+	g := workload.New(1)
+	keys := g.SortedDistinct(m)
+	probes := g.Lookups(keys, 4096)
+	// Mix misses in so the branchy path cannot learn the pattern.
+	probes = append(probes, g.Misses(keys, 4096)...)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += f(keys, m, probes[i&8191])
+	}
+	sinkBench += s
+}
+
+var sinkBench int
+
+func BenchmarkNodeLowerBoundBranchFree16(b *testing.B) { benchNodeSearch(b, 16, NodeLowerBound) }
+func BenchmarkNodeLowerBoundScalar16(b *testing.B)     { benchNodeSearch(b, 16, NodeLowerBoundScalar) }
+func BenchmarkNodeLowerBoundBranchFree32(b *testing.B) { benchNodeSearch(b, 32, NodeLowerBound) }
+func BenchmarkNodeLowerBoundScalar32(b *testing.B)     { benchNodeSearch(b, 32, NodeLowerBoundScalar) }
+func BenchmarkNodeLowerBoundBranchFree15(b *testing.B) { benchNodeSearch(b, 15, NodeLowerBound) }
+func BenchmarkNodeLowerBoundScalar15(b *testing.B)     { benchNodeSearch(b, 15, NodeLowerBoundScalar) }

@@ -15,8 +15,12 @@ import "cssidx/internal/binsearch"
 
 // batchWidth is the number of probes descended in lockstep.  Wide enough to
 // cover DRAM latency with independent misses, small enough that the group's
-// working state stays in registers/L1.
-const batchWidth = 8
+// working state stays in registers/L1.  With the branch-free node searches
+// there is no data-dependent branch between group members, so the width is
+// set by the core's miss-tracking capacity (line-fill buffers / MSHRs, ~10–16
+// on current cores) rather than by the branch predictor: 16 keeps a full
+// complement of independent node reads in flight per level.
+const batchWidth = 16
 
 // LowerBoundBatch computes LowerBound for every probe into out
 // (len(out) must equal len(probes)).

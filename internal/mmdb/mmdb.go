@@ -14,12 +14,14 @@
 package mmdb
 
 import (
-	"cssidx/internal/sortu32"
 	"errors"
 	"fmt"
+	"sync"
 
 	"cssidx"
 	"cssidx/internal/domain"
+	"cssidx/internal/parallel"
+	"cssidx/internal/sortu32"
 )
 
 // ErrNoOrderedAccess is returned for range queries on indexes whose method
@@ -188,13 +190,45 @@ func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
 // SelectIn returns the RIDs of rows whose column equals any value in the
 // IN-list, driving the index through the batched probe surface (one lockstep
 // domain translation + one batched equal-range probe per chunk of
-// cssidx.DefaultBatchSize values).  Duplicate list values contribute their
-// rows once; RIDs come back grouped by list order, ascending within a value.
+// cssidx.DefaultBatchSize values), with large lists fanned across the
+// parallel worker pool.  Duplicate list values contribute their rows once;
+// RIDs come back grouped by list order, ascending within a value.
 func (ix *SortedIndex) SelectIn(values []uint32) []uint32 {
-	var out []uint32
-	forEachEqualRange(ix.col.dom, dedupeValues(values), ix.equalRangeBatchIDs, func(first, last int32) {
-		out = append(out, ix.rids[first:last]...)
+	return selectInRIDs(ix.col.dom, ix.rids, dedupeValues(values), ix.equalRangeBatchIDs, parallel.Options{})
+}
+
+// selectInRIDs is the shared IN-list driver: deduped values are translated
+// and probed in chunks (forEachEqualRange), gathering rids[first:last] per
+// present value.  Lists large enough for the worker options are split into
+// contiguous spans probed concurrently — probe is required to be safe for
+// concurrent use — and the per-span results concatenate in span order, so
+// the output is identical at every worker count.
+func selectInRIDs(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), par parallel.Options) []uint32 {
+	w := par.WorkersFor(len(values))
+	if w <= 1 {
+		var out []uint32
+		forEachEqualRange(dom, values, probe, func(first, last int32) {
+			out = append(out, rids[first:last]...)
+		})
+		return out
+	}
+	outs := make([][]uint32, w)
+	parallel.Do(w, len(values), par, func(t int) {
+		lo, hi := parallel.Span(len(values), w, t)
+		var out []uint32
+		forEachEqualRange(dom, values[lo:hi], probe, func(first, last int32) {
+			out = append(out, rids[first:last]...)
+		})
+		outs[t] = out
 	})
+	total := 0
+	for _, o := range outs {
+		total += len(o)
+	}
+	out := make([]uint32, 0, total)
+	for _, o := range outs {
+		out = append(out, o...)
+	}
 	return out
 }
 
@@ -244,8 +278,9 @@ func (ix *SortedIndex) CountRange(lo, hi uint32) (int, error) {
 
 // --- batched probing core ------------------------------------------------------
 
-// probeScratch holds the reusable buffers of one batched probe stream; sized
-// once per operation, reused across chunks.
+// probeScratch holds the reusable buffers of one batched probe stream; drawn
+// from scratchPool per worker and grown to the chunk size, so concurrent
+// join spans reuse buffers without sharing them.
 type probeScratch struct {
 	ids    []int32  // domain IDs per raw value (-1 = absent from the domain)
 	probes []uint32 // compacted present IDs
@@ -254,14 +289,24 @@ type probeScratch struct {
 	last   []int32
 }
 
-func newProbeScratch(n int) *probeScratch {
-	return &probeScratch{
-		ids:    make([]int32, n),
-		probes: make([]uint32, 0, n),
-		ord:    make([]int32, 0, n),
-		first:  make([]int32, n),
-		last:   make([]int32, n),
+// ensure sizes the scratch for chunks of up to n values.
+func (s *probeScratch) ensure(n int) {
+	if cap(s.ids) < n {
+		s.ids = make([]int32, n)
+		s.probes = make([]uint32, 0, n)
+		s.ord = make([]int32, 0, n)
+		s.first = make([]int32, n)
+		s.last = make([]int32, n)
 	}
+}
+
+// scratchPool recycles probeScratch across batched operations and workers.
+var scratchPool = sync.Pool{New: func() any { return &probeScratch{} }}
+
+func newProbeScratch(n int) *probeScratch {
+	s := scratchPool.Get().(*probeScratch)
+	s.ensure(n)
+	return s
 }
 
 // probeEqualBatch probes the index with one chunk of raw values: the chunk is
@@ -272,8 +317,19 @@ func newProbeScratch(n int) *probeScratch {
 // position in the sorted key/RID arrays.  Emission order matches the scalar
 // path: chunk order, then ascending position within a value's duplicates.
 func (ix *SortedIndex) probeEqualBatch(values []uint32, s *probeScratch, emit func(ordinal int, pos int)) int {
+	return probeEqualCore(ix.col.dom, values, s, ix.equalRangeBatchIDs, emit)
+}
+
+// probeEqualCore is the shared translate-compact-probe-emit driver behind
+// every join prober: the chunk is translated to domain IDs in one lockstep
+// descent, absent values are compacted away, the present IDs are answered by
+// one batched equal-range call, and emit runs per occurrence in chunk order
+// then ascending position.  A negative first marks an absent probe (the
+// hash-backed equal range); it contributes nothing.
+func probeEqualCore(dom *domain.IntDomain, values []uint32, s *probeScratch, equalRange func(probes []uint32, first, last []int32), emit func(ordinal, pos int)) int {
+	s.ensure(len(values))
 	ids := s.ids[:len(values)]
-	ix.col.dom.IDsBatch(values, ids)
+	dom.IDsBatch(values, ids)
 	s.probes = s.probes[:0]
 	s.ord = s.ord[:0]
 	for i, id := range ids {
@@ -287,7 +343,7 @@ func (ix *SortedIndex) probeEqualBatch(values []uint32, s *probeScratch, emit fu
 	}
 	first := s.first[:len(s.probes)]
 	last := s.last[:len(s.probes)]
-	ix.equalRangeBatchIDs(s.probes, first, last)
+	equalRange(s.probes, first, last)
 	count := 0
 	for j := range s.probes {
 		f, l := first[j], last[j]
@@ -369,47 +425,150 @@ func forEachEqualRange(dom *domain.IntDomain, values []uint32, probe func(ids []
 
 // --- joins -------------------------------------------------------------------
 
-// Join performs the indexed nested-loop join of §2.2 with the default probe
-// batch size; see JoinBatch.
-func Join(outer *Table, outerCol string, inner *SortedIndex, emit func(outerRID, innerRID uint32)) (int, error) {
-	return JoinBatch(outer, outerCol, inner, 0, emit)
+// JoinIndex is an inner-index surface the nested-loop join can probe: a
+// *SortedIndex, or a *ShardedIndex whose whole state (domain, RID list,
+// shard snapshots) is frozen once per join so the join keeps serving —
+// against one consistent epoch — while concurrent AppendRows publish new
+// ones.
+type JoinIndex interface {
+	// joinFreeze captures the prober state the whole join runs against.
+	joinFreeze() joinProber
 }
 
-// JoinBatch performs the indexed nested-loop join of §2.2, driving the inner
-// index through the batched probe surface: outer rows are processed in chunks
-// of batchSize (0 = cssidx.DefaultBatchSize, 1 = the scalar schedule), each
-// chunk is translated through the inner domain and probed with one lockstep
-// descent per batch, and emit is called for each matching (outerRID,
-// innerRID) pair, in the same order as scalar probing.  It returns the number
-// of result pairs.  The join is pipelinable and needs no intermediate storage
-// — the reason the paper highlights it for main memory — while batching lets
-// the cache-resident upper directory levels serve the whole chunk.
-func JoinBatch(outer *Table, outerCol string, inner *SortedIndex, batchSize int, emit func(outerRID, innerRID uint32)) (int, error) {
+// joinProber answers equality probes for join chunks against one frozen
+// index state.  Implementations must be safe for concurrent probeEqual
+// calls with distinct scratches.
+type joinProber interface {
+	// probeEqual probes one chunk of raw outer values and calls emit per
+	// matching occurrence with the value's ordinal in the chunk and its
+	// position in the sorted key/RID arrays; it returns the number of
+	// occurrences.  Emission order: chunk order, ascending position within
+	// a value's duplicates.
+	probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int
+	// joinRIDs is the RID list positions index into.
+	joinRIDs() []uint32
+}
+
+// joinFreeze: a SortedIndex has no concurrent rebuilds to freeze against
+// (Table.AppendRows rebuilds it in place, which was never safe to race);
+// the index itself is the frozen state.
+func (ix *SortedIndex) joinFreeze() joinProber { return ix }
+
+func (ix *SortedIndex) probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int {
+	return ix.probeEqualBatch(values, s, emit)
+}
+
+func (ix *SortedIndex) joinRIDs() []uint32 { return ix.rids }
+
+// JoinOptions configures JoinWith.
+type JoinOptions struct {
+	// BatchSize is the probe chunk size: 0 = cssidx.DefaultBatchSize,
+	// 1 = the scalar schedule.
+	BatchSize int
+	// Parallel tunes the worker pool fanning outer-row spans across cores.
+	// The zero value is the default engine (GOMAXPROCS workers, sequential
+	// below ~4k outer rows); Workers 1 forces the streaming sequential
+	// path.
+	Parallel cssidx.ParallelOptions
+}
+
+// Join performs the indexed nested-loop join of §2.2 with the default probe
+// batch size; see JoinWith.
+func Join(outer *Table, outerCol string, inner JoinIndex, emit func(outerRID, innerRID uint32)) (int, error) {
+	return JoinWith(outer, outerCol, inner, JoinOptions{}, emit)
+}
+
+// JoinBatch is JoinWith with only the chunk size configured.
+func JoinBatch(outer *Table, outerCol string, inner JoinIndex, batchSize int, emit func(outerRID, innerRID uint32)) (int, error) {
+	return JoinWith(outer, outerCol, inner, JoinOptions{BatchSize: batchSize}, emit)
+}
+
+// JoinWith performs the indexed nested-loop join of §2.2, driving the inner
+// index through the batched probe surface: outer rows are processed in
+// chunks of BatchSize, each chunk is translated through the inner domain and
+// probed with one lockstep descent, and emit is called for each matching
+// (outerRID, innerRID) pair, in the same order as scalar probing.  It
+// returns the number of result pairs.
+//
+// Outer spans large enough for the worker options run concurrently, each
+// with its own pooled scratch, multiplying the lockstep kernel's
+// memory-level parallelism by the core count.  On the sequential path (small
+// outers, or Parallel.Workers 1) the join streams: emit runs as pairs are
+// found and nothing is materialised.  On the parallel path each worker
+// stages its span's pairs and emit runs span by span once all workers
+// finish, so the emission order is identical — at the price of buffering the
+// result pairs; pass Workers 1 when streaming matters more than cores.
+//
+// A *ShardedIndex inner is frozen once for the whole join (one table-level
+// epoch, one snapshot per shard), so joins running concurrently with
+// AppendRows see one consistent index state throughout.
+func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32)) (int, error) {
 	col, ok := outer.cols[outerCol]
 	if !ok {
 		return 0, fmt.Errorf("mmdb: no column %s in table %s", outerCol, outer.name)
 	}
+	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = cssidx.DefaultBatchSize
 	}
 	if batchSize > len(col.raw) && len(col.raw) > 0 {
 		batchSize = len(col.raw)
 	}
-	s := newProbeScratch(batchSize)
-	count := 0
-	for base := 0; base < len(col.raw); base += batchSize {
-		end := base + batchSize
-		if end > len(col.raw) {
-			end = len(col.raw)
+	p := inner.joinFreeze()
+	rids := p.joinRIDs()
+	nRows := len(col.raw)
+	par := parallel.Options{Workers: opts.Parallel.Workers, MinBatchPerWorker: opts.Parallel.MinBatchPerWorker}
+	w := par.WorkersFor(nRows)
+
+	// joinSpan probes rows [lo, hi) in chunks, emitting through spanEmit.
+	joinSpan := func(lo, hi int, spanEmit func(outerRID, innerRID uint32)) int {
+		s := newProbeScratch(batchSize)
+		defer scratchPool.Put(s)
+		count := 0
+		for base := lo; base < hi; base += batchSize {
+			end := base + batchSize
+			if end > hi {
+				end = hi
+			}
+			chunkBase := base
+			var chunkEmit func(ordinal, pos int)
+			if spanEmit != nil {
+				chunkEmit = func(ordinal, pos int) {
+					spanEmit(uint32(chunkBase+ordinal), rids[pos])
+				}
+			}
+			count += p.probeEqual(col.raw[base:end], s, chunkEmit)
 		}
-		chunkBase := base
-		var chunkEmit func(ordinal, pos int)
+		return count
+	}
+
+	if w <= 1 {
+		return joinSpan(0, nRows, emit), nil
+	}
+	type pair struct{ outer, inner uint32 }
+	counts := make([]int, w)
+	var bufs [][]pair
+	if emit != nil {
+		bufs = make([][]pair, w)
+	}
+	parallel.Do(w, nRows, par, func(t int) {
+		lo, hi := parallel.Span(nRows, w, t)
+		var spanEmit func(outerRID, innerRID uint32)
 		if emit != nil {
-			chunkEmit = func(ordinal, pos int) {
-				emit(uint32(chunkBase+ordinal), inner.rids[pos])
+			spanEmit = func(o, i uint32) { bufs[t] = append(bufs[t], pair{o, i}) }
+		}
+		counts[t] = joinSpan(lo, hi, spanEmit)
+	})
+	count := 0
+	for _, c := range counts {
+		count += c
+	}
+	if emit != nil {
+		for _, buf := range bufs {
+			for _, pr := range buf {
+				emit(pr.outer, pr.inner)
 			}
 		}
-		count += inner.probeEqualBatch(col.raw[base:end], s, chunkEmit)
 	}
 	return count, nil
 }

@@ -14,6 +14,7 @@ import (
 
 	"cssidx"
 	"cssidx/internal/domain"
+	"cssidx/internal/parallel"
 	"cssidx/internal/sortu32"
 )
 
@@ -117,16 +118,37 @@ func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
 // SelectIn returns the RIDs of rows whose column equals any value in the
 // IN-list, against one table-level epoch: the list is translated through the
 // domain with one lockstep descent per chunk and probed with the sharded
-// index's batched equal-range (itself against one frozen shard snapshot).
-// Duplicate list values contribute their rows once; RIDs come back grouped
-// by list order, ascending within a value.
+// index's batched equal-range against one frozen cross-shard snapshot, with
+// large lists fanned across the parallel worker pool.  Duplicate list values
+// contribute their rows once; RIDs come back grouped by list order,
+// ascending within a value.
 func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 	s := ix.cur.Load()
-	var out []uint32
-	forEachEqualRange(s.dom, dedupeValues(values), s.idx.EqualRangeBatch, func(first, last int32) {
-		out = append(out, s.rids[first:last]...)
-	})
-	return out
+	v := s.idx.Snapshot()
+	return selectInRIDs(s.dom, s.rids, dedupeValues(values), v.EqualRangeBatch, parallel.Options{})
+}
+
+// joinFreeze captures the prober state for a whole join: the current
+// table-level epoch (domain + RID list) and one frozen snapshot of every
+// shard, so a join probes one consistent index state no matter how many
+// AppendRows epochs publish while it runs.
+func (ix *ShardedIndex) joinFreeze() joinProber {
+	s := ix.cur.Load()
+	return &shardedJoinProber{dom: s.dom, rids: s.rids, v: s.idx.Snapshot()}
+}
+
+// shardedJoinProber is the frozen join surface of a ShardedIndex.
+type shardedJoinProber struct {
+	dom  *domain.IntDomain
+	rids []uint32
+	v    *cssidx.ShardedView[uint32]
+}
+
+func (p *shardedJoinProber) joinRIDs() []uint32 { return p.rids }
+
+// probeEqual runs the shared probe driver against the frozen shard snapshot.
+func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int {
+	return probeEqualCore(p.dom, values, s, p.v.EqualRangeBatch, emit)
 }
 
 // SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in column-

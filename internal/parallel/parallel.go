@@ -1,0 +1,135 @@
+// Package parallel is the worker-pool scheduler behind the batched execution
+// engine: it splits one large probe batch across GOMAXPROCS-level workers so
+// that several lockstep descents run concurrently, multiplying the
+// memory-level parallelism each kernel already extracts within a core by the
+// number of cores.  The paper's arithmetic traversal makes this composition
+// clean — workers share nothing but the immutable directory and disjoint
+// spans of the probe/result arrays, so no synchronisation is needed beyond
+// the final join.
+//
+// The scheduler is deliberately small: contiguous spans for flat batches
+// (Run), an atomic work counter for irregular task lists such as per-shard
+// probe runs (Do), and a sequential fallback whenever the batch is too small
+// to amortise goroutine handoff.  Nothing here allocates per probe; the only
+// per-batch allocations are the worker goroutines themselves.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMinPerWorker is the smallest work size (in probes) worth handing to
+// an extra worker.  Below roughly this many probes per core the goroutine
+// wake/join overhead (~µs) rivals the descent time itself, so smaller
+// batches run on the calling goroutine.
+const DefaultMinPerWorker = 2048
+
+// Options tunes the engine.  The zero value is the recommended default:
+// GOMAXPROCS workers with the small-batch sequential fallback.
+type Options struct {
+	// Workers is the maximum number of concurrent workers; 0 picks
+	// GOMAXPROCS, 1 forces the sequential path.
+	Workers int
+	// MinBatchPerWorker is the minimum work size per worker; a batch
+	// smaller than 2× this runs sequentially, and larger batches use at
+	// most total/MinBatchPerWorker workers.  0 means DefaultMinPerWorker.
+	MinBatchPerWorker int
+}
+
+// WorkersFor returns the number of workers the options grant a batch of
+// `total` work items: at least 1, at most Workers, scaled down so every
+// worker gets MinBatchPerWorker items.
+func (o Options) WorkersFor(total int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	min := o.MinBatchPerWorker
+	if min <= 0 {
+		min = DefaultMinPerWorker
+	}
+	if by := total / min; w > by {
+		w = by
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Span returns the t-th of w contiguous spans partitioning [0, n): callers
+// that stage per-span outputs (a buffer per worker) use it with Do so their
+// split agrees with Run's.
+func Span(n, w, t int) (lo, hi int) {
+	return t * n / w, (t + 1) * n / w
+}
+
+// Run executes body over the half-open span [0, n) split into one contiguous
+// sub-span per worker (the spans partition [0, n) exactly, in order).  With
+// one worker — small n, Workers 1, or GOMAXPROCS 1 — body(0, n) runs on the
+// calling goroutine with no scheduling at all.  body must be safe to call
+// concurrently on disjoint spans.
+func Run(n int, opts Options, body func(lo, hi int)) {
+	w := opts.WorkersFor(n)
+	if w == 1 {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		lo, hi := Span(n, w, i)
+		go func() {
+			defer wg.Done()
+			body(lo, hi)
+		}()
+	}
+	body(0, n/w) // the caller is worker 0
+	wg.Wait()
+}
+
+// Do executes body(task) for every task in [0, tasks), distributing tasks to
+// workers through an atomic counter so uneven task sizes balance themselves
+// (a worker that drew a small task immediately draws the next).  total is
+// the combined work size across tasks and drives the worker count and the
+// sequential fallback; body must be safe to call concurrently for distinct
+// tasks.
+func Do(tasks int, total int, opts Options, body func(task int)) {
+	if tasks == 0 {
+		return
+	}
+	w := opts.WorkersFor(total)
+	if w > tasks {
+		w = tasks
+	}
+	if w == 1 {
+		for t := 0; t < tasks; t++ {
+			body(t)
+		}
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			t := int(next.Add(1)) - 1
+			if t >= tasks {
+				return
+			}
+			body(t)
+		}
+	}
+	var wg sync.WaitGroup
+	wg.Add(w - 1)
+	for i := 1; i < w; i++ {
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}

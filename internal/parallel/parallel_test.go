@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersFor(t *testing.T) {
+	cases := []struct {
+		opts  Options
+		total int
+		want  int
+	}{
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 0, 1},
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 99, 1},
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 199, 1},
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 200, 2},
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 399, 3},
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 400, 4},
+		{Options{Workers: 4, MinBatchPerWorker: 100}, 1 << 20, 4},
+		{Options{Workers: 1, MinBatchPerWorker: 1}, 1 << 20, 1},
+	}
+	for _, c := range cases {
+		if got := c.opts.WorkersFor(c.total); got != c.want {
+			t.Errorf("WorkersFor(%+v, %d) = %d, want %d", c.opts, c.total, got, c.want)
+		}
+	}
+	// Zero options scale with GOMAXPROCS but never exceed total/default.
+	w := Options{}.WorkersFor(1 << 30)
+	if max := runtime.GOMAXPROCS(0); w != max {
+		t.Errorf("zero options on huge batch: %d workers, want GOMAXPROCS=%d", w, max)
+	}
+	if w := (Options{}).WorkersFor(DefaultMinPerWorker); w != 1 {
+		t.Errorf("batch of one min-span should stay sequential, got %d workers", w)
+	}
+}
+
+// TestRunCoversExactly verifies the spans partition [0, n) with no overlap
+// and no gap, across worker counts and sizes including the fallback.
+func TestRunCoversExactly(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 4, 9} {
+		for _, n := range []int{0, 1, 5, 1000, 4096, 100_001} {
+			seen := make([]int32, n)
+			Run(n, Options{Workers: workers, MinBatchPerWorker: 1}, func(lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Errorf("bad span [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&seen[i], 1)
+				}
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d covered %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestRunSequentialFallbackSingleCall(t *testing.T) {
+	calls := 0
+	Run(100, Options{Workers: 8, MinBatchPerWorker: 1000}, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Errorf("fallback span [%d,%d), want [0,100)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Errorf("fallback made %d calls, want 1", calls)
+	}
+	Run(0, Options{}, func(lo, hi int) { t.Error("body called for n=0") })
+}
+
+func TestDoRunsEveryTaskOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		for _, tasks := range []int{0, 1, 3, 57} {
+			seen := make([]int32, tasks)
+			Do(tasks, 1<<20, Options{Workers: workers, MinBatchPerWorker: 1}, func(task int) {
+				atomic.AddInt32(&seen[task], 1)
+			})
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("workers=%d tasks=%d: task %d ran %d times", workers, tasks, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDoSequentialOrder(t *testing.T) {
+	var order []int
+	Do(5, 10, Options{Workers: 1}, func(task int) { order = append(order, task) })
+	for i, task := range order {
+		if task != i {
+			t.Fatalf("sequential Do out of order: %v", order)
+		}
+	}
+}

@@ -7,24 +7,108 @@ package shard
 // ONE frozen View — a single snapshot epoch per shard — so a batch never
 // mixes answers from different epochs even while rebuilds are publishing.
 //
-// The optional key-ordered schedule sorts the batch by probe key before the
-// descent (results still scatter back to input order) and deduplicates it:
-// repeated probes descend once and fan their result out.  Because shards are
-// key ranges, sorting also groups probes by shard for free, and inside a
+// Two execution dimensions sit on top of the partitioning:
+//
+// Schedule.  The key-ordered schedule sorts the batch by probe key before
+// the descent (results still scatter back to input order) and deduplicates
+// it: repeated probes descend once and fan their result out.  Because shards
+// are key ranges, sorting also groups probes by shard for free, and inside a
 // shard consecutive probes then walk neighbouring root-to-leaf paths: a
 // skewed batch touches each directory node once instead of bouncing randomly
-// across the directory — random access turned near-sequential, the probe
-// scheduling payoff of the skew literature.  uint32 batches sort with the
-// radix pair-sort of internal/sortu32; other key types fall back to a
-// comparison sort.
+// across the directory.  ScheduleAuto picks input-order or key-ordered per
+// batch from a sampled duplicate-density estimate — skew is a property of
+// the probe stream, not of the index, so the batch itself is the right thing
+// to inspect.  uint32 batches sort with the radix pair-sort of
+// internal/sortu32; other key types fall back to a comparison sort.
+//
+// Parallelism.  The per-shard probe runs are independent — disjoint probe
+// spans, disjoint result spans, immutable snapshots — so they execute across
+// the worker pool of internal/parallel, with large runs split into sub-spans
+// so a single hot shard cannot serialise the batch.  All batch buffers come
+// from a per-index sync.Pool (batchScratch), so steady-state batches
+// allocate nothing but the worker goroutines.
 
 import (
 	"cmp"
 	"slices"
 	"sort"
 
+	"cssidx/internal/parallel"
 	"cssidx/internal/sortu32"
 )
+
+// Schedule selects how a probe batch is ordered before the descent.
+type Schedule uint8
+
+const (
+	// ScheduleAuto estimates each batch's duplicate density from a small
+	// sample and picks ScheduleInput or ScheduleKeyOrdered per batch.
+	ScheduleAuto Schedule = iota
+	// ScheduleInput descends probes in input order (best for uniform,
+	// low-duplicate streams: no sort cost, misses already overlap).
+	ScheduleInput
+	// ScheduleKeyOrdered radix-sorts and deduplicates each batch first
+	// (best for skewed streams: hot keys descend once).
+	ScheduleKeyOrdered
+)
+
+// String names the schedule for diagnostics and bench output.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleAuto:
+		return "auto"
+	case ScheduleInput:
+		return "input-order"
+	case ScheduleKeyOrdered:
+		return "key-ordered"
+	default:
+		return "Schedule(?)"
+	}
+}
+
+// Adaptive-schedule sampling parameters: sampleSize probes are inspected per
+// batch (strided across it); the key-ordered schedule is chosen when the
+// sample holds at least dupThreshold duplicated values.  Batches below
+// adaptiveMinBatch always run input-order — the sort cannot amortise.
+const (
+	adaptiveMinBatch = 128
+	sampleSize       = 64
+	dupThreshold     = 4 // ≥4/64 ≈ 6% sampled duplicates → sort pays
+)
+
+// chooseKeyOrder resolves a Schedule against a concrete batch.
+func chooseKeyOrder[K cmp.Ordered](sched Schedule, probes []K) bool {
+	switch sched {
+	case ScheduleInput:
+		return false
+	case ScheduleKeyOrdered:
+		return true
+	}
+	n := len(probes)
+	if n < adaptiveMinBatch {
+		return false
+	}
+	// Strided sample, insertion-sorted in a fixed buffer: no allocation,
+	// ~sampleSize² ⁄ 4 comparisons — trivial next to n tree descents.
+	var buf [sampleSize]K
+	stride := n / sampleSize
+	for i := 0; i < sampleSize; i++ {
+		v := probes[i*stride]
+		j := i
+		for j > 0 && buf[j-1] > v {
+			buf[j] = buf[j-1]
+			j--
+		}
+		buf[j] = v
+	}
+	dups := 0
+	for i := 1; i < sampleSize; i++ {
+		if buf[i] == buf[i-1] {
+			dups++
+		}
+	}
+	return dups >= dupThreshold
+}
 
 // BatchTree is the optional batch extension of Tree: shard trees that
 // implement it (the uint32 CSS-trees, the generic CSS-tree) answer a whole
@@ -41,19 +125,80 @@ type batchRun struct {
 	lo, hi int
 }
 
+// batchScratch holds every buffer one batch execution needs; instances are
+// pooled per Index so steady-state batches allocate nothing.
+type batchScratch[K cmp.Ordered] struct {
+	perm     []int32
+	gathered []K
+	expand   []int32
+	res      []int32
+	resL     []int32
+	sids     []int32
+	counts   []int32
+	next     []int32
+	tmpK     []uint32 // radix pair-sort scratch (uint32 keys only)
+	tmpV     []uint32
+	pu       []uint32 // radix pair-sort payload (uint32 keys only)
+	runs     []batchRun
+	tasks    []batchRun
+}
+
+// grow sizes the scratch for a batch of n probes over nshards shards.
+func (s *batchScratch[K]) grow(n, nshards int) {
+	if cap(s.perm) < n {
+		s.perm = make([]int32, n)
+		s.gathered = make([]K, n)
+		s.expand = make([]int32, n)
+		s.res = make([]int32, n)
+		s.resL = make([]int32, n)
+		s.sids = make([]int32, n)
+	}
+	if cap(s.counts) < nshards+1 {
+		s.counts = make([]int32, nshards+1)
+		s.next = make([]int32, nshards+1)
+	}
+	s.counts = s.counts[:nshards+1]
+	s.next = s.next[:nshards+1]
+	for i := range s.counts {
+		s.counts[i] = 0
+	}
+	s.runs = s.runs[:0]
+	s.tasks = s.tasks[:0]
+}
+
+// scratchFor draws a scratch from the view's pool (allocating the first
+// time) and sizes it; release returns it.
+func (v *View[K]) scratchFor(n int) *batchScratch[K] {
+	var s *batchScratch[K]
+	if v.pool != nil {
+		s, _ = v.pool.Get().(*batchScratch[K])
+	}
+	if s == nil {
+		s = &batchScratch[K]{}
+	}
+	s.grow(n, len(v.snaps))
+	return s
+}
+
+func (v *View[K]) release(s *batchScratch[K]) {
+	if v.pool != nil {
+		v.pool.Put(s)
+	}
+}
+
 // batchPlan partitions a probe batch by shard: the descent probes
 // gathered[r.lo:r.hi] per run r, and position j of gathered answers the
 // original probe perm[j] (expand == nil), or — in the key-ordered schedule,
 // where gathered is sorted and deduplicated — original probe perm[j] takes
-// gathered's answer at expand[j].
-func (v *View[K]) batchPlan(probes []K, keyOrdered bool) (perm []int32, gathered []K, runs []batchRun, expand []int32) {
+// gathered's answer at expand[j].  All returned slices alias s.
+func (v *View[K]) batchPlan(probes []K, keyOrdered bool, s *batchScratch[K]) (perm []int32, gathered []K, runs []batchRun, expand []int32) {
 	n := len(probes)
 	switch {
 	case keyOrdered:
-		perm, gathered = sortByKey(probes)
+		perm, gathered = v.sortByKey(probes, s)
 		// Dedup in place: repeated probes descend once, expand[j] maps each
 		// sorted position to its unique slot.
-		expand = make([]int32, n)
+		expand = s.expand[:n]
 		uq := 0
 		for j := 0; j < n; j++ {
 			if uq > 0 && gathered[j] == gathered[uq-1] {
@@ -73,77 +218,82 @@ func (v *View[K]) batchPlan(probes []K, keyOrdered bool) (perm []int32, gathered
 				b := v.bounds[sid]
 				hi = lo + sort.Search(uq-lo, func(j int) bool { return gathered[lo+j] >= b })
 			}
-			runs = append(runs, batchRun{sid: sid, lo: lo, hi: hi})
+			s.runs = append(s.runs, batchRun{sid: sid, lo: lo, hi: hi})
 			lo = hi
 		}
 	case len(v.snaps) > 1:
 		// Counting sort by shard keeps the within-shard probe order stable;
 		// the prefix sums are the run boundaries.
-		perm = make([]int32, n)
-		sids := make([]int32, n)
-		counts := make([]int32, len(v.snaps)+1)
+		perm = s.perm[:n]
+		sids := s.sids[:n]
+		counts := s.counts
 		for i, p := range probes {
-			s := int32(v.shardFor(p))
-			sids[i] = s
-			counts[s+1]++
+			sh := int32(v.shardFor(p))
+			sids[i] = sh
+			counts[sh+1]++
 		}
-		for s := 1; s < len(counts); s++ {
-			counts[s] += counts[s-1]
+		for sh := 1; sh < len(counts); sh++ {
+			counts[sh] += counts[sh-1]
 		}
-		next := slices.Clone(counts)
+		next := s.next
+		copy(next, counts)
 		for i := range probes {
-			s := sids[i]
-			perm[next[s]] = int32(i)
-			next[s]++
+			sh := sids[i]
+			perm[next[sh]] = int32(i)
+			next[sh]++
 		}
-		gathered = make([]K, n)
+		gathered = s.gathered[:n]
 		for j, pi := range perm {
 			gathered[j] = probes[pi]
 		}
-		for s := 0; s < len(v.snaps); s++ {
-			if counts[s] < counts[s+1] {
-				runs = append(runs, batchRun{sid: s, lo: int(counts[s]), hi: int(counts[s+1])})
+		for sh := 0; sh < len(v.snaps); sh++ {
+			if counts[sh] < counts[sh+1] {
+				s.runs = append(s.runs, batchRun{sid: sh, lo: int(counts[sh]), hi: int(counts[sh+1])})
 			}
 		}
 	default:
 		// One shard: the batch is one run in input order.
-		perm = make([]int32, n)
+		perm = s.perm[:n]
 		for i := range perm {
 			perm[i] = int32(i)
 		}
 		gathered = probes
 		if n > 0 {
-			runs = []batchRun{{sid: 0, lo: 0, hi: n}}
+			s.runs = append(s.runs, batchRun{sid: 0, lo: 0, hi: n})
 		}
 	}
-	return perm, gathered, runs, expand
+	return perm, gathered, s.runs, expand
 }
 
-// sortByKey returns the key-sorted copy of probes and the permutation mapping
-// sorted position j to its original index: radix pair-sort for uint32, a
-// comparison sort for other key types.
-func sortByKey[K cmp.Ordered](probes []K) (perm []int32, gathered []K) {
+// sortByKey fills s.gathered with the key-sorted probes and s.perm with the
+// permutation mapping sorted position j to its original index: radix
+// pair-sort for uint32, a comparison sort for other key types.
+func (v *View[K]) sortByKey(probes []K, s *batchScratch[K]) (perm []int32, gathered []K) {
 	n := len(probes)
-	perm = make([]int32, n)
-	if u, ok := any(probes).([]uint32); ok {
-		gu := make([]uint32, n)
-		pu := make([]uint32, n)
+	perm = s.perm[:n]
+	gathered = s.gathered[:n]
+	if gu, ok := any(gathered).([]uint32); ok {
+		u, _ := any(probes).([]uint32)
 		copy(gu, u)
+		if cap(s.tmpK) < n {
+			s.tmpK = make([]uint32, n)
+			s.tmpV = make([]uint32, n)
+			s.pu = make([]uint32, n)
+		}
+		pu := s.pu[:n]
 		for i := range pu {
 			pu[i] = uint32(i)
 		}
-		sortu32.SortPairs(gu, pu)
+		sortu32.SortPairsScratch(gu, pu, s.tmpK[:n], s.tmpV[:n])
 		for i, p := range pu {
 			perm[i] = int32(p)
 		}
-		gathered, _ = any(gu).([]K)
 		return perm, gathered
 	}
 	for i := range perm {
 		perm[i] = int32(i)
 	}
 	slices.SortFunc(perm, func(a, b int32) int { return cmp.Compare(probes[a], probes[b]) })
-	gathered = make([]K, n)
 	for j, pi := range perm {
 		gathered[j] = probes[pi]
 	}
@@ -162,64 +312,133 @@ func treeLowerBoundBatch[K cmp.Ordered](t Tree[K], probes []K, out []int32) {
 	}
 }
 
-// scatter writes the per-gathered-position results back to input order.
-func scatter(out, res, perm, expand []int32) {
-	if expand == nil {
-		for j, pi := range perm {
-			out[pi] = res[j]
+// forRuns executes body over every run, splitting runs larger than span into
+// sub-runs so one hot shard cannot serialise the batch, and distributing the
+// resulting tasks across the worker pool.  body instances touch disjoint
+// gathered/result spans, so they run concurrently without synchronisation.
+func (v *View[K]) forRuns(runs []batchRun, total int, s *batchScratch[K], body func(r batchRun)) {
+	w := v.par.WorkersFor(total)
+	if w == 1 {
+		for _, r := range runs {
+			body(r)
 		}
 		return
 	}
-	for j, pi := range perm {
-		out[pi] = res[expand[j]]
+	// Sub-span size: enough tasks for balance (~2 per worker) but never so
+	// small that the lockstep kernel loses its group.
+	span := (total + 2*w - 1) / (2 * w)
+	if span < 256 {
+		span = 256
 	}
+	tasks := s.tasks[:0]
+	for _, r := range runs {
+		for lo := r.lo; lo < r.hi; lo += span {
+			hi := lo + span
+			if hi > r.hi {
+				hi = r.hi
+			}
+			tasks = append(tasks, batchRun{sid: r.sid, lo: lo, hi: hi})
+		}
+	}
+	s.tasks = tasks
+	parallel.Do(len(tasks), total, v.par, func(t int) { body(tasks[t]) })
+}
+
+// scatter writes the per-gathered-position results back to input order,
+// across workers for large batches (every write lands at a distinct
+// out[perm[j]], so spans of j are race-free).
+func (v *View[K]) scatter(out, res, perm, expand []int32) {
+	parallel.Run(len(perm), v.par, func(lo, hi int) {
+		if expand == nil {
+			for j := lo; j < hi; j++ {
+				out[perm[j]] = res[j]
+			}
+			return
+		}
+		for j := lo; j < hi; j++ {
+			out[perm[j]] = res[expand[j]]
+		}
+	})
+}
+
+// scatter2 is scatter for a result pair: one pass over perm/expand, one wave
+// of workers, both outputs written together (the EqualRangeBatch case).
+func (v *View[K]) scatter2(outA, resA, outB, resB, perm, expand []int32) {
+	parallel.Run(len(perm), v.par, func(lo, hi int) {
+		if expand == nil {
+			for j := lo; j < hi; j++ {
+				pi := perm[j]
+				outA[pi] = resA[j]
+				outB[pi] = resB[j]
+			}
+			return
+		}
+		for j := lo; j < hi; j++ {
+			pi, e := perm[j], expand[j]
+			outA[pi] = resA[e]
+			outB[pi] = resB[e]
+		}
+	})
 }
 
 // LowerBoundBatch stores the global LowerBound of every probe into out
-// (len(out) must equal len(probes)).  keyOrdered selects the sort-probes-
-// first schedule; results are identical either way and bit-identical to the
-// scalar LowerBound against this view.
-func (v *View[K]) LowerBoundBatch(probes []K, out []int32, keyOrdered bool) {
+// (len(out) must equal len(probes)).  The view's schedule picks the probe
+// order (Schedule semantics above); results are identical under every
+// schedule and worker count, and bit-identical to the scalar LowerBound
+// against this view.
+func (v *View[K]) LowerBoundBatch(probes []K, out []int32) {
 	if len(out) != len(probes) {
 		panic("shard: probes/out length mismatch")
 	}
+	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
-		// Single shard, input order: descend straight into out (offset 0).
-		treeLowerBoundBatch(v.snaps[0].tree, probes, out)
+		// Single shard, input order: descend straight into out (offset 0),
+		// splitting the batch across workers.
+		tree := v.snaps[0].tree
+		parallel.Run(len(probes), v.par, func(lo, hi int) {
+			treeLowerBoundBatch(tree, probes[lo:hi], out[lo:hi])
+		})
 		return
 	}
-	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered)
-	res := make([]int32, len(gathered))
-	for _, r := range runs {
+	s := v.scratchFor(len(probes))
+	defer v.release(s)
+	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
+	res := s.res[:len(gathered)]
+	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		treeLowerBoundBatch(v.snaps[r.sid].tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
 		off := int32(v.offs[r.sid])
 		for j := r.lo; j < r.hi; j++ {
 			res[j] += off
 		}
-	}
-	scatter(out, res, perm, expand)
+	})
+	v.scatter(out, res, perm, expand)
 }
 
 // SearchBatch stores the global Search of every probe into out: the position
 // of the leftmost occurrence, or -1 if absent.
-func (v *View[K]) SearchBatch(probes []K, out []int32, keyOrdered bool) {
+func (v *View[K]) SearchBatch(probes []K, out []int32) {
 	if len(out) != len(probes) {
 		panic("shard: probes/out length mismatch")
 	}
+	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
 		snap := v.snaps[0]
-		treeLowerBoundBatch(snap.tree, probes, out)
-		n := int32(len(snap.keys))
-		for i, p := range probes {
-			if lb := out[i]; lb >= n || snap.keys[lb] != p {
-				out[i] = -1
+		parallel.Run(len(probes), v.par, func(lo, hi int) {
+			treeLowerBoundBatch(snap.tree, probes[lo:hi], out[lo:hi])
+			n := int32(len(snap.keys))
+			for i := lo; i < hi; i++ {
+				if lb := out[i]; lb >= n || snap.keys[lb] != probes[i] {
+					out[i] = -1
+				}
 			}
-		}
+		})
 		return
 	}
-	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered)
-	res := make([]int32, len(gathered))
-	for _, r := range runs {
+	s := v.scratchFor(len(probes))
+	defer v.release(s)
+	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
+	res := s.res[:len(gathered)]
+	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		snap := v.snaps[r.sid]
 		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
 		off := int32(v.offs[r.sid])
@@ -231,34 +450,39 @@ func (v *View[K]) SearchBatch(probes []K, out []int32, keyOrdered bool) {
 				res[j] = -1
 			}
 		}
-	}
-	scatter(out, res, perm, expand)
+	})
+	v.scatter(out, res, perm, expand)
 }
 
 // EqualRangeBatch stores the global EqualRange of every probe into
 // (first[i], last[i]); all three slices must have equal length.  Duplicates
 // of a key never straddle shards, so each range is exact.
-func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32, keyOrdered bool) {
+func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32) {
 	if len(first) != len(probes) || len(last) != len(probes) {
 		panic("shard: probes/first/last length mismatch")
 	}
+	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
 		snap := v.snaps[0]
-		treeLowerBoundBatch(snap.tree, probes, first)
-		n := int32(len(snap.keys))
-		for i, p := range probes {
-			end := first[i]
-			for end < n && snap.keys[end] == p {
-				end++
+		parallel.Run(len(probes), v.par, func(lo, hi int) {
+			treeLowerBoundBatch(snap.tree, probes[lo:hi], first[lo:hi])
+			n := int32(len(snap.keys))
+			for i := lo; i < hi; i++ {
+				end := first[i]
+				for end < n && snap.keys[end] == probes[i] {
+					end++
+				}
+				last[i] = end
 			}
-			last[i] = end
-		}
+		})
 		return
 	}
-	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered)
-	resF := make([]int32, len(gathered))
-	resL := make([]int32, len(gathered))
-	for _, r := range runs {
+	s := v.scratchFor(len(probes))
+	defer v.release(s)
+	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
+	resF := s.res[:len(gathered)]
+	resL := s.resL[:len(gathered)]
+	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		snap := v.snaps[r.sid]
 		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], resF[r.lo:r.hi])
 		off := int32(v.offs[r.sid])
@@ -272,28 +496,43 @@ func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32, keyOrdered bo
 			resF[j] = off + lb
 			resL[j] = off + end
 		}
-	}
-	scatter(first, resF, perm, expand)
-	scatter(last, resL, perm, expand)
+	})
+	v.scatter2(first, resF, last, resL, perm, expand)
 }
 
-// SetBatchKeyOrder selects the sort-probes-first schedule for the Index-level
-// batch methods (View-level calls take the schedule explicitly).  Set it
-// before serving; it is not synchronised with concurrent readers.
-func (x *Index[K]) SetBatchKeyOrder(on bool) { x.batchKeyOrder = on }
+// SetBatchSchedule selects the probe schedule the Index-level and captured
+// View batch methods use (default ScheduleAuto).  Set before serving; it is
+// not synchronised with concurrent readers.
+func (x *Index[K]) SetBatchSchedule(s Schedule) { x.sched = s }
+
+// SetBatchKeyOrder is the boolean forerunner of SetBatchSchedule, kept for
+// callers predating ScheduleAuto: true forces the key-ordered schedule,
+// false forces input order.
+func (x *Index[K]) SetBatchKeyOrder(on bool) {
+	if on {
+		x.sched = ScheduleKeyOrdered
+	} else {
+		x.sched = ScheduleInput
+	}
+}
+
+// SetParallel configures the worker pool for batch execution (zero value:
+// GOMAXPROCS workers with the small-batch sequential fallback).  Set before
+// serving; it is not synchronised with concurrent readers.
+func (x *Index[K]) SetParallel(o parallel.Options) { x.par = o }
 
 // LowerBoundBatch answers the whole batch against one frozen View, so every
 // result reflects a single snapshot epoch per shard.
 func (x *Index[K]) LowerBoundBatch(probes []K, out []int32) {
-	x.View().LowerBoundBatch(probes, out, x.batchKeyOrder)
+	x.View().LowerBoundBatch(probes, out)
 }
 
 // SearchBatch answers the whole batch against one frozen View.
 func (x *Index[K]) SearchBatch(probes []K, out []int32) {
-	x.View().SearchBatch(probes, out, x.batchKeyOrder)
+	x.View().SearchBatch(probes, out)
 }
 
 // EqualRangeBatch answers the whole batch against one frozen View.
 func (x *Index[K]) EqualRangeBatch(probes []K, first, last []int32) {
-	x.View().EqualRangeBatch(probes, first, last, x.batchKeyOrder)
+	x.View().EqualRangeBatch(probes, first, last)
 }

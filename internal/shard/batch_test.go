@@ -4,6 +4,7 @@ import (
 	"sort"
 	"testing"
 
+	"cssidx/internal/parallel"
 	"cssidx/internal/shard"
 	"cssidx/internal/workload"
 )
@@ -67,11 +68,14 @@ func TestBatchMatchesOracle(t *testing.T) {
 			probes = []uint32{0, 5, ^uint32(0)}
 		}
 		for _, nshards := range []int{1, 3, 8} {
-			for _, keyOrdered := range []bool{false, true} {
-				x := shard.NewEqual(keys, nshards, shard.LevelCSSBuilder(16))
-				x.SetBatchKeyOrder(keyOrdered)
-				checkBatchAgainstOracle(t, x, batchOracle(keys), probes)
-				x.Close()
+			for _, sched := range []shard.Schedule{shard.ScheduleAuto, shard.ScheduleInput, shard.ScheduleKeyOrdered} {
+				for _, workers := range []int{1, 4} {
+					x := shard.NewEqual(keys, nshards, shard.LevelCSSBuilder(16))
+					x.SetBatchSchedule(sched)
+					x.SetParallel(parallel.Options{Workers: workers, MinBatchPerWorker: 64})
+					checkBatchAgainstOracle(t, x, batchOracle(keys), probes)
+					x.Close()
+				}
 			}
 		}
 	}
@@ -89,9 +93,9 @@ func TestViewBatchSingleEpoch(t *testing.T) {
 	probes := append(g.Lookups(keys, 500), g.Misses(keys, 200)...)
 	x.Insert(g.Misses(keys, 300)...)
 	x.Sync() // the live index moved on; v must not notice
-	for _, keyOrdered := range []bool{false, true} {
+	for _, sched := range []shard.Schedule{shard.ScheduleInput, shard.ScheduleKeyOrdered} {
 		out := make([]int32, len(probes))
-		v.LowerBoundBatch(probes, out, keyOrdered)
+		v.WithSchedule(sched).LowerBoundBatch(probes, out)
 		for i, p := range probes {
 			if int(out[i]) != v.LowerBound(p) {
 				t.Fatalf("view batch[%d]=%d, view scalar=%d (key %d)", i, out[i], v.LowerBound(p), p)

@@ -1,0 +1,158 @@
+package shard
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cssidx/internal/parallel"
+	"cssidx/internal/workload"
+)
+
+// TestParallelBatchesDuringEpochSwaps is the race stress test for the
+// parallel batch engine: reader goroutines drive batched probes — each batch
+// itself fanned across the engine's worker pool, at every schedule — while
+// the background rebuilder publishes epoch-swaps.  Run with -race.  Each
+// batch is verified bit-identical to the scalar methods of the same frozen
+// View, which is exactly the engine's correctness contract: one snapshot
+// epoch per batch, regardless of workers, schedule, or concurrent rebuilds.
+func TestParallelBatchesDuringEpochSwaps(t *testing.T) {
+	const (
+		readers   = 4
+		rounds    = 25
+		writeSize = 200
+		probeSize = 2000
+		minSwaps  = 50
+	)
+	g := workload.New(601)
+	keys := g.SortedUniform(30000)
+	x := NewEqual(keys, 4, LevelCSSBuilder(16))
+	defer x.Close()
+	// Force the pool on: more workers than cores, spans small enough that
+	// every batch really fans out.
+	x.SetParallel(parallel.Options{Workers: 4, MinBatchPerWorker: 128})
+
+	stop := make(chan struct{})
+	var batches atomic.Int64
+	var wg sync.WaitGroup
+	errc := make(chan string, readers)
+	fail := func(msg string) {
+		select {
+		case errc <- msg:
+		default:
+		}
+	}
+	scheds := []Schedule{ScheduleAuto, ScheduleInput, ScheduleKeyOrdered}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			probes := make([]uint32, probeSize)
+			out := make([]int32, probeSize)
+			first := make([]int32, probeSize)
+			last := make([]int32, probeSize)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Mix of likely-hits and misses, with duplicate runs so the
+				// Auto schedule flips between its branches across batches.
+				hot := uint32(rng.Int63n(workload.MaxKey))
+				for i := range probes {
+					if rng.Intn(3) == 0 {
+						probes[i] = hot
+					} else {
+						probes[i] = uint32(rng.Int63n(workload.MaxKey))
+					}
+				}
+				v := x.View().WithSchedule(scheds[rng.Intn(len(scheds))])
+				v.SearchBatch(probes, out)
+				v.EqualRangeBatch(probes, first, last)
+				// Spot-check against the same frozen view's scalar answers.
+				for i := 0; i < 64; i++ {
+					j := rng.Intn(probeSize)
+					p := probes[j]
+					if want := v.Search(p); int(out[j]) != want {
+						fail("parallel SearchBatch diverged from scalar on one View")
+						return
+					}
+					wf, wl := v.EqualRange(p)
+					if int(first[j]) != wf || int(last[j]) != wl {
+						fail("parallel EqualRangeBatch diverged from scalar on one View")
+						return
+					}
+				}
+				batches.Add(1)
+			}
+		}(int64(r + 1))
+	}
+
+	rng := rand.New(rand.NewSource(77))
+	for round := 0; round < rounds; round++ {
+		batch := make([]uint32, writeSize)
+		for i := range batch {
+			batch[i] = uint32(rng.Int63n(workload.MaxKey))
+		}
+		x.Insert(batch...)
+		x.Sync()
+		x.Delete(batch...)
+		x.Sync()
+	}
+	close(stop)
+	wg.Wait()
+
+	select {
+	case msg := <-errc:
+		t.Fatal(msg)
+	default:
+	}
+	swaps := uint64(0)
+	for _, e := range x.Epochs() {
+		swaps += e - 1
+	}
+	if swaps < minSwaps {
+		t.Fatalf("only %d epoch-swaps published, want ≥ %d", swaps, minSwaps)
+	}
+	if batches.Load() == 0 {
+		t.Fatal("readers completed no batches")
+	}
+	t.Logf("%d parallel batches verified over %d epoch-swaps", batches.Load(), swaps)
+}
+
+// TestAdaptiveScheduleChoice pins the duplicate-density estimator: a uniform
+// batch stays input-order, a hot-key batch flips to key-ordered, and small
+// batches never sort.
+func TestAdaptiveScheduleChoice(t *testing.T) {
+	g := workload.New(602)
+	uniform := g.SortedDistinct(8192) // distinct values, shuffled below
+	shuffled := make([]uint32, len(uniform))
+	copy(shuffled, uniform)
+	rng := rand.New(rand.NewSource(5))
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if chooseKeyOrder(ScheduleAuto, shuffled) {
+		t.Error("uniform distinct batch chose the sorted schedule")
+	}
+	skewed := make([]uint32, 8192)
+	for i := range skewed {
+		skewed[i] = uint32(i % 7) // 7 hot values
+	}
+	if !chooseKeyOrder(ScheduleAuto, skewed) {
+		t.Error("hot-key batch did not choose the sorted schedule")
+	}
+	tiny := skewed[:adaptiveMinBatch-1]
+	if chooseKeyOrder(ScheduleAuto, tiny) {
+		t.Error("sub-threshold batch chose the sorted schedule")
+	}
+	// Manual overrides ignore the estimate entirely.
+	if chooseKeyOrder(ScheduleInput, skewed) {
+		t.Error("ScheduleInput sorted anyway")
+	}
+	if !chooseKeyOrder(ScheduleKeyOrdered, shuffled) {
+		t.Error("ScheduleKeyOrdered did not sort")
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"sync/atomic"
 
 	"cssidx/internal/csstree"
+	"cssidx/internal/parallel"
 )
 
 // Tree is the read-only search structure a shard publishes: the ordered
@@ -90,9 +91,14 @@ type Index[K cmp.Ordered] struct {
 	bounds []K // strictly ascending; shard i serves keys < bounds[i], last serves the rest
 	shards []*shardState[K]
 
-	// batchKeyOrder selects the sort-probes-first batch schedule
-	// (SetBatchKeyOrder); set before serving.
-	batchKeyOrder bool
+	// sched picks the batch probe schedule (SetBatchSchedule) and par the
+	// worker pool for batch execution (SetParallel); set before serving.
+	sched Schedule
+	par   parallel.Options
+
+	// scratch pools batchScratch buffers across batch calls (and across the
+	// Views that carry the pool), so steady-state batches allocate nothing.
+	scratch sync.Pool
 
 	wake      chan struct{}
 	syncs     chan chan struct{}

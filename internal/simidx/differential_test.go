@@ -115,6 +115,10 @@ func checkIndex(t *testing.T, name string, idx cssidx.Index, o sliceOracle, prob
 	checkBatcher(t, name+"/batch", batchSurface{b: cssidx.AsBatch(idx)}, ordered, o, probes)
 	if ordered {
 		checkBatcher(t, name+"/sorted-batch", batchSurface{b: cssidx.NewSortedBatch(ord)}, true, o, probes)
+		// The parallel engine, forced on at tiny spans so the fan-out is
+		// real even on one core, must stay bit-identical too.
+		par := cssidx.NewParallel(ord, cssidx.ParallelOptions{Workers: 4, MinBatchPerWorker: 16})
+		checkBatcher(t, name+"/parallel-batch", batchSurface{b: par}, true, o, probes)
 	}
 }
 
@@ -215,6 +219,12 @@ func checkSharded(t *testing.T, keys []uint32, o sliceOracle, probes []uint32, s
 	sorted := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: shards, SortBatches: true})
 	defer sorted.Close()
 	checkShardedBatches(t, sorted, o, probes, shards, true)
+	par := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{
+		Shards:   shards,
+		Parallel: cssidx.ParallelOptions{Workers: 4, MinBatchPerWorker: 16},
+	})
+	defer par.Close()
+	checkShardedBatches(t, par, o, probes, shards, false)
 	// Ascend over the full range must replay the oracle slice exactly.
 	i := 0
 	x.Ascend(0, math.MaxUint32, func(pos int, key uint32) bool {

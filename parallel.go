@@ -1,0 +1,137 @@
+// Parallel batch execution: the worker-pool engine over the lockstep
+// kernels.  One large probe batch is split into contiguous sub-batches, each
+// descends the tree with the existing lockstep kernel on its own worker, and
+// results land directly in the caller's output slice — workers write
+// disjoint spans, so scatter is free and the hot path allocates nothing per
+// batch beyond the worker goroutines.
+//
+// The lockstep kernel extracts memory-level parallelism *within* one core
+// (a group of independent node reads in flight per level); the engine
+// multiplies that by the number of cores.  Both compose because the paper's
+// trees are immutable directories over immutable arrays: workers share
+// read-only state and nothing else.
+//
+// Sequential fallback: batches smaller than ~2×MinBatchPerWorker run on the
+// calling goroutine through the exact same kernel, so small batches pay no
+// scheduling cost and results are bit-identical at every size.
+
+package cssidx
+
+import (
+	"cmp"
+
+	"cssidx/internal/parallel"
+)
+
+// ParallelOptions tunes the parallel batch engine.  The zero value is the
+// recommended default: GOMAXPROCS workers, sequential below ~2×2048 probes.
+type ParallelOptions struct {
+	// Workers is the maximum number of concurrent workers; 0 picks
+	// GOMAXPROCS, 1 forces the sequential path.
+	Workers int
+	// MinBatchPerWorker is the minimum number of probes that justifies an
+	// extra worker; batches smaller than 2× this run sequentially.
+	// 0 means the default (2048).
+	MinBatchPerWorker int
+}
+
+// engine converts to the internal scheduler's options.
+func (o ParallelOptions) engine() parallel.Options {
+	return parallel.Options{Workers: o.Workers, MinBatchPerWorker: o.MinBatchPerWorker}
+}
+
+// NewParallel wraps idx with the parallel batch engine: the returned index
+// answers SearchBatch/LowerBoundBatch/EqualRangeBatch by fanning the batch
+// across workers (native lockstep kernels per sub-batch when idx has them,
+// scalar loops otherwise) and falls back to one worker for small batches.
+// Results are bit-identical to the scalar methods at every batch size.
+//
+// idx's batch methods must be safe for concurrent calls on disjoint probe
+// spans; every index built by this package qualifies except *SortedBatch,
+// which carries per-call scratch.  NewParallel therefore rejects a
+// *SortedBatch outright — compose the other way, NewSortedBatch(NewParallel(
+// idx, opts)): sorting stays on the caller and the descent underneath fans
+// out.  ShardedIndex's sorted schedule is parallel-safe as-is.
+func NewParallel(idx OrderedIndex, opts ParallelOptions) BatchOrderedIndex {
+	if _, ok := idx.(*SortedBatch); ok {
+		panic("cssidx: NewParallel over a SortedBatch races on its scratch; use NewSortedBatch(NewParallel(idx, opts)) instead")
+	}
+	return &parallelBatch{b: AsBatchOrdered(idx), opts: opts.engine()}
+}
+
+// parallelBatch is the engine over any BatchOrderedIndex.
+type parallelBatch struct {
+	b    BatchOrderedIndex
+	opts parallel.Options
+}
+
+func (p *parallelBatch) Name() string       { return p.b.Name() }
+func (p *parallelBatch) SpaceBytes() int    { return p.b.SpaceBytes() }
+func (p *parallelBatch) Search(key Key) int { return p.b.Search(key) }
+func (p *parallelBatch) LowerBound(key Key) int {
+	return p.b.LowerBound(key)
+}
+func (p *parallelBatch) EqualRange(key Key) (first, last int) { return p.b.EqualRange(key) }
+
+// SearchBatch answers the batch across workers; each worker runs the
+// underlying lockstep kernel on its contiguous sub-batch.
+func (p *parallelBatch) SearchBatch(probes []Key, out []int32) {
+	checkBatchLen(len(probes), len(out))
+	parallel.Run(len(probes), p.opts, func(lo, hi int) {
+		p.b.SearchBatch(probes[lo:hi], out[lo:hi])
+	})
+}
+
+// LowerBoundBatch answers the batch across workers.
+func (p *parallelBatch) LowerBoundBatch(probes []Key, out []int32) {
+	checkBatchLen(len(probes), len(out))
+	parallel.Run(len(probes), p.opts, func(lo, hi int) {
+		p.b.LowerBoundBatch(probes[lo:hi], out[lo:hi])
+	})
+}
+
+// EqualRangeBatch answers the batch across workers.
+func (p *parallelBatch) EqualRangeBatch(probes []Key, first, last []int32) {
+	checkBatchLen(len(probes), len(first))
+	checkBatchLen(len(probes), len(last))
+	parallel.Run(len(probes), p.opts, func(lo, hi int) {
+		p.b.EqualRangeBatch(probes[lo:hi], first[lo:hi], last[lo:hi])
+	})
+}
+
+// GenericParallel is the parallel batch engine over a Generic CSS-tree: the
+// typed counterpart of NewParallel for key types other than uint32.
+type GenericParallel[K cmp.Ordered] struct {
+	t    *Generic[K]
+	opts parallel.Options
+}
+
+// NewGenericParallel wraps a Generic tree with the parallel batch engine.
+func NewGenericParallel[K cmp.Ordered](t *Generic[K], opts ParallelOptions) *GenericParallel[K] {
+	return &GenericParallel[K]{t: t, opts: opts.engine()}
+}
+
+// SearchBatch answers the batch across workers (see NewParallel).
+func (p *GenericParallel[K]) SearchBatch(probes []K, out []int32) {
+	checkBatchLen(len(probes), len(out))
+	parallel.Run(len(probes), p.opts, func(lo, hi int) {
+		p.t.SearchBatch(probes[lo:hi], out[lo:hi])
+	})
+}
+
+// LowerBoundBatch answers the batch across workers.
+func (p *GenericParallel[K]) LowerBoundBatch(probes []K, out []int32) {
+	checkBatchLen(len(probes), len(out))
+	parallel.Run(len(probes), p.opts, func(lo, hi int) {
+		p.t.LowerBoundBatch(probes[lo:hi], out[lo:hi])
+	})
+}
+
+// EqualRangeBatch answers the batch across workers.
+func (p *GenericParallel[K]) EqualRangeBatch(probes []K, first, last []int32) {
+	checkBatchLen(len(probes), len(first))
+	checkBatchLen(len(probes), len(last))
+	parallel.Run(len(probes), p.opts, func(lo, hi int) {
+		p.t.EqualRangeBatch(probes[lo:hi], first[lo:hi], last[lo:hi])
+	})
+}

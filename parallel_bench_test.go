@@ -1,0 +1,147 @@
+package cssidx_test
+
+// Benchmarks for the parallel batch engine: the acceptance shape is parallel
+// SearchBatch on a ≥64k-probe batch beating the single-threaded lockstep
+// kernel once GOMAXPROCS ≥ 4 (each worker keeps its own complement of
+// independent cache misses in flight), and the engine at one worker matching
+// the bare kernel.  `cssbench -run parallel -json` records the same sweep
+// machine-readably (BENCH_parallel.json).
+
+import (
+	"fmt"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/mmdb"
+	"cssidx/internal/workload"
+)
+
+// mmdbTable builds a one-column table.
+func mmdbTable(b *testing.B, name string, vals []uint32) *mmdb.Table {
+	b.Helper()
+	t := mmdb.NewTable(name)
+	if err := t.AddColumn("k", vals); err != nil {
+		b.Fatal(err)
+	}
+	return t
+}
+
+// mmdbJoin counts the join result at one worker setting.
+func mmdbJoin(outer *mmdb.Table, ix *mmdb.SortedIndex, workers int) (int, error) {
+	return mmdb.JoinWith(outer, "k", ix, mmdb.JoinOptions{
+		Parallel: cssidx.ParallelOptions{Workers: workers},
+	}, nil)
+}
+
+// batchBenchSetup builds the tree and one large probe batch.
+func batchBenchSetup(b *testing.B, n, batch int) (cssidx.OrderedIndex, []uint32, []int32) {
+	b.Helper()
+	g := workload.New(1)
+	keys := g.SortedUniform(n)
+	probes := g.Lookups(keys, batch)
+	return cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes), probes, make([]int32, batch)
+}
+
+// BenchmarkParallelSearchBatch64k sweeps worker counts over one 64k-probe
+// batch; the "lockstep" case is the kernel with no engine around it.
+func BenchmarkParallelSearchBatch64k(b *testing.B) {
+	n := 10_000_000
+	if testing.Short() {
+		n = 1_000_000
+	}
+	level, probes, out := batchBenchSetup(b, n, 1<<16)
+
+	seq := cssidx.AsBatchOrdered(level)
+	b.Run("lockstep", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			seq.SearchBatch(probes, out)
+		}
+		b.ReportMetric(float64(len(probes))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mprobes/s")
+	})
+	for _, w := range []int{1, 2, 4, 8, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		par := cssidx.NewParallel(level, cssidx.ParallelOptions{Workers: w})
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				par.SearchBatch(probes, out)
+			}
+			b.ReportMetric(float64(len(probes))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mprobes/s")
+		})
+	}
+}
+
+// BenchmarkParallelShardedBatch64k is the same sweep through the sharded
+// serving layer: per-shard runs fan across the pool, one frozen epoch per
+// batch.
+func BenchmarkParallelShardedBatch64k(b *testing.B) {
+	n := 10_000_000
+	if testing.Short() {
+		n = 1_000_000
+	}
+	g := workload.New(1)
+	keys := g.SortedUniform(n)
+	probes := g.Lookups(keys, 1<<16)
+	out := make([]int32, len(probes))
+	for _, w := range []int{1, 4, 0} {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{
+			Shards:   4,
+			Parallel: cssidx.ParallelOptions{Workers: w},
+		})
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				idx.SearchBatch(probes, out)
+			}
+			b.ReportMetric(float64(len(probes))*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mprobes/s")
+		})
+		idx.Close()
+	}
+}
+
+// BenchmarkParallelJoin drives the §2.2 join through the engine.
+func BenchmarkParallelJoin(b *testing.B) {
+	benchJoinWorkers(b, []int{1, 4, 0})
+}
+
+func benchJoinWorkers(b *testing.B, workerCounts []int) {
+	b.Helper()
+	g := workload.New(3)
+	innerN, outerN := 1_000_000, 1<<17
+	if testing.Short() {
+		innerN, outerN = 100_000, 1<<15
+	}
+	innerKeys := g.SortedUniform(innerN)
+	outerVals := g.Lookups(innerKeys, outerN)
+	innerT := mmdbTable(b, "inner", innerKeys)
+	outerT := mmdbTable(b, "outer", outerVals)
+	ix, err := innerT.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, w := range workerCounts {
+		name := fmt.Sprintf("workers=%d", w)
+		if w == 0 {
+			name = "workers=GOMAXPROCS"
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := mmdbJoin(outerT, ix, w)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchSink += n
+			}
+			b.ReportMetric(float64(outerN)*float64(b.N)/b.Elapsed().Seconds()/1e6, "Mprobes/s")
+		})
+	}
+}

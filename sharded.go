@@ -17,6 +17,25 @@ import (
 	"cssidx/internal/shard"
 )
 
+// BatchSchedule selects how ShardedIndex orders a probe batch before the
+// lockstep descent.  Results are identical under every schedule; only the
+// memory-access order changes.
+type BatchSchedule int
+
+const (
+	// ScheduleAuto (the default) estimates each batch's duplicate density
+	// from a small strided sample and picks input-order or sorted per
+	// batch: uniform streams skip the sort, skewed streams get the dedup.
+	ScheduleAuto BatchSchedule = iota
+	// ScheduleInputOrder always descends probes in input order.
+	ScheduleInputOrder
+	// ScheduleSorted always radix-sorts and deduplicates the batch first:
+	// key-ordered probes walk neighbouring root-to-leaf paths, so a skewed
+	// batch touches each directory node once, and repeated probes descend
+	// once.
+	ScheduleSorted
+)
+
 // ShardedOptions configures NewSharded.
 type ShardedOptions[K cmp.Ordered] struct {
 	// Shards is the number of range shards; 0 picks GOMAXPROCS (capped at 16).
@@ -29,12 +48,15 @@ type ShardedOptions[K cmp.Ordered] struct {
 	// then placed at its quantiles so each shard receives roughly equal
 	// traffic instead of roughly equal keys.
 	SkewSample []K
-	// SortBatches selects the sort-probes-first batch schedule: each probe
-	// batch is sorted by key before the lockstep descent (results still come
-	// back in input order).  Key-ordered probes walk neighbouring
-	// root-to-leaf paths, so a skewed batch touches each directory node once
-	// instead of bouncing randomly across the directory.
+	// Schedule picks the batch probe schedule (default ScheduleAuto).
+	Schedule BatchSchedule
+	// SortBatches is the boolean forerunner of Schedule, kept as a manual
+	// override: true forces ScheduleSorted.
 	SortBatches bool
+	// Parallel tunes the batch worker pool.  The zero value is the
+	// default engine — GOMAXPROCS workers, sequential below ~4k probes;
+	// set Workers to 1 to keep batches on the calling goroutine.
+	Parallel ParallelOptions
 }
 
 // ShardedIndex is a concurrently servable index over a multiset of keys of
@@ -49,8 +71,7 @@ type ShardedOptions[K cmp.Ordered] struct {
 //
 // Close releases the background rebuilder when the index is done serving.
 type ShardedIndex[K cmp.Ordered] struct {
-	ix          *shard.Index[K]
-	sortBatches bool
+	ix *shard.Index[K]
 }
 
 // NewSharded builds a sharded index over the sorted keys (duplicates
@@ -71,8 +92,22 @@ func NewSharded[K cmp.Ordered](keys []K, opts ShardedOptions[K]) *ShardedIndex[K
 	}
 	bounds := shard.WeightedBoundaries(keys, opts.SkewSample, ns)
 	ix := shard.New(keys, bounds, shardedBuilder[K](m))
-	ix.SetBatchKeyOrder(opts.SortBatches)
-	return &ShardedIndex[K]{ix: ix, sortBatches: opts.SortBatches}
+	ix.SetBatchSchedule(opts.schedule())
+	ix.SetParallel(opts.Parallel.engine())
+	return &ShardedIndex[K]{ix: ix}
+}
+
+// schedule resolves the two schedule knobs: SortBatches is the manual
+// override, otherwise Schedule applies (default ScheduleAuto).
+func (o ShardedOptions[K]) schedule() shard.Schedule {
+	switch {
+	case o.SortBatches || o.Schedule == ScheduleSorted:
+		return shard.ScheduleKeyOrdered
+	case o.Schedule == ScheduleInputOrder:
+		return shard.ScheduleInput
+	default:
+		return shard.ScheduleAuto
+	}
 }
 
 // shardedBuilder picks the tuned uint32 level CSS-tree when K is uint32 and
@@ -102,10 +137,12 @@ func (x *ShardedIndex[K]) EqualRange(key K) (first, last int) { return x.ix.Equa
 
 // SearchBatch stores Search(probes[i]) into out[i] for every probe
 // (len(out) must equal len(probes)).  The probes are partitioned by shard
-// boundaries and each shard's group descends its tree in lockstep — all
-// against one frozen snapshot, so a batch never mixes epochs even while
-// rebuilds publish concurrently.  Results are bit-identical to the scalar
-// calls against that snapshot.
+// boundaries, each shard's group descends its tree in lockstep, and large
+// batches fan the per-shard runs across the worker pool
+// (ShardedOptions.Parallel) — all against one frozen snapshot, so a batch
+// never mixes epochs even while rebuilds publish concurrently.  Results are
+// bit-identical to the scalar calls against that snapshot, under every
+// schedule and worker count.
 func (x *ShardedIndex[K]) SearchBatch(probes []K, out []int32) { x.ix.SearchBatch(probes, out) }
 
 // LowerBoundBatch stores LowerBound(probes[i]) into out[i] for every probe;
@@ -154,14 +191,14 @@ func (x *ShardedIndex[K]) Ascend(lo, hi K, fn func(pos int, key K) bool) {
 // global positions, unaffected by concurrent epoch-swaps.  Snapshots are
 // cheap (one atomic load per shard, no copying).
 func (x *ShardedIndex[K]) Snapshot() *ShardedView[K] {
-	return &ShardedView[K]{v: x.ix.View(), sortBatches: x.sortBatches}
+	return &ShardedView[K]{v: x.ix.View()}
 }
 
 // ShardedView is a frozen capture of every shard at one point; see
-// ShardedIndex.Snapshot.
+// ShardedIndex.Snapshot.  The view inherits the index's batch schedule and
+// worker-pool options.
 type ShardedView[K cmp.Ordered] struct {
-	v           *shard.View[K]
-	sortBatches bool
+	v *shard.View[K]
 }
 
 // Len returns the number of keys in the view.
@@ -182,17 +219,17 @@ func (s *ShardedView[K]) EqualRange(key K) (first, last int) { return s.v.EqualR
 // SearchBatch answers a whole probe batch against the frozen view; results
 // are bit-identical to the scalar calls (see ShardedIndex.SearchBatch).
 func (s *ShardedView[K]) SearchBatch(probes []K, out []int32) {
-	s.v.SearchBatch(probes, out, s.sortBatches)
+	s.v.SearchBatch(probes, out)
 }
 
 // LowerBoundBatch answers a whole probe batch against the frozen view.
 func (s *ShardedView[K]) LowerBoundBatch(probes []K, out []int32) {
-	s.v.LowerBoundBatch(probes, out, s.sortBatches)
+	s.v.LowerBoundBatch(probes, out)
 }
 
 // EqualRangeBatch answers a whole probe batch against the frozen view.
 func (s *ShardedView[K]) EqualRangeBatch(probes []K, first, last []int32) {
-	s.v.EqualRangeBatch(probes, first, last, s.sortBatches)
+	s.v.EqualRangeBatch(probes, first, last)
 }
 
 // Ascend calls fn for every key in [lo, hi) ascending, with its position;
