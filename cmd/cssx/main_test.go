@@ -107,6 +107,28 @@ func TestBatchModeFile(t *testing.T) {
 	}
 }
 
+func TestBatchModeCached(t *testing.T) {
+	path, _ := writeProbeFile(t, 4000, 600)
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "levelcss", "-n", "4000", "-probefile", path, "-batch", "128", "-cache"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "result cache on") || !strings.Contains(s, "cache: ") {
+		t.Errorf("missing cache stats dump:\n%s", s)
+	}
+	if !strings.Contains(s, "matching rows") {
+		t.Errorf("missing summary:\n%s", s)
+	}
+	// The same probe file twice over one process sees repeated batches
+	// only when the file itself repeats, so just require the cache to
+	// have recorded activity.
+	if !strings.Contains(s, "inserts") {
+		t.Errorf("missing cache counters:\n%s", s)
+	}
+}
+
 func TestBatchModeBadInputs(t *testing.T) {
 	path, _ := writeProbeFile(t, 1000, 50)
 	bad := filepath.Join(t.TempDir(), "bad.txt")
@@ -126,6 +148,8 @@ func TestBatchModeBadInputs(t *testing.T) {
 		{"-probefile", empty},                                     // no keys
 		{"-probefile", filepath.Join(t.TempDir(), "missing.txt")}, // unreadable
 		{"-probefile", path, "-batch", "0"},                       // bad batch size
+		{"-probefile", path, "-cache", "-sortbatch"},              // cache mode owns the schedule
+		{"-probefile", path, "-cache", "-workers", "4"},           // ...and the worker count
 	}
 	for _, args := range cases {
 		var out, errb bytes.Buffer

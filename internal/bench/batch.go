@@ -91,17 +91,30 @@ func runBatch(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "sorted = sort-probes-first schedule (radix sort + dedup per batch)\n\n")
 	t := newTable(w)
 	t.row("workload", "schedule", "Mprobes/s", "vs scalar")
+	recordCell := func(workload, schedule, surface string, bs int, sec float64, probeCount int) {
+		cfg.record(Record{
+			Experiment: "batch",
+			Params: map[string]any{
+				"workload": workload, "schedule": schedule, "surface": surface,
+				"batch": bs, "n": n,
+			},
+			Metric: "throughput", Value: float64(probeCount) / sec / 1e6, Unit: "Mprobes/s",
+		})
+	}
 	for _, d := range dists {
 		scalar := measureScalarLB(level, d.probes, cfg.Repeats)
 		mps := func(sec float64) string { return fmt.Sprintf("%.2f", float64(len(d.probes))/sec/1e6) }
 		t.row(d.name, "scalar", mps(scalar), "1.00x")
+		recordCell(d.name, "scalar", "levelcss", 1, scalar, len(d.probes))
 		for _, bs := range batchSizes {
 			sec := measureBatchedLB(batched, d.probes, bs, cfg.Repeats)
 			t.row(d.name, fmt.Sprintf("batch %d", bs), mps(sec), fmt.Sprintf("%.2fx", scalar/sec))
+			recordCell(d.name, "input-order", "levelcss", bs, sec, len(d.probes))
 		}
 		for _, bs := range []int{64, 512} {
 			sec := measureBatchedLB(cssidx.NewSortedBatch(level), d.probes, bs, cfg.Repeats)
 			t.row(d.name, fmt.Sprintf("batch %d sorted", bs), mps(sec), fmt.Sprintf("%.2fx", scalar/sec))
+			recordCell(d.name, "sorted", "levelcss", bs, sec, len(d.probes))
 		}
 	}
 	t.flush()
@@ -127,6 +140,11 @@ func runBatch(cfg Config, w io.Writer) error {
 			ts.row(d.name, sched,
 				fmt.Sprintf("%.2f", float64(len(d.probes))/batchSec/1e6),
 				fmt.Sprintf("%.2fx", scalarSec/batchSec))
+			schedule := "input-order"
+			if sorted {
+				schedule = "sorted"
+			}
+			recordCell(d.name, schedule, "sharded", 512, batchSec, len(d.probes))
 			idx.Close()
 		}
 	}
@@ -164,11 +182,13 @@ func runBatch(cfg Config, w io.Writer) error {
 		if bs == 1 {
 			scalarJoin = sec
 			tj.row("scalar (batch 1)", fmt.Sprintf("%.2f", float64(joinOuter)/sec/1e6), "1.00x")
+			recordCell("uniform", "scalar", "join", bs, sec, joinOuter)
 			continue
 		}
 		tj.row(fmt.Sprintf("batch %d", bs),
 			fmt.Sprintf("%.2f", float64(joinOuter)/sec/1e6),
 			fmt.Sprintf("%.2fx", scalarJoin/sec))
+		recordCell("uniform", "input-order", "join", bs, sec, joinOuter)
 	}
 	tj.flush()
 	fmt.Fprintln(w, "\nshape target: on uniform probes the input-order lockstep wins from batch")

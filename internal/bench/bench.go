@@ -140,6 +140,7 @@ func Experiments() []Experiment {
 		{"shard", "Extension: sharded serving throughput under concurrent epoch-swap rebuilds", runShard},
 		{"batch", "Extension: batched lockstep probing vs scalar (batch size, skew, join)", runBatch},
 		{"parallel", "Extension: parallel batch engine (batch size × workers × skew, branch-free nodes)", runParallel},
+		{"reuse", "Extension: epoch-aware result cache (hit rate × skew × append rate)", runReuse},
 	}
 }
 

@@ -1,0 +1,250 @@
+package bench
+
+// runReuse is the semantic result-cache experiment (an extension beyond
+// the paper, following "Revisiting Reuse in Main Memory Database Systems"
+// and "Don't Trash your Intermediate Results, Cache 'em"): decision-support
+// traffic repeats itself, so a stream of multi-predicate selections drawn
+// from a fixed template pool is replayed against the mmdb layer with the
+// qcache result cache on and off, sweeping the pool skew (uniform vs Zipf
+// θ=0.9 vs θ=1.2), the append rate (0 vs 8 invalidating AppendRows batches
+// spread through the stream), and the cache byte budget (roomy vs tight
+// enough that CLOCK must choose).  Appends are excluded from the timing on
+// both sides; they cost the same either way and the question is the query
+// stream.
+//
+// The shape target — and the PR's acceptance bar: on a repeated Zipf
+// θ≥0.9 stream with no appends, cache-on is ≥5× cache-off (a hit is one
+// fingerprint lookup and a small copy; a miss is two index probes, two RID
+// materialisations, two radix sorts and a merge intersection).  Appends
+// drop the hit rate (every batch moves the generation token) but the
+// cached side must stay ahead; the tight budget shows skew structure —
+// the hotter the pool, the more of the traffic CLOCK keeps resident.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"cssidx"
+	"cssidx/internal/mmdb"
+	"cssidx/internal/workload"
+)
+
+// reuseDists are the template-pool skews; theta 0 draws uniformly.
+var reuseDists = []struct {
+	name  string
+	theta float64
+}{
+	{"uniform", 0},
+	{"zipf θ=0.9", 0.9},
+	{"zipf θ=1.2", 1.2},
+}
+
+// powerLawPicks draws q template indices in [0, p) from a power law with
+// exponent theta (theta 0 = uniform), via an inverse-CDF table over
+// uniform draws from g — exact for every theta, unlike rand.Zipf which
+// needs s > 1.  Hot ranks are shuffled across the pool so "hot" does not
+// mean "numerically first".
+func powerLawPicks(g *workload.Gen, p, q int, theta float64) []int {
+	cum := make([]float64, p)
+	total := 0.0
+	for i := 0; i < p; i++ {
+		total += math.Pow(float64(i+1), -theta)
+		cum[i] = total
+	}
+	perm := make([]uint32, p)
+	for i := range perm {
+		perm[i] = uint32(i)
+	}
+	perm = g.Shuffled(perm)
+	// Uniform draws: sample members of an identity slice.
+	const res = 1 << 16
+	ids := make([]uint32, res)
+	for i := range ids {
+		ids[i] = uint32(i)
+	}
+	draws := g.Lookups(ids, q)
+	picks := make([]int, q)
+	for i, d := range draws {
+		u := (float64(d) + 0.5) / res * total
+		rank := sort.SearchFloat64s(cum, u)
+		if rank >= p {
+			rank = p - 1
+		}
+		picks[i] = int(perm[rank])
+	}
+	return picks
+}
+
+// satAdd is a saturating uint32 add for template upper bounds.
+func satAdd(v, w uint32) uint32 {
+	if v > math.MaxUint32-w {
+		return math.MaxUint32
+	}
+	return v + w
+}
+
+func runReuse(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	g := workload.New(cfg.Seed)
+	n := 1_000_000
+	pool := 200
+	if cfg.Quick {
+		n = 100_000
+		pool = 50
+	}
+	queries := cfg.Lookups / 20
+	if queries < 4*pool {
+		queries = 4 * pool
+	}
+	const appendBatches = 8
+	// ~0.5% selectivity per conjunct: misses do real extraction work while
+	// one conjunct run stays a few tens of KB in the cache.
+	width := uint32(workload.MaxKey / 200)
+
+	// Two independent predicate columns, values in random row order.
+	aVals := g.Shuffled(g.SortedUniform(n))
+	bVals := g.Shuffled(g.SortedUniform(n))
+	type template struct{ preds []mmdb.RangePred }
+	templates := make([]template, pool)
+	aLos := g.Lookups(aVals, pool)
+	bLos := g.Lookups(bVals, pool)
+	for i := range templates {
+		templates[i] = template{preds: []mmdb.RangePred{
+			{Col: "a", Lo: aLos[i], Hi: satAdd(aLos[i], width)},
+			{Col: "b", Lo: bLos[i], Hi: satAdd(bLos[i], width)},
+		}}
+	}
+	// Identical invalidating batches for the cached and uncached sides.
+	batches := make([]map[string][]uint32, appendBatches)
+	for i := range batches {
+		batches[i] = map[string][]uint32{
+			"a": g.Lookups(aVals, 500),
+			"b": g.Lookups(bVals, 500),
+		}
+	}
+
+	build := func(opts mmdb.CacheOptions) (*mmdb.Table, error) {
+		tab := mmdb.NewTable("fact")
+		if err := tab.AddColumn("a", aVals); err != nil {
+			return nil, err
+		}
+		if err := tab.AddColumn("b", bVals); err != nil {
+			return nil, err
+		}
+		if _, err := tab.BuildIndex("a", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+			return nil, err
+		}
+		if _, err := tab.BuildIndex("b", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+			return nil, err
+		}
+		tab.EnableCache(opts)
+		return tab, nil
+	}
+
+	// runStream replays the picks, appending a batch every appendEvery
+	// queries (0 = never); only query time is accumulated.
+	runStream := func(tab *mmdb.Table, picks []int, appends int) (float64, error) {
+		appendEvery := 0
+		if appends > 0 {
+			appendEvery = len(picks) / (appends + 1)
+		}
+		total := 0.0
+		nextBatch := 0
+		start := time.Now()
+		for qi, pick := range picks {
+			if appendEvery > 0 && qi > 0 && qi%appendEvery == 0 && nextBatch < appends {
+				total += time.Since(start).Seconds()
+				if err := tab.AppendRows(batches[nextBatch]); err != nil {
+					return 0, err
+				}
+				nextBatch++
+				start = time.Now()
+			}
+			rids, _, err := tab.SelectWhere(templates[pick].preds)
+			if err != nil {
+				return 0, err
+			}
+			Sink += len(rids)
+		}
+		total += time.Since(start).Seconds()
+		return total, nil
+	}
+
+	type cell struct {
+		budget string
+		opts   mmdb.CacheOptions
+		apps   int
+	}
+	cells := []cell{
+		{"off", mmdb.CacheOptions{Disabled: true}, 0},
+		{"64MB", mmdb.CacheOptions{}, 0},
+		{"4MB", mmdb.CacheOptions{MaxBytes: 4 << 20}, 0},
+		{"off", mmdb.CacheOptions{Disabled: true}, appendBatches},
+		{"64MB", mmdb.CacheOptions{}, appendBatches},
+	}
+
+	fmt.Fprintf(w, "result-cache reuse: %d queries over a pool of %d 2-predicate templates, n=%d rows\n", queries, pool, n)
+	fmt.Fprintf(w, "appends = AppendRows batches (500 rows) spread through the stream, each moving the\n")
+	fmt.Fprintf(w, "generation token (full invalidation); append time excluded on both sides\n\n")
+	t := newTable(w)
+	t.row("workload", "appends", "cache", "qps", "hit rate", "vs off")
+	for _, d := range reuseDists {
+		picks := powerLawPicks(g, pool, queries, d.theta)
+		baseline := map[int]float64{} // appends -> cache-off seconds
+		for _, c := range cells {
+			tab, err := build(c.opts)
+			if err != nil {
+				return err
+			}
+			before := tab.CacheStats()
+			sec, err := runStream(tab, picks, c.apps)
+			if err != nil {
+				return err
+			}
+			after := tab.CacheStats()
+			qps := float64(queries) / sec
+			if c.budget == "off" {
+				baseline[c.apps] = sec
+			}
+			hits := after.Hits - before.Hits
+			misses := after.Misses - before.Misses
+			hitRate := 0.0
+			if hits+misses > 0 {
+				hitRate = float64(hits) / float64(hits+misses)
+			}
+			hitCell, speedCell := "-", "1.00x"
+			speedup := 1.0
+			if c.budget != "off" {
+				hitCell = fmt.Sprintf("%.0f%%", 100*hitRate)
+				speedup = baseline[c.apps] / sec
+				speedCell = fmt.Sprintf("%.2fx", speedup)
+			}
+			t.row(d.name, fmt.Sprintf("%d", c.apps), c.budget,
+				fmt.Sprintf("%.0f", qps), hitCell, speedCell)
+			rec := Record{
+				Experiment: "reuse",
+				Params: map[string]any{
+					"workload": d.name, "appends": c.apps, "cache": c.budget,
+					"n": n, "pool": pool, "queries": queries,
+				},
+				Metric: "throughput", Value: qps, Unit: "queries/s",
+			}
+			cfg.record(rec)
+			if c.budget != "off" {
+				cfg.record(Record{Experiment: "reuse", Params: rec.Params, Metric: "hit_rate", Value: hitRate})
+				cfg.record(Record{Experiment: "reuse", Params: rec.Params, Metric: "speedup", Value: speedup, Unit: "x"})
+			}
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "\nshape target: with no appends every repeated template hits and the cached stream")
+	fmt.Fprintln(w, "runs ≥5× the uncached one on the Zipf pools (the acceptance bar); the tight budget")
+	fmt.Fprintln(w, "holds that hit rate because CLOCK sheds the bulky per-conjunct runs and keeps the")
+	fmt.Fprintln(w, "tiny full-query results (benefit per byte); appends cut the hit rate — every batch")
+	fmt.Fprintln(w, "moves the generation token — with recovery tracking the skew (hotter pools rewarm")
+	fmt.Fprintln(w, "faster), and the cache must stay ahead of off throughout")
+	return nil
+}

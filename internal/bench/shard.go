@@ -151,6 +151,24 @@ func runShard(cfg Config, w io.Writer) error {
 				fmt.Sprintf("%.2fM", churn.qps/1e6),
 				fmt.Sprintf("%d", churn.swaps),
 				fmt.Sprintf("%.0f%%", retained))
+			for _, cell := range []struct {
+				phase string
+				res   shardServeResult
+			}{{"steady", steady}, {"churn", churn}} {
+				cfg.record(Record{
+					Experiment: "shard",
+					Params: map[string]any{
+						"workload": d.name, "shards": idx.ShardCount(),
+						"phase": cell.phase, "readers": readers, "n": n,
+					},
+					Metric: "throughput", Value: cell.res.qps / 1e6, Unit: "Mlookups/s",
+				})
+			}
+			cfg.record(Record{
+				Experiment: "shard",
+				Params:     map[string]any{"workload": d.name, "shards": idx.ShardCount(), "phase": "churn", "readers": readers, "n": n},
+				Metric:     "epoch_swaps", Value: float64(churn.swaps),
+			})
 			idx.Close()
 		}
 	}

@@ -68,6 +68,15 @@ func (d *IntDomain) IDsBatch(values []uint32, ids []int32) {
 	d.idx.SearchBatch(values, ids)
 }
 
+// LowerBoundBatch stores into out[i] the number of distinct domain values
+// < probes[i] (the rank lower bound) for a whole probe batch, answered by
+// one lockstep descent of the domain's CSS-tree — the batched counterpart
+// of the translation inside IDRange, for callers resolving many predicate
+// bounds at once (len(out) must equal len(probes)).
+func (d *IntDomain) LowerBoundBatch(probes []uint32, out []int32) {
+	d.idx.LowerBoundBatch(probes, out)
+}
+
 // Value returns the value for a domain ID.
 func (d *IntDomain) Value(id uint32) uint32 { return d.values[int(id)] }
 

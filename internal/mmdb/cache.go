@@ -1,0 +1,201 @@
+package mmdb
+
+// Result caching: the execution engine's reuse stage.  Every query surface
+// (Table.SelectRange/SelectIn/SelectWhere, JoinWith, and the epoch-swapped
+// ShardedIndex selections) consults an attached qcache.Cache before
+// planning and fills it after computing, so repeated decision-support
+// traffic — the same dashboard ranges, IN-lists and join sub-results over
+// and over — is answered by a fingerprint lookup and one slice copy
+// instead of a recomputation.
+//
+// Invalidation rides the structures the engine already maintains: every
+// result is stamped with the table generation (bumped by AppendRows) or
+// the frozen sharded-index epoch it was computed against, so a rebuild
+// invalidates by moving the token — readers never stop, stale entries are
+// reaped at their next access, and AppendRows additionally sweeps the
+// table's entries eagerly (qcache.DropTable).
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"cssidx/internal/qcache"
+)
+
+// CacheOptions configures the result cache attached to a Table or DB.
+type CacheOptions struct {
+	// MaxBytes is the budget for cached result payloads
+	// (0 = qcache.DefaultMaxBytes).
+	MaxBytes int64
+	// MinCostNs is the admission floor on estimated recompute cost
+	// (0 = qcache.DefaultMinCostNs; negative admits everything).
+	MinCostNs int64
+	// Stripes is the lock-stripe count (0 = 16).
+	Stripes int
+	// Disabled turns the cache off entirely (every surface computes).
+	Disabled bool
+}
+
+// build constructs the cache, or nil when disabled.
+func (o CacheOptions) build() *qcache.Cache {
+	if o.Disabled {
+		return nil
+	}
+	return qcache.New(qcache.Options{MaxBytes: o.MaxBytes, MinCostNs: o.MinCostNs, Stripes: o.Stripes})
+}
+
+// EnableCache attaches a fresh result cache to the table and returns it
+// (nil when opts.Disabled).  Attachment is not synchronized with queries:
+// enable the cache before the table starts serving.
+func (t *Table) EnableCache(opts CacheOptions) *qcache.Cache {
+	c := opts.build()
+	t.cache.Store(c)
+	return c
+}
+
+// AttachCache shares an existing cache (e.g. a DB-wide one) with the
+// table; nil detaches.
+func (t *Table) AttachCache(c *qcache.Cache) { t.cache.Store(c) }
+
+// Cache returns the attached result cache, or nil when caching is off.
+func (t *Table) Cache() *qcache.Cache { return t.cache.Load() }
+
+// CacheStats snapshots the attached cache's counters (zeros when off).
+func (t *Table) CacheStats() qcache.Stats { return t.cache.Load().Stats() }
+
+// Generation returns the table's current generation: 1 after creation,
+// +1 per AppendRows batch.  Cached results are valid for exactly one
+// generation.
+func (t *Table) Generation() uint64 { return t.gen.Load() }
+
+// token stamps results computed against the table's in-place state.
+func (t *Table) token() qcache.Token { return qcache.Token{Gen: t.gen.Load()} }
+
+// --- fingerprints -----------------------------------------------------------
+
+// rangeFP fingerprints lo ≤ col ≤ hi normalized to the half-open
+// domain-ID range [loID, hiID).
+func rangeFP(table, col string, layer qcache.Layer, loID, hiID uint32) qcache.Key {
+	return qcache.Key{Table: table, Col: col, Kind: qcache.KindRange, Layer: layer, Lo: loID, Hi: hiID}
+}
+
+// inFP fingerprints col IN (values) over the deduplicated list in
+// first-occurrence order — order-sensitive because the result's RID
+// grouping follows list order.
+func inFP(table, col string, layer qcache.Layer, distinct []uint32) qcache.Key {
+	return qcache.Key{
+		Table: table, Col: col, Kind: qcache.KindIn, Layer: layer,
+		Hash: qcache.HashU32s(qcache.HashSeed, distinct), N: uint32(len(distinct)),
+	}
+}
+
+// whereFP fingerprints a conjunction of normalized range predicates in
+// predicate order.
+func whereFP(table string, preds []RangePred, loIDs, hiIDs []uint32) qcache.Key {
+	h := uint64(qcache.HashSeed)
+	for i, p := range preds {
+		h = qcache.HashString(h, p.Col)
+		h = qcache.HashU32(h, loIDs[i])
+		h = qcache.HashU32(h, hiIDs[i])
+	}
+	return qcache.Key{Table: table, Kind: qcache.KindWhere, Hash: h, N: uint32(len(preds))}
+}
+
+// --- recompute cost model ---------------------------------------------------
+
+// Cost-model constants (ns), sized for the DRAM-missing regime the paper
+// measures: a scalar root-to-leaf descent, one RID gathered from the
+// sorted list, one batched probe (lockstep overlap amortises the misses),
+// and one row streamed by a sequential scan.
+const (
+	costProbeNs      = 150
+	costGatherNs     = 2
+	costBatchProbeNs = 30
+	costScanRowNs    = 1
+)
+
+// estRecomputeNs models rerunning a planned selection, priced with the
+// same access-path model PlanRange/PlanIn choose by.
+func estRecomputeNs(p Plan, tableRows int) int64 {
+	if p.UseIndex {
+		return 2*costProbeNs + int64(p.EstRows)*costGatherNs
+	}
+	return int64(tableRows)*costScanRowNs + int64(p.EstRows)*costGatherNs
+}
+
+// recomputeCost is the admission/eviction benefit input: the measured
+// elapsed time floored by the model estimate, so a first run that
+// happened to hit warm caches does not undervalue the entry.
+func recomputeCost(elapsed time.Duration, p Plan, tableRows int) int64 {
+	cost := elapsed.Nanoseconds()
+	if est := estRecomputeNs(p, tableRows); est > cost {
+		cost = est
+	}
+	return cost
+}
+
+// joinRecomputeCost models rerunning an indexed nested-loop join: one
+// batched probe per outer row plus one gather per emitted pair.
+func joinRecomputeCost(elapsed time.Duration, outerRows, pairs int) int64 {
+	cost := elapsed.Nanoseconds()
+	if est := int64(outerRows)*costBatchProbeNs + int64(pairs)*costGatherNs; est > cost {
+		cost = est
+	}
+	return cost
+}
+
+// --- DB: tables sharing one cache -------------------------------------------
+
+// DB groups tables around one shared result cache, so cross-table
+// workloads (joins, dashboards spanning fact and dimension tables) manage
+// one byte budget instead of one per table.  Table names are unique
+// within a DB — the cache fingerprints entries by table name.
+type DB struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+	order  []string
+	cache  *qcache.Cache
+}
+
+// NewDB creates a database whose tables share one result cache built from
+// opts (no cache when opts.Disabled).
+func NewDB(opts CacheOptions) *DB {
+	return &DB{tables: map[string]*Table{}, cache: opts.build()}
+}
+
+// CreateTable creates an empty table registered in the DB with the shared
+// cache attached.
+func (db *DB) CreateTable(name string) (*Table, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, dup := db.tables[name]; dup {
+		return nil, fmt.Errorf("mmdb: db already has table %s", name)
+	}
+	t := NewTable(name)
+	t.AttachCache(db.cache)
+	db.tables[name] = t
+	db.order = append(db.order, name)
+	return t, nil
+}
+
+// Table returns a registered table by name.
+func (db *DB) Table(name string) (*Table, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, ok := db.tables[name]
+	return t, ok
+}
+
+// Tables returns the table names in creation order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.order...)
+}
+
+// Cache returns the shared result cache (nil when disabled).
+func (db *DB) Cache() *qcache.Cache { return db.cache }
+
+// CacheStats snapshots the shared cache's counters.
+func (db *DB) CacheStats() qcache.Stats { return db.cache.Stats() }

@@ -1,0 +1,427 @@
+package mmdb
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+// cachePair builds two identical tables — one with an admit-everything
+// cache, one with caching disabled — so every query can be checked
+// bit-identical across the two.
+func cachePair(t *testing.T, n int, seed int64) (cached, plain *Table, g *workload.Gen) {
+	t.Helper()
+	g = workload.New(seed)
+	a := g.Lookups(g.SortedUniform(n/2+1), n) // duplicates guaranteed
+	b := g.Lookups(g.SortedUniform(n/4+1), n)
+	c := g.Lookups(g.SortedUniform(64), n) // low cardinality for IN/hash
+	build := func(name string) *Table {
+		tab := NewTable(name)
+		for col, vals := range map[string][]uint32{"a": a, "b": b, "c": c} {
+			if err := tab.AddColumn(col, vals); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tab.BuildIndex("a", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildIndex("c", cssidx.KindHash, cssidx.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildShardedIndex("b", 4); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	cached = build("t")
+	cached.EnableCache(CacheOptions{MinCostNs: -1})
+	plain = build("t")
+	return cached, plain, g
+}
+
+func mustEqualU32(t *testing.T, what string, got, want []uint32) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len %d, want %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: [%d] = %d, want %d", what, i, got[i], want[i])
+		}
+	}
+}
+
+// queryBattery drives every cached query surface on both tables and
+// demands bit-identical results.  Each query runs twice against the cached
+// table so both the fill pass and the hit pass are compared.
+func queryBattery(t *testing.T, cached, plain *Table, g *workload.Gen, tag string) {
+	t.Helper()
+	aCol, _ := plain.Column("a")
+	ranges := [][2]uint32{
+		{0, math.MaxUint32},
+		{1 << 28, 1<<28 + 1<<26},
+		{0, 1 << 30},
+		{5, 4}, // empty
+	}
+	if vals := aCol.Domain().Values(); len(vals) > 10 {
+		ranges = append(ranges, [2]uint32{vals[2], vals[len(vals)/3]})
+	}
+	for _, r := range ranges {
+		want, wantPlan, err := plain.SelectRange("a", r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, gotPlan, err := cached.SelectRange("a", r[0], r[1])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gotPlan != wantPlan {
+				t.Fatalf("%s range plan pass %d: %+v vs %+v", tag, pass, gotPlan, wantPlan)
+			}
+			mustEqualU32(t, fmt.Sprintf("%s SelectRange[%d,%d] pass %d", tag, r[0], r[1], pass), got, want)
+		}
+	}
+
+	cVals, _ := plain.Column("c")
+	inLists := [][]uint32{
+		g.Lookups(cVals.Domain().Values(), 5),
+		g.Lookups(cVals.Domain().Values(), 40), // forces dups in the list
+		{1, 2, 3},                              // mostly absent
+	}
+	for li, list := range inLists {
+		for _, col := range []string{"c", "b"} {
+			want, _, err := plain.SelectIn(col, list)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass := 0; pass < 2; pass++ {
+				got, _, err := cached.SelectIn(col, list)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualU32(t, fmt.Sprintf("%s SelectIn %s #%d pass %d", tag, col, li, pass), got, want)
+			}
+		}
+	}
+
+	wheres := [][]RangePred{
+		{{Col: "a", Lo: 0, Hi: 1 << 30}, {Col: "b", Lo: 1 << 27, Hi: 1 << 31}},
+		{{Col: "a", Lo: 1 << 26, Hi: 1 << 31}, {Col: "a", Lo: 0, Hi: 1 << 30}, {Col: "c", Lo: 0, Hi: math.MaxUint32}},
+		{{Col: "b", Lo: 7, Hi: 3}}, // empty conjunct
+	}
+	for wi, preds := range wheres {
+		want, wantPlans, err := plain.SelectWhere(preds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, gotPlans, err := cached.SelectWhere(preds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(gotPlans) != len(wantPlans) {
+				t.Fatalf("%s where #%d: plan count", tag, wi)
+			}
+			for i := range gotPlans {
+				if gotPlans[i] != wantPlans[i] {
+					t.Fatalf("%s where #%d plan %d: %+v vs %+v", tag, wi, i, gotPlans[i], wantPlans[i])
+				}
+			}
+			mustEqualU32(t, fmt.Sprintf("%s SelectWhere #%d pass %d", tag, wi, pass), got, want)
+		}
+	}
+
+	// Sharded surfaces directly (epoch-stamped entries).
+	shC, _ := cached.ShardedIndex("b")
+	shP, _ := plain.ShardedIndex("b")
+	want, err := shP.SelectRange(1<<27, 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pass := 0; pass < 2; pass++ {
+		got, err := shC.SelectRange(1<<27, 1<<31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualU32(t, fmt.Sprintf("%s sharded SelectRange pass %d", tag, pass), got, want)
+	}
+}
+
+func TestCacheDifferentialAllSurfaces(t *testing.T) {
+	cached, plain, g := cachePair(t, 4000, 11)
+	queryBattery(t, cached, plain, g, "gen1")
+	if s := cached.CacheStats(); s.Hits == 0 || s.Inserts == 0 {
+		t.Fatalf("cache never engaged: %+v", s)
+	}
+	// Batch update: both tables append the same rows; the cached table's
+	// generation moves and every stale entry must stop matching.
+	batch := map[string][]uint32{
+		"a": g.Lookups(g.SortedUniform(500), 1000),
+		"b": g.Lookups(g.SortedUniform(500), 1000),
+		"c": g.Lookups(g.SortedUniform(64), 1000),
+	}
+	if err := cached.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	if got := cached.Generation(); got != 2 {
+		t.Fatalf("generation %d, want 2", got)
+	}
+	queryBattery(t, cached, plain, g, "gen2")
+	if s := cached.CacheStats(); s.Invalidations == 0 {
+		t.Fatalf("append invalidated nothing: %+v", s)
+	}
+}
+
+func TestCacheContainmentAcrossQueries(t *testing.T) {
+	cached, plain, _ := cachePair(t, 4000, 17)
+	aCol, _ := plain.Column("a")
+	vals := aCol.Domain().Values()
+	wideLo, wideHi := vals[0], vals[len(vals)/6] // selective: index path
+	subLo, subHi := vals[2], vals[len(vals)/8]
+
+	if _, _, err := cached.SelectRange("a", wideLo, wideHi); err != nil {
+		t.Fatal(err)
+	}
+	before := cached.CacheStats()
+	got, _, err := cached.SelectRange("a", subLo, subHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := cached.CacheStats()
+	if after.ContainedHits != before.ContainedHits+1 {
+		t.Fatalf("subrange not answered by containment: %+v -> %+v", before, after)
+	}
+	want, _, err := plain.SelectRange("a", subLo, subHi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, "contained subrange", got, want)
+}
+
+func TestJoinCacheReplay(t *testing.T) {
+	for _, sharded := range []bool{false, true} {
+		g := workload.New(23)
+		innerKeys := g.SortedUniform(2000)
+		outerVals := g.Lookups(innerKeys, 3000)
+		inner := NewTable("inner")
+		if err := inner.AddColumn("k", innerKeys); err != nil {
+			t.Fatal(err)
+		}
+		outer := NewTable("outer")
+		if err := outer.AddColumn("k", outerVals); err != nil {
+			t.Fatal(err)
+		}
+		outer.EnableCache(CacheOptions{MinCostNs: -1})
+		var innerIx JoinIndex
+		if sharded {
+			ix, err := inner.BuildShardedIndex("k", 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ix.Close()
+			innerIx = ix
+		} else {
+			ix, err := inner.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			innerIx = ix
+		}
+		collect := func() []uint32 {
+			var pairs []uint32
+			if _, err := Join(outer, "k", innerIx, func(o, i uint32) { pairs = append(pairs, o, i) }); err != nil {
+				t.Fatal(err)
+			}
+			return pairs
+		}
+		first := collect()
+		second := collect()
+		mustEqualU32(t, fmt.Sprintf("join replay sharded=%v", sharded), second, first)
+		if s := outer.CacheStats(); s.Hits == 0 {
+			t.Fatalf("sharded=%v: second join missed the cache: %+v", sharded, s)
+		}
+		// Moving the inner state must move the token and force recompute.
+		if err := inner.AppendRows(map[string][]uint32{"k": g.Lookups(innerKeys, 100)}); err != nil {
+			t.Fatal(err)
+		}
+		third := collect()
+		if len(third) < len(first) {
+			t.Fatalf("sharded=%v: pairs shrank after append: %d -> %d", sharded, len(first), len(third))
+		}
+	}
+}
+
+func TestDBSharedCache(t *testing.T) {
+	db := NewDB(CacheOptions{MinCostNs: -1})
+	t1, err := db.CreateTable("t1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.CreateTable("t1"); err == nil {
+		t.Fatal("duplicate table name accepted")
+	}
+	t2, err := db.CreateTable("t2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range []*Table{t1, t2} {
+		if err := tab.AddColumn("x", []uint32{5, 1, 9, 1, 7}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildIndex("x", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := tab.SelectRange("x", 1, 7); err != nil { // fill
+			t.Fatal(err)
+		}
+	}
+	if s := db.CacheStats(); s.Inserts < 2 {
+		t.Fatalf("shared cache not filled: %+v", s)
+	}
+	// Appending to t1 must not invalidate t2's entries.
+	if err := t1.AppendRows(map[string][]uint32{"x": {3}}); err != nil {
+		t.Fatal(err)
+	}
+	before := db.CacheStats()
+	if _, _, err := t2.SelectRange("x", 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	after := db.CacheStats()
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("t2 entry lost to t1's append: %+v -> %+v", before, after)
+	}
+}
+
+// TestRebuiltShardedIndexDoesNotReuseTokens locks in the epoch-uid fix: a
+// replacement BuildShardedIndex restarts Epoch() at 1, so its cache tokens
+// must nevertheless be disjoint from the replaced instance's — otherwise a
+// straggler's late insert stamped with the old instance's epoch could be
+// served as fresh by the new one.
+func TestRebuiltShardedIndexDoesNotReuseTokens(t *testing.T) {
+	tab := NewTable("t")
+	if err := tab.AddColumn("x", []uint32{5, 1, 9, 1, 7, 3, 9, 2}); err != nil {
+		t.Fatal(err)
+	}
+	tab.EnableCache(CacheOptions{MinCostNs: -1})
+	sh1, err := tab.BuildShardedIndex("x", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sh1.SelectRange(1, 9); err != nil { // fill under instance 1
+		t.Fatal(err)
+	}
+	sh2, err := tab.BuildShardedIndex("x", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sh2.Close()
+	if sh1.Epoch() != sh2.Epoch() {
+		t.Fatalf("precondition lost: instance epochs diverge (%d vs %d), token reuse untestable", sh1.Epoch(), sh2.Epoch())
+	}
+	before := tab.CacheStats()
+	got, err := sh2.SelectRange(1, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := tab.CacheStats()
+	if after.Hits != before.Hits {
+		t.Fatalf("new index instance hit the old instance's entry: %+v -> %+v", before, after)
+	}
+	want := []uint32{1, 3, 7, 5, 0, 4, 2, 6} // value order: 1,1,2,3,5,7,9,9
+	mustEqualU32(t, "rebuilt sharded range", got, want)
+}
+
+// TestCacheRaceAppendRows is the -race gate for cache hits and
+// invalidations racing epoch swaps: readers hammer the epoch-cached
+// sharded surfaces while a writer pushes AppendRows batches through, then
+// the final state is checked bit-identical against an uncached replica.
+func TestCacheRaceAppendRows(t *testing.T) {
+	g := workload.New(31)
+	base := g.Lookups(g.SortedUniform(2000), 4000)
+	build := func() *Table {
+		tab := NewTable("t")
+		if err := tab.AddColumn("x", base); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildShardedIndex("x", 4); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	cached := build()
+	cached.EnableCache(CacheOptions{MinCostNs: -1})
+	plain := build()
+	shC, _ := cached.ShardedIndex("x")
+	defer shC.Close()
+	shP, _ := plain.ShardedIndex("x")
+	defer shP.Close()
+
+	const appends = 30
+	batches := make([]map[string][]uint32, appends)
+	for i := range batches {
+		batches[i] = map[string][]uint32{"x": g.Lookups(base, 50)}
+	}
+	maxRows := uint32(len(base) + appends*50) // rows only ever grow
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lg := workload.New(int64(100 + r))
+			for i := 0; !stop.Load(); i++ {
+				lo := lg.Lookups(base, 1)[0]
+				hi := lo + 1<<28
+				rids, err := shC.SelectRange(lo, hi)
+				if err != nil {
+					panic(err)
+				}
+				for _, rid := range rids {
+					if rid >= maxRows {
+						panic(fmt.Sprintf("rid %d out of range %d", rid, maxRows))
+					}
+				}
+				shC.SelectIn(lg.Lookups(base, 8))
+			}
+		}(r)
+	}
+	for i := 0; i < appends; i++ {
+		if err := cached.AppendRows(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for i := 0; i < appends; i++ {
+		if err := plain.AppendRows(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Quiesced: cached results (fill + hit passes) must equal the uncached
+	// replica's exactly.
+	for pass := 0; pass < 2; pass++ {
+		got, err := shC.SelectRange(1<<28, 1<<31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := shP.SelectRange(1<<28, 1<<31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualU32(t, fmt.Sprintf("post-race SelectRange pass %d", pass), got, want)
+		list := g.Lookups(base, 16)
+		mustEqualU32(t, fmt.Sprintf("post-race SelectIn pass %d", pass), shC.SelectIn(list), shP.SelectIn(list))
+	}
+	if s := cached.CacheStats(); s.Hits == 0 || s.Invalidations == 0 {
+		t.Fatalf("race exercised nothing: %+v", s)
+	}
+}

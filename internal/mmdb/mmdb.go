@@ -17,10 +17,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"cssidx"
 	"cssidx/internal/domain"
 	"cssidx/internal/parallel"
+	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
 )
 
@@ -36,6 +39,16 @@ type Table struct {
 	order   []string
 	indexes map[string]*SortedIndex
 	sharded map[string]*ShardedIndex
+
+	// gen is the table generation: 1 after creation, +1 per AppendRows
+	// batch.  It is the validity token of every cached result computed
+	// against the table's in-place state (cache.go), read atomically so
+	// the epoch-serving ShardedIndex surfaces can stamp entries while a
+	// rebuild publishes.
+	gen atomic.Uint64
+	// cache is the attached result cache (nil = caching off); behind an
+	// atomic pointer so concurrent sharded readers see attachment safely.
+	cache atomic.Pointer[qcache.Cache]
 }
 
 // Column is one domain-encoded attribute.
@@ -48,12 +61,14 @@ type Column struct {
 
 // NewTable creates an empty table.
 func NewTable(name string) *Table {
-	return &Table{
+	t := &Table{
 		name:    name,
 		cols:    map[string]*Column{},
 		indexes: map[string]*SortedIndex{},
 		sharded: map[string]*ShardedIndex{},
 	}
+	t.gen.Store(1)
+	return t
 }
 
 // AddColumn adds a column with one value per row.  The first column fixes
@@ -110,6 +125,7 @@ func (c *Column) Len() int { return len(c.raw) }
 // the domain".
 type SortedIndex struct {
 	col   *Column
+	owner *Table // registering table (generation + cache for join reuse)
 	kind  cssidx.Kind
 	opts  cssidx.Options
 	keys  []uint32 // domain IDs in sorted order
@@ -126,7 +142,7 @@ func (t *Table) BuildIndex(colName string, kind cssidx.Kind, opts cssidx.Options
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no column %s in table %s", colName, t.name)
 	}
-	ix := &SortedIndex{col: col, kind: kind, opts: opts}
+	ix := &SortedIndex{col: col, owner: t, kind: kind, opts: opts}
 	ix.rebuild()
 	t.indexes[colName] = ix
 	return ix, nil
@@ -447,6 +463,11 @@ type joinProber interface {
 	probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int
 	// joinRIDs is the RID list positions index into.
 	joinRIDs() []uint32
+	// cacheTag identifies the frozen inner state for result caching: a
+	// fingerprint of the inner index identity and the single-counter
+	// version (table generation or frozen epoch) this prober serves.
+	// ok=false opts the join out of caching.
+	cacheTag() (hash uint64, version uint64, ok bool)
 }
 
 // joinFreeze: a SortedIndex has no concurrent rebuilds to freeze against
@@ -459,6 +480,17 @@ func (ix *SortedIndex) probeEqual(values []uint32, s *probeScratch, emit func(or
 }
 
 func (ix *SortedIndex) joinRIDs() []uint32 { return ix.rids }
+
+// cacheTag: a SortedIndex inner is identified by its table and column and
+// versioned by the table generation (AppendRows rebuilds it in place).
+func (ix *SortedIndex) cacheTag() (uint64, uint64, bool) {
+	if ix.owner == nil {
+		return 0, 0, false
+	}
+	h := qcache.HashString(qcache.HashString(qcache.HashSeed, ix.owner.name), ix.col.name)
+	h = qcache.HashU32(h, uint32(qcache.LayerTable))
+	return h, ix.owner.gen.Load(), true
+}
 
 // JoinOptions configures JoinWith.
 type JoinOptions struct {
@@ -502,6 +534,15 @@ func JoinBatch(outer *Table, outerCol string, inner JoinIndex, batchSize int, em
 // A *ShardedIndex inner is frozen once for the whole join (one table-level
 // epoch, one snapshot per shard), so joins running concurrently with
 // AppendRows see one consistent index state throughout.
+//
+// When the outer table has a result cache attached, the whole pair set is
+// fingerprinted by (outer table+column, inner index identity) and stamped
+// with the (outer generation, inner generation/epoch) pair: a repeat of
+// the join against unchanged state replays the cached pairs through emit
+// without probing.  Count-only joins (emit nil) consult the cache but
+// never fill it, so they stay unbuffered; emitting joins fill it, which
+// buffers the pairs even on the otherwise-streaming sequential path —
+// disable the cache when streaming emission matters more than reuse.
 func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32)) (int, error) {
 	col, ok := outer.cols[outerCol]
 	if !ok {
@@ -516,6 +557,29 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 	}
 	p := inner.joinFreeze()
 	rids := p.joinRIDs()
+
+	qc := outer.Cache()
+	var jkey qcache.Key
+	var jtok qcache.Token
+	cacheable := false
+	if qc.Enabled() {
+		if h, version, ok := p.cacheTag(); ok {
+			jkey = qcache.Key{Table: outer.name, Col: outerCol, Kind: qcache.KindJoin, Hash: h}
+			jtok = qcache.Token{Gen: outer.gen.Load(), Epoch: version}
+			if emit == nil {
+				if n, ok := qc.LookupPairCount(jkey, jtok); ok {
+					return n, nil
+				}
+			} else if a, b, ok := qc.LookupPair(jkey, jtok); ok {
+				for i := range a {
+					emit(a[i], b[i])
+				}
+				return len(a), nil
+			}
+			cacheable = emit != nil
+		}
+	}
+	start := time.Now()
 	nRows := len(col.raw)
 	par := parallel.Options{Workers: opts.Parallel.Workers, MinBatchPerWorker: opts.Parallel.MinBatchPerWorker}
 	w := par.WorkersFor(nRows)
@@ -542,33 +606,55 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 		return count
 	}
 
-	if w <= 1 {
-		return joinSpan(0, nRows, emit), nil
-	}
 	type pair struct{ outer, inner uint32 }
-	counts := make([]int, w)
 	var bufs [][]pair
-	if emit != nil {
-		bufs = make([][]pair, w)
-	}
-	parallel.Do(w, nRows, par, func(t int) {
-		lo, hi := parallel.Span(nRows, w, t)
-		var spanEmit func(outerRID, innerRID uint32)
-		if emit != nil {
-			spanEmit = func(o, i uint32) { bufs[t] = append(bufs[t], pair{o, i}) }
-		}
-		counts[t] = joinSpan(lo, hi, spanEmit)
-	})
 	count := 0
-	for _, c := range counts {
-		count += c
+	switch {
+	case w <= 1 && !cacheable:
+		return joinSpan(0, nRows, emit), nil
+	case w <= 1:
+		bufs = make([][]pair, 1)
+		count = joinSpan(0, nRows, func(o, i uint32) { bufs[0] = append(bufs[0], pair{o, i}) })
+	default:
+		counts := make([]int, w)
+		if emit != nil || cacheable {
+			bufs = make([][]pair, w)
+		}
+		parallel.Do(w, nRows, par, func(t int) {
+			lo, hi := parallel.Span(nRows, w, t)
+			var spanEmit func(outerRID, innerRID uint32)
+			if bufs != nil {
+				spanEmit = func(o, i uint32) { bufs[t] = append(bufs[t], pair{o, i}) }
+			}
+			counts[t] = joinSpan(lo, hi, spanEmit)
+		})
+		for _, c := range counts {
+			count += c
+		}
 	}
-	if emit != nil {
-		for _, buf := range bufs {
-			for _, pr := range buf {
+	// A pair set admission would reject anyway (oversized for the cache)
+	// is not worth staging a second copy of.
+	if cacheable && qcache.EntryBytesForPairs(count) > qc.MaxEntryBytes() {
+		cacheable = false
+	}
+	var cacheOuter, cacheInner []uint32
+	if cacheable {
+		cacheOuter = make([]uint32, 0, count)
+		cacheInner = make([]uint32, 0, count)
+	}
+	for _, buf := range bufs {
+		for _, pr := range buf {
+			if emit != nil {
 				emit(pr.outer, pr.inner)
 			}
+			if cacheable {
+				cacheOuter = append(cacheOuter, pr.outer)
+				cacheInner = append(cacheInner, pr.inner)
+			}
 		}
+	}
+	if cacheable {
+		qc.InsertPair(jkey, jtok, cacheOuter, cacheInner, joinRecomputeCost(time.Since(start), nRows, count))
 	}
 	return count, nil
 }
@@ -609,5 +695,12 @@ func (t *Table) AppendRows(newCols map[string][]uint32) error {
 	for _, ix := range t.sharded {
 		ix.rebuild()
 	}
+	// Generation invalidation: move the token, then sweep this table's
+	// entries.  Readers never block — a concurrent sharded reader still
+	// holding the previous epoch simply stops matching, and any entry it
+	// inserts late is stamped with the old epoch and reaped at its next
+	// access.
+	t.gen.Add(1)
+	t.Cache().DropTable(t.name)
 	return nil
 }

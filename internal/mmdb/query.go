@@ -2,7 +2,10 @@ package mmdb
 
 import (
 	"fmt"
+	"time"
 
+	"cssidx"
+	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
 )
 
@@ -112,6 +115,13 @@ func (t *Table) PlanRange(col string, lo, hi uint32) (Plan, error) {
 		return Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
 	}
 	loID, hiID := c.dom.IDRange(lo, hi)
+	return t.planRangeIDs(col, c, loID, hiID), nil
+}
+
+// planRangeIDs prices the access paths for a range predicate already
+// normalized to the half-open domain-ID range [loID, hiID) — the shared
+// core behind PlanRange and SelectWhere's batched bound resolution.
+func (t *Table) planRangeIDs(col string, c *Column, loID, hiID uint32) Plan {
 	frac := 0.0
 	if c.dom.Len() > 0 {
 		frac = float64(hiID-loID) / float64(c.dom.Len())
@@ -127,46 +137,98 @@ func (t *Table) PlanRange(col string, lo, hi uint32) (Plan, error) {
 	ordered := (indexed && ix.Kind().String() != "hash") || (!indexed && shardedOK)
 	switch {
 	case !indexed && !shardedOK:
-		return Plan{UseIndex: false, EstRows: est, Why: "no index on column"}, nil
+		return Plan{UseIndex: false, EstRows: est, Why: "no index on column"}
 	case !ordered:
-		return Plan{UseIndex: false, EstRows: est, Why: "hash index has no ordered access"}, nil
+		return Plan{UseIndex: false, EstRows: est, Why: "hash index has no ordered access"}
 	case frac > scanBreakEven:
 		return Plan{UseIndex: false, EstRows: est,
-			Why: fmt.Sprintf("selectivity %.0f%% above scan break-even", 100*frac)}, nil
+			Why: fmt.Sprintf("selectivity %.0f%% above scan break-even", 100*frac)}
 	case !indexed:
 		return Plan{UseIndex: true, EstRows: est,
-			Why: fmt.Sprintf("sharded index, selectivity %.1f%% below scan break-even", 100*frac)}, nil
+			Why: fmt.Sprintf("sharded index, selectivity %.1f%% below scan break-even", 100*frac)}
 	default:
 		return Plan{UseIndex: true, EstRows: est,
-			Why: fmt.Sprintf("selectivity %.1f%% below scan break-even", 100*frac)}, nil
+			Why: fmt.Sprintf("selectivity %.1f%% below scan break-even", 100*frac)}
 	}
 }
 
 // SelectRange returns the RIDs of rows with lo ≤ col ≤ hi, choosing the
 // access path with PlanRange.  RIDs come back in row order for scans and in
 // value order for index probes; callers needing a specific order should
-// sort (the set is identical either way).
+// sort (the set is identical either way — but note a cached result keeps
+// the order of the path that first computed it).
+//
+// With a cache attached, the normalized predicate is looked up first —
+// including by containment, when a cached wider range on the column can be
+// sliced — and the computed result is admitted after, stamped with the
+// table generation.
 func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
-	plan, err := t.PlanRange(col, lo, hi)
-	if err != nil {
-		return nil, Plan{}, err
+	c, ok := t.cols[col]
+	if !ok {
+		return nil, Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
 	}
+	loID, hiID := c.dom.IDRange(lo, hi)
+	plan := t.planRangeIDs(col, c, loID, hiID)
 	if plan.UseIndex {
 		if ix, ok := t.indexes[col]; ok {
-			rids, err := ix.SelectRange(lo, hi)
+			rids, err := t.selectRangeIndexed(ix, col, loID, hiID, plan)
 			return rids, plan, err
 		}
-		rids, err := t.sharded[col].SelectRange(lo, hi)
+		rids, err := t.sharded[col].SelectRange(lo, hi) // cached per frozen epoch inside
 		return rids, plan, err
 	}
-	c := t.cols[col]
+	if loID >= hiID {
+		return nil, plan, nil // no domain value in [lo, hi]
+	}
+	qc, tok := t.Cache(), t.token()
+	key := rangeFP(t.name, col, qcache.LayerTable, loID, hiID)
+	if rids, ok := qc.LookupRange(key, tok); ok {
+		return rids, plan, nil
+	}
+	start := time.Now()
+	out := scanRange(c, lo, hi)
+	// Scan results are in row order, not value order, so they enter as
+	// exact-only entries (no key run, no containment slicing).
+	qc.InsertRange(key, tok, nil, out, recomputeCost(time.Since(start), plan, t.rows))
+	return out, plan, nil
+}
+
+// selectRangeIndexed answers a normalized ID range through the sorted
+// index, consulting and filling the generation-stamped cache.
+func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, loID, hiID uint32, plan Plan) ([]uint32, error) {
+	ord, ok := ix.idx.(cssidx.OrderedIndex)
+	if !ok {
+		return nil, ErrNoOrderedAccess
+	}
+	if loID >= hiID {
+		return nil, nil
+	}
+	qc, tok := t.Cache(), t.token()
+	key := rangeFP(t.name, col, qcache.LayerTable, loID, hiID)
+	if rids, ok := qc.LookupRange(key, tok); ok {
+		return rids, nil
+	}
+	start := time.Now()
+	first := ord.LowerBound(loID)
+	last := ord.LowerBound(hiID)
+	out := make([]uint32, last-first)
+	copy(out, ix.rids[first:last])
+	// The sorted key run rides along so any subrange of this result can be
+	// answered by slicing it (containment reuse).
+	qc.InsertRange(key, tok, ix.keys[first:last], out, recomputeCost(time.Since(start), plan, t.rows))
+	return out, nil
+}
+
+// scanRange is the sequential-scan access path: stream the raw column and
+// collect matching row numbers, in row order.
+func scanRange(c *Column, lo, hi uint32) []uint32 {
 	var out []uint32
 	for row, v := range c.raw {
 		if v >= lo && v <= hi {
 			out = append(out, uint32(row))
 		}
 	}
-	return out, plan, nil
+	return out
 }
 
 // PlanIn chooses between the column's index and a sequential scan for the
@@ -214,27 +276,47 @@ func (t *Table) PlanIn(col string, values []uint32) (Plan, error) {
 // batched probe surface; the scan path streams the column once.  RIDs come
 // back in probe order for index probes and in row order for scans (the set
 // is identical either way); duplicate list values contribute rows once.
+//
+// With a cache attached, the deduplicated list is fingerprinted (in
+// first-occurrence order, so a hit replays the exact RID grouping) and
+// results are stamped with the table generation; sharded-only columns
+// cache inside ShardedIndex.SelectIn per frozen epoch instead.
 func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 	plan, err := t.PlanIn(col, values)
 	if err != nil {
 		return nil, Plan{}, err
 	}
 	if plan.UseIndex {
-		if ix, ok := t.indexes[col]; ok {
-			return ix.SelectIn(values), plan, nil
+		if _, ok := t.indexes[col]; !ok {
+			return t.sharded[col].SelectIn(values), plan, nil
 		}
-		return t.sharded[col].SelectIn(values), plan, nil
 	}
-	want := make(map[uint32]struct{}, len(values))
-	for _, v := range values {
-		want[v] = struct{}{}
+	qc, tok := t.Cache(), t.token()
+	var key qcache.Key
+	if qc.Enabled() {
+		key = inFP(t.name, col, qcache.LayerTable, dedupeValues(values))
+		if rids, ok := qc.Lookup(key, tok); ok {
+			return rids, plan, nil
+		}
 	}
-	c := t.cols[col]
+	start := time.Now()
 	var out []uint32
-	for row, v := range c.raw {
-		if _, hit := want[v]; hit {
-			out = append(out, uint32(row))
+	if plan.UseIndex {
+		out = t.indexes[col].SelectIn(values)
+	} else {
+		want := make(map[uint32]struct{}, len(values))
+		for _, v := range values {
+			want[v] = struct{}{}
 		}
+		c := t.cols[col]
+		for row, v := range c.raw {
+			if _, hit := want[v]; hit {
+				out = append(out, uint32(row))
+			}
+		}
+	}
+	if qc.Enabled() {
+		qc.Insert(key, tok, out, recomputeCost(time.Since(start), plan, t.rows))
 	}
 	return out, plan, nil
 }
@@ -246,24 +328,94 @@ type RangePred struct {
 }
 
 // SelectWhere evaluates a conjunction of range predicates.  Each conjunct
-// picks its own access path (PlanRange), most selective first, and the RID
-// sets are merge-intersected — the standard multi-index AND.  The returned
-// RIDs are ascending.
+// picks its own access path (the PlanRange model), most selective first,
+// and the RID sets are merge-intersected — the standard multi-index AND.
+// The returned RIDs are ascending.
+//
+// The boundary probes are batched: all predicate bounds are translated to
+// domain IDs with one LowerBoundBatch lockstep descent per distinct column
+// (resolveBounds), and the index-path conjuncts resolve their sorted-array
+// positions with one LowerBoundBatch per index — 2×N scalar descents
+// collapse into a handful of lockstep groups whose cache misses overlap.
+//
+// With a cache attached, the whole conjunction is fingerprinted (hit =
+// one lookup, zero probes) and each conjunct's RID run is cached
+// individually, so two dashboards sharing a predicate share its work even
+// when their conjunctions differ — including by containment when one
+// dashboard's range covers the other's.
 func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 	if len(preds) == 0 {
 		return nil, nil, fmt.Errorf("mmdb: SelectWhere needs at least one predicate")
 	}
+	loIDs, hiIDs, err := t.resolveBounds(preds)
+	if err != nil {
+		return nil, nil, err
+	}
 	plans := make([]Plan, len(preds))
+	for i, p := range preds {
+		plans[i] = t.planRangeIDs(p.Col, t.cols[p.Col], loIDs[i], hiIDs[i])
+	}
+	qc, tok := t.Cache(), t.token()
+	var wkey qcache.Key
+	if qc.Enabled() {
+		wkey = whereFP(t.name, preds, loIDs, hiIDs)
+		if rids, ok := qc.Lookup(wkey, tok); ok {
+			return rids, plans, nil
+		}
+	}
+	start := time.Now()
+
+	// Resolve each conjunct's RID set: cached runs first, scans and
+	// sharded probes inline, and the sorted-index conjuncts deferred so
+	// each index answers all its boundary probes in one lockstep batch.
+	sets := make([][]uint32, len(preds))
+	byIndex := map[*SortedIndex][]int{}
+	for i, p := range preds {
+		if loIDs[i] >= hiIDs[i] {
+			continue // empty conjunct: the intersection is empty
+		}
+		ckey := rangeFP(t.name, p.Col, qcache.LayerTable, loIDs[i], hiIDs[i])
+		if rids, ok := qc.LookupRange(ckey, tok); ok {
+			sets[i] = rids
+			continue
+		}
+		if plans[i].UseIndex {
+			if ix, ok := t.indexes[p.Col]; ok {
+				byIndex[ix] = append(byIndex[ix], i)
+				continue
+			}
+			rids, err := t.sharded[p.Col].SelectRange(p.Lo, p.Hi)
+			if err != nil {
+				return nil, nil, err
+			}
+			sets[i] = rids
+			continue
+		}
+		sets[i] = scanRange(t.cols[p.Col], p.Lo, p.Hi)
+		qc.InsertRange(ckey, tok, nil, sets[i], estRecomputeNs(plans[i], t.rows))
+	}
+	for ix, list := range byIndex {
+		probes := make([]uint32, 0, 2*len(list))
+		for _, i := range list {
+			probes = append(probes, loIDs[i], hiIDs[i])
+		}
+		out := make([]int32, len(probes))
+		ix.bord.LowerBoundBatch(probes, out)
+		for j, i := range list {
+			first, last := out[2*j], out[2*j+1]
+			rids := make([]uint32, last-first)
+			copy(rids, ix.rids[first:last])
+			sets[i] = rids
+			ckey := rangeFP(t.name, preds[i].Col, qcache.LayerTable, loIDs[i], hiIDs[i])
+			qc.InsertRange(ckey, tok, ix.keys[first:last], rids, estRecomputeNs(plans[i], t.rows))
+		}
+	}
+
 	// Order conjuncts by estimated selectivity so the cheapest set drives
 	// the intersection.
 	order := make([]int, len(preds))
 	for i := range order {
 		order[i] = i
-		p, err := t.PlanRange(preds[i].Col, preds[i].Lo, preds[i].Hi)
-		if err != nil {
-			return nil, nil, err
-		}
-		plans[i] = p
 	}
 	for a := 1; a < len(order); a++ {
 		for b := a; b > 0 && plans[order[b]].EstRows < plans[order[b-1]].EstRows; b-- {
@@ -272,11 +424,7 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 	}
 	var acc []uint32
 	for step, oi := range order {
-		p := preds[oi]
-		rids, _, err := t.SelectRange(p.Col, p.Lo, p.Hi)
-		if err != nil {
-			return nil, nil, err
-		}
+		rids := sets[oi]
 		sortu32.Sort(rids)
 		if step == 0 {
 			acc = rids
@@ -287,7 +435,63 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 			break
 		}
 	}
+	if qc.Enabled() {
+		cost := time.Since(start).Nanoseconds()
+		est := int64(0)
+		for i := range plans {
+			est += estRecomputeNs(plans[i], t.rows)
+		}
+		if est > cost {
+			cost = est
+		}
+		qc.Insert(wkey, tok, acc, cost)
+	}
 	return acc, plans, nil
+}
+
+// resolveBounds translates every predicate's closed value bounds to
+// normalized half-open domain-ID ranges, grouping the probes by column so
+// each domain tree answers all its bounds in ONE LowerBoundBatch lockstep
+// descent instead of 2×N scalar descents (the batched range-scan item).
+func (t *Table) resolveBounds(preds []RangePred) (loIDs, hiIDs []uint32, err error) {
+	loIDs = make([]uint32, len(preds))
+	hiIDs = make([]uint32, len(preds))
+	groups := map[string][]int{}
+	var cols []string // deterministic resolution order
+	for i, p := range preds {
+		if _, ok := t.cols[p.Col]; !ok {
+			return nil, nil, fmt.Errorf("mmdb: no column %s in table %s", p.Col, t.name)
+		}
+		if _, seen := groups[p.Col]; !seen {
+			cols = append(cols, p.Col)
+		}
+		groups[p.Col] = append(groups[p.Col], i)
+	}
+	for _, col := range cols {
+		list := groups[col]
+		c := t.cols[col]
+		probes := make([]uint32, 0, 2*len(list))
+		for _, i := range list {
+			// The closed upper bound becomes an exclusive lower-bound
+			// probe at Hi+1; Hi = MaxUint32 cannot (it would wrap) and is
+			// fixed up to the domain size below, mirroring IDRange.
+			probes = append(probes, preds[i].Lo, preds[i].Hi+1)
+		}
+		out := make([]int32, len(probes))
+		c.dom.LowerBoundBatch(probes, out)
+		for j, i := range list {
+			loID := uint32(out[2*j])
+			hiID := uint32(out[2*j+1])
+			if preds[i].Hi == ^uint32(0) {
+				hiID = uint32(c.dom.Len())
+			}
+			if hiID < loID {
+				hiID = loID
+			}
+			loIDs[i], hiIDs[i] = loID, hiID
+		}
+	}
+	return loIDs, hiIDs, nil
 }
 
 // intersectSorted merge-intersects two ascending RID slices.

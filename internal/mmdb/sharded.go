@@ -11,30 +11,48 @@ package mmdb
 import (
 	"fmt"
 	"sync/atomic"
+	"time"
 
 	"cssidx"
 	"cssidx/internal/domain"
 	"cssidx/internal/parallel"
+	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
 )
 
 // ShardedIndex is a concurrently servable RID list + sharded search index
 // on one column.  Build with Table.BuildShardedIndex; queries may run from
 // any goroutine, concurrently with AppendRows.
+//
+// Results are cached per frozen epoch when the owning table has a result
+// cache: every entry is stamped with the epoch it was computed under, so a
+// query racing an AppendRows rebuild either hits an entry of exactly its
+// own epoch or computes against its own frozen snapshot — epochs never
+// mix, and a published rebuild invalidates simply by moving the token.
 type ShardedIndex struct {
-	col    *Column
-	shards int
-	cur    atomic.Pointer[shardedEpoch]
+	col     *Column
+	tbl     *Table // owning table: result cache + name for fingerprints
+	colName string
+	shards  int
+	cur     atomic.Pointer[shardedEpoch]
 }
 
 // shardedEpoch is one published rebuild of the index state.
 type shardedEpoch struct {
 	epoch uint64
+	uid   uint64            // globally-unique epoch id (cache token)
 	dom   *domain.IntDomain // the domain the keys were encoded against
 	keys  []uint32          // domain IDs in sorted order
 	rids  []uint32          // RIDs ordered by column value
 	idx   *cssidx.ShardedIndex[uint32]
 }
+
+// epochUID issues globally-unique ids for published epochs.  Epoch() counts
+// per index instance and restarts at 1 when BuildShardedIndex replaces an
+// index, so the *cache* token must come from here: a straggler reader's
+// late insert stamped with an old instance's epoch can then never collide
+// with a fresh instance's tokens.
+var epochUID atomic.Uint64
 
 // BuildShardedIndex builds a sharded index on the column and registers it;
 // shards ≤ 0 picks the cssidx default (GOMAXPROCS, capped at 16).
@@ -44,7 +62,7 @@ func (t *Table) BuildShardedIndex(colName string, shards int) (*ShardedIndex, er
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no column %s in table %s", colName, t.name)
 	}
-	ix := &ShardedIndex{col: col, shards: shards}
+	ix := &ShardedIndex{col: col, tbl: t, colName: colName, shards: shards}
 	ix.rebuild()
 	if old, ok := t.sharded[colName]; ok {
 		old.Close() // release the replaced index's background rebuilder
@@ -73,6 +91,7 @@ func (ix *ShardedIndex) rebuild() {
 	sortu32.SortPairs(keys, rids)
 	next := &shardedEpoch{
 		epoch: 1,
+		uid:   epochUID.Add(1),
 		dom:   ix.col.dom,
 		keys:  keys,
 		rids:  rids,
@@ -115,17 +134,39 @@ func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
 	return out
 }
 
+// qc returns the owning table's result cache (nil when caching is off).
+func (ix *ShardedIndex) qc() *qcache.Cache {
+	if ix.tbl == nil {
+		return nil
+	}
+	return ix.tbl.Cache()
+}
+
 // SelectIn returns the RIDs of rows whose column equals any value in the
 // IN-list, against one table-level epoch: the list is translated through the
 // domain with one lockstep descent per chunk and probed with the sharded
 // index's batched equal-range against one frozen cross-shard snapshot, with
 // large lists fanned across the parallel worker pool.  Duplicate list values
 // contribute their rows once; RIDs come back grouped by list order,
-// ascending within a value.
+// ascending within a value.  Results are cached per frozen epoch.
 func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 	s := ix.cur.Load()
+	distinct := dedupeValues(values)
+	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
+	var key qcache.Key
+	if qc.Enabled() {
+		key = inFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, distinct)
+		if rids, ok := qc.Lookup(key, tok); ok {
+			return rids
+		}
+	}
+	start := time.Now()
 	v := s.idx.Snapshot()
-	return selectInRIDs(s.dom, s.rids, dedupeValues(values), v.EqualRangeBatch, parallel.Options{})
+	out := selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
+	if qc.Enabled() {
+		qc.Insert(key, tok, out, recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+	}
+	return out
 }
 
 // joinFreeze captures the prober state for a whole join: the current
@@ -134,17 +175,35 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 // AppendRows epochs publish while it runs.
 func (ix *ShardedIndex) joinFreeze() joinProber {
 	s := ix.cur.Load()
-	return &shardedJoinProber{dom: s.dom, rids: s.rids, v: s.idx.Snapshot()}
+	p := &shardedJoinProber{dom: s.dom, rids: s.rids, v: s.idx.Snapshot(), epoch: s.uid}
+	if ix.tbl != nil {
+		p.table, p.col = ix.tbl.name, ix.colName
+	}
+	return p
 }
 
 // shardedJoinProber is the frozen join surface of a ShardedIndex.
 type shardedJoinProber struct {
-	dom  *domain.IntDomain
-	rids []uint32
-	v    *cssidx.ShardedView[uint32]
+	dom   *domain.IntDomain
+	rids  []uint32
+	v     *cssidx.ShardedView[uint32]
+	table string // inner identity for join-result caching
+	col   string
+	epoch uint64 // the frozen epoch's globally-unique uid
 }
 
 func (p *shardedJoinProber) joinRIDs() []uint32 { return p.rids }
+
+// cacheTag: a sharded inner is identified by its table and column and
+// versioned by the frozen epoch captured at joinFreeze.
+func (p *shardedJoinProber) cacheTag() (uint64, uint64, bool) {
+	if p.table == "" {
+		return 0, 0, false
+	}
+	h := qcache.HashString(qcache.HashString(qcache.HashSeed, p.table), p.col)
+	h = qcache.HashU32(h, uint32(qcache.LayerEpoch))
+	return h, p.epoch, true
+}
 
 // probeEqual runs the shared probe driver against the frozen shard snapshot.
 func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int {
@@ -152,17 +211,32 @@ func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit fu
 }
 
 // SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in column-
-// value order.
+// value order.  Results are cached per frozen epoch, with containment
+// reuse: a cached wider range on this column (same epoch) answers the
+// query by slicing its sorted RID run.
 func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
 	s := ix.cur.Load()
 	loID, hiID := s.dom.IDRange(lo, hi)
 	if loID >= hiID {
 		return nil, nil
 	}
+	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
+	var key qcache.Key
+	if qc.Enabled() {
+		key = rangeFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, loID, hiID)
+		if rids, ok := qc.LookupRange(key, tok); ok {
+			return rids, nil
+		}
+	}
+	start := time.Now()
 	first := s.idx.LowerBound(loID)
 	last := s.idx.LowerBound(hiID)
 	out := make([]uint32, last-first)
 	copy(out, s.rids[first:last])
+	if qc.Enabled() {
+		qc.InsertRange(key, tok, s.keys[first:last], out,
+			recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+	}
 	return out, nil
 }
 

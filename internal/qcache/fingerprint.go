@@ -1,0 +1,117 @@
+package qcache
+
+// Canonical query fingerprints.  A cache entry is addressed by a Key — a
+// comparable value identifying *what* was asked (table, column, predicate
+// kind, normalized bounds or value-set hash) — and validated by a Token
+// identifying *which state* it was answered against (table generation or
+// frozen index epoch).  Keys deliberately exclude the token: the common
+// dashboard pattern asks the same question across many epochs, and keeping
+// the question stable lets a stale entry be detected (and its slot reused)
+// the moment the same question arrives under a fresh token.
+
+// Kind classifies the query surface a fingerprint came from.  Two surfaces
+// never share entries even when their parameters collide.
+type Kind uint8
+
+const (
+	// KindRange is a one-column range selection (lo ≤ col ≤ hi), with
+	// bounds normalized to half-open domain-ID ranges [Lo, Hi).
+	KindRange Kind = 1 + iota
+	// KindIn is an IN-list selection; Hash fingerprints the deduplicated
+	// value list in first-occurrence order (result order depends on it).
+	KindIn
+	// KindWhere is a conjunction of range predicates; Hash fingerprints
+	// the (column, loID, hiID) triples in predicate order.
+	KindWhere
+	// KindJoin is an indexed nested-loop join result; Hash fingerprints
+	// the inner index identity.
+	KindJoin
+)
+
+// Layer tags which invalidation domain an entry lives in: LayerTable
+// entries are stamped with the owning table's generation (bumped by every
+// AppendRows), LayerEpoch entries with a frozen sharded-index epoch.  The
+// two layers answer the same questions against different snapshots of the
+// data, so they must never share entries.
+type Layer uint8
+
+const (
+	LayerTable Layer = iota
+	LayerEpoch
+)
+
+// Token is the validity stamp of an entry: the (table generation,
+// index/shard epoch) pair the result was computed under.  A lookup hits
+// only when the caller's current token is identical — the epoch-swap
+// serving layer hands the cache its invalidation signal for free.
+type Token struct {
+	Gen   uint64
+	Epoch uint64
+}
+
+// Key is the canonical fingerprint of one query.  It is a comparable
+// struct, used directly as the stripe map key.
+type Key struct {
+	Table string
+	Col   string
+	Kind  Kind
+	Layer Layer
+	// Lo, Hi are the normalized half-open domain-ID bounds of a range
+	// query; zero for the other kinds.
+	Lo, Hi uint32
+	// Hash fingerprints the kind-specific parameters (IN-list values,
+	// predicate list, join inner identity); zero for plain ranges.
+	Hash uint64
+	// N is a collision guard alongside Hash: the value count, predicate
+	// count, or zero.
+	N uint32
+}
+
+// FNV-1a, the same fingerprint primitive the snapshot checksums use.
+const (
+	HashSeed    = 14695981039346656037 // FNV-1a offset basis
+	hashPrime64 = 1099511628211
+)
+
+// HashString folds a string into a running FNV-1a hash.
+func HashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * hashPrime64
+	}
+	h = (h ^ 0xff) * hashPrime64 // terminator: "ab","c" ≠ "a","bc"
+	return h
+}
+
+// HashU32 folds one uint32 into a running FNV-1a hash.
+func HashU32(h uint64, v uint32) uint64 {
+	for i := 0; i < 4; i++ {
+		h = (h ^ (uint64(v) & 0xff)) * hashPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// HashU32s folds a uint32 slice into a running FNV-1a hash.
+func HashU32s(h uint64, vs []uint32) uint64 {
+	for _, v := range vs {
+		h = HashU32(h, v)
+	}
+	return h
+}
+
+// colKey addresses the per-column containment candidate list inside a
+// stripe: every cached range run for one (table, column, layer) triple.
+type colKey struct {
+	table string
+	col   string
+	layer Layer
+}
+
+// stripeFor routes a key to its lock stripe.  Only the identity fields
+// (table, column, kind, layer) participate, so all range entries of one
+// column land in one stripe and containment scans need a single lock.
+func (c *Cache) stripeFor(k Key) *stripe {
+	h := HashString(HashString(HashSeed, k.Table), k.Col)
+	h = HashU32(h, uint32(k.Kind)<<8|uint32(k.Layer))
+	return &c.stripes[h&c.stripeMask]
+}

@@ -1,0 +1,417 @@
+// Package qcache is an epoch-aware, cost-conscious semantic result cache
+// for the mmdb execution engine.  Decision-support traffic repeats itself —
+// the same range, IN-list and join sub-results recur across dashboards and
+// Zipf-skewed probe streams — and in a main-memory system recomputing them
+// burns exactly the cycles the paper's cache-conscious indexes fight to
+// save.  The cache closes that loop: RID-slice results are stored under a
+// canonical query fingerprint (fingerprint.go) and stamped with the
+// (table generation, index/shard epoch) token they were computed against,
+// so the epoch-swap serving layer's rebuild counter doubles as the
+// invalidation signal.  No reader ever blocks on invalidation: a stale
+// entry is simply a token mismatch at its next access.
+//
+// Concurrency: the cache is lock-striped.  A fingerprint's identity fields
+// route it to one of a power-of-two number of stripes, each an independent
+// (map, CLOCK ring, byte budget) triple behind its own mutex; global
+// counters are atomics.  All result slices are copied on insert and on
+// hit, so callers may mutate what they pass in and what they get back.
+//
+// Admission and eviction are benefit-based.  An entry is admitted only
+// when its estimated recompute cost (the caller passes the max of the
+// measured elapsed time and the planner's cost-model estimate) clears
+// Options.MinCostNs and its bytes fit the stripe's share of the budget;
+// expensive entries start with an extra CLOCK life.  Eviction is a
+// CLOCK sweep — scan-resistant because entries enter cold (ref 0) and
+// only observed hits warm them — so one pass of never-repeated queries
+// cannot flush the working set of a hot dashboard.
+//
+// Range entries additionally support containment reuse: a cached [lo, hi)
+// run stores its sorted domain-ID keys next to the RIDs, so any subrange
+// asked under the same token is answered by two binary searches over the
+// cached run and one slice copy, never touching the index.
+package qcache
+
+import (
+	"sort"
+	"sync"
+)
+
+// Options configures New.
+type Options struct {
+	// MaxBytes is the byte budget for cached result payloads (RID runs,
+	// key runs, join pairs).  0 means DefaultMaxBytes.
+	MaxBytes int64
+	// MinCostNs is the admission floor: results whose estimated recompute
+	// cost is below it are not worth a cache slot.  0 means
+	// DefaultMinCostNs; negative admits everything.
+	MinCostNs int64
+	// Stripes is the lock-stripe count, rounded up to a power of two.
+	// 0 means 16.
+	Stripes int
+	// Disabled makes every operation a no-op (the cache still answers
+	// Stats with zeros), so callers can keep one code path.
+	Disabled bool
+}
+
+// Default budget and admission floor.
+const (
+	DefaultMaxBytes  = 64 << 20 // 64 MiB of cached results
+	DefaultMinCostNs = 1000     // don't cache queries cheaper than ~1µs
+)
+
+// entry is one cached result.  Entries are immutable after insertion
+// except for the CLOCK bookkeeping, which is only touched under the
+// stripe lock.
+type entry struct {
+	key Key
+	tok Token
+
+	// Range payload: keys is the sorted domain-ID run aligned with rids
+	// (nil for exact-only entries), and lo/hi the covered ID range.
+	lo, hi uint32
+	keys   []uint32
+
+	rids []uint32
+	// inner is the second column of a join-pair result (rids holds the
+	// outer RIDs); nil for every other kind.
+	inner []uint32
+
+	cost  int64 // estimated recompute cost, ns
+	bytes int64
+	ref   int8 // CLOCK lives: hits warm it, the hand cools it
+	dead  bool // removed from the map; husk awaiting ring reap
+}
+
+// stripe is one independently locked cache partition.
+type stripe struct {
+	mu sync.Mutex
+	m  map[Key]*entry
+	// ranges holds, per column, the range entries carrying a key run —
+	// the candidates for containment reuse.
+	ranges map[colKey][]*entry
+	ring   []*entry // CLOCK ring (insertion order, holes marked dead)
+	hand   int
+	bytes  int64
+	live   int
+}
+
+// Cache is a concurrent, cost-aware query-result cache.  A nil *Cache is
+// valid and behaves as permanently disabled, so holders need no nil checks.
+type Cache struct {
+	opts       Options
+	stripeMask uint64
+	budget     int64 // per-stripe byte budget
+	stripes    []stripe
+
+	stats counters
+}
+
+// New builds a cache.  See Options for defaults.
+func New(opts Options) *Cache {
+	if opts.MaxBytes == 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if opts.MinCostNs == 0 {
+		opts.MinCostNs = DefaultMinCostNs
+	}
+	n := opts.Stripes
+	if n <= 0 {
+		n = 16
+	}
+	pow := 1
+	for pow < n {
+		pow <<= 1
+	}
+	c := &Cache{
+		opts:       opts,
+		stripeMask: uint64(pow - 1),
+		budget:     opts.MaxBytes / int64(pow),
+		stripes:    make([]stripe, pow),
+	}
+	for i := range c.stripes {
+		c.stripes[i].m = make(map[Key]*entry)
+		c.stripes[i].ranges = make(map[colKey][]*entry)
+	}
+	return c
+}
+
+// Enabled reports whether operations can have any effect.
+func (c *Cache) Enabled() bool { return c != nil && !c.opts.Disabled }
+
+// MinCostNs returns the admission floor (0 for a disabled cache), so
+// callers can skip cost bookkeeping that could never be admitted.
+func (c *Cache) MinCostNs() int64 {
+	if !c.Enabled() {
+		return 0
+	}
+	return c.opts.MinCostNs
+}
+
+// MaxEntryBytes returns the largest payload admission can accept (half a
+// stripe's budget share; 0 for a disabled cache), so callers producing
+// large results can skip staging work that would only be rejected.
+func (c *Cache) MaxEntryBytes() int64 {
+	if !c.Enabled() {
+		return 0
+	}
+	return c.budget / 2
+}
+
+// Lookup returns a copy of the RIDs cached under exactly this fingerprint
+// and token.  A token mismatch invalidates the stale entry in place.
+func (c *Cache) Lookup(k Key, tok Token) ([]uint32, bool) {
+	e := c.get(k, tok)
+	if e == nil {
+		return nil, false
+	}
+	return append([]uint32(nil), e.rids...), true
+}
+
+// LookupPair returns copies of a cached join-pair result (outer RIDs,
+// inner RIDs).
+func (c *Cache) LookupPair(k Key, tok Token) (outer, inner []uint32, ok bool) {
+	e := c.get(k, tok)
+	if e == nil {
+		return nil, nil, false
+	}
+	return append([]uint32(nil), e.rids...), append([]uint32(nil), e.inner...), true
+}
+
+// LookupPairCount returns the size of a cached join-pair result without
+// copying the pairs — the count-only join's O(1) hit path.
+func (c *Cache) LookupPairCount(k Key, tok Token) (int, bool) {
+	e := c.get(k, tok)
+	if e == nil {
+		return 0, false
+	}
+	return len(e.rids), true
+}
+
+// olderOrEqual reports whether token a is not newer than b.  Both token
+// components are monotonic counters (generations only ever increment,
+// epoch uids are globally unique and increasing), so a ≤ b component-wise
+// means a's state is provably no fresher than b's.
+func olderOrEqual(a, b Token) bool { return a.Gen <= b.Gen && a.Epoch <= b.Epoch }
+
+// get is the shared exact-match path; it returns the entry with its ref
+// warmed, or nil after counting the miss (and reaping a provably stale
+// entry).  A mismatching entry with a NEWER token is left alone: a
+// straggler reader still holding a pre-swap snapshot must not evict the
+// current epoch's entries out from under the readers they serve.
+// The returned entry is only read — entries are immutable after insert —
+// so the copy-out in the callers runs outside the stripe lock.
+func (c *Cache) get(k Key, tok Token) *entry {
+	if !c.Enabled() {
+		return nil
+	}
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	e, ok := st.m[k]
+	if ok && e.tok == tok {
+		if e.ref < 3 {
+			e.ref++
+		}
+		st.mu.Unlock()
+		c.stats.hits.Add(1)
+		return e
+	}
+	if ok && olderOrEqual(e.tok, tok) {
+		// Same question, older state: the epoch moved on under this entry.
+		st.remove(e, c)
+		c.stats.invalidations.Add(1)
+	}
+	st.mu.Unlock()
+	c.stats.misses.Add(1)
+	return nil
+}
+
+// LookupRange answers a range fingerprint (k.Kind must be KindRange),
+// first by exact match, then by containment: any valid cached run on the
+// same column whose ID range covers [k.Lo, k.Hi) yields the answer by two
+// binary searches and a slice copy.
+func (c *Cache) LookupRange(k Key, tok Token) ([]uint32, bool) {
+	if rids, ok := c.Lookup(k, tok); ok {
+		return rids, true
+	}
+	if !c.Enabled() {
+		return nil, false
+	}
+	st := c.stripeFor(k)
+	ck := colKey{table: k.Table, col: k.Col, layer: k.Layer}
+	st.mu.Lock()
+	for _, e := range st.ranges[ck] {
+		if e.dead || e.tok != tok || e.lo > k.Lo || e.hi < k.Hi {
+			continue
+		}
+		first := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Lo })
+		last := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Hi })
+		out := append([]uint32(nil), e.rids[first:last]...)
+		if e.ref < 3 {
+			e.ref++
+		}
+		st.mu.Unlock()
+		// The exact miss above already counted; trade it for a hit.
+		c.stats.misses.Add(-1)
+		c.stats.hits.Add(1)
+		c.stats.contained.Add(1)
+		return out, true
+	}
+	st.mu.Unlock()
+	return nil, false
+}
+
+// Insert caches a result under the fingerprint and token.  The slice is
+// copied; admission may reject (cost floor, oversized, or unevictable
+// pressure).
+func (c *Cache) Insert(k Key, tok Token, rids []uint32, costNs int64) {
+	c.insert(&entry{key: k, tok: tok, rids: rids, cost: costNs})
+}
+
+// InsertRange caches a range result together with its sorted domain-ID key
+// run (keys[i] is the domain ID at rids[i]; nil disables containment reuse
+// for this entry, e.g. scan-path results in row order).  k.Lo/k.Hi must be
+// the normalized ID bounds the run covers.
+func (c *Cache) InsertRange(k Key, tok Token, keys, rids []uint32, costNs int64) {
+	c.insert(&entry{key: k, tok: tok, lo: k.Lo, hi: k.Hi, keys: keys, rids: rids, cost: costNs})
+}
+
+// InsertPair caches a join-pair result (outer[i] joined inner[i]).
+func (c *Cache) InsertPair(k Key, tok Token, outer, inner []uint32, costNs int64) {
+	c.insert(&entry{key: k, tok: tok, rids: outer, inner: inner, cost: costNs})
+}
+
+// entryOverheadBytes charges each entry for its struct, map slot and ring
+// slot, so byte accounting stays honest for tiny results.
+const entryOverheadBytes = 160
+
+// EntryBytesForPairs returns the bytes a join-pair result of count pairs
+// would be charged, so producers can pair it with MaxEntryBytes and skip
+// staging results admission would reject.
+func EntryBytesForPairs(count int) int64 { return entryOverheadBytes + 8*int64(count) }
+
+func (c *Cache) insert(e *entry) {
+	if !c.Enabled() {
+		return
+	}
+	if c.opts.MinCostNs >= 0 && e.cost < c.opts.MinCostNs {
+		c.stats.rejects.Add(1)
+		return
+	}
+	e.bytes = entryOverheadBytes + 4*int64(len(e.rids)+len(e.keys)+len(e.inner))
+	if e.bytes > c.budget/2 {
+		// One result must never monopolise a stripe.
+		c.stats.rejects.Add(1)
+		return
+	}
+	// Copy the payload before taking the lock; callers own their slices.
+	e.rids = append([]uint32(nil), e.rids...)
+	e.keys = append([]uint32(nil), e.keys...)
+	e.inner = append([]uint32(nil), e.inner...)
+	// Expensive results get one extra CLOCK life up front: benefit-based
+	// admission's counterpart on the eviction side.
+	if c.opts.MinCostNs > 0 && e.cost >= 8*c.opts.MinCostNs {
+		e.ref = 1
+	}
+
+	st := c.stripeFor(e.key)
+	st.mu.Lock()
+	if old, ok := st.m[e.key]; ok {
+		if old.tok != e.tok && !olderOrEqual(old.tok, e.tok) {
+			// The resident entry is fresher: a straggler's late result
+			// must not clobber the current epoch's.
+			st.mu.Unlock()
+			c.stats.rejects.Add(1)
+			return
+		}
+		st.remove(old, c) // replace: same question, same-or-older state
+	}
+	if !st.evictFor(e.bytes, c) {
+		st.mu.Unlock()
+		c.stats.rejects.Add(1)
+		return
+	}
+	st.m[e.key] = e
+	if e.keys != nil {
+		ck := colKey{table: e.key.Table, col: e.key.Col, layer: e.key.Layer}
+		st.ranges[ck] = append(st.ranges[ck], e)
+	}
+	st.ring = append(st.ring, e)
+	st.bytes += e.bytes
+	st.live++
+	// Bound the husk build-up when invalidation outpaces eviction.
+	if len(st.ring) > 4*st.live+64 {
+		st.compactRing()
+	}
+	st.mu.Unlock()
+	c.stats.inserts.Add(1)
+	c.stats.entries.Add(1)
+	c.stats.bytes.Add(e.bytes)
+}
+
+// DropTable removes every entry of one table — the eager half of
+// generation invalidation, called by AppendRows after it publishes the
+// rebuilt state.  Readers of other stripes are untouched; readers of the
+// same stripe wait only for the sweep of that stripe.  Entries inserted
+// by in-flight readers still holding the old state are caught lazily by
+// their token at next access.
+func (c *Cache) DropTable(table string) {
+	if !c.Enabled() {
+		return
+	}
+	dropped := int64(0)
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		for k, e := range st.m {
+			if k.Table == table {
+				st.remove(e, c)
+				dropped++
+			}
+		}
+		st.mu.Unlock()
+	}
+	c.stats.invalidations.Add(dropped)
+}
+
+// remove unlinks an entry from the map and containment list, marks its
+// ring slot dead, and returns its bytes.  Caller holds the stripe lock.
+func (st *stripe) remove(e *entry, c *Cache) {
+	if e.dead {
+		return
+	}
+	delete(st.m, e.key)
+	if e.keys != nil {
+		ck := colKey{table: e.key.Table, col: e.key.Col, layer: e.key.Layer}
+		list := st.ranges[ck]
+		for i, x := range list {
+			if x == e {
+				list[i] = list[len(list)-1]
+				st.ranges[ck] = list[:len(list)-1]
+				break
+			}
+		}
+		if len(st.ranges[ck]) == 0 {
+			delete(st.ranges, ck)
+		}
+	}
+	e.dead = true
+	st.bytes -= e.bytes
+	st.live--
+	c.stats.entries.Add(-1)
+	c.stats.bytes.Add(-e.bytes)
+}
+
+// compactRing filters dead husks out of the CLOCK ring.
+func (st *stripe) compactRing() {
+	live := st.ring[:0]
+	for _, e := range st.ring {
+		if !e.dead {
+			live = append(live, e)
+		}
+	}
+	for i := len(live); i < len(st.ring); i++ {
+		st.ring[i] = nil
+	}
+	st.ring = live
+	st.hand = 0
+}

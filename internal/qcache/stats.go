@@ -1,0 +1,67 @@
+package qcache
+
+import "sync/atomic"
+
+// counters are the cache's live atomics; Stats snapshots them.
+type counters struct {
+	hits          atomic.Int64
+	misses        atomic.Int64
+	contained     atomic.Int64
+	inserts       atomic.Int64
+	rejects       atomic.Int64
+	evictions     atomic.Int64
+	invalidations atomic.Int64
+	entries       atomic.Int64
+	bytes         atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of the cache counters.
+type Stats struct {
+	// Hits counts lookups answered from the cache; ContainedHits is the
+	// subset answered by slicing a covering range run rather than an
+	// exact fingerprint match.
+	Hits          int64
+	ContainedHits int64
+	Misses        int64
+	// Inserts counts admitted entries; Rejects counts results that failed
+	// admission (below the cost floor, oversized, or unevictable
+	// pressure).
+	Inserts int64
+	Rejects int64
+	// Evictions counts CLOCK victims; Invalidations counts entries
+	// removed because their token went stale (lazily at access, or
+	// eagerly by DropTable).
+	Evictions     int64
+	Invalidations int64
+	// Entries and Bytes are the current residency.
+	Entries int64
+	Bytes   int64
+}
+
+// Stats returns a snapshot of the counters.  A nil or disabled cache
+// reports zeros.
+func (c *Cache) Stats() Stats {
+	if c == nil {
+		return Stats{}
+	}
+	return Stats{
+		Hits:          c.stats.hits.Load(),
+		ContainedHits: c.stats.contained.Load(),
+		Misses:        c.stats.misses.Load(),
+		Inserts:       c.stats.inserts.Load(),
+		Rejects:       c.stats.rejects.Load(),
+		Evictions:     c.stats.evictions.Load(),
+		Invalidations: c.stats.invalidations.Load(),
+		Entries:       c.stats.entries.Load(),
+		Bytes:         c.stats.bytes.Load(),
+	}
+}
+
+// HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}

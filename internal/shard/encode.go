@@ -1,0 +1,166 @@
+package shard
+
+// Serialization of a sharded index: the split boundaries plus each shard's
+// sorted key array, captured from one frozen View.  Trees are NOT stored —
+// the paper's position is that CSS directories rebuild cheaply from the
+// sorted arrays (§5.2), so a restore re-runs the builder per shard and
+// only the data that cannot be recomputed (boundaries, keys) travels.
+// A checksum over the concatenated keys guards against corrupt or
+// truncated snapshots restoring silently.
+//
+// Only uint32 key spaces are encodable: the on-disk format needs a fixed
+// key width, and uint32 is the tuned fast path everywhere else too.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"cssidx/internal/qcache"
+)
+
+// Encoding constants.
+const (
+	shardEncMagic   = 0x43535348 // "CSSH"
+	shardEncVersion = 1
+)
+
+// shardHeader is the fixed-size snapshot prefix.
+type shardHeader struct {
+	Magic    uint32
+	Version  uint32
+	Shards   uint32
+	_        uint32 // alignment / reserved
+	N        uint64 // total keys across shards
+	KeysHash uint64
+}
+
+// hashKeys fingerprints the concatenated shard arrays with the shared
+// FNV-1a primitive (internal/qcache).
+func hashKeys(parts [][]uint32) uint64 {
+	h := uint64(qcache.HashSeed)
+	for _, keys := range parts {
+		h = qcache.HashU32s(h, keys)
+	}
+	return h
+}
+
+// SaveU32 writes a restartable snapshot of the view's shard partition:
+// boundaries, per-shard key counts, and each shard's sorted keys.  Capture
+// the View first (Index.View) so the snapshot is one consistent cross-
+// shard epoch set even while rebuilds keep publishing.
+func SaveU32(w io.Writer, v *View[uint32]) error {
+	parts := make([][]uint32, len(v.snaps))
+	for i, s := range v.snaps {
+		parts[i] = s.keys
+	}
+	hd := shardHeader{
+		Magic:    shardEncMagic,
+		Version:  shardEncVersion,
+		Shards:   uint32(len(parts)),
+		N:        uint64(v.Len()),
+		KeysHash: hashKeys(parts),
+	}
+	if err := binary.Write(w, binary.LittleEndian, hd); err != nil {
+		return fmt.Errorf("shard: writing snapshot header: %w", err)
+	}
+	if err := binary.Write(w, binary.LittleEndian, v.bounds); err != nil {
+		return fmt.Errorf("shard: writing boundaries: %w", err)
+	}
+	lens := make([]uint64, len(parts))
+	for i, keys := range parts {
+		lens[i] = uint64(len(keys))
+	}
+	if err := binary.Write(w, binary.LittleEndian, lens); err != nil {
+		return fmt.Errorf("shard: writing shard lengths: %w", err)
+	}
+	for _, keys := range parts {
+		if err := binary.Write(w, binary.LittleEndian, keys); err != nil {
+			return fmt.Errorf("shard: writing shard keys: %w", err)
+		}
+	}
+	return nil
+}
+
+// LoadU32 reads a snapshot written by SaveU32, returning the concatenated
+// sorted keys and the split boundaries, validated (magic, version,
+// checksum, boundary partition).  Rebuild the index with New(keys, bounds,
+// builder) — each shard's tree is reconstructed from its array.
+func LoadU32(r io.Reader) (keys, bounds []uint32, err error) {
+	var hd shardHeader
+	if err := binary.Read(r, binary.LittleEndian, &hd); err != nil {
+		return nil, nil, fmt.Errorf("shard: reading snapshot header: %w", err)
+	}
+	if hd.Magic != shardEncMagic {
+		return nil, nil, fmt.Errorf("shard: bad snapshot magic %#x", hd.Magic)
+	}
+	if hd.Version != shardEncVersion {
+		return nil, nil, fmt.Errorf("shard: unsupported snapshot version %d", hd.Version)
+	}
+	if hd.Shards == 0 {
+		return nil, nil, fmt.Errorf("shard: snapshot holds no shards")
+	}
+	// Sanity-cap the header counts before allocating from them, so a
+	// corrupt header becomes an error instead of a multi-gigabyte
+	// allocation.  Positions are int32 throughout the batch surfaces, so
+	// more than MaxInt32 keys is unrepresentable anyway; the shard cap is
+	// far above any real deployment (NewSharded defaults to ≤16).
+	const maxShards = 1 << 20
+	if hd.Shards > maxShards {
+		return nil, nil, fmt.Errorf("shard: implausible shard count %d", hd.Shards)
+	}
+	if hd.N > 1<<31-1 {
+		return nil, nil, fmt.Errorf("shard: implausible key count %d", hd.N)
+	}
+	bounds = make([]uint32, hd.Shards-1)
+	if err := binary.Read(r, binary.LittleEndian, bounds); err != nil {
+		return nil, nil, fmt.Errorf("shard: reading boundaries: %w", err)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			return nil, nil, fmt.Errorf("shard: snapshot boundaries not strictly ascending at %d", i)
+		}
+	}
+	lens := make([]uint64, hd.Shards)
+	if err := binary.Read(r, binary.LittleEndian, lens); err != nil {
+		return nil, nil, fmt.Errorf("shard: reading shard lengths: %w", err)
+	}
+	total := uint64(0)
+	for _, n := range lens {
+		total += n
+	}
+	if total != hd.N {
+		return nil, nil, fmt.Errorf("shard: shard lengths sum to %d, header says %d", total, hd.N)
+	}
+	keys = make([]uint32, total)
+	parts := make([][]uint32, hd.Shards)
+	off := uint64(0)
+	for i, n := range lens {
+		parts[i] = keys[off : off+n]
+		if err := binary.Read(r, binary.LittleEndian, parts[i]); err != nil {
+			return nil, nil, fmt.Errorf("shard: reading shard %d keys: %w", i, err)
+		}
+		off += n
+	}
+	if hashKeys(parts) != hd.KeysHash {
+		return nil, nil, fmt.Errorf("shard: snapshot checksum mismatch (corrupt or truncated)")
+	}
+	// The concatenation must be sorted and respect the boundaries, or the
+	// rebuilt shards would disagree with the partition.
+	for i := 1; i < len(keys); i++ {
+		if keys[i] < keys[i-1] {
+			return nil, nil, fmt.Errorf("shard: snapshot keys not sorted at %d", i)
+		}
+	}
+	off = 0
+	for i, n := range lens {
+		if i > 0 && n > 0 && keys[off] < bounds[i-1] {
+			return nil, nil, fmt.Errorf("shard: shard %d starts below its boundary", i)
+		}
+		if i < len(bounds) && n > 0 && keys[off+n-1] >= bounds[i] {
+			return nil, nil, fmt.Errorf("shard: shard %d crosses its boundary", i)
+		}
+		off += n
+	}
+	return keys, bounds, nil
+}

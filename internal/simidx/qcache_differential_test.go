@@ -1,0 +1,164 @@
+package simidx_test
+
+// Result-cache differential leg: the harness's adversarial key sets —
+// empty, single-key, all-duplicates, uint32 extremes, node-boundary runs —
+// are loaded into mmdb tables twice, one with the qcache result cache
+// admitting everything and one with caching disabled, and every query
+// surface must answer bit-identically on the fill pass AND the hit pass,
+// before and after an invalidating AppendRows batch.  This extends the
+// index-vs-oracle contract one layer up: caching is an execution detail
+// that must never be observable in results.
+
+import (
+	"fmt"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/mmdb"
+	"cssidx/internal/workload"
+)
+
+func buildCachePairTables(t *testing.T, keys []uint32) (cached, plain *mmdb.Table) {
+	t.Helper()
+	build := func() *mmdb.Table {
+		tab := mmdb.NewTable("t")
+		if err := tab.AddColumn("k", keys); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	cached = build()
+	cached.EnableCache(mmdb.CacheOptions{MinCostNs: -1})
+	plain = build()
+	return cached, plain
+}
+
+func equalU32(a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cacheBattery compares every query surface across the cached/uncached
+// pair, running each query twice on the cached side (fill, then hit).
+func cacheBattery(t *testing.T, cached, plain *mmdb.Table, probes []uint32, tag string) {
+	t.Helper()
+	for i := 0; i+1 < len(probes); i += 2 {
+		lo, hi := probes[i], probes[i+1]
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want, _, err := plain.SelectRange("k", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, _, err := cached.SelectRange("k", lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU32(got, want) {
+				t.Fatalf("%s SelectRange[%d,%d] pass %d: %v != %v", tag, lo, hi, pass, got, want)
+			}
+		}
+		wantW, _, err := plain.SelectWhere([]mmdb.RangePred{{Col: "k", Lo: lo, Hi: hi}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, _, err := cached.SelectWhere([]mmdb.RangePred{{Col: "k", Lo: lo, Hi: hi}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU32(got, wantW) {
+				t.Fatalf("%s SelectWhere[%d,%d] pass %d: %v != %v", tag, lo, hi, pass, got, wantW)
+			}
+		}
+	}
+	for size := 1; size <= len(probes); size *= 4 {
+		list := probes[:size]
+		want, _, err := plain.SelectIn("k", list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, _, err := cached.SelectIn("k", list)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !equalU32(got, want) {
+				t.Fatalf("%s SelectIn size %d pass %d: %v != %v", tag, size, pass, got, want)
+			}
+		}
+	}
+}
+
+func TestQCacheDifferentialAdversarial(t *testing.T) {
+	g := workload.New(77)
+	sets := adversarialSets()
+	sets["random-dups"] = g.Lookups(g.SortedUniform(512), 1024)
+	for name, keys := range sets {
+		t.Run(name, func(t *testing.T) {
+			cached, plain := buildCachePairTables(t, keys)
+			probes := probeSet(keys, g)
+			if len(probes) > 256 {
+				probes = probes[:256]
+			}
+			cacheBattery(t, cached, plain, probes, "gen1")
+			// An invalidating batch: domains renumber, the generation
+			// moves, and everything must still agree.
+			batch := map[string][]uint32{"k": {0, 3, 42, ^uint32(0)}}
+			if err := cached.AppendRows(batch); err != nil {
+				t.Fatal(err)
+			}
+			if err := plain.AppendRows(batch); err != nil {
+				t.Fatal(err)
+			}
+			cacheBattery(t, cached, plain, probes, "gen2")
+			if s := cached.CacheStats(); s.Hits == 0 {
+				t.Fatalf("%s: cache never hit: %+v", name, s)
+			}
+		})
+	}
+}
+
+// TestQCacheDifferentialKinds runs the battery across every index method
+// the table layer accepts, including hash (IN-lists through equality
+// probes) — the cache must be invisible regardless of the access method
+// underneath.
+func TestQCacheDifferentialKinds(t *testing.T) {
+	g := workload.New(78)
+	keys := g.Lookups(g.SortedUniform(400), 900)
+	kinds := []cssidx.Kind{
+		cssidx.KindBinarySearch, cssidx.KindTTree, cssidx.KindBPlusTree,
+		cssidx.KindFullCSS, cssidx.KindLevelCSS, cssidx.KindHash,
+	}
+	for _, kind := range kinds {
+		t.Run(fmt.Sprint(kind), func(t *testing.T) {
+			build := func() *mmdb.Table {
+				tab := mmdb.NewTable("t")
+				if err := tab.AddColumn("k", keys); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := tab.BuildIndex("k", kind, cssidx.Options{}); err != nil {
+					t.Fatal(err)
+				}
+				return tab
+			}
+			cached := build()
+			cached.EnableCache(mmdb.CacheOptions{MinCostNs: -1})
+			plain := build()
+			probes := probeSet(keys, g)[:64]
+			cacheBattery(t, cached, plain, probes, "kinds")
+		})
+	}
+}

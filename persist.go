@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"cssidx/internal/csstree"
+	"cssidx/internal/shard"
 )
 
 // SaveIndex writes a restartable snapshot of a CSS-tree index (either
@@ -44,4 +45,27 @@ func LoadIndex(r io.Reader, keys []Key) (OrderedIndex, error) {
 	default:
 		return nil, fmt.Errorf("cssidx: unknown snapshot variant %T", tr)
 	}
+}
+
+// SaveSharded writes a restartable snapshot of a uint32 sharded index: the
+// shard boundaries and every shard's sorted key array, captured from one
+// frozen cross-shard view (checksummed).  Pending updates not yet absorbed
+// by the background rebuilder are not captured; call Sync first when they
+// must be.  Unlike SaveIndex, the snapshot is self-contained — shards own
+// their arrays after epoch-swaps, so the keys travel with the boundaries.
+func SaveSharded(w io.Writer, x *ShardedIndex[uint32]) error {
+	return shard.SaveU32(w, x.ix.View())
+}
+
+// LoadSharded restores a snapshot written by SaveSharded, rebuilding each
+// shard's CSS-tree from its key array (building is the cheap half of the
+// paper's rebuild-don't-maintain cycle).  opts supplies the serving knobs
+// — NodeSlots, Schedule/SortBatches, Parallel — while Shards and
+// SkewSample are ignored: the partition comes from the snapshot.
+func LoadSharded(r io.Reader, opts ShardedOptions[uint32]) (*ShardedIndex[uint32], error) {
+	keys, bounds, err := shard.LoadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	return newShardedFrom(keys, bounds, opts), nil
 }

@@ -65,3 +65,93 @@ func TestLoadRejectsChangedKeys(t *testing.T) {
 		t.Error("stale snapshot attached to updated array")
 	}
 }
+
+func TestSaveLoadShardedRoundTrip(t *testing.T) {
+	g := workload.New(153)
+	keys := g.SortedWithDuplicates(40000, 4)
+	idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 5})
+	defer idx.Close()
+	// Push some epochs through the background rebuilder so the snapshot
+	// captures post-swap shard arrays, not the build-time slices.
+	idx.Insert(g.Lookups(keys, 500)...)
+	idx.Delete(g.Lookups(keys, 200)...)
+	idx.Sync()
+
+	var buf bytes.Buffer
+	if err := cssidx.SaveSharded(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cssidx.LoadSharded(&buf, cssidx.ShardedOptions[uint32]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != idx.Len() {
+		t.Fatalf("restored %d keys, want %d", loaded.Len(), idx.Len())
+	}
+	if loaded.ShardCount() != idx.ShardCount() {
+		t.Fatalf("restored %d shards, want %d", loaded.ShardCount(), idx.ShardCount())
+	}
+	want, got := idx.Snapshot(), loaded.Snapshot()
+	probes := append(g.Lookups(keys, 3000), g.Misses(keys, 3000)...)
+	for _, k := range probes {
+		if a, b := want.Search(k), got.Search(k); a != b {
+			t.Fatalf("Search(%d): %d vs %d", k, a, b)
+		}
+		if a, b := want.LowerBound(k), got.LowerBound(k); a != b {
+			t.Fatalf("LowerBound(%d): %d vs %d", k, a, b)
+		}
+		af, al := want.EqualRange(k)
+		bf, bl := got.EqualRange(k)
+		if af != bf || al != bl {
+			t.Fatalf("EqualRange(%d): [%d,%d) vs [%d,%d)", k, af, al, bf, bl)
+		}
+	}
+	// The restored index keeps absorbing updates like any other.
+	loaded.Insert(7, 7, 7)
+	loaded.Sync()
+	if got.Len()+3 != loaded.Len() {
+		t.Fatalf("restored index did not absorb inserts: %d vs %d", got.Len()+3, loaded.Len())
+	}
+}
+
+func TestLoadShardedRejectsCorruption(t *testing.T) {
+	g := workload.New(154)
+	keys := g.SortedWithDuplicates(10000, 3)
+	idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 4})
+	defer idx.Close()
+	var buf bytes.Buffer
+	if err := cssidx.SaveSharded(&buf, idx); err != nil {
+		t.Fatal(err)
+	}
+	pristine := buf.Bytes()
+
+	// Flip one key byte deep in the payload: the checksum must catch it.
+	corrupt := append([]byte(nil), pristine...)
+	corrupt[len(corrupt)-5] ^= 0x40
+	if _, err := cssidx.LoadSharded(bytes.NewReader(corrupt), cssidx.ShardedOptions[uint32]{}); err == nil {
+		t.Error("corrupt snapshot restored")
+	}
+	// Truncation must be refused too.
+	if _, err := cssidx.LoadSharded(bytes.NewReader(pristine[:len(pristine)/2]), cssidx.ShardedOptions[uint32]{}); err == nil {
+		t.Error("truncated snapshot restored")
+	}
+	// And a wrong magic number.
+	bad := append([]byte(nil), pristine...)
+	bad[0] ^= 0xff
+	if _, err := cssidx.LoadSharded(bytes.NewReader(bad), cssidx.ShardedOptions[uint32]{}); err == nil {
+		t.Error("bad magic restored")
+	}
+	// Corrupt header counts must error out, not drive huge allocations:
+	// the shard count lives at header offset 8, the key count at 16.
+	hugeShards := append([]byte(nil), pristine...)
+	hugeShards[10] = 0xff // Shards |= 0xff0000 → ~16M shards
+	if _, err := cssidx.LoadSharded(bytes.NewReader(hugeShards), cssidx.ShardedOptions[uint32]{}); err == nil {
+		t.Error("implausible shard count restored")
+	}
+	hugeN := append([]byte(nil), pristine...)
+	hugeN[22] = 0xff // N |= 0xff << 48
+	if _, err := cssidx.LoadSharded(bytes.NewReader(hugeN), cssidx.ShardedOptions[uint32]{}); err == nil {
+		t.Error("implausible key count restored")
+	}
+}

@@ -86,11 +86,18 @@ func NewSharded[K cmp.Ordered](keys []K, opts ShardedOptions[K]) *ShardedIndex[K
 			ns = 16
 		}
 	}
+	bounds := shard.WeightedBoundaries(keys, opts.SkewSample, ns)
+	return newShardedFrom(keys, bounds, opts)
+}
+
+// newShardedFrom wires a sharded index over an explicit partition with the
+// serving options — the shared construction tail of NewSharded and
+// LoadSharded, so a restored index can never diverge from a fresh build.
+func newShardedFrom[K cmp.Ordered](keys []K, bounds []K, opts ShardedOptions[K]) *ShardedIndex[K] {
 	m := opts.NodeSlots
 	if m == 0 {
 		m = 16
 	}
-	bounds := shard.WeightedBoundaries(keys, opts.SkewSample, ns)
 	ix := shard.New(keys, bounds, shardedBuilder[K](m))
 	ix.SetBatchSchedule(opts.schedule())
 	ix.SetParallel(opts.Parallel.engine())
@@ -203,6 +210,11 @@ type ShardedView[K cmp.Ordered] struct {
 
 // Len returns the number of keys in the view.
 func (s *ShardedView[K]) Len() int { return s.v.Len() }
+
+// Epochs returns the epoch of each captured shard snapshot — the
+// invalidation token consumers (result caches, snapshot save/restore)
+// identify this frozen state by.
+func (s *ShardedView[K]) Epochs() []uint64 { return s.v.Epochs() }
 
 // Key returns the key at a global position in the view.
 func (s *ShardedView[K]) Key(pos int) K { return s.v.Key(pos) }
