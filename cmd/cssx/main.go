@@ -15,6 +15,8 @@
 //
 //	cssx -kind levelcss -n 1000000 -probefile probes.txt -batch 512
 //	generate-keys | cssx -probefile - -batch 64 -sortbatch
+//	cssx -probefile probes.txt -schedule auto   # resolves per batch; rows
+//	                                            # show the schedule that ran
 //
 // With -cache, batch mode runs each probe batch as an mmdb IN-list
 // selection through the epoch-aware result cache (internal/qcache) and
@@ -85,7 +87,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		probefile = fs.String("probefile", "", "batch mode: file of probe keys, one per line (\"-\" = stdin)")
 		batchSize = fs.Int("batch", 512, "batch mode: probes per lockstep batch")
-		sortBatch = fs.Bool("sortbatch", false, "batch mode: sort-probes-first schedule (radix sort + dedup)")
+		schedule  = fs.String("schedule", "", "batch mode: probe schedule per batch: auto, input, sorted (default input; auto resolves per batch)")
+		sortBatch = fs.Bool("sortbatch", false, "batch mode: force the sort-probes-first schedule (forerunner of -schedule sorted)")
 		workers   = fs.Int("workers", 1, "batch mode: worker goroutines per batch (0 = GOMAXPROCS; needs an ordered method)")
 		useCache  = fs.Bool("cache", false, "batch mode: run each batch as an mmdb IN-list selection through the result cache; dumps cache stats")
 	)
@@ -118,13 +121,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		if *useCache {
-			if *sortBatch || *workers != 1 {
-				fmt.Fprintln(stderr, "cssx: -cache drives the mmdb selection path; -sortbatch/-workers do not apply")
+			if *sortBatch || *schedule != "" || *workers != 1 {
+				fmt.Fprintln(stderr, "cssx: -cache drives the mmdb selection path; -schedule/-sortbatch/-workers do not apply")
 				return 2
 			}
 			return runCachedBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize)
 		}
-		return runBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *sortBatch, *workers)
+		return runBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *schedule, *sortBatch, *workers)
 	}
 
 	probes := g.Lookups(keys, *lookups)
@@ -180,8 +183,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 // runBatchMode probes the index with keys from a file (or stdin), driving
 // the batched search surface in chunks — fanned across the parallel engine
-// when -workers asks for it — and reporting per-batch timings.
-func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, sortBatch bool, workers int) int {
+// when -workers asks for it — and reporting per-batch timings.  Each batch
+// row carries the schedule that batch ACTUALLY descended under: with
+// -schedule auto the sampled duplicate-density estimate resolves per batch,
+// and tagging the timing with the requested setting would misattribute the
+// sort cost whenever auto flips between batches.
+func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, scheduleName string, sortBatch bool, workers int) int {
 	probes, err := readProbes(probefile)
 	if err != nil {
 		fmt.Fprintf(stderr, "cssx: %v\n", err)
@@ -195,55 +202,79 @@ func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, node
 		fmt.Fprintf(stderr, "cssx: batch size %d must be ≥ 1\n", batchSize)
 		return 2
 	}
+	if sortBatch && scheduleName != "" && scheduleName != "sorted" {
+		fmt.Fprintf(stderr, "cssx: -sortbatch forces the sorted schedule; it conflicts with -schedule %s\n", scheduleName)
+		return 2
+	}
+	var requested cssidx.BatchSchedule
+	switch scheduleName {
+	case "auto":
+		requested = cssidx.ScheduleAuto
+	case "", "input":
+		requested = cssidx.ScheduleInputOrder
+		if sortBatch {
+			requested = cssidx.ScheduleSorted
+		}
+	case "sorted":
+		requested = cssidx.ScheduleSorted
+	default:
+		fmt.Fprintf(stderr, "cssx: unknown schedule %q (auto, input, sorted)\n", scheduleName)
+		return 2
+	}
 	idx := cssidx.New(kinds[kindName], keys, cssidx.Options{NodeBytes: nodeBytes, HashDirSize: hashDir})
 	parallel := workers != 1
-	var batched cssidx.BatchIndex
+	needSorted := requested != cssidx.ScheduleInputOrder
+	var plain cssidx.BatchIndex
+	var sorted *cssidx.SortedBatch
 	switch {
-	case sortBatch || parallel:
+	case needSorted || parallel:
 		ord, ok := idx.(cssidx.OrderedIndex)
 		if !ok {
-			fmt.Fprintf(stderr, "cssx: -sortbatch/-workers need an ordered method, %s has none\n", idx.Name())
+			fmt.Fprintf(stderr, "cssx: -schedule/-sortbatch/-workers need an ordered method, %s has none\n", idx.Name())
 			return 2
 		}
 		b := cssidx.BatchOrderedIndex(cssidx.AsBatchOrdered(ord))
 		if parallel {
 			b = cssidx.NewParallel(ord, cssidx.ParallelOptions{Workers: workers})
 		}
-		if sortBatch {
+		plain = b
+		if needSorted {
 			// Sorting stays on the caller; the descent underneath fans out.
-			batched = cssidx.NewSortedBatch(b)
-		} else {
-			batched = b
+			sorted = cssidx.NewSortedBatch(b)
 		}
 	default:
-		batched = cssidx.AsBatch(idx)
+		plain = cssidx.AsBatch(idx)
 	}
 
-	sched := "input-order"
-	if sortBatch {
-		sched = "sorted"
-	}
+	sched := requested.String()
 	switch {
 	case workers == 0:
 		sched += ", GOMAXPROCS workers"
 	case parallel:
 		sched += fmt.Sprintf(", %d workers", workers)
 	}
-	fmt.Fprintf(stdout, "%s over n=%d keys: %d probes in batches of %d (%s schedule)\n\n",
+	fmt.Fprintf(stdout, "%s over n=%d keys: %d probes in batches of %d (%s schedule requested)\n\n",
 		idx.Name(), len(keys), len(probes), batchSize, sched)
 	tw := tabwriter.NewWriter(stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(tw, "batch\tkeys\thits\tµs\tMkeys/s")
+	fmt.Fprintln(tw, "batch\tkeys\tschedule\thits\tµs\tMkeys/s")
 	out := make([]int32, batchSize)
 	hits, total := 0, 0.0
 	minB, maxB := 0.0, 0.0
+	schedCounts := map[cssidx.BatchSchedule]int{}
 	for b, base := 0, 0; base < len(probes); b, base = b+1, base+batchSize {
 		end := base + batchSize
 		if end > len(probes) {
 			end = len(probes)
 		}
 		chunk := probes[base:end]
+		resolved := requested.Resolve(chunk)
+		schedCounts[resolved]++
 		start := time.Now()
-		batched.SearchBatch(chunk, out[:len(chunk)])
+		if resolved == cssidx.ScheduleSorted {
+			sorted.SearchBatch(chunk, out[:len(chunk)])
+		} else {
+			plain.SearchBatch(chunk, out[:len(chunk)])
+		}
 		el := time.Since(start).Seconds()
 		h := 0
 		for _, r := range out[:len(chunk)] {
@@ -259,12 +290,14 @@ func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, node
 		if el > maxB {
 			maxB = el
 		}
-		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\n", b, len(chunk), h, el*1e6, float64(len(chunk))/el/1e6)
+		fmt.Fprintf(tw, "%d\t%d\t%s\t%d\t%.1f\t%.2f\n", b, len(chunk), resolved, h, el*1e6, float64(len(chunk))/el/1e6)
 	}
 	tw.Flush()
 	nBatches := (len(probes) + batchSize - 1) / batchSize
 	fmt.Fprintf(stdout, "\ntotal: %d probes, %d hits, %.1fµs (%.2f Mkeys/s); per-batch min %.1fµs max %.1fµs over %d batches\n",
 		len(probes), hits, total*1e6, float64(len(probes))/total/1e6, minB*1e6, maxB*1e6, nBatches)
+	fmt.Fprintf(stdout, "resolved schedules: %d input-order, %d sorted\n",
+		schedCounts[cssidx.ScheduleInputOrder], schedCounts[cssidx.ScheduleSorted])
 	return 0
 }
 

@@ -166,3 +166,78 @@ func TestExploreHashDirOverride(t *testing.T) {
 		t.Fatalf("exit=%d stderr=%s", code, errb.String())
 	}
 }
+
+// TestBatchModeResolvedSchedule pins the -schedule fix: timings must be
+// tagged with the schedule each batch actually descended under, and the
+// summary counts the resolution outcomes.
+func TestBatchModeResolvedSchedule(t *testing.T) {
+	// Heavily duplicated probes: auto resolves every large batch to sorted.
+	g := workload.New(1)
+	keys := g.SortedUniform(4000)
+	var b strings.Builder
+	for i := 0; i < 2048; i++ {
+		fmt.Fprintf(&b, "%d\n", keys[i%7])
+	}
+	dupPath := filepath.Join(t.TempDir(), "dups.txt")
+	if err := os.WriteFile(dupPath, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "levelcss", "-n", "4000", "-probefile", dupPath, "-batch", "512", "-schedule", "auto"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "auto schedule requested") {
+		t.Errorf("missing requested schedule in header:\n%s", s)
+	}
+	if !strings.Contains(s, "sorted") {
+		t.Errorf("duplicate-saturated batches should resolve to sorted:\n%s", s)
+	}
+	if !strings.Contains(s, "resolved schedules: 0 input-order, 4 sorted") {
+		t.Errorf("missing/incorrect resolution summary:\n%s", s)
+	}
+
+	// Distinct uniform probes: auto resolves to input-order.
+	probePath, _ := writeProbeFile(t, 4000, 600)
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-kind", "levelcss", "-n", "4000", "-probefile", probePath, "-batch", "512", "-schedule", "auto"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	if s := out.String(); !strings.Contains(s, "0 sorted") {
+		t.Errorf("uniform distinct batches should resolve to input-order:\n%s", s)
+	}
+
+	// Explicit schedules and the -sortbatch forerunner still work.
+	for _, extra := range [][]string{{"-schedule", "sorted"}, {"-schedule", "input"}, {"-schedule", "sorted", "-workers", "2"}} {
+		out.Reset()
+		errb.Reset()
+		args := append([]string{"-kind", "levelcss", "-n", "4000", "-probefile", probePath, "-batch", "128"}, extra...)
+		if code := run(args, &out, &errb); code != 0 {
+			t.Fatalf("args %v: exit=%d stderr=%s", extra, code, errb.String())
+		}
+	}
+	// Unknown schedule errors.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-kind", "levelcss", "-n", "4000", "-probefile", probePath, "-schedule", "wat"}, &out, &errb); code != 2 {
+		t.Fatalf("unknown schedule: exit=%d, want 2", code)
+	}
+}
+
+// TestBatchModeScheduleConflict pins the -sortbatch/-schedule conflict error.
+func TestBatchModeScheduleConflict(t *testing.T) {
+	path, _ := writeProbeFile(t, 1000, 50)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "levelcss", "-n", "1000", "-probefile", path, "-schedule", "auto", "-sortbatch"}, &out, &errb); code != 2 {
+		t.Fatalf("conflicting flags: exit=%d, want 2", code)
+	}
+	// -sortbatch with the matching explicit schedule is fine.
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-kind", "levelcss", "-n", "1000", "-probefile", path, "-schedule", "sorted", "-sortbatch"}, &out, &errb); code != 0 {
+		t.Fatalf("agreeing flags: exit=%d stderr=%s", code, errb.String())
+	}
+}

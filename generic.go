@@ -30,6 +30,14 @@ type Generic[K cmp.Ordered] struct {
 	dir     []K
 	g       csstree.Geometry
 	routing int // routing keys per node: m (full) or m−1 (level)
+
+	// When K's width permits — K is uint32 — the same slices re-typed,
+	// cached once at build time: the batch descents then run through the
+	// dispatched node-search kernels of internal/binsearch (SIMD/SWAR/
+	// scalar) instead of the generic comparison loop, without paying an
+	// interface conversion per call.
+	keysU32 []uint32
+	dirU32  []uint32
 }
 
 // NewGenericFull builds a full CSS-tree over the sorted keys with m keys
@@ -56,6 +64,7 @@ func NewGenericLevel[K cmp.Ordered](keys []K, m int) *Generic[K] {
 func buildGeneric[K cmp.Ordered](keys []K, g csstree.Geometry, routing int) *Generic[K] {
 	t := &Generic[K]{keys: keys, g: g, routing: routing}
 	if g.Internal == 0 {
+		t.cacheU32()
 		return t
 	}
 	t.dir = make([]K, g.DirectoryKeys())
@@ -70,7 +79,17 @@ func buildGeneric[K cmp.Ordered](keys []K, g csstree.Geometry, routing int) *Gen
 			t.dir[base+j] = keys[g.LeafMaxIndex(c)]
 		}
 	}
+	t.cacheU32()
 	return t
+}
+
+// cacheU32 records the uint32 views of the key and directory arrays when K
+// is uint32, unlocking the dispatched node-search kernels for batches.
+func (t *Generic[K]) cacheU32() {
+	if ku, ok := any(t.keys).([]uint32); ok {
+		t.keysU32 = ku
+		t.dirU32, _ = any(t.dir).([]uint32)
+	}
 }
 
 // Search returns the index of the leftmost occurrence of key, or -1.

@@ -1,0 +1,76 @@
+package cssidx
+
+import (
+	"testing"
+
+	"cssidx/internal/binsearch"
+	"cssidx/internal/workload"
+)
+
+// TestGenericUint32KernelFastPath checks the uint32 fast path of the
+// Generic batch descent — which routes through the dispatched node-search
+// kernels — against the scalar generic descent, under every available tier
+// and for both tree variants.
+func TestGenericUint32KernelFastPath(t *testing.T) {
+	prev := binsearch.ActiveKernel()
+	defer binsearch.SetKernel(prev)
+	g := workload.New(440)
+	for _, kern := range []binsearch.Kernel{binsearch.KernelScalar, binsearch.KernelSWAR, binsearch.KernelSIMD} {
+		if !binsearch.SetKernel(kern) {
+			continue
+		}
+		for _, n := range []int{0, 1, 33, 5000, 80000} {
+			keys := g.SortedWithDuplicates(n, 4)
+			probes := append(g.Lookups(keys, 1500), g.Misses(keys, 500)...)
+			probes = append(probes, 0, ^uint32(0), 7)
+			for name, tr := range map[string]*Generic[uint32]{
+				"full":  NewGenericFull(keys, 16),
+				"level": NewGenericLevel(keys, 16),
+			} {
+				if tr.keysU32 == nil && n > 0 {
+					t.Fatalf("%s: uint32 fast path not cached", name)
+				}
+				out := make([]int32, len(probes))
+				tr.LowerBoundBatch(probes, out)
+				first := make([]int32, len(probes))
+				last := make([]int32, len(probes))
+				tr.EqualRangeBatch(probes, first, last)
+				sr := make([]int32, len(probes))
+				tr.SearchBatch(probes, sr)
+				for i, p := range probes {
+					if int(out[i]) != tr.LowerBound(p) {
+						t.Fatalf("%v %s n=%d: LowerBoundBatch[%d]=%d scalar=%d (key %d)", kern, name, n, i, out[i], tr.LowerBound(p), p)
+					}
+					f, l := tr.EqualRange(p)
+					if int(first[i]) != f || int(last[i]) != l {
+						t.Fatalf("%v %s n=%d: EqualRangeBatch[%d]=(%d,%d) scalar=(%d,%d)", kern, name, n, i, first[i], last[i], f, l)
+					}
+					if int(sr[i]) != tr.Search(p) {
+						t.Fatalf("%v %s n=%d: SearchBatch[%d]=%d scalar=%d", kern, name, n, i, sr[i], tr.Search(p))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestGenericNonUint32SkipsFastPath pins that other key widths keep the
+// comparison descent (and still answer correctly).
+func TestGenericNonUint32SkipsFastPath(t *testing.T) {
+	keys := make([]uint64, 1000)
+	for i := range keys {
+		keys[i] = uint64(i) * 3
+	}
+	tr := NewGenericFull(keys, 8)
+	if tr.keysU32 != nil {
+		t.Fatal("uint64 tree cached a uint32 fast path")
+	}
+	probes := []uint64{0, 1, 2, 3, 1500, 2997, 5000}
+	out := make([]int32, len(probes))
+	tr.LowerBoundBatch(probes, out)
+	for i, p := range probes {
+		if int(out[i]) != tr.LowerBound(p) {
+			t.Fatalf("batch[%d]=%d scalar=%d", i, out[i], tr.LowerBound(p))
+		}
+	}
+}

@@ -55,6 +55,7 @@ type Record struct {
 type Recorder struct {
 	mu      sync.Mutex
 	records []Record
+	context map[string]any
 }
 
 // Add appends one record.
@@ -62,6 +63,30 @@ func (r *Recorder) Add(rec Record) {
 	r.mu.Lock()
 	r.records = append(r.records, rec)
 	r.mu.Unlock()
+}
+
+// SetContext attaches one environment fact to the emitted JSON document
+// (alongside the built-in go version / GOMAXPROCS): experiments use it for
+// run-wide measurements that are not a cell — the node-search kernel the
+// dispatch selected, the calibrated MinBatchPerWorker.
+func (r *Recorder) SetContext(key string, v any) {
+	r.mu.Lock()
+	if r.context == nil {
+		r.context = map[string]any{}
+	}
+	r.context[key] = v
+	r.mu.Unlock()
+}
+
+// Context returns a copy of the attached context.
+func (r *Recorder) Context() map[string]any {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]any, len(r.context))
+	for k, v := range r.context {
+		out[k] = v
+	}
+	return out
 }
 
 // Records returns the accumulated records in insertion order.
@@ -83,14 +108,16 @@ func (c Config) record(rec Record) {
 // machines and commits.
 func (r *Recorder) WriteJSON(w io.Writer) error {
 	doc := struct {
-		GoVersion  string   `json:"go_version"`
-		GOMAXPROCS int      `json:"gomaxprocs"`
-		NumCPU     int      `json:"num_cpu"`
-		Records    []Record `json:"records"`
+		GoVersion  string         `json:"go_version"`
+		GOMAXPROCS int            `json:"gomaxprocs"`
+		NumCPU     int            `json:"num_cpu"`
+		Context    map[string]any `json:"context,omitempty"`
+		Records    []Record       `json:"records"`
 	}{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
+		Context:    r.Context(),
 		Records:    r.Records(),
 	}
 	enc := json.NewEncoder(w)
@@ -140,6 +167,7 @@ func Experiments() []Experiment {
 		{"shard", "Extension: sharded serving throughput under concurrent epoch-swap rebuilds", runShard},
 		{"batch", "Extension: batched lockstep probing vs scalar (batch size, skew, join)", runBatch},
 		{"parallel", "Extension: parallel batch engine (batch size × workers × skew, branch-free nodes)", runParallel},
+		{"nodesearch", "Extension: node-search kernel ablation (scalar/swar/simd × node size × skew)", runNodeSearch},
 		{"reuse", "Extension: epoch-aware result cache (hit rate × skew × append rate)", runReuse},
 	}
 }

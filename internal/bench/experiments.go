@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strconv"
 
 	"cssidx"
 	"cssidx/internal/analytic"
@@ -28,13 +29,29 @@ func runTable1(cfg Config, w io.Writer) error {
 	p := analytic.DefaultParams()
 	t := newTable(w)
 	t.row("Parameter", "Typical Value")
-	t.row("R (record identifier)", fmt.Sprintf("%d bytes", p.R))
-	t.row("K (key)", fmt.Sprintf("%d bytes", p.K))
-	t.row("P (child pointer)", fmt.Sprintf("%d bytes", p.P))
-	t.row("n (records)", fmt.Sprintf("%d", p.N))
-	t.row("h (hash fudge factor)", fmt.Sprintf("%.1f", p.H))
-	t.row("c (cache line)", fmt.Sprintf("%d bytes", p.C))
-	t.row("s (node size in cache lines)", fmt.Sprintf("%d", p.S))
+	for _, row := range []struct {
+		label, param, unit string
+		value              float64
+	}{
+		{"R (record identifier)", "R", "bytes", float64(p.R)},
+		{"K (key)", "K", "bytes", float64(p.K)},
+		{"P (child pointer)", "P", "bytes", float64(p.P)},
+		{"n (records)", "n", "", float64(p.N)},
+		{"h (hash fudge factor)", "h", "", p.H},
+		{"c (cache line)", "c", "bytes", float64(p.C)},
+		{"s (node size in cache lines)", "s", "", float64(p.S)},
+	} {
+		cell := strconv.FormatFloat(row.value, 'f', -1, 64)
+		if row.unit != "" {
+			cell += " " + row.unit
+		}
+		t.row(row.label, cell)
+		cfg.record(Record{
+			Experiment: "table1",
+			Params:     map[string]any{"param": row.param},
+			Metric:     "value", Value: row.value, Unit: row.unit,
+		})
+	}
 	t.flush()
 	return nil
 }
@@ -49,6 +66,8 @@ func runFig5(cfg Config, w io.Writer) error {
 			continue
 		}
 		t.row(fmt.Sprintf("%d", r.M), fmt.Sprintf("%.4f", r.Comparison), fmt.Sprintf("%.4f", r.CacheAcc))
+		cfg.record(Record{Experiment: "fig5", Params: map[string]any{"m": r.M, "ratio": "comparison"}, Metric: "level_over_full", Value: r.Comparison})
+		cfg.record(Record{Experiment: "fig5", Params: map[string]any{"m": r.M, "ratio": "cache-access"}, Metric: "level_over_full", Value: r.CacheAcc})
 	}
 	t.flush()
 	return nil
@@ -70,6 +89,8 @@ func runFig6(cfg Config, w io.Writer) error {
 			fmt.Sprintf("%.2f", r.CmpsLeaf),
 			fmt.Sprintf("%.2f", r.TotalCmps),
 			fmt.Sprintf("%.2f", r.CacheMisses))
+		cfg.record(Record{Experiment: "fig6", Params: map[string]any{"method": r.Method.String()}, Metric: "total_cmps", Value: r.TotalCmps})
+		cfg.record(Record{Experiment: "fig6", Params: map[string]any{"method": r.Method.String()}, Metric: "cache_misses", Value: r.CacheMisses})
 	}
 	t.flush()
 	return nil
@@ -87,6 +108,8 @@ func runFig7(cfg Config, w io.Writer) error {
 			ordered = "N"
 		}
 		t.row(m.String(), mb(analytic.SpaceIndirect(m, p)), mb(analytic.SpaceDirect(m, p)), ordered)
+		cfg.record(Record{Experiment: "fig7", Params: map[string]any{"method": m.String(), "mode": "indirect"}, Metric: "space", Value: analytic.SpaceIndirect(m, p), Unit: "bytes"})
+		cfg.record(Record{Experiment: "fig7", Params: map[string]any{"method": m.String(), "mode": "direct"}, Metric: "space", Value: analytic.SpaceDirect(m, p), Unit: "bytes"})
 	}
 	t.flush()
 	return nil
@@ -116,6 +139,7 @@ func runFig8(cfg Config, w io.Writer) error {
 					v = analytic.SpaceDirect(m, pp)
 				}
 				cells = append(cells, mb(v))
+				cfg.record(Record{Experiment: "fig8", Params: map[string]any{"method": m.String(), "mode": mode, "n": n}, Metric: "space", Value: v, Unit: "bytes"})
 			}
 			t.row(cells...)
 		}
@@ -161,6 +185,8 @@ func runFig9(cfg Config, w io.Writer) error {
 		t.row(fmt.Sprintf("%d", n), secs(full), secs(level),
 			fmt.Sprintf("%.1fM", float64(n)/full/1e6),
 			fmt.Sprintf("%.1fM", float64(n)/level/1e6))
+		cfg.record(Record{Experiment: "fig9", Params: map[string]any{"variant": "full", "n": n}, Metric: "build_time", Value: full, Unit: "s"})
+		cfg.record(Record{Experiment: "fig9", Params: map[string]any{"variant": "level", "n": n}, Metric: "build_time", Value: level, Unit: "s"})
 	}
 	t.flush()
 	fmt.Fprintln(w, "\nshape target (paper): linear in n; 25M keys < 1s; level builds faster than full")
@@ -220,6 +246,10 @@ func varyArraySizes(cfg Config) []int {
 func runVaryArray(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	machine := machineFor(cfg)
+	id := "fig10"
+	if cfg.Machine == "pc" {
+		id = "fig11"
+	}
 	g := workload.New(cfg.Seed)
 
 	for _, nodeSlots := range []int{8, 16} {
@@ -233,6 +263,9 @@ func runVaryArray(cfg Config, w io.Writer) error {
 			for _, s := range simMethods(keys, nodeSlots, cssidx.DefaultHashDirSize(n)) {
 				res := simidx.Run(s, machine, probes)
 				cells = append(cells, secs(res.Seconds))
+				cfg.record(Record{Experiment: id, Params: map[string]any{
+					"method": s.Name(), "n": n, "node_slots": nodeSlots, "mode": "simulated",
+				}, Metric: "lookup_time", Value: res.Seconds, Unit: "s"})
 			}
 			t.row(cells...)
 		}
@@ -248,7 +281,11 @@ func runVaryArray(cfg Config, w io.Writer) error {
 		probes := g.Lookups(keys, cfg.Lookups)
 		cells := []string{fmt.Sprintf("%d", n)}
 		for _, idx := range hostMethods(keys, 64, cssidx.DefaultHashDirSize(n)) {
-			cells = append(cells, secs(MeasureLookups(idx.Search, probes, cfg.Repeats)))
+			sec := MeasureLookups(idx.Search, probes, cfg.Repeats)
+			cells = append(cells, secs(sec))
+			cfg.record(Record{Experiment: id, Params: map[string]any{
+				"method": idx.Name(), "n": n, "mode": "host",
+			}, Metric: "lookup_time", Value: sec, Unit: "s"})
 		}
 		t.row(cells...)
 	}
@@ -273,6 +310,10 @@ func runFig11(cfg Config, w io.Writer) error {
 func runVaryNode(cfg Config, w io.Writer) error {
 	cfg = cfg.withDefaults()
 	machine := machineFor(cfg)
+	id := "fig12"
+	if cfg.Machine == "pc" {
+		id = "fig13"
+	}
 	g := workload.New(cfg.Seed)
 	rows := []int{5_000_000, 10_000_000}
 	if cfg.Quick {
@@ -288,24 +329,33 @@ func runVaryNode(cfg Config, w io.Writer) error {
 		t.row("entries/node", "T-tree", "B+-tree", "full CSS", "level CSS")
 		for _, e := range entries {
 			cells := []string{fmt.Sprintf("%d", e)}
+			rec := func(method string, sec float64) {
+				cfg.record(Record{Experiment: id, Params: map[string]any{
+					"method": method, "n": n, "entries": e,
+				}, Metric: "lookup_time", Value: sec, Unit: "s"})
+			}
 			// T-tree: e 4-byte slots → (4e−8)/8 pairs.
 			if cap := (4*e - 8) / 8; cap >= 2 {
 				res := simidx.Run(simidx.NewTTree(keys, cap, cachesim.NewAddrAlloc()), machine, probes)
 				cells = append(cells, secs(res.Seconds))
+				rec("T-tree", res.Seconds)
 			} else {
 				cells = append(cells, "-")
 			}
 			if e%2 == 0 {
 				res := simidx.Run(simidx.NewBPlusTree(keys, e, cachesim.NewAddrAlloc()), machine, probes)
 				cells = append(cells, secs(res.Seconds))
+				rec("B+-tree", res.Seconds)
 			} else {
 				cells = append(cells, "-")
 			}
 			res := simidx.Run(simidx.NewFullCSS(keys, e, cachesim.NewAddrAlloc()), machine, probes)
 			cells = append(cells, secs(res.Seconds))
+			rec("full CSS", res.Seconds)
 			if mem.IsPow2(e) {
 				res := simidx.Run(simidx.NewLevelCSS(keys, e, cachesim.NewAddrAlloc()), machine, probes)
 				cells = append(cells, secs(res.Seconds))
+				rec("level CSS", res.Seconds)
 			} else {
 				cells = append(cells, "-")
 			}
@@ -330,6 +380,9 @@ func runVaryNode(cfg Config, w io.Writer) error {
 		sim := simidx.NewHash(keys, d, mem.CacheLine, cachesim.NewAddrAlloc())
 		res := simidx.Run(sim, machine, probes)
 		t.row(fmt.Sprintf("2^%d", mem.Log2(d)), secs(res.Seconds), mb(float64(sim.SpaceBytes())))
+		cfg.record(Record{Experiment: id, Params: map[string]any{
+			"method": "hash", "n": n, "dir": d,
+		}, Metric: "lookup_time", Value: res.Seconds, Unit: "s"})
 	}
 	t.flush()
 	fmt.Fprintln(w, "\nshape target (paper): CSS minimum at the cache-line node size; bumps at")
@@ -362,6 +415,9 @@ func runFig14(cfg Config, w io.Writer) error {
 	var points []analytic.Point
 	label := func(m analytic.Method, lbl string, space int, t float64) {
 		points = append(points, analytic.Point{Method: m, Label: lbl, Space: float64(space), Time: t})
+		cfg.record(Record{Experiment: "fig14", Params: map[string]any{
+			"method": m.String(), "config": lbl, "space_bytes": space,
+		}, Metric: "lookup_time", Value: t, Unit: "s"})
 	}
 
 	label(analytic.BinarySearch, "", 0,

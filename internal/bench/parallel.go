@@ -24,6 +24,8 @@ import (
 
 	"cssidx"
 	"cssidx/internal/binsearch"
+	"cssidx/internal/parallel"
+	"cssidx/internal/sortu32"
 	"cssidx/internal/workload"
 )
 
@@ -103,10 +105,34 @@ func runParallel(cfg Config, w io.Writer) error {
 	}
 	t.flush()
 
-	// Sharded serving under the engine: per-shard runs across workers.
+	// Adaptive worker sizing: a fresh engine calibrates MinBatchPerWorker
+	// from its first large batch; surface the value it derives for this
+	// index's measured per-probe cost.
+	adaptive := cssidx.NewParallel(level, cssidx.ParallelOptions{})
+	calibBS := min(65536, len(dists[0].probes))
+	calibOut := make([]int32, calibBS)
+	adaptive.LowerBoundBatch(dists[0].probes[:calibBS], calibOut)
+	if tun, ok := adaptive.(cssidx.BatchTuning); ok {
+		if mbw, perNs, calibrated := tun.BatchCalibration(); calibrated {
+			fmt.Fprintf(w, "\nadaptive worker sizing: measured %.1f ns/probe -> MinBatchPerWorker %d\n", perNs, mbw)
+			if cfg.Recorder != nil {
+				cfg.Recorder.SetContext("calibrated_min_batch_per_worker", mbw)
+				cfg.Recorder.SetContext("calibrated_per_probe_ns", perNs)
+			}
+			cfg.record(Record{
+				Experiment: "parallel",
+				Params:     map[string]any{"surface": "calibration", "n": n},
+				Metric:     "min_batch_per_worker", Value: float64(mbw), Unit: "probes",
+			})
+		}
+	}
+
+	// Sharded serving under the engine: per-shard runs across workers.  The
+	// index runs ScheduleAuto; every record carries the schedule the batch
+	// actually resolved to, not just the requested "auto".
 	fmt.Fprintf(w, "\nsharded serving (4 shards, auto schedule), batch 65536, workers sweep\n\n")
 	ts := newTable(w)
-	ts.row("workload", "workers", "Mprobes/s")
+	ts.row("workload", "workers", "resolved schedule", "Mprobes/s")
 	for _, d := range dists {
 		for _, workers := range parallelWorkerCounts {
 			idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{
@@ -117,24 +143,97 @@ func runParallel(cfg Config, w io.Writer) error {
 			if bs > len(d.probes) {
 				bs = len(d.probes)
 			}
+			// Auto resolves per chunk; resolve every chunk the measurement
+			// will run so the record reflects what actually descended (one
+			// cell's chunks can legitimately split between schedules).
+			sortedChunks, inputChunks := 0, 0
+			for lo := 0; lo < len(d.probes); lo += bs {
+				hi := min(lo+bs, len(d.probes))
+				if idx.ResolveSchedule(d.probes[lo:hi]) == cssidx.ScheduleSorted {
+					sortedChunks++
+				} else {
+					inputChunks++
+				}
+			}
+			resolved := "input-order"
+			switch {
+			case inputChunks == 0:
+				resolved = "sorted"
+			case sortedChunks > 0:
+				resolved = "mixed"
+			}
 			sec := measureBatchedLB(idx, d.probes, bs, cfg.Repeats)
 			mps := float64(len(d.probes)) / sec / 1e6
-			ts.row(d.name, fmt.Sprintf("%d", workers), fmt.Sprintf("%.2f", mps))
+			ts.row(d.name, fmt.Sprintf("%d", workers), resolved, fmt.Sprintf("%.2f", mps))
 			cfg.record(Record{
 				Experiment: "parallel",
-				Params:     map[string]any{"workload": d.name, "batch": bs, "workers": workers, "n": n, "surface": "sharded"},
-				Metric:     "throughput", Value: mps, Unit: "Mprobes/s",
+				Params: map[string]any{
+					"workload": d.name, "batch": bs, "workers": workers, "n": n,
+					"surface": "sharded", "schedule_requested": "auto",
+					"schedule_resolved": resolved,
+					"chunks_sorted":     sortedChunks, "chunks_input": inputChunks,
+				},
+				Metric: "throughput", Value: mps, Unit: "Mprobes/s",
 			})
 			idx.Close()
 		}
 	}
 	ts.flush()
 
-	// Branch-free vs scalar node search: the per-node ablation under the
-	// kernels.  Random in-cache probes make the scalar version mispredict.
-	fmt.Fprintf(w, "\nbranch-free vs scalar node search (uniform random probes, in-cache node)\n\n")
+	// Key-ordered schedule sort phase: the parallel MSB-radix partition vs
+	// the worker count, on a 1M-probe batch — the serial fraction the
+	// ROADMAP flagged for skewed streams.  (On a single-vCPU runner the
+	// worker columns flatten; the partition itself still wins by skipping
+	// radix passes per bucket — both effects land in the records.)
+	sortN := 1 << 20
+	if cfg.Quick {
+		sortN = 1 << 15
+	}
+	fmt.Fprintf(w, "\nkey-ordered schedule sort phase: parallel radix partition, %d probes\n\n", sortN)
+	tsort := newTable(w)
+	tsort.row("workload", "workers", "Mkeys/s", "vs sequential")
+	for _, d := range dists {
+		src := make([]uint32, sortN)
+		for i := range src {
+			src[i] = d.probes[i%len(d.probes)]
+		}
+		keysBuf := make([]uint32, sortN)
+		valsBuf := make([]uint32, sortN)
+		tmpK := make([]uint32, sortN)
+		tmpV := make([]uint32, sortN)
+		var seqSec float64
+		for _, workers := range parallelWorkerCounts {
+			opts := parallel.Options{Workers: workers}
+			hist := make([]int32, sortu32.HistLen(sortN, opts))
+			sec := Measure(func() {
+				copy(keysBuf, src)
+				for i := range valsBuf {
+					valsBuf[i] = uint32(i)
+				}
+				sortu32.SortPairsParallel(keysBuf, valsBuf, tmpK, tmpV, hist, opts)
+			}, cfg.Repeats)
+			if workers == 1 {
+				seqSec = sec
+			}
+			mks := float64(sortN) / sec / 1e6
+			tsort.row(d.name, fmt.Sprintf("%d", workers), fmt.Sprintf("%.2f", mks), fmt.Sprintf("%.2fx", seqSec/sec))
+			cfg.record(Record{
+				Experiment: "parallel",
+				Params:     map[string]any{"workload": d.name, "workers": workers, "n": sortN, "surface": "sort-phase"},
+				Metric:     "throughput", Value: mks, Unit: "Mkeys/s",
+			})
+		}
+	}
+	tsort.flush()
+
+	// Dispatched vs branchy-scalar node search: the per-node ablation under
+	// the kernels (random in-cache probes mispredict the branchy version;
+	// the dispatched tier is whatever binsearch selected at init — see the
+	// `nodesearch` experiment for the full scalar/swar/simd ablation).
+	fmt.Fprintf(w, "\ndispatched (%s) vs branchy scalar node search (uniform random probes, in-cache node)\n\n",
+		binsearch.ActiveKernel())
 	tn := newTable(w)
-	tn.row("node slots", "scalar Mops/s", "branch-free Mops/s", "speedup")
+	tn.row("node slots", "scalar Mops/s", "dispatched Mops/s", "speedup")
 	for _, m := range []int{15, 16, 31, 32} {
 		nodeKeys := g.SortedDistinct(m)
 		nodeProbes := append(g.Lookups(nodeKeys, 4096), g.Misses(nodeKeys, 4096)...)

@@ -50,6 +50,8 @@ func runSkew(cfg Config, w io.Writer) error {
 			fmt.Sprintf("%.1f", float64(ir.Cmps)/float64(ir.Lookups)),
 			fmt.Sprintf("%.1f", float64(br.Cmps)/float64(br.Lookups)),
 			secs(ir.Seconds), secs(br.Seconds))
+		cfg.record(Record{Experiment: "skew", Params: map[string]any{"section": "interp-vs-binary", "distribution": d.name, "method": "interpolation"}, Metric: "lookup_time", Value: ir.Seconds, Unit: "s"})
+		cfg.record(Record{Experiment: "skew", Params: map[string]any{"section": "interp-vs-binary", "distribution": d.name, "method": "binary"}, Metric: "lookup_time", Value: br.Seconds, Unit: "s"})
 	}
 	t.flush()
 	fmt.Fprintln(w, "shape target: interp ≪ binary on linear keys, advantage shrinking/inverting with skew")
@@ -77,6 +79,8 @@ func runSkew(cfg Config, w io.Writer) error {
 		res := simidx.Run(sim, machine, probes)
 		avg, max := hashChainStats(d.keys, dir)
 		t.row(d.name, fmt.Sprintf("%.2f", avg), fmt.Sprintf("%d", max), secs(res.Seconds))
+		cfg.record(Record{Experiment: "skew", Params: map[string]any{"section": "hash-chains", "pattern": d.name}, Metric: "avg_chain", Value: avg, Unit: "buckets"})
+		cfg.record(Record{Experiment: "skew", Params: map[string]any{"section": "hash-chains", "pattern": d.name}, Metric: "lookup_time", Value: res.Seconds, Unit: "s"})
 	}
 	t.flush()
 	fmt.Fprintln(w, "shape target: clustered keys explode chain lengths and lookup time (§3.5)")
@@ -99,6 +103,8 @@ func runSkew(cfg Config, w io.Writer) error {
 		zipf := simidx.Run(s(), machine, zipfProbes)
 		t.row(uni.Sim, secs(uni.Seconds), secs(zipf.Seconds),
 			fmt.Sprintf("%.2fx", uni.Seconds/zipf.Seconds))
+		cfg.record(Record{Experiment: "skew", Params: map[string]any{"section": "warm-cache", "method": uni.Sim, "workload": "uniform"}, Metric: "lookup_time", Value: uni.Seconds, Unit: "s"})
+		cfg.record(Record{Experiment: "skew", Params: map[string]any{"section": "warm-cache", "method": uni.Sim, "workload": "zipf s=1.3"}, Metric: "lookup_time", Value: zipf.Seconds, Unit: "s"})
 	}
 	t.flush()
 	fmt.Fprintln(w, "shape target: every method gains from hot keys; CSS-trees reach the floor fastest (§5.1)")

@@ -108,34 +108,12 @@ func SearchGeneric(a []uint32, key uint32) int {
 // overhead.  All take a full window of exactly m slots.
 
 // NodeLowerBound returns the leftmost index in a[:m] with a[i] >= key, or m.
-// It dispatches to a branch-free unrolled routine when m matches a
-// specialised size and to the branch-free halving loop otherwise; see the
-// bflb* family below for why the hot path carries no data-dependent branch.
+// It routes through the package-level kernel dispatch (see nodesearch.go):
+// the AVX2 vector kernel where the CPU has it, the word-parallel SWAR
+// kernel otherwise, or whichever tier CSSIDX_NODESEARCH pinned.  Every tier
+// answers bit-identically to NodeLowerBoundScalar on every sorted window.
 func NodeLowerBound(a []uint32, m int, key uint32) int {
-	switch m {
-	case 3:
-		return bflb3(a, key)
-	case 4:
-		return bflb4(a, key)
-	case 7:
-		return bflb7(a, key)
-	case 8:
-		return bflb8(a, key)
-	case 15:
-		return bflb15(a, key)
-	case 16:
-		return bflb16(a, key)
-	case 31:
-		return bflb31(a, key)
-	case 32:
-		return bflb32(a, key)
-	case 63:
-		return bflb63(a, key)
-	case 64:
-		return bflb64(a, key)
-	default:
-		return nodeLowerBoundBF(a, m, key)
-	}
+	return nodeLowerBoundDispatch(a, m, key)
 }
 
 // NodeLowerBoundScalar is NodeLowerBound through the original scalar

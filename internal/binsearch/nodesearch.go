@@ -1,0 +1,220 @@
+package binsearch
+
+// Node-search kernel dispatch.  Once the cache line holding a node is
+// resident, the probe's cost is the within-node search itself — "Fast Query
+// Processing by Distributing an Index over CPU Caches" makes the point that
+// with a cache-optimal layout the probe loop, not the miss count, becomes
+// the bottleneck.  Three kernel tiers answer the same leftmost-≥ question:
+//
+//	scalar  the bflb* branch-free ALU ladders (PR 3): one borrow-bit compare
+//	        per halving step, a serial dependency chain of ~log₂ m steps.
+//	swar    word-parallel borrow-bit counting: slot pairs are packed into
+//	        uint64 words and compared lane-wise with the carry-isolation
+//	        trick (two uint32 compares per uint64 subtraction); because the
+//	        node is sorted, the lower bound is simply the count of slots
+//	        below the key, so the per-pair counts sum associatively — the
+//	        kernel is a short independent-op reduction instead of a serial
+//	        chain, and an out-of-order core overlaps all of it.  Pure Go,
+//	        portable everywhere.
+//	simd    AVX2 assembly (amd64): unsigned compares answer 8 slots per
+//	        instruction against the broadcast key, VPMOVMSKB extracts the
+//	        compare mask, POPCNT counts it — a 16-slot node is answered in
+//	        ~3 vector instructions.  arm64 NEON is a follow-on; without a
+//	        vector unit the dispatch defaults to the scalar ladder (swar
+//	        is an explicit opt-in: it trails the ladder on hot nodes).
+//
+// The tier is selected once at package init from CPU feature detection
+// (hand-rolled CPUID, no external deps) and can be overridden with
+// CSSIDX_NODESEARCH=scalar|swar|simd for testing and ablation.  Every tier
+// is bit-identical to NodeLowerBoundScalar on every sorted window — the
+// differential battery in nodesearch_test.go proves it exhaustively.
+
+import "os"
+
+// Kernel identifies a node-search dispatch tier.
+type Kernel uint8
+
+const (
+	// KernelScalar is the branch-free ALU ladder family (bflb*), the PR 3
+	// baseline the other tiers are measured against.
+	KernelScalar Kernel = iota
+	// KernelSWAR is the word-parallel borrow-bit counting kernel (pure Go).
+	KernelSWAR
+	// KernelSIMD is the AVX2 assembly kernel (amd64 with AVX2 only).
+	KernelSIMD
+)
+
+// String names the tier the way CSSIDX_NODESEARCH spells it.
+func (k Kernel) String() string {
+	switch k {
+	case KernelScalar:
+		return "scalar"
+	case KernelSWAR:
+		return "swar"
+	case KernelSIMD:
+		return "simd"
+	default:
+		return "Kernel(?)"
+	}
+}
+
+// ParseKernel maps a CSSIDX_NODESEARCH value to its tier.
+func ParseKernel(name string) (Kernel, bool) {
+	switch name {
+	case "scalar":
+		return KernelScalar, true
+	case "swar":
+		return KernelSWAR, true
+	case "simd":
+		return KernelSIMD, true
+	}
+	return 0, false
+}
+
+// EnvKernel is the environment variable that overrides the dispatched tier.
+const EnvKernel = "CSSIDX_NODESEARCH"
+
+// defaultKernel is the tier feature detection (plus the env override)
+// picked at init; activeKernel is the live dispatch table every
+// NodeLowerBound call routes through — written once at init (or by
+// SetKernel in tests and ablations), so the switch on it predicts
+// perfectly in hot loops.
+var (
+	defaultKernel = detectKernel()
+	activeKernel  = defaultKernel
+)
+
+// kernelEnvValue returns the raw CSSIDX_NODESEARCH value (for tests).
+func kernelEnvValue() string { return os.Getenv(EnvKernel) }
+
+// detectKernel picks the fastest available tier, honouring the env override.
+// An override naming an unavailable tier (simd on a non-AVX2 host) degrades
+// to the best portable tier rather than failing, so one CI matrix works on
+// any runner.
+func detectKernel() Kernel {
+	if name := os.Getenv(EnvKernel); name != "" {
+		if k, ok := ParseKernel(name); ok && KernelAvailable(k) {
+			return k
+		}
+	}
+	if simdAvailable {
+		return KernelSIMD
+	}
+	// Without a vector unit the bflb ladder wins on hot nodes (measured:
+	// the SWAR reduction retires more µops than the short serial chain
+	// costs in latency), so swar stays an explicit opt-in tier.
+	return KernelScalar
+}
+
+// KernelAvailable reports whether the tier can run on this CPU.
+func KernelAvailable(k Kernel) bool {
+	return k != KernelSIMD || simdAvailable
+}
+
+// ActiveKernel returns the tier NodeLowerBound currently dispatches to.
+func ActiveKernel() Kernel { return activeKernel }
+
+// SetKernel switches the dispatched tier and reports whether the tier is
+// available (false leaves the dispatch unchanged).  It is NOT synchronised
+// with concurrent searches — call it from tests, benchmarks and ablation
+// setup only, never while an index is serving.
+func SetKernel(k Kernel) bool {
+	if !KernelAvailable(k) {
+		return false
+	}
+	activeKernel = k
+	return true
+}
+
+// nodeLowerBoundDispatch answers the leftmost-≥ search through the active
+// tier.  Split from NodeLowerBound so the wrapper stays inlinable.  The two
+// cache-line node sizes (16 full / 15 level routing keys) are every uint32
+// tree's per-level hot case, so the SIMD arm jumps straight into their asm
+// kernels without the extra frame of the general m switch.
+func nodeLowerBoundDispatch(a []uint32, m int, key uint32) int {
+	switch activeKernel {
+	case KernelSIMD:
+		switch m {
+		case 16:
+			_ = a[15]
+			return int(simdLB16(&a[0], key))
+		case 15:
+			_ = a[14]
+			return int(simdLB15(&a[0], key))
+		}
+		return nodeLowerBoundSIMD(a, m, key)
+	case KernelSWAR:
+		return nodeLowerBoundSWAR(a, m, key)
+	default:
+		return nodeLowerBoundScalarTier(a, m, key)
+	}
+}
+
+// nodeLowerBoundScalarTier is the scalar tier body: the bflb* ladders.
+func nodeLowerBoundScalarTier(a []uint32, m int, key uint32) int {
+	switch m {
+	case 3:
+		return bflb3(a, key)
+	case 4:
+		return bflb4(a, key)
+	case 7:
+		return bflb7(a, key)
+	case 8:
+		return bflb8(a, key)
+	case 15:
+		return bflb15(a, key)
+	case 16:
+		return bflb16(a, key)
+	case 31:
+		return bflb31(a, key)
+	case 32:
+		return bflb32(a, key)
+	case 63:
+		return bflb63(a, key)
+	case 64:
+		return bflb64(a, key)
+	default:
+		return nodeLowerBoundBF(a, m, key)
+	}
+}
+
+// --- multi-probe kernel ------------------------------------------------------
+
+// GroupWidth is the lockstep group width the multi-probe kernel answers at
+// once; it matches the batch kernels of internal/csstree.
+const GroupWidth = 16
+
+// GroupOnOneNode reports whether a lockstep group's probes all sit on the
+// same node — true on the root pass for every group, and common on upper
+// levels under the key-ordered schedule, where neighbouring probes walk
+// neighbouring paths.  The OR-fold is branch-free: ~1 ALU op per member,
+// cheap against the GroupWidth node searches NodeLowerBound16 can collapse.
+func GroupOnOneNode(nodes *[GroupWidth]int32) bool {
+	acc := int32(0)
+	for _, d := range nodes {
+		acc |= d ^ nodes[0]
+	}
+	return acc == 0
+}
+
+// NodeLowerBound16 answers GroupWidth probes against ONE node of m sorted
+// slots: out[j] receives the leftmost index in a[:m] with a[i] >= probes[j],
+// for every j.  probes and out must hold at least GroupWidth entries.
+//
+// When a lockstep group's probes all sit on the same node — always true at
+// the root, and common on upper levels under the key-ordered schedule — the
+// group's 16 independent node searches collapse into one call.  The SIMD
+// tier answers it from registers: the probes are loaded once into two
+// vectors and each node slot is broadcast and compared against the whole
+// group, so the node is read m times total instead of 16·m, with no
+// per-probe call overhead.  Other tiers loop the single-probe kernel; the
+// results are bit-identical in every tier.
+func NodeLowerBound16(a []uint32, m int, probes []uint32, out []int32) {
+	if activeKernel == KernelSIMD && m >= 1 {
+		simdLBMulti16(&a[0], int64(m), &probes[0], &out[0])
+		return
+	}
+	for j := 0; j < GroupWidth; j++ {
+		out[j] = int32(NodeLowerBound(a, m, probes[j]))
+	}
+}

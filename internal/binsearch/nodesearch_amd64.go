@@ -1,0 +1,109 @@
+package binsearch
+
+// AVX2 node-search kernels (see nodesearch_amd64.s) and the hand-rolled CPU
+// feature detection that gates them.  No external dependencies: AVX2 needs
+// CPUID leaf 7 EBX bit 5, and — because the OS must save the YMM state
+// across context switches — CPUID leaf 1 OSXSAVE+AVX plus XGETBV confirming
+// XMM and YMM state are enabled.  This is the same probe sequence
+// golang.org/x/sys/cpu performs; inlined here so the package stays
+// dependency-free.
+
+// simdAvailable reports whether the AVX2 tier can run on this CPU.
+var simdAvailable = detectAVX2()
+
+// cpuidAsm and xgetbv0 are implemented in cpu_amd64.s.
+func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv0() (eax, edx uint32)
+
+func detectAVX2() bool {
+	maxID, _, _, _ := cpuidAsm(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidAsm(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	// XCR0 bits 1 (SSE/XMM) and 2 (AVX/YMM) must both be OS-enabled.
+	if xcr0, _ := xgetbv0(); xcr0&0x6 != 0x6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidAsm(7, 0)
+	return ebx7&(1<<5) != 0 // AVX2
+}
+
+// The single-node kernels answer one probe against a node of exactly the
+// named slot count; simdCountLT counts slots < key over any multiple of 8;
+// simdLBMulti16 answers 16 probes against one node of m slots.  All read
+// exactly the window they are given (the 2ᵗ−1 sizes use overlapped loads
+// that stay inside the window), so no padding is required.
+
+//go:noescape
+func simdLB7(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB8(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB15(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB16(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB31(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB32(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB63(p *uint32, key uint32) int64
+
+//go:noescape
+func simdLB64(p *uint32, key uint32) int64
+
+//go:noescape
+func simdCountLT(p *uint32, n8 int64, key uint32) int64
+
+//go:noescape
+func simdLBMulti16(node *uint32, m int64, probes *uint32, out *int32)
+
+// nodeLowerBoundSIMD is the SIMD tier body: the specialised vector kernels
+// for the node sizes the trees use, the strip-mined count kernel for other
+// windows of ≥ 8 slots (leaf remainders), and the SWAR kernel below a
+// vector's width.
+func nodeLowerBoundSIMD(a []uint32, m int, key uint32) int {
+	if m < 8 {
+		if m == 7 {
+			_ = a[6]
+			return int(simdLB7(&a[0], key))
+		}
+		return nodeLowerBoundSWAR(a, m, key)
+	}
+	_ = a[m-1]
+	switch m {
+	case 8:
+		return int(simdLB8(&a[0], key))
+	case 15:
+		return int(simdLB15(&a[0], key))
+	case 16:
+		return int(simdLB16(&a[0], key))
+	case 31:
+		return int(simdLB31(&a[0], key))
+	case 32:
+		return int(simdLB32(&a[0], key))
+	case 63:
+		return int(simdLB63(&a[0], key))
+	case 64:
+		return int(simdLB64(&a[0], key))
+	default:
+		n8 := m &^ 7
+		c := int(simdCountLT(&a[0], int64(n8), key))
+		for i := n8; i < m; i++ {
+			c += ltu(a[i], key)
+		}
+		return c
+	}
+}

@@ -1,0 +1,29 @@
+//go:build !amd64
+
+package binsearch
+
+// Non-amd64 builds have no vector kernel yet (arm64 NEON is the planned
+// follow-on): the SIMD tier is unavailable and the dispatch defaults to
+// the scalar branch-free ladder (swar stays an explicit opt-in tier).
+
+const simdAvailable = false
+
+// nodeLowerBoundSIMD is never reachable when simdAvailable is false; it
+// exists so the dispatch switch compiles on every architecture.
+func nodeLowerBoundSIMD(a []uint32, m int, key uint32) int {
+	return nodeLowerBoundSWAR(a, m, key)
+}
+
+// The asm kernels referenced by the (unreachable) SIMD dispatch arms.
+func simdLB15(p *uint32, key uint32) int64 {
+	panic("binsearch: simd kernel on non-amd64 build")
+}
+
+func simdLB16(p *uint32, key uint32) int64 {
+	panic("binsearch: simd kernel on non-amd64 build")
+}
+
+// simdLBMulti16 is unreachable on this architecture (see NodeLowerBound16).
+func simdLBMulti16(node *uint32, m int64, probes *uint32, out *int32) {
+	panic("binsearch: simd kernel on non-amd64 build")
+}

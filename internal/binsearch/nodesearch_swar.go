@@ -1,0 +1,66 @@
+package binsearch
+
+// The SWAR tier: word-parallel lower bound by borrow-bit counting.
+//
+// Because a node window is sorted, the leftmost slot ≥ key is simply the
+// COUNT of slots < key — so instead of the bflb* halving ladder (a serial
+// chain of ~log₂ m dependent steps, each waiting on the previous load), the
+// kernel compares every slot against the key and sums the borrow bits.  The
+// per-slot compares carry no dependences between each other, so the whole
+// node search is a flat reduction the out-of-order core runs at its issue
+// width.
+//
+// Two uint32 compares ride on each uint64 ALU op: adjacent slots are packed
+// into one 64-bit word and compared lane-wise against the broadcast key
+// with the carry-isolation subtraction of Hacker's Delight §2-18 — the high
+// bit of each lane is masked so the borrow of the low lane cannot ripple
+// into the high lane, then the true per-lane borrow (the unsigned x<y
+// predicate, HD §2-12) is reassembled into the lane MSBs and popcounted.
+//
+// Pure Go, no unsafe, no alignment requirements: this is the portable tier
+// every architecture gets, and the fallback the SIMD tier uses for windows
+// narrower than a vector.
+
+import "math/bits"
+
+// swarH has the MSB of each 32-bit lane set.
+const swarH = 0x8000000080000000
+
+// swarBroadcast replicates key into both lanes.
+func swarBroadcast(key uint32) uint64 {
+	return uint64(key) * 0x0000_0001_0000_0001
+}
+
+// swarLT2 returns the number of lanes of w strictly below the corresponding
+// lane of k2 (0, 1 or 2): d is the lane-wise difference w−k2 computed with
+// the borrow-isolation trick, and the (¬w&k2)|((¬w|k2)&d) form rebuilds
+// each lane's borrow-out — the unsigned less-than predicate — in its MSB.
+func swarLT2(w, k2 uint64) int {
+	d := ((w | swarH) - (k2 &^ swarH)) ^ ((w ^ ^k2) & swarH)
+	return bits.OnesCount64(((^w & k2) | ((^w | k2) & d)) & swarH)
+}
+
+// nodeLowerBoundSWAR is the SWAR tier body: leftmost index in a[:m] with
+// a[i] >= key, computed as the count of slots below key.  The loop body
+// retires four slot-pairs per iteration; all pair counts are independent.
+func nodeLowerBoundSWAR(a []uint32, m int, key uint32) int {
+	s := a[:m]
+	k2 := swarBroadcast(key)
+	c := 0
+	i := 0
+	for ; i+8 <= m; i += 8 {
+		p := s[i : i+8 : i+8]
+		w0 := uint64(p[0]) | uint64(p[1])<<32
+		w1 := uint64(p[2]) | uint64(p[3])<<32
+		w2 := uint64(p[4]) | uint64(p[5])<<32
+		w3 := uint64(p[6]) | uint64(p[7])<<32
+		c += (swarLT2(w0, k2) + swarLT2(w1, k2)) + (swarLT2(w2, k2) + swarLT2(w3, k2))
+	}
+	for ; i+2 <= m; i += 2 {
+		c += swarLT2(uint64(s[i])|uint64(s[i+1])<<32, k2)
+	}
+	if i < m {
+		c += ltu(s[i], key)
+	}
+	return c
+}

@@ -1,0 +1,239 @@
+package binsearch
+
+// Differential battery for the node-search dispatch tiers: every available
+// kernel (scalar ladder, SWAR, SIMD) must answer bit-identically to the
+// branchy NodeLowerBoundScalar oracle on every node size m∈{1..64}, over
+// adversarial windows (duplicate-saturated, boundary-value, padded) and
+// every distinguishing probe, for both the single-probe and the 16-wide
+// multi-probe kernels.  A fuzz target extends the same invariant to
+// arbitrary windows.
+
+import (
+	"fmt"
+	"testing"
+
+	"cssidx/internal/workload"
+)
+
+// availableKernels lists the tiers this host can run.
+func availableKernels() []Kernel {
+	ks := []Kernel{KernelScalar, KernelSWAR}
+	if KernelAvailable(KernelSIMD) {
+		ks = append(ks, KernelSIMD)
+	}
+	return ks
+}
+
+// withKernel runs fn under each available tier, restoring the default.
+func withKernel(t *testing.T, fn func(t *testing.T, k Kernel)) {
+	t.Helper()
+	prev := ActiveKernel()
+	defer SetKernel(prev)
+	for _, k := range availableKernels() {
+		if !SetKernel(k) {
+			t.Fatalf("SetKernel(%v) refused an available kernel", k)
+		}
+		t.Run(k.String(), func(t *testing.T) { fn(t, k) })
+	}
+}
+
+func TestKernelParseAndAvailability(t *testing.T) {
+	for _, k := range []Kernel{KernelScalar, KernelSWAR, KernelSIMD} {
+		got, ok := ParseKernel(k.String())
+		if !ok || got != k {
+			t.Fatalf("ParseKernel(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParseKernel("avx512"); ok {
+		t.Fatal("ParseKernel accepted an unknown tier")
+	}
+	if !KernelAvailable(KernelScalar) || !KernelAvailable(KernelSWAR) {
+		t.Fatal("portable tiers must always be available")
+	}
+	if !KernelAvailable(KernelSIMD) && SetKernel(KernelSIMD) {
+		t.Fatal("SetKernel accepted an unavailable kernel")
+	}
+}
+
+// TestDispatchTiersExhaustive is the acceptance battery: every tier ×
+// every node size 1..64 × adversarial windows × every distinguishing probe.
+func TestDispatchTiersExhaustive(t *testing.T) {
+	withKernel(t, func(t *testing.T, k Kernel) {
+		g := workload.New(7)
+		for m := 1; m <= 64; m++ {
+			for wi, w := range windowsFor(m, g) {
+				for _, p := range probesFor(w) {
+					want := NodeLowerBoundScalar(w, m, p)
+					if ref := refNodeLB(w, m, p); want != ref {
+						t.Fatalf("oracle disagrees with linear scan: m=%d window=%d probe=%d", m, wi, p)
+					}
+					if got := NodeLowerBound(w, m, p); got != want {
+						t.Fatalf("%v: m=%d window=%d probe=%d: got %d want %d (window %v)",
+							k, m, wi, p, got, want, w)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestDispatchTiersDuplicateSaturated drives windows that are nothing but
+// duplicate runs — the shape of CSS nodes over heavily-skewed columns.
+func TestDispatchTiersDuplicateSaturated(t *testing.T) {
+	withKernel(t, func(t *testing.T, k Kernel) {
+		for m := 1; m <= 64; m++ {
+			// Two runs of duplicates split at every possible point,
+			// including 0 and m (all-equal windows).
+			for split := 0; split <= m; split++ {
+				w := make([]uint32, m)
+				for i := range w {
+					if i < split {
+						w[i] = 100
+					} else {
+						w[i] = 200
+					}
+				}
+				for _, p := range []uint32{0, 99, 100, 101, 199, 200, 201, ^uint32(0)} {
+					want := NodeLowerBoundScalar(w, m, p)
+					if got := NodeLowerBound(w, m, p); got != want {
+						t.Fatalf("%v: m=%d split=%d probe=%d: got %d want %d", k, m, split, p, got, want)
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestNodeLowerBound16AllTiers checks the multi-probe kernel against 16
+// independent single-probe answers for every node size and tier.
+func TestNodeLowerBound16AllTiers(t *testing.T) {
+	withKernel(t, func(t *testing.T, k Kernel) {
+		g := workload.New(11)
+		for m := 1; m <= 64; m++ {
+			for _, w := range windowsFor(m, g) {
+				probes := probesFor(w)
+				// Pad to a multiple of the group width.
+				for len(probes)%GroupWidth != 0 {
+					probes = append(probes, probes[0])
+				}
+				var out [GroupWidth]int32
+				for base := 0; base+GroupWidth <= len(probes); base += GroupWidth {
+					group := probes[base : base+GroupWidth]
+					NodeLowerBound16(w, m, group, out[:])
+					for j, p := range group {
+						want := NodeLowerBoundScalar(w, m, p)
+						if int(out[j]) != want {
+							t.Fatalf("%v: m=%d probe=%d slot %d: got %d want %d", k, m, p, j, out[j], want)
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// TestDefaultKernelIsBestAvailable pins the init-time selection policy.
+func TestDefaultKernelIsBestAvailable(t *testing.T) {
+	// The test process may have been started with CSSIDX_NODESEARCH set (the
+	// CI matrix legs do exactly that); in that case the active kernel must
+	// honour it, otherwise it must be the best available tier.
+	if name := kernelEnvValue(); name != "" {
+		want, ok := ParseKernel(name)
+		if ok && KernelAvailable(want) && defaultKernel != want {
+			t.Fatalf("env %s=%s but default kernel is %v", EnvKernel, name, defaultKernel)
+		}
+		return
+	}
+	want := KernelScalar
+	if KernelAvailable(KernelSIMD) {
+		want = KernelSIMD
+	}
+	if defaultKernel != want {
+		t.Fatalf("default kernel = %v, want %v", defaultKernel, want)
+	}
+}
+
+func FuzzNodeLowerBoundTiers(f *testing.F) {
+	f.Add(uint32(77), uint32(3), []byte{1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add(uint32(0), uint32(64), []byte{0, 0, 0, 0, 255, 255, 255, 255})
+	f.Add(^uint32(0), uint32(16), []byte{9, 9, 9, 9, 9, 9, 9, 9, 1, 2})
+	f.Fuzz(func(t *testing.T, key uint32, seed uint32, raw []byte) {
+		// Build a sorted window from the raw bytes (4 bytes per slot,
+		// capped at 64 slots), then check every tier.
+		m := len(raw) / 4
+		if m == 0 {
+			return
+		}
+		if m > 64 {
+			m = 64
+		}
+		w := make([]uint32, m)
+		for i := range w {
+			w[i] = uint32(raw[4*i]) | uint32(raw[4*i+1])<<8 | uint32(raw[4*i+2])<<16 | uint32(raw[4*i+3])<<24
+		}
+		// Sort the tiny window.
+		for i := 1; i < m; i++ {
+			for j := i; j > 0 && w[j-1] > w[j]; j-- {
+				w[j-1], w[j] = w[j], w[j-1]
+			}
+		}
+		want := refNodeLB(w, m, key)
+		prev := ActiveKernel()
+		defer SetKernel(prev)
+		for _, k := range availableKernels() {
+			SetKernel(k)
+			if got := NodeLowerBound(w, m, key); got != want {
+				t.Fatalf("%v: m=%d key=%d: got %d want %d (window %v)", k, m, key, got, want, w)
+			}
+		}
+		if got := NodeLowerBoundScalar(w, m, key); got != want {
+			t.Fatalf("oracle: m=%d key=%d: got %d want %d", m, key, got, want)
+		}
+	})
+}
+
+// --- per-tier benchmarks ----------------------------------------------------
+
+func benchKernel(b *testing.B, k Kernel, m int) {
+	if !KernelAvailable(k) {
+		b.Skipf("%v unavailable", k)
+	}
+	prev := ActiveKernel()
+	SetKernel(k)
+	defer SetKernel(prev)
+	g := workload.New(1)
+	keys := g.SortedDistinct(m)
+	probes := append(g.Lookups(keys, 4096), g.Misses(keys, 4096)...)
+	b.ResetTimer()
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += NodeLowerBound(keys, m, probes[i&8191])
+	}
+	sinkNS += s
+}
+
+var sinkNS int
+
+func BenchmarkNodeSearchKernels(b *testing.B) {
+	for _, m := range []int{7, 8, 15, 16, 31, 32, 63, 64} {
+		for _, k := range []Kernel{KernelScalar, KernelSWAR, KernelSIMD} {
+			b.Run(fmt.Sprintf("m=%d/%s", m, k), func(b *testing.B) { benchKernel(b, k, m) })
+		}
+	}
+}
+
+func BenchmarkNodeSearchMulti16(b *testing.B) {
+	for _, m := range []int{15, 16} {
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			g := workload.New(1)
+			keys := g.SortedDistinct(m)
+			probes := g.Lookups(keys, GroupWidth)
+			var out [GroupWidth]int32
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				NodeLowerBound16(keys, m, probes, out[:])
+			}
+			sinkNS += int(out[0])
+		})
+	}
+}

@@ -19,8 +19,15 @@ import "cssidx/internal/binsearch"
 // there is no data-dependent branch between group members, so the width is
 // set by the core's miss-tracking capacity (line-fill buffers / MSHRs, ~10–16
 // on current cores) rather than by the branch predictor: 16 keeps a full
-// complement of independent node reads in flight per level.
-const batchWidth = 16
+// complement of independent node reads in flight per level.  It equals
+// binsearch.GroupWidth so a group whose probes sit on one node collapses
+// into a single multi-probe kernel call.
+const batchWidth = binsearch.GroupWidth
+
+// sameNode is binsearch.GroupOnOneNode under this package's width name.
+func sameNode(nodes *[batchWidth]int32) bool {
+	return binsearch.GroupOnOneNode(nodes)
+}
 
 // LowerBoundBatch computes LowerBound for every probe into out
 // (len(out) must equal len(probes)).
@@ -37,6 +44,7 @@ func (t *Full) LowerBoundBatch(probes []uint32, out []int32) {
 	}
 	m, fan, lNode := g.M, g.Fanout, g.LNode
 	var nodes [batchWidth]int32
+	var ks [batchWidth]int32
 	i := 0
 	for ; i+batchWidth <= len(probes); i += batchWidth {
 		group := probes[i : i+batchWidth]
@@ -47,7 +55,19 @@ func (t *Full) LowerBoundBatch(probes []uint32, out []int32) {
 		// group issues batchWidth independent node reads back to back.
 		// Leaves exist only on the two deepest levels, so the first Depth-1
 		// passes are internal for every probe — no depth checks needed.
+		// A pass whose whole group sits on ONE node (the root pass always;
+		// upper levels often, under sorted probe order) collapses into a
+		// single multi-probe kernel call answered from registers.
 		for pass := 0; pass < g.Depth-1; pass++ {
+			if sameNode(&nodes) {
+				d := int(nodes[0])
+				base := d * m
+				binsearch.NodeLowerBound16(t.dir[base:base+m], m, group, ks[:])
+				for j := 0; j < batchWidth; j++ {
+					nodes[j] = int32(d*fan + 1 + int(ks[j]))
+				}
+				continue
+			}
 			for j := 0; j < batchWidth; j++ {
 				d := int(nodes[j])
 				base := d * m
@@ -105,14 +125,25 @@ func (t *Level) LowerBoundBatch(probes []uint32, out []int32) {
 	}
 	m, lNode := g.M, g.LNode
 	var nodes [batchWidth]int32
+	var ks [batchWidth]int32
 	i := 0
 	for ; i+batchWidth <= len(probes); i += batchWidth {
 		group := probes[i : i+batchWidth]
 		for j := range nodes {
 			nodes[j] = 0
 		}
-		// See the Full kernel: the first Depth-1 passes need no depth checks.
+		// See the Full kernel: the first Depth-1 passes need no depth checks,
+		// and a group sharing one node collapses into the multi-probe kernel.
 		for pass := 0; pass < g.Depth-1; pass++ {
+			if sameNode(&nodes) {
+				d := int(nodes[0])
+				base := d * m
+				binsearch.NodeLowerBound16(t.dir[base:base+m-1], m-1, group, ks[:])
+				for j := 0; j < batchWidth; j++ {
+					nodes[j] = int32(d*m + 1 + int(ks[j]))
+				}
+				continue
+			}
 			for j := 0; j < batchWidth; j++ {
 				d := int(nodes[j])
 				base := d * m

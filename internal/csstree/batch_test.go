@@ -1,8 +1,10 @@
 package csstree
 
 import (
+	"sort"
 	"testing"
 
+	"cssidx/internal/binsearch"
 	"cssidx/internal/workload"
 )
 
@@ -119,3 +121,43 @@ func BenchmarkBatchVsScalar(b *testing.B) {
 }
 
 var sinkBatch int
+
+// TestBatchAllKernelTiers drives the lockstep kernels under every
+// node-search dispatch tier this host has — including sorted probe streams,
+// whose groups share nodes deep into the directory and so exercise the
+// multi-probe kernel beyond the root pass — and checks bit-identity with
+// the scalar descent (which runs under the same tier) and with the branchy
+// oracle tier.
+func TestBatchAllKernelTiers(t *testing.T) {
+	prev := binsearch.ActiveKernel()
+	defer binsearch.SetKernel(prev)
+	g := workload.New(182)
+	for _, kern := range []binsearch.Kernel{binsearch.KernelScalar, binsearch.KernelSWAR, binsearch.KernelSIMD} {
+		if !binsearch.SetKernel(kern) {
+			continue
+		}
+		for _, n := range []int{50, 4096, 120000} {
+			keys := g.SortedWithDuplicates(n, 5)
+			full := BuildFull(keys, 16)
+			level := BuildLevel(keys, 16)
+			probes := append(g.Lookups(keys, 2000), g.Misses(keys, 500)...)
+			sorted := append([]uint32(nil), probes...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			for name, ps := range map[string][]uint32{"random": probes, "sorted": sorted} {
+				out := make([]int32, len(ps))
+				full.LowerBoundBatch(ps, out)
+				for i, p := range ps {
+					if int(out[i]) != full.LowerBound(p) {
+						t.Fatalf("%v full %s n=%d: batch[%d]=%d scalar=%d (key %d)", kern, name, n, i, out[i], full.LowerBound(p), p)
+					}
+				}
+				level.LowerBoundBatch(ps, out)
+				for i, p := range ps {
+					if int(out[i]) != level.LowerBound(p) {
+						t.Fatalf("%v level %s n=%d: batch[%d]=%d scalar=%d (key %d)", kern, name, n, i, out[i], level.LowerBound(p), p)
+					}
+				}
+			}
+		}
+	}
+}

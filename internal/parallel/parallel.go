@@ -15,9 +15,11 @@
 package parallel
 
 import (
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // DefaultMinPerWorker is the smallest work size (in probes) worth handing to
@@ -34,14 +36,113 @@ type Options struct {
 	Workers int
 	// MinBatchPerWorker is the minimum work size per worker; a batch
 	// smaller than 2× this runs sequentially, and larger batches use at
-	// most total/MinBatchPerWorker workers.  0 means DefaultMinPerWorker.
+	// most total/MinBatchPerWorker workers.  0 means DefaultMinPerWorker,
+	// or the Tuner's measured value when one is attached.
 	MinBatchPerWorker int
+	// Tuner, when non-nil and MinBatchPerWorker is 0, replaces the static
+	// default with a per-probe-cost-derived span: the first large enough
+	// Run times a calibration prefix on the calling goroutine, and every
+	// later batch uses the derived MinBatchPerWorker.  One Tuner per index:
+	// per-probe cost is a property of the structure being probed (hot-cache
+	// probes need bigger spans than DRAM-missing ones).
+	Tuner *Tuner
+}
+
+// --- adaptive worker sizing --------------------------------------------------
+
+// calibSpan is the probe prefix timed once to measure per-probe cost: large
+// enough to average out timer granularity and warm-up, small enough that
+// the one-shot sequential prefix is invisible in the first batch.
+const calibSpan = 4096
+
+// spanBudgetNs is the work (in ns) a worker's span should carry so the
+// goroutine handoff (~µs wake + join) stays a few percent of it.
+const spanBudgetNs = 50_000
+
+// Calibration bounds: spans below minAdaptiveSpan thrash on handoff even
+// for slow probes; spans above maxAdaptiveSpan stop helping balance.
+const (
+	minAdaptiveSpan = 256
+	maxAdaptiveSpan = 65536
+)
+
+// MinForCost derives MinBatchPerWorker from a measured per-probe cost:
+// enough probes that a worker's span is worth spanBudgetNs, clamped to
+// [minAdaptiveSpan, maxAdaptiveSpan].
+func MinForCost(perProbeNs float64) int {
+	if perProbeNs <= 0 {
+		return DefaultMinPerWorker
+	}
+	m := int(spanBudgetNs / perProbeNs)
+	if m < minAdaptiveSpan {
+		return minAdaptiveSpan
+	}
+	if m > maxAdaptiveSpan {
+		return maxAdaptiveSpan
+	}
+	return m
+}
+
+// Tuner caches a one-shot measured per-probe cost and the
+// MinBatchPerWorker derived from it.  All methods are safe for concurrent
+// use; if two first batches race the calibration, the later measurement
+// wins — both are valid samples of the same index.
+type Tuner struct {
+	min   atomic.Int64  // derived MinBatchPerWorker; 0 = not yet calibrated
+	perNs atomic.Uint64 // math.Float64bits of the measured per-probe ns
+}
+
+// Note records a calibration measurement and returns the derived span.
+func (t *Tuner) Note(probes int, elapsed time.Duration) int {
+	per := float64(elapsed.Nanoseconds()) / float64(probes)
+	m := MinForCost(per)
+	t.perNs.Store(math.Float64bits(per))
+	t.min.Store(int64(m))
+	return m
+}
+
+// Min returns the calibrated MinBatchPerWorker, or 0 before calibration.
+func (t *Tuner) Min() int { return int(t.min.Load()) }
+
+// Calibration reports the derived span and the per-probe cost behind it;
+// ok is false before any batch was large enough to calibrate.  This is the
+// single implementation behind every index's BatchCalibration method.
+func (t *Tuner) Calibration() (minPerWorker int, perProbeNs float64, ok bool) {
+	if m := t.Min(); m != 0 {
+		return m, t.PerProbeNs(), true
+	}
+	return 0, 0, false
+}
+
+// PerProbeNs returns the measured per-probe cost, or 0 before calibration.
+func (t *Tuner) PerProbeNs() float64 { return math.Float64frombits(t.perNs.Load()) }
+
+// Resolved fills MinBatchPerWorker from the tuner cache when the caller
+// left it adaptive, and reports whether a calibration run is still needed.
+func (o Options) Resolved() (Options, bool) {
+	if o.Tuner == nil || o.MinBatchPerWorker != 0 {
+		return o, false
+	}
+	if m := o.Tuner.Min(); m != 0 {
+		o.MinBatchPerWorker = m
+		return o, false
+	}
+	return o, true
+}
+
+// WithoutTuner strips the tuner: for cheap auxiliary passes (result
+// scatter) that must neither calibrate the tuner with a non-probe cost nor
+// inherit a probe-derived span.
+func (o Options) WithoutTuner() Options {
+	o.Tuner = nil
+	return o
 }
 
 // WorkersFor returns the number of workers the options grant a batch of
 // `total` work items: at least 1, at most Workers, scaled down so every
 // worker gets MinBatchPerWorker items.
 func (o Options) WorkersFor(total int) int {
+	o, _ = o.Resolved()
 	w := o.Workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -71,24 +172,40 @@ func Span(n, w, t int) (lo, hi int) {
 // one worker — small n, Workers 1, or GOMAXPROCS 1 — body(0, n) runs on the
 // calling goroutine with no scheduling at all.  body must be safe to call
 // concurrently on disjoint spans.
+//
+// When opts carries an uncalibrated Tuner (and no explicit
+// MinBatchPerWorker), the first large enough Run times a calibSpan prefix
+// on the calling goroutine — real work, not a rehearsal — derives
+// MinBatchPerWorker from the measured per-probe cost, and fans the
+// remainder out under the derived value.  Every later Run resolves the
+// cached value with no measurement.
 func Run(n int, opts Options, body func(lo, hi int)) {
-	w := opts.WorkersFor(n)
+	opts, calibrate := opts.Resolved()
+	lo := 0
+	if calibrate && n >= 2*calibSpan {
+		start := time.Now()
+		body(0, calibSpan)
+		opts.MinBatchPerWorker = opts.Tuner.Note(calibSpan, time.Since(start))
+		lo = calibSpan
+	}
+	total := n - lo
+	w := opts.WorkersFor(total)
 	if w == 1 {
-		if n > 0 {
-			body(0, n)
+		if total > 0 {
+			body(lo, n)
 		}
 		return
 	}
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for i := 1; i < w; i++ {
-		lo, hi := Span(n, w, i)
+		slo, shi := Span(total, w, i)
 		go func() {
 			defer wg.Done()
-			body(lo, hi)
+			body(lo+slo, lo+shi)
 		}()
 	}
-	body(0, n/w) // the caller is worker 0
+	body(lo, lo+total/w) // the caller is worker 0
 	wg.Wait()
 }
 
@@ -102,6 +219,9 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 	if tasks == 0 {
 		return
 	}
+	// Irregular task lists calibrate nowhere (no probe prefix to time), but
+	// they resolve a Tuner another surface already calibrated.
+	opts, _ = opts.Resolved()
 	w := opts.WorkersFor(total)
 	if w > tasks {
 		w = tasks

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestWorkersFor(t *testing.T) {
@@ -96,5 +97,82 @@ func TestDoSequentialOrder(t *testing.T) {
 		if task != i {
 			t.Fatalf("sequential Do out of order: %v", order)
 		}
+	}
+}
+
+func TestMinForCostClamps(t *testing.T) {
+	if got := MinForCost(0); got != DefaultMinPerWorker {
+		t.Fatalf("MinForCost(0) = %d, want default %d", got, DefaultMinPerWorker)
+	}
+	if got := MinForCost(1000); got != minAdaptiveSpan {
+		t.Fatalf("slow probes should clamp to %d, got %d", minAdaptiveSpan, got)
+	}
+	if got := MinForCost(0.01); got != maxAdaptiveSpan {
+		t.Fatalf("instant probes should clamp to %d, got %d", maxAdaptiveSpan, got)
+	}
+	// 50ns per probe → spanBudget/50 = 1000 probes.
+	if got := MinForCost(50); got != 1000 {
+		t.Fatalf("MinForCost(50) = %d, want 1000", got)
+	}
+}
+
+func TestTunerCalibratesOnFirstLargeRun(t *testing.T) {
+	var tu Tuner
+	opts := Options{Workers: 4, Tuner: &tu}
+	// Small run: no calibration.
+	covered := make([]bool, 100)
+	Run(100, opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			covered[i] = true
+		}
+	})
+	if tu.Min() != 0 {
+		t.Fatalf("small run calibrated: min=%d", tu.Min())
+	}
+	// Large run: calibrates once, still covers [0, n) exactly once.
+	n := 3*calibSpan + 17
+	var hits = make([]int32, n)
+	Run(n, opts, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	if tu.Min() == 0 {
+		t.Fatal("large run did not calibrate")
+	}
+	if tu.PerProbeNs() < 0 {
+		t.Fatalf("negative per-probe cost %v", tu.PerProbeNs())
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d covered %d times", i, h)
+		}
+	}
+	// The cached value resolves into later option sets.
+	if ro, calibrate := opts.Resolved(); calibrate || ro.MinBatchPerWorker != tu.Min() {
+		t.Fatalf("Resolved() = (%+v, %v), want cached min %d", ro, calibrate, tu.Min())
+	}
+	// Explicit MinBatchPerWorker wins over the tuner.
+	pinned := Options{MinBatchPerWorker: 9999, Tuner: &tu}
+	if ro, _ := pinned.Resolved(); ro.MinBatchPerWorker != 9999 {
+		t.Fatalf("explicit span overridden: %d", ro.MinBatchPerWorker)
+	}
+	// WithoutTuner strips it.
+	if o := opts.WithoutTuner(); o.Tuner != nil {
+		t.Fatal("WithoutTuner kept the tuner")
+	}
+}
+
+func TestTunerResolvesInDo(t *testing.T) {
+	var tu Tuner
+	tu.Note(1000, 50*time.Microsecond) // 50ns/probe → min 1000
+	opts := Options{Workers: 8, Tuner: &tu}
+	var ran atomic.Int64
+	Do(4, 100_000, opts, func(task int) { ran.Add(1) })
+	if ran.Load() != 4 {
+		t.Fatalf("Do ran %d tasks, want 4", ran.Load())
+	}
+	if got := opts.WorkersFor(3000); got != 3 {
+		t.Fatalf("WorkersFor(3000) with calibrated min 1000 = %d, want 3", got)
 	}
 }

@@ -18,8 +18,11 @@ package shard
 // across the directory.  ScheduleAuto picks input-order or key-ordered per
 // batch from a sampled duplicate-density estimate — skew is a property of
 // the probe stream, not of the index, so the batch itself is the right thing
-// to inspect.  uint32 batches sort with the radix pair-sort of
-// internal/sortu32; other key types fall back to a comparison sort.
+// to inspect.  uint32 batches sort with the PARALLEL MSB-radix partition of
+// internal/sortu32 (per-worker histogram + stable scatter + independent
+// bucket sorts across the same pool the descent uses), so large skewed
+// batches no longer pay a serial sort before the fan-out; other key types
+// fall back to a comparison sort.
 //
 // Parallelism.  The per-shard probe runs are independent — disjoint probe
 // spans, disjoint result spans, immutable snapshots — so they execute across
@@ -32,6 +35,7 @@ import (
 	"cmp"
 	"slices"
 	"sort"
+	"time"
 
 	"cssidx/internal/parallel"
 	"cssidx/internal/sortu32"
@@ -110,6 +114,19 @@ func chooseKeyOrder[K cmp.Ordered](sched Schedule, probes []K) bool {
 	return dups >= dupThreshold
 }
 
+// ResolveSchedule reports the concrete schedule a batch of these probes
+// descends under: ScheduleAuto resolves per batch through the sampled
+// duplicate-density estimate (exactly the decision the batch methods make),
+// the manual schedules resolve to themselves.  Callers use it to surface
+// the schedule that actually ran — timings tagged with the REQUESTED
+// schedule mislead as soon as auto picks differently per batch.
+func ResolveSchedule[K cmp.Ordered](s Schedule, probes []K) Schedule {
+	if chooseKeyOrder(s, probes) {
+		return ScheduleKeyOrdered
+	}
+	return ScheduleInput
+}
+
 // BatchTree is the optional batch extension of Tree: shard trees that
 // implement it (the uint32 CSS-trees, the generic CSS-tree) answer a whole
 // probe group with one lockstep descent.
@@ -139,6 +156,7 @@ type batchScratch[K cmp.Ordered] struct {
 	tmpK     []uint32 // radix pair-sort scratch (uint32 keys only)
 	tmpV     []uint32
 	pu       []uint32 // radix pair-sort payload (uint32 keys only)
+	hist     []int32  // parallel-partition histogram scratch (uint32 keys only)
 	runs     []batchRun
 	tasks    []batchRun
 }
@@ -266,8 +284,12 @@ func (v *View[K]) batchPlan(probes []K, keyOrdered bool, s *batchScratch[K]) (pe
 }
 
 // sortByKey fills s.gathered with the key-sorted probes and s.perm with the
-// permutation mapping sorted position j to its original index: radix
-// pair-sort for uint32, a comparison sort for other key types.
+// permutation mapping sorted position j to its original index.  uint32 keys
+// take the parallel MSB-radix partition of internal/sortu32 — the sort used
+// to run whole on the calling goroutine, the key-ordered schedule's last
+// serial fraction on skewed 1M+ batches; now it histogram/scatter/buckets
+// across the view's worker pool.  Other key types fall back to a
+// comparison sort.
 func (v *View[K]) sortByKey(probes []K, s *batchScratch[K]) (perm []int32, gathered []K) {
 	n := len(probes)
 	perm = s.perm[:n]
@@ -280,11 +302,18 @@ func (v *View[K]) sortByKey(probes []K, s *batchScratch[K]) (perm []int32, gathe
 			s.tmpV = make([]uint32, n)
 			s.pu = make([]uint32, n)
 		}
+		// The tuner is stripped for the same reason scatter strips it: a
+		// sort item costs nothing like a probe, so the partition must not
+		// inherit the probe-derived span (nor calibrate the tuner).
+		sortOpts := v.par.WithoutTuner()
+		if need := sortu32.HistLen(n, sortOpts); cap(s.hist) < need {
+			s.hist = make([]int32, need)
+		}
 		pu := s.pu[:n]
 		for i := range pu {
 			pu[i] = uint32(i)
 		}
-		sortu32.SortPairsScratch(gu, pu, s.tmpK[:n], s.tmpV[:n])
+		sortu32.SortPairsParallel(gu, pu, s.tmpK[:n], s.tmpV[:n], s.hist, sortOpts)
 		for i, p := range pu {
 			perm[i] = int32(p)
 		}
@@ -316,8 +345,37 @@ func treeLowerBoundBatch[K cmp.Ordered](t Tree[K], probes []K, out []int32) {
 // sub-runs so one hot shard cannot serialise the batch, and distributing the
 // resulting tasks across the worker pool.  body instances touch disjoint
 // gathered/result spans, so they run concurrently without synchronisation.
+//
+// When the index's span tuner has not calibrated yet (a multi-shard index
+// never hits the flat single-shard path that parallel.Run calibrates), the
+// first large enough run executes on the calling goroutine, timed, and
+// seeds the tuner — real work, not a rehearsal; the rest of the batch fans
+// out under the derived MinBatchPerWorker.
 func (v *View[K]) forRuns(runs []batchRun, total int, s *batchScratch[K], body func(r batchRun)) {
-	w := v.par.WorkersFor(total)
+	opts := v.par
+	if o, calibrate := opts.Resolved(); !calibrate {
+		opts = o
+	} else if len(runs) > 0 && runs[0].hi-runs[0].lo >= calibMinRun {
+		// Time a BOUNDED prefix of the first run, not the whole run: a
+		// skewed batch can put most of a 1M-probe batch in one shard, and
+		// the calibration must not serialise it.
+		r := runs[0]
+		end := r.lo + calibMaxRun
+		if end > r.hi {
+			end = r.hi
+		}
+		start := time.Now()
+		body(batchRun{sid: r.sid, lo: r.lo, hi: end})
+		opts.Tuner.Note(end-r.lo, time.Since(start))
+		opts, _ = opts.Resolved()
+		if end == r.hi {
+			runs = runs[1:]
+		} else {
+			runs[0].lo = end
+		}
+		total -= end - r.lo
+	}
+	w := opts.WorkersFor(total)
 	if w == 1 {
 		for _, r := range runs {
 			body(r)
@@ -341,14 +399,25 @@ func (v *View[K]) forRuns(runs []batchRun, total int, s *batchScratch[K], body f
 		}
 	}
 	s.tasks = tasks
-	parallel.Do(len(tasks), total, v.par, func(t int) { body(tasks[t]) })
+	parallel.Do(len(tasks), total, opts, func(t int) { body(tasks[t]) })
 }
+
+// calibMinRun is the smallest per-shard run worth timing for calibration
+// (below it the timer reads mostly fixed batch overhead, not probe cost);
+// calibMaxRun bounds the timed prefix so calibration never serialises a
+// large run (it matches parallel.Run's calibration span).
+const (
+	calibMinRun = 1024
+	calibMaxRun = 4096
+)
 
 // scatter writes the per-gathered-position results back to input order,
 // across workers for large batches (every write lands at a distinct
-// out[perm[j]], so spans of j are race-free).
+// out[perm[j]], so spans of j are race-free).  The tuner is stripped: a
+// scatter item costs nothing like a probe, so it must neither calibrate
+// the tuner nor inherit the probe-derived span.
 func (v *View[K]) scatter(out, res, perm, expand []int32) {
-	parallel.Run(len(perm), v.par, func(lo, hi int) {
+	parallel.Run(len(perm), v.par.WithoutTuner(), func(lo, hi int) {
 		if expand == nil {
 			for j := lo; j < hi; j++ {
 				out[perm[j]] = res[j]
@@ -364,7 +433,7 @@ func (v *View[K]) scatter(out, res, perm, expand []int32) {
 // scatter2 is scatter for a result pair: one pass over perm/expand, one wave
 // of workers, both outputs written together (the EqualRangeBatch case).
 func (v *View[K]) scatter2(outA, resA, outB, resB, perm, expand []int32) {
-	parallel.Run(len(perm), v.par, func(lo, hi int) {
+	parallel.Run(len(perm), v.par.WithoutTuner(), func(lo, hi int) {
 		if expand == nil {
 			for j := lo; j < hi; j++ {
 				pi := perm[j]
@@ -505,6 +574,10 @@ func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32) {
 // not synchronised with concurrent readers.
 func (x *Index[K]) SetBatchSchedule(s Schedule) { x.sched = s }
 
+// Schedule returns the configured batch schedule (ResolveSchedule maps it
+// to the concrete schedule a given batch runs under).
+func (x *Index[K]) Schedule() Schedule { return x.sched }
+
 // SetBatchKeyOrder is the boolean forerunner of SetBatchSchedule, kept for
 // callers predating ScheduleAuto: true forces the key-ordered schedule,
 // false forces input order.
@@ -517,9 +590,29 @@ func (x *Index[K]) SetBatchKeyOrder(on bool) {
 }
 
 // SetParallel configures the worker pool for batch execution (zero value:
-// GOMAXPROCS workers with the small-batch sequential fallback).  Set before
-// serving; it is not synchronised with concurrent readers.
+// GOMAXPROCS workers with adaptive per-worker spans — see parOpts).  Set
+// before serving; it is not synchronised with concurrent readers.
 func (x *Index[K]) SetParallel(o parallel.Options) { x.par = o }
+
+// parOpts returns the worker-pool options a View serves batches under: the
+// configured options with the index's span tuner attached, so the first
+// large single-shard batch calibrates MinBatchPerWorker from this index's
+// measured per-probe cost and every later batch (and View) reuses it.  An
+// explicit MinBatchPerWorker or Tuner from SetParallel wins.
+func (x *Index[K]) parOpts() parallel.Options {
+	o := x.par
+	if o.Tuner == nil {
+		o.Tuner = &x.tuner
+	}
+	return o
+}
+
+// BatchCalibration reports the adaptive span the index measured: the
+// derived MinBatchPerWorker and the per-probe cost behind it; ok is false
+// before any batch was large enough to calibrate.
+func (x *Index[K]) BatchCalibration() (minPerWorker int, perProbeNs float64, ok bool) {
+	return x.tuner.Calibration()
+}
 
 // LowerBoundBatch answers the whole batch against one frozen View, so every
 // result reflects a single snapshot epoch per shard.

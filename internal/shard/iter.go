@@ -36,7 +36,7 @@ func (x *Index[K]) View() *View[K] {
 		snaps:  make([]*snapshot[K], len(x.shards)),
 		offs:   make([]int, len(x.shards)+1),
 		sched:  x.sched,
-		par:    x.par,
+		par:    x.parOpts(),
 		pool:   &x.scratch,
 	}
 	for i, s := range x.shards {

@@ -96,6 +96,11 @@ type Index[K cmp.Ordered] struct {
 	sched Schedule
 	par   parallel.Options
 
+	// tuner caches the one-shot measured per-probe cost behind the
+	// adaptive MinBatchPerWorker (attached to every View's options unless
+	// SetParallel pinned an explicit span or tuner).
+	tuner parallel.Tuner
+
 	// scratch pools batchScratch buffers across batch calls (and across the
 	// Views that carry the pool), so steady-state batches allocate nothing.
 	scratch sync.Pool

@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"cssidx"
+	"cssidx/internal/binsearch"
 	"cssidx/internal/cachesim"
 	"cssidx/internal/mem"
 	"cssidx/internal/simidx"
@@ -452,4 +453,35 @@ func FuzzDifferentialLowerBound(f *testing.F) {
 		}
 		checkSharded(t, keys, o, probes, 3)
 	})
+}
+
+// TestDifferentialNodeSearchTiers runs the differential battery once per
+// node-search dispatch tier the host can execute: the whole index surface —
+// every method, batch kernels, sharded batches — must stay bit-identical to
+// the oracle regardless of which kernel answers the node visits.  (CI also
+// runs the full suite with CSSIDX_NODESEARCH pinned to each portable tier;
+// this in-process sweep additionally covers the simd tier on AVX2 runners
+// whatever the env says.)
+func TestDifferentialNodeSearchTiers(t *testing.T) {
+	prev := binsearch.ActiveKernel()
+	defer binsearch.SetKernel(prev)
+	g := workload.New(909)
+	for _, kern := range []binsearch.Kernel{binsearch.KernelScalar, binsearch.KernelSWAR, binsearch.KernelSIMD} {
+		if !binsearch.SetKernel(kern) {
+			continue
+		}
+		t.Run(kern.String(), func(t *testing.T) {
+			for name, keys := range adversarialSets() {
+				t.Run(name, func(t *testing.T) { checkEverything(t, keys, nil) })
+			}
+			for _, n := range []int{100, 4097, 20000} {
+				for name, keys := range map[string][]uint32{
+					"distinct": g.SortedDistinct(n),
+					"dups":     g.SortedWithDuplicates(n, 4),
+				} {
+					t.Run(name, func(t *testing.T) { checkEverything(t, keys, g) })
+				}
+			}
+		})
+	}
 }

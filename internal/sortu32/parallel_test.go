@@ -1,0 +1,162 @@
+package sortu32
+
+// SortPairsParallel must be bit-identical to the sequential stable sort —
+// same key order AND same permutation of vals — on every distribution that
+// stresses the partition: uniform, heavily duplicated (Zipf-like), keys
+// varying only in low bytes (partition-byte selection), already sorted,
+// reversed, and all-equal.
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"cssidx/internal/parallel"
+)
+
+func genDist(name string, n int, rng *rand.Rand) []uint32 {
+	keys := make([]uint32, n)
+	switch name {
+	case "uniform":
+		for i := range keys {
+			keys[i] = rng.Uint32()
+		}
+	case "dup-heavy":
+		for i := range keys {
+			keys[i] = uint32(rng.Intn(37)) * 1000003
+		}
+	case "low-bytes-only":
+		for i := range keys {
+			keys[i] = uint32(rng.Intn(4096)) // varies only in the low 12 bits
+		}
+	case "one-byte-band":
+		for i := range keys {
+			keys[i] = 0x7f000000 | uint32(rng.Intn(1<<16)) // high byte constant
+		}
+	case "sorted":
+		cur := uint32(0)
+		for i := range keys {
+			cur += uint32(rng.Intn(5))
+			keys[i] = cur
+		}
+	case "reversed":
+		cur := ^uint32(0)
+		for i := range keys {
+			keys[i] = cur
+			cur -= uint32(rng.Intn(5))
+		}
+	case "all-equal":
+		for i := range keys {
+			keys[i] = 42
+		}
+	}
+	return keys
+}
+
+var distNames = []string{"uniform", "dup-heavy", "low-bytes-only", "one-byte-band", "sorted", "reversed", "all-equal"}
+
+// raiseGOMAXPROCS makes the partition path reachable on single-CPU hosts
+// (SortPairsParallel falls back to sequential when workers exceed
+// GOMAXPROCS, which would leave the parallel code untested there).
+func raiseGOMAXPROCS(t *testing.T) {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(0)
+	if prev < 8 {
+		runtime.GOMAXPROCS(8)
+		t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	}
+}
+
+func TestSortPairsParallelMatchesSequential(t *testing.T) {
+	raiseGOMAXPROCS(t)
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{0, 1, 100, 1 << 15, 1<<15 + 3, 200001} {
+		for _, dist := range distNames {
+			keys := genDist(dist, n, rng)
+			vals := make([]uint32, n)
+			for i := range vals {
+				vals[i] = uint32(i)
+			}
+			wantK := append([]uint32(nil), keys...)
+			wantV := append([]uint32(nil), vals...)
+			SortPairs(wantK, wantV)
+
+			for _, workers := range []int{1, 2, 3, 8} {
+				gotK := append([]uint32(nil), keys...)
+				gotV := append([]uint32(nil), vals...)
+				opts := parallel.Options{Workers: workers, MinBatchPerWorker: 1024}
+				hist := make([]int32, HistLen(n, opts))
+				SortPairsParallel(gotK, gotV, nil, nil, hist, opts)
+				for i := range wantK {
+					if gotK[i] != wantK[i] || gotV[i] != wantV[i] {
+						t.Fatalf("%s n=%d workers=%d: [%d] got (%d,%d) want (%d,%d)",
+							dist, n, workers, i, gotK[i], gotV[i], wantK[i], wantV[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSortPairsParallelScratchReuse(t *testing.T) {
+	raiseGOMAXPROCS(t)
+	rng := rand.New(rand.NewSource(7))
+	n := 1 << 16
+	opts := parallel.Options{Workers: 4, MinBatchPerWorker: 1024}
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	hist := make([]int32, HistLen(n, opts))
+	for round := 0; round < 3; round++ {
+		keys := genDist("dup-heavy", n, rng)
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(i)
+		}
+		wantK := append([]uint32(nil), keys...)
+		wantV := append([]uint32(nil), vals...)
+		SortPairs(wantK, wantV)
+		SortPairsParallel(keys, vals, tmpK, tmpV, hist, opts)
+		for i := range wantK {
+			if keys[i] != wantK[i] || vals[i] != wantV[i] {
+				t.Fatalf("round %d: [%d] got (%d,%d) want (%d,%d)", round, i, keys[i], vals[i], wantK[i], wantV[i])
+			}
+		}
+	}
+}
+
+func TestSortPairsParallelLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	SortPairsParallel(make([]uint32, 3), make([]uint32, 2), nil, nil, nil, parallel.Options{})
+}
+
+func BenchmarkSortPairsParallel1M(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1 << 20
+	keys := make([]uint32, n)
+	vals := make([]uint32, n)
+	tmpK := make([]uint32, n)
+	tmpV := make([]uint32, n)
+	for _, dist := range []string{"uniform", "dup-heavy"} {
+		base := genDist(dist, n, rng)
+		for _, workers := range []int{1, 2, 4, 8} {
+			opts := parallel.Options{Workers: workers}
+			hist := make([]int32, HistLen(n, opts))
+			b.Run(fmt.Sprintf("%s/workers=%d", dist, workers), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					copy(keys, base)
+					for j := range vals {
+						vals[j] = uint32(j)
+					}
+					b.StartTimer()
+					SortPairsParallel(keys, vals, tmpK, tmpV, hist, opts)
+				}
+			})
+		}
+	}
+}

@@ -24,15 +24,32 @@ import (
 )
 
 // ParallelOptions tunes the parallel batch engine.  The zero value is the
-// recommended default: GOMAXPROCS workers, sequential below ~2×2048 probes.
+// recommended default: GOMAXPROCS workers with ADAPTIVE span sizing — the
+// engine times a 4096-probe prefix of the first large batch on the calling
+// goroutine, derives the smallest per-worker span whose work still dwarfs
+// the goroutine handoff from the measured per-probe cost, and caches the
+// value for the index's lifetime.  Hot-cache indexes (fast probes) get
+// bigger spans than DRAM-missing ones, exactly as the cost asymmetry
+// demands; results are bit-identical either way.  BatchCalibration reports
+// the chosen value.
 type ParallelOptions struct {
 	// Workers is the maximum number of concurrent workers; 0 picks
 	// GOMAXPROCS, 1 forces the sequential path.
 	Workers int
 	// MinBatchPerWorker is the minimum number of probes that justifies an
 	// extra worker; batches smaller than 2× this run sequentially.
-	// 0 means the default (2048).
+	// 0 means adaptive: derived from the measured per-probe cost of the
+	// first large batch (see BatchTuning).
 	MinBatchPerWorker int
+}
+
+// BatchTuning is implemented by the engines whose worker spans are sized
+// adaptively (NewParallel, NewGenericParallel, ShardedIndex).
+type BatchTuning interface {
+	// BatchCalibration returns the calibrated MinBatchPerWorker and the
+	// measured per-probe cost; ok is false before the first large batch
+	// (or when MinBatchPerWorker was pinned explicitly).
+	BatchCalibration() (minPerWorker int, perProbeNs float64, ok bool)
 }
 
 // engine converts to the internal scheduler's options.
@@ -56,13 +73,21 @@ func NewParallel(idx OrderedIndex, opts ParallelOptions) BatchOrderedIndex {
 	if _, ok := idx.(*SortedBatch); ok {
 		panic("cssidx: NewParallel over a SortedBatch races on its scratch; use NewSortedBatch(NewParallel(idx, opts)) instead")
 	}
-	return &parallelBatch{b: AsBatchOrdered(idx), opts: opts.engine()}
+	p := &parallelBatch{b: AsBatchOrdered(idx), opts: opts.engine()}
+	p.opts.Tuner = &p.tuner
+	return p
 }
 
 // parallelBatch is the engine over any BatchOrderedIndex.
 type parallelBatch struct {
-	b    BatchOrderedIndex
-	opts parallel.Options
+	b     BatchOrderedIndex
+	opts  parallel.Options
+	tuner parallel.Tuner
+}
+
+// BatchCalibration reports the adaptive span the engine measured.
+func (p *parallelBatch) BatchCalibration() (int, float64, bool) {
+	return p.tuner.Calibration()
 }
 
 func (p *parallelBatch) Name() string       { return p.b.Name() }
@@ -102,13 +127,21 @@ func (p *parallelBatch) EqualRangeBatch(probes []Key, first, last []int32) {
 // GenericParallel is the parallel batch engine over a Generic CSS-tree: the
 // typed counterpart of NewParallel for key types other than uint32.
 type GenericParallel[K cmp.Ordered] struct {
-	t    *Generic[K]
-	opts parallel.Options
+	t     *Generic[K]
+	opts  parallel.Options
+	tuner parallel.Tuner
 }
 
 // NewGenericParallel wraps a Generic tree with the parallel batch engine.
 func NewGenericParallel[K cmp.Ordered](t *Generic[K], opts ParallelOptions) *GenericParallel[K] {
-	return &GenericParallel[K]{t: t, opts: opts.engine()}
+	p := &GenericParallel[K]{t: t, opts: opts.engine()}
+	p.opts.Tuner = &p.tuner
+	return p
+}
+
+// BatchCalibration reports the adaptive span the engine measured.
+func (p *GenericParallel[K]) BatchCalibration() (int, float64, bool) {
+	return p.tuner.Calibration()
 }
 
 // SearchBatch answers the batch across workers (see NewParallel).

@@ -36,6 +36,52 @@ const (
 	ScheduleSorted
 )
 
+// String names the schedule for diagnostics and bench output.
+func (s BatchSchedule) String() string {
+	switch s {
+	case ScheduleAuto:
+		return "auto"
+	case ScheduleInputOrder:
+		return "input-order"
+	case ScheduleSorted:
+		return "sorted"
+	default:
+		return "BatchSchedule(?)"
+	}
+}
+
+// toShard maps the public schedule to the internal engine's — the single
+// conversion site (ShardedOptions.schedule and both Resolve surfaces route
+// through it, so the mapping cannot drift).
+func (s BatchSchedule) toShard() shard.Schedule {
+	switch s {
+	case ScheduleInputOrder:
+		return shard.ScheduleInput
+	case ScheduleSorted:
+		return shard.ScheduleKeyOrdered
+	default:
+		return shard.ScheduleAuto
+	}
+}
+
+// fromShardResolved maps a RESOLVED internal schedule back (resolution
+// never returns auto).
+func fromShardResolved(s shard.Schedule) BatchSchedule {
+	if s == shard.ScheduleKeyOrdered {
+		return ScheduleSorted
+	}
+	return ScheduleInputOrder
+}
+
+// Resolve reports the concrete schedule this setting runs a batch of these
+// probes under: ScheduleAuto resolves per batch (the sampled
+// duplicate-density estimate the batch methods use), the manual settings
+// resolve to themselves.  Surface THIS, not the requested setting, when
+// tagging timings — auto legitimately flips between batches.
+func (s BatchSchedule) Resolve(probes []Key) BatchSchedule {
+	return fromShardResolved(shard.ResolveSchedule(s.toShard(), probes))
+}
+
 // ShardedOptions configures NewSharded.
 type ShardedOptions[K cmp.Ordered] struct {
 	// Shards is the number of range shards; 0 picks GOMAXPROCS (capped at 16).
@@ -107,14 +153,10 @@ func newShardedFrom[K cmp.Ordered](keys []K, bounds []K, opts ShardedOptions[K])
 // schedule resolves the two schedule knobs: SortBatches is the manual
 // override, otherwise Schedule applies (default ScheduleAuto).
 func (o ShardedOptions[K]) schedule() shard.Schedule {
-	switch {
-	case o.SortBatches || o.Schedule == ScheduleSorted:
+	if o.SortBatches {
 		return shard.ScheduleKeyOrdered
-	case o.Schedule == ScheduleInputOrder:
-		return shard.ScheduleInput
-	default:
-		return shard.ScheduleAuto
 	}
+	return o.Schedule.toShard()
 }
 
 // shardedBuilder picks the tuned uint32 level CSS-tree when K is uint32 and
@@ -171,6 +213,20 @@ func (x *ShardedIndex[K]) ShardCount() int { return x.ix.ShardCount() }
 // Epochs returns each shard's current epoch (1 = initial build; +1 per
 // published rebuild).
 func (x *ShardedIndex[K]) Epochs() []uint64 { return x.ix.Epochs() }
+
+// BatchCalibration reports the adaptive worker-span calibration (see
+// BatchTuning): the derived MinBatchPerWorker and measured per-probe cost;
+// ok is false before any batch was large enough to calibrate.
+func (x *ShardedIndex[K]) BatchCalibration() (minPerWorker int, perProbeNs float64, ok bool) {
+	return x.ix.BatchCalibration()
+}
+
+// ResolveSchedule reports the concrete schedule the index would descend
+// this batch under, resolving a configured ScheduleAuto through the same
+// per-batch estimate the batch methods use.
+func (x *ShardedIndex[K]) ResolveSchedule(probes []K) BatchSchedule {
+	return fromShardResolved(shard.ResolveSchedule(x.ix.Schedule(), probes))
+}
 
 // Insert enqueues keys for insertion; they become visible at the affected
 // shards' next epoch-swaps (Sync waits for that).
