@@ -169,6 +169,7 @@ func Experiments() []Experiment {
 		{"parallel", "Extension: parallel batch engine (batch size × workers × skew, branch-free nodes)", runParallel},
 		{"nodesearch", "Extension: node-search kernel ablation (scalar/swar/simd × node size × skew)", runNodeSearch},
 		{"reuse", "Extension: epoch-aware result cache (hit rate × skew × append rate)", runReuse},
+		{"ingest", "Extension: append cliff — delta-layer absorbs vs rebuild-per-batch (appends/s, read tax)", runIngest},
 	}
 }
 

@@ -1,0 +1,63 @@
+// Package bloom is the small membership filter in front of the delta
+// layer's sorted runs: before a read binary-searches a run for a key, the
+// filter answers "definitely absent" from one or two cache lines, so base
+// reads on key ranges a delta batch never touched pay almost nothing for
+// the delta's existence.  The filter is sized at build time for the run it
+// guards (~10 bits/key, two probes, <2% false positives) and is immutable
+// after Build — it lives inside published snapshots, so reads need no
+// synchronisation.
+package bloom
+
+import "hash/maphash"
+
+// seed is shared by every filter: filters are rebuilt per run and never
+// compared across processes, so one process-wide random seed suffices and
+// keeps Filter values trivially copyable.
+var seed = maphash.MakeSeed()
+
+// Filter is a split-probe bloom filter over comparable keys.  The zero
+// value is a filter over nothing: May reports false for every key.
+type Filter[K comparable] struct {
+	bits []uint64
+	mask uint32 // len(bits)*64 - 1; bit count is a power of two
+}
+
+// bitsPerKey sizes the filter: 10 bits/key with 2 probes gives a false-
+// positive rate under 2%, cheap enough that fence checks rarely matter.
+const bitsPerKey = 10
+
+// Build constructs a filter over the keys.
+func Build[K comparable](keys []K) Filter[K] {
+	if len(keys) == 0 {
+		return Filter[K]{}
+	}
+	nbits := 64
+	for nbits < len(keys)*bitsPerKey {
+		nbits <<= 1
+	}
+	f := Filter[K]{bits: make([]uint64, nbits/64), mask: uint32(nbits - 1)}
+	for _, k := range keys {
+		h1, h2 := f.probes(k)
+		f.bits[h1>>6] |= 1 << (h1 & 63)
+		f.bits[h2>>6] |= 1 << (h2 & 63)
+	}
+	return f
+}
+
+// probes derives both bit positions from one maphash invocation.
+func (f Filter[K]) probes(k K) (uint32, uint32) {
+	h := maphash.Comparable(seed, k)
+	return uint32(h) & f.mask, uint32(h>>32) & f.mask
+}
+
+// May reports whether the key may be in the set (false = definitely not).
+func (f Filter[K]) May(k K) bool {
+	if f.bits == nil {
+		return false
+	}
+	h1, h2 := f.probes(k)
+	return f.bits[h1>>6]&(1<<(h1&63)) != 0 && f.bits[h2>>6]&(1<<(h2&63)) != 0
+}
+
+// Bytes returns the filter's memory footprint.
+func (f Filter[K]) Bytes() int { return 8 * len(f.bits) }

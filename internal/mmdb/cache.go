@@ -65,19 +65,32 @@ func (t *Table) Cache() *qcache.Cache { return t.cache.Load() }
 func (t *Table) CacheStats() qcache.Stats { return t.cache.Load().Stats() }
 
 // Generation returns the table's current generation: 1 after creation,
-// +1 per AppendRows batch.  Cached results are valid for exactly one
-// generation.
+// +1 per fold (a full rebuild of encodings and indexes).  Absorbed append
+// batches move the delta sequence instead — see StateVersion for the
+// counter that moves on every append.
 func (t *Table) Generation() uint64 { return t.gen.Load() }
 
-// token stamps results computed against the table's in-place state.
-func (t *Table) token() qcache.Token { return qcache.Token{Gen: t.gen.Load()} }
+// StateVersion returns the single counter that moves on every AppendRows
+// batch, folded or absorbed: 1 after creation, +1 per batch.
+func (t *Table) StateVersion() uint64 { return t.stateVer.Load() }
+
+// token stamps results computed against the table's in-place state: the
+// (generation, delta sequence) pair.  A fold moves Gen and drops the
+// table's entries; an absorb moves Epoch and *patches* them across
+// (qcache.PatchAppend), so append-heavy streams keep their cache.
+func (t *Table) token() qcache.Token {
+	return qcache.Token{Gen: t.gen.Load(), Epoch: t.deltaSeq.Load()}
+}
 
 // --- fingerprints -----------------------------------------------------------
 
-// rangeFP fingerprints lo ≤ col ≤ hi normalized to the half-open
-// domain-ID range [loID, hiID).
-func rangeFP(table, col string, layer qcache.Layer, loID, hiID uint32) qcache.Key {
-	return qcache.Key{Table: table, Col: col, Kind: qcache.KindRange, Layer: layer, Lo: loID, Hi: hiID}
+// rangeFP fingerprints lo ≤ col ≤ hi by its raw closed bounds.  Raw, not
+// domain IDs: with a delta layer the frozen dictionary no longer ranks
+// every live value, so IDs are not canonical across an absorbed append
+// while the raw bounds are — and PatchAppend can qualify appended rows
+// against them directly.
+func rangeFP(table, col string, layer qcache.Layer, lo, hi uint32) qcache.Key {
+	return qcache.Key{Table: table, Col: col, Kind: qcache.KindRange, Layer: layer, Lo: lo, Hi: hi}
 }
 
 // inFP fingerprints col IN (values) over the deduplicated list in
@@ -90,16 +103,25 @@ func inFP(table, col string, layer qcache.Layer, distinct []uint32) qcache.Key {
 	}
 }
 
-// whereFP fingerprints a conjunction of normalized range predicates in
-// predicate order.
-func whereFP(table string, preds []RangePred, loIDs, hiIDs []uint32) qcache.Key {
+// whereFP fingerprints a conjunction of range predicates by their raw
+// closed bounds in predicate order (raw for the same reason as rangeFP).
+func whereFP(table string, preds []RangePred) qcache.Key {
 	h := uint64(qcache.HashSeed)
-	for i, p := range preds {
+	for _, p := range preds {
 		h = qcache.HashString(h, p.Col)
-		h = qcache.HashU32(h, loIDs[i])
-		h = qcache.HashU32(h, hiIDs[i])
+		h = qcache.HashU32(h, p.Lo)
+		h = qcache.HashU32(h, p.Hi)
 	}
 	return qcache.Key{Table: table, Kind: qcache.KindWhere, Hash: h, N: uint32(len(preds))}
+}
+
+// predBounds converts the conjuncts to the cache's patchable form.
+func predBounds(preds []RangePred) []qcache.PredBound {
+	out := make([]qcache.PredBound, len(preds))
+	for i, p := range preds {
+		out[i] = qcache.PredBound{Col: p.Col, Lo: p.Lo, Hi: p.Hi}
+	}
+	return out
 }
 
 // --- recompute cost model ---------------------------------------------------

@@ -398,6 +398,12 @@ func TestCacheRaceAppendRows(t *testing.T) {
 		if err := cached.AppendRows(batches[i]); err != nil {
 			t.Fatal(err)
 		}
+		// Seed an entry between batches so every absorb has something to
+		// patch and every fold something to drop, independent of how far
+		// the racing readers got.
+		if _, err := shC.SelectRange(1<<28, 1<<31); err != nil {
+			t.Fatal(err)
+		}
 	}
 	stop.Store(true)
 	wg.Wait()
@@ -421,7 +427,7 @@ func TestCacheRaceAppendRows(t *testing.T) {
 		list := g.Lookups(base, 16)
 		mustEqualU32(t, fmt.Sprintf("post-race SelectIn pass %d", pass), shC.SelectIn(list), shP.SelectIn(list))
 	}
-	if s := cached.CacheStats(); s.Hits == 0 || s.Invalidations == 0 {
+	if s := cached.CacheStats(); s.Hits == 0 || s.Invalidations == 0 || s.Patches == 0 {
 		t.Fatalf("race exercised nothing: %+v", s)
 	}
 }

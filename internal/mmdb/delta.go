@@ -1,0 +1,417 @@
+package mmdb
+
+// The mutable delta layer behind AppendRows.  The paper's OLAP position —
+// rebuild indexes from scratch after a batch of updates (§2.3) — prices a
+// batch at O(n log n) no matter how small it is, so a stream of small
+// appends pays the whole table over and over: the append cliff.  The fix
+// mirrors an LSM tree collapsed to one level: a small batch is *absorbed*
+// as a sorted (value, RID) run per index, with min/max fences and a bloom
+// filter so probes skip runs that cannot match, and every read surface
+// serves base ∪ delta merged by (value, RID).  Because appended RIDs all
+// exceed resident RIDs and the rebuild's radix sort is stable, that merged
+// order is bit-identical to what a full rebuild would produce — the delta
+// layer is invisible to results, only to build cost.  Once the delta has
+// grown to a fixed fraction of the base (AppendPolicy), the batch *folds*:
+// the old full rebuild, amortised to O(log n) rebuilds per doubling.
+//
+// Frozen encodings are the crux: domains and ID columns stay fixed at the
+// last fold (delta values may be absent from the dictionary), so absorbed
+// state is served on raw values, and the result cache keys ranges by raw
+// closed bounds for the same reason (qcache).
+
+import (
+	"sync/atomic"
+
+	"cssidx/internal/bloom"
+	"cssidx/internal/domain"
+	"cssidx/internal/sortu32"
+)
+
+// AppendPolicy tunes how AppendRows lands a batch: absorbed into the delta
+// layer or folded into a full rebuild of domains, encodings and indexes.
+type AppendPolicy struct {
+	// Disabled forces every batch down the full-rebuild path — the
+	// pre-delta behavior.
+	Disabled bool
+	// FoldDenominator is the delta:base ratio that triggers a fold: a
+	// batch folds when deltaRows*FoldDenominator ≥ baseRows (0 = 8).  The
+	// default folds an append onto an empty or tiny base immediately,
+	// which is exactly the rebuild-per-batch small tables want.
+	FoldDenominator int
+	// MinFoldRows floors the trigger: a fold needs at least this many
+	// delta rows.  Raise it to keep a mid-sized table absorbing longer.
+	MinFoldRows int
+}
+
+func (p AppendPolicy) foldDenom() int {
+	if p.FoldDenominator <= 0 {
+		return 8
+	}
+	return p.FoldDenominator
+}
+
+// shouldFold reports whether a batch bringing the delta to deltaRows over
+// a base of baseRows crosses the fold threshold.
+func (p AppendPolicy) shouldFold(deltaRows, baseRows int) bool {
+	if p.Disabled {
+		return true
+	}
+	return deltaRows >= p.MinFoldRows && deltaRows*p.foldDenom() >= baseRows
+}
+
+// SetAppendPolicy configures the delta layer.  Not synchronized with
+// AppendRows: set it before the table starts appending.
+func (t *Table) SetAppendPolicy(p AppendPolicy) { t.appendPol = p }
+
+// AppendPolicy returns the configured policy.
+func (t *Table) AppendPolicy() AppendPolicy { return t.appendPol }
+
+// BaseRows returns the rows covered by the frozen encodings — everything
+// up to the last fold.
+func (t *Table) BaseRows() int { return t.baseRows }
+
+// DeltaRows returns the rows absorbed since the last fold.
+func (t *Table) DeltaRows() int { return t.rows - t.baseRows }
+
+// --- delta runs ---------------------------------------------------------------
+
+// maxDeltaRuns caps the runs an index accumulates before they are merged
+// into one (size-tiering collapsed to a single tier: probe cost stays
+// bounded without tracking run sizes).
+const maxDeltaRuns = 4
+
+// idxRun is one sorted delta run: the (value, RID) pairs of absorbed
+// append batches ordered by (value, RID), fenced by min/max and guarded by
+// a bloom filter over the values so point probes skip runs that cannot
+// match.  Values are raw, not domain IDs — the frozen dictionary may not
+// contain them.
+type idxRun struct {
+	vals   []uint32
+	rids   []uint32
+	min    uint32
+	max    uint32
+	filter bloom.Filter[uint32]
+}
+
+// newIdxRun sorts one appended batch into a run; row i has RID startRID+i.
+// The stable pair sort keeps equal values in ascending-RID order.
+func newIdxRun(vals []uint32, startRID uint32) idxRun {
+	v := append([]uint32(nil), vals...)
+	r := make([]uint32, len(v))
+	for i := range r {
+		r[i] = startRID + uint32(i)
+	}
+	sortu32.SortPairs(v, r)
+	return idxRun{vals: v, rids: r, min: v[0], max: v[len(v)-1], filter: bloom.Build(v)}
+}
+
+// appendRun adds a freshly absorbed run, merging the whole tier into one
+// run once it exceeds maxDeltaRuns.  Runs hold disjoint ascending RID
+// intervals in creation order, so the earlier-run-wins merge preserves
+// (value, RID) order.
+func appendRun(runs []idxRun, r idxRun) []idxRun {
+	runs = append(runs, r)
+	if len(runs) <= maxDeltaRuns {
+		return runs
+	}
+	merged := runs[0]
+	for _, next := range runs[1:] {
+		merged = mergeIdxRuns(merged, next)
+	}
+	return []idxRun{merged}
+}
+
+// mergeIdxRuns merges two runs by (value, RID); a wins ties, which is
+// (value, RID) order because every b-RID exceeds every a-RID.
+func mergeIdxRuns(a, b idxRun) idxRun {
+	vals, rids := mergePairsTieFirst(a.vals, a.rids, b.vals, b.rids)
+	return idxRun{vals: vals, rids: rids, min: vals[0], max: vals[len(vals)-1], filter: bloom.Build(vals)}
+}
+
+// mergedRuns serves reads a single-run view of the tier, memoized in view:
+// absorbs stay cheap (runs merge only when the tier overflows) while every
+// read surface pays one fence check, one bloom filter and one pair of
+// bounds instead of one per run.  The first read after an absorb folds the
+// tier into one run and publishes it; absorbs and rebuilds reset the memo.
+// Racing readers may each build the view, but the builds are identical, so
+// last-store-wins is harmless.
+func mergedRuns(runs []idxRun, view *atomic.Pointer[[]idxRun]) []idxRun {
+	if len(runs) <= 1 {
+		return runs
+	}
+	if v := view.Load(); v != nil {
+		return *v
+	}
+	m := runs[0]
+	for _, next := range runs[1:] {
+		m = mergeIdxRuns(m, next)
+	}
+	out := []idxRun{m}
+	view.Store(&out)
+	return out
+}
+
+// rangeOverlay is the fully merged (raw value, RID) image of base ∪ delta,
+// memoized per delta state for range reads: with it a merged range select
+// costs exactly what the pure-immutable path costs — one pair of binary
+// searches and one bulk RID copy — instead of a per-element weave on every
+// query.  Building it is one O(n + d·log n) pass, far below a fold (which
+// re-sorts everything and rebuilds domains, encodings and search
+// structures), and it only happens on the first range read after an
+// absorb, so append bursts never pay it.
+type rangeOverlay struct {
+	vals []uint32 // merged raw values, ascending (ties: ascending RID)
+	rids []uint32 // RIDs in (value, RID) order
+}
+
+func (ov *rangeOverlay) lowerBound(v uint32) int {
+	lo, hi := 0, len(ov.vals)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ov.vals[m] >= v {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return lo
+}
+
+func (ov *rangeOverlay) upperBound(v uint32) int {
+	lo, hi := 0, len(ov.vals)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ov.vals[m] > v {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return lo
+}
+
+// mergedOverlay returns the memoized overlay, building it on first use for
+// the current delta state.  Racing readers may each build it; the builds
+// are identical.
+func mergedOverlay(dom *domain.IntDomain, keys, rids []uint32, runs []idxRun, memo *atomic.Pointer[rangeOverlay]) *rangeOverlay {
+	if ov := memo.Load(); ov != nil {
+		return ov
+	}
+	r, v := mergeRangeDelta(dom, keys, rids, 0, len(keys), runs, 0, ^uint32(0), true)
+	ov := &rangeOverlay{vals: v, rids: r}
+	memo.Store(ov)
+	return ov
+}
+
+// lowerBound returns the first position with value ≥ v.  Hand-rolled: the
+// bounds run on every merged read, and sort.Search's closure indirection
+// is measurable there.
+func (r *idxRun) lowerBound(v uint32) int {
+	lo, hi := 0, len(r.vals)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if r.vals[m] >= v {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first position with value > v.
+func (r *idxRun) upperBound(v uint32) int {
+	lo, hi := 0, len(r.vals)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if r.vals[m] > v {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	return lo
+}
+
+// equalRange returns the half-open positions of value v, empty when the
+// fences or the bloom filter rule it out without searching.
+func (r *idxRun) equalRange(v uint32) (int, int) {
+	if v < r.min || v > r.max || !r.filter.May(v) {
+		return 0, 0
+	}
+	f := r.lowerBound(v)
+	l := f
+	for l < len(r.vals) && r.vals[l] == v {
+		l++
+	}
+	return f, l
+}
+
+func (r *idxRun) spaceBytes() int {
+	return 4*len(r.vals) + 4*len(r.rids) + r.filter.Bytes()
+}
+
+// deltaEqualAppend appends the delta RIDs equal to v across runs, in run
+// order — ascending RID, matching the base-then-delta merged order.
+func deltaEqualAppend(runs []idxRun, v uint32, out []uint32) []uint32 {
+	for i := range runs {
+		f, l := runs[i].equalRange(v)
+		if f < l {
+			out = append(out, runs[i].rids[f:l]...)
+		}
+	}
+	return out
+}
+
+// deltaCountEqual counts the delta rows equal to v.
+func deltaCountEqual(runs []idxRun, v uint32) int {
+	n := 0
+	for i := range runs {
+		f, l := runs[i].equalRange(v)
+		n += l - f
+	}
+	return n
+}
+
+// deltaCountRange counts the delta rows with lo ≤ value ≤ hi.
+func deltaCountRange(runs []idxRun, lo, hi uint32) int {
+	if lo > hi {
+		return 0
+	}
+	n := 0
+	for i := range runs {
+		r := &runs[i]
+		if r.min > hi || r.max < lo {
+			continue
+		}
+		n += r.upperBound(hi) - r.lowerBound(lo)
+	}
+	return n
+}
+
+// deltaRunsBytes sums the runs' footprint.
+func deltaRunsBytes(runs []idxRun) int {
+	n := 0
+	for i := range runs {
+		n += runs[i].spaceBytes()
+	}
+	return n
+}
+
+// --- merged reads -------------------------------------------------------------
+
+// mergeRangeDelta merges the base segment keys[first:last) (domain IDs
+// with parallel RIDs) with every run's lo ≤ value ≤ hi slice into one
+// (value, RID)-ordered RID list — exactly the output a fully rebuilt index
+// would produce, because every delta RID exceeds every base RID and the
+// rebuild's radix sort is stable.  When wantKeys is set the merged raw
+// values ride along for the cache's containment runs.
+//
+// The merge is asymmetric by design: the delta is tiny next to the base,
+// so the run slices first merge among themselves (earlier run wins ties —
+// RID order, since a later run's RIDs all exceed an earlier run's), and
+// each delta element then binary-searches its split point in the base
+// segment.  Base RIDs move in bulk copies and the common no-delta-overlap
+// case degenerates to one copy, which keeps merged reads near the
+// pure-immutable read cost.
+func mergeRangeDelta(dom *domain.IntDomain, keys, rids []uint32, first, last int, runs []idxRun, lo, hi uint32, wantKeys bool) (outRids, outVals []uint32) {
+	// Clip each run to [lo, hi].  Readers hand in the memoized single-run
+	// view (readRuns), so the common case is one span; left-to-right
+	// pairwise merging keeps multi-span tie order correct anyway (earlier
+	// run wins = smaller RIDs first).
+	var dv, dr []uint32
+	total := last - first
+	for ri := range runs {
+		r := &runs[ri]
+		if r.min > hi || r.max < lo {
+			continue
+		}
+		f, l := r.lowerBound(lo), r.upperBound(hi)
+		if f >= l {
+			continue
+		}
+		total += l - f
+		if dv == nil {
+			dv, dr = r.vals[f:l], r.rids[f:l]
+		} else {
+			dv, dr = mergePairsTieFirst(dv, dr, r.vals[f:l], r.rids[f:l])
+		}
+	}
+	outRids = make([]uint32, 0, total)
+	if wantKeys {
+		outVals = make([]uint32, 0, total)
+	}
+	appendBase := func(from, to int) {
+		outRids = append(outRids, rids[from:to]...)
+		if wantKeys {
+			for p := from; p < to; p++ {
+				outVals = append(outVals, dom.Value(keys[p]))
+			}
+		}
+	}
+	bi := first
+	for i, v := range dv {
+		// Base elements with value ≤ v precede the delta element (base RIDs
+		// are smaller, so ties resolve base-first); move them in one copy.
+		s, e := bi, last
+		for s < e {
+			m := int(uint(s+e) >> 1)
+			if dom.Value(keys[m]) > v {
+				e = m
+			} else {
+				s = m + 1
+			}
+		}
+		if s > bi {
+			appendBase(bi, s)
+			bi = s
+		}
+		outRids = append(outRids, dr[i])
+		if wantKeys {
+			outVals = append(outVals, v)
+		}
+	}
+	appendBase(bi, last)
+	return outRids, outVals
+}
+
+// mergePairsTieFirst merges two (value, payload) pair lists by value; a
+// wins ties.
+func mergePairsTieFirst(av, ap, bv, bp []uint32) (vals, payload []uint32) {
+	vals = make([]uint32, 0, len(av)+len(bv))
+	payload = make([]uint32, 0, len(ap)+len(bp))
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		if av[i] <= bv[j] {
+			vals, payload = append(vals, av[i]), append(payload, ap[i])
+			i++
+		} else {
+			vals, payload = append(vals, bv[j]), append(payload, bp[j])
+			j++
+		}
+	}
+	vals = append(append(vals, av[i:]...), bv[j:]...)
+	payload = append(append(payload, ap[i:]...), bp[j:]...)
+	return vals, payload
+}
+
+// idsToRaw maps a slice of domain IDs to their raw values.
+func idsToRaw(dom *domain.IntDomain, ids []uint32) []uint32 {
+	out := make([]uint32, len(ids))
+	for i, id := range ids {
+		out[i] = dom.Value(id)
+	}
+	return out
+}
+
+// deltaScanRange collects the delta-row RIDs with lo ≤ value ≤ hi by
+// scanning the column's appended tail, in row order.
+func (t *Table) deltaScanRange(c *Column, lo, hi uint32) []uint32 {
+	var out []uint32
+	for row := t.baseRows; row < len(c.raw); row++ {
+		if v := c.raw[row]; v >= lo && v <= hi {
+			out = append(out, uint32(row))
+		}
+	}
+	return out
+}

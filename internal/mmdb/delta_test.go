@@ -1,0 +1,332 @@
+package mmdb
+
+// Differential tests for the delta layer: a live table absorbing append
+// batches must stay bit-identical, on every read surface, to an oracle
+// twin that folds every batch the pre-delta way.  The sequences are chosen
+// to drive the live table through absorbs, run merges (> maxDeltaRuns) and
+// size-triggered folds.
+
+import (
+	"fmt"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+// twin is one half of a differential pair: a table with a sorted index on
+// "k", a sharded index on "s", and a plain measure column "v".
+type twin struct {
+	tab *Table
+	kIx *SortedIndex
+	sIx *ShardedIndex
+}
+
+func newTwin(t *testing.T, name string, pol AppendPolicy, cols map[string][]uint32, cache bool) *twin {
+	t.Helper()
+	tab := NewTable(name)
+	tab.SetAppendPolicy(pol)
+	for _, c := range []string{"k", "s", "v"} {
+		if err := tab.AddColumn(c, cols[c]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	kIx, err := tab.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sIx, err := tab.BuildShardedIndex("s", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache {
+		tab.EnableCache(CacheOptions{MinCostNs: -1})
+	}
+	return &twin{tab: tab, kIx: kIx, sIx: sIx}
+}
+
+func (w *twin) close() { w.sIx.Close() }
+
+func genCols(g *workload.Gen, base []uint32, n int) map[string][]uint32 {
+	return map[string][]uint32{
+		"k": g.Lookups(base, n),
+		"s": g.Lookups(base, n),
+		"v": g.Lookups(base, n),
+	}
+}
+
+// checkSurfaces compares every read surface of live against oracle.
+func checkSurfaces(t *testing.T, tag string, g *workload.Gen, base []uint32, live, oracle *twin) {
+	t.Helper()
+	probes := g.Lookups(base, 6)
+	probes = append(probes, probes[0]+1) // likely absent value
+
+	for _, p := range probes {
+		mustEqualU32(t, tag+" SelectEqual(k)", live.kIx.SelectEqual(p), oracle.kIx.SelectEqual(p))
+		mustEqualU32(t, tag+" SelectEqual(s)", live.sIx.SelectEqual(p), oracle.sIx.SelectEqual(p))
+	}
+
+	ranges := [][2]uint32{
+		{0, ^uint32(0)},              // everything
+		{probes[0], probes[0] + 1e9}, // wide
+		{probes[1], probes[1]},       // point
+		{5, 4},                       // empty (lo > hi)
+	}
+	for _, r := range ranges {
+		lo, hi := r[0], r[1]
+		lr, _, err := live.tab.SelectRange("k", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		or, _, err := oracle.tab.SelectRange("k", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualU32(t, fmt.Sprintf("%s SelectRange(k,[%d,%d])", tag, lo, hi), lr, or)
+
+		ls, err := live.sIx.SelectRange(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		os, err := oracle.sIx.SelectRange(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualU32(t, fmt.Sprintf("%s ShardedRange([%d,%d])", tag, lo, hi), ls, os)
+
+		ln, err := live.kIx.CountRange(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		on, err := oracle.kIx.CountRange(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ln != on {
+			t.Fatalf("%s CountRange(k,[%d,%d]) = %d, want %d", tag, lo, hi, ln, on)
+		}
+		lv, _, err := live.tab.SelectRange("v", lo, hi) // scan path
+		if err != nil {
+			t.Fatal(err)
+		}
+		ov, _, err := oracle.tab.SelectRange("v", lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualU32(t, fmt.Sprintf("%s ScanRange(v,[%d,%d])", tag, lo, hi), lv, ov)
+	}
+
+	inList := append(g.Lookups(base, 5), probes[0]+1, probes[1])
+	li, _, err := live.tab.SelectIn("k", inList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, _, err := oracle.tab.SelectIn("k", inList)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, tag+" SelectIn(k)", li, oi)
+	mustEqualU32(t, tag+" ShardedIn(s)", live.sIx.SelectIn(inList), oracle.sIx.SelectIn(inList))
+
+	preds := []RangePred{
+		{Col: "k", Lo: probes[0], Hi: probes[0] + 1e9},
+		{Col: "v", Lo: 0, Hi: ^uint32(0) - 1},
+	}
+	lw, _, err := live.tab.SelectWhere(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ow, _, err := oracle.tab.SelectWhere(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, tag+" SelectWhere", lw, ow)
+
+	lg, err := GroupAggregate(live.tab, "k", "v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := GroupAggregate(oracle.tab, "k", "v", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lg) != len(og) {
+		t.Fatalf("%s GroupAggregate: %d groups, want %d", tag, len(lg), len(og))
+	}
+	for i := range lg {
+		if lg[i] != og[i] {
+			t.Fatalf("%s GroupAggregate[%d]: %+v, want %+v", tag, i, lg[i], og[i])
+		}
+	}
+}
+
+// checkJoin compares the (outerRID, innerRID) pair stream of live vs oracle
+// for both inner index flavors.
+func checkJoin(t *testing.T, tag string, live, oracle *twin, liveInner, oracleInner *twin) {
+	t.Helper()
+	collect := func(outer *Table, inner JoinIndex) (a, b []uint32) {
+		if _, err := Join(outer, "k", inner, func(o, i uint32) {
+			a = append(a, o)
+			b = append(b, i)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return a, b
+	}
+	lo, li := collect(live.tab, liveInner.kIx)
+	oo, oi := collect(oracle.tab, oracleInner.kIx)
+	mustEqualU32(t, tag+" join(sorted) outer RIDs", lo, oo)
+	mustEqualU32(t, tag+" join(sorted) inner RIDs", li, oi)
+
+	lo, li = collect(live.tab, liveInner.sIx)
+	oo, oi = collect(oracle.tab, oracleInner.sIx)
+	mustEqualU32(t, tag+" join(sharded) outer RIDs", lo, oo)
+	mustEqualU32(t, tag+" join(sharded) inner RIDs", li, oi)
+}
+
+// TestDeltaDifferentialAllSurfaces drives a live table through absorbs, run
+// merges and folds and checks every surface against an always-fold oracle
+// after each batch.  Run twice: without a cache (pure computation) and with
+// one (cached fills, patched entries and containment hits must not change a
+// single RID).
+func TestDeltaDifferentialAllSurfaces(t *testing.T) {
+	for _, cached := range []bool{false, true} {
+		t.Run(fmt.Sprintf("cached=%v", cached), func(t *testing.T) {
+			g := workload.New(71)
+			base := g.SortedUniform(500)
+			initial := genCols(g, base, 3000)
+			// MinFoldRows keeps the live table absorbing through enough
+			// batches to exceed maxDeltaRuns before its first fold.
+			live := newTwin(t, "t", AppendPolicy{MinFoldRows: 600}, initial, cached)
+			defer live.close()
+			oracle := newTwin(t, "t", AppendPolicy{Disabled: true}, initial, false)
+			defer oracle.close()
+
+			innerCols := genCols(g, base, 800)
+			liveInner := newTwin(t, "d", AppendPolicy{MinFoldRows: 200}, innerCols, false)
+			defer liveInner.close()
+			oracleInner := newTwin(t, "d", AppendPolicy{Disabled: true}, innerCols, false)
+			defer oracleInner.close()
+
+			// 8 batches: absorbs 1..5 push past maxDeltaRuns (run merge),
+			// batch 6 folds (3000/8 < 500+ rows ≥ MinFoldRows kicks in
+			// once delta*8 ≥ base), then two more absorbs on the new base.
+			sizes := []int{60, 70, 80, 90, 100, 400, 50, 60}
+			for bi, n := range sizes {
+				batch := genCols(g, base, n)
+				if err := live.tab.AppendRows(batch); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracle.tab.AppendRows(batch); err != nil {
+					t.Fatal(err)
+				}
+				ib := genCols(g, base, n/2)
+				if err := liveInner.tab.AppendRows(ib); err != nil {
+					t.Fatal(err)
+				}
+				if err := oracleInner.tab.AppendRows(ib); err != nil {
+					t.Fatal(err)
+				}
+				tag := fmt.Sprintf("batch %d", bi)
+				checkSurfaces(t, tag, g, base, live, oracle)
+				checkJoin(t, tag, live, oracle, liveInner, oracleInner)
+				if cached {
+					// Second pass over the same surfaces: served from the
+					// cache (exact, containment or patched entries), must
+					// still be bit-identical.
+					checkSurfaces(t, tag+" (replay)", g, base, live, oracle)
+				}
+			}
+			if live.tab.Generation() < 2 {
+				t.Fatalf("fold never triggered: gen %d", live.tab.Generation())
+			}
+			if live.tab.DeltaRows() == 0 {
+				t.Fatal("sequence ended with an empty delta; absorbs untested at rest")
+			}
+			if cached {
+				s := live.tab.CacheStats()
+				if s.Hits == 0 || s.Patches == 0 {
+					t.Fatalf("cache never exercised across absorbs: %+v", s)
+				}
+			}
+		})
+	}
+}
+
+// TestDeltaFoldPolicy pins the absorb/fold decision and the bookkeeping it
+// moves: absorbed batches grow DeltaRows and StateVersion but not
+// Generation; crossing the size threshold folds everything into the base.
+func TestDeltaFoldPolicy(t *testing.T) {
+	g := workload.New(72)
+	base := g.SortedUniform(400)
+	tab := NewTable("p")
+	if err := tab.AddColumn("k", g.Lookups(base, 4000)); err != nil {
+		t.Fatal(err)
+	}
+	gen0, sv0 := tab.Generation(), tab.StateVersion()
+
+	// 4000/8 = 500: batches of 100 absorb until the delta reaches 500.
+	for i := 1; i <= 4; i++ {
+		if err := tab.AppendRows(map[string][]uint32{"k": g.Lookups(base, 100)}); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := tab.DeltaRows(), 100*i; got != want {
+			t.Fatalf("after absorb %d: DeltaRows = %d, want %d", i, got, want)
+		}
+		if tab.Generation() != gen0 {
+			t.Fatalf("absorb %d folded: gen %d", i, tab.Generation())
+		}
+		if got, want := tab.StateVersion(), sv0+uint64(i); got != want {
+			t.Fatalf("after absorb %d: StateVersion = %d, want %d", i, got, want)
+		}
+		if tab.BaseRows() != 4000 {
+			t.Fatalf("absorb %d moved the base: %d", i, tab.BaseRows())
+		}
+	}
+	// Fifth batch brings the delta to 500 = base/8: fold.
+	if err := tab.AppendRows(map[string][]uint32{"k": g.Lookups(base, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Generation() != gen0+1 {
+		t.Fatalf("threshold batch did not fold: gen %d", tab.Generation())
+	}
+	if tab.DeltaRows() != 0 || tab.BaseRows() != 4500 {
+		t.Fatalf("fold left delta %d, base %d", tab.DeltaRows(), tab.BaseRows())
+	}
+
+	// Disabled policy folds every batch.
+	tab.SetAppendPolicy(AppendPolicy{Disabled: true})
+	if err := tab.AppendRows(map[string][]uint32{"k": g.Lookups(base, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Generation() != gen0+2 || tab.DeltaRows() != 0 {
+		t.Fatalf("disabled policy absorbed: gen %d, delta %d", tab.Generation(), tab.DeltaRows())
+	}
+
+	// MinFoldRows floors the trigger even when the ratio is crossed.
+	tab.SetAppendPolicy(AppendPolicy{MinFoldRows: 1 << 20})
+	if err := tab.AppendRows(map[string][]uint32{"k": g.Lookups(base, 3000)}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.DeltaRows() != 3000 {
+		t.Fatalf("MinFoldRows ignored: delta %d", tab.DeltaRows())
+	}
+}
+
+// TestDeltaAddColumnGuard pins the schema rule the frozen encodings need:
+// columns can only be added while the table holds no absorbed delta.
+func TestDeltaAddColumnGuard(t *testing.T) {
+	g := workload.New(73)
+	base := g.SortedUniform(100)
+	tab := NewTable("g")
+	tab.SetAppendPolicy(AppendPolicy{MinFoldRows: 1 << 20})
+	if err := tab.AddColumn("a", g.Lookups(base, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendRows(map[string][]uint32{"a": g.Lookups(base, 10)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AddColumn("b", g.Lookups(base, 1010)); err == nil {
+		t.Fatal("AddColumn allowed over a live delta")
+	}
+}

@@ -1,0 +1,63 @@
+package mmdb
+
+import (
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+func buildIngestBench(b *testing.B, pol AppendPolicy) *Table {
+	b.Helper()
+	g := workload.New(1)
+	dict := g.SortedUniform(4096)
+	tab := NewTable("b")
+	tab.SetAppendPolicy(pol)
+	for _, c := range []string{"k", "v"} {
+		if err := tab.AddColumn(c, g.Lookups(dict, 50_000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := tab.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if err := tab.AppendRows(map[string][]uint32{
+			"k": g.Lookups(dict, 256),
+			"v": g.Lookups(dict, 256),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tab
+}
+
+func benchRangeReads(b *testing.B, tab *Table) {
+	g := workload.New(7)
+	dict := g.SortedUniform(4096)
+	los := g.Lookups(dict, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := los[i%len(los)]
+		rids, _, err := tab.SelectRange("k", lo, lo+1<<24)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkInt += len(rids)
+	}
+}
+
+var sinkInt int
+
+func BenchmarkRangeReadDelta(b *testing.B) {
+	tab := buildIngestBench(b, AppendPolicy{MinFoldRows: 1 << 30})
+	if tab.DeltaRows() == 0 {
+		b.Fatal("no delta")
+	}
+	benchRangeReads(b, tab)
+}
+
+func BenchmarkRangeReadFolded(b *testing.B) {
+	tab := buildIngestBench(b, AppendPolicy{Disabled: true})
+	benchRangeReads(b, tab)
+}

@@ -40,12 +40,29 @@ type Table struct {
 	indexes map[string]*SortedIndex
 	sharded map[string]*ShardedIndex
 
-	// gen is the table generation: 1 after creation, +1 per AppendRows
-	// batch.  It is the validity token of every cached result computed
-	// against the table's in-place state (cache.go), read atomically so
-	// the epoch-serving ShardedIndex surfaces can stamp entries while a
+	// baseRows is the prefix of rows covered by the frozen encodings:
+	// domains, ID columns and index base arrays are built over rows
+	// [0, baseRows) at the last fold; rows beyond live in the delta layer
+	// (delta.go) until the next fold.
+	baseRows  int
+	appendPol AppendPolicy
+
+	// gen is the table generation: 1 after creation, +1 per *fold* (a
+	// full rebuild of encodings and indexes).  Together with deltaSeq it
+	// forms the validity token of every cached result computed against
+	// the table's in-place state (cache.go), read atomically so the
+	// epoch-serving ShardedIndex surfaces can stamp entries while a
 	// rebuild publishes.
 	gen atomic.Uint64
+	// deltaSeq counts absorbed append batches (never reset): the token's
+	// second component, so an absorb moves the token without the
+	// generation — letting the cache patch entries across it rather than
+	// drop the table.
+	deltaSeq atomic.Uint64
+	// stateVer is 1 after creation, +1 per AppendRows batch of either
+	// kind — the single-counter version join caching stamps outer state
+	// with (always gen + deltaSeq, kept explicit for cheap reads).
+	stateVer atomic.Uint64
 	// cache is the attached result cache (nil = caching off); behind an
 	// atomic pointer so concurrent sharded readers see attachment safely.
 	cache atomic.Pointer[qcache.Cache]
@@ -68,6 +85,7 @@ func NewTable(name string) *Table {
 		sharded: map[string]*ShardedIndex{},
 	}
 	t.gen.Store(1)
+	t.stateVer.Store(1)
 	return t
 }
 
@@ -80,6 +98,9 @@ func (t *Table) AddColumn(name string, values []uint32) error {
 	if len(t.cols) > 0 && len(values) != t.rows {
 		return fmt.Errorf("mmdb: column %s has %d rows, table %s has %d", name, len(values), t.name, t.rows)
 	}
+	if t.rows != t.baseRows {
+		return fmt.Errorf("mmdb: table %s has unfolded appended rows; add columns before appending", t.name)
+	}
 	dom, ids := domain.BuildInt(values)
 	t.cols[name] = &Column{
 		name: name,
@@ -89,6 +110,7 @@ func (t *Table) AddColumn(name string, values []uint32) error {
 	}
 	t.order = append(t.order, name)
 	t.rows = len(values)
+	t.baseRows = t.rows
 	return nil
 }
 
@@ -133,7 +155,18 @@ type SortedIndex struct {
 	idx   cssidx.Index
 	batch cssidx.BatchIndex        // idx behind the batch surface (native or adapted)
 	bord  cssidx.BatchOrderedIndex // non-nil when the method has ordered access
+	runs  []idxRun                 // absorbed delta runs since the last fold (delta.go)
+
+	// view memoizes runs folded to a single run for readers (mergedRuns),
+	// and overlay the fully merged base ∪ delta image for range reads
+	// (mergedOverlay); absorb and rebuild reset both.
+	view    atomic.Pointer[[]idxRun]
+	overlay atomic.Pointer[rangeOverlay]
 }
+
+// readRuns returns the delta runs as reads should see them: the memoized
+// single-run view of the tier.
+func (ix *SortedIndex) readRuns() []idxRun { return mergedRuns(ix.runs, &ix.view) }
 
 // BuildIndex builds (or rebuilds) an index on the column using the given
 // method, and registers it on the table.
@@ -172,14 +205,27 @@ func (ix *SortedIndex) rebuild() {
 	if ord, ok := ix.idx.(cssidx.OrderedIndex); ok {
 		ix.bord = cssidx.AsBatchOrdered(ord)
 	}
+	ix.runs = nil
+	ix.view.Store(nil)
+	ix.overlay.Store(nil)
+}
+
+// absorb lands one appended batch in the delta layer: a sorted run over
+// the batch's (value, RID) pairs, tier-merged once the run count exceeds
+// maxDeltaRuns.  The base arrays and search structure are untouched.
+func (ix *SortedIndex) absorb(vals []uint32, startRID uint32) {
+	ix.runs = appendRun(ix.runs, newIdxRun(vals, startRID))
+	ix.view.Store(nil)
+	ix.overlay.Store(nil)
 }
 
 // Kind returns the index method.
 func (ix *SortedIndex) Kind() cssidx.Kind { return ix.kind }
 
-// SpaceBytes returns the index footprint: RID list, key array and structure.
+// SpaceBytes returns the index footprint: RID list, key array, structure
+// and outstanding delta runs.
 func (ix *SortedIndex) SpaceBytes() int {
-	return 4*len(ix.rids) + 4*len(ix.keys) + ix.idx.SpaceBytes()
+	return 4*len(ix.rids) + 4*len(ix.keys) + ix.idx.SpaceBytes() + deltaRunsBytes(ix.runs)
 }
 
 // RIDs returns the RID list in column-value order (ordered access, §2.2).
@@ -187,20 +233,18 @@ func (ix *SortedIndex) RIDs() []uint32 { return ix.rids }
 
 // SelectEqual returns the RIDs of rows whose column equals value, in RID
 // order of the sorted list (stable: insertion order within duplicates).
+// Delta rows follow base rows — still ascending-RID, since appended RIDs
+// exceed all resident ones.
 func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
-	id, ok := ix.col.dom.ID(value)
-	if !ok {
-		return nil
-	}
-	pos := ix.idx.Search(id)
-	if pos < 0 {
-		return nil
-	}
 	var out []uint32
-	for ; pos < len(ix.keys) && ix.keys[pos] == id; pos++ {
-		out = append(out, ix.rids[pos])
+	if id, ok := ix.col.dom.ID(value); ok {
+		if pos := ix.idx.Search(id); pos >= 0 {
+			for ; pos < len(ix.keys) && ix.keys[pos] == id; pos++ {
+				out = append(out, ix.rids[pos])
+			}
+		}
 	}
-	return out
+	return deltaEqualAppend(ix.readRuns(), value, out)
 }
 
 // SelectIn returns the RIDs of rows whose column equals any value in the
@@ -210,7 +254,11 @@ func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
 // parallel worker pool.  Duplicate list values contribute their rows once;
 // RIDs come back grouped by list order, ascending within a value.
 func (ix *SortedIndex) SelectIn(values []uint32) []uint32 {
-	return selectInRIDs(ix.col.dom, ix.rids, dedupeValues(values), ix.equalRangeBatchIDs, parallel.Options{})
+	distinct := dedupeValues(values)
+	if len(ix.runs) == 0 {
+		return selectInRIDs(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, parallel.Options{})
+	}
+	return selectInMerged(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns())
 }
 
 // selectInRIDs is the shared IN-list driver: deduped values are translated
@@ -261,22 +309,51 @@ func dedupeValues(values []uint32) []uint32 {
 	return out
 }
 
-// SelectRange returns the RIDs of rows with lo ≤ column ≤ hi.  Methods
-// without ordered access return ErrNoOrderedAccess.
+// SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in (value,
+// RID) order — base and delta rows interleaved exactly as a fully rebuilt
+// index would order them.  Methods without ordered access return
+// ErrNoOrderedAccess.
 func (ix *SortedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
+	rids, _, err := ix.rangeMerged(lo, hi, false)
+	return rids, err
+}
+
+// rangeMerged is the shared range core: the base segment resolved through
+// the ordered surface, merged with the delta runs.  wantKeys additionally
+// returns the merged raw values (for the cache's containment runs).  With
+// a delta outstanding the read serves from the memoized overlay, so it
+// costs the same pair of binary searches and bulk copy as the pure-base
+// path.
+func (ix *SortedIndex) rangeMerged(lo, hi uint32, wantKeys bool) (rids, rawKeys []uint32, err error) {
 	ord, ok := ix.idx.(cssidx.OrderedIndex)
 	if !ok {
-		return nil, ErrNoOrderedAccess
+		return nil, nil, ErrNoOrderedAccess
+	}
+	if lo > hi {
+		return nil, nil, nil
+	}
+	if len(ix.runs) > 0 {
+		ov := mergedOverlay(ix.col.dom, ix.keys, ix.rids, ix.readRuns(), &ix.overlay)
+		f, l := ov.lowerBound(lo), ov.upperBound(hi)
+		if f >= l {
+			return nil, nil, nil
+		}
+		rids = append([]uint32(nil), ov.rids[f:l]...)
+		if wantKeys {
+			rawKeys = ov.vals[f:l]
+		}
+		return rids, rawKeys, nil
 	}
 	loID, hiID := ix.col.dom.IDRange(lo, hi)
-	if loID >= hiID {
-		return nil, nil
+	var first, last int
+	if loID < hiID {
+		first, last = ord.LowerBound(loID), ord.LowerBound(hiID)
 	}
-	first := ord.LowerBound(loID)
-	last := ord.LowerBound(hiID)
-	out := make([]uint32, last-first)
-	copy(out, ix.rids[first:last])
-	return out, nil
+	if first >= last {
+		return nil, nil, nil
+	}
+	rids, rawKeys = mergeRangeDelta(ix.col.dom, ix.keys, ix.rids, first, last, nil, lo, hi, wantKeys)
+	return rids, rawKeys, nil
 }
 
 // CountRange is SelectRange without materialising RIDs.
@@ -285,11 +362,15 @@ func (ix *SortedIndex) CountRange(lo, hi uint32) (int, error) {
 	if !ok {
 		return 0, ErrNoOrderedAccess
 	}
-	loID, hiID := ix.col.dom.IDRange(lo, hi)
-	if loID >= hiID {
+	if lo > hi {
 		return 0, nil
 	}
-	return ord.LowerBound(hiID) - ord.LowerBound(loID), nil
+	n := deltaCountRange(ix.readRuns(), lo, hi)
+	loID, hiID := ix.col.dom.IDRange(lo, hi)
+	if loID < hiID {
+		n += ord.LowerBound(hiID) - ord.LowerBound(loID)
+	}
+	return n, nil
 }
 
 // --- batched probing core ------------------------------------------------------
@@ -329,20 +410,24 @@ func newProbeScratch(n int) *probeScratch {
 // translated to domain IDs in one lockstep descent of the domain tree, the
 // present IDs are compacted and answered by one batched equal-range probe
 // (lockstep again for CSS methods, scalar loop for the rest), and emit is
-// called per occurrence with the value's ordinal in the chunk and its
-// position in the sorted key/RID arrays.  Emission order matches the scalar
-// path: chunk order, then ascending position within a value's duplicates.
-func (ix *SortedIndex) probeEqualBatch(values []uint32, s *probeScratch, emit func(ordinal int, pos int)) int {
-	return probeEqualCore(ix.col.dom, values, s, ix.equalRangeBatchIDs, emit)
+// called per occurrence with the value's ordinal in the chunk and the
+// matching row's RID.  Emission order matches the scalar path: chunk
+// order, then ascending RID within a value's duplicates (base rows before
+// delta rows).
+func (ix *SortedIndex) probeEqualBatch(values []uint32, s *probeScratch, emit func(ordinal int, rid uint32)) int {
+	return probeEqualCore(ix.col.dom, values, s, ix.equalRangeBatchIDs, ix.rids, ix.readRuns(), emit)
 }
 
 // probeEqualCore is the shared translate-compact-probe-emit driver behind
 // every join prober: the chunk is translated to domain IDs in one lockstep
 // descent, absent values are compacted away, the present IDs are answered by
 // one batched equal-range call, and emit runs per occurrence in chunk order
-// then ascending position.  A negative first marks an absent probe (the
-// hash-backed equal range); it contributes nothing.
-func probeEqualCore(dom *domain.IntDomain, values []uint32, s *probeScratch, equalRange func(probes []uint32, first, last []int32), emit func(ordinal, pos int)) int {
+// then ascending RID — base positions first, then the delta runs, whose
+// RIDs all exceed the base's.  A negative first marks an absent probe (the
+// hash-backed equal range); it contributes nothing.  Values absent from
+// the frozen domain still probe the runs: the delta may hold values the
+// dictionary has never seen.
+func probeEqualCore(dom *domain.IntDomain, values []uint32, s *probeScratch, equalRange func(probes []uint32, first, last []int32), rids []uint32, runs []idxRun, emit func(ordinal int, rid uint32)) int {
 	s.ensure(len(values))
 	ids := s.ids[:len(values)]
 	dom.IDsBatch(values, ids)
@@ -354,26 +439,97 @@ func probeEqualCore(dom *domain.IntDomain, values []uint32, s *probeScratch, equ
 			s.ord = append(s.ord, int32(i))
 		}
 	}
-	if len(s.probes) == 0 {
+	if len(s.probes) == 0 && len(runs) == 0 {
 		return 0
 	}
 	first := s.first[:len(s.probes)]
 	last := s.last[:len(s.probes)]
-	equalRange(s.probes, first, last)
+	if len(s.probes) > 0 {
+		equalRange(s.probes, first, last)
+	}
 	count := 0
-	for j := range s.probes {
+	emitBase := func(j int, ordinal int) {
 		f, l := first[j], last[j]
 		if f < 0 {
-			continue
+			return
 		}
 		count += int(l - f)
 		if emit != nil {
 			for pos := f; pos < l; pos++ {
-				emit(int(s.ord[j]), int(pos))
+				emit(ordinal, rids[pos])
+			}
+		}
+	}
+	if len(runs) == 0 {
+		for j := range s.probes {
+			emitBase(j, int(s.ord[j]))
+		}
+		return count
+	}
+	j := 0
+	for i, v := range values {
+		if ids[i] >= 0 {
+			emitBase(j, i)
+			j++
+		}
+		for ri := range runs {
+			f, l := runs[ri].equalRange(v)
+			count += l - f
+			if emit != nil {
+				for k := f; k < l; k++ {
+					emit(i, runs[ri].rids[k])
+				}
 			}
 		}
 	}
 	return count
+}
+
+// selectInMerged is the delta-aware IN-list driver: per chunk one lockstep
+// domain translation and one batched equal-range for the base, then per
+// listed value the base RIDs followed by the runs' — the same value-grouped,
+// ascending-RID output selectInRIDs produces against a rebuilt index.
+func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun) []uint32 {
+	if len(values) == 0 {
+		return nil
+	}
+	batch := cssidx.DefaultBatchSize
+	if batch > len(values) {
+		batch = len(values)
+	}
+	ids := make([]int32, batch)
+	probes := make([]uint32, 0, batch)
+	first := make([]int32, batch)
+	last := make([]int32, batch)
+	var out []uint32
+	for base := 0; base < len(values); base += batch {
+		end := base + batch
+		if end > len(values) {
+			end = len(values)
+		}
+		chunk := values[base:end]
+		dom.IDsBatch(chunk, ids[:len(chunk)])
+		probes = probes[:0]
+		for _, id := range ids[:len(chunk)] {
+			if id >= 0 {
+				probes = append(probes, uint32(id))
+			}
+		}
+		if len(probes) > 0 {
+			probe(probes, first[:len(probes)], last[:len(probes)])
+		}
+		j := 0
+		for i, v := range chunk {
+			if ids[i] >= 0 {
+				if f, l := first[j], last[j]; f >= 0 && f < l {
+					out = append(out, rids[f:l]...)
+				}
+				j++
+			}
+			out = deltaEqualAppend(runs, v, out)
+		}
+	}
+	return out
 }
 
 // equalRangeBatchIDs answers the equal range of every domain-ID probe:
@@ -456,16 +612,14 @@ type JoinIndex interface {
 // calls with distinct scratches.
 type joinProber interface {
 	// probeEqual probes one chunk of raw outer values and calls emit per
-	// matching occurrence with the value's ordinal in the chunk and its
-	// position in the sorted key/RID arrays; it returns the number of
-	// occurrences.  Emission order: chunk order, ascending position within
-	// a value's duplicates.
-	probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int
-	// joinRIDs is the RID list positions index into.
-	joinRIDs() []uint32
+	// matching occurrence with the value's ordinal in the chunk and the
+	// matching row's RID; it returns the number of occurrences.  Emission
+	// order: chunk order, ascending RID within a value's duplicates (base
+	// rows before delta rows).
+	probeEqual(values []uint32, s *probeScratch, emit func(ordinal int, rid uint32)) int
 	// cacheTag identifies the frozen inner state for result caching: a
 	// fingerprint of the inner index identity and the single-counter
-	// version (table generation or frozen epoch) this prober serves.
+	// version (table state version or frozen epoch) this prober serves.
 	// ok=false opts the join out of caching.
 	cacheTag() (hash uint64, version uint64, ok bool)
 }
@@ -475,21 +629,20 @@ type joinProber interface {
 // the index itself is the frozen state.
 func (ix *SortedIndex) joinFreeze() joinProber { return ix }
 
-func (ix *SortedIndex) probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int {
+func (ix *SortedIndex) probeEqual(values []uint32, s *probeScratch, emit func(ordinal int, rid uint32)) int {
 	return ix.probeEqualBatch(values, s, emit)
 }
 
-func (ix *SortedIndex) joinRIDs() []uint32 { return ix.rids }
-
 // cacheTag: a SortedIndex inner is identified by its table and column and
-// versioned by the table generation (AppendRows rebuilds it in place).
+// versioned by the table state version (AppendRows moves it in place,
+// whether the batch folds or is absorbed).
 func (ix *SortedIndex) cacheTag() (uint64, uint64, bool) {
 	if ix.owner == nil {
 		return 0, 0, false
 	}
 	h := qcache.HashString(qcache.HashString(qcache.HashSeed, ix.owner.name), ix.col.name)
 	h = qcache.HashU32(h, uint32(qcache.LayerTable))
-	return h, ix.owner.gen.Load(), true
+	return h, ix.owner.stateVer.Load(), true
 }
 
 // JoinOptions configures JoinWith.
@@ -556,7 +709,6 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 		batchSize = len(col.raw)
 	}
 	p := inner.joinFreeze()
-	rids := p.joinRIDs()
 
 	qc := outer.Cache()
 	var jkey qcache.Key
@@ -565,7 +717,7 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 	if qc.Enabled() {
 		if h, version, ok := p.cacheTag(); ok {
 			jkey = qcache.Key{Table: outer.name, Col: outerCol, Kind: qcache.KindJoin, Hash: h}
-			jtok = qcache.Token{Gen: outer.gen.Load(), Epoch: version}
+			jtok = qcache.Token{Gen: outer.stateVer.Load(), Epoch: version}
 			if emit == nil {
 				if n, ok := qc.LookupPairCount(jkey, jtok); ok {
 					return n, nil
@@ -595,10 +747,10 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 				end = hi
 			}
 			chunkBase := base
-			var chunkEmit func(ordinal, pos int)
+			var chunkEmit func(ordinal int, rid uint32)
 			if spanEmit != nil {
-				chunkEmit = func(ordinal, pos int) {
-					spanEmit(uint32(chunkBase+ordinal), rids[pos])
+				chunkEmit = func(ordinal int, rid uint32) {
+					spanEmit(uint32(chunkBase+ordinal), rid)
 				}
 			}
 			count += p.probeEqual(col.raw[base:end], s, chunkEmit)
@@ -662,11 +814,16 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 // --- batch updates -------------------------------------------------------------
 
 // AppendRows appends a batch of rows: newCols must supply every column with
-// equal-length slices.  Domains and ID encodings are rebuilt (domain IDs are
-// ranks, so inserting new distinct values renumbers them), and every
-// registered index is rebuilt from scratch — the paper's OLAP position:
-// "in a main-memory system, it may be relatively cheap to rebuild an index
-// from scratch after a batch of updates."
+// equal-length slices.  Small batches are *absorbed* into the delta layer —
+// sorted per-index runs over the appended rows, served merged with the base
+// by every read surface (delta.go) — so an append stream stops paying a
+// full O(n) rebuild per batch.  Once the delta reaches the AppendPolicy
+// threshold (or the policy disables absorption), the batch *folds*: domains
+// and ID encodings are rebuilt (domain IDs are ranks, so inserting new
+// distinct values renumbers them) and every registered index is rebuilt
+// from scratch — the paper's OLAP position: "in a main-memory system, it
+// may be relatively cheap to rebuild an index from scratch after a batch
+// of updates."
 func (t *Table) AppendRows(newCols map[string][]uint32) error {
 	if len(t.cols) == 0 {
 		return errors.New("mmdb: table has no columns")
@@ -683,12 +840,25 @@ func (t *Table) AppendRows(newCols map[string][]uint32) error {
 			return fmt.Errorf("mmdb: batch column %s has %d rows, want %d", name, len(vals), batch)
 		}
 	}
+	if batch == 0 || t.appendPol.shouldFold(t.rows-t.baseRows+batch, t.baseRows) {
+		t.foldRows(newCols, batch)
+	} else {
+		t.absorbRows(newCols, batch)
+	}
+	return nil
+}
+
+// foldRows is the full-rebuild path: encodings, indexes and sharded epochs
+// are reconstructed over all rows (clearing any outstanding delta runs),
+// the generation moves, and the table's cached entries are swept.
+func (t *Table) foldRows(newCols map[string][]uint32, batch int) {
 	for _, name := range t.order {
 		c := t.cols[name]
 		c.raw = append(c.raw, newCols[name]...)
 		c.dom, c.ids = domain.BuildInt(c.raw)
 	}
 	t.rows += batch
+	t.baseRows = t.rows
 	for _, ix := range t.indexes {
 		ix.rebuild()
 	}
@@ -701,6 +871,53 @@ func (t *Table) AppendRows(newCols map[string][]uint32) error {
 	// inserts late is stamped with the old epoch and reaped at its next
 	// access.
 	t.gen.Add(1)
+	t.stateVer.Add(1)
 	t.Cache().DropTable(t.name)
-	return nil
+}
+
+// absorbRows is the delta path: raw columns grow, the frozen encodings do
+// not, and each index absorbs the batch as one sorted run (sharded indexes
+// publish a new epoch sharing the base arrays).  Instead of dropping the
+// table's cached entries, the move from the old token to the new one is a
+// PatchAppend sweep: entries whose key domain misses the batch are carried
+// across untouched, intersecting ones are extended with the qualifying
+// appended rows, and only the kinds that cannot be patched drop.
+func (t *Table) absorbRows(newCols map[string][]uint32, batch int) {
+	startRID := uint32(t.rows)
+	oldTok := t.token()
+	var oldUIDs map[string]uint64
+	if len(t.sharded) > 0 {
+		oldUIDs = make(map[string]uint64, len(t.sharded))
+		for col, six := range t.sharded {
+			oldUIDs[col] = six.cur.Load().uid
+		}
+	}
+	for _, name := range t.order {
+		c := t.cols[name]
+		c.raw = append(c.raw, newCols[name]...)
+	}
+	t.rows += batch
+	for col, ix := range t.indexes {
+		ix.absorb(newCols[col], startRID)
+	}
+	for col, six := range t.sharded {
+		six.absorb(newCols[col], startRID)
+	}
+	t.deltaSeq.Add(1)
+	t.stateVer.Add(1)
+	if qc := t.Cache(); qc.Enabled() {
+		qc.PatchAppend(qcache.AppendPatch{
+			Table: t.name, Layer: qcache.LayerTable,
+			OldTok: oldTok, NewTok: t.token(),
+			StartRID: startRID, Cols: newCols,
+		})
+		for col, six := range t.sharded {
+			qc.PatchAppend(qcache.AppendPatch{
+				Table: t.name, Layer: qcache.LayerEpoch, Col: col,
+				OldTok:   qcache.Token{Epoch: oldUIDs[col]},
+				NewTok:   qcache.Token{Epoch: six.cur.Load().uid},
+				StartRID: startRID, Cols: newCols,
+			})
+		}
+	}
 }

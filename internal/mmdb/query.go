@@ -2,9 +2,9 @@ package mmdb
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
-	"cssidx"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
 )
@@ -29,7 +29,10 @@ type GroupRow struct {
 // GroupAggregate computes COUNT/SUM/MIN/MAX of measureCol grouped by
 // groupCol over the given rows (nil rids = all rows).  Grouping runs on
 // domain IDs: one array slot per distinct value, no hashing — the payoff of
-// §2.1's ordered domain encoding.  Groups come back in value order.
+// §2.1's ordered domain encoding.  Rows beyond the frozen encoding (the
+// delta layer's appended tail) have no IDs yet and accumulate through a
+// small map on raw values instead, merged in at the end.  Groups come back
+// in value order.
 func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]GroupRow, error) {
 	gc, ok := t.cols[groupCol]
 	if !ok {
@@ -44,10 +47,31 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 	sums := make([]uint64, nGroups)
 	mins := make([]uint32, nGroups)
 	maxs := make([]uint32, nGroups)
+	var delta map[uint32]*GroupRow
 
 	accumulate := func(row int) {
-		id := gc.ids[row]
 		v := mc.raw[row]
+		if row >= t.baseRows {
+			if delta == nil {
+				delta = map[uint32]*GroupRow{}
+			}
+			val := gc.raw[row]
+			g, ok := delta[val]
+			if !ok {
+				delta[val] = &GroupRow{Value: val, Count: 1, Sum: uint64(v), Min: v, Max: v}
+				return
+			}
+			if v < g.Min {
+				g.Min = v
+			}
+			if v > g.Max {
+				g.Max = v
+			}
+			g.Count++
+			g.Sum += uint64(v)
+			return
+		}
+		id := gc.ids[row]
 		if counts[id] == 0 {
 			mins[id] = v
 			maxs[id] = v
@@ -72,7 +96,7 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 		}
 	}
 
-	out := make([]GroupRow, 0, nGroups)
+	out := make([]GroupRow, 0, nGroups+len(delta))
 	for id := 0; id < nGroups; id++ {
 		if counts[id] == 0 {
 			continue
@@ -84,6 +108,25 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 			Min:   mins[id],
 			Max:   maxs[id],
 		})
+	}
+	if len(delta) > 0 {
+		for i := range out {
+			if d, ok := delta[out[i].Value]; ok {
+				if d.Min < out[i].Min {
+					out[i].Min = d.Min
+				}
+				if d.Max > out[i].Max {
+					out[i].Max = d.Max
+				}
+				out[i].Count += d.Count
+				out[i].Sum += d.Sum
+				delete(delta, out[i].Value)
+			}
+		}
+		for _, d := range delta {
+			out = append(out, *d)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
 	}
 	return out, nil
 }
@@ -167,21 +210,24 @@ func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 	if !ok {
 		return nil, Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
 	}
+	if lo > hi {
+		return nil, Plan{}, nil
+	}
 	loID, hiID := c.dom.IDRange(lo, hi)
 	plan := t.planRangeIDs(col, c, loID, hiID)
 	if plan.UseIndex {
 		if ix, ok := t.indexes[col]; ok {
-			rids, err := t.selectRangeIndexed(ix, col, loID, hiID, plan)
+			rids, err := t.selectRangeIndexed(ix, col, lo, hi, plan)
 			return rids, plan, err
 		}
 		rids, err := t.sharded[col].SelectRange(lo, hi) // cached per frozen epoch inside
 		return rids, plan, err
 	}
-	if loID >= hiID {
-		return nil, plan, nil // no domain value in [lo, hi]
+	if loID >= hiID && t.rows == t.baseRows {
+		return nil, plan, nil // no live value in [lo, hi]
 	}
 	qc, tok := t.Cache(), t.token()
-	key := rangeFP(t.name, col, qcache.LayerTable, loID, hiID)
+	key := rangeFP(t.name, col, qcache.LayerTable, lo, hi)
 	if rids, ok := qc.LookupRange(key, tok); ok {
 		return rids, plan, nil
 	}
@@ -193,29 +239,23 @@ func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 	return out, plan, nil
 }
 
-// selectRangeIndexed answers a normalized ID range through the sorted
-// index, consulting and filling the generation-stamped cache.
-func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, loID, hiID uint32, plan Plan) ([]uint32, error) {
-	ord, ok := ix.idx.(cssidx.OrderedIndex)
-	if !ok {
-		return nil, ErrNoOrderedAccess
-	}
-	if loID >= hiID {
-		return nil, nil
-	}
+// selectRangeIndexed answers a raw closed range through the sorted index —
+// base segment merged with the delta runs — consulting and filling the
+// token-stamped cache.
+func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, plan Plan) ([]uint32, error) {
 	qc, tok := t.Cache(), t.token()
-	key := rangeFP(t.name, col, qcache.LayerTable, loID, hiID)
+	key := rangeFP(t.name, col, qcache.LayerTable, lo, hi)
 	if rids, ok := qc.LookupRange(key, tok); ok {
 		return rids, nil
 	}
 	start := time.Now()
-	first := ord.LowerBound(loID)
-	last := ord.LowerBound(hiID)
-	out := make([]uint32, last-first)
-	copy(out, ix.rids[first:last])
-	// The sorted key run rides along so any subrange of this result can be
-	// answered by slicing it (containment reuse).
-	qc.InsertRange(key, tok, ix.keys[first:last], out, recomputeCost(time.Since(start), plan, t.rows))
+	// The merged raw key run rides along so any subrange of this result
+	// can be answered by slicing it (containment reuse).
+	out, keys, err := ix.rangeMerged(lo, hi, qc.Enabled())
+	if err != nil {
+		return nil, err
+	}
+	qc.InsertRange(key, tok, keys, out, recomputeCost(time.Since(start), plan, t.rows))
 	return out, nil
 }
 
@@ -293,8 +333,10 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 	}
 	qc, tok := t.Cache(), t.token()
 	var key qcache.Key
+	var distinct []uint32
 	if qc.Enabled() {
-		key = inFP(t.name, col, qcache.LayerTable, dedupeValues(values))
+		distinct = dedupeValues(values)
+		key = inFP(t.name, col, qcache.LayerTable, distinct)
 		if rids, ok := qc.Lookup(key, tok); ok {
 			return rids, plan, nil
 		}
@@ -316,7 +358,11 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 		}
 	}
 	if qc.Enabled() {
-		qc.Insert(key, tok, out, recomputeCost(time.Since(start), plan, t.rows))
+		// The sorted value list rides along so PatchAppend can test an
+		// absorbed batch against the entry instead of dropping it.
+		sorted := append([]uint32(nil), distinct...)
+		sortu32.Sort(sorted)
+		qc.InsertIn(key, tok, sorted, out, recomputeCost(time.Since(start), plan, t.rows))
 	}
 	return out, plan, nil
 }
@@ -358,7 +404,7 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 	qc, tok := t.Cache(), t.token()
 	var wkey qcache.Key
 	if qc.Enabled() {
-		wkey = whereFP(t.name, preds, loIDs, hiIDs)
+		wkey = whereFP(t.name, preds)
 		if rids, ok := qc.Lookup(wkey, tok); ok {
 			return rids, plans, nil
 		}
@@ -368,20 +414,32 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 	// Resolve each conjunct's RID set: cached runs first, scans and
 	// sharded probes inline, and the sorted-index conjuncts deferred so
 	// each index answers all its boundary probes in one lockstep batch.
+	// A conjunct with delta rows to consider never short-circuits on an
+	// empty frozen ID range — the appended tail may hold matching values
+	// the dictionary has never seen.
 	sets := make([][]uint32, len(preds))
 	byIndex := map[*SortedIndex][]int{}
 	for i, p := range preds {
-		if loIDs[i] >= hiIDs[i] {
+		if p.Lo > p.Hi || (loIDs[i] >= hiIDs[i] && t.rows == t.baseRows) {
 			continue // empty conjunct: the intersection is empty
 		}
-		ckey := rangeFP(t.name, p.Col, qcache.LayerTable, loIDs[i], hiIDs[i])
+		ckey := rangeFP(t.name, p.Col, qcache.LayerTable, p.Lo, p.Hi)
 		if rids, ok := qc.LookupRange(ckey, tok); ok {
 			sets[i] = rids
 			continue
 		}
 		if plans[i].UseIndex {
 			if ix, ok := t.indexes[p.Col]; ok {
-				byIndex[ix] = append(byIndex[ix], i)
+				if len(ix.runs) == 0 {
+					byIndex[ix] = append(byIndex[ix], i)
+					continue
+				}
+				rids, keys, err := ix.rangeMerged(p.Lo, p.Hi, qc.Enabled())
+				if err != nil {
+					return nil, nil, err
+				}
+				sets[i] = rids
+				qc.InsertRange(ckey, tok, keys, rids, estRecomputeNs(plans[i], t.rows))
 				continue
 			}
 			rids, err := t.sharded[p.Col].SelectRange(p.Lo, p.Hi)
@@ -406,8 +464,10 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 			rids := make([]uint32, last-first)
 			copy(rids, ix.rids[first:last])
 			sets[i] = rids
-			ckey := rangeFP(t.name, preds[i].Col, qcache.LayerTable, loIDs[i], hiIDs[i])
-			qc.InsertRange(ckey, tok, ix.keys[first:last], rids, estRecomputeNs(plans[i], t.rows))
+			if qc.Enabled() {
+				ckey := rangeFP(t.name, preds[i].Col, qcache.LayerTable, preds[i].Lo, preds[i].Hi)
+				qc.InsertRange(ckey, tok, idsToRaw(ix.col.dom, ix.keys[first:last]), rids, estRecomputeNs(plans[i], t.rows))
+			}
 		}
 	}
 

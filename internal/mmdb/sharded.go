@@ -37,7 +37,9 @@ type ShardedIndex struct {
 	cur     atomic.Pointer[shardedEpoch]
 }
 
-// shardedEpoch is one published rebuild of the index state.
+// shardedEpoch is one published state of the index: a full rebuild (fold),
+// or an absorbed append batch sharing the previous epoch's base arrays and
+// search structure with one more delta run stacked on top.
 type shardedEpoch struct {
 	epoch uint64
 	uid   uint64            // globally-unique epoch id (cache token)
@@ -45,7 +47,19 @@ type shardedEpoch struct {
 	keys  []uint32          // domain IDs in sorted order
 	rids  []uint32          // RIDs ordered by column value
 	idx   *cssidx.ShardedIndex[uint32]
+	runs  []idxRun // absorbed delta runs since the last fold (delta.go)
+
+	// view memoizes runs folded to a single run for readers (mergedRuns),
+	// and overlay the fully merged base ∪ delta image for range reads
+	// (mergedOverlay); an epoch is immutable once published, so neither
+	// memo ever goes stale.
+	view    atomic.Pointer[[]idxRun]
+	overlay atomic.Pointer[rangeOverlay]
 }
+
+// readRuns returns the delta runs as reads should see them: the memoized
+// single-run view of the tier.
+func (s *shardedEpoch) readRuns() []idxRun { return mergedRuns(s.runs, &s.view) }
 
 // epochUID issues globally-unique ids for published epochs.  Epoch() counts
 // per index instance and restarts at 1 when BuildShardedIndex replaces an
@@ -99,13 +113,31 @@ func (ix *ShardedIndex) rebuild() {
 	}
 	if old := ix.cur.Load(); old != nil {
 		next.epoch = old.epoch + 1
+		// Absorb epochs share one base idx; the fold closes it exactly once.
 		old.idx.Close()
 	}
 	ix.cur.Store(next)
 }
 
+// absorb publishes the next epoch with one more delta run, sharing the
+// previous epoch's domain, base arrays and search structure (which is why
+// only rebuild — never absorb — closes the underlying index).
+func (ix *ShardedIndex) absorb(vals []uint32, startRID uint32) {
+	s := ix.cur.Load()
+	next := &shardedEpoch{
+		epoch: s.epoch + 1,
+		uid:   epochUID.Add(1),
+		dom:   s.dom,
+		keys:  s.keys,
+		rids:  s.rids,
+		idx:   s.idx,
+		runs:  appendRun(append([]idxRun(nil), s.runs...), newIdxRun(vals, startRID)),
+	}
+	ix.cur.Store(next)
+}
+
 // Epoch returns the current table-level epoch (1 = initial build, +1 per
-// AppendRows rebuild).
+// published AppendRows state — a full rebuild or an absorbed batch).
 func (ix *ShardedIndex) Epoch() uint64 { return ix.cur.Load().epoch }
 
 // ShardCount returns the shard count of the current epoch's index.
@@ -115,23 +147,20 @@ func (ix *ShardedIndex) ShardCount() int { return ix.cur.Load().idx.ShardCount()
 // the per-shard arrays (counted as one extra key copy across shards).
 func (ix *ShardedIndex) SpaceBytes() int {
 	s := ix.cur.Load()
-	return 4*len(s.rids) + 4*len(s.keys) + 4*s.idx.Len()
+	return 4*len(s.rids) + 4*len(s.keys) + 4*s.idx.Len() + deltaRunsBytes(s.runs)
 }
 
-// SelectEqual returns the RIDs of rows whose column equals value.
+// SelectEqual returns the RIDs of rows whose column equals value — base
+// rows first, then delta rows, which is ascending-RID order.
 func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
 	s := ix.cur.Load()
-	id, ok := s.dom.ID(value)
-	if !ok {
-		return nil
+	var out []uint32
+	if id, ok := s.dom.ID(value); ok {
+		if first, last := s.idx.EqualRange(id); first < last {
+			out = append(out, s.rids[first:last]...)
+		}
 	}
-	first, last := s.idx.EqualRange(id)
-	if first >= last {
-		return nil
-	}
-	out := make([]uint32, last-first)
-	copy(out, s.rids[first:last])
-	return out
+	return deltaEqualAppend(s.readRuns(), value, out)
 }
 
 // qc returns the owning table's result cache (nil when caching is off).
@@ -162,9 +191,16 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 	}
 	start := time.Now()
 	v := s.idx.Snapshot()
-	out := selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
+	var out []uint32
+	if len(s.runs) == 0 {
+		out = selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
+	} else {
+		out = selectInMerged(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns())
+	}
 	if qc.Enabled() {
-		qc.Insert(key, tok, out, recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+		sorted := append([]uint32(nil), distinct...)
+		sortu32.Sort(sorted)
+		qc.InsertIn(key, tok, sorted, out, recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
 	}
 	return out
 }
@@ -175,7 +211,7 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 // AppendRows epochs publish while it runs.
 func (ix *ShardedIndex) joinFreeze() joinProber {
 	s := ix.cur.Load()
-	p := &shardedJoinProber{dom: s.dom, rids: s.rids, v: s.idx.Snapshot(), epoch: s.uid}
+	p := &shardedJoinProber{dom: s.dom, rids: s.rids, v: s.idx.Snapshot(), runs: s.readRuns(), epoch: s.uid}
 	if ix.tbl != nil {
 		p.table, p.col = ix.tbl.name, ix.colName
 	}
@@ -187,12 +223,11 @@ type shardedJoinProber struct {
 	dom   *domain.IntDomain
 	rids  []uint32
 	v     *cssidx.ShardedView[uint32]
+	runs  []idxRun
 	table string // inner identity for join-result caching
 	col   string
 	epoch uint64 // the frozen epoch's globally-unique uid
 }
-
-func (p *shardedJoinProber) joinRIDs() []uint32 { return p.rids }
 
 // cacheTag: a sharded inner is identified by its table and column and
 // versioned by the frozen epoch captured at joinFreeze.
@@ -206,35 +241,51 @@ func (p *shardedJoinProber) cacheTag() (uint64, uint64, bool) {
 }
 
 // probeEqual runs the shared probe driver against the frozen shard snapshot.
-func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit func(ordinal, pos int)) int {
-	return probeEqualCore(p.dom, values, s, p.v.EqualRangeBatch, emit)
+func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit func(ordinal int, rid uint32)) int {
+	return probeEqualCore(p.dom, values, s, p.v.EqualRangeBatch, p.rids, p.runs, emit)
 }
 
-// SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in column-
-// value order.  Results are cached per frozen epoch, with containment
-// reuse: a cached wider range on this column (same epoch) answers the
-// query by slicing its sorted RID run.
+// SelectRange returns the RIDs of rows with lo ≤ column ≤ hi, in (value,
+// RID) order — base and delta rows interleaved exactly as a rebuilt epoch
+// would order them.  Results are cached per frozen epoch under the raw
+// closed bounds, with containment reuse: a cached wider range on this
+// column (same epoch) answers the query by slicing its sorted run.
 func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
+	if lo > hi {
+		return nil, nil
+	}
 	s := ix.cur.Load()
 	loID, hiID := s.dom.IDRange(lo, hi)
-	if loID >= hiID {
+	if loID >= hiID && len(s.runs) == 0 {
 		return nil, nil
 	}
 	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
 	var key qcache.Key
 	if qc.Enabled() {
-		key = rangeFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, loID, hiID)
+		key = rangeFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, lo, hi)
 		if rids, ok := qc.LookupRange(key, tok); ok {
 			return rids, nil
 		}
 	}
 	start := time.Now()
-	first := s.idx.LowerBound(loID)
-	last := s.idx.LowerBound(hiID)
-	out := make([]uint32, last-first)
-	copy(out, s.rids[first:last])
+	var out, keys []uint32
+	if len(s.runs) > 0 {
+		ov := mergedOverlay(s.dom, s.keys, s.rids, s.readRuns(), &s.overlay)
+		if f, l := ov.lowerBound(lo), ov.upperBound(hi); f < l {
+			out = append([]uint32(nil), ov.rids[f:l]...)
+			keys = ov.vals[f:l]
+		}
+	} else {
+		var first, last int
+		if loID < hiID {
+			first, last = s.idx.LowerBound(loID), s.idx.LowerBound(hiID)
+		}
+		if first < last {
+			out, keys = mergeRangeDelta(s.dom, s.keys, s.rids, first, last, nil, lo, hi, qc.Enabled())
+		}
+	}
 	if qc.Enabled() {
-		qc.InsertRange(key, tok, s.keys[first:last], out,
+		qc.InsertRange(key, tok, keys, out,
 			recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
 	}
 	return out, nil
@@ -242,12 +293,16 @@ func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
 
 // CountRange is SelectRange without materialising RIDs.
 func (ix *ShardedIndex) CountRange(lo, hi uint32) (int, error) {
-	s := ix.cur.Load()
-	loID, hiID := s.dom.IDRange(lo, hi)
-	if loID >= hiID {
+	if lo > hi {
 		return 0, nil
 	}
-	return s.idx.LowerBound(hiID) - s.idx.LowerBound(loID), nil
+	s := ix.cur.Load()
+	n := deltaCountRange(s.readRuns(), lo, hi)
+	loID, hiID := s.dom.IDRange(lo, hi)
+	if loID < hiID {
+		n += s.idx.LowerBound(hiID) - s.idx.LowerBound(loID)
+	}
+	return n, nil
 }
 
 // Close releases the current epoch's background rebuilder.  Queries remain

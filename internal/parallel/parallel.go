@@ -83,22 +83,63 @@ func MinForCost(perProbeNs float64) int {
 	return m
 }
 
-// Tuner caches a one-shot measured per-probe cost and the
-// MinBatchPerWorker derived from it.  All methods are safe for concurrent
-// use; if two first batches race the calibration, the later measurement
-// wins — both are valid samples of the same index.
+// Tuner caches a measured per-probe cost and the MinBatchPerWorker derived
+// from it.  All methods are safe for concurrent use; if two first batches
+// race the calibration, the later measurement wins — both are valid
+// samples of the same index.
+//
+// A calibration is not permanent: per-probe cost is a property of the
+// structure's size and cache residency, so batch surfaces call Observe
+// with the index's current size, and once the index has doubled since the
+// measurement — or recalibrateEvery batches have used it — the cached span
+// is invalidated and the next large Run re-measures.
 type Tuner struct {
-	min   atomic.Int64  // derived MinBatchPerWorker; 0 = not yet calibrated
-	perNs atomic.Uint64 // math.Float64bits of the measured per-probe ns
+	min     atomic.Int64  // derived MinBatchPerWorker; 0 = not yet calibrated
+	perNs   atomic.Uint64 // math.Float64bits of the measured per-probe ns
+	size    atomic.Int64  // index size at calibration (0 = unrecorded)
+	batches atomic.Int64  // batches served since calibration
 }
+
+// recalibrateEvery bounds a calibration's lifetime in batches even when
+// the index never doubles: drift in machine state (frequency scaling,
+// co-tenants) is re-measured about every this many batches.
+const recalibrateEvery = 4096
 
 // Note records a calibration measurement and returns the derived span.
 func (t *Tuner) Note(probes int, elapsed time.Duration) int {
 	per := float64(elapsed.Nanoseconds()) / float64(probes)
 	m := MinForCost(per)
 	t.perNs.Store(math.Float64bits(per))
+	t.size.Store(0)
+	t.batches.Store(0)
 	t.min.Store(int64(m))
 	return m
+}
+
+// Observe notes one batch served over an index of n keys and invalidates a
+// stale calibration: when the index has at least doubled since the span
+// was measured (epoch-swap growth, delta folds), or recalibrateEvery
+// batches have run on it, the cached span is cleared so the next large Run
+// recalibrates.  Cost: two or three atomic ops; safe from any goroutine.
+func (t *Tuner) Observe(n int) {
+	if t.min.Load() == 0 || n <= 0 {
+		return
+	}
+	sz := t.size.Load()
+	if sz == 0 {
+		// First batch after a calibration records the size it was measured
+		// at (the calibration itself has no size in scope).
+		if !t.size.CompareAndSwap(0, int64(n)) {
+			sz = t.size.Load()
+		} else {
+			sz = int64(n)
+		}
+	}
+	if int64(n) >= 2*sz || t.batches.Add(1) >= recalibrateEvery {
+		t.min.Store(0)
+		t.size.Store(0)
+		t.batches.Store(0)
+	}
 }
 
 // Min returns the calibrated MinBatchPerWorker, or 0 before calibration.

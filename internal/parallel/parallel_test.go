@@ -163,6 +163,63 @@ func TestTunerCalibratesOnFirstLargeRun(t *testing.T) {
 	}
 }
 
+func TestTunerObserveInvalidatesOnGrowth(t *testing.T) {
+	var tu Tuner
+	// Before calibration Observe is a no-op.
+	tu.Observe(10_000)
+	if tu.Min() != 0 {
+		t.Fatalf("Observe calibrated from nothing: min=%d", tu.Min())
+	}
+	tu.Note(1000, 50*time.Microsecond)
+	want := tu.Min()
+	if want == 0 {
+		t.Fatal("Note did not calibrate")
+	}
+	// Stable index size keeps the calibration.
+	for i := 0; i < 100; i++ {
+		tu.Observe(10_000)
+	}
+	if tu.Min() != want {
+		t.Fatalf("stable size invalidated calibration: min=%d, want %d", tu.Min(), want)
+	}
+	// Sub-2× growth keeps it too.
+	tu.Observe(19_999)
+	if tu.Min() != want {
+		t.Fatal("sub-2x growth invalidated calibration")
+	}
+	// Doubling since the calibration-time size invalidates it.
+	tu.Observe(20_000)
+	if tu.Min() != 0 {
+		t.Fatalf("2x growth kept stale calibration: min=%d", tu.Min())
+	}
+	// A fresh Note re-arms against the new size baseline.
+	tu.Note(1000, 50*time.Microsecond)
+	tu.Observe(20_000)
+	tu.Observe(39_999)
+	if tu.Min() == 0 {
+		t.Fatal("recalibrated span dropped below the new 2x threshold")
+	}
+	tu.Observe(40_000)
+	if tu.Min() != 0 {
+		t.Fatal("2x growth after recalibration kept stale span")
+	}
+}
+
+func TestTunerObserveInvalidatesAfterManyBatches(t *testing.T) {
+	var tu Tuner
+	tu.Note(1000, 50*time.Microsecond)
+	for i := 0; i < recalibrateEvery-1; i++ {
+		tu.Observe(5000)
+		if tu.Min() == 0 {
+			t.Fatalf("calibration dropped early at batch %d", i)
+		}
+	}
+	tu.Observe(5000)
+	if tu.Min() != 0 {
+		t.Fatalf("calibration outlived %d batches", recalibrateEvery)
+	}
+}
+
 func TestTunerResolvesInDo(t *testing.T) {
 	var tu Tuner
 	tu.Note(1000, 50*time.Microsecond) // 50ns/probe → min 1000

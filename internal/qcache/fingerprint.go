@@ -15,7 +15,10 @@ type Kind uint8
 
 const (
 	// KindRange is a one-column range selection (lo ≤ col ≤ hi), with
-	// bounds normalized to half-open domain-ID ranges [Lo, Hi).
+	// Lo/Hi the raw closed value bounds as asked.  Raw values — not
+	// domain IDs — because with a delta layer the frozen dictionary no
+	// longer ranks every live value, so IDs are not canonical across an
+	// absorbed append while the raw bounds are.
 	KindRange Kind = 1 + iota
 	// KindIn is an IN-list selection; Hash fingerprints the deduplicated
 	// value list in first-occurrence order (result order depends on it).
@@ -56,8 +59,8 @@ type Key struct {
 	Col   string
 	Kind  Kind
 	Layer Layer
-	// Lo, Hi are the normalized half-open domain-ID bounds of a range
-	// query; zero for the other kinds.
+	// Lo, Hi are the raw closed value bounds of a range query; zero for
+	// the other kinds.
 	Lo, Hi uint32
 	// Hash fingerprints the kind-specific parameters (IN-list values,
 	// predicate list, join inner identity); zero for plain ranges.

@@ -1,0 +1,233 @@
+package qcache
+
+// Delta revalidation.  When a table absorbs an append batch into its delta
+// layer instead of rebuilding, the previously cached results are not all
+// garbage: a range whose bounds miss every appended value is still the
+// exact answer under the new epoch, and a range that does intersect can be
+// fixed by merging in the few qualifying rows — recomputing it would walk
+// the whole index to rediscover everything it already holds.  PatchAppend
+// is that sweep: one pass over the affected (table, layer) entries that
+// carries each one across the epoch individually instead of the old
+// drop-the-table invalidation, so an append-heavy stream stops paying a
+// full cache rebuild per batch.
+//
+// Per kind:
+//
+//   - KindRange with a key run: qualifying appended (value, RID) pairs are
+//     merged into the run.  Appended RIDs all exceed resident RIDs, so the
+//     merged payload is exactly what recomputing against base ∪ delta
+//     would produce.
+//   - KindRange in row order (nil key run): qualifying RIDs are appended —
+//     row order is ascending-RID order and appended RIDs are larger.
+//   - KindIn: carried over when no appended value is in the list; a hit
+//     inside a value group would have to splice mid-result, which needs
+//     per-position values the entry does not keep, so it drops.
+//   - KindWhere with conjunct bounds: appended rows are qualified against
+//     the whole conjunction and the survivors appended.
+//   - KindJoin: dropped — a join result can grow with any appended inner
+//     or outer row and the entry cannot tell.
+//
+// Entries are immutable after insert (readers copy payloads outside the
+// stripe lock), so a patch REPLACES the entry rather than editing it; the
+// old entry becomes a dead ring husk exactly as invalidation leaves one.
+
+import "sort"
+
+// PredBound is one conjunct of a cached KindWhere entry: the raw closed
+// bounds its rows satisfy on one column.
+type PredBound struct {
+	Col    string
+	Lo, Hi uint32
+}
+
+// AppendPatch describes one absorbed append batch to revalidate against.
+type AppendPatch struct {
+	Table string
+	Layer Layer
+	// Col restricts the sweep to one column's entries; "" sweeps every
+	// column of the layer.  Epoch-layer callers patch per indexed column.
+	Col string
+	// OldTok is the token the surviving entries currently carry; NewTok is
+	// the token they carry after the patch.  Entries with tokens older than
+	// OldTok are removed (stragglers), newer ones are left alone.
+	OldTok, NewTok Token
+	// StartRID is the row ID of the first appended row: appended row i has
+	// RID StartRID+i.
+	StartRID uint32
+	// Cols holds the appended raw values per column, row-aligned.  A kind
+	// that needs a column missing here drops its entries instead.
+	Cols map[string][]uint32
+}
+
+// PatchAppend revalidates the cached results of one (table, layer) across
+// an absorbed append: every entry stamped OldTok is retokened, extended,
+// or dropped per its kind (see the package comment above); entries with
+// provably older tokens are dropped.  Safe to call concurrently with
+// lookups and inserts — the sweep holds one stripe lock at a time.
+func (c *Cache) PatchAppend(p AppendPatch) {
+	if !c.Enabled() {
+		return
+	}
+	var patched, dropped int64
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		// Collect first: patching replaces map entries mid-iteration.
+		var sweep []*entry
+		for k, e := range st.m {
+			if k.Table == p.Table && k.Layer == p.Layer && (p.Col == "" || k.Col == p.Col) {
+				sweep = append(sweep, e)
+			}
+		}
+		for _, e := range sweep {
+			switch {
+			case e.tok == p.OldTok:
+				if st.patchOne(e, p, c) {
+					patched++
+				} else {
+					st.remove(e, c)
+					dropped++
+				}
+			case olderOrEqual(e.tok, p.OldTok):
+				st.remove(e, c)
+				dropped++
+			}
+		}
+		if len(st.ring) > 4*st.live+64 {
+			st.compactRing()
+		}
+		st.mu.Unlock()
+	}
+	c.stats.patches.Add(patched)
+	c.stats.invalidations.Add(dropped)
+}
+
+// patchOne builds the entry's successor under NewTok and swaps it in, or
+// reports false when the entry cannot be carried across the append.  The
+// caller holds the stripe lock and removes the entry on false.
+func (st *stripe) patchOne(e *entry, p AppendPatch, c *Cache) bool {
+	ne := &entry{key: e.key, tok: p.NewTok, lo: e.lo, hi: e.hi, cost: e.cost, ref: e.ref}
+	switch e.key.Kind {
+	case KindRange:
+		vals, ok := p.Cols[e.key.Col]
+		if !ok {
+			return false
+		}
+		var qKeys, qRids []uint32
+		for i, v := range vals {
+			if v >= e.lo && v <= e.hi {
+				qKeys = append(qKeys, v)
+				qRids = append(qRids, p.StartRID+uint32(i))
+			}
+		}
+		switch {
+		case len(qKeys) == 0:
+			// No appended row lands in the bounds: same answer, new epoch.
+			ne.keys, ne.rids = e.keys, e.rids
+		case e.keys != nil:
+			sortPairs(qKeys, qRids)
+			ne.keys, ne.rids = mergePairs(e.keys, e.rids, qKeys, qRids)
+		default:
+			ne.rids = concatU32(e.rids, qRids)
+		}
+	case KindIn:
+		vals, ok := p.Cols[e.key.Col]
+		if !ok || e.vals == nil {
+			return false
+		}
+		for _, v := range vals {
+			i := sort.Search(len(e.vals), func(j int) bool { return e.vals[j] >= v })
+			if i < len(e.vals) && e.vals[i] == v {
+				return false
+			}
+		}
+		ne.vals, ne.rids = e.vals, e.rids
+	case KindWhere:
+		if len(e.preds) == 0 {
+			return false
+		}
+		n := -1
+		for _, pb := range e.preds {
+			col, ok := p.Cols[pb.Col]
+			if !ok {
+				return false
+			}
+			n = len(col)
+		}
+		var qRids []uint32
+	rows:
+		for i := 0; i < n; i++ {
+			for _, pb := range e.preds {
+				if v := p.Cols[pb.Col][i]; v < pb.Lo || v > pb.Hi {
+					continue rows
+				}
+			}
+			qRids = append(qRids, p.StartRID+uint32(i))
+		}
+		ne.preds = e.preds
+		if len(qRids) == 0 {
+			ne.rids = e.rids
+		} else {
+			ne.rids = concatU32(e.rids, qRids)
+		}
+	default: // KindJoin and anything unrecognised
+		return false
+	}
+	ne.bytes = payloadBytes(ne)
+	st.remove(e, c)
+	if !st.evictFor(ne.bytes, c) {
+		return false
+	}
+	st.m[ne.key] = ne
+	if ne.keys != nil {
+		ck := colKey{table: ne.key.Table, col: ne.key.Col, layer: ne.key.Layer}
+		st.ranges[ck] = append(st.ranges[ck], ne)
+	}
+	st.ring = append(st.ring, ne)
+	st.bytes += ne.bytes
+	st.live++
+	c.stats.entries.Add(1)
+	c.stats.bytes.Add(ne.bytes)
+	return true
+}
+
+// sortPairs sorts (keys, rids) in tandem by key, stably — both slices are
+// generated in ascending-RID order, so stability yields (key, RID) order.
+func sortPairs(keys, rids []uint32) {
+	sort.Stable(pairsByKey{keys, rids})
+}
+
+type pairsByKey struct{ k, r []uint32 }
+
+func (p pairsByKey) Len() int           { return len(p.k) }
+func (p pairsByKey) Less(i, j int) bool { return p.k[i] < p.k[j] }
+func (p pairsByKey) Swap(i, j int) {
+	p.k[i], p.k[j] = p.k[j], p.k[i]
+	p.r[i], p.r[j] = p.r[j], p.r[i]
+}
+
+// mergePairs merges two (key, RID) pair runs each sorted by (key, RID)
+// into a fresh pair of slices; a-pairs win ties, which is (key, RID) order
+// whenever every b-RID exceeds every a-RID (the append invariant).
+func mergePairs(ak, ar, bk, br []uint32) (keys, rids []uint32) {
+	keys = make([]uint32, 0, len(ak)+len(bk))
+	rids = make([]uint32, 0, len(ar)+len(br))
+	i, j := 0, 0
+	for i < len(ak) && j < len(bk) {
+		if ak[i] <= bk[j] {
+			keys, rids = append(keys, ak[i]), append(rids, ar[i])
+			i++
+		} else {
+			keys, rids = append(keys, bk[j]), append(rids, br[j])
+			j++
+		}
+	}
+	keys = append(append(keys, ak[i:]...), bk[j:]...)
+	rids = append(append(rids, ar[i:]...), br[j:]...)
+	return keys, rids
+}
+
+// concatU32 returns a fresh a ++ b.
+func concatU32(a, b []uint32) []uint32 {
+	return append(append(make([]uint32, 0, len(a)+len(b)), a...), b...)
+}

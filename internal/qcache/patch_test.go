@@ -1,0 +1,231 @@
+package qcache
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func patchFor(old, new Token, startRID uint32, cols map[string][]uint32) AppendPatch {
+	return AppendPatch{
+		Table: "t", Layer: LayerTable,
+		OldTok: old, NewTok: new,
+		StartRID: startRID, Cols: cols,
+	}
+}
+
+func TestPatchRetokensNonIntersectingRange(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	c.InsertRange(rangeKey("t", "a", 10, 19), old, seq(10, 10), seq(100, 10), 10)
+
+	// Appended values all miss [10, 19]: the entry survives untouched.
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {3, 42, 99}}))
+	got, ok := c.Lookup(rangeKey("t", "a", 10, 19), new)
+	if !ok || len(got) != 10 || got[0] != 100 {
+		t.Fatalf("retokened entry lost: ok=%v got=%v", ok, got)
+	}
+	// The old token no longer hits.
+	if _, ok := c.Lookup(rangeKey("t", "a", 10, 19), old); ok {
+		t.Fatal("old token still served after patch")
+	}
+	// Containment reuse keeps working on the carried entry.
+	if got, ok := c.LookupRange(rangeKey("t", "a", 12, 14), new); !ok || len(got) != 3 {
+		t.Fatalf("containment on retokened entry: ok=%v got=%v", ok, got)
+	}
+	if s := c.Stats(); s.Patches != 1 {
+		t.Fatalf("patches %d, want 1", s.Patches)
+	}
+}
+
+func TestPatchMergesIntersectingRange(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	// keys 10,12,14,16 at rids 100..103.
+	c.InsertRange(rangeKey("t", "a", 10, 16), old, []uint32{10, 12, 14, 16}, seq(100, 4), 10)
+
+	// Appended rows (rid 500: a=13) (501: a=99) (502: a=10) (503: a=11):
+	// three qualify, one misses.
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {13, 99, 10, 11}}))
+	got, ok := c.Lookup(rangeKey("t", "a", 10, 16), new)
+	if !ok {
+		t.Fatal("merged entry missing under new token")
+	}
+	// Value order with appended RIDs after resident ones on equal values:
+	// 10(100) 10(502) 11(503) 12(101) 13(500) 14(102) 16(103).
+	want := []uint32{100, 502, 503, 101, 500, 102, 103}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("merged rids %v, want %v", got, want)
+	}
+	// The merged key run serves subranges that include appended values.
+	if got, ok := c.LookupRange(rangeKey("t", "a", 11, 13), new); !ok || fmt.Sprint(got) != fmt.Sprint([]uint32{503, 101, 500}) {
+		t.Fatalf("containment over merged run: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestPatchAppendsToRowOrderRange(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	// Scan-path entry: row-order rids, no key run.
+	c.InsertRange(rangeKey("t", "a", 10, 19), old, nil, []uint32{4, 7, 9}, 10)
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {15, 3, 12}}))
+	got, ok := c.Lookup(rangeKey("t", "a", 10, 19), new)
+	if !ok || fmt.Sprint(got) != fmt.Sprint([]uint32{4, 7, 9, 500, 502}) {
+		t.Fatalf("row-order patch: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestPatchInList(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	k := Key{Table: "t", Col: "a", Kind: KindIn, Hash: 7, N: 3}
+	c.InsertIn(k, old, []uint32{5, 17, 40}, []uint32{1, 2, 3}, 10)
+
+	// Appended values miss the list: carried over.
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {6, 39}}))
+	if got, ok := c.Lookup(k, new); !ok || len(got) != 3 {
+		t.Fatalf("IN entry not carried: ok=%v got=%v", ok, got)
+	}
+	// Appended value hits the list: dropped (mid-result splice impossible).
+	newer := Token{Gen: 1, Epoch: 3}
+	c.PatchAppend(patchFor(new, newer, 502, map[string][]uint32{"a": {17}}))
+	if _, ok := c.Lookup(k, newer); ok {
+		t.Fatal("intersecting IN entry served after patch")
+	}
+	// A plain Insert (no value payload) cannot be patched: dropped.
+	c.Insert(k, newer, []uint32{1}, 10)
+	last := Token{Gen: 1, Epoch: 4}
+	c.PatchAppend(patchFor(newer, last, 503, map[string][]uint32{"a": {6}}))
+	if _, ok := c.Lookup(k, last); ok {
+		t.Fatal("payload-free IN entry survived a patch")
+	}
+}
+
+func TestPatchWhereConjunction(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	k := Key{Table: "t", Kind: KindWhere, Hash: 11, N: 2}
+	preds := []PredBound{{Col: "a", Lo: 10, Hi: 20}, {Col: "b", Lo: 0, Hi: 5}}
+	c.InsertWhere(k, old, preds, []uint32{8, 9}, 10)
+
+	// Rows (500: a=15,b=3 → qualifies) (501: a=15,b=9 → fails b)
+	// (502: a=25,b=1 → fails a).
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{
+		"a": {15, 15, 25},
+		"b": {3, 9, 1},
+	}))
+	got, ok := c.Lookup(k, new)
+	if !ok || fmt.Sprint(got) != fmt.Sprint([]uint32{8, 9, 500}) {
+		t.Fatalf("where patch: ok=%v got=%v", ok, got)
+	}
+	// A batch missing one conjunct column drops the entry.
+	newer := Token{Gen: 1, Epoch: 3}
+	c.PatchAppend(patchFor(new, newer, 503, map[string][]uint32{"a": {15}}))
+	if _, ok := c.Lookup(k, newer); ok {
+		t.Fatal("where entry survived a batch missing a conjunct column")
+	}
+}
+
+func TestPatchDropsJoinsAndStragglers(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 5}, Token{Gen: 1, Epoch: 6}
+	jk := Key{Table: "t", Col: "k", Kind: KindJoin, Hash: 3}
+	c.InsertPair(jk, old, []uint32{1}, []uint32{2}, 10)
+	// A straggler entry from two epochs ago, and a fresher one from a racing
+	// insert that must be left alone.
+	sk := rangeKey("t", "a", 0, 9)
+	c.InsertRange(sk, Token{Gen: 1, Epoch: 4}, seq(0, 10), seq(0, 10), 10)
+	fk := rangeKey("t", "b", 0, 9)
+	c.InsertRange(fk, Token{Gen: 1, Epoch: 7}, seq(0, 10), seq(0, 10), 10)
+
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {100}, "b": {100}, "k": {100}}))
+	if _, _, ok := c.LookupPair(jk, new); ok {
+		t.Fatal("join entry survived an append patch")
+	}
+	if _, ok := c.Lookup(sk, Token{Gen: 1, Epoch: 4}); ok {
+		t.Fatal("straggler entry survived the sweep")
+	}
+	if _, ok := c.Lookup(fk, Token{Gen: 1, Epoch: 7}); !ok {
+		t.Fatal("patch removed an entry fresher than OldTok")
+	}
+}
+
+func TestPatchScopesByColumnAndTable(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Epoch: 1}, Token{Epoch: 2}
+	ka := rangeKey("t", "a", 0, 9)
+	kb := rangeKey("t", "b", 0, 9)
+	ko := rangeKey("other", "a", 0, 9)
+	c.InsertRange(ka, old, seq(0, 10), seq(0, 10), 10)
+	c.InsertRange(kb, old, seq(0, 10), seq(0, 10), 10)
+	c.InsertRange(ko, old, seq(0, 10), seq(0, 10), 10)
+
+	p := patchFor(old, new, 500, map[string][]uint32{"a": {100}})
+	p.Col = "a"
+	c.PatchAppend(p)
+	if _, ok := c.Lookup(ka, new); !ok {
+		t.Fatal("scoped column not patched")
+	}
+	if _, ok := c.Lookup(kb, old); !ok {
+		t.Fatal("column outside the scope was touched")
+	}
+	if _, ok := c.Lookup(ko, old); !ok {
+		t.Fatal("other table was touched")
+	}
+}
+
+func TestPatchByteAccounting(t *testing.T) {
+	c := New(admitAll(Options{Stripes: 1}))
+	old, new := Token{Epoch: 1}, Token{Epoch: 2}
+	c.InsertRange(rangeKey("t", "a", 0, 99), old, seq(0, 50), seq(100, 50), 10)
+	before := c.Stats()
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {5, 7}}))
+	after := c.Stats()
+	if after.Entries != before.Entries {
+		t.Fatalf("entry count moved: %d → %d", before.Entries, after.Entries)
+	}
+	if want := before.Bytes + 2*8; after.Bytes != want {
+		t.Fatalf("bytes %d after merging 2 pairs, want %d", after.Bytes, want)
+	}
+}
+
+// TestPatchConcurrentWithLookups races PatchAppend sweeps against lookups
+// and inserts; run with -race.  Lookups must only ever see a fully old or
+// fully new entry for their token, never a torn payload.
+func TestPatchConcurrentWithLookups(t *testing.T) {
+	c := New(admitAll(Options{Stripes: 4}))
+	k := rangeKey("t", "a", 0, 1000)
+	c.InsertRange(k, Token{Epoch: 0}, seq(0, 100), seq(0, 100), 10)
+	var wg sync.WaitGroup
+	var cur atomic.Uint64 // last fully published epoch; readers never run ahead
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tok := Token{Epoch: cur.Load()}
+				if got, ok := c.Lookup(k, tok); ok && len(got) < 100 {
+					panic("torn payload observed")
+				}
+				c.LookupRange(rangeKey("t", "a", 3, 7), tok)
+			}
+		}()
+	}
+	for epoch := uint64(0); epoch < 64; epoch++ {
+		c.PatchAppend(patchFor(Token{Epoch: epoch}, Token{Epoch: epoch + 1},
+			uint32(100+epoch), map[string][]uint32{"a": {uint32(epoch * 31 % 2000)}}))
+		cur.Store(epoch + 1)
+	}
+	close(stop)
+	wg.Wait()
+	if got, ok := c.Lookup(k, Token{Epoch: 64}); !ok || len(got) < 100 {
+		t.Fatalf("entry lost after 64 patch sweeps: ok=%v len=%d", ok, len(got))
+	}
+}

@@ -25,10 +25,17 @@
 // only observed hits warm them — so one pass of never-repeated queries
 // cannot flush the working set of a hot dashboard.
 //
-// Range entries additionally support containment reuse: a cached [lo, hi)
-// run stores its sorted domain-ID keys next to the RIDs, so any subrange
-// asked under the same token is answered by two binary searches over the
-// cached run and one slice copy, never touching the index.
+// Range entries additionally support containment reuse: a cached closed
+// [lo, hi] run stores its sorted raw key values next to the RIDs, so any
+// subrange asked under the same token is answered by two binary searches
+// over the cached run and one slice copy, never touching the index.
+//
+// Appends that the table absorbs into its delta layer (rather than folding
+// into a rebuilt run) do not invalidate wholesale: PatchAppend (patch.go)
+// sweeps the affected table/layer and carries each entry across the epoch
+// individually — retokened untouched when the appended batch cannot change
+// its answer, merged with the qualifying appended rows when it can, and
+// dropped only when neither is possible.
 package qcache
 
 import (
@@ -66,8 +73,9 @@ type entry struct {
 	key Key
 	tok Token
 
-	// Range payload: keys is the sorted domain-ID run aligned with rids
-	// (nil for exact-only entries), and lo/hi the covered ID range.
+	// Range payload: keys is the sorted raw-value run aligned with rids
+	// (nil for exact-only entries), and lo/hi the covered closed value
+	// bounds.
 	lo, hi uint32
 	keys   []uint32
 
@@ -75,6 +83,12 @@ type entry struct {
 	// inner is the second column of a join-pair result (rids holds the
 	// outer RIDs); nil for every other kind.
 	inner []uint32
+	// vals is the sorted deduplicated value list of an IN entry and preds
+	// the conjunct bounds of a where entry: the payloads PatchAppend needs
+	// to decide whether an absorbed append intersects the entry.  nil
+	// means the entry cannot be patched and drops on append instead.
+	vals  []uint32
+	preds []PredBound
 
 	cost  int64 // estimated recompute cost, ns
 	bytes int64
@@ -227,13 +241,15 @@ func (c *Cache) get(k Key, tok Token) *entry {
 
 // LookupRange answers a range fingerprint (k.Kind must be KindRange),
 // first by exact match, then by containment: any valid cached run on the
-// same column whose ID range covers [k.Lo, k.Hi) yields the answer by two
-// binary searches and a slice copy.
+// same column whose closed value bounds cover [k.Lo, k.Hi] yields the
+// answer by two binary searches and a slice copy.
 func (c *Cache) LookupRange(k Key, tok Token) ([]uint32, bool) {
 	if rids, ok := c.Lookup(k, tok); ok {
 		return rids, true
 	}
-	if !c.Enabled() {
+	// An inverted key ([Lo, Hi] with Lo > Hi) is an empty range; refusing
+	// containment keeps the slice arithmetic below in bounds.
+	if !c.Enabled() || k.Lo > k.Hi {
 		return nil, false
 	}
 	st := c.stripeFor(k)
@@ -244,7 +260,7 @@ func (c *Cache) LookupRange(k Key, tok Token) ([]uint32, bool) {
 			continue
 		}
 		first := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Lo })
-		last := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Hi })
+		last := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] > k.Hi })
 		out := append([]uint32(nil), e.rids[first:last]...)
 		if e.ref < 3 {
 			e.ref++
@@ -267,12 +283,28 @@ func (c *Cache) Insert(k Key, tok Token, rids []uint32, costNs int64) {
 	c.insert(&entry{key: k, tok: tok, rids: rids, cost: costNs})
 }
 
-// InsertRange caches a range result together with its sorted domain-ID key
-// run (keys[i] is the domain ID at rids[i]; nil disables containment reuse
-// for this entry, e.g. scan-path results in row order).  k.Lo/k.Hi must be
-// the normalized ID bounds the run covers.
+// InsertRange caches a range result together with its sorted raw key run
+// (keys[i] is the raw column value at rids[i]; nil disables containment
+// reuse for this entry, e.g. scan-path results in row order).  k.Lo/k.Hi
+// must be the closed raw value bounds the run covers.
 func (c *Cache) InsertRange(k Key, tok Token, keys, rids []uint32, costNs int64) {
 	c.insert(&entry{key: k, tok: tok, lo: k.Lo, hi: k.Hi, keys: keys, rids: rids, cost: costNs})
+}
+
+// InsertIn caches an IN-list result together with its sorted deduplicated
+// raw value list, which lets PatchAppend carry the entry across absorbed
+// appends that miss every listed value.  A nil vals degrades to Insert:
+// exact reuse only, dropped by the first append.
+func (c *Cache) InsertIn(k Key, tok Token, vals, rids []uint32, costNs int64) {
+	c.insert(&entry{key: k, tok: tok, vals: vals, rids: rids, cost: costNs})
+}
+
+// InsertWhere caches a conjunction result together with its conjunct
+// bounds (raw closed bounds per column), which lets PatchAppend qualify
+// appended rows against the whole predicate and extend the entry in place.
+// A nil preds degrades to Insert: exact reuse only.
+func (c *Cache) InsertWhere(k Key, tok Token, preds []PredBound, rids []uint32, costNs int64) {
+	c.insert(&entry{key: k, tok: tok, preds: preds, rids: rids, cost: costNs})
 }
 
 // InsertPair caches a join-pair result (outer[i] joined inner[i]).
@@ -289,6 +321,16 @@ const entryOverheadBytes = 160
 // staging results admission would reject.
 func EntryBytesForPairs(count int) int64 { return entryOverheadBytes + 8*int64(count) }
 
+// payloadBytes charges an entry for its payload slices plus the fixed
+// overhead; shared between insert admission and PatchAppend re-accounting.
+func payloadBytes(e *entry) int64 {
+	b := entryOverheadBytes + 4*int64(len(e.rids)+len(e.keys)+len(e.inner)+len(e.vals))
+	for _, p := range e.preds {
+		b += 24 + int64(len(p.Col))
+	}
+	return b
+}
+
 func (c *Cache) insert(e *entry) {
 	if !c.Enabled() {
 		return
@@ -297,7 +339,7 @@ func (c *Cache) insert(e *entry) {
 		c.stats.rejects.Add(1)
 		return
 	}
-	e.bytes = entryOverheadBytes + 4*int64(len(e.rids)+len(e.keys)+len(e.inner))
+	e.bytes = payloadBytes(e)
 	if e.bytes > c.budget/2 {
 		// One result must never monopolise a stripe.
 		c.stats.rejects.Add(1)
@@ -307,6 +349,8 @@ func (c *Cache) insert(e *entry) {
 	e.rids = append([]uint32(nil), e.rids...)
 	e.keys = append([]uint32(nil), e.keys...)
 	e.inner = append([]uint32(nil), e.inner...)
+	e.vals = append([]uint32(nil), e.vals...)
+	e.preds = append([]PredBound(nil), e.preds...)
 	// Expensive results get one extra CLOCK life up front: benefit-based
 	// admission's counterpart on the eviction side.
 	if c.opts.MinCostNs > 0 && e.cost >= 8*c.opts.MinCostNs {

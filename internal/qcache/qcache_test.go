@@ -96,12 +96,12 @@ func TestStragglerDoesNotEvictFresh(t *testing.T) {
 func TestContainmentReuse(t *testing.T) {
 	c := New(admitAll(Options{}))
 	tok := Token{Gen: 1}
-	// Cached run covers IDs [10, 20): keys 10..19 with rids 100..109.
+	// Cached run covers closed values [10, 19]: keys 10..19, rids 100..109.
 	keys := seq(10, 10)
 	rids := seq(100, 10)
-	c.InsertRange(rangeKey("t", "a", 10, 20), tok, keys, rids, 10)
+	c.InsertRange(rangeKey("t", "a", 10, 19), tok, keys, rids, 10)
 
-	got, ok := c.LookupRange(rangeKey("t", "a", 13, 17), tok)
+	got, ok := c.LookupRange(rangeKey("t", "a", 13, 16), tok)
 	if !ok {
 		t.Fatal("contained subrange missed")
 	}
@@ -109,16 +109,16 @@ func TestContainmentReuse(t *testing.T) {
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("got %v want %v", got, want)
 	}
-	// Empty subrange within coverage: a hit with zero rows.
-	if got, ok := c.LookupRange(rangeKey("t", "a", 15, 15), tok); !ok || len(got) != 0 {
-		t.Fatalf("empty subrange: ok=%v got=%v", ok, got)
+	// Point subrange within coverage: closed bounds include the value.
+	if got, ok := c.LookupRange(rangeKey("t", "a", 15, 15), tok); !ok || len(got) != 1 || got[0] != 105 {
+		t.Fatalf("point subrange: ok=%v got=%v", ok, got)
 	}
 	// Not contained: extends past the cached run.
 	if _, ok := c.LookupRange(rangeKey("t", "a", 15, 25), tok); ok {
 		t.Fatal("non-contained range hit")
 	}
 	// Wrong token: no containment across epochs.
-	if _, ok := c.LookupRange(rangeKey("t", "a", 13, 17), Token{Gen: 2}); ok {
+	if _, ok := c.LookupRange(rangeKey("t", "a", 13, 16), Token{Gen: 2}); ok {
 		t.Fatal("containment across tokens")
 	}
 	s := c.Stats()

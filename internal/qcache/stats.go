@@ -11,6 +11,7 @@ type counters struct {
 	rejects       atomic.Int64
 	evictions     atomic.Int64
 	invalidations atomic.Int64
+	patches       atomic.Int64
 	entries       atomic.Int64
 	bytes         atomic.Int64
 }
@@ -29,10 +30,14 @@ type Stats struct {
 	Inserts int64
 	Rejects int64
 	// Evictions counts CLOCK victims; Invalidations counts entries
-	// removed because their token went stale (lazily at access, or
-	// eagerly by DropTable).
+	// removed because their token went stale (lazily at access, eagerly
+	// by DropTable, or dropped by a PatchAppend sweep).
 	Evictions     int64
 	Invalidations int64
+	// Patches counts entries PatchAppend carried across an absorbed
+	// append — retokened untouched or extended with the qualifying
+	// appended rows — instead of dropping.
+	Patches int64
 	// Entries and Bytes are the current residency.
 	Entries int64
 	Bytes   int64
@@ -52,6 +57,7 @@ func (c *Cache) Stats() Stats {
 		Rejects:       c.stats.rejects.Load(),
 		Evictions:     c.stats.evictions.Load(),
 		Invalidations: c.stats.invalidations.Load(),
+		Patches:       c.stats.patches.Load(),
 		Entries:       c.stats.entries.Load(),
 		Bytes:         c.stats.bytes.Load(),
 	}

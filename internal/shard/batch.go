@@ -341,6 +341,26 @@ func treeLowerBoundBatch[K cmp.Ordered](t Tree[K], probes []K, out []int32) {
 	}
 }
 
+// addRunLowerBounds adds each delta run's lower-bound count per probe to
+// the tree results, making them merged ranks.  A no-op without runs, so
+// delta-free batches pay nothing; with runs the per-probe cost is a fence
+// check or an O(log run) search per run.
+func addRunLowerBounds[K cmp.Ordered](sn *snapshot[K], probes []K, res []int32) {
+	for _, r := range sn.runs {
+		for j, p := range probes {
+			res[j] += int32(r.lowerBound(p))
+		}
+	}
+}
+
+// observeTuner notes one batch against the view's tuner so a calibration
+// that predates significant index growth is re-measured (parallel.Observe).
+func (v *View[K]) observeTuner() {
+	if t := v.par.Tuner; t != nil {
+		t.Observe(v.Len())
+	}
+}
+
 // forRuns executes body over every run, splitting runs larger than span into
 // sub-runs so one hot shard cannot serialise the batch, and distributing the
 // resulting tasks across the worker pool.  body instances touch disjoint
@@ -459,13 +479,15 @@ func (v *View[K]) LowerBoundBatch(probes []K, out []int32) {
 	if len(out) != len(probes) {
 		panic("shard: probes/out length mismatch")
 	}
+	v.observeTuner()
 	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
 		// Single shard, input order: descend straight into out (offset 0),
 		// splitting the batch across workers.
-		tree := v.snaps[0].tree
+		snap := v.snaps[0]
 		parallel.Run(len(probes), v.par, func(lo, hi int) {
-			treeLowerBoundBatch(tree, probes[lo:hi], out[lo:hi])
+			treeLowerBoundBatch(snap.tree, probes[lo:hi], out[lo:hi])
+			addRunLowerBounds(snap, probes[lo:hi], out[lo:hi])
 		})
 		return
 	}
@@ -474,7 +496,9 @@ func (v *View[K]) LowerBoundBatch(probes []K, out []int32) {
 	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
 	res := s.res[:len(gathered)]
 	v.forRuns(runs, len(gathered), s, func(r batchRun) {
-		treeLowerBoundBatch(v.snaps[r.sid].tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
+		snap := v.snaps[r.sid]
+		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
+		addRunLowerBounds(snap, gathered[r.lo:r.hi], res[r.lo:r.hi])
 		off := int32(v.offs[r.sid])
 		for j := r.lo; j < r.hi; j++ {
 			res[j] += off
@@ -489,17 +513,13 @@ func (v *View[K]) SearchBatch(probes []K, out []int32) {
 	if len(out) != len(probes) {
 		panic("shard: probes/out length mismatch")
 	}
+	v.observeTuner()
 	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
 		snap := v.snaps[0]
 		parallel.Run(len(probes), v.par, func(lo, hi int) {
 			treeLowerBoundBatch(snap.tree, probes[lo:hi], out[lo:hi])
-			n := int32(len(snap.keys))
-			for i := lo; i < hi; i++ {
-				if lb := out[i]; lb >= n || snap.keys[lb] != probes[i] {
-					out[i] = -1
-				}
-			}
+			searchResolve(snap, probes[lo:hi], out[lo:hi], 0)
 		})
 		return
 	}
@@ -510,17 +530,42 @@ func (v *View[K]) SearchBatch(probes []K, out []int32) {
 	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		snap := v.snaps[r.sid]
 		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], res[r.lo:r.hi])
-		off := int32(v.offs[r.sid])
-		n := int32(len(snap.keys))
-		for j := r.lo; j < r.hi; j++ {
-			if lb := res[j]; lb < n && snap.keys[lb] == gathered[j] {
+		searchResolve(snap, gathered[r.lo:r.hi], res[r.lo:r.hi], int32(v.offs[r.sid]))
+	})
+	v.scatter(out, res, perm, expand)
+}
+
+// searchResolve turns the tree lower bounds in res into global Search
+// results: merged leftmost rank plus the shard offset when the key is
+// present in the base or any delta run, -1 otherwise.
+func searchResolve[K cmp.Ordered](sn *snapshot[K], probes []K, res []int32, off int32) {
+	n := int32(len(sn.keys))
+	if len(sn.runs) == 0 {
+		for j, p := range probes {
+			if lb := res[j]; lb < n && sn.keys[lb] == p {
 				res[j] = off + lb
 			} else {
 				res[j] = -1
 			}
 		}
-	})
-	v.scatter(out, res, perm, expand)
+		return
+	}
+	for j, p := range probes {
+		lb := res[j]
+		found := lb < n && sn.keys[lb] == p
+		d := int32(0)
+		for _, r := range sn.runs {
+			d += int32(r.lowerBound(p))
+			if !found {
+				found = r.contains(p)
+			}
+		}
+		if found {
+			res[j] = off + lb + d
+		} else {
+			res[j] = -1
+		}
+	}
 }
 
 // EqualRangeBatch stores the global EqualRange of every probe into
@@ -530,19 +575,13 @@ func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32) {
 	if len(first) != len(probes) || len(last) != len(probes) {
 		panic("shard: probes/first/last length mismatch")
 	}
+	v.observeTuner()
 	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
 		snap := v.snaps[0]
 		parallel.Run(len(probes), v.par, func(lo, hi int) {
 			treeLowerBoundBatch(snap.tree, probes[lo:hi], first[lo:hi])
-			n := int32(len(snap.keys))
-			for i := lo; i < hi; i++ {
-				end := first[i]
-				for end < n && snap.keys[end] == probes[i] {
-					end++
-				}
-				last[i] = end
-			}
+			equalRangeResolve(snap, probes[lo:hi], first[lo:hi], last[lo:hi], 0)
 		})
 		return
 	}
@@ -554,19 +593,30 @@ func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32) {
 	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		snap := v.snaps[r.sid]
 		treeLowerBoundBatch(snap.tree, gathered[r.lo:r.hi], resF[r.lo:r.hi])
-		off := int32(v.offs[r.sid])
-		n := int32(len(snap.keys))
-		for j := r.lo; j < r.hi; j++ {
-			lb := resF[j]
-			end := lb
-			for end < n && snap.keys[end] == gathered[j] {
-				end++
-			}
-			resF[j] = off + lb
-			resL[j] = off + end
-		}
+		equalRangeResolve(snap, gathered[r.lo:r.hi], resF[r.lo:r.hi], resL[r.lo:r.hi], int32(v.offs[r.sid]))
 	})
 	v.scatter2(first, resF, last, resL, perm, expand)
+}
+
+// equalRangeResolve extends the tree lower bounds in resF across each
+// probe's duplicate run and adds the delta runs' contributions, producing
+// global merged [first, last) ranges.
+func equalRangeResolve[K cmp.Ordered](sn *snapshot[K], probes []K, resF, resL []int32, off int32) {
+	n := int32(len(sn.keys))
+	for j, p := range probes {
+		lb := resF[j]
+		end := lb
+		for end < n && sn.keys[end] == p {
+			end++
+		}
+		f, l := lb, end
+		for _, r := range sn.runs {
+			f += int32(r.lowerBound(p))
+			l += int32(r.upperBound(p))
+		}
+		resF[j] = off + f
+		resL[j] = off + l
+	}
 }
 
 // SetBatchSchedule selects the probe schedule the Index-level and captured

@@ -1,0 +1,348 @@
+package shard
+
+// The mutable delta layer under the epoch-swap cycle.  The paper's §2.3
+// position — rebuild indexes from scratch after a batch of updates — is
+// exactly right for large batches, but it makes small appends pay the full
+// O(shard) merge + tree build no matter how few keys arrived: the append
+// cliff.  The delta layer flattens the cliff the way in-memory LSM
+// memtables do: a small insert batch is sorted into an immutable delta
+// *run* (with min/max fences and a bloom filter) and published next to the
+// unchanged base array and tree, so the epoch-swap costs O(batch log batch)
+// instead of O(shard).  Reads serve the merged multiset base ∪ runs against
+// one frozen snapshot — positions are ranks in the merged order, so every
+// surface stays bit-identical to a fully rebuilt index.  A size-tiered
+// schedule bounds read amplification: runs merge together past MaxRuns, and
+// the whole delta folds into a fresh base (the original rebuild path) once
+// it reaches 1/FoldDenominator of the base.  Deletes always fold — a
+// tombstone layer would tax every read for a rare operation the OLAP cycle
+// batches anyway.
+
+import (
+	"cmp"
+	"slices"
+	"sort"
+
+	"cssidx/internal/bloom"
+)
+
+// DeltaPolicy tunes the delta layer's tiering.  The zero value means the
+// defaults (enabled, 4 runs, fold at 1/8 of the base).
+type DeltaPolicy struct {
+	// Disabled restores the pre-delta behaviour: every batch folds into a
+	// fresh base array and tree (the pure §2.3 cycle).
+	Disabled bool
+	// MaxRuns is the run count above which the runs merge into one
+	// (read amplification bound).  0 means 4.
+	MaxRuns int
+	// FoldDenominator folds the delta into the base once
+	// delta*FoldDenominator ≥ base.  0 means 8.
+	FoldDenominator int
+	// MinFoldKeys keeps tiny shards from folding on every batch: the delta
+	// must also hold at least this many keys before a size-triggered fold.
+	// 0 means 512.
+	MinFoldKeys int
+}
+
+func (p DeltaPolicy) maxRuns() int {
+	if p.MaxRuns <= 0 {
+		return 4
+	}
+	return p.MaxRuns
+}
+
+func (p DeltaPolicy) foldDenom() int {
+	if p.FoldDenominator <= 0 {
+		return 8
+	}
+	return p.FoldDenominator
+}
+
+func (p DeltaPolicy) minFold() int {
+	if p.MinFoldKeys <= 0 {
+		return 512
+	}
+	return p.MinFoldKeys
+}
+
+// shouldFold reports whether a delta of deltaKeys over a base of baseKeys
+// has reached the fold threshold.
+func (p DeltaPolicy) shouldFold(deltaKeys, baseKeys int) bool {
+	if p.Disabled {
+		return true
+	}
+	return deltaKeys >= p.minFold() && deltaKeys*p.foldDenom() >= baseKeys
+}
+
+// DeltaStats snapshots the delta layer across all shards.
+type DeltaStats struct {
+	BaseKeys  int // keys in the immutable base arrays
+	DeltaKeys int // keys in delta runs awaiting a fold
+	Runs      int // delta runs across shards
+	Appends   uint64
+	RunMerges uint64
+	Folds     uint64
+}
+
+// deltaRun is one immutable sorted insert batch: fences bound the key range
+// (a probe outside [min,max] skips the run with two compares) and the bloom
+// filter answers most absent membership probes without a binary search.
+type deltaRun[K cmp.Ordered] struct {
+	keys     []K
+	min, max K
+	filter   bloom.Filter[K]
+}
+
+func newDeltaRun[K cmp.Ordered](sorted []K) *deltaRun[K] {
+	return &deltaRun[K]{
+		keys:   sorted,
+		min:    sorted[0],
+		max:    sorted[len(sorted)-1],
+		filter: bloom.Build(sorted),
+	}
+}
+
+// lowerBound returns the number of run keys < key, fence-short-circuited.
+func (r *deltaRun[K]) lowerBound(key K) int {
+	if key <= r.min {
+		return 0
+	}
+	if key > r.max {
+		return len(r.keys)
+	}
+	return sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+}
+
+// upperBound returns the number of run keys ≤ key.
+func (r *deltaRun[K]) upperBound(key K) int {
+	if key < r.min {
+		return 0
+	}
+	if key >= r.max {
+		return len(r.keys)
+	}
+	return sort.Search(len(r.keys), func(i int) bool { return r.keys[i] > key })
+}
+
+// contains reports membership, bloom- and fence-filtered.
+func (r *deltaRun[K]) contains(key K) bool {
+	if key < r.min || key > r.max || !r.filter.May(key) {
+		return false
+	}
+	lb := sort.Search(len(r.keys), func(i int) bool { return r.keys[i] >= key })
+	return lb < len(r.keys) && r.keys[lb] == key
+}
+
+// --- merged-snapshot read helpers -------------------------------------------
+//
+// A snapshot's logical content is the multiset base ∪ runs; positions are
+// ranks in that merged order (ties resolve base first, then runs in run
+// order — unobservable through keys, but fixed so counts compose).
+
+// len returns the merged key count.
+func (sn *snapshot[K]) len() int { return sn.total }
+
+// lowerBound returns the merged rank of the smallest key ≥ key.
+func (sn *snapshot[K]) lowerBound(key K) int {
+	n := sn.tree.LowerBound(key)
+	for _, r := range sn.runs {
+		n += r.lowerBound(key)
+	}
+	return n
+}
+
+// search returns the merged rank of the leftmost occurrence of key, or -1.
+func (sn *snapshot[K]) search(key K) int {
+	base := sn.tree.Search(key)
+	if len(sn.runs) == 0 {
+		return base
+	}
+	d := 0
+	hit := base >= 0
+	for _, r := range sn.runs {
+		d += r.lowerBound(key)
+		hit = hit || r.contains(key)
+	}
+	if !hit {
+		return -1
+	}
+	if base < 0 {
+		base = sn.tree.LowerBound(key)
+	}
+	return base + d
+}
+
+// equalRange returns the merged half-open rank range of key.
+func (sn *snapshot[K]) equalRange(key K) (first, last int) {
+	first, last = sn.tree.EqualRange(key)
+	for _, r := range sn.runs {
+		first += r.lowerBound(key)
+		last += r.upperBound(key)
+	}
+	return first, last
+}
+
+// arrays returns the sorted arrays composing the snapshot, base first.
+func (sn *snapshot[K]) arrays() [][]K {
+	out := make([][]K, 0, 1+len(sn.runs))
+	out = append(out, sn.keys)
+	for _, r := range sn.runs {
+		out = append(out, r.keys)
+	}
+	return out
+}
+
+// selectKth returns the k-th smallest merged key (0-based rank-select).
+// The k-th value v satisfies cntLess(v) ≤ k < cntLessEq(v) and is an
+// element of some array, so each array is binary-searched for an element
+// meeting the predicate — O(runs² · log²), fine for the cold Key path.
+func (sn *snapshot[K]) selectKth(k int) K {
+	arrays := sn.arrays()
+	cntLess := func(v K) int {
+		n := 0
+		for _, a := range arrays {
+			n += sort.Search(len(a), func(i int) bool { return a[i] >= v })
+		}
+		return n
+	}
+	cntLessEq := func(v K) int {
+		n := 0
+		for _, a := range arrays {
+			n += sort.Search(len(a), func(i int) bool { return a[i] > v })
+		}
+		return n
+	}
+	for _, a := range arrays {
+		j := sort.Search(len(a), func(i int) bool { return cntLessEq(a[i]) > k })
+		if j < len(a) && cntLess(a[j]) <= k {
+			return a[j]
+		}
+	}
+	panic("shard: selectKth rank out of range")
+}
+
+// mergedKeys flattens the snapshot into one sorted array (fold input,
+// snapshot serialization).  With no runs it returns the base array itself.
+func (sn *snapshot[K]) mergedKeys() []K {
+	if len(sn.runs) == 0 {
+		return sn.keys
+	}
+	out := sn.keys
+	for _, r := range sn.runs {
+		out = mergeSorted(out, r.keys)
+	}
+	return out
+}
+
+// mergeSorted merges two sorted arrays (a's elements first on ties).
+func mergeSorted[K cmp.Ordered](a, b []K) []K {
+	out := make([]K, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+// totalDelta sums the run sizes.
+func totalDelta[K cmp.Ordered](runs []*deltaRun[K]) int {
+	n := 0
+	for _, r := range runs {
+		n += len(r.keys)
+	}
+	return n
+}
+
+// absorb builds shard s's next snapshot from an insert-only batch under the
+// tiering policy: publish a new run, merge the runs, or fold — whichever
+// the thresholds pick.  Delete batches and disabled deltas fold (callers
+// route them to fold directly).
+func (x *Index[K]) absorb(old *snapshot[K], ins []K) *snapshot[K] {
+	slices.Sort(ins)
+	runs := make([]*deltaRun[K], 0, len(old.runs)+1)
+	runs = append(runs, old.runs...)
+	runs = append(runs, newDeltaRun(ins))
+	delta := totalDelta(runs)
+	if x.delta.shouldFold(delta, len(old.keys)) {
+		return x.fold(old, ins, nil)
+	}
+	if len(runs) > x.delta.maxRuns() {
+		merged := runs[0].keys
+		for _, r := range runs[1:] {
+			merged = mergeSorted(merged, r.keys)
+		}
+		runs = []*deltaRun[K]{newDeltaRun(merged)}
+		x.runMerges.Add(1)
+	}
+	x.deltaAppends.Add(1)
+	return &snapshot[K]{
+		epoch: old.epoch + 1,
+		keys:  old.keys,
+		tree:  old.tree,
+		runs:  runs,
+		total: len(old.keys) + totalDelta(runs),
+	}
+}
+
+// fold builds the next snapshot the pre-delta way: one merged sorted array
+// (base ∪ runs ∪ ins, minus del) and a fresh tree over it.
+func (x *Index[K]) fold(old *snapshot[K], ins, del []K) *snapshot[K] {
+	keys := applyBatch(old.mergedKeys(), ins, del)
+	x.folds.Add(1)
+	return &snapshot[K]{epoch: old.epoch + 1, keys: keys, tree: x.build(keys), total: len(keys)}
+}
+
+// SetDeltaPolicy configures the delta layer (default: enabled with the
+// DeltaPolicy zero-value thresholds).  Set before serving; it is read by
+// the background rebuilder without synchronisation.
+func (x *Index[K]) SetDeltaPolicy(p DeltaPolicy) { x.delta = p }
+
+// DeltaPolicyConfigured returns the configured policy.
+func (x *Index[K]) DeltaPolicyConfigured() DeltaPolicy { return x.delta }
+
+// DeltaStats snapshots the delta layer across shards plus the lifetime
+// tiering counters.
+func (x *Index[K]) DeltaStats() DeltaStats {
+	st := DeltaStats{
+		Appends:   x.deltaAppends.Load(),
+		RunMerges: x.runMerges.Load(),
+		Folds:     x.folds.Load(),
+	}
+	for _, s := range x.shards {
+		sn := s.cur.Load()
+		st.BaseKeys += len(sn.keys)
+		st.DeltaKeys += sn.total - len(sn.keys)
+		st.Runs += len(sn.runs)
+	}
+	return st
+}
+
+// Compact folds every shard's outstanding delta runs into fresh base
+// arrays and trees, after absorbing any pending batches, and blocks until
+// the folds are published — the manual counterpart of the size-tiered
+// fold.  After Close, Compact returns immediately.
+func (x *Index[K]) Compact() {
+	ack := make(chan struct{})
+	select {
+	case x.compacts <- ack:
+		<-ack
+	case <-x.done:
+	}
+}
+
+// compactAll folds every shard that holds delta runs (background goroutine).
+func (x *Index[K]) compactAll() {
+	for _, s := range x.shards {
+		old := s.cur.Load()
+		if len(old.runs) == 0 {
+			continue
+		}
+		s.cur.Store(x.fold(old, nil, nil))
+	}
+}

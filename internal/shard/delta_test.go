@@ -1,0 +1,362 @@
+package shard
+
+// Differential tests for the mutable delta layer: every read surface over a
+// delta-carrying index must be bit-identical to the same reads over an index
+// that folds every batch into a rebuilt run (the pre-delta behaviour), which
+// in turn is checked against the plain sorted-slice oracle.  The delta layer
+// is an internal representation change only — positions, iteration order,
+// and batch results may not move.
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cssidx/internal/workload"
+)
+
+// foldEveryBatch is the pre-delta behaviour: no delta runs ever.
+var foldEveryBatch = DeltaPolicy{Disabled: true}
+
+// smallBatchPolicy keeps appends in delta runs long enough to exercise
+// run accumulation, tier merges, and the fold threshold in small tests.
+var smallBatchPolicy = DeltaPolicy{MaxRuns: 3, FoldDenominator: 4, MinFoldKeys: 64}
+
+// checkDeltaDifferential compares a delta-carrying index against a
+// fold-every-batch twin on every surface: scalar reads, positional access,
+// iterators, and the three batch kernels.
+func checkDeltaDifferential(t *testing.T, x, rebuilt *Index[uint32], probes []uint32) {
+	t.Helper()
+	if got, want := x.Len(), rebuilt.Len(); got != want {
+		t.Fatalf("Len=%d rebuilt=%d", got, want)
+	}
+	for _, p := range probes {
+		if got, want := x.Search(p), rebuilt.Search(p); got != want {
+			t.Fatalf("Search(%d)=%d rebuilt=%d", p, got, want)
+		}
+		if got, want := x.LowerBound(p), rebuilt.LowerBound(p); got != want {
+			t.Fatalf("LowerBound(%d)=%d rebuilt=%d", p, got, want)
+		}
+		gf, gl := x.EqualRange(p)
+		wf, wl := rebuilt.EqualRange(p)
+		if gf != wf || gl != wl {
+			t.Fatalf("EqualRange(%d)=[%d,%d) rebuilt=[%d,%d)", p, gf, gl, wf, wl)
+		}
+	}
+	v, rv := x.View(), rebuilt.View()
+	// Positional access via rank-select.
+	for pos := 0; pos < v.Len(); pos++ {
+		if got, want := v.Key(pos), rv.Key(pos); got != want {
+			t.Fatalf("Key(%d)=%d rebuilt=%d", pos, got, want)
+		}
+	}
+	// Merging iterator, full and subrange.
+	checkIterEqual(t, v.RangeAll(), rv.RangeAll())
+	if v.Len() > 2 {
+		lo, hi := v.Key(v.Len()/4), v.Key(3*v.Len()/4)
+		checkIterEqual(t, v.Range(lo, hi), rv.Range(lo, hi))
+	}
+	// Batch kernels across probe orderings and the merged key stream.
+	batchProbes := append(slices.Clone(probes), rv.snapKeys()...)
+	n := len(batchProbes)
+	gotLB, wantLB := make([]int32, n), make([]int32, n)
+	v.LowerBoundBatch(batchProbes, gotLB)
+	rv.LowerBoundBatch(batchProbes, wantLB)
+	if !slices.Equal(gotLB, wantLB) {
+		t.Fatalf("LowerBoundBatch diverges from rebuilt twin")
+	}
+	gotS, wantS := make([]int32, n), make([]int32, n)
+	v.SearchBatch(batchProbes, gotS)
+	rv.SearchBatch(batchProbes, wantS)
+	if !slices.Equal(gotS, wantS) {
+		t.Fatalf("SearchBatch diverges from rebuilt twin")
+	}
+	gotF, gotL := make([]int32, n), make([]int32, n)
+	wantF, wantL := make([]int32, n), make([]int32, n)
+	v.EqualRangeBatch(batchProbes, gotF, gotL)
+	rv.EqualRangeBatch(batchProbes, wantF, wantL)
+	if !slices.Equal(gotF, wantF) || !slices.Equal(gotL, wantL) {
+		t.Fatalf("EqualRangeBatch diverges from rebuilt twin")
+	}
+}
+
+func checkIterEqual(t *testing.T, got, want *RangeIter[uint32]) {
+	t.Helper()
+	for {
+		gk, gp, gok := got.Next()
+		wk, wp, wok := want.Next()
+		if gok != wok || gk != wk || gp != wp {
+			t.Fatalf("iterator diverges: got (%d,%d,%v) want (%d,%d,%v)", gk, gp, gok, wk, wp, wok)
+		}
+		if !gok {
+			return
+		}
+	}
+}
+
+// snapKeys flattens the view's content for probe generation in tests.
+func (v *View[K]) snapKeys() []K {
+	var out []K
+	for _, sn := range v.snaps {
+		out = append(out, sn.mergedKeys()...)
+	}
+	return out
+}
+
+func TestDeltaDifferentialVsRebuilt(t *testing.T) {
+	g := workload.New(7)
+	rng := rand.New(rand.NewSource(7))
+	keys := g.SortedWithDuplicates(4000, 3)
+	for _, pol := range []DeltaPolicy{{}, smallBatchPolicy, {MaxRuns: 1, FoldDenominator: 16, MinFoldKeys: 1 << 20}} {
+		x := NewEqual(keys, 4, LevelCSSBuilder(16))
+		x.SetDeltaPolicy(pol)
+		rebuilt := NewEqual(keys, 4, LevelCSSBuilder(16))
+		rebuilt.SetDeltaPolicy(foldEveryBatch)
+		o := &oracle{keys: slices.Clone(keys)}
+		for round := 0; round < 24; round++ {
+			switch {
+			case round%11 == 10:
+				// Occasional deletes: the delta layer routes any batch with
+				// deletes through a full fold.
+				del := []uint32{o.keys[rng.Intn(len(o.keys))], uint32(rng.Int63n(math.MaxUint32))}
+				x.Delete(del...)
+				rebuilt.Delete(del...)
+				o.delete(del...)
+			case round%7 == 6:
+				x.Compact()
+			default:
+				ins := make([]uint32, 20+rng.Intn(60))
+				for i := range ins {
+					// Half collide with existing keys, half are fresh.
+					if i%2 == 0 {
+						ins[i] = o.keys[rng.Intn(len(o.keys))]
+					} else {
+						ins[i] = uint32(rng.Int63n(math.MaxUint32))
+					}
+				}
+				x.Insert(ins...)
+				rebuilt.Insert(ins...)
+				o.insert(ins...)
+			}
+			x.Sync()
+			rebuilt.Sync()
+			probes := probesFor(o.keys, g)
+			checkDeltaDifferential(t, x, rebuilt, probes)
+			checkAgainstOracle(t, x, o, probes)
+		}
+		if x.DeltaStats().Appends == 0 && !pol.Disabled {
+			t.Fatal("differential run never exercised the delta path")
+		}
+		x.Close()
+		rebuilt.Close()
+	}
+}
+
+func TestDeltaTierPolicy(t *testing.T) {
+	g := workload.New(9)
+	keys := g.SortedUniform(8000)
+	x := NewEqual(keys, 2, LevelCSSBuilder(16))
+	x.SetDeltaPolicy(DeltaPolicy{MaxRuns: 3, FoldDenominator: 8, MinFoldKeys: 1 << 20})
+	defer x.Close()
+	rng := rand.New(rand.NewSource(9))
+	for batch := 0; batch < 12; batch++ {
+		ins := make([]uint32, 16)
+		for i := range ins {
+			ins[i] = uint32(rng.Int63n(math.MaxUint32))
+		}
+		x.Insert(ins...)
+		x.Sync()
+		st := x.DeltaStats()
+		// Tiering caps the per-shard run count: never above MaxRuns+1
+		// transiently, and the stats aggregate across 2 shards.
+		if st.Runs > 2*(3+1) {
+			t.Fatalf("run count %d exceeds tier cap after batch %d", st.Runs, batch)
+		}
+	}
+	st := x.DeltaStats()
+	if st.Appends == 0 {
+		t.Fatal("no delta appends recorded")
+	}
+	if st.RunMerges == 0 {
+		t.Fatal("12 small batches over MaxRuns=3 never merged runs")
+	}
+	if st.Folds != 0 {
+		t.Fatalf("fold threshold 1<<20 keys still folded %d times", st.Folds)
+	}
+	if st.DeltaKeys != 12*16 {
+		t.Fatalf("DeltaKeys=%d want %d", st.DeltaKeys, 12*16)
+	}
+	if st.BaseKeys != 8000 {
+		t.Fatalf("BaseKeys=%d want 8000", st.BaseKeys)
+	}
+
+	// Compact folds everything into the base runs.
+	x.Compact()
+	st = x.DeltaStats()
+	if st.Runs != 0 || st.DeltaKeys != 0 {
+		t.Fatalf("Compact left %d runs / %d delta keys", st.Runs, st.DeltaKeys)
+	}
+	if st.BaseKeys != 8000+12*16 {
+		t.Fatalf("BaseKeys=%d after compact, want %d", st.BaseKeys, 8000+12*16)
+	}
+	if st.Folds == 0 {
+		t.Fatal("Compact recorded no folds")
+	}
+	if got, want := x.Len(), 8000+12*16; got != want {
+		t.Fatalf("Len=%d after compact, want %d", got, want)
+	}
+}
+
+func TestDeltaFoldThreshold(t *testing.T) {
+	g := workload.New(11)
+	keys := g.SortedUniform(1000)
+	x := NewEqual(keys, 1, LevelCSSBuilder(16))
+	x.SetDeltaPolicy(DeltaPolicy{MaxRuns: 4, FoldDenominator: 4, MinFoldKeys: 64})
+	defer x.Close()
+	// 100 keys: below base/4 = 250, absorbed as a run.
+	x.Insert(g.SortedUniform(100)...)
+	x.Sync()
+	if st := x.DeltaStats(); st.Folds != 0 || st.Runs != 1 {
+		t.Fatalf("small batch should absorb: %+v", st)
+	}
+	// 200 more: cumulative 300 ≥ (1000+0)/4 — wait, threshold is against the
+	// base; 300*4 = 1200 ≥ 1000, so this batch folds everything in.
+	x.Insert(g.SortedUniform(200)...)
+	x.Sync()
+	if st := x.DeltaStats(); st.Folds != 1 || st.Runs != 0 || st.BaseKeys != 1300 {
+		t.Fatalf("threshold crossing should fold: %+v", st)
+	}
+	// Deletes always fold, even when tiny.
+	v := x.View()
+	x.Insert(v.Key(0))
+	x.Sync()
+	if st := x.DeltaStats(); st.Runs != 1 {
+		t.Fatalf("tiny insert should absorb: %+v", st)
+	}
+	x.Delete(v.Key(0))
+	x.Sync()
+	if st := x.DeltaStats(); st.Runs != 0 || st.Folds != 2 {
+		t.Fatalf("delete should fold: %+v", st)
+	}
+}
+
+func TestDeltaDisabledNeverAbsorbs(t *testing.T) {
+	g := workload.New(13)
+	x := NewEqual(g.SortedUniform(500), 2, LevelCSSBuilder(16))
+	x.SetDeltaPolicy(foldEveryBatch)
+	defer x.Close()
+	for i := 0; i < 5; i++ {
+		x.Insert(g.SortedUniform(10)...)
+		x.Sync()
+	}
+	st := x.DeltaStats()
+	if st.Appends != 0 || st.Runs != 0 || st.DeltaKeys != 0 {
+		t.Fatalf("disabled policy still built delta runs: %+v", st)
+	}
+	if got, want := x.Len(), 550; got != want {
+		t.Fatalf("Len=%d want %d", got, want)
+	}
+}
+
+// TestConcurrentReadersDuringDeltaAbsorbs races scalar, positional, batch,
+// and iterator readers against a writer doing small absorbing appends and
+// periodic compactions.  Run with -race; correctness invariant per frozen
+// View: monotone non-decreasing iteration, Key/LowerBound agreement, and
+// batch results matching scalar results on the same View.
+func TestConcurrentReadersDuringDeltaAbsorbs(t *testing.T) {
+	g := workload.New(17)
+	keys := g.SortedWithDuplicates(6000, 2)
+	x := NewEqual(keys, 4, LevelCSSBuilder(16))
+	x.SetDeltaPolicy(DeltaPolicy{MaxRuns: 3, FoldDenominator: 8, MinFoldKeys: 256})
+	defer x.Close()
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	fail := func(msg string) {
+		select {
+		case errs <- msg:
+		default:
+		}
+		stop.Store(true)
+	}
+
+	// Writer: absorbing appends with a Compact every few batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := rand.New(rand.NewSource(18))
+		for i := 0; i < 60 && !stop.Load(); i++ {
+			ins := make([]uint32, 40)
+			for j := range ins {
+				ins[j] = uint32(rng.Int63n(math.MaxUint32))
+			}
+			x.Insert(ins...)
+			x.Sync()
+			if i%8 == 7 {
+				x.Compact()
+			}
+		}
+		stop.Store(true)
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				v := x.View()
+				n := v.Len()
+				if n == 0 {
+					continue
+				}
+				// Iterator order and Key agreement over a random subrange.
+				lo := uint32(rng.Int63n(math.MaxUint32))
+				hi := lo + uint32(rng.Int63n(1<<28))
+				it := v.Range(lo, hi)
+				prev, first := uint32(0), true
+				for {
+					k, pos, ok := it.Next()
+					if !ok {
+						break
+					}
+					if !first && k < prev {
+						fail("iterator went backwards under concurrent absorbs")
+						return
+					}
+					if vk := v.Key(pos); vk != k {
+						fail("Key(pos) disagrees with iterator")
+						return
+					}
+					prev, first = k, false
+				}
+				// Batch vs scalar on the same frozen view.
+				probes := make([]uint32, 64)
+				for j := range probes {
+					probes[j] = uint32(rng.Int63n(math.MaxUint32))
+				}
+				res := make([]int32, len(probes))
+				v.LowerBoundBatch(probes, res)
+				for j, p := range probes {
+					if int(res[j]) != v.LowerBound(p) {
+						fail("batch lower bound diverges from scalar on one view")
+						return
+					}
+				}
+			}
+		}(int64(100 + r))
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+	if x.DeltaStats().Appends == 0 {
+		t.Fatal("stress run never exercised the delta absorb path")
+	}
+}

@@ -52,7 +52,9 @@ func hashKeys(parts [][]uint32) uint64 {
 func SaveU32(w io.Writer, v *View[uint32]) error {
 	parts := make([][]uint32, len(v.snaps))
 	for i, s := range v.snaps {
-		parts[i] = s.keys
+		// mergedKeys flattens any delta runs the snapshot carries, so a
+		// snapshot taken mid-delta still travels with every absorbed key.
+		parts[i] = s.mergedKeys()
 	}
 	hd := shardHeader{
 		Magic:    shardEncMagic,

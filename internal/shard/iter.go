@@ -41,7 +41,7 @@ func (x *Index[K]) View() *View[K] {
 	}
 	for i, s := range x.shards {
 		v.snaps[i] = s.cur.Load()
-		v.offs[i+1] = v.offs[i] + len(v.snaps[i].keys)
+		v.offs[i+1] = v.offs[i] + v.snaps[i].len()
 	}
 	return v
 }
@@ -72,10 +72,16 @@ func (v *View[K]) Epochs() []uint64 {
 	return out
 }
 
-// Key returns the key at a global position.
+// Key returns the key at a global position: a direct array access when the
+// shard carries no delta runs, a rank-select across base ∪ runs when it
+// does.
 func (v *View[K]) Key(pos int) K {
 	s := sort.Search(len(v.snaps), func(i int) bool { return v.offs[i+1] > pos })
-	return v.snaps[s].keys[pos-v.offs[s]]
+	sn := v.snaps[s]
+	if len(sn.runs) == 0 {
+		return sn.keys[pos-v.offs[s]]
+	}
+	return sn.selectKth(pos - v.offs[s])
 }
 
 func (v *View[K]) shardFor(key K) int {
@@ -85,7 +91,7 @@ func (v *View[K]) shardFor(key K) int {
 // Search returns the global position of the leftmost occurrence of key, or -1.
 func (v *View[K]) Search(key K) int {
 	s := v.shardFor(key)
-	i := v.snaps[s].tree.Search(key)
+	i := v.snaps[s].search(key)
 	if i < 0 {
 		return -1
 	}
@@ -95,13 +101,13 @@ func (v *View[K]) Search(key K) int {
 // LowerBound returns the smallest global position with key ≥ key, or Len().
 func (v *View[K]) LowerBound(key K) int {
 	s := v.shardFor(key)
-	return v.offs[s] + v.snaps[s].tree.LowerBound(key)
+	return v.offs[s] + v.snaps[s].lowerBound(key)
 }
 
 // EqualRange returns the half-open global position range equal to key.
 func (v *View[K]) EqualRange(key K) (first, last int) {
 	s := v.shardFor(key)
-	lo, hi := v.snaps[s].tree.EqualRange(key)
+	lo, hi := v.snaps[s].equalRange(key)
 	return v.offs[s] + lo, v.offs[s] + hi
 }
 
@@ -113,7 +119,9 @@ func (v *View[K]) Range(lo, hi K) *RangeIter[K] {
 	if lo < hi {
 		end = v.LowerBound(hi)
 	}
-	return v.rangeAt(start, end)
+	it := v.rangeAt(start, end)
+	it.startKey, it.haveStart = lo, true
+	return it
 }
 
 // RangeAll returns an iterator over every key in the view.
@@ -125,17 +133,26 @@ func (v *View[K]) rangeAt(start, end int) *RangeIter[K] {
 	return it
 }
 
-// RangeIter is a merging cross-shard iterator: it stitches the per-shard
-// sorted snapshot arrays together in boundary order.  Because the shards
-// range-partition the key space, the k-way merge of their streams
-// degenerates to ordered concatenation — each shard's stream is exhausted
-// before the next one's first key — so Next is a plain array walk with an
-// occasional shard hop.
+// RangeIter is a merging cross-shard iterator.  Because the shards
+// range-partition the key space, the cross-shard merge degenerates to
+// ordered concatenation; inside a shard the base array and its delta runs
+// DO interleave, so the iterator keeps a small head-per-stream merge
+// (base first on ties) — with no runs outstanding, Next degenerates to the
+// plain array walk it was before the delta layer.
 type RangeIter[K cmp.Ordered] struct {
 	v     *View[K]
 	shard int
 	pos   int // global position of the next key
 	end   int // global position to stop before
+
+	// Merge state of the current shard: the composing arrays and a cursor
+	// per array.  Rebuilt on every shard hop; nil until first use.
+	streams   [][]K
+	cursor    []int
+	inShard   int  // shard the streams belong to
+	started   bool // streams initialised at least once
+	startKey  K    // value the iteration started at (set by Range):
+	haveStart bool // positions the cursors mid-shard on the first shard
 }
 
 // Remaining returns the number of keys left to yield.
@@ -150,8 +167,47 @@ func (it *RangeIter[K]) Next() (key K, pos int, ok bool) {
 	for it.pos >= v.offs[it.shard+1] { // hop empty or exhausted shards
 		it.shard++
 	}
+	sn := v.snaps[it.shard]
 	pos = it.pos
-	key = v.snaps[it.shard].keys[pos-v.offs[it.shard]]
 	it.pos++
+	if len(sn.runs) == 0 {
+		return sn.keys[pos-v.offs[it.shard]], pos, true
+	}
+	if !it.started || it.inShard != it.shard {
+		it.initShard(sn, pos-v.offs[it.shard])
+	}
+	// Pick the smallest head; earliest stream (base first) wins ties.
+	best := -1
+	for i, a := range it.streams {
+		c := it.cursor[i]
+		if c >= len(a) {
+			continue
+		}
+		if best < 0 || a[c] < it.streams[best][it.cursor[best]] {
+			best = i
+		}
+	}
+	key = it.streams[best][it.cursor[best]]
+	it.cursor[best]++
 	return key, pos, true
+}
+
+// initShard positions one cursor per composing array of the shard.  local
+// is the merged rank to start at: 0 at a shard boundary, or — only on the
+// iterator's first shard — the rank of startKey's lower bound, which every
+// array realises as its own lower bound of startKey.
+func (it *RangeIter[K]) initShard(sn *snapshot[K], local int) {
+	it.streams = sn.arrays()
+	it.cursor = make([]int, len(it.streams))
+	if local != 0 {
+		if !it.haveStart {
+			panic("shard: range iterator started mid-shard without a start key")
+		}
+		it.cursor[0] = sn.tree.LowerBound(it.startKey)
+		for i, r := range sn.runs {
+			it.cursor[i+1] = r.lowerBound(it.startKey)
+		}
+	}
+	it.inShard = it.shard
+	it.started = true
 }

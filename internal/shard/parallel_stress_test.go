@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"cssidx/internal/parallel"
 	"cssidx/internal/workload"
@@ -92,8 +93,16 @@ func TestParallelBatchesDuringEpochSwaps(t *testing.T) {
 		}(int64(r + 1))
 	}
 
+	// Keep publishing swaps until the readers have verified real work —
+	// delta absorbs make a round far cheaper than a reader batch, so a
+	// fixed round count alone can finish before any batch completes.
+	// Overtime rounds sleep so a spinning writer cannot starve the readers
+	// on a small GOMAXPROCS.
 	rng := rand.New(rand.NewSource(77))
-	for round := 0; round < rounds; round++ {
+	for round := 0; round < rounds || batches.Load() < int64(readers); round++ {
+		if round >= rounds {
+			time.Sleep(time.Millisecond)
+		}
 		batch := make([]uint32, writeSize)
 		for i := range batch {
 			batch[i] = uint32(rng.Int63n(workload.MaxKey))

@@ -59,12 +59,17 @@ func LevelCSSBuilder(m int) Builder[uint32] {
 	}
 }
 
-// snapshot is one published epoch of a shard: an immutable sorted key slice
-// and the tree over it.  Snapshots are never mutated after publication.
+// snapshot is one published epoch of a shard: an immutable sorted base
+// array with the tree over it, plus the delta runs not yet folded in
+// (delta.go).  The logical content is the merged multiset base ∪ runs;
+// positions are ranks in the merged order.  Snapshots are never mutated
+// after publication.
 type snapshot[K cmp.Ordered] struct {
 	epoch uint64
 	keys  []K
 	tree  Tree[K]
+	runs  []*deltaRun[K]
+	total int // len(keys) + Σ len(run.keys)
 }
 
 // shardState is one range shard: the current snapshot plus the pending
@@ -105,8 +110,16 @@ type Index[K cmp.Ordered] struct {
 	// Views that carry the pool), so steady-state batches allocate nothing.
 	scratch sync.Pool
 
+	// delta tunes the mutable delta layer (delta.go); the tiering counters
+	// feed DeltaStats.
+	delta        DeltaPolicy
+	deltaAppends atomic.Uint64
+	runMerges    atomic.Uint64
+	folds        atomic.Uint64
+
 	wake      chan struct{}
 	syncs     chan chan struct{}
+	compacts  chan chan struct{}
 	done      chan struct{}
 	closeOnce sync.Once
 	wg        sync.WaitGroup
@@ -125,12 +138,13 @@ func New[K cmp.Ordered](keys []K, bounds []K, build Builder[K]) *Index[K] {
 		}
 	}
 	x := &Index[K]{
-		build:  build,
-		bounds: slices.Clone(bounds),
-		shards: make([]*shardState[K], len(bounds)+1),
-		wake:   make(chan struct{}, 1),
-		syncs:  make(chan chan struct{}),
-		done:   make(chan struct{}),
+		build:    build,
+		bounds:   slices.Clone(bounds),
+		shards:   make([]*shardState[K], len(bounds)+1),
+		wake:     make(chan struct{}, 1),
+		syncs:    make(chan chan struct{}),
+		compacts: make(chan chan struct{}),
+		done:     make(chan struct{}),
 	}
 	lo := 0
 	for i := range x.shards {
@@ -141,7 +155,7 @@ func New[K cmp.Ordered](keys []K, bounds []K, build Builder[K]) *Index[K] {
 		}
 		part := keys[lo:hi]
 		s := &shardState[K]{}
-		s.cur.Store(&snapshot[K]{epoch: 1, keys: part, tree: build(part)})
+		s.cur.Store(&snapshot[K]{epoch: 1, keys: part, tree: build(part), total: len(part)})
 		x.shards[i] = s
 		lo = hi
 	}
@@ -188,7 +202,7 @@ func (x *Index[K]) Epochs() []uint64 {
 func (x *Index[K]) Len() int {
 	n := 0
 	for _, s := range x.shards {
-		n += len(s.cur.Load().keys)
+		n += s.cur.Load().len()
 	}
 	return n
 }
@@ -202,7 +216,7 @@ func (x *Index[K]) shardFor(key K) int {
 func (x *Index[K]) offsetTo(s int) int {
 	off := 0
 	for i := 0; i < s; i++ {
-		off += len(x.shards[i].cur.Load().keys)
+		off += x.shards[i].cur.Load().len()
 	}
 	return off
 }
@@ -212,7 +226,7 @@ func (x *Index[K]) offsetTo(s int) int {
 func (x *Index[K]) Search(key K) int {
 	s := x.shardFor(key)
 	snap := x.shards[s].cur.Load()
-	i := snap.tree.Search(key)
+	i := snap.search(key)
 	if i < 0 {
 		return -1
 	}
@@ -224,7 +238,7 @@ func (x *Index[K]) Search(key K) int {
 func (x *Index[K]) LowerBound(key K) int {
 	s := x.shardFor(key)
 	snap := x.shards[s].cur.Load()
-	return x.offsetTo(s) + snap.tree.LowerBound(key)
+	return x.offsetTo(s) + snap.lowerBound(key)
 }
 
 // EqualRange returns the half-open global position range [first,last) of
@@ -233,7 +247,7 @@ func (x *Index[K]) LowerBound(key K) int {
 func (x *Index[K]) EqualRange(key K) (first, last int) {
 	s := x.shardFor(key)
 	snap := x.shards[s].cur.Load()
-	lo, hi := snap.tree.EqualRange(key)
+	lo, hi := snap.equalRange(key)
 	off := x.offsetTo(s)
 	return off + lo, off + hi
 }
@@ -299,6 +313,10 @@ func (x *Index[K]) loop() {
 		case ack := <-x.syncs:
 			x.drain()
 			close(ack)
+		case ack := <-x.compacts:
+			x.drain()
+			x.compactAll()
+			close(ack)
 		case <-x.wake:
 			x.drain()
 		}
@@ -306,7 +324,9 @@ func (x *Index[K]) loop() {
 }
 
 // drain repeatedly sweeps the shards, absorbing and publishing any pending
-// batches, until a full sweep finds nothing to do.
+// batches, until a full sweep finds nothing to do.  Insert-only batches go
+// through the delta layer's tiering (absorb, delta.go); delete batches and
+// disabled deltas fold the full §2.3 way.
 func (x *Index[K]) drain() {
 	for {
 		dirty := false
@@ -320,8 +340,11 @@ func (x *Index[K]) drain() {
 			}
 			dirty = true
 			old := s.cur.Load()
-			keys := applyBatch(old.keys, ins, del)
-			s.cur.Store(&snapshot[K]{epoch: old.epoch + 1, keys: keys, tree: x.build(keys)})
+			if len(del) == 0 && !x.delta.Disabled && len(ins) > 0 {
+				s.cur.Store(x.absorb(old, ins))
+			} else {
+				s.cur.Store(x.fold(old, ins, del))
+			}
 		}
 		if !dirty {
 			return

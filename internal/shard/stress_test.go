@@ -88,7 +88,7 @@ func TestConcurrentReadersDuringEpochSwaps(t *testing.T) {
 				// the key must be found wherever the live shard placed it.
 				p := v.Key(rng.Intn(v.Len()))
 				live := x.shards[x.shardFor(p)].cur.Load()
-				if live.tree.Search(p) < 0 && v.Search(p) >= 0 {
+				if live.search(p) < 0 && v.Search(p) >= 0 {
 					// p was deleted by a swap that raced us; that is legal —
 					// but only if an epoch actually advanced for its shard.
 					if live.epoch == v.Epochs()[x.shardFor(p)] {

@@ -3,6 +3,8 @@ package cssidx
 import (
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 
 	"cssidx/internal/csstree"
 	"cssidx/internal/shard"
@@ -68,4 +70,82 @@ func LoadSharded(r io.Reader, opts ShardedOptions[uint32]) (*ShardedIndex[uint32
 		return nil, err
 	}
 	return newShardedFrom(keys, bounds, opts), nil
+}
+
+// --- atomic file commits ------------------------------------------------------
+
+// writeFileAtomic commits the bytes write produces to path with
+// all-or-nothing visibility: the data lands in a temporary file in the same
+// directory, is fsynced, and only then renamed over path, with the
+// directory fsynced so the rename itself survives a crash.  A reader (or a
+// restart) therefore sees either the complete old snapshot or the complete
+// new one — never a torn prefix, which the snapshot checksums would reject
+// and which a plain truncate-and-rewrite save can leave behind.
+func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = write(f); err != nil {
+		return err
+	}
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, derr := os.Open(dir)
+	if derr != nil {
+		return derr
+	}
+	defer d.Close()
+	if derr = d.Sync(); derr != nil {
+		return derr
+	}
+	return nil
+}
+
+// SaveIndexFile writes a SaveIndex snapshot to path atomically (temp file +
+// fsync + rename): a crash mid-save leaves the previous snapshot intact
+// instead of a torn prefix.
+func SaveIndexFile(path string, idx Index) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return SaveIndex(w, idx) })
+}
+
+// LoadIndexFile restores a snapshot written by SaveIndexFile over keys.
+func LoadIndexFile(path string, keys []Key) (OrderedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadIndex(f, keys)
+}
+
+// SaveShardedFile writes a SaveSharded snapshot to path atomically (temp
+// file + fsync + rename); see SaveIndexFile for the crash guarantee.
+func SaveShardedFile(path string, x *ShardedIndex[uint32]) error {
+	return writeFileAtomic(path, func(w io.Writer) error { return SaveSharded(w, x) })
+}
+
+// LoadShardedFile restores a snapshot written by SaveShardedFile.
+func LoadShardedFile(path string, opts ShardedOptions[uint32]) (*ShardedIndex[uint32], error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSharded(f, opts)
 }

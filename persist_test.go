@@ -2,6 +2,8 @@ package cssidx_test
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"cssidx"
@@ -154,4 +156,102 @@ func TestLoadShardedRejectsCorruption(t *testing.T) {
 	if _, err := cssidx.LoadSharded(bytes.NewReader(hugeN), cssidx.ShardedOptions[uint32]{}); err == nil {
 		t.Error("implausible key count restored")
 	}
+}
+
+func TestSaveFileAtomicRoundTrip(t *testing.T) {
+	g := workload.New(155)
+	keys := g.SortedDistinct(20000)
+	dir := t.TempDir()
+
+	ipath := filepath.Join(dir, "tree.snap")
+	idx := cssidx.NewLevelCSS(keys, cssidx.DefaultNodeBytes)
+	if err := cssidx.SaveIndexFile(ipath, idx); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := cssidx.LoadIndexFile(ipath, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range append(g.Lookups(keys, 1000), g.Misses(keys, 1000)...) {
+		if a, b := idx.Search(k), loaded.Search(k); a != b {
+			t.Fatalf("Search(%d): %d vs %d", k, a, b)
+		}
+	}
+
+	spath := filepath.Join(dir, "sharded.snap")
+	sh := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 4})
+	defer sh.Close()
+	if err := cssidx.SaveShardedFile(spath, sh); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := cssidx.LoadShardedFile(spath, cssidx.ShardedOptions[uint32]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer restored.Close()
+	if restored.Len() != sh.Len() {
+		t.Fatalf("restored %d keys, want %d", restored.Len(), sh.Len())
+	}
+	// The save must leave no temp litter behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		names := make([]string, len(entries))
+		for i, e := range entries {
+			names[i] = e.Name()
+		}
+		t.Fatalf("directory not clean after atomic saves: %v", names)
+	}
+}
+
+// TestSaveFileAtomicSurvivesTornWrite models the crash the atomic commit
+// exists for: a writer that dies mid-stream must leave the previous
+// snapshot readable, and a torn prefix written *without* the atomic path
+// must be rejected by the checksum rather than restored.
+func TestSaveFileAtomicSurvivesTornWrite(t *testing.T) {
+	g := workload.New(156)
+	keys := g.SortedWithDuplicates(15000, 3)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sharded.snap")
+
+	sh := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 4})
+	defer sh.Close()
+	if err := cssidx.SaveShardedFile(path, sh); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash simulation 1: a later save dies before its rename — the temp
+	// file holds a torn prefix, the committed snapshot is untouched.
+	var full bytes.Buffer
+	if err := cssidx.SaveSharded(&full, sh); err != nil {
+		t.Fatal(err)
+	}
+	torn := full.Bytes()[:full.Len()/3]
+	if err := os.WriteFile(filepath.Join(dir, "sharded.snap.tmp1234"), torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cssidx.LoadShardedFile(path, cssidx.ShardedOptions[uint32]{}); err != nil {
+		t.Fatalf("committed snapshot unreadable after torn temp write: %v", err)
+	}
+
+	// Crash simulation 2: a non-atomic writer tore the snapshot itself —
+	// the load must refuse the prefix instead of serving a partial index.
+	if err := os.WriteFile(path, torn, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cssidx.LoadShardedFile(path, cssidx.ShardedOptions[uint32]{}); err == nil {
+		t.Fatal("torn snapshot prefix restored")
+	}
+
+	// Re-committing through the atomic path repairs the file in one step.
+	if err := cssidx.SaveShardedFile(path, sh); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := cssidx.LoadShardedFile(path, cssidx.ShardedOptions[uint32]{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored.Close()
 }

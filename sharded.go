@@ -103,7 +103,21 @@ type ShardedOptions[K cmp.Ordered] struct {
 	// default engine — GOMAXPROCS workers, sequential below ~4k probes;
 	// set Workers to 1 to keep batches on the calling goroutine.
 	Parallel ParallelOptions
+	// Delta tunes the mutable delta layer that absorbs small insert
+	// batches as sorted runs instead of folding them into a full shard
+	// rebuild.  The zero value enables it with the default tiering
+	// (4 runs, fold at 1/8 of the base); Delta.Disabled restores the pure
+	// rebuild-per-batch cycle.
+	Delta DeltaPolicy
 }
+
+// DeltaPolicy tunes the delta layer's tiering; see the field docs on the
+// internal policy (internal/shard.DeltaPolicy) for the exact thresholds.
+type DeltaPolicy = shard.DeltaPolicy
+
+// DeltaStats snapshots the delta layer across shards: base vs delta key
+// counts, outstanding runs, and lifetime absorb/merge/fold counters.
+type DeltaStats = shard.DeltaStats
 
 // ShardedIndex is a concurrently servable index over a multiset of keys of
 // any ordered type: lock-free Search/LowerBound/EqualRange/range scans,
@@ -147,6 +161,7 @@ func newShardedFrom[K cmp.Ordered](keys []K, bounds []K, opts ShardedOptions[K])
 	ix := shard.New(keys, bounds, shardedBuilder[K](m))
 	ix.SetBatchSchedule(opts.schedule())
 	ix.SetParallel(opts.Parallel.engine())
+	ix.SetDeltaPolicy(opts.Delta)
 	return &ShardedIndex[K]{ix: ix}
 }
 
@@ -238,6 +253,15 @@ func (x *ShardedIndex[K]) Delete(keys ...K) { x.ix.Delete(keys...) }
 
 // Sync blocks until every update enqueued before the call is visible.
 func (x *ShardedIndex[K]) Sync() { x.ix.Sync() }
+
+// DeltaStats snapshots the delta layer: how many keys sit in immutable
+// base arrays vs outstanding delta runs, and the lifetime tiering counters.
+func (x *ShardedIndex[K]) DeltaStats() DeltaStats { return x.ix.DeltaStats() }
+
+// Compact absorbs any pending updates, folds every shard's outstanding
+// delta runs into fresh base arrays and trees, and blocks until the folds
+// are published — the manual counterpart of the size-tiered fold.
+func (x *ShardedIndex[K]) Compact() { x.ix.Compact() }
 
 // Close flushes pending updates and stops the background rebuilder.
 // The index remains readable; Close is idempotent.
