@@ -360,6 +360,8 @@ func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32
 		len(probes), rows, total*1e6, float64(len(probes))/total/1e6)
 	fmt.Fprintf(stdout, "cache: %d hits (%d contained) / %d misses (%.0f%% hit rate), %d inserts, %d rejects, %d evictions, %d invalidations, %d entries, %d bytes\n",
 		s.Hits, s.ContainedHits, s.Misses, 100*s.HitRate(), s.Inserts, s.Rejects, s.Evictions, s.Invalidations, s.Entries, s.Bytes)
+	fmt.Fprintf(stdout, "reuse: %d stitched (%d gap probes), %d in-subset, %d in-superset (%d key probes), %d aggregate, %d patched entries\n",
+		s.StitchedHits, s.GapProbes, s.SubsetHits, s.SupersetHits, s.MissingKeyProbes, s.AggregateHits, s.Patches)
 	return 0
 }
 

@@ -19,6 +19,18 @@ package bench
 // drop the hit rate (every batch moves the generation token) but the
 // cached side must stay ahead; the tight budget shows skew structure —
 // the hotter the pool, the more of the traffic CLOCK keeps resident.
+//
+// A second block measures the recycler's intermediate-reuse classes,
+// which need overlap rather than repetition: a shifting range window
+// (every query a new fingerprint, stitched from the previous window plus
+// one gap probe), IN-list subsets replayed from a cached superset, and a
+// repeated GroupAggregate that PatchAppend carries across absorbed
+// appends.  These streams interleave absorbed AppendRows batches and
+// time them IN the stream — the append path is where the classes earn
+// their keep: the uncached side re-pays the O(n) merged-overlay build on
+// the first indexed range read after every absorb, while the cached side
+// patches its entries and probes only the gaps.  Bars: shift ≥2×,
+// group-agg ≥5×.
 
 import (
 	"fmt"
@@ -29,6 +41,7 @@ import (
 
 	"cssidx"
 	"cssidx/internal/mmdb"
+	"cssidx/internal/qcache"
 	"cssidx/internal/workload"
 )
 
@@ -246,5 +259,234 @@ func runReuse(cfg Config, w io.Writer) error {
 	fmt.Fprintln(w, "tiny full-query results (benefit per byte); appends cut the hit rate — every batch")
 	fmt.Fprintln(w, "moves the generation token — with recovery tracking the skew (hotter pools rewarm")
 	fmt.Fprintln(w, "faster), and the cache must stay ahead of off throughout")
+
+	return runRecycler(cfg, w, g, n, aVals, bVals)
+}
+
+// runRecycler is the intermediate-reuse block of the reuse experiment: three
+// streams where no (or almost no) query repeats a fingerprint exactly, so
+// exact-match caching is useless and the recycler classes — range stitching,
+// IN-subset replay, GroupAggregate patching — carry the reuse.  Appends are
+// absorbed (never folded) and their time is INCLUDED in the stream timing;
+// patch-vs-overlay-rebuild under absorbs is the comparison being made.
+func runRecycler(cfg Config, w io.Writer, g *workload.Gen, n int, aVals, bVals []uint32) error {
+	// Group column over a small domain plus a free-range measure column.
+	gdom := make([]uint32, 256)
+	for i := range gdom {
+		gdom[i] = uint32(i)
+	}
+	gVals := g.Lookups(gdom, n)
+	mVals := g.Shuffled(g.SortedUniform(n))
+
+	shiftQ, insubQ, aggQ := 384, 256, 48
+	if cfg.Quick {
+		shiftQ, insubQ, aggQ = 128, 96, 16
+	}
+	// ~0.2% selectivity window marching by an eighth of its width: 7/8 of
+	// every query is the previous query.  Narrow windows keep cached runs
+	// small (PatchAppend rewrites resident runs on every absorb) while the
+	// uncached side's overlay rebuild stays O(n) regardless of width.
+	width := uint32(workload.MaxKey / 500)
+	step := width / 8
+
+	// Identical absorbed batches for both sides of every stream.
+	const streamBatch = 500
+	sbatches := make([]map[string][]uint32, 16)
+	for i := range sbatches {
+		sbatches[i] = map[string][]uint32{
+			"a": g.Lookups(aVals, streamBatch),
+			"b": g.Lookups(bVals, streamBatch),
+			"g": g.Lookups(gdom, streamBatch),
+			"m": g.Lookups(mVals, streamBatch),
+		}
+	}
+
+	// Parent IN-lists; the stream replays rotating ~60% windows of them.
+	// Lists are a couple of hundred keys — the break-even needs the replayed
+	// probes to be worth skipping, and WorkersFor must stay 1 so the compute
+	// path admits grouped entries.
+	const parents, parentLen = 8, 200
+	parentVals := g.Lookups(bVals, parents*parentLen)
+
+	build := func(opts mmdb.CacheOptions) (*mmdb.Table, error) {
+		tab := mmdb.NewTable("stream")
+		cols := []struct {
+			name string
+			vals []uint32
+		}{{"a", aVals}, {"b", bVals}, {"g", gVals}, {"m", mVals}}
+		for _, c := range cols {
+			if err := tab.AddColumn(c.name, c.vals); err != nil {
+				return nil, err
+			}
+		}
+		for _, col := range []string{"a", "b"} {
+			if _, err := tab.BuildIndex(col, cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+				return nil, err
+			}
+		}
+		// Absorb every batch into the delta layer; a fold would drop the
+		// cache and rebuild the base, which is a different experiment
+		// (ingest).
+		tab.SetAppendPolicy(mmdb.AppendPolicy{MinFoldRows: 1 << 30})
+		tab.EnableCache(opts)
+		return tab, nil
+	}
+
+	// absorb lands batch number k (0-based) into the table.
+	absorb := func(tab *mmdb.Table, k int) error {
+		return tab.AppendRows(sbatches[k%len(sbatches)])
+	}
+
+	runShift := func(tab *mmdb.Table) error {
+		lo := uint32(0)
+		for qi := 0; qi < shiftQ; qi++ {
+			if qi > 0 && qi%8 == 0 {
+				if err := absorb(tab, qi/8-1); err != nil {
+					return err
+				}
+			}
+			rids, _, err := tab.SelectRange("a", lo, satAdd(lo, width))
+			if err != nil {
+				return err
+			}
+			Sink += len(rids)
+			lo += step
+			if lo > workload.MaxKey-width {
+				lo = 0
+			}
+		}
+		return nil
+	}
+
+	runInsub := func(tab *mmdb.Table) error {
+		for qi := 0; qi < insubQ; qi++ {
+			if qi > 0 && qi%32 == 0 {
+				if err := absorb(tab, qi/32-1); err != nil {
+					return err
+				}
+			}
+			p := qi % parents
+			list := parentVals[p*parentLen : (p+1)*parentLen]
+			if qi >= parents {
+				// Subset replay: a rotating window over the parent list.
+				k := parentLen * 3 / 5
+				start := (qi * 7) % (parentLen - k)
+				list = list[start : start+k]
+			}
+			rids, _, err := tab.SelectIn("b", list)
+			if err != nil {
+				return err
+			}
+			Sink += len(rids)
+		}
+		return nil
+	}
+
+	runAgg := func(tab *mmdb.Table) error {
+		for qi := 0; qi < aggQ; qi++ {
+			if qi > 0 && qi%8 == 0 {
+				if err := absorb(tab, qi/8-1); err != nil {
+					return err
+				}
+			}
+			rows, err := mmdb.GroupAggregate(tab, "g", "m", nil)
+			if err != nil {
+				return err
+			}
+			Sink += len(rows)
+		}
+		return nil
+	}
+
+	streams := []struct {
+		name    string
+		bar     string
+		queries int
+		run     func(*mmdb.Table) error
+	}{
+		{"shift", "≥2x", shiftQ, runShift},
+		{"in-subset", "-", insubQ, runInsub},
+		{"group-agg", "≥5x", aggQ, runAgg},
+	}
+
+	fmt.Fprintf(w, "\nrecycler streams: overlapping (not repeating) work under absorbed appends,\n")
+	fmt.Fprintf(w, "append time included in the stream on both sides\n\n")
+	t := newTable(w)
+	t.row("stream", "queries", "cache", "secs", "qps", "reuse hits", "vs off", "bar")
+	kinds := map[string]any{}
+	for _, st := range streams {
+		var offSec float64
+		// The cached side runs under a deliberately tight budget: the
+		// marching window leaves superseded-by-nothing fragments behind it,
+		// and CLOCK shedding them caps the resident set PatchAppend rewrites
+		// on every absorb — the recent windows stitching feeds on stay warm.
+		for _, budget := range []string{"off", "2MB"} {
+			opts := mmdb.CacheOptions{Disabled: true}
+			if budget != "off" {
+				opts = mmdb.CacheOptions{MaxBytes: 2 << 20}
+			}
+			// Streams are stateful (appends land in the table), so each
+			// repeat replays against a fresh build; minimum reported, per the
+			// paper's protocol.
+			var sec float64
+			var s qcache.Stats
+			for r := 0; r < cfg.Repeats; r++ {
+				tab, err := build(opts)
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				if err := st.run(tab); err != nil {
+					return err
+				}
+				if el := time.Since(start).Seconds(); r == 0 || el < sec {
+					sec = el
+				}
+				s = tab.CacheStats()
+			}
+			qps := float64(st.queries) / sec
+			reuseCell, speedCell, barCell := "-", "1.00x", "-"
+			speedup := 1.0
+			if budget == "off" {
+				offSec = sec
+			} else {
+				speedup = offSec / sec
+				speedCell = fmt.Sprintf("%.2fx", speedup)
+				barCell = st.bar
+				reuseCell = fmt.Sprintf("st=%d/g%d sub=%d sup=%d/k%d agg=%d",
+					s.StitchedHits, s.GapProbes, s.SubsetHits, s.SupersetHits, s.MissingKeyProbes, s.AggregateHits)
+				kinds[st.name] = map[string]int64{
+					"stitched_hits": s.StitchedHits, "gap_probes": s.GapProbes,
+					"subset_hits": s.SubsetHits, "superset_hits": s.SupersetHits,
+					"missing_key_probes": s.MissingKeyProbes,
+					"aggregate_hits":     s.AggregateHits, "patches": s.Patches,
+				}
+			}
+			t.row(st.name, fmt.Sprintf("%d", st.queries), budget,
+				secs(sec), fmt.Sprintf("%.0f", qps), reuseCell, speedCell, barCell)
+			rec := Record{
+				Experiment: "reuse",
+				Params: map[string]any{
+					"stream": st.name, "cache": budget, "queries": st.queries, "n": n,
+				},
+				Metric: "throughput", Value: qps, Unit: "queries/s",
+			}
+			cfg.record(rec)
+			if budget != "off" {
+				cfg.record(Record{Experiment: "reuse", Params: rec.Params, Metric: "speedup", Value: speedup, Unit: "x"})
+			}
+		}
+	}
+	t.flush()
+	if cfg.Recorder != nil {
+		cfg.Recorder.SetContext("reuse_hit_kinds", kinds)
+	}
+	fmt.Fprintln(w, "\nshape target: shift stitches every window after the first (one gap probe per")
+	fmt.Fprintln(w, "query) and dodges the merged-overlay rebuild the uncached side pays after every")
+	fmt.Fprintln(w, "absorb — ≥2× (the acceptance bar); in-subset replays cached superset groups and")
+	fmt.Fprintln(w, "is informational (no bar): against cheap indexed point probes replay is about")
+	fmt.Fprintln(w, "break-even — its win needs expensive probes or scan-priced recomputes;")
+	fmt.Fprintln(w, "group-agg recomputes only the first query — PatchAppend folds each absorbed")
+	fmt.Fprintln(w, "batch's (group, measure) pairs into the cached rows — ≥5× (the acceptance bar)")
 	return nil
 }

@@ -115,6 +115,24 @@ func whereFP(table string, preds []RangePred) qcache.Key {
 	return qcache.Key{Table: table, Kind: qcache.KindWhere, Hash: h, N: uint32(len(preds))}
 }
 
+// aggFP fingerprints a GroupAggregate: the group column is the key's
+// column, and the hash folds the measure column plus the source-RID set —
+// a marker separates the nil all-rows source from an explicit (possibly
+// empty) RID list, because only the former can be patched across appends.
+func aggFP(table, groupCol, measureCol string, rids []uint32) qcache.Key {
+	h := qcache.HashString(qcache.HashSeed, measureCol)
+	if rids == nil {
+		h = qcache.HashU32(h, 1)
+	} else {
+		h = qcache.HashU32(h, 2)
+		h = qcache.HashU32s(h, rids)
+	}
+	return qcache.Key{
+		Table: table, Col: groupCol, Kind: qcache.KindAgg, Layer: qcache.LayerTable,
+		Hash: h, N: uint32(len(rids)),
+	}
+}
+
 // predBounds converts the conjuncts to the cache's patchable form.
 func predBounds(preds []RangePred) []qcache.PredBound {
 	out := make([]qcache.PredBound, len(preds))
@@ -155,6 +173,60 @@ func recomputeCost(elapsed time.Duration, p Plan, tableRows int) int64 {
 		cost = est
 	}
 	return cost
+}
+
+// aggRecomputeCost models rerunning a grouped aggregation: two random
+// gathers per source row (group id/value and measure) plus a streamed pass
+// over the group slots.
+func aggRecomputeCost(elapsed time.Duration, sourceRows, groups int) int64 {
+	cost := elapsed.Nanoseconds()
+	if est := int64(sourceRows)*2*costGatherNs + int64(groups)*costScanRowNs; est > cost {
+		cost = est
+	}
+	return cost
+}
+
+// --- reuse break-evens ------------------------------------------------------
+
+// Stitch-vs-recompute: a stitched answer pays one descent pair per gap,
+// a gather per estimated gap row, and a streamed copy per cached pair; a
+// recompute pays one descent pair and a gather per estimated row.  Beyond
+// the model, stitches with many or wide gaps are refused outright — the
+// cached fraction must be pulling real weight.
+const (
+	maxStitchGaps    = 8
+	maxStitchGapFrac = 0.5
+)
+
+// stitchWorthwhile prices answering [lo, hi] (estRows estimated matches)
+// from the plan's cached segments plus gap probes against recomputing.
+func stitchWorthwhile(sp *qcache.StitchPlan, lo, hi uint32, estRows int) bool {
+	if len(sp.Gaps) == 0 {
+		return true // pure assembly from cache: no probes at all
+	}
+	if len(sp.Gaps) > maxStitchGaps {
+		return false
+	}
+	width := float64(hi-lo) + 1
+	gapW := 0.0
+	for _, g := range sp.Gaps {
+		gapW += float64(g.Hi-g.Lo) + 1
+	}
+	frac := gapW / width
+	if frac > maxStitchGapFrac {
+		return false
+	}
+	gapRows := int64(frac * float64(estRows))
+	stitch := int64(len(sp.Gaps))*2*costProbeNs + gapRows*costGatherNs + int64(sp.CachedRows)*costScanRowNs
+	return stitch < 2*costProbeNs+int64(estRows)*costGatherNs
+}
+
+// inFillWorthwhile prices completing an IN-list from a cached near-superset
+// by scalar-probing the missing values against recomputing the whole list
+// with batched probes: worthwhile below a missing fraction of
+// costBatchProbeNs/costProbeNs (20%).
+func inFillWorthwhile(missing, total int) bool {
+	return int64(missing)*costProbeNs < int64(total)*costBatchProbeNs
 }
 
 // joinRecomputeCost models rerunning an indexed nested-loop join: one

@@ -261,6 +261,13 @@ func (ix *SortedIndex) SelectIn(values []uint32) []uint32 {
 	return selectInMerged(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns())
 }
 
+// selectInGrouped answers the pre-deduplicated IN-list single-threaded with
+// per-value group offsets, the admission shape the result cache's
+// subset/superset reuse needs.  Output rows are identical to SelectIn's.
+func (ix *SortedIndex) selectInGrouped(distinct []uint32) (out, goff []uint32) {
+	return selectInGrouped(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns(), true)
+}
+
 // selectInRIDs is the shared IN-list driver: deduped values are translated
 // and probed in chunks (forEachEqualRange), gathering rids[first:last] per
 // present value.  Lists large enough for the worker options are split into
@@ -353,6 +360,34 @@ func (ix *SortedIndex) rangeMerged(lo, hi uint32, wantKeys bool) (rids, rawKeys 
 		return nil, nil, nil
 	}
 	rids, rawKeys = mergeRangeDelta(ix.col.dom, ix.keys, ix.rids, first, last, nil, lo, hi, wantKeys)
+	return rids, rawKeys, nil
+}
+
+// rangeDirect answers lo ≤ value ≤ hi in (value, RID) order without
+// consulting or building the memoized range overlay — the stitch gap-probe
+// path.  Gaps are small by the stitch break-even, so paying the O(n)
+// overlay build to answer one would defeat the point of stitching around
+// an absorb; the direct base-segment ∪ runs merge costs O(gap + delta)
+// instead.  The merged raw keys always ride along (stitched results are
+// admitted with their key runs).
+func (ix *SortedIndex) rangeDirect(lo, hi uint32) (rids, rawKeys []uint32, err error) {
+	ord, ok := ix.idx.(cssidx.OrderedIndex)
+	if !ok {
+		return nil, nil, ErrNoOrderedAccess
+	}
+	if lo > hi {
+		return nil, nil, nil
+	}
+	loID, hiID := ix.col.dom.IDRange(lo, hi)
+	var first, last int
+	if loID < hiID {
+		first, last = ord.LowerBound(loID), ord.LowerBound(hiID)
+	}
+	runs := ix.readRuns()
+	if first >= last && len(runs) == 0 {
+		return nil, nil, nil
+	}
+	rids, rawKeys = mergeRangeDelta(ix.col.dom, ix.keys, ix.rids, first, last, runs, lo, hi, true)
 	return rids, rawKeys, nil
 }
 
@@ -490,8 +525,25 @@ func probeEqualCore(dom *domain.IntDomain, values []uint32, s *probeScratch, equ
 // listed value the base RIDs followed by the runs' — the same value-grouped,
 // ascending-RID output selectInRIDs produces against a rebuilt index.
 func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun) []uint32 {
+	out, _ := selectInGrouped(dom, rids, values, probe, runs, false)
+	return out
+}
+
+// selectInGrouped is selectInMerged with group offsets: when wantGroups is
+// set, goff[i] marks where value i's rows start in out (goff has
+// len(values)+1 entries), which is what the cache's subset/superset reuse
+// and per-group append patching need.  runs may be empty — the driver then
+// degenerates to the pure-base batched probe with identical output to
+// selectInRIDs at any worker count.
+func selectInGrouped(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun, wantGroups bool) (out, goff []uint32) {
 	if len(values) == 0 {
-		return nil
+		if wantGroups {
+			goff = []uint32{0}
+		}
+		return nil, goff
+	}
+	if wantGroups {
+		goff = make([]uint32, 0, len(values)+1)
 	}
 	batch := cssidx.DefaultBatchSize
 	if batch > len(values) {
@@ -501,7 +553,6 @@ func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe
 	probes := make([]uint32, 0, batch)
 	first := make([]int32, batch)
 	last := make([]int32, batch)
-	var out []uint32
 	for base := 0; base < len(values); base += batch {
 		end := base + batch
 		if end > len(values) {
@@ -520,6 +571,9 @@ func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe
 		}
 		j := 0
 		for i, v := range chunk {
+			if wantGroups {
+				goff = append(goff, uint32(len(out)))
+			}
 			if ids[i] >= 0 {
 				if f, l := first[j], last[j]; f >= 0 && f < l {
 					out = append(out, rids[f:l]...)
@@ -529,7 +583,10 @@ func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe
 			out = deltaEqualAppend(runs, v, out)
 		}
 	}
-	return out
+	if wantGroups {
+		goff = append(goff, uint32(len(out)))
+	}
+	return out, goff
 }
 
 // equalRangeBatchIDs answers the equal range of every domain-ID probe:

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
 )
@@ -17,14 +18,10 @@ import (
 // of [SAC+79].
 
 // GroupRow is one group of an aggregation: the group's raw value and the
-// aggregates of the measure column within it.
-type GroupRow struct {
-	Value uint32 // group-by column value
-	Count int64
-	Sum   uint64
-	Min   uint32
-	Max   uint32
-}
+// COUNT/SUM/MIN/MAX aggregates of the measure column within it.  It aliases
+// the cache's row type so grouped-aggregation results are cached and
+// replayed without conversion.
+type GroupRow = qcache.AggRow
 
 // GroupAggregate computes COUNT/SUM/MIN/MAX of measureCol grouped by
 // groupCol over the given rows (nil rids = all rows).  Grouping runs on
@@ -33,6 +30,12 @@ type GroupRow struct {
 // delta layer's appended tail) have no IDs yet and accumulate through a
 // small map on raw values instead, merged in at the end.  Groups come back
 // in value order.
+//
+// With a cache attached, the (groupCol, measureCol, source-RID) fingerprint
+// is looked up first and the computed result admitted after.  All-rows
+// aggregates (nil rids) survive absorbed appends — PatchAppend folds the
+// batch's (group, measure) pairs into the cached rows; explicit-RID
+// aggregates are retokened when the append cannot touch them.
 func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]GroupRow, error) {
 	gc, ok := t.cols[groupCol]
 	if !ok {
@@ -42,6 +45,15 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no column %s in table %s", measureCol, t.name)
 	}
+	qc, tok := t.Cache(), t.token()
+	var akey qcache.Key
+	if qc.Enabled() {
+		akey = aggFP(t.name, groupCol, measureCol, rids)
+		if rows, ok := qc.LookupAgg(akey, tok); ok {
+			return rows, nil
+		}
+	}
+	start := time.Now()
 	nGroups := gc.dom.Len()
 	counts := make([]int64, nGroups)
 	sums := make([]uint64, nGroups)
@@ -127,6 +139,14 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 			out = append(out, *d)
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
+	}
+	if qc.Enabled() {
+		src := len(rids)
+		if rids == nil {
+			src = t.rows
+		}
+		qc.InsertAgg(akey, tok, measureCol, rids == nil, out,
+			aggRecomputeCost(time.Since(start), src, len(out)))
 	}
 	return out, nil
 }
@@ -248,6 +268,9 @@ func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, p
 	if rids, ok := qc.LookupRange(key, tok); ok {
 		return rids, nil
 	}
+	if rids, ok, err := tryStitchRange(qc, key, tok, plan.EstRows, t.rows, ix.rangeDirect); ok || err != nil {
+		return rids, err
+	}
 	start := time.Now()
 	// The merged raw key run rides along so any subrange of this result
 	// can be answered by slicing it (containment reuse).
@@ -257,6 +280,58 @@ func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, p
 	}
 	qc.InsertRange(key, tok, keys, out, recomputeCost(time.Since(start), plan, t.rows))
 	return out, nil
+}
+
+// stitchProbe answers one uncovered gap of a stitch plan with the (RIDs,
+// raw keys) pair for the closed value range [lo, hi].
+type stitchProbe func(lo, hi uint32) (rids, keys []uint32, err error)
+
+// stitchAssemble materialises a stitch plan: cached segments and probed
+// gaps concatenate in ascending value order.  The output slices are fresh —
+// segment slices alias immutable cache memory and must not escape to
+// callers that may sort or grow the result.
+func stitchAssemble(sp *qcache.StitchPlan, probe stitchProbe) (rids, keys []uint32, err error) {
+	rids = make([]uint32, 0, sp.CachedRows)
+	keys = make([]uint32, 0, sp.CachedRows)
+	si, gi := 0, 0
+	for si < len(sp.Segments) || gi < len(sp.Gaps) {
+		if gi >= len(sp.Gaps) || (si < len(sp.Segments) && sp.Segments[si].Lo < sp.Gaps[gi].Lo) {
+			s := sp.Segments[si]
+			rids = append(rids, s.RIDs...)
+			keys = append(keys, s.Keys...)
+			si++
+			continue
+		}
+		g := sp.Gaps[gi]
+		pr, pk, perr := probe(g.Lo, g.Hi)
+		if perr != nil {
+			return nil, nil, perr
+		}
+		rids = append(rids, pr...)
+		keys = append(keys, pk...)
+		gi++
+	}
+	return rids, keys, nil
+}
+
+// tryStitchRange attempts to answer a range fingerprint by stitching
+// overlapping cached runs with gap probes, committing only when the cost
+// model prefers the stitch over recomputing (stitchWorthwhile).  On commit
+// the stitched run is admitted under the request's own key — admission
+// supersedes the runs it covers, so overlapping dashboard windows converge
+// to one covering run instead of accumulating fragments.
+func tryStitchRange(qc *qcache.Cache, key qcache.Key, tok qcache.Token, estRows, tableRows int, probe stitchProbe) ([]uint32, bool, error) {
+	sp, ok := qc.StitchRange(key, tok)
+	if !ok || !stitchWorthwhile(sp, key.Lo, key.Hi, estRows) {
+		return nil, false, nil
+	}
+	rids, keys, err := stitchAssemble(sp, probe)
+	if err != nil {
+		return nil, false, err
+	}
+	qc.NoteStitch(len(sp.Gaps))
+	qc.InsertRange(key, tok, keys, rids, estRecomputeNs(Plan{UseIndex: true, EstRows: len(rids)}, tableRows))
+	return rids, true, nil
 }
 
 // scanRange is the sequential-scan access path: stream the raw column and
@@ -320,7 +395,10 @@ func (t *Table) PlanIn(col string, values []uint32) (Plan, error) {
 // With a cache attached, the deduplicated list is fingerprinted (in
 // first-occurrence order, so a hit replays the exact RID grouping) and
 // results are stamped with the table generation; sharded-only columns
-// cache inside ShardedIndex.SelectIn per frozen epoch instead.
+// cache inside ShardedIndex.SelectIn per frozen epoch instead.  Index-path
+// misses then try the grouped entries of the same column: a subset list
+// replays by concatenating cached groups, and a near-superset probes only
+// the missing values (inFillWorthwhile) before splicing them in.
 func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 	plan, err := t.PlanIn(col, values)
 	if err != nil {
@@ -340,12 +418,42 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 		if rids, ok := qc.Lookup(key, tok); ok {
 			return rids, plan, nil
 		}
+		// Grouped reuse is index-path only: cached groups replay in probe
+		// order, which a scan-planned query must not inherit.
+		if plan.UseIndex && len(distinct) > 0 {
+			if r, ok := qc.LookupInReuse(key, tok, distinct); ok {
+				if len(r.Missing) == 0 {
+					// Not re-admitted: the source entry already answers any
+					// repeat of this subset at the same price, so caching the
+					// derived copy would only cost an insert per replay.
+					out, _ := assembleInGroups(distinct, r.Groups, nil)
+					return out, plan, nil
+				}
+				if inFillWorthwhile(len(r.Missing), len(distinct)) {
+					ix := t.indexes[col]
+					fills := make(map[uint32][]uint32, len(r.Missing))
+					for _, v := range r.Missing {
+						fills[v] = ix.SelectEqual(v)
+					}
+					out, goff := assembleInGroups(distinct, r.Groups, fills)
+					qc.NoteInFill(len(r.Missing))
+					qc.InsertIn(key, tok, distinct, goff, out, estRecomputeNs(plan, t.rows))
+					return out, plan, nil
+				}
+			}
+		}
 	}
 	start := time.Now()
-	var out []uint32
-	if plan.UseIndex {
+	var out, goff []uint32
+	switch {
+	case plan.UseIndex && qc.Enabled() && (parallel.Options{}).WorkersFor(len(distinct)) <= 1:
+		// Lists small enough to stay single-threaded compute with group
+		// offsets, the admission shape subset/superset reuse needs; larger
+		// lists keep the parallel driver and enter ungrouped.
+		out, goff = t.indexes[col].selectInGrouped(distinct)
+	case plan.UseIndex:
 		out = t.indexes[col].SelectIn(values)
-	} else {
+	default:
 		want := make(map[uint32]struct{}, len(values))
 		for _, v := range values {
 			want[v] = struct{}{}
@@ -357,14 +465,28 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 			}
 		}
 	}
-	if qc.Enabled() {
-		// The sorted value list rides along so PatchAppend can test an
-		// absorbed batch against the entry instead of dropping it.
-		sorted := append([]uint32(nil), distinct...)
-		sortu32.Sort(sorted)
-		qc.InsertIn(key, tok, sorted, out, recomputeCost(time.Since(start), plan, t.rows))
-	}
+	// The value list rides along so PatchAppend can test an absorbed batch
+	// against the entry instead of dropping it.
+	qc.InsertIn(key, tok, distinct, goff, out, recomputeCost(time.Since(start), plan, t.rows))
 	return out, plan, nil
+}
+
+// assembleInGroups concatenates cached groups and probed fills in the
+// query's first-occurrence value order, recording the group offsets the
+// assembled result is admitted with.  A nil Groups[i] takes its rows from
+// fills.  The output is fresh — cached group slices are immutable.
+func assembleInGroups(distinct []uint32, groups [][]uint32, fills map[uint32][]uint32) (out, goff []uint32) {
+	goff = make([]uint32, 0, len(distinct)+1)
+	for i, v := range distinct {
+		goff = append(goff, uint32(len(out)))
+		if g := groups[i]; g != nil {
+			out = append(out, g...)
+		} else {
+			out = append(out, fills[v]...)
+		}
+	}
+	goff = append(goff, uint32(len(out)))
+	return out, goff
 }
 
 // RangePred is one conjunct of a multi-column predicate: lo ≤ Col ≤ hi.
@@ -430,6 +552,12 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 		}
 		if plans[i].UseIndex {
 			if ix, ok := t.indexes[p.Col]; ok {
+				if rids, hit, err := tryStitchRange(qc, ckey, tok, plans[i].EstRows, t.rows, ix.rangeDirect); err != nil {
+					return nil, nil, err
+				} else if hit {
+					sets[i] = rids
+					continue
+				}
 				if len(ix.runs) == 0 {
 					byIndex[ix] = append(byIndex[ix], i)
 					continue

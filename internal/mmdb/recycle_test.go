@@ -1,0 +1,352 @@
+package mmdb
+
+// Differential tests for the intermediate-reuse (recycler) paths: range
+// stitching, IN-list subset/superset replay and GroupAggregate caching must
+// stay bit-identical to uncached execution — across every ordered index
+// kind, absorbed appends and sharded epoch swaps — while the hit-kind
+// counters prove the reuse paths actually served.
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/workload"
+)
+
+// recyclePair builds cached/plain twins with one sorted index of the given
+// kind on "a", a sharded index on "b", and a measure column "v", with folds
+// disabled so appends absorb (the recycler's home turf).
+func recyclePair(t *testing.T, kind cssidx.Kind, n int, seed int64) (cached, plain *Table, g *workload.Gen, base []uint32) {
+	t.Helper()
+	g = workload.New(seed)
+	base = g.SortedUniform(n / 2)
+	cols := map[string][]uint32{
+		"a": g.Lookups(base, n),
+		"b": g.Lookups(base, n),
+		"v": g.Lookups(base, n),
+	}
+	build := func() *Table {
+		tab := NewTable("t")
+		tab.SetAppendPolicy(AppendPolicy{MinFoldRows: 1 << 20})
+		for _, c := range []string{"a", "b", "v"} {
+			if err := tab.AddColumn(c, cols[c]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := tab.BuildIndex("a", kind, cssidx.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildShardedIndex("b", 4); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	cached = build()
+	cached.EnableCache(CacheOptions{MinCostNs: -1})
+	plain = build()
+	return cached, plain, g, base
+}
+
+// orderedKinds returns every index kind with ordered access (range surface).
+func orderedKinds() []cssidx.Kind {
+	var out []cssidx.Kind
+	for _, k := range cssidx.Kinds() {
+		if k != cssidx.KindHash {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// TestStitchedRangesDifferential marches an overlapping window across the
+// value space — the shifting-dashboard pattern — interleaved with absorbed
+// appends, on every ordered index kind.  Every window must be bit-identical
+// to the uncached twin, and the stream must include stitched answers.
+func TestStitchedRangesDifferential(t *testing.T) {
+	for _, kind := range orderedKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cached, plain, g, base := recyclePair(t, kind, 4000, 41)
+			vals := base
+			width := len(vals) / 12 // ~8% selectivity: index path
+			step := width / 4
+			for q := 0; q*step+width < len(vals); q++ {
+				lo, hi := vals[q*step], vals[q*step+width]
+				want, _, err := plain.SelectRange("a", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, _, err := cached.SelectRange("a", lo, hi)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mustEqualU32(t, fmt.Sprintf("%v window %d", kind, q), got, want)
+				if q%5 == 4 { // absorb mid-stream: entries patch, then stitch
+					batch := map[string][]uint32{
+						"a": g.Lookups(base, 40), "b": g.Lookups(base, 40), "v": g.Lookups(base, 40),
+					}
+					if err := cached.AppendRows(batch); err != nil {
+						t.Fatal(err)
+					}
+					if err := plain.AppendRows(batch); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			s := cached.CacheStats()
+			if s.StitchedHits == 0 {
+				t.Fatalf("%v: shifting windows never stitched: %+v", kind, s)
+			}
+			if cached.Generation() != 1 {
+				t.Fatalf("%v: fold happened, stream invalid", kind)
+			}
+		})
+	}
+}
+
+// TestStitchedWhereConjunct checks the SelectWhere conjunct path stitches
+// too: a conjunction sharing a shifted range with earlier queries reuses
+// their cached runs.
+func TestStitchedWhereConjunct(t *testing.T) {
+	cached, plain, _, base := recyclePair(t, cssidx.KindLevelCSS, 4000, 43)
+	lo1, hi1 := base[100], base[360]
+	lo2, hi2 := base[200], base[460] // overlaps [lo1, hi1]
+	if _, _, err := cached.SelectRange("a", lo1, hi1); err != nil {
+		t.Fatal(err)
+	}
+	preds := []RangePred{{Col: "a", Lo: lo2, Hi: hi2}, {Col: "v", Lo: 0, Hi: ^uint32(0) - 1}}
+	want, _, err := plain.SelectWhere(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := cached.CacheStats()
+	got, _, err := cached.SelectWhere(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, "stitched where", got, want)
+	if s := cached.CacheStats(); s.StitchedHits != before.StitchedHits+1 {
+		t.Fatalf("conjunct did not stitch: %+v -> %+v", before, s)
+	}
+}
+
+// TestInSubsetSupersetDifferential replays subset IN-lists and fills
+// near-supersets from a cached grouped entry, on both the table surface and
+// the sharded epoch surface, across absorbed appends.
+func TestInSubsetSupersetDifferential(t *testing.T) {
+	cached, plain, g, base := recyclePair(t, cssidx.KindLevelCSS, 4000, 47)
+	pool := g.Lookups(base, 24)
+	shC, _ := cached.ShardedIndex("b")
+	shP, _ := plain.ShardedIndex("b")
+	defer shC.Close()
+	defer shP.Close()
+
+	check := func(tag string, list []uint32) {
+		t.Helper()
+		want, _, err := plain.SelectIn("a", list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := cached.SelectIn("a", list)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mustEqualU32(t, tag+" table", got, want)
+		mustEqualU32(t, tag+" sharded", shC.SelectIn(list), shP.SelectIn(list))
+	}
+
+	check("fill", pool) // seeds the grouped entries
+	check("subset", pool[3:15])
+	check("subset-reordered", []uint32{pool[9], pool[2], pool[5]})
+	near := append(append([]uint32(nil), pool...), base[7]+1) // one unseen value
+	check("near-superset", near)
+	s := cached.CacheStats()
+	if s.SubsetHits == 0 || s.SupersetHits == 0 {
+		t.Fatalf("IN reuse never engaged: %+v", s)
+	}
+
+	// Absorb, then replay: grouped entries must splice and keep serving.
+	batch := map[string][]uint32{
+		"a": g.Lookups(pool, 60), "b": g.Lookups(pool, 60), "v": g.Lookups(pool, 60),
+	}
+	if err := cached.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	check("post-absorb fill", pool)
+	check("post-absorb subset", pool[1:9])
+	if s := cached.CacheStats(); s.Patches == 0 {
+		t.Fatalf("absorb patched nothing: %+v", s)
+	}
+}
+
+// TestGroupAggregateCachedDifferential covers the aggregate cache through
+// repeats (hits), absorbs (PatchAppend merges), folds (drop + recompute)
+// and explicit-RID sources (retokened entries).
+func TestGroupAggregateCachedDifferential(t *testing.T) {
+	cached, plain, g, base := recyclePair(t, cssidx.KindLevelCSS, 4000, 53)
+
+	checkAgg := func(tag string, rids []uint32) {
+		t.Helper()
+		want, err := GroupAggregate(plain, "a", "v", rids)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pass := 0; pass < 2; pass++ {
+			got, err := GroupAggregate(cached, "a", "v", rids)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s pass %d: %d groups, want %d", tag, pass, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s pass %d [%d]: %+v, want %+v", tag, pass, i, got[i], want[i])
+				}
+			}
+		}
+	}
+
+	checkAgg("all-rows", nil)
+	sub, _, err := plain.SelectRange("a", base[10], base[len(base)/4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkAgg("explicit-rids", sub)
+	checkAgg("empty-rids", []uint32{}) // distinct fingerprint from nil
+	if s := cached.CacheStats(); s.AggregateHits == 0 {
+		t.Fatalf("aggregate cache never hit: %+v", s)
+	}
+
+	// Absorb: the all-rows entry must patch to the recomputed answer.
+	for round := 0; round < 3; round++ {
+		batch := map[string][]uint32{
+			"a": g.Lookups(base, 50), "b": g.Lookups(base, 50), "v": g.Lookups(base, 50),
+		}
+		if err := cached.AppendRows(batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := plain.AppendRows(batch); err != nil {
+			t.Fatal(err)
+		}
+		checkAgg(fmt.Sprintf("post-absorb %d", round), nil)
+		checkAgg(fmt.Sprintf("post-absorb %d explicit", round), sub)
+	}
+
+	// Fold: entries drop, recompute must refill and match.
+	cached.SetAppendPolicy(AppendPolicy{})
+	plain.SetAppendPolicy(AppendPolicy{})
+	batch := map[string][]uint32{
+		"a": g.Lookups(base, 3000), "b": g.Lookups(base, 3000), "v": g.Lookups(base, 3000),
+	}
+	if err := cached.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.AppendRows(batch); err != nil {
+		t.Fatal(err)
+	}
+	if cached.Generation() != 2 {
+		t.Fatal("fold expected")
+	}
+	checkAgg("post-fold", nil)
+}
+
+// TestRecycleRaceSharded is the -race gate for the reuse paths against
+// epoch swaps: readers stream overlapping sharded ranges (stitch + patch
+// targets) and IN subsets while a writer absorbs batches; the quiesced
+// state must match an uncached replica bit for bit.
+func TestRecycleRaceSharded(t *testing.T) {
+	g := workload.New(59)
+	base := g.SortedUniform(2000)
+	cols := func(n int) map[string][]uint32 {
+		return map[string][]uint32{"x": g.Lookups(base, n)}
+	}
+	build := func(init map[string][]uint32) *Table {
+		tab := NewTable("t")
+		tab.SetAppendPolicy(AppendPolicy{MinFoldRows: 1 << 20})
+		if err := tab.AddColumn("x", init["x"]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tab.BuildShardedIndex("x", 4); err != nil {
+			t.Fatal(err)
+		}
+		return tab
+	}
+	init := cols(4000)
+	cached := build(init)
+	cached.EnableCache(CacheOptions{MinCostNs: -1})
+	plain := build(init)
+	shC, _ := cached.ShardedIndex("x")
+	defer shC.Close()
+	shP, _ := plain.ShardedIndex("x")
+	defer shP.Close()
+
+	pool := g.Lookups(base, 16)
+	const appends = 25
+	batches := make([]map[string][]uint32, appends)
+	for i := range batches {
+		batches[i] = cols(40)
+	}
+	maxRows := uint32(4000 + appends*40)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			lg := workload.New(int64(200 + r))
+			for i := 0; !stop.Load(); i++ {
+				// Overlapping windows: lo walks, width fixed — the stream
+				// that stitches against whatever epoch each query lands on.
+				j := i % (len(base) - 200)
+				rids, err := shC.SelectRange(base[j], base[j+150])
+				if err != nil {
+					panic(err)
+				}
+				for _, rid := range rids {
+					if rid >= maxRows {
+						panic(fmt.Sprintf("rid %d out of range %d", rid, maxRows))
+					}
+				}
+				shC.SelectIn(pool[:4+i%12])
+				_ = lg
+			}
+		}(r)
+	}
+	for i := 0; i < appends; i++ {
+		if err := cached.AppendRows(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	for i := 0; i < appends; i++ {
+		if err := plain.AppendRows(batches[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for pass := 0; pass < 2; pass++ {
+		for j := 0; j < 3; j++ {
+			lo, hi := base[j*100], base[j*100+150]
+			got, err := shC.SelectRange(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := shP.SelectRange(lo, hi)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mustEqualU32(t, fmt.Sprintf("post-race range %d pass %d", j, pass), got, want)
+		}
+		mustEqualU32(t, fmt.Sprintf("post-race in pass %d", pass), shC.SelectIn(pool), shP.SelectIn(pool))
+		mustEqualU32(t, fmt.Sprintf("post-race in-subset pass %d", pass), shC.SelectIn(pool[2:9]), shP.SelectIn(pool[2:9]))
+	}
+	if s := cached.CacheStats(); s.Hits == 0 {
+		t.Fatalf("race exercised nothing: %+v", s)
+	}
+}

@@ -153,7 +153,13 @@ func (ix *ShardedIndex) SpaceBytes() int {
 // SelectEqual returns the RIDs of rows whose column equals value — base
 // rows first, then delta rows, which is ascending-RID order.
 func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
-	s := ix.cur.Load()
+	return ix.cur.Load().selectEqual(value)
+}
+
+// selectEqual answers one equality probe against this frozen epoch.  Reuse
+// fills go through here rather than ShardedIndex.SelectEqual so they probe
+// the entry's own epoch, not whatever the index pointer has moved on to.
+func (s *shardedEpoch) selectEqual(value uint32) []uint32 {
 	var out []uint32
 	if id, ok := s.dom.ID(value); ok {
 		if first, last := s.idx.EqualRange(id); first < last {
@@ -183,25 +189,54 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 	distinct := dedupeValues(values)
 	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
 	var key qcache.Key
+	grouped := false
 	if qc.Enabled() {
 		key = inFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, distinct)
 		if rids, ok := qc.Lookup(key, tok); ok {
 			return rids
 		}
+		if len(distinct) > 0 {
+			if r, ok := qc.LookupInReuse(key, tok, distinct); ok {
+				if len(r.Missing) == 0 {
+					// Not re-admitted: the source entry already answers any
+					// repeat of this subset at the same price.
+					out, _ := assembleInGroups(distinct, r.Groups, nil)
+					return out
+				}
+				if inFillWorthwhile(len(r.Missing), len(distinct)) {
+					// Missing values probe the SAME frozen epoch the cached
+					// groups were computed against — the current pointer may
+					// already hold a later epoch.
+					fills := make(map[uint32][]uint32, len(r.Missing))
+					for _, v := range r.Missing {
+						fills[v] = s.selectEqual(v)
+					}
+					out, goff := assembleInGroups(distinct, r.Groups, fills)
+					qc.NoteInFill(len(r.Missing))
+					qc.InsertIn(key, tok, distinct, goff, out,
+						estRecomputeNs(Plan{UseIndex: true, EstRows: len(out)}, 0))
+					return out
+				}
+			}
+		}
+		grouped = len(distinct) > 0 && (parallel.Options{}).WorkersFor(len(distinct)) <= 1
 	}
 	start := time.Now()
 	v := s.idx.Snapshot()
-	var out []uint32
-	if len(s.runs) == 0 {
+	var out, goff []uint32
+	switch {
+	case grouped:
+		// Small lists stay single-threaded and record group offsets, the
+		// admission shape subset/superset reuse needs; output rows are
+		// identical to the ungrouped drivers.
+		out, goff = selectInGrouped(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns(), true)
+	case len(s.runs) == 0:
 		out = selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
-	} else {
+	default:
 		out = selectInMerged(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns())
 	}
-	if qc.Enabled() {
-		sorted := append([]uint32(nil), distinct...)
-		sortu32.Sort(sorted)
-		qc.InsertIn(key, tok, sorted, out, recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
-	}
+	qc.InsertIn(key, tok, distinct, goff, out,
+		recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
 	return out
 }
 
@@ -266,29 +301,72 @@ func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
 		if rids, ok := qc.LookupRange(key, tok); ok {
 			return rids, nil
 		}
+		// Gap probes run against this same frozen epoch (s.rangeDirect), so
+		// stitched segments and probe results can never mix states.
+		if rids, hit, err := tryStitchRange(qc, key, tok, s.estRangeRows(loID, hiID), 0, s.rangeDirect); hit || err != nil {
+			return rids, err
+		}
 	}
 	start := time.Now()
-	var out, keys []uint32
+	out, keys := s.rangeMerged(lo, hi, qc.Enabled())
+	if qc.Enabled() {
+		qc.InsertRange(key, tok, keys, out,
+			recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+	}
+	return out, nil
+}
+
+// rangeMerged answers the closed raw range from the epoch's fully merged
+// image: through the memoized base ∪ delta overlay when delta runs exist,
+// else directly from the base arrays.  keys aliases epoch-immutable memory.
+func (s *shardedEpoch) rangeMerged(lo, hi uint32, wantKeys bool) (out, keys []uint32) {
 	if len(s.runs) > 0 {
 		ov := mergedOverlay(s.dom, s.keys, s.rids, s.readRuns(), &s.overlay)
 		if f, l := ov.lowerBound(lo), ov.upperBound(hi); f < l {
 			out = append([]uint32(nil), ov.rids[f:l]...)
 			keys = ov.vals[f:l]
 		}
-	} else {
-		var first, last int
-		if loID < hiID {
-			first, last = s.idx.LowerBound(loID), s.idx.LowerBound(hiID)
-		}
-		if first < last {
-			out, keys = mergeRangeDelta(s.dom, s.keys, s.rids, first, last, nil, lo, hi, qc.Enabled())
-		}
+		return out, keys
 	}
-	if qc.Enabled() {
-		qc.InsertRange(key, tok, keys, out,
-			recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+	loID, hiID := s.dom.IDRange(lo, hi)
+	var first, last int
+	if loID < hiID {
+		first, last = s.idx.LowerBound(loID), s.idx.LowerBound(hiID)
 	}
-	return out, nil
+	if first < last {
+		out, keys = mergeRangeDelta(s.dom, s.keys, s.rids, first, last, nil, lo, hi, wantKeys)
+	}
+	return out, keys
+}
+
+// rangeDirect answers the closed raw range by merging the base segment with
+// the delta runs directly, never touching the memoized overlay — a stitch's
+// gap probes must stay proportional to the gap, not trigger the O(n) merged
+// image a full recompute would build.
+func (s *shardedEpoch) rangeDirect(lo, hi uint32) (rids, keys []uint32, err error) {
+	if lo > hi {
+		return nil, nil, nil
+	}
+	loID, hiID := s.dom.IDRange(lo, hi)
+	var first, last int
+	if loID < hiID {
+		first, last = s.idx.LowerBound(loID), s.idx.LowerBound(hiID)
+	}
+	runs := s.readRuns()
+	if first >= last && len(runs) == 0 {
+		return nil, nil, nil
+	}
+	rids, keys = mergeRangeDelta(s.dom, s.keys, s.rids, first, last, runs, lo, hi, true)
+	return rids, keys, nil
+}
+
+// estRangeRows estimates the qualifying rows of the normalized ID range
+// under the planner's uniform-within-domain assumption.
+func (s *shardedEpoch) estRangeRows(loID, hiID uint32) int {
+	if s.dom.Len() == 0 {
+		return 0
+	}
+	return int(float64(hiID-loID) / float64(s.dom.Len()) * float64(len(s.rids)))
 }
 
 // CountRange is SelectRange without materialising RIDs.

@@ -29,6 +29,10 @@ const (
 	// KindJoin is an indexed nested-loop join result; Hash fingerprints
 	// the inner index identity.
 	KindJoin
+	// KindAgg is a grouped aggregation: Col is the group-by column and
+	// Hash fingerprints the measure column plus the source-RID set (a
+	// marker distinguishes the nil all-rows source from an explicit one).
+	KindAgg
 )
 
 // Layer tags which invalidation domain an entry lives in: LayerTable

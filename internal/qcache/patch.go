@@ -19,11 +19,20 @@ package qcache
 //     would produce.
 //   - KindRange in row order (nil key run): qualifying RIDs are appended —
 //     row order is ascending-RID order and appended RIDs are larger.
-//   - KindIn: carried over when no appended value is in the list; a hit
-//     inside a value group would have to splice mid-result, which needs
-//     per-position values the entry does not keep, so it drops.
+//   - KindIn with group offsets (index-path results): qualifying appended
+//     rows are spliced into their value groups — appended RIDs exceed all
+//     resident ones, so appending at a group's end preserves the
+//     ascending-RID-within-value order a recompute would produce.
+//   - KindIn without groups (scan/parallel path): carried over when no
+//     appended value is in the list; a hit inside a value group would have
+//     to splice mid-result, which needs offsets the entry does not keep,
+//     so it drops.
 //   - KindWhere with conjunct bounds: appended rows are qualified against
 //     the whole conjunction and the survivors appended.
+//   - KindAgg over all rows: the appended (group, measure) pairs fold into
+//     the sorted group list — aggregates commute, so the merge equals a
+//     recompute.  Over an explicit RID set the entry is retokened
+//     unchanged: appends never mutate existing rows.
 //   - KindJoin: dropped — a join result can grow with any appended inner
 //     or outer row and the entry cannot tell.
 //
@@ -68,6 +77,22 @@ func (c *Cache) PatchAppend(p AppendPatch) {
 	if !c.Enabled() {
 		return
 	}
+	// Sort each batch column's (value, RID) pairs once up front: patchOne
+	// then finds an entry's qualifying rows by binary search instead of
+	// scanning the whole batch per entry, so a sweep over many resident
+	// entries costs O(entries·log batch + qualifying), not O(entries·batch).
+	// Stable sort keeps equal values in append order, i.e. ascending RID —
+	// the invariant every splice below relies on.
+	sorted := make(map[string]sortedBatch, len(p.Cols))
+	for col, vals := range p.Cols {
+		sk := append([]uint32(nil), vals...)
+		sr := make([]uint32, len(vals))
+		for i := range sr {
+			sr[i] = p.StartRID + uint32(i)
+		}
+		sortPairs(sk, sr)
+		sorted[col] = sortedBatch{keys: sk, rids: sr}
+	}
 	var patched, dropped int64
 	for i := range c.stripes {
 		st := &c.stripes[i]
@@ -80,9 +105,12 @@ func (c *Cache) PatchAppend(p AppendPatch) {
 			}
 		}
 		for _, e := range sweep {
+			if e.dead {
+				continue // superseded by an earlier patch's link this sweep
+			}
 			switch {
 			case e.tok == p.OldTok:
-				if st.patchOne(e, p, c) {
+				if st.patchOne(e, p, sorted, c) {
 					patched++
 				} else {
 					st.remove(e, c)
@@ -102,42 +130,82 @@ func (c *Cache) PatchAppend(p AppendPatch) {
 	c.stats.invalidations.Add(dropped)
 }
 
+// sortedBatch is one batch column's (value, RID) pairs sorted by value —
+// equal values keep append order, so RIDs ascend within a value.
+type sortedBatch struct {
+	keys, rids []uint32
+}
+
 // patchOne builds the entry's successor under NewTok and swaps it in, or
 // reports false when the entry cannot be carried across the append.  The
-// caller holds the stripe lock and removes the entry on false.
-func (st *stripe) patchOne(e *entry, p AppendPatch, c *Cache) bool {
+// caller holds the stripe lock and removes the entry on false; sorted holds
+// the batch columns presorted by value (see PatchAppend).
+func (st *stripe) patchOne(e *entry, p AppendPatch, sorted map[string]sortedBatch, c *Cache) bool {
 	ne := &entry{key: e.key, tok: p.NewTok, lo: e.lo, hi: e.hi, cost: e.cost, ref: e.ref}
 	switch e.key.Kind {
 	case KindRange:
-		vals, ok := p.Cols[e.key.Col]
+		sb, ok := sorted[e.key.Col]
 		if !ok {
 			return false
 		}
-		var qKeys, qRids []uint32
-		for i, v := range vals {
-			if v >= e.lo && v <= e.hi {
-				qKeys = append(qKeys, v)
-				qRids = append(qRids, p.StartRID+uint32(i))
-			}
-		}
+		f := sort.Search(len(sb.keys), func(i int) bool { return sb.keys[i] >= e.lo })
+		l := sort.Search(len(sb.keys), func(i int) bool { return sb.keys[i] > e.hi })
+		qKeys, qRids := sb.keys[f:l], sb.rids[f:l]
 		switch {
 		case len(qKeys) == 0:
 			// No appended row lands in the bounds: same answer, new epoch.
 			ne.keys, ne.rids = e.keys, e.rids
 		case e.keys != nil:
-			sortPairs(qKeys, qRids)
 			ne.keys, ne.rids = mergePairs(e.keys, e.rids, qKeys, qRids)
 		default:
-			ne.rids = concatU32(e.rids, qRids)
+			// Row-order entry: qualifying RIDs append in ascending-RID
+			// order, which the value sort scrambled.
+			qr := append([]uint32(nil), qRids...)
+			sort.Slice(qr, func(i, j int) bool { return qr[i] < qr[j] })
+			ne.rids = concatU32(e.rids, qr)
 		}
 	case KindIn:
-		vals, ok := p.Cols[e.key.Col]
+		sb, ok := sorted[e.key.Col]
 		if !ok || e.vals == nil {
 			return false
 		}
-		for _, v := range vals {
-			i := sort.Search(len(e.vals), func(j int) bool { return e.vals[j] >= v })
-			if i < len(e.vals) && e.vals[i] == v {
+		if e.goff != nil {
+			// Grouped entry: splice qualifying appended rows into their
+			// value groups.  adds[g] collects group g's new RIDs in append
+			// order — ascending, and above every resident RID.
+			var adds map[uint32][]uint32
+			total := 0
+			for pos, v := range e.vals {
+				f := sort.Search(len(sb.keys), func(j int) bool { return sb.keys[j] >= v })
+				for j := f; j < len(sb.keys) && sb.keys[j] == v; j++ {
+					if adds == nil {
+						adds = make(map[uint32][]uint32)
+					}
+					g := e.s2g[pos]
+					adds[g] = append(adds[g], sb.rids[j])
+					total++
+				}
+			}
+			ne.vals, ne.s2g, ne.vmap = e.vals, e.s2g, e.vmap
+			if total == 0 {
+				ne.rids, ne.goff = e.rids, e.goff
+				break
+			}
+			groups := len(e.goff) - 1
+			rids := make([]uint32, 0, len(e.rids)+total)
+			goff := make([]uint32, groups+1)
+			for g := 0; g < groups; g++ {
+				goff[g] = uint32(len(rids))
+				rids = append(rids, e.rids[e.goff[g]:e.goff[g+1]]...)
+				rids = append(rids, adds[uint32(g)]...)
+			}
+			goff[groups] = uint32(len(rids))
+			ne.rids, ne.goff = rids, goff
+			break
+		}
+		for _, v := range e.vals {
+			j := sort.Search(len(sb.keys), func(i int) bool { return sb.keys[i] >= v })
+			if j < len(sb.keys) && sb.keys[j] == v {
 				return false
 			}
 		}
@@ -170,6 +238,20 @@ func (st *stripe) patchOne(e *entry, p AppendPatch, c *Cache) bool {
 		} else {
 			ne.rids = concatU32(e.rids, qRids)
 		}
+	case KindAgg:
+		ne.aggMeasure, ne.aggAll = e.aggMeasure, e.aggAll
+		if !e.aggAll {
+			// Explicit source rows: appended rows are not among them and
+			// existing rows never change, so the result carries as-is.
+			ne.aggs = e.aggs
+			break
+		}
+		gvals, ok := p.Cols[e.key.Col]
+		mvals, ok2 := p.Cols[e.aggMeasure]
+		if !ok || !ok2 {
+			return false
+		}
+		ne.aggs = mergeAggAppend(e.aggs, gvals, mvals)
 	default: // KindJoin and anything unrecognised
 		return false
 	}
@@ -179,10 +261,7 @@ func (st *stripe) patchOne(e *entry, p AppendPatch, c *Cache) bool {
 		return false
 	}
 	st.m[ne.key] = ne
-	if ne.keys != nil {
-		ck := colKey{table: ne.key.Table, col: ne.key.Col, layer: ne.key.Layer}
-		st.ranges[ck] = append(st.ranges[ck], ne)
-	}
+	st.link(ne, c)
 	st.ring = append(st.ring, ne)
 	st.bytes += ne.bytes
 	st.live++
@@ -230,4 +309,58 @@ func mergePairs(ak, ar, bk, br []uint32) (keys, rids []uint32) {
 // concatU32 returns a fresh a ++ b.
 func concatU32(a, b []uint32) []uint32 {
 	return append(append(make([]uint32, 0, len(a)+len(b)), a...), b...)
+}
+
+// mergeAggAppend folds the appended rows' (group value, measure) pairs
+// into a value-sorted aggregate slice, producing a fresh slice — exactly
+// what recomputing the whole-table aggregate over base ∪ delta yields,
+// because COUNT/SUM/MIN/MAX commute with row order.
+func mergeAggAppend(aggs []AggRow, gvals, mvals []uint32) []AggRow {
+	// Aggregate the batch by group value first (batches are small).
+	gv := append([]uint32(nil), gvals...)
+	mv := append([]uint32(nil), mvals...)
+	sortPairs(gv, mv)
+	delta := make([]AggRow, 0, len(gv))
+	for i := 0; i < len(gv); {
+		r := AggRow{Value: gv[i], Count: 1, Sum: uint64(mv[i]), Min: mv[i], Max: mv[i]}
+		for i++; i < len(gv) && gv[i] == r.Value; i++ {
+			v := mv[i]
+			if v < r.Min {
+				r.Min = v
+			}
+			if v > r.Max {
+				r.Max = v
+			}
+			r.Count++
+			r.Sum += uint64(v)
+		}
+		delta = append(delta, r)
+	}
+	out := make([]AggRow, 0, len(aggs)+len(delta))
+	i, j := 0, 0
+	for i < len(aggs) && j < len(delta) {
+		switch {
+		case aggs[i].Value < delta[j].Value:
+			out = append(out, aggs[i])
+			i++
+		case aggs[i].Value > delta[j].Value:
+			out = append(out, delta[j])
+			j++
+		default:
+			r := aggs[i]
+			d := delta[j]
+			if d.Min < r.Min {
+				r.Min = d.Min
+			}
+			if d.Max > r.Max {
+				r.Max = d.Max
+			}
+			r.Count += d.Count
+			r.Sum += d.Sum
+			out = append(out, r)
+			i, j = i+1, j+1
+		}
+	}
+	out = append(append(out, aggs[i:]...), delta[j:]...)
+	return out
 }

@@ -80,7 +80,7 @@ func TestPatchInList(t *testing.T) {
 	c := New(admitAll(Options{}))
 	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
 	k := Key{Table: "t", Col: "a", Kind: KindIn, Hash: 7, N: 3}
-	c.InsertIn(k, old, []uint32{5, 17, 40}, []uint32{1, 2, 3}, 10)
+	c.InsertIn(k, old, []uint32{5, 17, 40}, nil, []uint32{1, 2, 3}, 10)
 
 	// Appended values miss the list: carried over.
 	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {6, 39}}))
@@ -99,6 +99,71 @@ func TestPatchInList(t *testing.T) {
 	c.PatchAppend(patchFor(newer, last, 503, map[string][]uint32{"a": {6}}))
 	if _, ok := c.Lookup(k, last); ok {
 		t.Fatal("payload-free IN entry survived a patch")
+	}
+}
+
+func TestPatchGroupedInSplice(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	k := Key{Table: "t", Col: "a", Kind: KindIn, Hash: 9, N: 3}
+	// First-occurrence order 17, 5, 40: groups {1, 2}, {3}, {} (40 empty).
+	c.InsertIn(k, old, []uint32{17, 5, 40}, []uint32{0, 2, 3, 3}, []uint32{1, 2, 3}, 10)
+
+	// Appended rows (500: a=5) (501: a=40) (502: a=7): two hit the list and
+	// splice into their groups instead of dropping the entry.
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"a": {5, 40, 7}}))
+	got, ok := c.Lookup(k, new)
+	if !ok || fmt.Sprint(got) != fmt.Sprint([]uint32{1, 2, 3, 500, 501}) {
+		t.Fatalf("grouped splice: ok=%v got=%v", ok, got)
+	}
+	// The patched entry still answers subset replays with the new rows.
+	qk := Key{Table: "t", Col: "a", Kind: KindIn, Hash: 10, N: 1}
+	r, ok := c.LookupInReuse(qk, new, []uint32{5})
+	if !ok || len(r.Missing) != 0 || fmt.Sprint(r.Groups[0]) != fmt.Sprint([]uint32{3, 500}) {
+		t.Fatalf("subset after splice: ok=%v %+v", ok, r)
+	}
+	// A batch with no listed value carries the entry untouched.
+	newer := Token{Gen: 1, Epoch: 3}
+	c.PatchAppend(patchFor(new, newer, 503, map[string][]uint32{"a": {6, 39}}))
+	if got, ok := c.Lookup(k, newer); !ok || len(got) != 5 {
+		t.Fatalf("grouped carry: ok=%v got=%v", ok, got)
+	}
+}
+
+func TestPatchAggregates(t *testing.T) {
+	c := New(admitAll(Options{}))
+	old, new := Token{Gen: 1, Epoch: 1}, Token{Gen: 1, Epoch: 2}
+	rows := []AggRow{{Value: 5, Count: 2, Sum: 30, Min: 10, Max: 20}}
+	ka := Key{Table: "t", Col: "g", Kind: KindAgg, Hash: 1}
+	c.InsertAgg(ka, old, "m", true, rows, 10)
+	// Appended rows (g=5, m=7) and (g=9, m=100): group 5 extends, group 9
+	// appears — exactly what recomputing over base ∪ delta would yield.
+	c.PatchAppend(patchFor(old, new, 500, map[string][]uint32{"g": {5, 9}, "m": {7, 100}}))
+	got, ok := c.LookupAgg(ka, new)
+	want := []AggRow{
+		{Value: 5, Count: 3, Sum: 37, Min: 7, Max: 20},
+		{Value: 9, Count: 1, Sum: 100, Min: 100, Max: 100},
+	}
+	if !ok || fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("agg merge: ok=%v got=%v want=%v", ok, got, want)
+	}
+
+	// An explicit-RID aggregate is retokened unchanged: appends never mutate
+	// the rows it was computed over.
+	ke := Key{Table: "t", Col: "g", Kind: KindAgg, Hash: 2, N: 3}
+	c.InsertAgg(ke, new, "m", false, rows, 10)
+	newer := Token{Gen: 1, Epoch: 3}
+	c.PatchAppend(patchFor(new, newer, 502, map[string][]uint32{"g": {5}, "m": {1}}))
+	if got, ok := c.LookupAgg(ke, newer); !ok || fmt.Sprint(got) != fmt.Sprint(rows) {
+		t.Fatalf("explicit-RID agg retoken: ok=%v got=%v", ok, got)
+	}
+
+	// A batch missing the measure column cannot extend an all-rows
+	// aggregate: dropped.
+	last := Token{Gen: 1, Epoch: 4}
+	c.PatchAppend(patchFor(newer, last, 503, map[string][]uint32{"g": {5}}))
+	if _, ok := c.LookupAgg(ka, last); ok {
+		t.Fatal("all-rows aggregate survived a batch missing its measure column")
 	}
 }
 
@@ -197,6 +262,13 @@ func TestPatchConcurrentWithLookups(t *testing.T) {
 	c := New(admitAll(Options{Stripes: 4}))
 	k := rangeKey("t", "a", 0, 1000)
 	c.InsertRange(k, Token{Epoch: 0}, seq(0, 100), seq(0, 100), 10)
+	// Grouped-IN and aggregate entries ride the same sweeps so the reuse
+	// lookups below race real patch targets ("a" doubles as the measure
+	// column — the patch batches only carry that column).
+	c.InsertIn(Key{Table: "t", Col: "a", Kind: KindIn, Hash: 97, N: 2},
+		Token{Epoch: 0}, []uint32{5, 31}, []uint32{0, 1, 2}, []uint32{11, 12}, 10)
+	c.InsertAgg(Key{Table: "t", Col: "a", Kind: KindAgg, Hash: 98},
+		Token{Epoch: 0}, "a", true, []AggRow{{Value: 5, Count: 1, Sum: 2, Min: 2, Max: 2}}, 10)
 	var wg sync.WaitGroup
 	var cur atomic.Uint64 // last fully published epoch; readers never run ahead
 	stop := make(chan struct{})
@@ -215,6 +287,19 @@ func TestPatchConcurrentWithLookups(t *testing.T) {
 					panic("torn payload observed")
 				}
 				c.LookupRange(rangeKey("t", "a", 3, 7), tok)
+				// The reuse surfaces walk the same interval map and grouped
+				// lists the patch sweep relinks; -race guards the walk.
+				if sp, ok := c.StitchRange(rangeKey("t", "a", 3, 1500), tok); ok {
+					n := 0
+					for _, s := range sp.Segments {
+						n += len(s.RIDs)
+					}
+					if n != sp.CachedRows {
+						panic("stitch plan disagrees with its own segments")
+					}
+				}
+				c.LookupInReuse(Key{Table: "t", Col: "a", Kind: KindIn, Hash: 99, N: 1}, tok, []uint32{uint32(7)})
+				c.LookupAgg(Key{Table: "t", Col: "a", Kind: KindAgg, Hash: 98}, tok)
 			}
 		}()
 	}

@@ -25,17 +25,41 @@
 // only observed hits warm them — so one pass of never-repeated queries
 // cannot flush the working set of a hot dashboard.
 //
-// Range entries additionally support containment reuse: a cached closed
-// [lo, hi] run stores its sorted raw key values next to the RIDs, so any
-// subrange asked under the same token is answered by two binary searches
-// over the cached run and one slice copy, never touching the index.
+// Beyond exact replay, the cache is an intermediate-reuse engine (the
+// recycler): partially overlapping work is salvaged instead of recomputed.
+// Three reuse classes (stitch.go):
+//
+//   - Containment and stitching for ranges.  A cached closed [lo, hi] run
+//     stores its sorted raw key values next to the RIDs, so any subrange
+//     under the same token is answered by two binary searches and a slice
+//     copy.  When no single run covers the request, StitchRange walks the
+//     per-column ordered interval map (range entries sorted by lo) and
+//     greedily assembles maximal cached segments plus the uncovered gaps;
+//     the caller probes only the gaps, concatenates in value order, and
+//     admits the stitched run — so hot dashboards converge to one covering
+//     run (admission drops same-token entries the new run fully covers).
+//   - IN-list subset/superset reuse.  Index-path IN entries record per-value
+//     group offsets, so a query whose value list is a subset of a cached one
+//     replays by concatenating the cached groups, and a near-superset probes
+//     only the missing values and splices them in.
+//   - GroupAggregate caching (KindAgg).  Grouped-aggregation results are
+//     cached whole and carried across absorbed appends by merging the
+//     appended rows' group deltas into the sorted group list.
+//
+// Whether a stitch or superset fill beats recomputing is the caller's call:
+// the cache only reports what it holds (segments, gaps, groups, missing
+// values), and mmdb's cost model prices the gap probes against a fresh
+// computation before committing (NoteStitch/NoteInFill then settle the
+// hit/miss accounting).
 //
 // Appends that the table absorbs into its delta layer (rather than folding
 // into a rebuilt run) do not invalidate wholesale: PatchAppend (patch.go)
 // sweeps the affected table/layer and carries each entry across the epoch
 // individually — retokened untouched when the appended batch cannot change
-// its answer, merged with the qualifying appended rows when it can, and
-// dropped only when neither is possible.
+// its answer, merged with the qualifying appended rows when it can (range
+// runs merge pairs, grouped IN entries splice rows into their value groups,
+// whole-table aggregates fold in the appended groups), and dropped only
+// when neither is possible.
 package qcache
 
 import (
@@ -89,6 +113,24 @@ type entry struct {
 	// means the entry cannot be patched and drops on append instead.
 	vals  []uint32
 	preds []PredBound
+	// goff are an index-path IN entry's group offsets: the rows of the
+	// i-th listed value (first-occurrence order) are rids[goff[i]:goff[i+1]],
+	// and s2g maps each sorted position in vals back to its group index.
+	// nil goff marks an ungrouped entry (scan/parallel path): exact reuse
+	// only, no subset replay, carry-or-drop on append.
+	goff []uint32
+	s2g  []uint32
+	// vmap maps each listed value of a grouped IN entry to its group
+	// index: the subset-replay scan probes it instead of binary-searching
+	// vals, so scoring a candidate costs O(query) map hits.  Shared, never
+	// mutated — patches carry it to their successor entry.
+	vmap map[uint32]uint32
+	// aggs is a cached GroupAggregate result sorted by group value, with
+	// aggMeasure the measure column it aggregates and aggAll marking a
+	// whole-table (nil RID) source — the only kind PatchAppend can extend.
+	aggs       []AggRow
+	aggMeasure string
+	aggAll     bool
 
 	cost  int64 // estimated recompute cost, ns
 	bytes int64
@@ -101,12 +143,16 @@ type stripe struct {
 	mu sync.Mutex
 	m  map[Key]*entry
 	// ranges holds, per column, the range entries carrying a key run —
-	// the candidates for containment reuse.
+	// ordered by (lo, hi) so it doubles as the interval map containment
+	// and stitch lookups walk.
 	ranges map[colKey][]*entry
-	ring   []*entry // CLOCK ring (insertion order, holes marked dead)
-	hand   int
-	bytes  int64
-	live   int
+	// ins holds, per column, the grouped IN entries — the subset/superset
+	// reuse candidates.
+	ins   map[colKey][]*entry
+	ring  []*entry // CLOCK ring (insertion order, holes marked dead)
+	hand  int
+	bytes int64
+	live  int
 }
 
 // Cache is a concurrent, cost-aware query-result cache.  A nil *Cache is
@@ -145,6 +191,7 @@ func New(opts Options) *Cache {
 	for i := range c.stripes {
 		c.stripes[i].m = make(map[Key]*entry)
 		c.stripes[i].ranges = make(map[colKey][]*entry)
+		c.stripes[i].ins = make(map[colKey][]*entry)
 	}
 	return c
 }
@@ -256,7 +303,10 @@ func (c *Cache) LookupRange(k Key, tok Token) ([]uint32, bool) {
 	ck := colKey{table: k.Table, col: k.Col, layer: k.Layer}
 	st.mu.Lock()
 	for _, e := range st.ranges[ck] {
-		if e.dead || e.tok != tok || e.lo > k.Lo || e.hi < k.Hi {
+		if e.lo > k.Lo {
+			break // interval map is ordered by lo: nothing further can cover
+		}
+		if e.dead || e.tok != tok || e.hi < k.Hi {
 			continue
 		}
 		first := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Lo })
@@ -291,12 +341,51 @@ func (c *Cache) InsertRange(k Key, tok Token, keys, rids []uint32, costNs int64)
 	c.insert(&entry{key: k, tok: tok, lo: k.Lo, hi: k.Hi, keys: keys, rids: rids, cost: costNs})
 }
 
-// InsertIn caches an IN-list result together with its sorted deduplicated
-// raw value list, which lets PatchAppend carry the entry across absorbed
-// appends that miss every listed value.  A nil vals degrades to Insert:
-// exact reuse only, dropped by the first append.
-func (c *Cache) InsertIn(k Key, tok Token, vals, rids []uint32, costNs int64) {
-	c.insert(&entry{key: k, tok: tok, vals: vals, rids: rids, cost: costNs})
+// InsertIn caches an IN-list result.  distinct is the deduplicated value
+// list in first-occurrence order (the order the result groups follow); the
+// cache keeps a sorted copy so PatchAppend can qualify absorbed appends
+// against the entry.  A non-nil goff records the group offsets of an
+// index-path result (distinct[i]'s rows are rids[goff[i]:goff[i+1]]),
+// enabling subset/superset reuse and per-group append splicing; nil goff
+// degrades to exact reuse with carry-or-drop patching (scan-path results
+// are in row order and cannot be partitioned per value).
+func (c *Cache) InsertIn(k Key, tok Token, distinct, goff, rids []uint32, costNs int64) {
+	if !c.Enabled() {
+		return
+	}
+	if len(distinct) == 0 {
+		c.insert(&entry{key: k, tok: tok, rids: rids, cost: costNs})
+		return
+	}
+	e := &entry{key: k, tok: tok, rids: rids, cost: costNs}
+	e.vals = append([]uint32(nil), distinct...)
+	sort.Slice(e.vals, func(i, j int) bool { return e.vals[i] < e.vals[j] })
+	if goff != nil {
+		if len(goff) != len(distinct)+1 {
+			c.stats.rejects.Add(1)
+			return // malformed group offsets: refuse rather than mis-slice
+		}
+		e.goff = goff
+		// s2g maps sorted-value positions back to first-occurrence groups;
+		// vmap answers "which group holds value v" in one hash probe.
+		e.s2g = make([]uint32, len(distinct))
+		e.vmap = make(map[uint32]uint32, len(distinct))
+		for g, v := range distinct {
+			p := sort.Search(len(e.vals), func(i int) bool { return e.vals[i] >= v })
+			e.s2g[p] = uint32(g)
+			e.vmap[v] = uint32(g)
+		}
+	}
+	c.insert(e)
+}
+
+// InsertAgg caches a grouped-aggregation result (rows sorted by group
+// value, as GroupAggregate produces).  measureCol names the aggregated
+// column and allRows marks a whole-table source — the only kind
+// PatchAppend can extend with absorbed appends; explicit-RID sources are
+// retokened unchanged (appends never mutate existing rows).
+func (c *Cache) InsertAgg(k Key, tok Token, measureCol string, allRows bool, rows []AggRow, costNs int64) {
+	c.insert(&entry{key: k, tok: tok, aggs: rows, aggMeasure: measureCol, aggAll: allRows, cost: costNs})
 }
 
 // InsertWhere caches a conjunction result together with its conjunct
@@ -324,7 +413,9 @@ func EntryBytesForPairs(count int) int64 { return entryOverheadBytes + 8*int64(c
 // payloadBytes charges an entry for its payload slices plus the fixed
 // overhead; shared between insert admission and PatchAppend re-accounting.
 func payloadBytes(e *entry) int64 {
-	b := entryOverheadBytes + 4*int64(len(e.rids)+len(e.keys)+len(e.inner)+len(e.vals))
+	b := entryOverheadBytes + 4*int64(len(e.rids)+len(e.keys)+len(e.inner)+len(e.vals)+len(e.goff)+len(e.s2g))
+	b += 16 * int64(len(e.vmap)) // ~bucket cost of the value→group hash
+	b += 32*int64(len(e.aggs)) + int64(len(e.aggMeasure))
 	for _, p := range e.preds {
 		b += 24 + int64(len(p.Col))
 	}
@@ -351,6 +442,9 @@ func (c *Cache) insert(e *entry) {
 	e.inner = append([]uint32(nil), e.inner...)
 	e.vals = append([]uint32(nil), e.vals...)
 	e.preds = append([]PredBound(nil), e.preds...)
+	e.goff = append([]uint32(nil), e.goff...)
+	e.s2g = append([]uint32(nil), e.s2g...)
+	e.aggs = append([]AggRow(nil), e.aggs...)
 	// Expensive results get one extra CLOCK life up front: benefit-based
 	// admission's counterpart on the eviction side.
 	if c.opts.MinCostNs > 0 && e.cost >= 8*c.opts.MinCostNs {
@@ -375,10 +469,7 @@ func (c *Cache) insert(e *entry) {
 		return
 	}
 	st.m[e.key] = e
-	if e.keys != nil {
-		ck := colKey{table: e.key.Table, col: e.key.Col, layer: e.key.Layer}
-		st.ranges[ck] = append(st.ranges[ck], e)
-	}
+	st.link(e, c)
 	st.ring = append(st.ring, e)
 	st.bytes += e.bytes
 	st.live++
@@ -417,8 +508,43 @@ func (c *Cache) DropTable(table string) {
 	c.stats.invalidations.Add(dropped)
 }
 
-// remove unlinks an entry from the map and containment list, marks its
-// ring slot dead, and returns its bytes.  Caller holds the stripe lock.
+// link adds an entry to the per-column reuse lists: range runs splice into
+// the lo-ordered interval map, grouped IN entries append to the candidate
+// list.  A new range run also supersedes same-token entries it fully
+// covers — containment answers every query they could, so keeping them
+// only bloats the interval walk; this is how a shifting dashboard's
+// stitched runs converge instead of accumulating.  Caller holds the
+// stripe lock.
+func (st *stripe) link(e *entry, c *Cache) {
+	if e.keys != nil {
+		ck := colKey{table: e.key.Table, col: e.key.Col, layer: e.key.Layer}
+		list := st.ranges[ck]
+		for i := 0; i < len(list); {
+			x := list[i]
+			if x != e && x.tok == e.tok && x.lo >= e.lo && x.hi <= e.hi {
+				st.remove(x, c) // splices list in place
+				list = st.ranges[ck]
+				continue
+			}
+			i++
+		}
+		i := sort.Search(len(list), func(j int) bool {
+			return list[j].lo > e.lo || (list[j].lo == e.lo && list[j].hi >= e.hi)
+		})
+		list = append(list, nil)
+		copy(list[i+1:], list[i:])
+		list[i] = e
+		st.ranges[ck] = list
+	}
+	if e.goff != nil {
+		ck := colKey{table: e.key.Table, col: e.key.Col, layer: e.key.Layer}
+		st.ins[ck] = append(st.ins[ck], e)
+	}
+}
+
+// remove unlinks an entry from the map and reuse lists, marks its ring
+// slot dead, and adjusts the residency accounting.  The interval map
+// splice preserves order.  Caller holds the stripe lock.
 func (st *stripe) remove(e *entry, c *Cache) {
 	if e.dead {
 		return
@@ -429,13 +555,29 @@ func (st *stripe) remove(e *entry, c *Cache) {
 		list := st.ranges[ck]
 		for i, x := range list {
 			if x == e {
-				list[i] = list[len(list)-1]
+				copy(list[i:], list[i+1:])
+				list[len(list)-1] = nil
 				st.ranges[ck] = list[:len(list)-1]
 				break
 			}
 		}
 		if len(st.ranges[ck]) == 0 {
 			delete(st.ranges, ck)
+		}
+	}
+	if e.goff != nil {
+		ck := colKey{table: e.key.Table, col: e.key.Col, layer: e.key.Layer}
+		list := st.ins[ck]
+		for i, x := range list {
+			if x == e {
+				list[i] = list[len(list)-1]
+				list[len(list)-1] = nil
+				st.ins[ck] = list[:len(list)-1]
+				break
+			}
+		}
+		if len(st.ins[ck]) == 0 {
+			delete(st.ins, ck)
 		}
 	}
 	e.dead = true

@@ -7,6 +7,12 @@ type counters struct {
 	hits          atomic.Int64
 	misses        atomic.Int64
 	contained     atomic.Int64
+	stitched      atomic.Int64
+	gapProbes     atomic.Int64
+	subset        atomic.Int64
+	superset      atomic.Int64
+	missProbes    atomic.Int64
+	aggHits       atomic.Int64
 	inserts       atomic.Int64
 	rejects       atomic.Int64
 	evictions     atomic.Int64
@@ -18,11 +24,24 @@ type counters struct {
 
 // Stats is a point-in-time snapshot of the cache counters.
 type Stats struct {
-	// Hits counts lookups answered from the cache; ContainedHits is the
-	// subset answered by slicing a covering range run rather than an
-	// exact fingerprint match.
-	Hits          int64
+	// Hits counts lookups answered from the cache.  The hit-kind
+	// breakdown below splits out the reuse classes that answered without
+	// an exact fingerprint match; exact hits are the remainder.
+	Hits int64
+	// ContainedHits were answered by slicing a single covering range run.
 	ContainedHits int64
+	// StitchedHits were ranges assembled from one or more overlapping
+	// cached runs plus GapProbes index probes of the uncovered gaps.
+	StitchedHits int64
+	GapProbes    int64
+	// SubsetHits were IN-lists replayed by filtering a cached superset
+	// list; SupersetHits were IN-lists completed by probing only their
+	// MissingKeyProbes values absent from the best cached list.
+	SubsetHits       int64
+	SupersetHits     int64
+	MissingKeyProbes int64
+	// AggregateHits were GroupAggregate results served from cache.
+	AggregateHits int64
 	Misses        int64
 	// Inserts counts admitted entries; Rejects counts results that failed
 	// admission (below the cost floor, oversized, or unevictable
@@ -50,16 +69,22 @@ func (c *Cache) Stats() Stats {
 		return Stats{}
 	}
 	return Stats{
-		Hits:          c.stats.hits.Load(),
-		ContainedHits: c.stats.contained.Load(),
-		Misses:        c.stats.misses.Load(),
-		Inserts:       c.stats.inserts.Load(),
-		Rejects:       c.stats.rejects.Load(),
-		Evictions:     c.stats.evictions.Load(),
-		Invalidations: c.stats.invalidations.Load(),
-		Patches:       c.stats.patches.Load(),
-		Entries:       c.stats.entries.Load(),
-		Bytes:         c.stats.bytes.Load(),
+		Hits:             c.stats.hits.Load(),
+		ContainedHits:    c.stats.contained.Load(),
+		StitchedHits:     c.stats.stitched.Load(),
+		GapProbes:        c.stats.gapProbes.Load(),
+		SubsetHits:       c.stats.subset.Load(),
+		SupersetHits:     c.stats.superset.Load(),
+		MissingKeyProbes: c.stats.missProbes.Load(),
+		AggregateHits:    c.stats.aggHits.Load(),
+		Misses:           c.stats.misses.Load(),
+		Inserts:          c.stats.inserts.Load(),
+		Rejects:          c.stats.rejects.Load(),
+		Evictions:        c.stats.evictions.Load(),
+		Invalidations:    c.stats.invalidations.Load(),
+		Patches:          c.stats.patches.Load(),
+		Entries:          c.stats.entries.Load(),
+		Bytes:            c.stats.bytes.Load(),
 	}
 }
 

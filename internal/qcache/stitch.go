@@ -1,0 +1,257 @@
+package qcache
+
+// Intermediate reuse: answering a query from cached results that only
+// partially overlap it.  The cache side is pure mechanism — StitchRange,
+// LookupInReuse and LookupAgg report what is reusable (cached segments and
+// uncovered gaps, cached value groups and missing values, whole aggregate
+// slices) and the execution engine decides whether filling the holes beats
+// recomputing (its cost model knows probe and gather prices; the cache
+// does not).  When the caller commits to a partial answer it settles the
+// accounting with NoteStitch/NoteInFill, trading the exact-lookup miss it
+// already counted for a hit of the right kind.
+//
+// All returned slices alias immutable cache memory (entries are never
+// edited after insert — patches replace them), so they are safe to read
+// without the stripe lock but must be copied before mutation.
+
+import "sort"
+
+// RangeSegment is one cached piece of a stitch plan: the (value, RID)
+// pairs covering the closed value interval [Lo, Hi], sliced from an
+// immutable cached run.
+type RangeSegment struct {
+	Lo, Hi uint32
+	Keys   []uint32
+	RIDs   []uint32
+}
+
+// RangeGap is an uncovered closed value interval the caller must probe.
+type RangeGap struct{ Lo, Hi uint32 }
+
+// StitchPlan decomposes a requested range into cached segments and
+// uncovered gaps.  Both lists are ascending and disjoint, and together
+// they tile the request exactly, so the answer is the in-order
+// concatenation of segment pairs and gap probe results.
+type StitchPlan struct {
+	Segments []RangeSegment
+	Gaps     []RangeGap
+	// CachedRows is the total pair count across Segments — the copy-cost
+	// input to the caller's stitch-vs-recompute break-even.
+	CachedRows int
+}
+
+// StitchRange plans answering the range fingerprint k (Kind KindRange,
+// closed bounds k.Lo/k.Hi) from the overlapping cached runs of the same
+// column and token.  It walks the lo-ordered interval map greedily,
+// picking at each uncovered point the valid run reaching furthest right.
+// ok is false when no cached run overlaps the request at all (a plan that
+// is all gap is a recompute, not a stitch).  The caller should first try
+// LookupRange: a single fully-covering run is the cheaper containment
+// path and never reaches here.
+func (c *Cache) StitchRange(k Key, tok Token) (*StitchPlan, bool) {
+	if !c.Enabled() || k.Lo > k.Hi {
+		return nil, false
+	}
+	st := c.stripeFor(k)
+	ck := colKey{table: k.Table, col: k.Col, layer: k.Layer}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	list := st.ranges[ck]
+	if len(list) == 0 {
+		return nil, false
+	}
+	plan := &StitchPlan{}
+	cur := k.Lo
+	i := 0
+	for {
+		// Among runs starting at or before cur, pick the one reaching
+		// furthest right.  Runs passed over here can never cover a later
+		// cur (it only grows past their hi), so the scan is one pass.
+		var best *entry
+		for ; i < len(list) && list[i].lo <= cur; i++ {
+			if e := list[i]; e.tok == tok && e.hi >= cur && (best == nil || e.hi > best.hi) {
+				best = e
+			}
+		}
+		if best == nil {
+			// Gap from cur to the next valid run's start (or the end).
+			if i >= len(list) || list[i].lo > k.Hi {
+				plan.Gaps = append(plan.Gaps, RangeGap{Lo: cur, Hi: k.Hi})
+				break
+			}
+			if list[i].tok != tok {
+				i++
+				continue
+			}
+			plan.Gaps = append(plan.Gaps, RangeGap{Lo: cur, Hi: list[i].lo - 1})
+			cur = list[i].lo
+			continue
+		}
+		segHi := best.hi
+		if segHi > k.Hi {
+			segHi = k.Hi
+		}
+		first := sort.Search(len(best.keys), func(j int) bool { return best.keys[j] >= cur })
+		last := sort.Search(len(best.keys), func(j int) bool { return best.keys[j] > segHi })
+		plan.Segments = append(plan.Segments, RangeSegment{
+			Lo: cur, Hi: segHi,
+			Keys: best.keys[first:last], RIDs: best.rids[first:last],
+		})
+		plan.CachedRows += last - first
+		if best.ref < 3 {
+			best.ref++
+		}
+		if segHi == k.Hi {
+			break
+		}
+		cur = segHi + 1 // segHi < k.Hi, so this cannot wrap
+	}
+	if len(plan.Segments) == 0 {
+		return nil, false
+	}
+	return plan, true
+}
+
+// NoteStitch settles the accounting after the caller commits to a stitch
+// plan: the exact-lookup miss already counted becomes a stitched hit, and
+// the gap probes it cost are recorded.
+func (c *Cache) NoteStitch(gaps int) {
+	if !c.Enabled() {
+		return
+	}
+	c.stats.misses.Add(-1)
+	c.stats.hits.Add(1)
+	c.stats.stitched.Add(1)
+	c.stats.gapProbes.Add(int64(gaps))
+}
+
+// InReuse describes how an IN-list can be assembled from the best cached
+// grouped entry: Groups[i] holds the cached rows of the i-th query value
+// (in the query's first-occurrence order; empty but non-nil when the
+// entry knows the value matches no rows), and a nil Groups[i] means the
+// value is absent from the cached list and must be probed — those values
+// repeat in Missing, in query order.
+type InReuse struct {
+	Groups  [][]uint32
+	Missing []uint32
+}
+
+// emptyGroup distinguishes "cached as empty" from "unknown, probe it".
+var emptyGroup = []uint32{}
+
+// LookupInReuse answers an IN fingerprint from the grouped IN entries of
+// the same column and token.  distinct must be the deduplicated query
+// values in first-occurrence order (the order the result concatenates
+// groups in).  A full subset match is complete — no probes needed — and is
+// counted as a subset hit here; a partial match returns the covered groups
+// plus the missing values and counts nothing until the caller commits with
+// NoteInFill.  The entry covering the most query values wins.
+func (c *Cache) LookupInReuse(k Key, tok Token, distinct []uint32) (*InReuse, bool) {
+	if !c.Enabled() || len(distinct) == 0 {
+		return nil, false
+	}
+	st := c.stripeFor(k)
+	ck := colKey{table: k.Table, col: k.Col, layer: k.Layer}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	cands := st.ins[ck]
+	var best *entry
+	bestCovered := 0
+	// Phase 1: a full-subset source.  The check is boolean, so a wrong
+	// candidate is dismissed at its first missing value — usually one map
+	// probe — instead of being scored against the whole query.
+scan:
+	for _, e := range cands {
+		if e.tok != tok || e.vmap == nil || len(e.vals) < len(distinct) {
+			continue
+		}
+		for _, v := range distinct {
+			if _, ok := e.vmap[v]; !ok {
+				continue scan
+			}
+		}
+		best, bestCovered = e, len(distinct)
+		break
+	}
+	// Phase 2: no full cover, so score for the best partial — worth the
+	// full scan only now, because the caller's fill path is about to pay
+	// for index probes anyway.  An entry one fifth shorter than the query
+	// cannot reach the ~80% coverage a fill needs; skip it.
+	if best == nil {
+		for _, e := range cands {
+			if e.tok != tok || e.vmap == nil || 5*len(e.vals) < 4*len(distinct) {
+				continue
+			}
+			covered := 0
+			for _, v := range distinct {
+				if _, ok := e.vmap[v]; ok {
+					covered++
+				}
+			}
+			if covered > bestCovered {
+				best, bestCovered = e, covered
+			}
+		}
+	}
+	if best == nil {
+		return nil, false
+	}
+	r := &InReuse{Groups: make([][]uint32, len(distinct))}
+	for i, v := range distinct {
+		if g, ok := best.vmap[v]; ok {
+			grp := best.rids[best.goff[g]:best.goff[g+1]]
+			if grp == nil {
+				grp = emptyGroup
+			}
+			r.Groups[i] = grp
+		} else {
+			r.Missing = append(r.Missing, v)
+		}
+	}
+	if best.ref < 3 {
+		best.ref++
+	}
+	if len(r.Missing) == 0 {
+		// A complete replay: settle the exact-lookup miss now.
+		c.stats.misses.Add(-1)
+		c.stats.hits.Add(1)
+		c.stats.subset.Add(1)
+	}
+	return r, true
+}
+
+// NoteInFill settles the accounting after the caller commits to a
+// superset fill: the exact-lookup miss becomes a superset hit, and the
+// missing-key probes it cost are recorded.
+func (c *Cache) NoteInFill(missing int) {
+	if !c.Enabled() {
+		return
+	}
+	c.stats.misses.Add(-1)
+	c.stats.hits.Add(1)
+	c.stats.superset.Add(1)
+	c.stats.missProbes.Add(int64(missing))
+}
+
+// AggRow is one group of a cached grouped-aggregation result: the group's
+// raw value and the COUNT/SUM/MIN/MAX of the measure column within it.
+// mmdb's GroupRow is an alias of this type so results cache without
+// conversion.
+type AggRow struct {
+	Value uint32
+	Count int64
+	Sum   uint64
+	Min   uint32
+	Max   uint32
+}
+
+// LookupAgg returns a copy of the grouped-aggregation result cached under
+// exactly this fingerprint and token.
+func (c *Cache) LookupAgg(k Key, tok Token) ([]AggRow, bool) {
+	e := c.get(k, tok)
+	if e == nil {
+		return nil, false
+	}
+	c.stats.aggHits.Add(1)
+	return append([]AggRow(nil), e.aggs...), true
+}
