@@ -25,6 +25,12 @@
 //
 //	cssx -kind levelcss -n 1000000 -probefile probes.txt -cache
 //
+// With -wal, the key set is persisted through a write-ahead-logged table
+// (internal/wal) before indexing; rerunning with the same directory
+// recovers the keys from snapshot + log replay instead of regenerating:
+//
+//	cssx -kind levelcss -n 1000000 -wal /tmp/cssx-wal -fsync group
+//
 // Example output column meanings:
 //
 //	space      bytes the structure needs beyond the sorted key array
@@ -47,9 +53,11 @@ import (
 
 	"cssidx"
 	"cssidx/internal/cachesim"
+	"cssidx/internal/failfs"
 	"cssidx/internal/mem"
 	"cssidx/internal/mmdb"
 	"cssidx/internal/simidx"
+	"cssidx/internal/wal"
 	"cssidx/internal/workload"
 )
 
@@ -91,6 +99,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sortBatch = fs.Bool("sortbatch", false, "batch mode: force the sort-probes-first schedule (forerunner of -schedule sorted)")
 		workers   = fs.Int("workers", 1, "batch mode: worker goroutines per batch (0 = GOMAXPROCS; needs an ordered method)")
 		useCache  = fs.Bool("cache", false, "batch mode: run each batch as an mmdb IN-list selection through the result cache; dumps cache stats")
+
+		walDir    = fs.String("wal", "", "durable mode: persist the key set through a WAL-backed table in this directory; a rerun recovers it (snapshot + log replay) instead of regenerating")
+		fsyncMode = fs.String("fsync", "group", "with -wal: fsync policy: none (clean close only), group (2ms group commit), always (fsync per batch)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -110,6 +121,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "cssx: unknown distribution %q\n", *dist)
 		return 2
+	}
+	if *walDir != "" {
+		var rc int
+		keys, rc = durableKeys(stdout, stderr, *walDir, *fsyncMode, keys)
+		if rc != 0 {
+			return rc
+		}
 	}
 	if *probefile != "" {
 		if *kind == "all" {
@@ -363,6 +381,67 @@ func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32
 	fmt.Fprintf(stdout, "reuse: %d stitched (%d gap probes), %d in-subset, %d in-superset (%d key probes), %d aggregate, %d patched entries\n",
 		s.StitchedHits, s.GapProbes, s.SubsetHits, s.SupersetHits, s.MissingKeyProbes, s.AggregateHits, s.Patches)
 	return 0
+}
+
+// durableKeys persists or recovers the key set through a WAL-backed mmdb
+// table (internal/wal via mmdb.OpenDurable).  An empty directory gets the
+// generated keys appended in logged batches; a populated one hands back the
+// keys recovered from snapshot + log replay — rerunning the same command
+// after a crash (or plain exit) serves the exact key set the first run
+// acknowledged, which is the durability guarantee the README documents.
+// Returns the keys to index and a non-zero exit code on failure.
+func durableKeys(stdout, stderr io.Writer, dir, fsyncMode string, generated []uint32) ([]uint32, int) {
+	var pol wal.Policy
+	switch fsyncMode {
+	case "none":
+		pol = wal.None()
+	case "group":
+		pol = wal.GroupCommit(2 * time.Millisecond)
+	case "always":
+		pol = wal.Always()
+	default:
+		fmt.Fprintf(stderr, "cssx: unknown fsync policy %q (none, group, always)\n", fsyncMode)
+		return nil, 2
+	}
+	d, err := mmdb.OpenDurable(failfs.OS, dir, "cssx", pol)
+	if err != nil {
+		fmt.Fprintf(stderr, "cssx: opening durable table: %v\n", err)
+		return nil, 1
+	}
+	keys := generated
+	if d.Rows() == 0 {
+		start := time.Now()
+		const chunk = 4096
+		for base := 0; base < len(keys); base += chunk {
+			end := min(base+chunk, len(keys))
+			if err := d.AppendRows(map[string][]uint32{"k": keys[base:end]}); err != nil {
+				fmt.Fprintf(stderr, "cssx: logging keys: %v\n", err)
+				return nil, 1
+			}
+		}
+		if err := d.SyncWAL(); err != nil {
+			fmt.Fprintf(stderr, "cssx: syncing wal: %v\n", err)
+			return nil, 1
+		}
+		fmt.Fprintf(stdout, "wal: logged %d keys to %s (%s fsync, %d log bytes, seq %d) in %.1fms\n\n",
+			len(keys), dir, fsyncMode, d.LogSize(), d.LastSeq(), time.Since(start).Seconds()*1e3)
+	} else {
+		// Recovered rows win over the regenerated set: they are what the
+		// first run acknowledged.  Appends preserved order, so the column
+		// is still the sorted array the index builders need.
+		col, _ := d.Column("k")
+		keys = make([]uint32, d.Rows())
+		for i := range keys {
+			keys[i] = col.Value(i)
+		}
+		fmt.Fprintf(stdout, "wal: recovered %d keys from %s (snapshot + %d log bytes, seq %d)\n\n",
+			len(keys), dir, d.LogSize(), d.LastSeq())
+	}
+	if err := d.Close(); err != nil {
+		fmt.Fprintf(stderr, "cssx: closing durable table: %v\n", err)
+		return nil, 1
+	}
+	return keys, 0
 }
 
 // readProbes parses one decimal uint32 key per line; "-" reads stdin.

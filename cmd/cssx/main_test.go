@@ -241,3 +241,38 @@ func TestBatchModeScheduleConflict(t *testing.T) {
 		t.Fatalf("agreeing flags: exit=%d stderr=%s", code, errb.String())
 	}
 }
+
+func TestWALModeLogsThenRecovers(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "levelcss", "-n", "5000", "-lookups", "200", "-wal", dir, "-fsync", "always"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal: logged 5000 keys") {
+		t.Errorf("first run did not log:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-kind", "levelcss", "-n", "5000", "-lookups", "200", "-wal", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("rerun exit=%d stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "wal: recovered 5000 keys") {
+		t.Errorf("rerun did not recover:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "level CSS-tree") {
+		t.Errorf("rerun did not index the recovered keys:\n%s", out.String())
+	}
+}
+
+func TestWALModeBadPolicy(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-wal", t.TempDir(), "-fsync", "sometimes", "-n", "100"}, &out, &errb)
+	if code != 2 {
+		t.Fatalf("exit=%d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown fsync policy") {
+		t.Errorf("stderr = %s", errb.String())
+	}
+}

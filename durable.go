@@ -1,0 +1,285 @@
+package cssidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"path/filepath"
+	"sync"
+
+	"cssidx/internal/failfs"
+	"cssidx/internal/wal"
+)
+
+// DurableSharded is a uint32 sharded index whose Insert/Delete batches
+// are write-ahead logged: every mutation is appended to a checksummed
+// log — fsynced per the configured wal.Policy — before the in-memory
+// index absorbs it, so a crash between Checkpoint snapshots loses
+// nothing the policy promised to keep.  See OpenWAL for the recovery
+// protocol and the per-policy guarantee.
+//
+// Reads go straight to the embedded ShardedIndex with zero overhead;
+// Insert/Delete/Checkpoint/Close are intercepted.  Mutations are safe
+// for concurrent use (serialized through the log); reads are lock-free
+// as always.
+type DurableSharded struct {
+	*ShardedIndex[uint32]
+
+	fsys     failfs.FS
+	snapPath string
+	opts     ShardedOptions[uint32]
+
+	mu      sync.Mutex
+	log     *wal.Log
+	lastSeq uint64 // last sequence absorbed by the in-memory index
+}
+
+// Sharded WAL record: op byte, key count, keys.
+const (
+	shardOpInsert = 1
+	shardOpDelete = 2
+)
+
+func encodeShardOp(op byte, keys []uint32) []byte {
+	buf := make([]byte, 5+4*len(keys))
+	buf[0] = op
+	binary.LittleEndian.PutUint32(buf[1:5], uint32(len(keys)))
+	for i, k := range keys {
+		binary.LittleEndian.PutUint32(buf[5+4*i:], k)
+	}
+	return buf
+}
+
+func decodeShardOp(payload []byte) (op byte, keys []uint32, err error) {
+	if len(payload) < 5 {
+		return 0, nil, fmt.Errorf("cssidx: short wal record (%d bytes)", len(payload))
+	}
+	op = payload[0]
+	if op != shardOpInsert && op != shardOpDelete {
+		return 0, nil, fmt.Errorf("cssidx: unknown wal op %d", op)
+	}
+	n := binary.LittleEndian.Uint32(payload[1:5])
+	if uint64(len(payload)) != 5+4*uint64(n) {
+		return 0, nil, fmt.Errorf("cssidx: wal record claims %d keys in %d bytes", n, len(payload))
+	}
+	keys = make([]uint32, n)
+	for i := range keys {
+		keys[i] = binary.LittleEndian.Uint32(payload[5+4*i:])
+	}
+	return op, keys, nil
+}
+
+// OpenWAL opens — or recovers — a durable uint32 sharded index rooted at
+// dir: the snapshot lives in dir/name.snap, the write-ahead log in
+// dir/name.wal.  On open, the snapshot (if any) is loaded and every log
+// record after the snapshot's covered sequence is replayed into the
+// index, with a torn log tail detected by checksum and truncated; the
+// result is exactly the state the durability policy promised at the
+// crash instant.
+//
+// The crash guarantee, per policy: with wal.Always an Insert/Delete that
+// returned is durable; with wal.GroupCommit it is durable within the
+// group-commit window (never reordered, never torn); with wal.None only
+// Checkpoint/Sync/Close boundaries are durable.  In every mode recovery
+// yields a clean prefix of acknowledged mutations — a batch is either
+// fully recovered or (beyond the promised watermark) fully absent.
+//
+// Checkpoint folds the log into a fresh snapshot and truncates it;
+// recovery cost is proportional to the log since the last Checkpoint.
+//
+// fsys nil means the real filesystem.
+func OpenWAL(fsys failfs.FS, dir, name string, opts ShardedOptions[uint32], pol wal.Policy) (*DurableSharded, error) {
+	if fsys == nil {
+		fsys = failfs.OS
+	}
+	if err := fsys.MkdirAll(dir); err != nil {
+		return nil, fmt.Errorf("cssidx: creating %s: %w", dir, err)
+	}
+	snapPath := filepath.Join(dir, name+".snap")
+	walPath := filepath.Join(dir, name+".wal")
+
+	// Load the snapshot when one exists; its trailer names the last wal
+	// sequence it absorbed.
+	var (
+		x       *ShardedIndex[uint32]
+		snapSeq uint64
+	)
+	ix, seq, err := loadShardedSnapshot(fsys, snapPath, opts)
+	switch {
+	case err == nil:
+		x, snapSeq = ix, seq
+	case isNotExist(err):
+		x = NewSharded[uint32](nil, opts)
+	default:
+		return nil, err
+	}
+
+	log, recs, err := wal.Open(fsys, walPath, pol)
+	if err != nil {
+		x.Close()
+		return nil, err
+	}
+	if err := log.Advance(snapSeq); err != nil {
+		log.Close()
+		x.Close()
+		return nil, err
+	}
+	lastSeq := snapSeq
+	for _, rec := range recs {
+		if rec.Seq <= snapSeq {
+			continue // already folded into the snapshot
+		}
+		op, keys, derr := decodeShardOp(rec.Payload)
+		if derr != nil {
+			// A checksummed record that does not decode is a logic
+			// error, not corruption; refuse rather than guess.
+			log.Close()
+			x.Close()
+			return nil, derr
+		}
+		if op == shardOpInsert {
+			x.Insert(keys...)
+		} else {
+			x.Delete(keys...)
+		}
+		lastSeq = rec.Seq
+	}
+	x.Sync() // replayed mutations become visible before the first read
+	return &DurableSharded{
+		ShardedIndex: x,
+		fsys:         fsys,
+		snapPath:     snapPath,
+		opts:         opts,
+		log:          log,
+		lastSeq:      lastSeq,
+	}, nil
+}
+
+// isNotExist reports whether err means "no snapshot yet" (fs.ErrNotExist
+// from any FS implementation).
+func isNotExist(err error) bool { return errors.Is(err, fs.ErrNotExist) }
+
+// Insert logs the keys, then enqueues them for insertion; when it
+// returns nil the batch is on the log per the policy (see OpenWAL) and
+// will become visible at the affected shards' next epoch-swaps.
+func (d *DurableSharded) Insert(keys ...uint32) error {
+	return d.logOp(shardOpInsert, keys)
+}
+
+// Delete logs the keys, then enqueues them for deletion (multiset
+// semantics, like ShardedIndex.Delete); same durability as Insert.
+func (d *DurableSharded) Delete(keys ...uint32) error {
+	return d.logOp(shardOpDelete, keys)
+}
+
+func (d *DurableSharded) logOp(op byte, keys []uint32) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	seq, err := d.log.Append(encodeShardOp(op, keys))
+	if err != nil {
+		return err
+	}
+	if op == shardOpInsert {
+		d.ShardedIndex.Insert(keys...)
+	} else {
+		d.ShardedIndex.Delete(keys...)
+	}
+	d.lastSeq = seq
+	return nil
+}
+
+// SyncWAL forces every acknowledged mutation durable now, regardless of
+// policy.  (Sync, unqualified, remains the ShardedIndex visibility wait.)
+func (d *DurableSharded) SyncWAL() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.log.Sync()
+}
+
+// SyncedSeq reports the last log sequence known durable.
+func (d *DurableSharded) SyncedSeq() uint64 { return d.log.SyncedSeq() }
+
+// LastSeq reports the last log sequence absorbed by the index.
+func (d *DurableSharded) LastSeq() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.lastSeq
+}
+
+// LogSize reports the write-ahead log's current size in bytes: the
+// recovery debt a Checkpoint would clear.
+func (d *DurableSharded) LogSize() int64 { return d.log.Size() }
+
+// Checkpoint captures the index in a fresh snapshot (atomically: temp +
+// fsync + rename + directory fsync) and truncates the log.  The snapshot
+// records the log sequence it absorbed, so a crash anywhere inside
+// Checkpoint recovers correctly: an old snapshot with a full log, or the
+// new snapshot with (equivalently) the old log or the truncated one —
+// replay skips records the snapshot already owns.
+func (d *DurableSharded) Checkpoint() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Every logged mutation must be visible in the view the snapshot
+	// captures; Sync waits for the background rebuilder.
+	d.ShardedIndex.Sync()
+	seq := d.lastSeq
+	if err := writeFileAtomic(d.fsys, d.snapPath, func(w io.Writer) error {
+		return saveShardedSnapshot(w, d.ShardedIndex, seq)
+	}); err != nil {
+		return err
+	}
+	return d.log.Checkpoint()
+}
+
+// Close syncs and closes the log, then stops the index's background
+// rebuilder.  No implicit checkpoint: recovery replays the log.
+func (d *DurableSharded) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	err := d.log.Close()
+	d.ShardedIndex.Close()
+	return err
+}
+
+// --- snapshot + sequence trailer ---------------------------------------------
+
+// saveShardedSnapshot writes the wal sequence header, then the ordinary
+// SaveSharded image.
+func saveShardedSnapshot(w io.Writer, x *ShardedIndex[uint32], seq uint64) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], seq)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	return SaveSharded(w, x)
+}
+
+// loadShardedSnapshot reads a snapshot written by saveShardedSnapshot.
+func loadShardedSnapshot(fsys failfs.FS, path string, opts ShardedOptions[uint32]) (*ShardedIndex[uint32], uint64, error) {
+	gcStaleTemps(fsys, path)
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	var seq uint64
+	var hdr [8]byte
+	x, err := func() (*ShardedIndex[uint32], error) {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return nil, fmt.Errorf("cssidx: reading snapshot sequence: %w", err)
+		}
+		seq = binary.LittleEndian.Uint64(hdr[:])
+		return LoadSharded(f, opts)
+	}()
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return x, seq, nil
+}

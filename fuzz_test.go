@@ -1,0 +1,78 @@
+package cssidx
+
+import (
+	"bytes"
+	"testing"
+)
+
+// fuzzKeys is the fixed sorted array the fuzzed index snapshots attach
+// to: corrupt snapshot bytes must produce an error, never a panic or an
+// allocation beyond the input's own size class.
+func fuzzKeys() []Key {
+	keys := make([]Key, 1000)
+	for i := range keys {
+		keys[i] = Key(3 * i)
+	}
+	return keys
+}
+
+func FuzzLoadIndex(f *testing.F) {
+	keys := fuzzKeys()
+	// Seed with both valid variants so the fuzzer mutates real
+	// snapshots, not just noise.
+	for _, kind := range []Kind{KindFullCSS, KindLevelCSS} {
+		idx := New(kind, keys, Options{})
+		var buf bytes.Buffer
+		if err := SaveIndex(&buf, idx); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		idx, err := LoadIndex(bytes.NewReader(data), keys)
+		if err != nil {
+			return
+		}
+		// A snapshot that loads must serve queries sanely.
+		for _, k := range []Key{0, 3, 500, 2997, 5000} {
+			pos := idx.Search(k)
+			if pos >= len(keys) || (pos >= 0 && keys[pos] != k) {
+				t.Fatalf("restored index: Search(%d) = %d", k, pos)
+			}
+		}
+	})
+}
+
+// Note: sustained `go test -fuzz=FuzzLoadSharded` sessions on single-CPU
+// machines can stall inside the fuzz engine's minimizer (the engine has no
+// per-exec timeout); the saved corpus under testdata/fuzz runs clean as
+// regular subtests, which is what `go test` and CI execute.
+func FuzzLoadSharded(f *testing.F) {
+	opts := ShardedOptions[uint32]{Shards: 4}
+	keys := make([]uint32, 500)
+	for i := range keys {
+		keys[i] = uint32(7 * i)
+	}
+	x := NewSharded(keys, opts)
+	var buf bytes.Buffer
+	if err := SaveSharded(&buf, x); err != nil {
+		f.Fatal(err)
+	}
+	x.Close()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		y, err := LoadSharded(bytes.NewReader(data), opts)
+		if err != nil {
+			return
+		}
+		defer y.Close()
+		for _, k := range []uint32{0, 7, 3493, 9999} {
+			pos := y.Search(k)
+			if pos >= y.Len() {
+				t.Fatalf("restored sharded: Search(%d) = %d with Len %d", k, pos, y.Len())
+			}
+		}
+	})
+}

@@ -170,6 +170,7 @@ func Experiments() []Experiment {
 		{"nodesearch", "Extension: node-search kernel ablation (scalar/swar/simd × node size × skew)", runNodeSearch},
 		{"reuse", "Extension: epoch-aware result cache (hit rate × skew × append rate)", runReuse},
 		{"ingest", "Extension: append cliff — delta-layer absorbs vs rebuild-per-batch (appends/s, read tax)", runIngest},
+		{"durability", "Extension: WAL overhead per fsync policy (appends/s off/group/always, recovery vs log size)", runDurability},
 	}
 }
 

@@ -1,0 +1,172 @@
+package bench
+
+// runDurability prices the write-ahead log (internal/wal) against the bare
+// in-memory append path.  The same append stream lands on a plain table
+// (WAL off — PR 6's delta layer, nothing survives a crash) and on durable
+// tables under each fsync policy: GroupCommit acknowledges from the OS
+// buffer and fsyncs on an interval, Always fsyncs every batch before
+// acknowledging.  Sustained appends/s is the overhead metric; the issue's
+// acceptance bar is GroupCommit within 1.5× of WAL-off.
+//
+// The second table prices recovery: logs of growing size (no checkpoint,
+// so replay covers the whole stream) are reopened and the wall-clock from
+// Open to a query-ready table is reported against the log's byte size —
+// the shape target is linear, since replay is one sequential checksummed
+// scan feeding the delta layer.
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"cssidx/internal/failfs"
+	"cssidx/internal/mmdb"
+	"cssidx/internal/wal"
+	"cssidx/internal/workload"
+)
+
+// durBatches pre-generates the append stream (two uint32 columns) so
+// generation cost never lands inside the timed region.
+func durBatches(g *workload.Gen, dict []uint32, batch, count int) []map[string][]uint32 {
+	out := make([]map[string][]uint32, count)
+	for i := range out {
+		out[i] = map[string][]uint32{
+			"k": g.Lookups(dict, batch),
+			"v": g.Lookups(dict, batch),
+		}
+	}
+	return out
+}
+
+// appendAll drives the stream through one append function and returns
+// sustained appends/s.
+func appendAll(batches []map[string][]uint32, batch int, apply func(map[string][]uint32) error) (float64, error) {
+	start := time.Now()
+	for _, b := range batches {
+		if err := apply(b); err != nil {
+			return 0, err
+		}
+	}
+	return float64(len(batches)*batch) / time.Since(start).Seconds(), nil
+}
+
+func runDurability(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	g := workload.New(cfg.Seed)
+	batch, totalAppend := 256, 16_384
+	if cfg.Quick {
+		totalAppend = 4_096
+	}
+	dict := g.SortedUniform(4096)
+	count := totalAppend / batch
+
+	root, err := os.MkdirTemp("", "cssx-durability-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(root)
+
+	// --- WAL overhead per fsync policy -----------------------------------
+	fmt.Fprintf(w, "append stream of %d rows in batches of %d, WAL off vs each fsync policy\n",
+		totalAppend, batch)
+	t := newTable(w)
+	t.row("policy", "appends/s", "vs WAL off", "durable when")
+	policies := []struct {
+		name, durable string
+		pol           wal.Policy
+	}{
+		{"off", "never (memory only)", wal.Policy{}},
+		{"none", "clean close / checkpoint", wal.None()},
+		{"group(2ms)", "≤2ms after ack", wal.GroupCommit(2 * time.Millisecond)},
+		{"always", "before ack", wal.Always()},
+	}
+	var offRate float64
+	for i, p := range policies {
+		batches := durBatches(g, dict, batch, count)
+		var rate float64
+		if p.name == "off" {
+			// The plain table's first batch defines the schema via AddColumn,
+			// exactly as the durable open path does when replaying batch 1.
+			tab := mmdb.NewTable("durability")
+			rate, err = appendAll(batches, batch, func(b map[string][]uint32) error {
+				if tab.Rows() == 0 {
+					for name, vals := range b {
+						if err := tab.AddColumn(name, vals); err != nil {
+							return err
+						}
+					}
+					return nil
+				}
+				return tab.AppendRows(b)
+			})
+		} else {
+			var d *mmdb.DurableTable
+			d, err = mmdb.OpenDurable(failfs.OS, fmt.Sprintf("%s/pol%d", root, i), "t", p.pol)
+			if err != nil {
+				return err
+			}
+			rate, err = appendAll(batches, batch, d.AppendRows)
+			if cerr := d.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			return err
+		}
+		ratio := 1.0
+		if p.name == "off" {
+			offRate = rate
+		} else {
+			ratio = offRate / rate
+		}
+		t.row(p.name, fmt.Sprintf("%.0f", rate), fmt.Sprintf("%.2fx", ratio), p.durable)
+		cfg.record(Record{Experiment: "durability", Params: map[string]any{"policy": p.name, "batch": batch}, Metric: "appends_per_s", Value: rate})
+		if p.name != "off" {
+			cfg.record(Record{Experiment: "durability", Params: map[string]any{"policy": p.name, "batch": batch}, Metric: "wal_overhead", Value: ratio, Unit: "x"})
+		}
+	}
+	t.flush()
+
+	// --- recovery time vs log size ----------------------------------------
+	rowCounts := []int{4_096, 16_384, 65_536}
+	if cfg.Quick {
+		rowCounts = []int{1_024, 4_096, 16_384}
+	}
+	fmt.Fprintf(w, "\nrecovery: reopen time vs log size (no checkpoint, full replay)\n")
+	t = newTable(w)
+	t.row("logged rows", "log size", "recovery", "rows/s replayed")
+	for _, rows := range rowCounts {
+		dir := fmt.Sprintf("%s/rec%d", root, rows)
+		d, err := mmdb.OpenDurable(failfs.OS, dir, "t", wal.None())
+		if err != nil {
+			return err
+		}
+		for _, b := range durBatches(g, dict, batch, rows/batch) {
+			if err := d.AppendRows(b); err != nil {
+				return err
+			}
+		}
+		logBytes := d.LogSize()
+		if err := d.Close(); err != nil {
+			return err
+		}
+		rec := Measure(func() {
+			r, err := mmdb.OpenDurable(failfs.OS, dir, "t", wal.None())
+			if err != nil {
+				panic(err) // rehearsed open; only environment failure lands here
+			}
+			Sink += r.Rows()
+			if err := r.Close(); err != nil {
+				panic(err)
+			}
+		}, cfg.Repeats)
+		t.row(fmt.Sprintf("%d", rows), mb(float64(logBytes)), secs(rec),
+			fmt.Sprintf("%.0f", float64(rows)/rec))
+		cfg.record(Record{Experiment: "durability", Params: map[string]any{"rows": rows, "log_bytes": logBytes}, Metric: "recovery_time", Value: rec, Unit: "s"})
+	}
+	t.flush()
+	fmt.Fprintln(w, "\nshape target: group-commit appends/s within 1.5x of WAL off (the acceptance bar);")
+	fmt.Fprintln(w, "always pays an fsync per batch; recovery linear in log size")
+	return nil
+}

@@ -1,0 +1,48 @@
+package crashtest
+
+import (
+	"testing"
+)
+
+// stride picks how densely the crash matrix samples the op schedule:
+// every op normally, every 5th under -short.
+func stride(t *testing.T) int {
+	if testing.Short() {
+		return 5
+	}
+	return 1
+}
+
+func TestShardedCrashMatrix(t *testing.T) {
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol.Mode.String(), func(t *testing.T) {
+			t.Parallel()
+			points, err := Run(newShardScript(), pol, 42, stride(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if points == 0 {
+				t.Fatal("no crash points exercised")
+			}
+			t.Logf("verified %d crash points", points)
+		})
+	}
+}
+
+func TestTableCrashMatrix(t *testing.T) {
+	for _, pol := range Policies() {
+		pol := pol
+		t.Run(pol.Mode.String(), func(t *testing.T) {
+			t.Parallel()
+			points, err := Run(newTableScript(), pol, 99, stride(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if points == 0 {
+				t.Fatal("no crash points exercised")
+			}
+			t.Logf("verified %d crash points", points)
+		})
+	}
+}

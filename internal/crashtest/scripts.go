@@ -1,0 +1,385 @@
+package crashtest
+
+import (
+	"fmt"
+	"sort"
+
+	"cssidx"
+	"cssidx/internal/failfs"
+	"cssidx/internal/mmdb"
+	"cssidx/internal/wal"
+)
+
+// --- sharded-index workload --------------------------------------------------
+
+const (
+	opInsert = iota
+	opDelete
+	opCheckpoint
+)
+
+type shardOp struct {
+	kind int
+	keys []uint32
+}
+
+// shardScript drives a DurableSharded: interleaved insert and delete
+// batches with a mid-stream checkpoint, so crash points land inside
+// appends, syncs, the snapshot save, the log truncation, and the
+// directory commits around them.
+type shardScript struct {
+	ops []shardOp
+}
+
+func newShardScript() *shardScript {
+	return &shardScript{ops: []shardOp{
+		{opInsert, []uint32{10, 30, 20, 40, 50}},
+		{opInsert, []uint32{15, 25, 35}},
+		{opDelete, []uint32{30, 99}}, // 99 absent: multiset no-op
+		{opInsert, []uint32{30, 30}}, // duplicate keys
+		{opCheckpoint, nil},
+		{opInsert, []uint32{5, 45}},
+		{opDelete, []uint32{10}},
+		{opInsert, []uint32{60}},
+	}}
+}
+
+func shardOpts() cssidx.ShardedOptions[uint32] {
+	return cssidx.ShardedOptions[uint32]{Shards: 2}
+}
+
+func (s *shardScript) play(fsys *failfs.Mem, pol wal.Policy) (outcome, error) {
+	var out outcome
+	x, err := cssidx.OpenWAL(fsys, "db", "idx", shardOpts(), pol)
+	if err != nil {
+		return out, err
+	}
+	defer x.Close() // post-crash the log close fails; the rebuilder still stops
+	for _, op := range s.ops {
+		switch op.kind {
+		case opInsert, opDelete:
+			out.inFlight = true
+			if op.kind == opInsert {
+				err = x.Insert(op.keys...)
+			} else {
+				err = x.Delete(op.keys...)
+			}
+			if err != nil {
+				return out, err
+			}
+			out.inFlight = false
+			out.acked++
+			if d := x.SyncedSeq(); d > out.durable {
+				out.durable = d
+			}
+		case opCheckpoint:
+			if err := x.Checkpoint(); err != nil {
+				return out, err
+			}
+			// A completed checkpoint makes everything absorbed durable,
+			// whatever the policy.
+			if d := x.LastSeq(); d > out.durable {
+				out.durable = d
+			}
+		}
+	}
+	if err := x.Close(); err != nil {
+		return out, err
+	}
+	// Clean close syncs the log: every acked batch is now promised.
+	out.durable = out.acked
+	return out, nil
+}
+
+// oracleKeys replays the first k mutation batches into a plain multiset
+// and returns its sorted contents.
+func (s *shardScript) oracleKeys(k uint64) []uint32 {
+	count := map[uint32]int{}
+	var applied uint64
+	for _, op := range s.ops {
+		if op.kind == opCheckpoint {
+			continue
+		}
+		if applied == k {
+			break
+		}
+		applied++
+		for _, key := range op.keys {
+			if op.kind == opInsert {
+				count[key]++
+			} else if count[key] > 0 {
+				count[key]--
+			}
+		}
+	}
+	var keys []uint32
+	for key, n := range count {
+		for i := 0; i < n; i++ {
+			keys = append(keys, key)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func (s *shardScript) verify(fsys *failfs.Mem, pol wal.Policy, out outcome) error {
+	x, err := cssidx.OpenWAL(fsys, "db", "idx", shardOpts(), pol)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer x.Close()
+	k := x.LastSeq()
+	if err := checkPrefix(k, out); err != nil {
+		return err
+	}
+
+	want := s.oracleKeys(k)
+	oracle := cssidx.NewSharded(want, shardOpts())
+	defer oracle.Close()
+
+	if x.Len() != len(want) {
+		return fmt.Errorf("recovered %d keys, oracle has %d", x.Len(), len(want))
+	}
+	// Full ordered scan: the recovered sorted view must be the oracle's.
+	i := 0
+	var scanErr error
+	x.Ascend(0, ^uint32(0), func(pos int, key uint32) bool {
+		if i >= len(want) || key != want[i] || pos != i {
+			scanErr = fmt.Errorf("scan[%d] = (pos %d, key %d), want (pos %d, key %d)", i, pos, key, i, want[i])
+			return false
+		}
+		i++
+		return true
+	})
+	if scanErr != nil {
+		return scanErr
+	}
+
+	// Point, lower-bound, equal-range and batch probes, bit-identical.
+	probes := []uint32{0, 5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 60, 99, 1 << 31}
+	for _, p := range probes {
+		if g, w := x.Search(p), oracle.Search(p); g != w {
+			return fmt.Errorf("Search(%d) = %d, oracle %d", p, g, w)
+		}
+		if g, w := x.LowerBound(p), oracle.LowerBound(p); g != w {
+			return fmt.Errorf("LowerBound(%d) = %d, oracle %d", p, g, w)
+		}
+		gf, gl := x.EqualRange(p)
+		wf, wl := oracle.EqualRange(p)
+		if gf != wf || gl != wl {
+			return fmt.Errorf("EqualRange(%d) = [%d,%d), oracle [%d,%d)", p, gf, gl, wf, wl)
+		}
+	}
+	got := make([]int32, len(probes))
+	wantPos := make([]int32, len(probes))
+	x.SearchBatch(probes, got)
+	oracle.SearchBatch(probes, wantPos)
+	for i := range probes {
+		if got[i] != wantPos[i] {
+			return fmt.Errorf("SearchBatch[%d]=%d, oracle %d", i, got[i], wantPos[i])
+		}
+	}
+
+	// The recovered store must still accept writes.
+	if err := x.Insert(777); err != nil {
+		return fmt.Errorf("post-recovery insert: %w", err)
+	}
+	x.ShardedIndex.Sync()
+	if x.Search(777) < 0 {
+		return fmt.Errorf("post-recovery insert not visible")
+	}
+	return nil
+}
+
+// --- mmdb table workload -----------------------------------------------------
+
+// tableScript drives a DurableTable: a schema-defining first batch, more
+// appends (sized to cross the delta/fold thresholds both ways), a
+// mid-stream checkpoint, then verification across every read surface —
+// column values, point/range/IN selects, an aggregate count and a join.
+type tableScript struct {
+	batches []map[string][]uint32 // nil entry = checkpoint
+}
+
+func newTableScript() *tableScript {
+	return &tableScript{batches: []map[string][]uint32{
+		{"k": {3, 1, 4, 1, 5}, "v": {10, 20, 30, 40, 50}},
+		{"k": {9, 2, 6}, "v": {60, 70, 80}},
+		nil, // checkpoint
+		{"k": {5, 3}, "v": {90, 100}},
+		{"k": {8}, "v": {110}},
+	}}
+}
+
+func (s *tableScript) play(fsys *failfs.Mem, pol wal.Policy) (outcome, error) {
+	var out outcome
+	d, err := mmdb.OpenDurable(fsys, "db", "t", pol)
+	if err != nil {
+		return out, err
+	}
+	for _, batch := range s.batches {
+		if batch == nil {
+			if err := d.Checkpoint(); err != nil {
+				return out, err
+			}
+			if f := d.LastSeq(); f > out.durable {
+				out.durable = f
+			}
+			continue
+		}
+		out.inFlight = true
+		if err := d.AppendRows(batch); err != nil {
+			return out, err
+		}
+		out.inFlight = false
+		out.acked++
+		if f := d.SyncedSeq(); f > out.durable {
+			out.durable = f
+		}
+	}
+	if err := d.Close(); err != nil {
+		return out, err
+	}
+	out.durable = out.acked
+	return out, nil
+}
+
+// oracleRows replays the first k batches into plain column slices.
+func (s *tableScript) oracleRows(k uint64) (ks, vs []uint32) {
+	var applied uint64
+	for _, batch := range s.batches {
+		if batch == nil {
+			continue
+		}
+		if applied == k {
+			break
+		}
+		applied++
+		ks = append(ks, batch["k"]...)
+		vs = append(vs, batch["v"]...)
+	}
+	return ks, vs
+}
+
+func (s *tableScript) verify(fsys *failfs.Mem, pol wal.Policy, out outcome) error {
+	d, err := mmdb.OpenDurable(fsys, "db", "t", pol)
+	if err != nil {
+		return fmt.Errorf("reopen: %w", err)
+	}
+	defer d.Close()
+	k := d.LastSeq()
+	if err := checkPrefix(k, out); err != nil {
+		return err
+	}
+	wantK, wantV := s.oracleRows(k)
+
+	if d.Rows() != len(wantK) {
+		return fmt.Errorf("recovered %d rows, oracle has %d", d.Rows(), len(wantK))
+	}
+	if k == 0 {
+		// Nothing recovered; the store must still accept a schema batch.
+		if err := d.AppendRows(map[string][]uint32{"k": {1}, "v": {2}}); err != nil {
+			return fmt.Errorf("post-recovery schema append: %w", err)
+		}
+		return nil
+	}
+	for col, want := range map[string][]uint32{"k": wantK, "v": wantV} {
+		c, ok := d.Column(col)
+		if !ok {
+			return fmt.Errorf("column %s missing", col)
+		}
+		for i, w := range want {
+			if g := c.Value(i); g != w {
+				return fmt.Errorf("%s[%d] = %d, oracle %d", col, i, g, w)
+			}
+		}
+	}
+
+	// Build the same index on both tables and compare every surface.
+	oracle := mmdb.NewTable("t")
+	if err := oracle.AddColumn("k", wantK); err != nil {
+		return err
+	}
+	if err := oracle.AddColumn("v", wantV); err != nil {
+		return err
+	}
+	gix, err := d.BuildIndex("k", cssidx.KindFullCSS, cssidx.Options{})
+	if err != nil {
+		return err
+	}
+	wix, err := oracle.BuildIndex("k", cssidx.KindFullCSS, cssidx.Options{})
+	if err != nil {
+		return err
+	}
+	for probe := uint32(0); probe <= 10; probe++ { // point
+		if err := equalRIDs(
+			fmt.Sprintf("SelectEqual(%d)", probe),
+			gix.SelectEqual(probe), wix.SelectEqual(probe)); err != nil {
+			return err
+		}
+	}
+	for _, r := range [][2]uint32{{0, 4}, {2, 6}, {5, 5}, {7, 100}} { // range
+		g, err := gix.SelectRange(r[0], r[1])
+		if err != nil {
+			return err
+		}
+		w, err := wix.SelectRange(r[0], r[1])
+		if err != nil {
+			return err
+		}
+		if err := equalRIDs(fmt.Sprintf("SelectRange(%d,%d)", r[0], r[1]), g, w); err != nil {
+			return err
+		}
+		gc, err := gix.CountRange(r[0], r[1]) // aggregate
+		if err != nil {
+			return err
+		}
+		wc, err := wix.CountRange(r[0], r[1])
+		if err != nil {
+			return err
+		}
+		if gc != wc {
+			return fmt.Errorf("CountRange(%d,%d) = %d, oracle %d", r[0], r[1], gc, wc)
+		}
+	}
+	in := []uint32{1, 3, 5, 9, 42} // IN
+	if err := equalRIDs("SelectIn", gix.SelectIn(in), wix.SelectIn(in)); err != nil {
+		return err
+	}
+	// Join the recovered table against the oracle's index and vice
+	// versa: pair counts must agree with the oracle⋈oracle join.
+	gj, err := mmdb.Join(d.Table, "k", wix, nil)
+	if err != nil {
+		return err
+	}
+	wj, err := mmdb.Join(oracle, "k", gix, nil)
+	if err != nil {
+		return err
+	}
+	if gj != wj {
+		return fmt.Errorf("join pair count %d, oracle %d", gj, wj)
+	}
+
+	// The recovered table must still accept writes.
+	next := map[string][]uint32{"k": {123}, "v": {456}}
+	if err := d.AppendRows(next); err != nil {
+		return fmt.Errorf("post-recovery append: %w", err)
+	}
+	c, _ := d.Column("k")
+	if c.Value(d.Rows()-1) != 123 {
+		return fmt.Errorf("post-recovery append not visible")
+	}
+	return nil
+}
+
+func equalRIDs(what string, got, want []uint32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("%s: %d rids, oracle %d", what, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("%s: rid[%d] = %d, oracle %d", what, i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -87,6 +87,11 @@ func readSnapshot(r io.Reader, keys []uint32) (variant, m int, dir []uint32, err
 	if hd.KeysHash != keysHash(keys) {
 		return 0, 0, nil, fmt.Errorf("csstree: snapshot does not match the supplied key array")
 	}
+	// M bounds the directory-size plausibility check below, so validate
+	// it first: an attacker-chosen M must not license a giant allocation.
+	if hd.M < 2 || hd.M > 1<<20 {
+		return 0, 0, nil, fmt.Errorf("csstree: implausible node size %d", hd.M)
+	}
 	if hd.DirLen > uint64(len(keys))+uint64(hd.M) {
 		return 0, 0, nil, fmt.Errorf("csstree: implausible directory size %d", hd.DirLen)
 	}

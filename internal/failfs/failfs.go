@@ -1,0 +1,95 @@
+// Package failfs is the filesystem seam under every durable code path:
+// snapshot saves (persist.go, internal/shard), the write-ahead log
+// (internal/wal), and the durable table (internal/mmdb).  Production code
+// runs against OS, a thin veneer over the os package; tests run against
+// Mem, an in-memory filesystem that models crash durability exactly —
+// written bytes are volatile until Sync, namespace changes (create,
+// rename, remove) are volatile until SyncDir — and injects faults
+// (errors, short writes, whole-process crashes) at deterministic,
+// numbered operation points.
+//
+// The model is deliberately conservative: nothing is durable unless the
+// code explicitly synced it, and the unsynced tail of a file may survive
+// a crash partially or corruptly (a torn write).  Code that recovers
+// correctly under this model recovers on any real filesystem that honors
+// fsync.
+package failfs
+
+import (
+	"errors"
+	"io"
+)
+
+// ErrCrashed is returned by every operation of a Mem filesystem once its
+// scheduled crash point is reached: the simulated machine is down, and
+// stays down until Crash() applies the durability model and revives it.
+var ErrCrashed = errors.New("failfs: simulated crash")
+
+// ErrInjected is the default error returned at a FailAt-scheduled
+// operation: a transient fault (disk error, interrupted syscall) that the
+// caller must propagate or recover from, distinct from a crash.
+var ErrInjected = errors.New("failfs: injected fault")
+
+// FS is the filesystem surface durable code writes through.  All paths
+// are interpreted by the implementation; the OS implementation passes
+// them to the os package verbatim.
+type FS interface {
+	// Create opens name for writing, truncating any existing file.
+	Create(name string) (File, error)
+	// CreateTemp creates a new unique file in dir, with a name built
+	// from pattern by replacing the final "*" (or appending when there
+	// is none), like os.CreateTemp.
+	CreateTemp(dir, pattern string) (File, error)
+	// Open opens name read-only.
+	Open(name string) (File, error)
+	// OpenAppend opens name for reading and appending, creating it if
+	// missing: the write-ahead-log open mode (replay reads from the
+	// start, appends land at the end).
+	OpenAppend(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file.  The
+	// rename is volatile until SyncDir on the containing directory.
+	Rename(oldname, newname string) error
+	// Remove unlinks name (volatile until SyncDir).
+	Remove(name string) error
+	// List returns the names (not full paths) of the files in dir.
+	List(dir string) ([]string, error)
+	// MkdirAll ensures dir (and its parents) exist.
+	MkdirAll(dir string) error
+	// SyncDir makes dir's current entries durable: the fsync-the-
+	// directory step that commits a Create, Rename or Remove.
+	SyncDir(dir string) error
+}
+
+// File is one open file.  Reads consume a private cursor from the start;
+// writes always append (every durable-path writer in this repo is
+// sequential).
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's written bytes to stable storage.
+	Sync() error
+	// Truncate cuts the file to size bytes (used to drop a torn
+	// write-ahead-log tail).
+	Truncate(size int64) error
+	// Size reports the file's current length in bytes.
+	Size() (int64, error)
+	// Name returns the path the file was opened under.
+	Name() string
+}
+
+// ReadAll reads the whole of name through fsys.
+func ReadAll(fsys FS, name string) ([]byte, error) {
+	f, err := fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return data, nil
+}

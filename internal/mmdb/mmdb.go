@@ -177,6 +177,13 @@ func (t *Table) BuildIndex(colName string, kind cssidx.Kind, opts cssidx.Options
 	}
 	ix := &SortedIndex{col: col, owner: t, kind: kind, opts: opts}
 	ix.rebuild()
+	// The base structure covers the frozen encoding (baseRows); rows
+	// appended since the last fold live only in raw form, so hand them to
+	// the delta layer as one run — exactly the state absorbRows would
+	// have left had the index existed when they arrived.
+	if t.rows > t.baseRows {
+		ix.absorb(col.raw[t.baseRows:], uint32(t.baseRows))
+	}
 	t.indexes[colName] = ix
 	return ix, nil
 }

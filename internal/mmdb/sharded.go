@@ -78,6 +78,12 @@ func (t *Table) BuildShardedIndex(colName string, shards int) (*ShardedIndex, er
 	}
 	ix := &ShardedIndex{col: col, tbl: t, colName: colName, shards: shards}
 	ix.rebuild()
+	// Rows appended since the last fold are not in the frozen encoding
+	// the rebuild indexed; absorb them as a delta run so a late-built
+	// index still covers every row.
+	if t.rows > t.baseRows {
+		ix.absorb(col.raw[t.baseRows:], uint32(t.baseRows))
+	}
 	if old, ok := t.sharded[colName]; ok {
 		old.Close() // release the replaced index's background rebuilder
 	}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+// catch runs f and returns the recovered panic value (nil = no panic).
+func catch(f func()) (v any) {
+	defer func() { v = recover() }()
+	f()
+	return nil
+}
+
+func panicWorkerOpts() Options {
+	return Options{Workers: 4, MinBatchPerWorker: 1}
+}
+
+func TestRunWorkerPanicReachesCaller(t *testing.T) {
+	var ran atomic.Int64
+	v := catch(func() {
+		Run(8, panicWorkerOpts(), func(lo, hi int) {
+			if lo == 0 { // worker 0 = the caller
+				panic("boom in span")
+			}
+			ran.Add(1)
+		})
+	})
+	wp, ok := v.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", v, v)
+	}
+	if wp.Value != "boom in span" {
+		t.Fatalf("Value = %v", wp.Value)
+	}
+	if !strings.Contains(string(wp.Stack), "TestRunWorkerPanicReachesCaller") {
+		t.Fatalf("stack does not show the panicking body:\n%s", wp.Stack)
+	}
+	if !strings.Contains(wp.Error(), "boom in span") {
+		t.Fatalf("Error() = %q", wp.Error())
+	}
+	// The other workers' spans still completed: panic isolation, not
+	// panic amplification.
+	if ran.Load() != 3 {
+		t.Fatalf("%d spans ran, want 3", ran.Load())
+	}
+}
+
+func TestRunSpawnedWorkerPanicReachesCaller(t *testing.T) {
+	v := catch(func() {
+		Run(8, panicWorkerOpts(), func(lo, hi int) {
+			if lo != 0 { // a spawned worker, not the caller
+				panic(lo)
+			}
+		})
+	})
+	wp, ok := v.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", v, v)
+	}
+	if _, ok := wp.Value.(int); !ok {
+		t.Fatalf("Value = %v, want a span offset", wp.Value)
+	}
+}
+
+func TestRunSequentialPanicUnwrapped(t *testing.T) {
+	v := catch(func() {
+		Run(8, Options{Workers: 1}, func(lo, hi int) { panic("plain") })
+	})
+	if v != "plain" {
+		t.Fatalf("sequential panic = %v (%T), want unwrapped string", v, v)
+	}
+}
+
+func TestDoPanicCancelsRemainingTasks(t *testing.T) {
+	const tasks = 100000
+	var ran atomic.Int64
+	v := catch(func() {
+		Do(tasks, tasks, panicWorkerOpts(), func(task int) {
+			if task == 0 {
+				panic("first task")
+			}
+			ran.Add(1)
+		})
+	})
+	wp, ok := v.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", v, v)
+	}
+	if wp.Value != "first task" {
+		t.Fatalf("Value = %v", wp.Value)
+	}
+	// In-flight tasks finish but the undrawn bulk is cancelled.
+	if n := ran.Load(); n >= tasks-1 {
+		t.Fatalf("all %d tasks ran despite the panic", n)
+	}
+}
+
+func TestNestedWorkerPanicNotDoubleWrapped(t *testing.T) {
+	v := catch(func() {
+		Run(8, panicWorkerOpts(), func(lo, hi int) {
+			if lo == 0 {
+				Do(4, 4, panicWorkerOpts(), func(task int) {
+					if task == 0 {
+						panic("inner")
+					}
+				})
+			}
+		})
+	})
+	wp, ok := v.(*WorkerPanic)
+	if !ok {
+		t.Fatalf("recovered %T (%v), want *WorkerPanic", v, v)
+	}
+	if wp.Value != "inner" {
+		t.Fatalf("Value = %v, want the innermost panic value (no nesting)", wp.Value)
+	}
+}
+
+func TestRunNoPanicNoOverheadPath(t *testing.T) {
+	// Happy path still covers the span exactly (guards against the trap
+	// swallowing anything but panics).
+	var sum atomic.Int64
+	Run(100, panicWorkerOpts(), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sum.Add(int64(i))
+		}
+	})
+	if sum.Load() != 4950 {
+		t.Fatalf("sum = %d, want 4950", sum.Load())
+	}
+}

@@ -15,12 +15,71 @@
 package parallel
 
 import (
+	"fmt"
 	"math"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// WorkerPanic carries a panic out of a pool worker to the calling
+// goroutine: Run and Do recover panics on their spawned workers, let the
+// surviving workers drain (Do stops handing out further tasks), and then
+// re-panic exactly once on the caller with the first panic's value and
+// its original stack.  Without this, a panicking worker would kill the
+// whole process from a goroutine nobody can defer around — with it, a
+// server calling the batch engine can recover at its request boundary
+// and keep serving.
+//
+// On the sequential path (one worker) body runs on the calling
+// goroutine and a panic propagates unwrapped, stack intact.
+type WorkerPanic struct {
+	Value any    // the value the worker's body panicked with
+	Stack []byte // the worker's stack at the point of the panic
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panicked: %v\n\nworker stack:\n%s", p.Value, p.Stack)
+}
+
+// panicTrap collects the first panic across a batch's workers.
+type panicTrap struct {
+	once    sync.Once
+	tripped atomic.Bool
+	val     any
+	stack   []byte
+}
+
+// protect runs f, diverting a panic into the trap (first one wins).
+func (p *panicTrap) protect(f func()) {
+	defer func() {
+		if v := recover(); v != nil {
+			// Trip the flag before the (slow) stack capture so Do stops
+			// handing out tasks immediately.
+			p.tripped.Store(true)
+			p.once.Do(func() {
+				p.val = v
+				p.stack = debug.Stack()
+			})
+		}
+	}()
+	f()
+}
+
+// rethrow re-panics on the caller once every worker has joined.  A
+// WorkerPanic that crossed one pool boundary already (nested Run/Do) is
+// passed through rather than double-wrapped.
+func (p *panicTrap) rethrow() {
+	if !p.tripped.Load() {
+		return
+	}
+	if wp, ok := p.val.(*WorkerPanic); ok {
+		panic(wp)
+	}
+	panic(&WorkerPanic{Value: p.val, Stack: p.stack})
+}
 
 // DefaultMinPerWorker is the smallest work size (in probes) worth handing to
 // an extra worker.  Below roughly this many probes per core the goroutine
@@ -220,6 +279,10 @@ func Span(n, w, t int) (lo, hi int) {
 // MinBatchPerWorker from the measured per-probe cost, and fans the
 // remainder out under the derived value.  Every later Run resolves the
 // cached value with no measurement.
+//
+// A panic in any worker is recovered, the other workers finish their
+// spans, and Run re-panics once on the caller with a *WorkerPanic
+// holding the first panic's value and original stack.
 func Run(n int, opts Options, body func(lo, hi int)) {
 	opts, calibrate := opts.Resolved()
 	lo := 0
@@ -237,17 +300,19 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 		}
 		return
 	}
+	var trap panicTrap
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	for i := 1; i < w; i++ {
 		slo, shi := Span(total, w, i)
 		go func() {
 			defer wg.Done()
-			body(lo+slo, lo+shi)
+			trap.protect(func() { body(lo+slo, lo+shi) })
 		}()
 	}
-	body(lo, lo+total/w) // the caller is worker 0
+	trap.protect(func() { body(lo, lo+total/w) }) // the caller is worker 0
 	wg.Wait()
+	trap.rethrow()
 }
 
 // Do executes body(task) for every task in [0, tasks), distributing tasks to
@@ -256,6 +321,11 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 // the combined work size across tasks and drives the worker count and the
 // sequential fallback; body must be safe to call concurrently for distinct
 // tasks.
+//
+// A panic in any task is recovered, no further tasks are handed out
+// (tasks already running finish), and Do re-panics once on the caller
+// with a *WorkerPanic holding the first panic's value and original
+// stack.
 func Do(tasks int, total int, opts Options, body func(task int)) {
 	if tasks == 0 {
 		return
@@ -273,14 +343,15 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 		}
 		return
 	}
+	var trap panicTrap
 	var next atomic.Int64
 	work := func() {
-		for {
+		for !trap.tripped.Load() { // a panic cancels the undrawn tasks
 			t := int(next.Add(1)) - 1
 			if t >= tasks {
 				return
 			}
-			body(t)
+			trap.protect(func() { body(t) })
 		}
 	}
 	var wg sync.WaitGroup
@@ -293,4 +364,5 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 	}
 	work()
 	wg.Wait()
+	trap.rethrow()
 }

@@ -25,6 +25,48 @@ const (
 	shardEncVersion = 1
 )
 
+// encChunk bounds the entries moved per read/write call: decoding
+// allocates in chunk-sized steps that track bytes actually present, so a
+// corrupt count in the header fails at EOF instead of ballooning memory,
+// and encoding never stages more than one chunk of converted bytes.
+const encChunk = 1 << 16
+
+// readU32Chunked reads n little-endian uint32 values, appending to dst
+// (which may be nil) chunk by chunk: peak extra memory is one chunk, and
+// dst only grows as fast as r actually delivers bytes.
+func readU32Chunked(r io.Reader, n uint64, dst []uint32) ([]uint32, error) {
+	buf := make([]byte, 4*min(n, encChunk))
+	for got := uint64(0); got < n; {
+		step := min(n-got, encChunk)
+		b := buf[:4*step]
+		if _, err := io.ReadFull(r, b); err != nil {
+			return nil, err
+		}
+		for j := uint64(0); j < step; j++ {
+			dst = append(dst, binary.LittleEndian.Uint32(b[4*j:]))
+		}
+		got += step
+	}
+	return dst, nil
+}
+
+// writeU32Chunked writes vals as little-endian uint32s through a bounded
+// staging buffer (binary.Write would stage the whole slice at once).
+func writeU32Chunked(w io.Writer, vals []uint32) error {
+	buf := make([]byte, 4*min(uint64(len(vals)), encChunk))
+	for off := 0; off < len(vals); off += encChunk {
+		end := min(off+encChunk, len(vals))
+		b := buf[:4*(end-off)]
+		for j, v := range vals[off:end] {
+			binary.LittleEndian.PutUint32(b[4*j:], v)
+		}
+		if _, err := w.Write(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // shardHeader is the fixed-size snapshot prefix.
 type shardHeader struct {
 	Magic    uint32
@@ -77,7 +119,7 @@ func SaveU32(w io.Writer, v *View[uint32]) error {
 		return fmt.Errorf("shard: writing shard lengths: %w", err)
 	}
 	for _, keys := range parts {
-		if err := binary.Write(w, binary.LittleEndian, keys); err != nil {
+		if err := writeU32Chunked(w, keys); err != nil {
 			return fmt.Errorf("shard: writing shard keys: %w", err)
 		}
 	}
@@ -114,8 +156,8 @@ func LoadU32(r io.Reader) (keys, bounds []uint32, err error) {
 	if hd.N > 1<<31-1 {
 		return nil, nil, fmt.Errorf("shard: implausible key count %d", hd.N)
 	}
-	bounds = make([]uint32, hd.Shards-1)
-	if err := binary.Read(r, binary.LittleEndian, bounds); err != nil {
+	bounds, err = readU32Chunked(r, uint64(hd.Shards-1), nil)
+	if err != nil {
 		return nil, nil, fmt.Errorf("shard: reading boundaries: %w", err)
 	}
 	for i := 1; i < len(bounds); i++ {
@@ -123,25 +165,36 @@ func LoadU32(r io.Reader) (keys, bounds []uint32, err error) {
 			return nil, nil, fmt.Errorf("shard: snapshot boundaries not strictly ascending at %d", i)
 		}
 	}
-	lens := make([]uint64, hd.Shards)
-	if err := binary.Read(r, binary.LittleEndian, lens); err != nil {
-		return nil, nil, fmt.Errorf("shard: reading shard lengths: %w", err)
-	}
+	lens := make([]uint64, 0, min(uint64(hd.Shards), encChunk))
+	var lenBuf [8]byte
 	total := uint64(0)
-	for _, n := range lens {
+	for i := uint32(0); i < hd.Shards; i++ {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			return nil, nil, fmt.Errorf("shard: reading shard lengths: %w", err)
+		}
+		n := binary.LittleEndian.Uint64(lenBuf[:])
 		total += n
+		if total > hd.N {
+			return nil, nil, fmt.Errorf("shard: shard lengths sum past header count %d", hd.N)
+		}
+		lens = append(lens, n)
 	}
 	if total != hd.N {
 		return nil, nil, fmt.Errorf("shard: shard lengths sum to %d, header says %d", total, hd.N)
 	}
-	keys = make([]uint32, total)
+	// Chunked decode: the key array grows only as fast as bytes arrive,
+	// so hd.N (validated ≤ MaxInt32 but still attacker-chosen) cannot
+	// force an allocation beyond ~2× the snapshot's real size.
+	keys = make([]uint32, 0, min(total, encChunk))
+	for i, n := range lens {
+		if keys, err = readU32Chunked(r, n, keys); err != nil {
+			return nil, nil, fmt.Errorf("shard: reading shard %d keys: %w", i, err)
+		}
+	}
 	parts := make([][]uint32, hd.Shards)
 	off := uint64(0)
 	for i, n := range lens {
 		parts[i] = keys[off : off+n]
-		if err := binary.Read(r, binary.LittleEndian, parts[i]); err != nil {
-			return nil, nil, fmt.Errorf("shard: reading shard %d keys: %w", i, err)
-		}
 		off += n
 	}
 	if hashKeys(parts) != hd.KeysHash {

@@ -1,0 +1,586 @@
+// Package wal is a checksummed, length-prefixed, group-committed
+// write-ahead log: the durability layer under the delta-absorbing write
+// paths (mmdb AppendRows, sharded Insert).  A batch is appended to the
+// log — and fsynced per the configured policy — before the in-memory
+// structures absorb it, so a crash between snapshots loses nothing the
+// policy promised to keep.
+//
+// # File format
+//
+// A log is one append-only file:
+//
+//	header:  magic u32 | version u32 | baseSeq u64 | crc u32     (20 bytes)
+//	record:  len u32 | crc u32 | seq u64 | payload (len bytes)
+//
+// Every integer is little-endian.  A record's crc (CRC-32C) covers seq
+// and payload; the header crc covers the fields before it.  Sequence
+// numbers are assigned by the log, start at baseSeq, and increase by one
+// per record; they never restart, even across checkpoint truncations
+// (the fresh header carries the next seq as its baseSeq), so a snapshot
+// can name the exact prefix of the log it absorbed and recovery replays
+// only records after it.
+//
+// # Recovery
+//
+// Open replays the log front to back.  The first record that fails its
+// checksum, runs past the end of the file, or breaks the sequence marks
+// the torn tail: everything before it is returned, the tail is truncated
+// off (and the truncation synced) so the log is clean for new appends.
+// This is exactly the write-ahead discipline of ARIES-style logging
+// specialised to redo-only, append-only batches: no undo is ever needed
+// because nothing is acknowledged out of order and replay is cut at the
+// first hole.
+//
+// # Durability policies
+//
+//   - ModeAlways: Append returns only after the record is fsynced — an
+//     acknowledged batch is durable, full stop.
+//   - ModeGroup: Append returns after the buffered write; the log fsyncs
+//     when Policy.Bytes of unsynced records accumulate and/or every
+//     Policy.Interval from a background flusher (group commit).  A crash
+//     loses at most the unsynced suffix of acknowledged batches — never
+//     a prefix, never a torn batch.
+//   - ModeNone: the log fsyncs only on Checkpoint, Sync and Close.
+//     After a crash the log still recovers to a clean acknowledged
+//     prefix (whatever the OS happened to flush), but promises nothing.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"cssidx/internal/failfs"
+)
+
+// Encoding constants.
+const (
+	logMagic   = 0x43535357 // "CSSW"
+	logVersion = 1
+
+	headerSize = 20
+	recHdrSize = 16
+
+	// maxRecord caps a single record's payload: replay rejects larger
+	// length prefixes as corruption even when the file claims to be big
+	// enough, and Append refuses to write them.
+	maxRecord = 1 << 30
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrClosed is returned by operations on a closed log.
+var ErrClosed = errors.New("wal: log closed")
+
+// ErrTooLarge is returned by Append for payloads over maxRecord bytes.
+var ErrTooLarge = errors.New("wal: record too large")
+
+// Mode selects when an appended record is fsynced.
+type Mode int
+
+const (
+	// ModeGroup acknowledges after the buffered write and group-commits
+	// on the policy's byte/time bounds (the zero value: the sane
+	// default for sustained ingest).
+	ModeGroup Mode = iota
+	// ModeAlways fsyncs every Append before acknowledging.
+	ModeAlways
+	// ModeNone never fsyncs on Append; only Checkpoint/Sync/Close do.
+	ModeNone
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAlways:
+		return "always"
+	case ModeNone:
+		return "none"
+	default:
+		return "group"
+	}
+}
+
+// Policy is a Mode plus the group-commit bounds.
+type Policy struct {
+	Mode Mode
+	// Interval, for ModeGroup, runs a background flusher syncing every
+	// Interval while unsynced records exist.  0 disables the timer
+	// (deterministic: syncs happen only on the Bytes bound or explicit
+	// Sync/Checkpoint/Close — what the crash harness uses).
+	Interval time.Duration
+	// Bytes, for ModeGroup, syncs inline once at least this many
+	// unsynced record bytes accumulate.  0 disables the bound.
+	Bytes int
+}
+
+// Always returns the every-append-durable policy.
+func Always() Policy { return Policy{Mode: ModeAlways} }
+
+// None returns the checkpoint-only-durability policy.
+func None() Policy { return Policy{Mode: ModeNone} }
+
+// GroupCommit returns a group-commit policy syncing at least every
+// interval and every 1 MiB of records, whichever comes first.
+func GroupCommit(interval time.Duration) Policy {
+	return Policy{Mode: ModeGroup, Interval: interval, Bytes: 1 << 20}
+}
+
+// GroupBytes returns a timerless group-commit policy syncing once n
+// unsynced bytes accumulate: fully deterministic, for tests and
+// harnesses that enumerate every filesystem operation.
+func GroupBytes(n int) Policy { return Policy{Mode: ModeGroup, Bytes: n} }
+
+// Record is one replayed log entry.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Log is an open write-ahead log.  All methods are safe for concurrent
+// use; concurrent Appends are serialized and, under ModeGroup, share
+// fsyncs.
+type Log struct {
+	fsys failfs.FS
+	path string
+	pol  Policy
+
+	mu       sync.Mutex
+	f        failfs.File
+	size     int64  // current on-disk size (valid bytes)
+	nextSeq  uint64 // seq the next Append takes
+	synced   uint64 // last seq known durable (0 = none)
+	unsynced int    // record bytes written since the last sync
+	err      error  // sticky: a failed sync/append poisons the log
+	closed   bool
+
+	flushStop chan struct{}
+	flushDone chan struct{}
+}
+
+// Open opens (creating if missing) the log at path and replays it,
+// returning every intact record after the header's base sequence.  A
+// torn tail — short record, checksum mismatch, sequence break — is
+// truncated off and the truncation synced, so the returned records are
+// exactly the durable, contiguous acknowledged prefix and the log is
+// clean for new appends.
+//
+// A missing, empty, or torn-before-first-sync file (its header never
+// became durable, so no record can have been) is initialised fresh.  A
+// file whose header is intact but names a different magic or version is
+// refused — it is some other file, not a torn log.
+func Open(fsys failfs.FS, path string, pol Policy) (*Log, []Record, error) {
+	if fsys == nil {
+		fsys = failfs.OS
+	}
+	f, err := fsys.OpenAppend(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wal: opening %s: %w", path, err)
+	}
+	l := &Log{fsys: fsys, path: path, pol: pol, f: f}
+	recs, err := l.replay()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if pol.Mode == ModeGroup && pol.Interval > 0 {
+		l.flushStop = make(chan struct{})
+		l.flushDone = make(chan struct{})
+		go l.flushLoop(pol.Interval)
+	}
+	return l, recs, nil
+}
+
+// replay validates the header, scans the records, truncates the torn
+// tail, and leaves the log positioned for appending.
+func (l *Log) replay() ([]Record, error) {
+	size, err := l.f.Size()
+	if err != nil {
+		return nil, fmt.Errorf("wal: sizing %s: %w", l.path, err)
+	}
+
+	var hdr [headerSize]byte
+	fresh := false
+	if size < headerSize {
+		fresh = true
+	} else {
+		if _, err := io.ReadFull(l.f, hdr[:]); err != nil {
+			return nil, fmt.Errorf("wal: reading header: %w", err)
+		}
+		crc := crc32.Checksum(hdr[:16], crcTable)
+		magicOK := binary.LittleEndian.Uint32(hdr[0:4]) == logMagic
+		switch {
+		case crc == binary.LittleEndian.Uint32(hdr[16:20]):
+			if !magicOK {
+				return nil, fmt.Errorf("wal: %s is not a write-ahead log (magic %#x)", l.path, binary.LittleEndian.Uint32(hdr[0:4]))
+			}
+			if v := binary.LittleEndian.Uint32(hdr[4:8]); v != logVersion {
+				return nil, fmt.Errorf("wal: unsupported log version %d", v)
+			}
+		case magicOK:
+			// Right magic, bad checksum: a torn header.  It can only
+			// mean the header never became durable — records are
+			// written after it and synced with or after it — so
+			// nothing durable is lost by starting over.  (The caller
+			// re-bases the sequence past its snapshot via Advance.)
+			fresh = true
+		default:
+			return nil, fmt.Errorf("wal: %s is not a write-ahead log (magic %#x)", l.path, binary.LittleEndian.Uint32(hdr[0:4]))
+		}
+	}
+	if fresh {
+		if err := l.reset(1); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+
+	baseSeq := binary.LittleEndian.Uint64(hdr[8:16])
+	if baseSeq == 0 {
+		baseSeq = 1
+	}
+	l.nextSeq = baseSeq
+
+	// Scan records.  Allocation is capped by construction: a payload is
+	// only read when its length prefix fits inside the file.
+	var (
+		recs []Record
+		off  = int64(headerSize)
+		rh   [recHdrSize]byte
+	)
+	for off+recHdrSize <= size {
+		if _, err := io.ReadFull(l.f, rh[:]); err != nil {
+			break // short read inside a claimed-full region: torn
+		}
+		n := int64(binary.LittleEndian.Uint32(rh[0:4]))
+		crc := binary.LittleEndian.Uint32(rh[4:8])
+		seq := binary.LittleEndian.Uint64(rh[8:16])
+		if n > maxRecord || off+recHdrSize+n > size {
+			break // length runs past the file: torn
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(l.f, payload); err != nil {
+			break
+		}
+		sum := crc32.Checksum(rh[8:16], crcTable)
+		sum = crc32.Update(sum, crcTable, payload)
+		if sum != crc {
+			break // checksum mismatch: torn or corrupt
+		}
+		if seq != l.nextSeq {
+			break // sequence break: treat like a torn tail
+		}
+		recs = append(recs, Record{Seq: seq, Payload: payload})
+		l.nextSeq = seq + 1
+		off += recHdrSize + n
+	}
+	if off < size {
+		if err := l.f.Truncate(off); err != nil {
+			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			return nil, fmt.Errorf("wal: syncing truncation: %w", err)
+		}
+	}
+	l.size = off
+	l.synced = l.nextSeq - 1 // everything replayed (or checkpointed) is on disk
+	return recs, nil
+}
+
+// reset truncates the file and writes a fresh durable header carrying
+// baseSeq; l.mu is held (or the log is not yet shared).
+func (l *Log) reset(baseSeq uint64) error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: resetting log: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], logMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], logVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], baseSeq)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(hdr[:16], crcTable))
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: writing header: %w", err)
+	}
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: syncing header: %w", err)
+	}
+	if err := l.fsys.SyncDir(filepath.Dir(l.path)); err != nil {
+		return fmt.Errorf("wal: syncing directory: %w", err)
+	}
+	l.size = headerSize
+	l.nextSeq = baseSeq
+	l.synced = baseSeq - 1
+	l.unsynced = 0
+	return nil
+}
+
+// Append logs one batch payload and returns its sequence number.  When
+// it returns nil the record is on disk per the policy: fsynced under
+// ModeAlways, buffered (durable within the group-commit bounds) under
+// ModeGroup, buffered until the next checkpoint under ModeNone.  A
+// failed write or sync poisons the log — later Appends return the same
+// error — because once durability is unknown nothing further may be
+// acknowledged.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if len(payload) > maxRecord {
+		return 0, ErrTooLarge
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, ErrClosed
+	}
+	if l.err != nil {
+		return 0, l.err
+	}
+	seq := l.nextSeq
+	buf := make([]byte, recHdrSize+len(payload))
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(buf[8:16], seq)
+	copy(buf[recHdrSize:], payload)
+	sum := crc32.Checksum(buf[8:16], crcTable)
+	sum = crc32.Update(sum, crcTable, payload)
+	binary.LittleEndian.PutUint32(buf[4:8], sum)
+
+	if _, err := l.f.Write(buf); err != nil {
+		// The write may have partially landed; roll the file back so
+		// the log stays contiguous.  If even that fails, poison.
+		if terr := l.f.Truncate(l.size); terr != nil {
+			l.err = fmt.Errorf("wal: append failed (%v) and rollback failed: %w", err, terr)
+			return 0, l.err
+		}
+		return 0, fmt.Errorf("wal: appending record: %w", err)
+	}
+	l.size += int64(len(buf))
+	l.unsynced += len(buf)
+	l.nextSeq = seq + 1
+
+	switch l.pol.Mode {
+	case ModeAlways:
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	case ModeGroup:
+		if l.pol.Bytes > 0 && l.unsynced >= l.pol.Bytes {
+			if err := l.syncLocked(); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return seq, nil
+}
+
+// syncLocked fsyncs the file and advances the durable watermark; a
+// failure poisons the log.  l.mu held.
+func (l *Log) syncLocked() error {
+	if l.unsynced == 0 {
+		return nil
+	}
+	if err := l.f.Sync(); err != nil {
+		l.err = fmt.Errorf("wal: sync failed: %w", err)
+		return l.err
+	}
+	l.unsynced = 0
+	l.synced = l.nextSeq - 1
+	return nil
+}
+
+// Sync forces every appended record durable now, regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return l.syncLocked()
+}
+
+// SyncedSeq reports the highest sequence number known durable: records
+// up to it survive a crash; records after it are acknowledged but still
+// riding on the policy's group-commit window.  After a Checkpoint every
+// logged record is the snapshot's responsibility, so SyncedSeq reports
+// the last sequence the checkpoint covered.
+func (l *Log) SyncedSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.synced
+}
+
+// Advance re-bases the log so its next sequence number is strictly
+// greater than seq: the recovery step that reconciles the log with a
+// snapshot that already absorbed records up to seq, so future appends
+// can never collide with sequence numbers the snapshot owns (replay
+// skips those, so a collision would silently lose the new record).
+//
+// A log already past seq is untouched — any records at or below seq it
+// still holds are redundant with the snapshot and harmlessly skipped.
+// A log at or behind seq holds only records the snapshot owns (a crash
+// between the snapshot commit and the log truncation of a Checkpoint
+// leaves exactly this: the old log, possibly with its unsynced tail
+// torn away); it is discarded and re-based to seq+1.
+func (l *Log) Advance(seq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	if l.nextSeq > seq {
+		return nil
+	}
+	return l.reset(seq + 1)
+}
+
+// NextSeq reports the sequence number the next Append will take.
+func (l *Log) NextSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Size reports the log's current on-disk size in bytes.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// Checkpoint truncates the log after the caller has captured its state
+// in a snapshot: a fresh log (carrying the next sequence number as its
+// base, so numbering never restarts) is written to a temp file, synced,
+// and renamed over the old one, with the directory synced — a crash at
+// any point leaves either the full old log or the clean new one, both
+// consistent with the snapshot-then-truncate protocol as long as the
+// snapshot records the sequence it absorbed (recovery replays only
+// records after it, so a surviving old log is merely redundant, never
+// replayed twice).
+//
+// An error before the rename leaves the old log untouched and usable; a
+// failure at or after the rename poisons the log (its on-disk identity
+// is ambiguous) and the caller must re-open.
+func (l *Log) Checkpoint() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return ErrClosed
+	}
+	if l.err != nil {
+		return l.err
+	}
+	// Everything logged so far must be durable before the old log is
+	// discarded: the caller's snapshot claims it.
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	dir := filepath.Dir(l.path)
+	tmp, err := l.fsys.CreateTemp(dir, filepath.Base(l.path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("wal: checkpoint temp: %w", err)
+	}
+	var hdr [headerSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], logMagic)
+	binary.LittleEndian.PutUint32(hdr[4:8], logVersion)
+	binary.LittleEndian.PutUint64(hdr[8:16], l.nextSeq)
+	binary.LittleEndian.PutUint32(hdr[16:20], crc32.Checksum(hdr[:16], crcTable))
+	cleanup := func(err error) error {
+		tmp.Close()
+		l.fsys.Remove(tmp.Name())
+		return err
+	}
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return cleanup(fmt.Errorf("wal: checkpoint header: %w", err))
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(fmt.Errorf("wal: checkpoint sync: %w", err))
+	}
+	if err := tmp.Close(); err != nil {
+		return cleanup(fmt.Errorf("wal: checkpoint close: %w", err))
+	}
+	if err := l.fsys.Rename(tmp.Name(), l.path); err != nil {
+		return cleanup(fmt.Errorf("wal: checkpoint rename: %w", err))
+	}
+	// Point of no return: the volatile namespace now names the new log.
+	if err := l.fsys.SyncDir(dir); err != nil {
+		l.err = fmt.Errorf("wal: checkpoint dir sync: %w", err)
+		return l.err
+	}
+	old := l.f
+	f, err := l.fsys.OpenAppend(l.path)
+	if err != nil {
+		l.err = fmt.Errorf("wal: reopening checkpointed log: %w", err)
+		return l.err
+	}
+	old.Close()
+	l.f = f
+	l.size = headerSize
+	l.unsynced = 0
+	l.synced = l.nextSeq - 1 // the snapshot owns everything before here
+	return nil
+}
+
+// flushLoop is the ModeGroup background flusher.
+func (l *Log) flushLoop(interval time.Duration) {
+	defer close(l.flushDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.flushStop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if !l.closed && l.err == nil {
+				l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Close syncs outstanding records and closes the log.  The first error
+// encountered is returned; the log is unusable afterwards.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return ErrClosed
+	}
+	l.closed = true
+	stop := l.flushStop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.flushDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var first error
+	if l.err == nil {
+		if l.unsynced > 0 {
+			if err := l.f.Sync(); err != nil {
+				first = err
+			} else {
+				l.unsynced = 0
+				l.synced = l.nextSeq - 1
+			}
+		}
+	} else {
+		first = l.err
+	}
+	if err := l.f.Close(); first == nil && err != nil {
+		first = err
+	}
+	return first
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }

@@ -3,10 +3,11 @@ package cssidx
 import (
 	"fmt"
 	"io"
-	"os"
 	"path/filepath"
+	"strings"
 
 	"cssidx/internal/csstree"
+	"cssidx/internal/failfs"
 	"cssidx/internal/shard"
 )
 
@@ -15,6 +16,11 @@ import (
 // indexed keys; the sorted array itself is not stored — on restart it is
 // re-attached with LoadIndex, which verifies the checksum so a stale
 // snapshot cannot silently index the wrong data.
+//
+// Durability is the caller's: SaveIndex only writes to w.  Use
+// SaveIndexFile for the atomic temp+fsync+rename commit whose crash
+// guarantee is "the previous snapshot or the new one, never a torn
+// prefix".
 //
 // Only CSS-trees are snapshottable: the other methods either need no
 // structure (array searches) or rebuild quickly enough that persisting them
@@ -33,7 +39,9 @@ func SaveIndex(w io.Writer, idx Index) error {
 }
 
 // LoadIndex restores a snapshot written by SaveIndex over keys, which must
-// be the identical sorted array the snapshot was built from.
+// be the identical sorted array the snapshot was built from.  Corrupt or
+// truncated input returns an error — never a panic — and allocations are
+// capped by the validated header, so hostile bytes cannot balloon memory.
 func LoadIndex(r io.Reader, keys []Key) (OrderedIndex, error) {
 	tr, err := csstree.Restore(r, keys)
 	if err != nil {
@@ -55,6 +63,10 @@ func LoadIndex(r io.Reader, keys []Key) (OrderedIndex, error) {
 // by the background rebuilder are not captured; call Sync first when they
 // must be.  Unlike SaveIndex, the snapshot is self-contained — shards own
 // their arrays after epoch-swaps, so the keys travel with the boundaries.
+//
+// Like SaveIndex, this writes to w with no durability of its own; see
+// SaveShardedFile for the atomic crash-safe commit, and OpenWAL for
+// continuous durability of Insert/Delete batches between snapshots.
 func SaveSharded(w io.Writer, x *ShardedIndex[uint32]) error {
 	return shard.SaveU32(w, x.ix.View())
 }
@@ -64,6 +76,9 @@ func SaveSharded(w io.Writer, x *ShardedIndex[uint32]) error {
 // paper's rebuild-don't-maintain cycle).  opts supplies the serving knobs
 // — NodeSlots, Schedule/SortBatches, Parallel — while Shards and
 // SkewSample are ignored: the partition comes from the snapshot.
+// Corrupt or truncated input returns an error — never a panic — and
+// reads are chunked so absurd length prefixes cannot force huge
+// allocations.
 func LoadSharded(r io.Reader, opts ShardedOptions[uint32]) (*ShardedIndex[uint32], error) {
 	keys, bounds, err := shard.LoadU32(r)
 	if err != nil {
@@ -81,71 +96,113 @@ func LoadSharded(r io.Reader, opts ShardedOptions[uint32]) (*ShardedIndex[uint32
 // restart) therefore sees either the complete old snapshot or the complete
 // new one — never a torn prefix, which the snapshot checksums would reject
 // and which a plain truncate-and-rewrite save can leave behind.
-func writeFileAtomic(path string, write func(io.Writer) error) (err error) {
+//
+// Every error path — including a failed Close or directory sync — is
+// propagated, and the temporary file is unlinked on any failure so an
+// aborted save leaves no litter.
+func writeFileAtomic(fsys failfs.FS, path string, write func(io.Writer) error) error {
 	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	f, err := fsys.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if err = write(f); err != nil {
+	fail := func(err error) error {
+		f.Close()
+		fsys.Remove(tmp)
 		return err
 	}
-	if err = f.Sync(); err != nil {
+	if err := write(f); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		// Close may surface a deferred write-back error: the snapshot
+		// is suspect, so abandon it.
+		fsys.Remove(tmp)
 		return err
 	}
-	if err = f.Close(); err != nil {
+	if err := fsys.Rename(tmp, path); err != nil {
+		fsys.Remove(tmp)
 		return err
 	}
-	if err = os.Rename(tmp, path); err != nil {
+	if err := fsys.SyncDir(dir); err != nil {
+		// The rename happened but its durability is unknown; the old
+		// temp name is gone either way.  Report it.
 		return err
-	}
-	d, derr := os.Open(dir)
-	if derr != nil {
-		return derr
-	}
-	defer d.Close()
-	if derr = d.Sync(); derr != nil {
-		return derr
 	}
 	return nil
 }
 
-// SaveIndexFile writes a SaveIndex snapshot to path atomically (temp file +
-// fsync + rename): a crash mid-save leaves the previous snapshot intact
-// instead of a torn prefix.
-func SaveIndexFile(path string, idx Index) error {
-	return writeFileAtomic(path, func(w io.Writer) error { return SaveIndex(w, idx) })
+// gcStaleTemps removes leftover temporary files from aborted atomic saves
+// of path: any sibling named like path's base plus a ".tmp" suffix.  Loads
+// call it so a crash mid-save (which the atomic protocol makes harmless
+// but cannot clean up) does not accumulate litter.  Callers must not race
+// it against a concurrent save of the same path.
+func gcStaleTemps(fsys failfs.FS, path string) {
+	dir := filepath.Dir(path)
+	prefix := filepath.Base(path) + ".tmp"
+	names, err := fsys.List(dir)
+	if err != nil {
+		return // best effort: the load itself will surface real trouble
+	}
+	for _, name := range names {
+		if strings.HasPrefix(name, prefix) {
+			fsys.Remove(filepath.Join(dir, name))
+		}
+	}
 }
 
-// LoadIndexFile restores a snapshot written by SaveIndexFile over keys.
-func LoadIndexFile(path string, keys []Key) (OrderedIndex, error) {
-	f, err := os.Open(path)
+// loadFile opens path on fsys, GCs stale temp litter beside it, and hands
+// the open file to load.
+func loadFile[T any](fsys failfs.FS, path string, load func(io.Reader) (T, error)) (T, error) {
+	var zero T
+	gcStaleTemps(fsys, path)
+	f, err := fsys.Open(path)
 	if err != nil {
-		return nil, err
+		return zero, err
 	}
-	defer f.Close()
-	return LoadIndex(f, keys)
+	v, err := load(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		return zero, err
+	}
+	return v, nil
+}
+
+// SaveIndexFile writes a SaveIndex snapshot to path atomically (temp file +
+// fsync + rename + directory fsync).
+//
+// Crash guarantee: at every instant path holds either the complete
+// previous snapshot or the complete new one.  A crash mid-save can leave
+// a stale temp file beside it, which the next LoadIndexFile removes.
+func SaveIndexFile(path string, idx Index) error {
+	return writeFileAtomic(failfs.OS, path, func(w io.Writer) error { return SaveIndex(w, idx) })
+}
+
+// LoadIndexFile restores a snapshot written by SaveIndexFile over keys,
+// first sweeping any stale temp files an interrupted save left beside it.
+func LoadIndexFile(path string, keys []Key) (OrderedIndex, error) {
+	return loadFile(failfs.OS, path, func(r io.Reader) (OrderedIndex, error) {
+		return LoadIndex(r, keys)
+	})
 }
 
 // SaveShardedFile writes a SaveSharded snapshot to path atomically (temp
-// file + fsync + rename); see SaveIndexFile for the crash guarantee.
+// file + fsync + rename + directory fsync); see SaveIndexFile for the
+// crash guarantee.
 func SaveShardedFile(path string, x *ShardedIndex[uint32]) error {
-	return writeFileAtomic(path, func(w io.Writer) error { return SaveSharded(w, x) })
+	return writeFileAtomic(failfs.OS, path, func(w io.Writer) error { return SaveSharded(w, x) })
 }
 
-// LoadShardedFile restores a snapshot written by SaveShardedFile.
+// LoadShardedFile restores a snapshot written by SaveShardedFile, first
+// sweeping any stale temp files an interrupted save left beside it.
 func LoadShardedFile(path string, opts ShardedOptions[uint32]) (*ShardedIndex[uint32], error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return LoadSharded(f, opts)
+	return loadFile(failfs.OS, path, func(r io.Reader) (*ShardedIndex[uint32], error) {
+		return LoadSharded(r, opts)
+	})
 }
