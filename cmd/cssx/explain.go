@@ -1,0 +1,102 @@
+package main
+
+// EXPLAIN ANALYZE mode (-explain): builds a small demo database over the
+// generated key set, runs one query of every shape the planner knows —
+// point, range, IN-list, join, grouped aggregate — twice each, and prints
+// the per-query trace trees.  The first run of each query misses the
+// result cache and shows the chosen access path; the second shows the
+// cache serving it, so a single invocation demonstrates the whole
+// plan → cache → execute → admit life cycle.
+
+import (
+	"fmt"
+	"io"
+
+	"cssidx"
+	"cssidx/internal/mmdb"
+	"cssidx/internal/telemetry"
+	"cssidx/internal/workload"
+)
+
+// runExplain builds the demo tables and prints cold and warm traces for
+// each query shape.  Returns the process exit code.
+func runExplain(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, seed int64) int {
+	if _, ok := kinds[kindName]; !ok || kindName == "hash" {
+		fmt.Fprintf(stderr, "cssx: -explain needs an ordered -kind (got %q)\n", kindName)
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "cssx: %v\n", err)
+		return 1
+	}
+	tab := mmdb.NewTable("keys")
+	if err := tab.AddColumn("k", keys); err != nil {
+		return fail(err)
+	}
+	groups := make([]uint32, len(keys))
+	for i, k := range keys {
+		groups[i] = k % 8
+	}
+	if err := tab.AddColumn("g", groups); err != nil {
+		return fail(err)
+	}
+	ix, err := tab.BuildIndex("k", kinds[kindName], cssidx.Options{NodeBytes: nodeBytes, HashDirSize: hashDir})
+	if err != nil {
+		return fail(err)
+	}
+	// Register the demo table's cache with the default registry so a
+	// -metrics scrape of an -explain run exports the qcache series too.
+	tab.EnableCache(mmdb.CacheOptions{MinCostNs: -1}).RegisterMetrics(telemetry.Default)
+
+	g := workload.New(seed)
+	outer := mmdb.NewTable("probes")
+	if err := outer.AddColumn("k", g.Lookups(keys, 1024)); err != nil {
+		return fail(err)
+	}
+	outer.EnableCache(mmdb.CacheOptions{MinCostNs: -1})
+
+	show := func(title string, q func(tr *telemetry.Trace) error) int {
+		for _, leg := range []string{"cold", "warm"} {
+			tr := telemetry.NewTrace(title)
+			if err := q(tr); err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "-- %s (%s)\n%s\n", title, leg, tr)
+		}
+		return 0
+	}
+
+	point := keys[len(keys)/2]
+	lo, hi := keys[len(keys)*31/64], keys[len(keys)*33/64]
+	inVals := g.Lookups(keys, 8)
+
+	fmt.Fprintf(stdout, "EXPLAIN ANALYZE over n=%d keys (%s index, result cache on)\n\n", len(keys), kindName)
+	if rc := show(fmt.Sprintf("SelectRange k = %d", point), func(tr *telemetry.Trace) error {
+		_, _, err := tab.SelectRangeTraced("k", point, point, tr)
+		return err
+	}); rc != 0 {
+		return rc
+	}
+	if rc := show(fmt.Sprintf("SelectRange k in [%d, %d]", lo, hi), func(tr *telemetry.Trace) error {
+		_, _, err := tab.SelectRangeTraced("k", lo, hi, tr)
+		return err
+	}); rc != 0 {
+		return rc
+	}
+	if rc := show(fmt.Sprintf("SelectIn k (%d values)", len(inVals)), func(tr *telemetry.Trace) error {
+		_, _, err := tab.SelectInTraced("k", inVals, tr)
+		return err
+	}); rc != 0 {
+		return rc
+	}
+	if rc := show("JoinWith probes.k = keys.k", func(tr *telemetry.Trace) error {
+		_, err := mmdb.JoinWithTraced(outer, "k", ix, mmdb.JoinOptions{}, func(o, i uint32) {}, tr)
+		return err
+	}); rc != 0 {
+		return rc
+	}
+	return show("GroupAggregate by g over k", func(tr *telemetry.Trace) error {
+		_, err := mmdb.GroupAggregateTraced(tab, "g", "k", nil, tr)
+		return err
+	})
+}

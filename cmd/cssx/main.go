@@ -45,6 +45,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -57,6 +59,7 @@ import (
 	"cssidx/internal/mem"
 	"cssidx/internal/mmdb"
 	"cssidx/internal/simidx"
+	"cssidx/internal/telemetry"
 	"cssidx/internal/wal"
 	"cssidx/internal/workload"
 )
@@ -102,9 +105,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 		walDir    = fs.String("wal", "", "durable mode: persist the key set through a WAL-backed table in this directory; a rerun recovers it (snapshot + log replay) instead of regenerating")
 		fsyncMode = fs.String("fsync", "group", "with -wal: fsync policy: none (clean close only), group (2ms group commit), always (fsync per batch)")
+
+		explain     = fs.Bool("explain", false, "run one query of every shape (point, range, IN, join, aggregate) twice through the mmdb planner and print the EXPLAIN ANALYZE traces")
+		metricsAddr = fs.String("metrics", "", "serve /metrics (Prometheus text), /metrics.json and /debug/pprof on this address (e.g. :9090); enables telemetry collection")
+		linger      = fs.Duration("linger", 0, "with -metrics: keep the endpoint serving this long after the workload finishes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *metricsAddr != "" {
+		telemetry.Enable()
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(stderr, "cssx: metrics listener: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "metrics: serving on http://%s/metrics\n", ln.Addr())
+		srv := &http.Server{Handler: telemetry.Default.Mux()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		if *linger > 0 {
+			defer time.Sleep(*linger)
+		}
 	}
 
 	g := workload.New(*seed)
@@ -128,6 +150,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if rc != 0 {
 			return rc
 		}
+	}
+	if *explain {
+		return runExplain(stdout, stderr, *kind, keys, *node, *hashdir, *seed)
 	}
 	if *probefile != "" {
 		if *kind == "all" {
@@ -348,7 +373,7 @@ func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32
 		fmt.Fprintf(stderr, "cssx: %v\n", err)
 		return 2
 	}
-	tab.EnableCache(mmdb.CacheOptions{})
+	tab.EnableCache(mmdb.CacheOptions{}).RegisterMetrics(telemetry.Default)
 
 	fmt.Fprintf(stdout, "mmdb IN-list selections over n=%d keys (%s index, result cache on): %d probes in batches of %d\n\n",
 		len(keys), kindName, len(probes), batchSize)
@@ -373,13 +398,23 @@ func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%.1f\t%.2f\n", b, len(chunk), len(rids), el*1e6, float64(len(chunk))/el/1e6)
 	}
 	tw.Flush()
-	s := tab.CacheStats()
+	// The dump reads the registry — the same read-on-scrape series /metrics
+	// exposes — rather than a second private stats path.
+	val := func(name string) int64 {
+		v, _ := telemetry.Default.Value(name)
+		return int64(v)
+	}
+	hitRate, _ := telemetry.Default.Value("qcache_hit_rate")
 	fmt.Fprintf(stdout, "\ntotal: %d probes, %d matching rows, %.1fµs (%.2f Mkeys/s)\n",
 		len(probes), rows, total*1e6, float64(len(probes))/total/1e6)
 	fmt.Fprintf(stdout, "cache: %d hits (%d contained) / %d misses (%.0f%% hit rate), %d inserts, %d rejects, %d evictions, %d invalidations, %d entries, %d bytes\n",
-		s.Hits, s.ContainedHits, s.Misses, 100*s.HitRate(), s.Inserts, s.Rejects, s.Evictions, s.Invalidations, s.Entries, s.Bytes)
+		val("qcache_hits_total"), val("qcache_contained_hits_total"), val("qcache_misses_total"), 100*hitRate,
+		val("qcache_inserts_total"), val("qcache_rejects_total"), val("qcache_evictions_total"),
+		val("qcache_invalidations_total"), val("qcache_entries"), val("qcache_bytes"))
 	fmt.Fprintf(stdout, "reuse: %d stitched (%d gap probes), %d in-subset, %d in-superset (%d key probes), %d aggregate, %d patched entries\n",
-		s.StitchedHits, s.GapProbes, s.SubsetHits, s.SupersetHits, s.MissingKeyProbes, s.AggregateHits, s.Patches)
+		val("qcache_stitched_hits_total"), val("qcache_gap_probes_total"), val("qcache_subset_hits_total"),
+		val("qcache_superset_hits_total"), val("qcache_missing_key_probes_total"),
+		val("qcache_agg_hits_total"), val("qcache_patches_total"))
 	return 0
 }
 

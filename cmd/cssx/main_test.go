@@ -3,11 +3,15 @@ package main
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"cssidx/internal/telemetry"
 	"cssidx/internal/workload"
 )
 
@@ -274,5 +278,68 @@ func TestWALModeBadPolicy(t *testing.T) {
 	}
 	if !strings.Contains(errb.String(), "unknown fsync policy") {
 		t.Errorf("stderr = %s", errb.String())
+	}
+}
+
+func TestExplainMode(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-explain", "-n", "50000"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"EXPLAIN ANALYZE",
+		"plan",
+		"outcome=miss",
+		"outcome=hit",
+		"path=sorted-index",
+		"path=indexed-nested-loop",
+		"path=domain-array",
+		"JoinWith probes.k = keys.k",
+		"GroupAggregate by g over k",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("explain output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestExplainNeedsOrderedKind(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-explain", "-kind", "hash", "-n", "1000"}, &out, &errb); code != 2 {
+		t.Fatalf("exit=%d, want 2; stderr=%s", code, errb.String())
+	}
+}
+
+// TestMetricsScrape drives a cached workload with collection enabled and
+// scrapes the registry through the same mux -metrics serves: the body
+// must parse as Prometheus text and carry the core engine series.
+func TestMetricsScrape(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	path, _ := writeProbeFile(t, 4000, 600)
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "levelcss", "-n", "4000", "-probefile", path, "-batch", "128", "-cache"}, &out, &errb); code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	srv := httptest.NewServer(telemetry.Default.Mux())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := telemetry.ValidatePrometheus(body); err != nil {
+		t.Fatalf("scrape does not parse: %v\nbody:\n%s", err, body)
+	}
+	for _, series := range []string{"qcache_hits_total", "mmdb_query_ns", "mmdb_plan_total"} {
+		if !strings.Contains(string(body), series) {
+			t.Errorf("scrape missing series %s", series)
+		}
 	}
 }

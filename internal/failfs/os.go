@@ -2,6 +2,23 @@ package failfs
 
 import (
 	"os"
+
+	"cssidx/internal/telemetry"
+)
+
+// Per-operation counters over the production filesystem: what the engine
+// actually asks of the OS (how many fsyncs a workload's durability policy
+// costs, how write-heavy a checkpoint is).  One atomic load each while
+// telemetry is off.
+var (
+	ctrOpen    = telemetry.C(`failfs_ops_total{op="open"}`)
+	ctrCreate  = telemetry.C(`failfs_ops_total{op="create"}`)
+	ctrRead    = telemetry.C(`failfs_ops_total{op="read"}`)
+	ctrWrite   = telemetry.C(`failfs_ops_total{op="write"}`)
+	ctrSync    = telemetry.C(`failfs_ops_total{op="sync"}`)
+	ctrSyncDir = telemetry.C(`failfs_ops_total{op="syncdir"}`)
+	ctrRename  = telemetry.C(`failfs_ops_total{op="rename"}`)
+	ctrRemove  = telemetry.C(`failfs_ops_total{op="remove"}`)
 )
 
 // OS is the production filesystem: a veneer over the os package.  Every
@@ -13,6 +30,7 @@ var OS FS = osFS{}
 type osFS struct{}
 
 func (osFS) Create(name string) (File, error) {
+	ctrCreate.Inc()
 	f, err := os.Create(name)
 	if err != nil {
 		return nil, err
@@ -21,6 +39,7 @@ func (osFS) Create(name string) (File, error) {
 }
 
 func (osFS) CreateTemp(dir, pattern string) (File, error) {
+	ctrCreate.Inc()
 	f, err := os.CreateTemp(dir, pattern)
 	if err != nil {
 		return nil, err
@@ -29,6 +48,7 @@ func (osFS) CreateTemp(dir, pattern string) (File, error) {
 }
 
 func (osFS) Open(name string) (File, error) {
+	ctrOpen.Inc()
 	f, err := os.Open(name)
 	if err != nil {
 		return nil, err
@@ -37,6 +57,7 @@ func (osFS) Open(name string) (File, error) {
 }
 
 func (osFS) OpenAppend(name string) (File, error) {
+	ctrOpen.Inc()
 	f, err := os.OpenFile(name, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
@@ -44,9 +65,15 @@ func (osFS) OpenAppend(name string) (File, error) {
 	return osFile{f}, nil
 }
 
-func (osFS) Rename(oldname, newname string) error { return os.Rename(oldname, newname) }
+func (osFS) Rename(oldname, newname string) error {
+	ctrRename.Inc()
+	return os.Rename(oldname, newname)
+}
 
-func (osFS) Remove(name string) error { return os.Remove(name) }
+func (osFS) Remove(name string) error {
+	ctrRemove.Inc()
+	return os.Remove(name)
+}
 
 func (osFS) List(dir string) ([]string, error) {
 	ents, err := os.ReadDir(dir)
@@ -65,6 +92,7 @@ func (osFS) List(dir string) ([]string, error) {
 func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
 
 func (osFS) SyncDir(dir string) error {
+	ctrSyncDir.Inc()
 	d, err := os.Open(dir)
 	if err != nil {
 		return err
@@ -78,12 +106,24 @@ func (osFS) SyncDir(dir string) error {
 
 type osFile struct{ f *os.File }
 
-func (o osFile) Read(p []byte) (int, error)  { return o.f.Read(p) }
-func (o osFile) Write(p []byte) (int, error) { return o.f.Write(p) }
-func (o osFile) Close() error                { return o.f.Close() }
-func (o osFile) Sync() error                 { return o.f.Sync() }
-func (o osFile) Truncate(size int64) error   { return o.f.Truncate(size) }
-func (o osFile) Name() string                { return o.f.Name() }
+func (o osFile) Read(p []byte) (int, error) {
+	ctrRead.Inc()
+	return o.f.Read(p)
+}
+
+func (o osFile) Write(p []byte) (int, error) {
+	ctrWrite.Inc()
+	return o.f.Write(p)
+}
+
+func (o osFile) Close() error { return o.f.Close() }
+
+func (o osFile) Sync() error {
+	ctrSync.Inc()
+	return o.f.Sync()
+}
+func (o osFile) Truncate(size int64) error { return o.f.Truncate(size) }
+func (o osFile) Name() string              { return o.f.Name() }
 
 func (o osFile) Size() (int64, error) {
 	st, err := o.f.Stat()

@@ -62,7 +62,7 @@ func (t *Table) AttachCache(c *qcache.Cache) { t.cache.Store(c) }
 func (t *Table) Cache() *qcache.Cache { return t.cache.Load() }
 
 // CacheStats snapshots the attached cache's counters (zeros when off).
-func (t *Table) CacheStats() qcache.Stats { return t.cache.Load().Stats() }
+func (t *Table) CacheStats() qcache.Stats { return t.cache.Load().StatsSnapshot() }
 
 // Generation returns the table's current generation: 1 after creation,
 // +1 per fold (a full rebuild of encodings and indexes).  Absorbed append
@@ -292,4 +292,4 @@ func (db *DB) Tables() []string {
 func (db *DB) Cache() *qcache.Cache { return db.cache }
 
 // CacheStats snapshots the shared cache's counters.
-func (db *DB) CacheStats() qcache.Stats { return db.cache.Stats() }
+func (db *DB) CacheStats() qcache.Stats { return db.cache.StatsSnapshot() }

@@ -25,6 +25,7 @@ import (
 	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
+	"cssidx/internal/telemetry"
 )
 
 // ErrNoOrderedAccess is returned for range queries on indexes whose method
@@ -761,10 +762,29 @@ func JoinBatch(outer *Table, outerCol string, inner JoinIndex, batchSize int, em
 // buffers the pairs even on the otherwise-streaming sequential path —
 // disable the cache when streaming emission matters more than reuse.
 func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32)) (int, error) {
+	start := telemetry.Now()
+	n, err := joinWith(outer, outerCol, inner, opts, emit, nil)
+	histJoinNs.Since(start)
+	return n, err
+}
+
+// JoinWithTraced is JoinWith recording an EXPLAIN ANALYZE trace under tr's
+// root span: cache outcome, worker fan-out, probe batch size and pair
+// count.  tr may be nil.
+func JoinWithTraced(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32), tr *telemetry.Trace) (int, error) {
+	start := telemetry.Now()
+	n, err := joinWith(outer, outerCol, inner, opts, emit, tr.Root())
+	histJoinNs.Since(start)
+	tr.Finish()
+	return n, err
+}
+
+func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32), sp *telemetry.Span) (int, error) {
 	col, ok := outer.cols[outerCol]
 	if !ok {
 		return 0, fmt.Errorf("mmdb: no column %s in table %s", outerCol, outer.name)
 	}
+	sp.Attr("outer", outer.name).Attr("outer_col", outerCol)
 	batchSize := opts.BatchSize
 	if batchSize <= 0 {
 		batchSize = cssidx.DefaultBatchSize
@@ -780,25 +800,34 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 	cacheable := false
 	if qc.Enabled() {
 		if h, version, ok := p.cacheTag(); ok {
+			cs := sp.Child("cache")
 			jkey = qcache.Key{Table: outer.name, Col: outerCol, Kind: qcache.KindJoin, Hash: h}
 			jtok = qcache.Token{Gen: outer.stateVer.Load(), Epoch: version}
 			if emit == nil {
 				if n, ok := qc.LookupPairCount(jkey, jtok); ok {
+					cs.Attr("outcome", "hit").AttrInt("pairs", n)
+					cs.End()
 					return n, nil
 				}
 			} else if a, b, ok := qc.LookupPair(jkey, jtok); ok {
 				for i := range a {
 					emit(a[i], b[i])
 				}
+				cs.Attr("outcome", "hit").AttrInt("pairs", len(a))
+				cs.End()
 				return len(a), nil
 			}
+			cs.Attr("outcome", "miss")
+			cs.End()
 			cacheable = emit != nil
 		}
 	}
+	ex := sp.Child("execute")
 	start := time.Now()
 	nRows := len(col.raw)
 	par := parallel.Options{Workers: opts.Parallel.Workers, MinBatchPerWorker: opts.Parallel.MinBatchPerWorker}
 	w := par.WorkersFor(nRows)
+	ex.Attr("path", "indexed-nested-loop").AttrInt("outer_rows", nRows).AttrInt("batch", batchSize).AttrInt("workers", w)
 
 	// joinSpan probes rows [lo, hi) in chunks, emitting through spanEmit.
 	joinSpan := func(lo, hi int, spanEmit func(outerRID, innerRID uint32)) int {
@@ -827,7 +856,10 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 	count := 0
 	switch {
 	case w <= 1 && !cacheable:
-		return joinSpan(0, nRows, emit), nil
+		n := joinSpan(0, nRows, emit)
+		ex.AttrInt("pairs", n)
+		ex.End()
+		return n, nil
 	case w <= 1:
 		bufs = make([][]pair, 1)
 		count = joinSpan(0, nRows, func(o, i uint32) { bufs[0] = append(bufs[0], pair{o, i}) })
@@ -848,6 +880,8 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 			count += c
 		}
 	}
+	ex.AttrInt("pairs", count)
+	ex.End()
 	// A pair set admission would reject anyway (oversized for the cache)
 	// is not worth staging a second copy of.
 	if cacheable && qcache.EntryBytesForPairs(count) > qc.MaxEntryBytes() {
@@ -870,7 +904,9 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 		}
 	}
 	if cacheable {
+		ad := sp.Child("admit")
 		qc.InsertPair(jkey, jtok, cacheOuter, cacheInner, joinRecomputeCost(time.Since(start), nRows, count))
+		ad.End()
 	}
 	return count, nil
 }

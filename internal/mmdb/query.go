@@ -8,6 +8,7 @@ import (
 	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
+	"cssidx/internal/telemetry"
 )
 
 // This file adds the decision-support query layer on top of the storage:
@@ -37,6 +38,23 @@ type GroupRow = qcache.AggRow
 // batch's (group, measure) pairs into the cached rows; explicit-RID
 // aggregates are retokened when the append cannot touch them.
 func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]GroupRow, error) {
+	start := telemetry.Now()
+	rows, err := groupAggregate(t, groupCol, measureCol, rids, nil)
+	histAggNs.Since(start)
+	return rows, err
+}
+
+// GroupAggregateTraced is GroupAggregate recording an EXPLAIN ANALYZE
+// trace under tr's root span.  tr may be nil.
+func GroupAggregateTraced(t *Table, groupCol, measureCol string, rids []uint32, tr *telemetry.Trace) ([]GroupRow, error) {
+	start := telemetry.Now()
+	rows, err := groupAggregate(t, groupCol, measureCol, rids, tr.Root())
+	histAggNs.Since(start)
+	tr.Finish()
+	return rows, err
+}
+
+func groupAggregate(t *Table, groupCol, measureCol string, rids []uint32, sp *telemetry.Span) ([]GroupRow, error) {
 	gc, ok := t.cols[groupCol]
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no column %s in table %s", groupCol, t.name)
@@ -45,14 +63,27 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no column %s in table %s", measureCol, t.name)
 	}
+	sp.Attr("table", t.name).Attr("group_col", groupCol).Attr("measure_col", measureCol)
+	if rids == nil {
+		sp.AttrInt("source_rows", t.rows).AttrBool("all_rows", true)
+	} else {
+		sp.AttrInt("source_rows", len(rids))
+	}
 	qc, tok := t.Cache(), t.token()
 	var akey qcache.Key
+	var cs *telemetry.Span
 	if qc.Enabled() {
+		cs = sp.Child("cache")
 		akey = aggFP(t.name, groupCol, measureCol, rids)
 		if rows, ok := qc.LookupAgg(akey, tok); ok {
+			cs.Attr("outcome", "hit").AttrInt("groups", len(rows))
+			cs.End()
 			return rows, nil
 		}
+		cs.Attr("outcome", "miss")
+		cs.End()
 	}
+	ex := sp.Child("execute")
 	start := time.Now()
 	nGroups := gc.dom.Len()
 	counts := make([]int64, nGroups)
@@ -140,13 +171,17 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 		}
 		sort.Slice(out, func(i, j int) bool { return out[i].Value < out[j].Value })
 	}
+	ex.Attr("path", "domain-array").AttrInt("groups", len(out)).AttrInt("delta_rows", t.rows-t.baseRows)
+	ex.End()
 	if qc.Enabled() {
+		ad := sp.Child("admit")
 		src := len(rids)
 		if rids == nil {
 			src = t.rows
 		}
 		qc.InsertAgg(akey, tok, measureCol, rids == nil, out,
 			aggRecomputeCost(time.Since(start), src, len(out)))
+		ad.End()
 	}
 	return out, nil
 }
@@ -226,21 +261,44 @@ func (t *Table) planRangeIDs(col string, c *Column, loID, hiID uint32) Plan {
 // sliced — and the computed result is admitted after, stamped with the
 // table generation.
 func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
+	start := telemetry.Now()
+	rids, plan, err := t.selectRange(col, lo, hi, nil)
+	histRangeNs.Since(start)
+	return rids, plan, err
+}
+
+// SelectRangeTraced is SelectRange recording an EXPLAIN ANALYZE trace
+// under tr's root span: plan choice, cache outcome, access path, shards
+// touched, delta runs and per-stage timings.  tr may be nil.
+func (t *Table) SelectRangeTraced(col string, lo, hi uint32, tr *telemetry.Trace) ([]uint32, Plan, error) {
+	start := telemetry.Now()
+	rids, plan, err := t.selectRange(col, lo, hi, tr.Root())
+	histRangeNs.Since(start)
+	tr.Finish()
+	return rids, plan, err
+}
+
+func (t *Table) selectRange(col string, lo, hi uint32, sp *telemetry.Span) ([]uint32, Plan, error) {
 	c, ok := t.cols[col]
 	if !ok {
 		return nil, Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
 	}
+	sp.Attr("table", t.name).Attr("col", col).AttrInt("lo", int(lo)).AttrInt("hi", int(hi))
 	if lo > hi {
 		return nil, Plan{}, nil
 	}
+	ps := sp.Child("plan")
 	loID, hiID := c.dom.IDRange(lo, hi)
 	plan := t.planRangeIDs(col, c, loID, hiID)
+	ps.AttrBool("use_index", plan.UseIndex).AttrInt("est_rows", plan.EstRows).Attr("why", plan.Why)
+	ps.End()
+	notePlan(plan)
 	if plan.UseIndex {
 		if ix, ok := t.indexes[col]; ok {
-			rids, err := t.selectRangeIndexed(ix, col, lo, hi, plan)
+			rids, err := t.selectRangeIndexed(ix, col, lo, hi, plan, sp)
 			return rids, plan, err
 		}
-		rids, err := t.sharded[col].SelectRange(lo, hi) // cached per frozen epoch inside
+		rids, err := t.sharded[col].selectRange(lo, hi, sp) // cached per frozen epoch inside
 		return rids, plan, err
 	}
 	if loID >= hiID && t.rows == t.baseRows {
@@ -248,29 +306,55 @@ func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 	}
 	qc, tok := t.Cache(), t.token()
 	key := rangeFP(t.name, col, qcache.LayerTable, lo, hi)
-	if rids, ok := qc.LookupRange(key, tok); ok {
+	var cs *telemetry.Span
+	if qc.Enabled() {
+		cs = sp.Child("cache")
+	}
+	if rids, kind := qc.LookupRangeKind(key, tok); kind != qcache.HitMiss {
+		cs.Attr("outcome", kind.String()).AttrInt("rows", len(rids))
+		cs.End()
 		return rids, plan, nil
 	}
+	cs.Attr("outcome", "miss")
+	cs.End()
+	ex := sp.Child("execute")
 	start := time.Now()
 	out := scanRange(c, lo, hi)
+	ex.Attr("path", "scan").AttrInt("rows", len(out))
+	ex.End()
 	// Scan results are in row order, not value order, so they enter as
 	// exact-only entries (no key run, no containment slicing).
+	var ad *telemetry.Span
+	if qc.Enabled() {
+		ad = sp.Child("admit")
+	}
 	qc.InsertRange(key, tok, nil, out, recomputeCost(time.Since(start), plan, t.rows))
+	ad.End()
 	return out, plan, nil
 }
 
 // selectRangeIndexed answers a raw closed range through the sorted index —
 // base segment merged with the delta runs — consulting and filling the
 // token-stamped cache.
-func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, plan Plan) ([]uint32, error) {
+func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, plan Plan, sp *telemetry.Span) ([]uint32, error) {
 	qc, tok := t.Cache(), t.token()
 	key := rangeFP(t.name, col, qcache.LayerTable, lo, hi)
-	if rids, ok := qc.LookupRange(key, tok); ok {
+	var cs *telemetry.Span
+	if qc.Enabled() {
+		cs = sp.Child("cache")
+	}
+	if rids, kind := qc.LookupRangeKind(key, tok); kind != qcache.HitMiss {
+		cs.Attr("outcome", kind.String()).AttrInt("rows", len(rids))
+		cs.End()
 		return rids, nil
 	}
-	if rids, ok, err := tryStitchRange(qc, key, tok, plan.EstRows, t.rows, ix.rangeDirect); ok || err != nil {
+	if rids, ok, err := tryStitchRange(qc, key, tok, plan.EstRows, t.rows, ix.rangeDirect, cs); ok || err != nil {
+		cs.End()
 		return rids, err
 	}
+	cs.Attr("outcome", "miss")
+	cs.End()
+	ex := sp.Child("execute")
 	start := time.Now()
 	// The merged raw key run rides along so any subrange of this result
 	// can be answered by slicing it (containment reuse).
@@ -278,7 +362,14 @@ func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, p
 	if err != nil {
 		return nil, err
 	}
+	ex.Attr("path", "sorted-index").AttrInt("delta_runs", len(ix.runs)).AttrInt("rows", len(out))
+	ex.End()
+	var ad *telemetry.Span
+	if qc.Enabled() {
+		ad = sp.Child("admit")
+	}
 	qc.InsertRange(key, tok, keys, out, recomputeCost(time.Since(start), plan, t.rows))
+	ad.End()
 	return out, nil
 }
 
@@ -320,7 +411,7 @@ func stitchAssemble(sp *qcache.StitchPlan, probe stitchProbe) (rids, keys []uint
 // the stitched run is admitted under the request's own key — admission
 // supersedes the runs it covers, so overlapping dashboard windows converge
 // to one covering run instead of accumulating fragments.
-func tryStitchRange(qc *qcache.Cache, key qcache.Key, tok qcache.Token, estRows, tableRows int, probe stitchProbe) ([]uint32, bool, error) {
+func tryStitchRange(qc *qcache.Cache, key qcache.Key, tok qcache.Token, estRows, tableRows int, probe stitchProbe, cs *telemetry.Span) ([]uint32, bool, error) {
 	sp, ok := qc.StitchRange(key, tok)
 	if !ok || !stitchWorthwhile(sp, key.Lo, key.Hi, estRows) {
 		return nil, false, nil
@@ -329,7 +420,9 @@ func tryStitchRange(qc *qcache.Cache, key qcache.Key, tok qcache.Token, estRows,
 	if err != nil {
 		return nil, false, err
 	}
-	qc.NoteStitch(len(sp.Gaps))
+	cs.Attr("outcome", "stitched").AttrInt("gap_probes", len(sp.Gaps)).
+		AttrInt("cached_rows", sp.CachedRows).AttrInt("rows", len(rids))
+	qc.NoteStitch(key, len(sp.Gaps))
 	qc.InsertRange(key, tok, keys, rids, estRecomputeNs(Plan{UseIndex: true, EstRows: len(rids)}, tableRows))
 	return rids, true, nil
 }
@@ -400,22 +493,48 @@ func (t *Table) PlanIn(col string, values []uint32) (Plan, error) {
 // replays by concatenating cached groups, and a near-superset probes only
 // the missing values (inFillWorthwhile) before splicing them in.
 func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
+	start := telemetry.Now()
+	rids, plan, err := t.selectIn(col, values, nil)
+	histInNs.Since(start)
+	return rids, plan, err
+}
+
+// SelectInTraced is SelectIn recording an EXPLAIN ANALYZE trace under tr's
+// root span.  tr may be nil.
+func (t *Table) SelectInTraced(col string, values []uint32, tr *telemetry.Trace) ([]uint32, Plan, error) {
+	start := telemetry.Now()
+	rids, plan, err := t.selectIn(col, values, tr.Root())
+	histInNs.Since(start)
+	tr.Finish()
+	return rids, plan, err
+}
+
+func (t *Table) selectIn(col string, values []uint32, sp *telemetry.Span) ([]uint32, Plan, error) {
 	plan, err := t.PlanIn(col, values)
 	if err != nil {
 		return nil, Plan{}, err
 	}
+	sp.Attr("table", t.name).Attr("col", col).AttrInt("values", len(values))
+	ps := sp.Child("plan")
+	ps.AttrBool("use_index", plan.UseIndex).AttrInt("est_rows", plan.EstRows).Attr("why", plan.Why)
+	ps.End()
+	notePlan(plan)
 	if plan.UseIndex {
 		if _, ok := t.indexes[col]; !ok {
-			return t.sharded[col].SelectIn(values), plan, nil
+			return t.sharded[col].selectIn(values, sp), plan, nil
 		}
 	}
 	qc, tok := t.Cache(), t.token()
 	var key qcache.Key
 	var distinct []uint32
+	var cs *telemetry.Span
 	if qc.Enabled() {
+		cs = sp.Child("cache")
 		distinct = dedupeValues(values)
 		key = inFP(t.name, col, qcache.LayerTable, distinct)
 		if rids, ok := qc.Lookup(key, tok); ok {
+			cs.Attr("outcome", "hit").AttrInt("rows", len(rids))
+			cs.End()
 			return rids, plan, nil
 		}
 		// Grouped reuse is index-path only: cached groups replay in probe
@@ -427,6 +546,8 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 					// repeat of this subset at the same price, so caching the
 					// derived copy would only cost an insert per replay.
 					out, _ := assembleInGroups(distinct, r.Groups, nil)
+					cs.Attr("outcome", "subset-replay").AttrInt("rows", len(out))
+					cs.End()
 					return out, plan, nil
 				}
 				if inFillWorthwhile(len(r.Missing), len(distinct)) {
@@ -436,13 +557,18 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 						fills[v] = ix.SelectEqual(v)
 					}
 					out, goff := assembleInGroups(distinct, r.Groups, fills)
-					qc.NoteInFill(len(r.Missing))
+					cs.Attr("outcome", "superset-fill").AttrInt("missing_probes", len(r.Missing)).AttrInt("rows", len(out))
+					cs.End()
+					qc.NoteInFill(key, len(r.Missing))
 					qc.InsertIn(key, tok, distinct, goff, out, estRecomputeNs(plan, t.rows))
 					return out, plan, nil
 				}
 			}
 		}
+		cs.Attr("outcome", "miss")
+		cs.End()
 	}
+	ex := sp.Child("execute")
 	start := time.Now()
 	var out, goff []uint32
 	switch {
@@ -451,8 +577,10 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 		// offsets, the admission shape subset/superset reuse needs; larger
 		// lists keep the parallel driver and enter ungrouped.
 		out, goff = t.indexes[col].selectInGrouped(distinct)
+		ex.Attr("path", "index-grouped").AttrInt("workers", 1)
 	case plan.UseIndex:
 		out = t.indexes[col].SelectIn(values)
+		ex.Attr("path", "index-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(values)))
 	default:
 		want := make(map[uint32]struct{}, len(values))
 		for _, v := range values {
@@ -464,10 +592,18 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 				out = append(out, uint32(row))
 			}
 		}
+		ex.Attr("path", "scan")
 	}
+	ex.AttrInt("rows", len(out))
+	ex.End()
 	// The value list rides along so PatchAppend can test an absorbed batch
 	// against the entry instead of dropping it.
+	var ad *telemetry.Span
+	if qc.Enabled() {
+		ad = sp.Child("admit")
+	}
 	qc.InsertIn(key, tok, distinct, goff, out, recomputeCost(time.Since(start), plan, t.rows))
+	ad.End()
 	return out, plan, nil
 }
 
@@ -512,25 +648,57 @@ type RangePred struct {
 // when their conjunctions differ — including by containment when one
 // dashboard's range covers the other's.
 func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
+	start := telemetry.Now()
+	rids, plans, err := t.selectWhere(preds, nil)
+	histWhereNs.Since(start)
+	return rids, plans, err
+}
+
+// SelectWhereTraced is SelectWhere recording an EXPLAIN ANALYZE trace
+// under tr's root span, with one child span per conjunct.  tr may be nil.
+func (t *Table) SelectWhereTraced(preds []RangePred, tr *telemetry.Trace) ([]uint32, []Plan, error) {
+	start := telemetry.Now()
+	rids, plans, err := t.selectWhere(preds, tr.Root())
+	histWhereNs.Since(start)
+	tr.Finish()
+	return rids, plans, err
+}
+
+func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []Plan, error) {
 	if len(preds) == 0 {
 		return nil, nil, fmt.Errorf("mmdb: SelectWhere needs at least one predicate")
 	}
+	sp.Attr("table", t.name).AttrInt("conjuncts", len(preds))
+	ps := sp.Child("plan")
 	loIDs, hiIDs, err := t.resolveBounds(preds)
 	if err != nil {
 		return nil, nil, err
 	}
 	plans := make([]Plan, len(preds))
+	indexed := 0
 	for i, p := range preds {
 		plans[i] = t.planRangeIDs(p.Col, t.cols[p.Col], loIDs[i], hiIDs[i])
-	}
-	qc, tok := t.Cache(), t.token()
-	var wkey qcache.Key
-	if qc.Enabled() {
-		wkey = whereFP(t.name, preds)
-		if rids, ok := qc.Lookup(wkey, tok); ok {
-			return rids, plans, nil
+		if plans[i].UseIndex {
+			indexed++
 		}
 	}
+	ps.AttrInt("index_conjuncts", indexed).AttrInt("scan_conjuncts", len(preds)-indexed)
+	ps.End()
+	qc, tok := t.Cache(), t.token()
+	var wkey qcache.Key
+	var cs *telemetry.Span
+	if qc.Enabled() {
+		cs = sp.Child("cache")
+		wkey = whereFP(t.name, preds)
+		if rids, ok := qc.Lookup(wkey, tok); ok {
+			cs.Attr("outcome", "hit").AttrInt("rows", len(rids))
+			cs.End()
+			return rids, plans, nil
+		}
+		cs.Attr("outcome", "miss")
+		cs.End()
+	}
+	ex := sp.Child("execute")
 	start := time.Now()
 
 	// Resolve each conjunct's RID set: cached runs first, scans and
@@ -541,43 +709,53 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 	// the dictionary has never seen.
 	sets := make([][]uint32, len(preds))
 	byIndex := map[*SortedIndex][]int{}
+	conjSpans := make([]*telemetry.Span, len(preds))
 	for i, p := range preds {
+		cj := ex.Child("conjunct")
+		cj.Attr("col", p.Col).AttrInt("lo", int(p.Lo)).AttrInt("hi", int(p.Hi))
+		conjSpans[i] = cj
 		if p.Lo > p.Hi || (loIDs[i] >= hiIDs[i] && t.rows == t.baseRows) {
+			cj.Attr("path", "empty").End()
 			continue // empty conjunct: the intersection is empty
 		}
 		ckey := rangeFP(t.name, p.Col, qcache.LayerTable, p.Lo, p.Hi)
-		if rids, ok := qc.LookupRange(ckey, tok); ok {
+		if rids, kind := qc.LookupRangeKind(ckey, tok); kind != qcache.HitMiss {
 			sets[i] = rids
+			cj.Attr("path", "cache-"+kind.String()).AttrInt("rows", len(rids)).End()
 			continue
 		}
 		if plans[i].UseIndex {
 			if ix, ok := t.indexes[p.Col]; ok {
-				if rids, hit, err := tryStitchRange(qc, ckey, tok, plans[i].EstRows, t.rows, ix.rangeDirect); err != nil {
+				if rids, hit, err := tryStitchRange(qc, ckey, tok, plans[i].EstRows, t.rows, ix.rangeDirect, cj); err != nil {
 					return nil, nil, err
 				} else if hit {
 					sets[i] = rids
+					cj.Attr("path", "cache-stitched").End()
 					continue
 				}
 				if len(ix.runs) == 0 {
 					byIndex[ix] = append(byIndex[ix], i)
-					continue
+					continue // span ends after the batched resolution below
 				}
 				rids, keys, err := ix.rangeMerged(p.Lo, p.Hi, qc.Enabled())
 				if err != nil {
 					return nil, nil, err
 				}
 				sets[i] = rids
+				cj.Attr("path", "sorted-index").AttrInt("delta_runs", len(ix.runs)).AttrInt("rows", len(rids)).End()
 				qc.InsertRange(ckey, tok, keys, rids, estRecomputeNs(plans[i], t.rows))
 				continue
 			}
-			rids, err := t.sharded[p.Col].SelectRange(p.Lo, p.Hi)
+			rids, err := t.sharded[p.Col].selectRange(p.Lo, p.Hi, cj)
 			if err != nil {
 				return nil, nil, err
 			}
 			sets[i] = rids
+			cj.AttrInt("rows", len(rids)).End()
 			continue
 		}
 		sets[i] = scanRange(t.cols[p.Col], p.Lo, p.Hi)
+		cj.Attr("path", "scan").AttrInt("rows", len(sets[i])).End()
 		qc.InsertRange(ckey, tok, nil, sets[i], estRecomputeNs(plans[i], t.rows))
 	}
 	for ix, list := range byIndex {
@@ -592,6 +770,7 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 			rids := make([]uint32, last-first)
 			copy(rids, ix.rids[first:last])
 			sets[i] = rids
+			conjSpans[i].Attr("path", "sorted-index-batched").AttrInt("rows", len(rids)).End()
 			if qc.Enabled() {
 				ckey := rangeFP(t.name, preds[i].Col, qcache.LayerTable, preds[i].Lo, preds[i].Hi)
 				qc.InsertRange(ckey, tok, idsToRaw(ix.col.dom, ix.keys[first:last]), rids, estRecomputeNs(plans[i], t.rows))
@@ -610,6 +789,7 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 			order[b], order[b-1] = order[b-1], order[b]
 		}
 	}
+	is := ex.Child("intersect")
 	var acc []uint32
 	for step, oi := range order {
 		rids := sets[oi]
@@ -623,7 +803,12 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 			break
 		}
 	}
+	is.AttrInt("rows", len(acc))
+	is.End()
+	ex.AttrInt("rows", len(acc))
+	ex.End()
 	if qc.Enabled() {
+		ad := sp.Child("admit")
 		cost := time.Since(start).Nanoseconds()
 		est := int64(0)
 		for i := range plans {
@@ -633,6 +818,7 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 			cost = est
 		}
 		qc.Insert(wkey, tok, acc, cost)
+		ad.End()
 	}
 	return acc, plans, nil
 }

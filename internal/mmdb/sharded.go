@@ -18,6 +18,7 @@ import (
 	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
+	"cssidx/internal/telemetry"
 )
 
 // ShardedIndex is a concurrently servable RID list + sharded search index
@@ -191,14 +192,23 @@ func (ix *ShardedIndex) qc() *qcache.Cache {
 // contribute their rows once; RIDs come back grouped by list order,
 // ascending within a value.  Results are cached per frozen epoch.
 func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
+	return ix.selectIn(values, nil)
+}
+
+// selectIn is SelectIn threading a trace span recording the epoch-layer
+// cache outcome and execution shape.
+func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 	s := ix.cur.Load()
 	distinct := dedupeValues(values)
 	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
 	var key qcache.Key
 	grouped := false
 	if qc.Enabled() {
+		cs := sp.Child("cache")
 		key = inFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, distinct)
 		if rids, ok := qc.Lookup(key, tok); ok {
+			cs.Attr("outcome", "hit").AttrInt("rows", len(rids))
+			cs.End()
 			return rids
 		}
 		if len(distinct) > 0 {
@@ -207,6 +217,8 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 					// Not re-admitted: the source entry already answers any
 					// repeat of this subset at the same price.
 					out, _ := assembleInGroups(distinct, r.Groups, nil)
+					cs.Attr("outcome", "subset-replay").AttrInt("rows", len(out))
+					cs.End()
 					return out
 				}
 				if inFillWorthwhile(len(r.Missing), len(distinct)) {
@@ -218,15 +230,20 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 						fills[v] = s.selectEqual(v)
 					}
 					out, goff := assembleInGroups(distinct, r.Groups, fills)
-					qc.NoteInFill(len(r.Missing))
+					cs.Attr("outcome", "superset-fill").AttrInt("missing_probes", len(r.Missing)).AttrInt("rows", len(out))
+					cs.End()
+					qc.NoteInFill(key, len(r.Missing))
 					qc.InsertIn(key, tok, distinct, goff, out,
 						estRecomputeNs(Plan{UseIndex: true, EstRows: len(out)}, 0))
 					return out
 				}
 			}
 		}
+		cs.Attr("outcome", "miss")
+		cs.End()
 		grouped = len(distinct) > 0 && (parallel.Options{}).WorkersFor(len(distinct)) <= 1
 	}
+	ex := sp.Child("execute")
 	start := time.Now()
 	v := s.idx.Snapshot()
 	var out, goff []uint32
@@ -236,13 +253,25 @@ func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
 		// admission shape subset/superset reuse needs; output rows are
 		// identical to the ungrouped drivers.
 		out, goff = selectInGrouped(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns(), true)
+		ex.Attr("path", "sharded-grouped").AttrInt("workers", 1)
 	case len(s.runs) == 0:
 		out = selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
+		ex.Attr("path", "sharded-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(distinct)))
 	default:
 		out = selectInMerged(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns())
+		ex.Attr("path", "sharded-delta-merged").AttrInt("delta_runs", len(s.runs))
+	}
+	if sp != nil {
+		ex.AttrInt("shards_touched", s.idx.ShardCount()).AttrInt("rows", len(out))
+	}
+	ex.End()
+	var ad *telemetry.Span
+	if qc.Enabled() {
+		ad = sp.Child("admit")
 	}
 	qc.InsertIn(key, tok, distinct, goff, out,
 		recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+	ad.End()
 	return out
 }
 
@@ -292,6 +321,13 @@ func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit fu
 // closed bounds, with containment reuse: a cached wider range on this
 // column (same epoch) answers the query by slicing its sorted run.
 func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
+	return ix.selectRange(lo, hi, nil)
+}
+
+// selectRange is SelectRange threading a trace span: it records the
+// epoch-layer cache outcome and, on a compute, the shards the normalized
+// ID range touches and the delta runs merged in.
+func (ix *ShardedIndex) selectRange(lo, hi uint32, sp *telemetry.Span) ([]uint32, error) {
 	if lo > hi {
 		return nil, nil
 	}
@@ -303,21 +339,36 @@ func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
 	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
 	var key qcache.Key
 	if qc.Enabled() {
+		cs := sp.Child("cache")
 		key = rangeFP(ix.tbl.name, ix.colName, qcache.LayerEpoch, lo, hi)
-		if rids, ok := qc.LookupRange(key, tok); ok {
+		if rids, kind := qc.LookupRangeKind(key, tok); kind != qcache.HitMiss {
+			cs.Attr("outcome", kind.String()).AttrInt("rows", len(rids))
+			cs.End()
 			return rids, nil
 		}
 		// Gap probes run against this same frozen epoch (s.rangeDirect), so
 		// stitched segments and probe results can never mix states.
-		if rids, hit, err := tryStitchRange(qc, key, tok, s.estRangeRows(loID, hiID), 0, s.rangeDirect); hit || err != nil {
+		if rids, hit, err := tryStitchRange(qc, key, tok, s.estRangeRows(loID, hiID), 0, s.rangeDirect, cs); hit || err != nil {
+			cs.End()
 			return rids, err
 		}
+		cs.Attr("outcome", "miss")
+		cs.End()
 	}
+	ex := sp.Child("execute")
 	start := time.Now()
 	out, keys := s.rangeMerged(lo, hi, qc.Enabled())
+	if sp != nil {
+		ex.Attr("path", "sharded").
+			AttrInt("shards_touched", shardsTouched(s.idx.Bounds(), loID, hiID)).
+			AttrInt("delta_runs", len(s.runs)).AttrInt("rows", len(out))
+	}
+	ex.End()
 	if qc.Enabled() {
+		ad := sp.Child("admit")
 		qc.InsertRange(key, tok, keys, out,
 			recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
+		ad.End()
 	}
 	return out, nil
 }

@@ -1,0 +1,46 @@
+package mmdb
+
+// Telemetry for the query layer: one latency histogram per query surface
+// (bracketing the public Select*/GroupAggregate/JoinWith entry points) and
+// counters for the planner's access-path decisions.  All series live in
+// telemetry.Default and cost a single atomic load while collection is off.
+
+import (
+	"sort"
+
+	"cssidx/internal/telemetry"
+)
+
+var (
+	histRangeNs = telemetry.H(`mmdb_query_ns{surface="range"}`)
+	histInNs    = telemetry.H(`mmdb_query_ns{surface="in"}`)
+	histWhereNs = telemetry.H(`mmdb_query_ns{surface="where"}`)
+	histAggNs   = telemetry.H(`mmdb_query_ns{surface="agg"}`)
+	histJoinNs  = telemetry.H(`mmdb_query_ns{surface="join"}`)
+
+	ctrPlanIndex = telemetry.C(`mmdb_plan_total{path="index"}`)
+	ctrPlanScan  = telemetry.C(`mmdb_plan_total{path="scan"}`)
+)
+
+// notePlan counts the access path an executing query committed to (plans
+// produced for inspection via PlanRange/PlanIn are not counted).
+func notePlan(p Plan) {
+	if p.UseIndex {
+		ctrPlanIndex.Inc()
+	} else {
+		ctrPlanScan.Inc()
+	}
+}
+
+// shardsTouched counts the shards whose key range intersects the
+// normalized half-open domain-ID range [loID, hiID), given the index's
+// split boundaries (len = shards-1, strictly ascending; shard i serves
+// IDs < bounds[i], the last shard the rest).
+func shardsTouched(bounds []uint32, loID, hiID uint32) int {
+	if loID >= hiID {
+		return 0
+	}
+	first := sort.Search(len(bounds), func(i int) bool { return loID < bounds[i] })
+	last := sort.Search(len(bounds), func(i int) bool { return hiID-1 < bounds[i] })
+	return last - first + 1
+}

@@ -1,0 +1,265 @@
+package mmdb
+
+import (
+	"strconv"
+	"testing"
+
+	"cssidx"
+	"cssidx/internal/telemetry"
+	"cssidx/internal/workload"
+)
+
+// attrInt reads an integer span attribute, failing the test when the span or
+// attribute is missing or malformed.
+func attrInt(t *testing.T, sp *telemetry.Span, key string) int {
+	t.Helper()
+	if sp == nil {
+		t.Fatalf("span missing while reading attr %q", key)
+	}
+	v := sp.AttrValue(key)
+	if v == "" {
+		t.Fatalf("span %q has no attr %q", sp.Name(), key)
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		t.Fatalf("span %q attr %q = %q: not an int", sp.Name(), key, v)
+	}
+	return n
+}
+
+func TestTraceSelectRangeMissThenHit(t *testing.T) {
+	g := workload.New(7)
+	tab := NewTable("t")
+	if err := tab.AddColumn("v", g.SortedWithDuplicates(4000, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildIndex("v", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	tab.EnableCache(CacheOptions{MinCostNs: -1})
+
+	tr := telemetry.NewTrace("SelectRange")
+	rids, _, err := tab.SelectRangeTraced("v", 100, 5000, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if got := root.AttrValue("table"); got != "t" {
+		t.Errorf("root table=%q, want t", got)
+	}
+	ps := root.Find("plan")
+	if ps == nil {
+		t.Fatal("miss trace has no plan span")
+	}
+	if ps.AttrValue("use_index") != "true" {
+		t.Errorf("plan use_index=%q, want true", ps.AttrValue("use_index"))
+	}
+	if cs := root.Find("cache"); cs.AttrValue("outcome") != "miss" {
+		t.Errorf("first query cache outcome=%q, want miss", cs.AttrValue("outcome"))
+	}
+	ex := root.Find("execute")
+	if ex == nil {
+		t.Fatal("miss trace has no execute span")
+	}
+	if got := ex.AttrValue("path"); got != "sorted-index" {
+		t.Errorf("execute path=%q, want sorted-index", got)
+	}
+	if got := attrInt(t, ex, "rows"); got != len(rids) {
+		t.Errorf("execute rows=%d, want %d", got, len(rids))
+	}
+	if root.Find("admit") == nil {
+		t.Error("miss trace has no admit span (cache enabled)")
+	}
+
+	tr2 := telemetry.NewTrace("SelectRange")
+	rids2, _, err := tab.SelectRangeTraced("v", 100, 5000, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := tr2.Root().Find("cache")
+	if got := cs.AttrValue("outcome"); got != "hit" {
+		t.Errorf("second query cache outcome=%q, want hit", got)
+	}
+	if got := attrInt(t, cs, "rows"); got != len(rids2) {
+		t.Errorf("cache hit rows=%d, want %d", got, len(rids2))
+	}
+	if tr2.Root().Find("execute") != nil {
+		t.Error("cache hit still recorded an execute span")
+	}
+}
+
+func TestTraceSelectRangeNoCacheHasNoCacheSpan(t *testing.T) {
+	tab := salesFixture(t)
+	tr := telemetry.NewTrace("SelectRange")
+	if _, _, err := tab.SelectRangeTraced("amount", 20, 60, tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root().Find("cache") != nil {
+		t.Error("cache span rendered with caching disabled")
+	}
+	if tr.Root().Find("admit") != nil {
+		t.Error("admit span rendered with caching disabled")
+	}
+	ex := tr.Root().Find("execute")
+	if got := ex.AttrValue("path"); got != "scan" {
+		t.Errorf("execute path=%q, want scan", got)
+	}
+}
+
+func TestTraceSelectInMissThenHit(t *testing.T) {
+	g := workload.New(11)
+	keys := g.SortedWithDuplicates(3000, 2)
+	tab := NewTable("t")
+	if err := tab.AddColumn("v", keys); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tab.BuildIndex("v", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	tab.EnableCache(CacheOptions{MinCostNs: -1})
+	values := g.Lookups(keys, 8)
+
+	tr := telemetry.NewTrace("SelectIn")
+	rids, _, err := tab.SelectInTraced("v", values, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs := tr.Root().Find("cache"); cs.AttrValue("outcome") != "miss" {
+		t.Errorf("first IN cache outcome=%q, want miss", cs.AttrValue("outcome"))
+	}
+	ex := tr.Root().Find("execute")
+	if p := ex.AttrValue("path"); p != "index-grouped" && p != "index-batch" {
+		t.Errorf("execute path=%q, want index-grouped or index-batch", p)
+	}
+	if got := attrInt(t, ex, "rows"); got != len(rids) {
+		t.Errorf("execute rows=%d, want %d", got, len(rids))
+	}
+
+	tr2 := telemetry.NewTrace("SelectIn")
+	if _, _, err := tab.SelectInTraced("v", values, tr2); err != nil {
+		t.Fatal(err)
+	}
+	if cs := tr2.Root().Find("cache"); cs.AttrValue("outcome") != "hit" {
+		t.Errorf("second IN cache outcome=%q, want hit", cs.AttrValue("outcome"))
+	}
+}
+
+func TestTraceSelectWhereConjuncts(t *testing.T) {
+	tab := salesFixture(t)
+	if _, err := tab.BuildIndex("amount", cssidx.KindLevelCSS, cssidx.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	preds := []RangePred{
+		{Col: "amount", Lo: 20, Hi: 80},
+		{Col: "region", Lo: 1, Hi: 2},
+	}
+	tr := telemetry.NewTrace("SelectWhere")
+	rids, _, err := tab.SelectWhereTraced(preds, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := tr.Root()
+	if got := attrInt(t, root, "conjuncts"); got != len(preds) {
+		t.Errorf("root conjuncts=%d, want %d", got, len(preds))
+	}
+	ex := root.Find("execute")
+	if ex == nil {
+		t.Fatal("no execute span")
+	}
+	if ex.Find("conjunct") == nil {
+		t.Error("execute span has no conjunct children")
+	}
+	is := root.Find("intersect")
+	if got := attrInt(t, is, "rows"); got != len(rids) {
+		t.Errorf("intersect rows=%d, want %d", got, len(rids))
+	}
+}
+
+func TestTraceGroupAggregate(t *testing.T) {
+	tab := salesFixture(t)
+	tr := telemetry.NewTrace("GroupAggregate")
+	rows, err := GroupAggregateTraced(tab, "region", "amount", nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := tr.Root().Find("execute")
+	if got := ex.AttrValue("path"); got != "domain-array" {
+		t.Errorf("execute path=%q, want domain-array", got)
+	}
+	if got := attrInt(t, ex, "groups"); got != len(rows) {
+		t.Errorf("execute groups=%d, want %d", got, len(rows))
+	}
+}
+
+func TestTraceJoinMissThenHit(t *testing.T) {
+	inner, outer := buildJoinTables(t, 23, 2000, 1200)
+	ix, err := inner.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer.EnableCache(CacheOptions{MinCostNs: -1})
+
+	run := func() (*telemetry.Trace, int) {
+		tr := telemetry.NewTrace("Join")
+		n, err := JoinWithTraced(outer, "k", ix, JoinOptions{}, func(o, i uint32) {}, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, n
+	}
+	tr, n := run()
+	root := tr.Root()
+	if cs := root.Find("cache"); cs.AttrValue("outcome") != "miss" {
+		t.Errorf("first join cache outcome=%q, want miss", cs.AttrValue("outcome"))
+	}
+	ex := root.Find("execute")
+	if got := attrInt(t, ex, "pairs"); got != n {
+		t.Errorf("execute pairs=%d, want %d", got, n)
+	}
+	if root.Find("admit") == nil {
+		t.Error("first join recorded no admit span")
+	}
+
+	tr2, n2 := run()
+	cs := tr2.Root().Find("cache")
+	if got := cs.AttrValue("outcome"); got != "hit" {
+		t.Errorf("second join cache outcome=%q, want hit", got)
+	}
+	if got := attrInt(t, cs, "pairs"); got != n2 {
+		t.Errorf("hit pairs=%d, want %d", got, n2)
+	}
+}
+
+func TestTraceShardedRangeShardsTouched(t *testing.T) {
+	g := workload.New(31)
+	tab := NewTable("t")
+	keys := g.SortedWithDuplicates(8000, 2)
+	if err := tab.AddColumn("v", keys); err != nil {
+		t.Fatal(err)
+	}
+	sx, err := tab.BuildShardedIndex("v", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sx.Close()
+
+	// Narrow enough that the planner commits to the index, wide enough to
+	// cross at least one shard boundary.
+	lo, hi := keys[len(keys)*7/16], keys[len(keys)*9/16]
+	tr := telemetry.NewTrace("SelectRange")
+	rids, _, err := tab.SelectRangeTraced("v", lo, hi, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := tr.Root().Find("execute")
+	if got := ex.AttrValue("path"); got != "sharded" {
+		t.Errorf("execute path=%q, want sharded", got)
+	}
+	touched := attrInt(t, ex, "shards_touched")
+	if touched < 1 || touched > 4 {
+		t.Errorf("shards_touched=%d, want within [1,4]", touched)
+	}
+	if got := attrInt(t, ex, "rows"); got != len(rids) {
+		t.Errorf("execute rows=%d, want %d", got, len(rids))
+	}
+}

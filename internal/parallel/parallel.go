@@ -22,6 +22,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"cssidx/internal/telemetry"
 )
 
 // WorkerPanic carries a panic out of a pool worker to the calling
@@ -172,6 +174,7 @@ func (t *Tuner) Note(probes int, elapsed time.Duration) int {
 	t.size.Store(0)
 	t.batches.Store(0)
 	t.min.Store(int64(m))
+	noteCalibration(m, per)
 	return m
 }
 
@@ -303,14 +306,19 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 	var trap panicTrap
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
+	spawn := telemetry.Now()
 	for i := 1; i < w; i++ {
 		slo, shi := Span(total, w, i)
 		go func() {
 			defer wg.Done()
+			histWaitNs.Since(spawn)
+			wstart := telemetry.Now()
 			trap.protect(func() { body(lo+slo, lo+shi) })
+			histRunNs.Since(wstart)
 		}()
 	}
 	trap.protect(func() { body(lo, lo+total/w) }) // the caller is worker 0
+	histRunNs.Since(spawn)
 	wg.Wait()
 	trap.rethrow()
 }
@@ -356,13 +364,18 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 	}
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
+	spawn := telemetry.Now()
 	for i := 1; i < w; i++ {
 		go func() {
 			defer wg.Done()
+			histWaitNs.Since(spawn)
+			wstart := telemetry.Now()
 			work()
+			histRunNs.Since(wstart)
 		}()
 	}
 	work()
+	histRunNs.Since(spawn)
 	wg.Wait()
 	trap.rethrow()
 }

@@ -1,0 +1,30 @@
+package parallel
+
+// Telemetry for the worker pool: per-worker handoff latency (spawn to
+// first instruction) versus busy time, and the adaptive tuner's latest
+// calibration.  Worker timing brackets with telemetry.Now, so while
+// collection is off each spawned worker pays two atomic loads — nothing
+// next to the goroutine handoff itself.
+
+import "cssidx/internal/telemetry"
+
+var (
+	histWaitNs = telemetry.H("parallel_worker_wait_ns")
+	histRunNs  = telemetry.H("parallel_worker_run_ns")
+
+	ctrCalibrations = telemetry.C("parallel_calibrations_total")
+	// The derived span and the per-probe cost behind it (picoseconds, so
+	// sub-nanosecond probe costs survive the integer gauge).
+	gTunerMin     = telemetry.G("parallel_tuner_min_per_worker")
+	gTunerProbePs = telemetry.G("parallel_tuner_per_probe_ps")
+)
+
+// noteCalibration publishes a tuner measurement to the registry.
+func noteCalibration(minPerWorker int, perProbeNs float64) {
+	if !telemetry.Enabled() {
+		return
+	}
+	ctrCalibrations.Inc()
+	gTunerMin.Set(int64(minPerWorker))
+	gTunerProbePs.Set(int64(perProbeNs * 1000))
+}

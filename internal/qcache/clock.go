@@ -40,7 +40,7 @@ func (st *stripe) evictFor(need int64, c *Cache) bool {
 		}
 		st.remove(e, c)
 		st.unring(st.hand)
-		c.stats.evictions.Add(1)
+		st.stats.Evictions++
 	}
 	return st.bytes+need <= c.budget
 }

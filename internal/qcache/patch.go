@@ -93,7 +93,6 @@ func (c *Cache) PatchAppend(p AppendPatch) {
 		sortPairs(sk, sr)
 		sorted[col] = sortedBatch{keys: sk, rids: sr}
 	}
-	var patched, dropped int64
 	for i := range c.stripes {
 		st := &c.stripes[i]
 		st.mu.Lock()
@@ -111,14 +110,14 @@ func (c *Cache) PatchAppend(p AppendPatch) {
 			switch {
 			case e.tok == p.OldTok:
 				if st.patchOne(e, p, sorted, c) {
-					patched++
+					st.stats.Patches++
 				} else {
 					st.remove(e, c)
-					dropped++
+					st.stats.Invalidations++
 				}
 			case olderOrEqual(e.tok, p.OldTok):
 				st.remove(e, c)
-				dropped++
+				st.stats.Invalidations++
 			}
 		}
 		if len(st.ring) > 4*st.live+64 {
@@ -126,8 +125,6 @@ func (c *Cache) PatchAppend(p AppendPatch) {
 		}
 		st.mu.Unlock()
 	}
-	c.stats.patches.Add(patched)
-	c.stats.invalidations.Add(dropped)
 }
 
 // sortedBatch is one batch column's (value, RID) pairs sorted by value —
@@ -265,8 +262,8 @@ func (st *stripe) patchOne(e *entry, p AppendPatch, sorted map[string]sortedBatc
 	st.ring = append(st.ring, ne)
 	st.bytes += ne.bytes
 	st.live++
-	c.stats.entries.Add(1)
-	c.stats.bytes.Add(ne.bytes)
+	st.stats.Entries++
+	st.stats.Bytes += ne.bytes
 	return true
 }
 

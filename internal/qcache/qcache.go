@@ -12,9 +12,11 @@
 //
 // Concurrency: the cache is lock-striped.  A fingerprint's identity fields
 // route it to one of a power-of-two number of stripes, each an independent
-// (map, CLOCK ring, byte budget) triple behind its own mutex; global
-// counters are atomics.  All result slices are copied on insert and on
-// hit, so callers may mutate what they pass in and what they get back.
+// (map, CLOCK ring, byte budget, counter cells) quad behind its own mutex;
+// StatsSnapshot sums the stripe-local counters one stripe at a time, so a
+// snapshot never observes half an update.  All result slices are copied on
+// insert and on hit, so callers may mutate what they pass in and what they
+// get back.
 //
 // Admission and eviction are benefit-based.  An entry is admitted only
 // when its estimated recompute cost (the caller passes the max of the
@@ -153,6 +155,9 @@ type stripe struct {
 	hand  int
 	bytes int64
 	live  int
+	// stats are this stripe's counter cells: plain int64s touched only
+	// under mu, summed once per stripe by StatsSnapshot.
+	stats Stats
 }
 
 // Cache is a concurrent, cost-aware query-result cache.  A nil *Cache is
@@ -162,8 +167,6 @@ type Cache struct {
 	stripeMask uint64
 	budget     int64 // per-stripe byte budget
 	stripes    []stripe
-
-	stats counters
 }
 
 // New builds a cache.  See Options for defaults.
@@ -254,36 +257,69 @@ func (c *Cache) LookupPairCount(k Key, tok Token) (int, bool) {
 // means a's state is provably no fresher than b's.
 func olderOrEqual(a, b Token) bool { return a.Gen <= b.Gen && a.Epoch <= b.Epoch }
 
-// get is the shared exact-match path; it returns the entry with its ref
-// warmed, or nil after counting the miss (and reaping a provably stale
-// entry).  A mismatching entry with a NEWER token is left alone: a
-// straggler reader still holding a pre-swap snapshot must not evict the
-// current epoch's entries out from under the readers they serve.
-// The returned entry is only read — entries are immutable after insert —
-// so the copy-out in the callers runs outside the stripe lock.
+// lookupLocked is the shared exact-match step: it returns the entry with
+// its ref warmed, or nil after reaping a provably stale entry (counted as
+// an invalidation).  A mismatching entry with a NEWER token is left
+// alone: a straggler reader still holding a pre-swap snapshot must not
+// evict the current epoch's entries out from under the readers they
+// serve.  The caller holds the stripe lock and settles the hit/miss
+// accounting for the outcome it commits to.  The returned entry is only
+// read — entries are immutable after insert — so callers may copy the
+// payload out after unlocking.
+func (st *stripe) lookupLocked(k Key, tok Token, c *Cache) *entry {
+	e, ok := st.m[k]
+	if ok && e.tok == tok {
+		if e.ref < 3 {
+			e.ref++
+		}
+		return e
+	}
+	if ok && olderOrEqual(e.tok, tok) {
+		// Same question, older state: the epoch moved on under this entry.
+		st.remove(e, c)
+		st.stats.Invalidations++
+	}
+	return nil
+}
+
+// get is the exact-match path with hit/miss accounting settled under the
+// stripe lock.
 func (c *Cache) get(k Key, tok Token) *entry {
 	if !c.Enabled() {
 		return nil
 	}
 	st := c.stripeFor(k)
 	st.mu.Lock()
-	e, ok := st.m[k]
-	if ok && e.tok == tok {
-		if e.ref < 3 {
-			e.ref++
-		}
-		st.mu.Unlock()
-		c.stats.hits.Add(1)
-		return e
-	}
-	if ok && olderOrEqual(e.tok, tok) {
-		// Same question, older state: the epoch moved on under this entry.
-		st.remove(e, c)
-		c.stats.invalidations.Add(1)
+	e := st.lookupLocked(k, tok, c)
+	if e != nil {
+		st.stats.Hits++
+	} else {
+		st.stats.Misses++
 	}
 	st.mu.Unlock()
-	c.stats.misses.Add(1)
-	return nil
+	return e
+}
+
+// HitKind classifies how LookupRangeKind answered, for tracing and
+// EXPLAIN-style output.
+type HitKind uint8
+
+const (
+	HitMiss      HitKind = iota // not answered from cache
+	HitExact                    // same fingerprint, same token
+	HitContained                // sliced from a covering cached run
+)
+
+// String names the hit kind the way EXPLAIN output spells it.
+func (h HitKind) String() string {
+	switch h {
+	case HitExact:
+		return "hit"
+	case HitContained:
+		return "contained"
+	default:
+		return "miss"
+	}
 }
 
 // LookupRange answers a range fingerprint (k.Kind must be KindRange),
@@ -291,39 +327,52 @@ func (c *Cache) get(k Key, tok Token) *entry {
 // same column whose closed value bounds cover [k.Lo, k.Hi] yields the
 // answer by two binary searches and a slice copy.
 func (c *Cache) LookupRange(k Key, tok Token) ([]uint32, bool) {
-	if rids, ok := c.Lookup(k, tok); ok {
-		return rids, true
+	rids, kind := c.LookupRangeKind(k, tok)
+	return rids, kind != HitMiss
+}
+
+// LookupRangeKind is LookupRange reporting how the answer was found —
+// the tracer's variant; the accounting is identical.
+func (c *Cache) LookupRangeKind(k Key, tok Token) ([]uint32, HitKind) {
+	if !c.Enabled() {
+		return nil, HitMiss
+	}
+	// One lock acquisition answers exact match, containment, and the
+	// accounting: exactly one of hit / contained-hit / miss is counted,
+	// under the same lock a StatsSnapshot sums this stripe with.
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	if e := st.lookupLocked(k, tok, c); e != nil {
+		st.stats.Hits++
+		st.mu.Unlock()
+		return append([]uint32(nil), e.rids...), HitExact
 	}
 	// An inverted key ([Lo, Hi] with Lo > Hi) is an empty range; refusing
 	// containment keeps the slice arithmetic below in bounds.
-	if !c.Enabled() || k.Lo > k.Hi {
-		return nil, false
+	if k.Lo <= k.Hi {
+		ck := colKey{table: k.Table, col: k.Col, layer: k.Layer}
+		for _, e := range st.ranges[ck] {
+			if e.lo > k.Lo {
+				break // interval map is ordered by lo: nothing further can cover
+			}
+			if e.dead || e.tok != tok || e.hi < k.Hi {
+				continue
+			}
+			first := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Lo })
+			last := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] > k.Hi })
+			out := append([]uint32(nil), e.rids[first:last]...)
+			if e.ref < 3 {
+				e.ref++
+			}
+			st.stats.Hits++
+			st.stats.ContainedHits++
+			st.mu.Unlock()
+			return out, HitContained
+		}
 	}
-	st := c.stripeFor(k)
-	ck := colKey{table: k.Table, col: k.Col, layer: k.Layer}
-	st.mu.Lock()
-	for _, e := range st.ranges[ck] {
-		if e.lo > k.Lo {
-			break // interval map is ordered by lo: nothing further can cover
-		}
-		if e.dead || e.tok != tok || e.hi < k.Hi {
-			continue
-		}
-		first := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] >= k.Lo })
-		last := sort.Search(len(e.keys), func(i int) bool { return e.keys[i] > k.Hi })
-		out := append([]uint32(nil), e.rids[first:last]...)
-		if e.ref < 3 {
-			e.ref++
-		}
-		st.mu.Unlock()
-		// The exact miss above already counted; trade it for a hit.
-		c.stats.misses.Add(-1)
-		c.stats.hits.Add(1)
-		c.stats.contained.Add(1)
-		return out, true
-	}
+	st.stats.Misses++
 	st.mu.Unlock()
-	return nil, false
+	return nil, HitMiss
 }
 
 // Insert caches a result under the fingerprint and token.  The slice is
@@ -362,7 +411,7 @@ func (c *Cache) InsertIn(k Key, tok Token, distinct, goff, rids []uint32, costNs
 	sort.Slice(e.vals, func(i, j int) bool { return e.vals[i] < e.vals[j] })
 	if goff != nil {
 		if len(goff) != len(distinct)+1 {
-			c.stats.rejects.Add(1)
+			c.countReject(k)
 			return // malformed group offsets: refuse rather than mis-slice
 		}
 		e.goff = goff
@@ -427,13 +476,13 @@ func (c *Cache) insert(e *entry) {
 		return
 	}
 	if c.opts.MinCostNs >= 0 && e.cost < c.opts.MinCostNs {
-		c.stats.rejects.Add(1)
+		c.countReject(e.key)
 		return
 	}
 	e.bytes = payloadBytes(e)
 	if e.bytes > c.budget/2 {
 		// One result must never monopolise a stripe.
-		c.stats.rejects.Add(1)
+		c.countReject(e.key)
 		return
 	}
 	// Copy the payload before taking the lock; callers own their slices.
@@ -457,15 +506,15 @@ func (c *Cache) insert(e *entry) {
 		if old.tok != e.tok && !olderOrEqual(old.tok, e.tok) {
 			// The resident entry is fresher: a straggler's late result
 			// must not clobber the current epoch's.
+			st.stats.Rejects++
 			st.mu.Unlock()
-			c.stats.rejects.Add(1)
 			return
 		}
 		st.remove(old, c) // replace: same question, same-or-older state
 	}
 	if !st.evictFor(e.bytes, c) {
+		st.stats.Rejects++
 		st.mu.Unlock()
-		c.stats.rejects.Add(1)
 		return
 	}
 	st.m[e.key] = e
@@ -473,14 +522,24 @@ func (c *Cache) insert(e *entry) {
 	st.ring = append(st.ring, e)
 	st.bytes += e.bytes
 	st.live++
+	st.stats.Inserts++
+	st.stats.Entries++
+	st.stats.Bytes += e.bytes
 	// Bound the husk build-up when invalidation outpaces eviction.
 	if len(st.ring) > 4*st.live+64 {
 		st.compactRing()
 	}
 	st.mu.Unlock()
-	c.stats.inserts.Add(1)
-	c.stats.entries.Add(1)
-	c.stats.bytes.Add(e.bytes)
+}
+
+// countReject counts one admission rejection on the key's stripe — the
+// pre-lock reject paths (cost floor, oversize, malformed offsets) route
+// here so every counter update stays under a stripe lock.
+func (c *Cache) countReject(k Key) {
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	st.stats.Rejects++
+	st.mu.Unlock()
 }
 
 // DropTable removes every entry of one table — the eager half of
@@ -493,19 +552,17 @@ func (c *Cache) DropTable(table string) {
 	if !c.Enabled() {
 		return
 	}
-	dropped := int64(0)
 	for i := range c.stripes {
 		st := &c.stripes[i]
 		st.mu.Lock()
 		for k, e := range st.m {
 			if k.Table == table {
 				st.remove(e, c)
-				dropped++
+				st.stats.Invalidations++
 			}
 		}
 		st.mu.Unlock()
 	}
-	c.stats.invalidations.Add(dropped)
 }
 
 // link adds an entry to the per-column reuse lists: range runs splice into
@@ -583,8 +640,8 @@ func (st *stripe) remove(e *entry, c *Cache) {
 	e.dead = true
 	st.bytes -= e.bytes
 	st.live--
-	c.stats.entries.Add(-1)
-	c.stats.bytes.Add(-e.bytes)
+	st.stats.Entries--
+	st.stats.Bytes -= e.bytes
 }
 
 // compactRing filters dead husks out of the CLOCK ring.

@@ -1,28 +1,16 @@
 package qcache
 
-import "sync/atomic"
-
-// counters are the cache's live atomics; Stats snapshots them.
-type counters struct {
-	hits          atomic.Int64
-	misses        atomic.Int64
-	contained     atomic.Int64
-	stitched      atomic.Int64
-	gapProbes     atomic.Int64
-	subset        atomic.Int64
-	superset      atomic.Int64
-	missProbes    atomic.Int64
-	aggHits       atomic.Int64
-	inserts       atomic.Int64
-	rejects       atomic.Int64
-	evictions     atomic.Int64
-	invalidations atomic.Int64
-	patches       atomic.Int64
-	entries       atomic.Int64
-	bytes         atomic.Int64
-}
+import "cssidx/internal/telemetry"
 
 // Stats is a point-in-time snapshot of the cache counters.
+//
+// The counters live stripe-local: each stripe accumulates plain int64
+// cells that are only ever touched under that stripe's mutex, so the hot
+// path never bounces a shared counter cache line between stripes, and a
+// snapshot that locks each stripe once (StatsSnapshot) can never observe
+// a torn update — in particular it can never see one half of a
+// miss-becomes-hit settlement (NoteStitch/NoteInFill), which the old
+// global-atomic scheme allowed.
 type Stats struct {
 	// Hits counts lookups answered from the cache.  The hit-kind
 	// breakdown below splits out the reuse classes that answered without
@@ -62,31 +50,46 @@ type Stats struct {
 	Bytes   int64
 }
 
-// Stats returns a snapshot of the counters.  A nil or disabled cache
+// accumulate folds another snapshot (one stripe's cells) into s.
+func (s *Stats) accumulate(o Stats) {
+	s.Hits += o.Hits
+	s.ContainedHits += o.ContainedHits
+	s.StitchedHits += o.StitchedHits
+	s.GapProbes += o.GapProbes
+	s.SubsetHits += o.SubsetHits
+	s.SupersetHits += o.SupersetHits
+	s.MissingKeyProbes += o.MissingKeyProbes
+	s.AggregateHits += o.AggregateHits
+	s.Misses += o.Misses
+	s.Inserts += o.Inserts
+	s.Rejects += o.Rejects
+	s.Evictions += o.Evictions
+	s.Invalidations += o.Invalidations
+	s.Patches += o.Patches
+	s.Entries += o.Entries
+	s.Bytes += o.Bytes
+}
+
+// StatsSnapshot returns a consistent snapshot of the counters: each
+// stripe's cells are summed exactly once under that stripe's lock, so
+// no in-flight update can be half-observed.  A nil or disabled cache
 // reports zeros.
-func (c *Cache) Stats() Stats {
+func (c *Cache) StatsSnapshot() Stats {
 	if c == nil {
 		return Stats{}
 	}
-	return Stats{
-		Hits:             c.stats.hits.Load(),
-		ContainedHits:    c.stats.contained.Load(),
-		StitchedHits:     c.stats.stitched.Load(),
-		GapProbes:        c.stats.gapProbes.Load(),
-		SubsetHits:       c.stats.subset.Load(),
-		SupersetHits:     c.stats.superset.Load(),
-		MissingKeyProbes: c.stats.missProbes.Load(),
-		AggregateHits:    c.stats.aggHits.Load(),
-		Misses:           c.stats.misses.Load(),
-		Inserts:          c.stats.inserts.Load(),
-		Rejects:          c.stats.rejects.Load(),
-		Evictions:        c.stats.evictions.Load(),
-		Invalidations:    c.stats.invalidations.Load(),
-		Patches:          c.stats.patches.Load(),
-		Entries:          c.stats.entries.Load(),
-		Bytes:            c.stats.bytes.Load(),
+	var s Stats
+	for i := range c.stripes {
+		st := &c.stripes[i]
+		st.mu.Lock()
+		s.accumulate(st.stats)
+		st.mu.Unlock()
 	}
+	return s
 }
+
+// Stats is StatsSnapshot under its historical name.
+func (c *Cache) Stats() Stats { return c.StatsSnapshot() }
 
 // HitRate returns Hits/(Hits+Misses), or 0 before any lookup.
 func (s Stats) HitRate() float64 {
@@ -95,4 +98,47 @@ func (s Stats) HitRate() float64 {
 		return 0
 	}
 	return float64(s.Hits) / float64(total)
+}
+
+// RegisterMetrics surfaces the cache's counters in a telemetry registry
+// (nil means telemetry.Default) as read-on-scrape series: each scrape
+// takes one consistent StatsSnapshot per metric, so no hot-path
+// double-bookkeeping is added.  Call once per cache; re-registering
+// replaces the previous cache's series.
+func (c *Cache) RegisterMetrics(r *telemetry.Registry) {
+	if r == nil {
+		r = telemetry.Default
+	}
+	reg := func(name string, field func(Stats) int64) {
+		r.RegisterFunc(name, func() float64 { return float64(field(c.StatsSnapshot())) })
+	}
+	reg("qcache_hits_total", func(s Stats) int64 { return s.Hits })
+	reg("qcache_misses_total", func(s Stats) int64 { return s.Misses })
+	reg("qcache_contained_hits_total", func(s Stats) int64 { return s.ContainedHits })
+	reg("qcache_stitched_hits_total", func(s Stats) int64 { return s.StitchedHits })
+	reg("qcache_gap_probes_total", func(s Stats) int64 { return s.GapProbes })
+	reg("qcache_subset_hits_total", func(s Stats) int64 { return s.SubsetHits })
+	reg("qcache_superset_hits_total", func(s Stats) int64 { return s.SupersetHits })
+	reg("qcache_missing_key_probes_total", func(s Stats) int64 { return s.MissingKeyProbes })
+	reg("qcache_agg_hits_total", func(s Stats) int64 { return s.AggregateHits })
+	reg("qcache_inserts_total", func(s Stats) int64 { return s.Inserts })
+	reg("qcache_rejects_total", func(s Stats) int64 { return s.Rejects })
+	reg("qcache_evictions_total", func(s Stats) int64 { return s.Evictions })
+	reg("qcache_invalidations_total", func(s Stats) int64 { return s.Invalidations })
+	reg("qcache_patches_total", func(s Stats) int64 { return s.Patches })
+	reg("qcache_entries", func(s Stats) int64 { return s.Entries })
+	reg("qcache_bytes", func(s Stats) int64 { return s.Bytes })
+	r.RegisterFunc("qcache_hit_rate", func() float64 { return c.StatsSnapshot().HitRate() })
+	r.RegisterFunc("qcache_budget_bytes", func() float64 {
+		if !c.Enabled() {
+			return 0
+		}
+		return float64(c.opts.MaxBytes)
+	})
+	r.RegisterFunc("qcache_budget_pressure", func() float64 {
+		if !c.Enabled() || c.opts.MaxBytes == 0 {
+			return 0
+		}
+		return float64(c.StatsSnapshot().Bytes) / float64(c.opts.MaxBytes)
+	})
 }

@@ -113,16 +113,21 @@ func (c *Cache) StitchRange(k Key, tok Token) (*StitchPlan, bool) {
 }
 
 // NoteStitch settles the accounting after the caller commits to a stitch
-// plan: the exact-lookup miss already counted becomes a stitched hit, and
-// the gap probes it cost are recorded.
-func (c *Cache) NoteStitch(gaps int) {
+// plan for fingerprint k: the exact-lookup miss already counted becomes a
+// stitched hit, and the gap probes it cost are recorded.  The whole trade
+// happens under k's stripe lock, so a concurrent StatsSnapshot sees it
+// entirely or not at all.
+func (c *Cache) NoteStitch(k Key, gaps int) {
 	if !c.Enabled() {
 		return
 	}
-	c.stats.misses.Add(-1)
-	c.stats.hits.Add(1)
-	c.stats.stitched.Add(1)
-	c.stats.gapProbes.Add(int64(gaps))
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	st.stats.Misses--
+	st.stats.Hits++
+	st.stats.StitchedHits++
+	st.stats.GapProbes += int64(gaps)
+	st.mu.Unlock()
 }
 
 // InReuse describes how an IN-list can be assembled from the best cached
@@ -212,25 +217,30 @@ scan:
 		best.ref++
 	}
 	if len(r.Missing) == 0 {
-		// A complete replay: settle the exact-lookup miss now.
-		c.stats.misses.Add(-1)
-		c.stats.hits.Add(1)
-		c.stats.subset.Add(1)
+		// A complete replay: settle the exact-lookup miss now, still under
+		// the stripe lock held since entry.
+		st.stats.Misses--
+		st.stats.Hits++
+		st.stats.SubsetHits++
 	}
 	return r, true
 }
 
 // NoteInFill settles the accounting after the caller commits to a
-// superset fill: the exact-lookup miss becomes a superset hit, and the
-// missing-key probes it cost are recorded.
-func (c *Cache) NoteInFill(missing int) {
+// superset fill for fingerprint k: the exact-lookup miss becomes a
+// superset hit, and the missing-key probes it cost are recorded — all
+// under k's stripe lock so the trade is never half-visible.
+func (c *Cache) NoteInFill(k Key, missing int) {
 	if !c.Enabled() {
 		return
 	}
-	c.stats.misses.Add(-1)
-	c.stats.hits.Add(1)
-	c.stats.superset.Add(1)
-	c.stats.missProbes.Add(int64(missing))
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	st.stats.Misses--
+	st.stats.Hits++
+	st.stats.SupersetHits++
+	st.stats.MissingKeyProbes += int64(missing)
+	st.mu.Unlock()
 }
 
 // AggRow is one group of a cached grouped-aggregation result: the group's
@@ -248,10 +258,19 @@ type AggRow struct {
 // LookupAgg returns a copy of the grouped-aggregation result cached under
 // exactly this fingerprint and token.
 func (c *Cache) LookupAgg(k Key, tok Token) ([]AggRow, bool) {
-	e := c.get(k, tok)
-	if e == nil {
+	if !c.Enabled() {
 		return nil, false
 	}
-	c.stats.aggHits.Add(1)
+	st := c.stripeFor(k)
+	st.mu.Lock()
+	e := st.lookupLocked(k, tok, c)
+	if e == nil {
+		st.stats.Misses++
+		st.mu.Unlock()
+		return nil, false
+	}
+	st.stats.Hits++
+	st.stats.AggregateHits++
+	st.mu.Unlock()
 	return append([]AggRow(nil), e.aggs...), true
 }

@@ -484,6 +484,7 @@ func (v *View[K]) LowerBoundBatch(probes []K, out []int32) {
 	if len(v.snaps) == 1 && !keyOrdered {
 		// Single shard, input order: descend straight into out (offset 0),
 		// splitting the batch across workers.
+		noteBatchSingle(len(probes))
 		snap := v.snaps[0]
 		parallel.Run(len(probes), v.par, func(lo, hi int) {
 			treeLowerBoundBatch(snap.tree, probes[lo:hi], out[lo:hi])
@@ -494,6 +495,7 @@ func (v *View[K]) LowerBoundBatch(probes []K, out []int32) {
 	s := v.scratchFor(len(probes))
 	defer v.release(s)
 	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
+	noteBatchRuns(runs)
 	res := s.res[:len(gathered)]
 	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		snap := v.snaps[r.sid]
@@ -516,6 +518,7 @@ func (v *View[K]) SearchBatch(probes []K, out []int32) {
 	v.observeTuner()
 	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
+		noteBatchSingle(len(probes))
 		snap := v.snaps[0]
 		parallel.Run(len(probes), v.par, func(lo, hi int) {
 			treeLowerBoundBatch(snap.tree, probes[lo:hi], out[lo:hi])
@@ -526,6 +529,7 @@ func (v *View[K]) SearchBatch(probes []K, out []int32) {
 	s := v.scratchFor(len(probes))
 	defer v.release(s)
 	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
+	noteBatchRuns(runs)
 	res := s.res[:len(gathered)]
 	v.forRuns(runs, len(gathered), s, func(r batchRun) {
 		snap := v.snaps[r.sid]
@@ -578,6 +582,7 @@ func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32) {
 	v.observeTuner()
 	keyOrdered := chooseKeyOrder(v.sched, probes)
 	if len(v.snaps) == 1 && !keyOrdered {
+		noteBatchSingle(len(probes))
 		snap := v.snaps[0]
 		parallel.Run(len(probes), v.par, func(lo, hi int) {
 			treeLowerBoundBatch(snap.tree, probes[lo:hi], first[lo:hi])
@@ -588,6 +593,7 @@ func (v *View[K]) EqualRangeBatch(probes []K, first, last []int32) {
 	s := v.scratchFor(len(probes))
 	defer v.release(s)
 	perm, gathered, runs, expand := v.batchPlan(probes, keyOrdered, s)
+	noteBatchRuns(runs)
 	resF := s.res[:len(gathered)]
 	resL := s.resL[:len(gathered)]
 	v.forRuns(runs, len(gathered), s, func(r batchRun) {

@@ -34,6 +34,7 @@ import (
 
 	"cssidx/internal/csstree"
 	"cssidx/internal/parallel"
+	"cssidx/internal/telemetry"
 )
 
 // Tree is the read-only search structure a shard publishes: the ordered
@@ -225,6 +226,7 @@ func (x *Index[K]) offsetTo(s int) int {
 // or -1 if absent.
 func (x *Index[K]) Search(key K) int {
 	s := x.shardFor(key)
+	noteProbe(s)
 	snap := x.shards[s].cur.Load()
 	i := snap.search(key)
 	if i < 0 {
@@ -237,6 +239,7 @@ func (x *Index[K]) Search(key K) int {
 // Len() if none is.
 func (x *Index[K]) LowerBound(key K) int {
 	s := x.shardFor(key)
+	noteProbe(s)
 	snap := x.shards[s].cur.Load()
 	return x.offsetTo(s) + snap.lowerBound(key)
 }
@@ -246,6 +249,7 @@ func (x *Index[K]) LowerBound(key K) int {
 // so the range never spans shards.
 func (x *Index[K]) EqualRange(key K) (first, last int) {
 	s := x.shardFor(key)
+	noteProbe(s)
 	snap := x.shards[s].cur.Load()
 	lo, hi := snap.equalRange(key)
 	off := x.offsetTo(s)
@@ -340,11 +344,15 @@ func (x *Index[K]) drain() {
 			}
 			dirty = true
 			old := s.cur.Load()
+			start := telemetry.Now()
 			if len(del) == 0 && !x.delta.Disabled && len(ins) > 0 {
 				s.cur.Store(x.absorb(old, ins))
+				ctrAbsorbs.Inc()
 			} else {
 				s.cur.Store(x.fold(old, ins, del))
+				ctrFolds.Inc()
 			}
+			histSwapNs.Since(start)
 		}
 		if !dirty {
 			return

@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// exportQuantiles are the summary quantiles both exporters publish for
+// every histogram.
+var exportQuantiles = []float64{0.5, 0.9, 0.99}
+
+// baseName splits an inline-labelled metric name into its base name and
+// the label body (without braces): "a_total{op=\"x\"}" → ("a_total",
+// `op="x"`).
+func baseName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// withLabel appends one label to an inline-labelled name's label body.
+func withLabel(name, k, v string) string {
+	base, labels := baseName(name)
+	if labels != "" {
+		labels += ","
+	}
+	return fmt.Sprintf("%s{%s%s=%q}", base, labels, k, v)
+}
+
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples,
+// histograms as summaries with p50/p90/p99 quantile samples plus _sum and
+// _count.  Series are ordered by name so scrapes are diffable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	order, cs, gs, fs, hs := r.snapshot()
+	sort.Strings(order)
+	bw := bufio.NewWriter(w)
+	typed := map[string]bool{} // base names that already emitted # TYPE
+	emitType := func(name, typ string) {
+		base, _ := baseName(name)
+		if !typed[base] {
+			typed[base] = true
+			fmt.Fprintf(bw, "# TYPE %s %s\n", base, typ)
+		}
+	}
+	for _, name := range order {
+		switch {
+		case cs[name] != nil:
+			emitType(name, "counter")
+			fmt.Fprintf(bw, "%s %d\n", name, cs[name].Value())
+		case gs[name] != nil:
+			emitType(name, "gauge")
+			fmt.Fprintf(bw, "%s %d\n", name, gs[name].Value())
+		case fs[name] != nil:
+			emitType(name, "gauge")
+			fmt.Fprintf(bw, "%s %s\n", name, fmtFloat(fs[name].Value()))
+		case hs[name] != nil:
+			h := hs[name]
+			emitType(name, "summary")
+			qv := h.Quantiles(exportQuantiles...)
+			for i, q := range exportQuantiles {
+				fmt.Fprintf(bw, "%s %s\n", withLabel(name, "quantile", fmtFloat(q)), fmtFloat(qv[i]))
+			}
+			base, labels := baseName(name)
+			suffix := ""
+			if labels != "" {
+				suffix = "{" + labels + "}"
+			}
+			fmt.Fprintf(bw, "%s_sum%s %d\n", base, suffix, h.Sum())
+			fmt.Fprintf(bw, "%s_count%s %d\n", base, suffix, h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+// fmtFloat formats a float the way Prometheus text expects (no exponent
+// for common magnitudes, integral values without a trailing ".0").
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// histSummary is the JSON shape of one histogram.
+type histSummary struct {
+	Count uint64  `json:"count"`
+	Sum   uint64  `json:"sum"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// WriteJSON writes the registry as one expvar-style JSON object: metric
+// name → value, histograms as {count, sum, p50, p90, p99} objects.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}
+
+// Summary returns the registry as a plain map — what WriteJSON emits and
+// what bench recorders embed as their `telemetry` context block.
+func (r *Registry) Summary() map[string]any {
+	order, cs, gs, fs, hs := r.snapshot()
+	sort.Strings(order)
+	out := make(map[string]any, len(order))
+	for _, name := range order {
+		switch {
+		case cs[name] != nil:
+			out[name] = cs[name].Value()
+		case gs[name] != nil:
+			out[name] = gs[name].Value()
+		case fs[name] != nil:
+			out[name] = fs[name].Value()
+		case hs[name] != nil:
+			h := hs[name]
+			qv := h.Quantiles(exportQuantiles...)
+			out[name] = histSummary{Count: h.Count(), Sum: h.Sum(), P50: qv[0], P90: qv[1], P99: qv[2]}
+		}
+	}
+	return out
+}
+
+// Handler serves the registry in Prometheus text format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler serves the registry as expvar-style JSON.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		r.WriteJSON(w)
+	})
+}
+
+// Mux returns the observability endpoint: /metrics (Prometheus text),
+// /metrics.json (expvar-style JSON), and the pprof suite under
+// /debug/pprof/ — everything a scrape target or a profiling session
+// needs, on stdlib net/http alone.
+func (r *Registry) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// ValidatePrometheus checks that b parses as Prometheus text exposition:
+// every line is a comment, blank, or `name[{labels}] value`, with every
+// sample's base name declared by a preceding # TYPE line.  Used by the CI
+// scrape job and the endpoint tests.
+func ValidatePrometheus(b []byte) error {
+	typed := map[string]bool{}
+	sc := bufio.NewScanner(bytes.NewReader(b))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 3 && fields[1] == "TYPE" {
+				typed[fields[2]] = true
+			}
+			continue
+		}
+		name, value, err := splitSample(line)
+		if err != nil {
+			return fmt.Errorf("telemetry: line %d: %w", lineNo, err)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("telemetry: line %d: bad value %q", lineNo, value)
+		}
+		base, _ := baseName(name)
+		trimmed := strings.TrimSuffix(strings.TrimSuffix(base, "_sum"), "_count")
+		if !typed[base] && !typed[trimmed] {
+			return fmt.Errorf("telemetry: line %d: sample %s has no # TYPE", lineNo, name)
+		}
+	}
+	return sc.Err()
+}
+
+// splitSample splits one sample line into its series name (including any
+// label body) and value, validating the name charset and label syntax.
+func splitSample(line string) (name, value string, err error) {
+	i := strings.LastIndexByte(line, ' ')
+	if i <= 0 || i == len(line)-1 {
+		return "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	name, value = line[:i], line[i+1:]
+	base, labels := baseName(name)
+	if base == "" || !validMetricName(base) {
+		return "", "", fmt.Errorf("bad metric name %q", name)
+	}
+	if strings.ContainsAny(base, "{}") {
+		return "", "", fmt.Errorf("unbalanced braces in %q", name)
+	}
+	if labels == "" && strings.ContainsAny(name, "{}") {
+		return "", "", fmt.Errorf("unbalanced braces in %q", name)
+	}
+	return name, value, nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return len(s) > 0
+}

@@ -1,0 +1,150 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram buckets: exact below 16, then log-linear — 16 linear
+// sub-buckets per power-of-two octave — up to the full uint64 range.
+// Quantiles interpolate within a bucket, so the relative error of any
+// reported quantile is bounded by the sub-bucket width, ~1/16 ≈ 6%.
+const (
+	histLinear  = 16 // values < 16 get exact buckets
+	histSubBits = 4  // 16 sub-buckets per octave
+	histBuckets = histLinear + (64-histSubBits-1)*histLinear + histLinear
+)
+
+// bucketOf maps a value to its bucket index.
+func bucketOf(v uint64) int {
+	if v < histLinear {
+		return int(v)
+	}
+	exp := bits.Len64(v) // ≥ 5 here
+	return histLinear + (exp-5)*histLinear + int((v>>(exp-5))&(histLinear-1))
+}
+
+// bucketLow returns the smallest value mapping to bucket i — the inverse
+// of bucketOf on bucket lower bounds.
+func bucketLow(i int) uint64 {
+	if i < histLinear {
+		return uint64(i)
+	}
+	oct := (i - histLinear) / histLinear
+	sub := (i - histLinear) % histLinear
+	return uint64(histLinear+sub) << oct
+}
+
+// bucketHigh returns the exclusive upper bound of bucket i as a float
+// (the top bucket's bound exceeds uint64).
+func bucketHigh(i int) float64 {
+	if i+1 < histBuckets {
+		return float64(bucketLow(i + 1))
+	}
+	return math.Ldexp(1, 64)
+}
+
+// Histogram is a fixed-size log-linear histogram of uint64 samples
+// (typically nanoseconds).  Observe is allocation-free and gated on the
+// global switch; Quantile/Count/Sum read a live snapshot of the buckets.
+type Histogram struct {
+	name    string
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Name returns the histogram's registered metric name.
+func (h *Histogram) Name() string { return h.name }
+
+// Observe records one sample when telemetry is enabled.
+func (h *Histogram) Observe(v uint64) {
+	if !enabled.Load() {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Since records the nanoseconds elapsed from a start obtained via Now.
+// A zero start (telemetry was disabled at the Now call) records nothing,
+// so an enable racing a bracketed stage never records a garbage duration.
+func (h *Histogram) Since(start time.Time) {
+	if start.IsZero() || !enabled.Load() {
+		return
+	}
+	h.Observe(uint64(time.Since(start)))
+}
+
+// Count returns the number of samples recorded.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all recorded samples.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of the recorded samples,
+// interpolated within the landing bucket; 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	return quantileOf(&counts, total, q)
+}
+
+// Quantiles returns several quantiles from one bucket snapshot — what the
+// exporters use so p50/p90/p99 of one scrape agree on the sample set.
+func (h *Histogram) Quantiles(qs ...float64) []float64 {
+	var counts [histBuckets]uint64
+	var total uint64
+	for i := range h.buckets {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = quantileOf(&counts, total, q)
+	}
+	return out
+}
+
+// quantileOf walks a bucket snapshot to the target rank and interpolates
+// linearly inside the landing bucket.
+func quantileOf(counts *[histBuckets]uint64, total uint64, q float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i := range counts {
+		n := float64(counts[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			lo, hi := float64(bucketLow(i)), bucketHigh(i)
+			frac := (rank - cum) / n
+			return lo + frac*(hi-lo)
+		}
+		cum += n
+	}
+	// Rank landed past the last non-empty bucket (q == 1 with rounding):
+	// return that bucket's upper bound.
+	for i := histBuckets - 1; i >= 0; i-- {
+		if counts[i] != 0 {
+			return bucketHigh(i)
+		}
+	}
+	return 0
+}

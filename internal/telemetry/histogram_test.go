@@ -1,0 +1,104 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketRoundTrip: every bucket's lower bound maps back to that
+// bucket, and bucket boundaries are monotonically increasing.
+func TestBucketRoundTrip(t *testing.T) {
+	prev := uint64(0)
+	for i := 0; i < histBuckets; i++ {
+		lo := bucketLow(i)
+		if i > 0 && lo <= prev {
+			t.Fatalf("bucket %d: low %d not > previous %d", i, lo, prev)
+		}
+		if got := bucketOf(lo); got != i {
+			t.Fatalf("bucketOf(bucketLow(%d)=%d) = %d", i, lo, got)
+		}
+		prev = lo
+	}
+	// Spot-check values inside buckets.
+	for _, v := range []uint64{0, 1, 15, 16, 17, 31, 32, 100, 1023, 1 << 20, 1<<40 + 12345, math.MaxUint64} {
+		i := bucketOf(v)
+		if lo := bucketLow(i); v < lo {
+			t.Fatalf("value %d below its bucket %d low %d", v, i, lo)
+		}
+		if i+1 < histBuckets {
+			if hi := bucketLow(i + 1); v >= hi {
+				t.Fatalf("value %d at or above next bucket low %d", v, hi)
+			}
+		}
+	}
+}
+
+// TestQuantileExactSmall: values below histLinear land in exact buckets,
+// so quantiles of small samples are exact (up to in-bucket interpolation
+// of width 1).
+func TestQuantileExactSmall(t *testing.T) {
+	Enable()
+	defer Disable()
+	h := NewRegistry().Histogram("small")
+	for v := uint64(0); v < 10; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(1); got < 9 || got > 10 {
+		t.Fatalf("p100 of 0..9 = %v, want in [9,10]", got)
+	}
+	if got := h.Quantile(0); got > 1 {
+		t.Fatalf("p0 of 0..9 = %v, want ≤ 1", got)
+	}
+}
+
+// TestQuantileOracle compares histogram quantiles against the exact
+// order statistics of the same sample set: the log-linear layout bounds
+// relative error by the sub-bucket width (1/16), plus interpolation
+// slack — assert within 10%.
+func TestQuantileOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() uint64{
+		"uniform":   func() uint64 { return uint64(rng.Int63n(1_000_000)) },
+		"exp":       func() uint64 { return uint64(rng.ExpFloat64() * 50_000) },
+		"lognormal": func() uint64 { return uint64(math.Exp(rng.NormFloat64()*2 + 10)) },
+	}
+	Enable()
+	defer Disable()
+	for name, gen := range distributions {
+		t.Run(name, func(t *testing.T) {
+			h := NewRegistry().Histogram("oracle_" + name)
+			const n = 50_000
+			samples := make([]uint64, n)
+			for i := range samples {
+				samples[i] = gen()
+				h.Observe(samples[i])
+			}
+			sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+			for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+				exact := float64(samples[int(q*float64(n-1))])
+				got := h.Quantile(q)
+				if exact == 0 {
+					continue
+				}
+				if rel := math.Abs(got-exact) / exact; rel > 0.10 {
+					t.Errorf("q=%v: histogram %v vs exact %v (rel err %.3f)", q, got, exact, rel)
+				}
+			}
+			if h.Count() != n {
+				t.Fatalf("count = %d, want %d", h.Count(), n)
+			}
+		})
+	}
+}
+
+// TestHistogramDisabled: observations while disabled record nothing.
+func TestHistogramDisabled(t *testing.T) {
+	Disable()
+	h := NewRegistry().Histogram("off")
+	h.Observe(123)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatalf("disabled histogram recorded: count=%d sum=%d", h.Count(), h.Sum())
+	}
+}

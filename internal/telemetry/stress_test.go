@@ -1,0 +1,149 @@
+package telemetry_test
+
+// Cross-subsystem race stress: one registry (the package default), every
+// producer the engine has hammering it at once — sharded batch probes
+// from reader goroutines, epoch swaps from a writer, WAL group commits,
+// parallel fan-out worker brackets — while a scraper renders the
+// Prometheus text and JSON summaries mid-flight.  The package's own
+// tests cover each primitive in isolation; this one exists to fail
+// under -race if any two subsystems' hooks ever share unsynchronized
+// state.  (An external test package so it can import the subsystems
+// that themselves import telemetry.)
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"cssidx"
+	"cssidx/internal/parallel"
+	"cssidx/internal/telemetry"
+	"cssidx/internal/wal"
+)
+
+func TestRegistryCrossSubsystemStress(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+
+	const nKeys = 50_000
+	keys := make([]uint32, nKeys)
+	for i := range keys {
+		keys[i] = uint32(i) * 7
+	}
+	idx := cssidx.NewSharded(keys, cssidx.ShardedOptions[uint32]{Shards: 4})
+	defer idx.Close()
+
+	log, _, err := wal.Open(nil, filepath.Join(t.TempDir(), "stress.wal"), wal.GroupBytes(4096))
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	defer log.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Each producer runs at least minIters times before honoring stop: on a
+	// single-proc box a wall-clock window alone can end before a late
+	// goroutine was ever scheduled, and the final counter asserts would
+	// then see zeros.
+	spin := func(minIters int, body func()) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				if i >= minIters {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				body()
+			}
+		}()
+	}
+
+	// Readers: per-shard probe counters and batch counters.
+	for r := 0; r < 3; r++ {
+		seed := uint32(r + 1)
+		probes := make([]uint32, 2048)
+		out := make([]int32, len(probes))
+		for i := range probes {
+			probes[i] = (seed * 2654435761) + uint32(i)*1123%(nKeys*7)
+		}
+		spin(50, func() { idx.LowerBoundBatch(probes, out) })
+	}
+
+	// Writer: absorb/fold counters and the epoch-swap histogram.
+	next := uint32(nKeys * 7)
+	spin(5, func() {
+		batch := make([]uint32, 64)
+		for i := range batch {
+			next += 3
+			batch[i] = next
+		}
+		idx.Insert(batch...)
+		idx.Sync()
+		idx.Delete(batch...)
+		idx.Sync()
+	})
+
+	// WAL: append/bytes counters, fsync and group-commit histograms.
+	payload := bytes.Repeat([]byte("t"), 128)
+	walN := 0
+	spin(128, func() {
+		if _, err := log.Append(payload); err != nil {
+			t.Errorf("wal.Append: %v", err)
+			return
+		}
+		if walN++; walN%32 == 0 {
+			if err := log.Sync(); err != nil {
+				t.Errorf("wal.Sync: %v", err)
+			}
+		}
+	})
+
+	// Parallel fan-out: worker wait/run histograms even on one CPU.
+	sink := make([]uint64, 8192)
+	spin(20, func() {
+		parallel.Run(len(sink), parallel.Options{Workers: 4, MinBatchPerWorker: 512}, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				sink[i]++
+			}
+		})
+	})
+
+	// Scraper: renders must see a consistent registry mid-write.
+	spin(5, func() {
+		var b bytes.Buffer
+		if err := telemetry.Default.WritePrometheus(&b); err != nil {
+			t.Errorf("WritePrometheus: %v", err)
+			return
+		}
+		if err := telemetry.ValidatePrometheus(b.Bytes()); err != nil {
+			t.Errorf("scrape does not parse: %v", err)
+		}
+		_ = telemetry.Default.Summary()
+	})
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	for _, name := range []string{
+		"shard_batch_probes_total",
+		"wal_appends_total",
+		"wal_bytes_logged_total",
+	} {
+		if v, ok := telemetry.Default.Value(name); !ok || v == 0 {
+			t.Errorf("%s = %v after stress, want > 0", name, v)
+		}
+	}
+	if telemetry.H("wal_group_commit_records").Count() == 0 {
+		t.Error("wal_group_commit_records histogram empty after stress")
+	}
+	if telemetry.H("parallel_worker_run_ns").Count() == 0 {
+		t.Error("parallel_worker_run_ns histogram empty after stress")
+	}
+}

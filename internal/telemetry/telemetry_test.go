@@ -1,0 +1,193 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterConcurrent: the sharded cells must not lose increments.
+func TestCounterConcurrent(t *testing.T) {
+	Enable()
+	defer Disable()
+	c := NewRegistry().Counter("concurrent_total")
+	const workers, perWorker = 8, 100_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestDisabledGate: while disabled, Add is a no-op and Now returns zero.
+func TestDisabledGate(t *testing.T) {
+	Disable()
+	c := NewRegistry().Counter("gated_total")
+	c.Add(7)
+	if c.Value() != 0 {
+		t.Fatalf("disabled counter advanced to %d", c.Value())
+	}
+	if !Now().IsZero() {
+		t.Fatal("Now() not zero while disabled")
+	}
+	Enable()
+	defer Disable()
+	c.Add(7)
+	if c.Value() != 7 {
+		t.Fatalf("enabled counter = %d, want 7", c.Value())
+	}
+	if Now().IsZero() {
+		t.Fatal("Now() zero while enabled")
+	}
+}
+
+// TestRegistryLookupAndValue: GetOrCreate identity, scalar Value reads.
+func TestRegistryLookupAndValue(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	if r.Counter("a_total") != r.Counter("a_total") {
+		t.Fatal("counter lookup not idempotent")
+	}
+	r.Counter("a_total").Add(3)
+	r.Gauge("b").Set(-5)
+	r.RegisterFunc("c", func() float64 { return 2.5 })
+	for name, want := range map[string]float64{"a_total": 3, "b": -5, "c": 2.5} {
+		got, ok := r.Value(name)
+		if !ok || got != want {
+			t.Fatalf("Value(%q) = %v, %v; want %v, true", name, got, ok, want)
+		}
+	}
+	if _, ok := r.Value("missing"); ok {
+		t.Fatal("Value of missing series reported ok")
+	}
+}
+
+// TestPrometheusExport: the emitted text validates, carries # TYPE lines,
+// and includes histogram quantile/sum/count series.
+func TestPrometheusExport(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	r.Counter(`ops_total{op="read"}`).Add(2)
+	r.Counter(`ops_total{op="write"}`).Add(3)
+	r.Gauge("depth").Set(4)
+	r.RegisterFunc("ratio", func() float64 { return 0.25 })
+	h := r.Histogram("lat_ns")
+	for v := uint64(1); v <= 1000; v++ {
+		h.Observe(v)
+	}
+	var b bytes.Buffer
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{op="read"} 2`,
+		`ops_total{op="write"} 3`,
+		"# TYPE depth gauge",
+		"# TYPE lat_ns summary",
+		`lat_ns{quantile="0.5"}`,
+		"lat_ns_sum ",
+		"lat_ns_count 1000",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidatePrometheus(b.Bytes()); err != nil {
+		t.Fatalf("own output does not validate: %v", err)
+	}
+}
+
+// TestValidatePrometheusRejects: malformed expositions are caught.
+func TestValidatePrometheusRejects(t *testing.T) {
+	for _, bad := range []string{
+		"no_type_line 1\n",
+		"# TYPE x counter\nx notanumber\n",
+		"# TYPE x counter\nx{unclosed 1\n",
+		"# TYPE x counter\n1starts_with_digit 2\n",
+	} {
+		if err := ValidatePrometheus([]byte(bad)); err == nil {
+			t.Errorf("ValidatePrometheus accepted %q", bad)
+		}
+	}
+}
+
+// TestJSONExportAndSummary: the JSON document parses and histograms carry
+// count/p50/p99 fields.
+func TestJSONExportAndSummary(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	r.Counter("n_total").Add(5)
+	h := r.Histogram("d_ns")
+	h.Observe(100)
+	var b bytes.Buffer
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("json output does not parse: %v", err)
+	}
+	if doc["n_total"].(float64) != 5 {
+		t.Fatalf("n_total = %v", doc["n_total"])
+	}
+	hist := doc["d_ns"].(map[string]any)
+	if hist["count"].(float64) != 1 {
+		t.Fatalf("d_ns count = %v", hist["count"])
+	}
+	sum := r.Summary()
+	if _, ok := sum["n_total"]; !ok {
+		t.Fatal("Summary missing n_total")
+	}
+}
+
+// TestMuxEndpoints: /metrics serves valid Prometheus text, /metrics.json
+// valid JSON, and the pprof index responds.
+func TestMuxEndpoints(t *testing.T) {
+	Enable()
+	defer Disable()
+	r := NewRegistry()
+	r.Counter("served_total").Inc()
+	srv := httptest.NewServer(r.Mux())
+	defer srv.Close()
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var b bytes.Buffer
+		b.ReadFrom(resp.Body)
+		return b.Bytes()
+	}
+	if err := ValidatePrometheus(get("/metrics")); err != nil {
+		t.Fatalf("/metrics: %v", err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(get("/metrics.json"), &doc); err != nil {
+		t.Fatalf("/metrics.json: %v", err)
+	}
+	if !bytes.Contains(get("/debug/pprof/"), []byte("pprof")) {
+		t.Fatal("/debug/pprof/ index did not render")
+	}
+}

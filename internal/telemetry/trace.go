@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Trace records one query's execution as a tree of timed spans with
+// attributes — plan choice, access path, cache outcome, shards touched —
+// and renders it EXPLAIN ANALYZE-style.
+//
+// Traces are per-query and opt-in: a surface takes a *Trace (or a *Span of
+// one) and every method is safe on a nil receiver, so untraced queries
+// thread nil through the same code path at the cost of a pointer test.
+// A Trace is built by one goroutine; it is not safe for concurrent spans.
+type Trace struct {
+	root *Span
+}
+
+// NewTrace starts a trace whose root span has the given name (the query's
+// surface, e.g. "SelectRange").
+func NewTrace(name string) *Trace {
+	return &Trace{root: &Span{name: name, start: time.Now()}}
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span, fixing the query's total duration.
+func (t *Trace) Finish() {
+	if t != nil {
+		t.root.End()
+	}
+}
+
+// String renders the trace as an EXPLAIN ANALYZE-style tree.
+func (t *Trace) String() string {
+	if t == nil || t.root == nil {
+		return ""
+	}
+	var b strings.Builder
+	t.root.render(&b, "", "")
+	return b.String()
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string
+	Value string
+}
+
+// Span is one stage of a traced query: a name, a duration, attributes,
+// and child stages.  All methods are nil-safe.
+type Span struct {
+	name     string
+	attrs    []Attr
+	dur      time.Duration
+	timed    bool // dur was set (End/SetDur); untimed spans render without a time
+	children []*Span
+	start    time.Time
+}
+
+// Child opens a sub-stage under s and returns it (nil on a nil receiver).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.children = append(s.children, c)
+	return c
+}
+
+// End fixes the span's duration at time-since-creation.
+func (s *Span) End() {
+	if s != nil {
+		s.dur = time.Since(s.start)
+		s.timed = true
+	}
+}
+
+// SetDur fixes the span's duration explicitly (tests, replayed traces).
+func (s *Span) SetDur(d time.Duration) *Span {
+	if s != nil {
+		s.dur = d
+		s.timed = true
+	}
+	return s
+}
+
+// Attr annotates the span with a string value.
+func (s *Span) Attr(key, value string) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	}
+	return s
+}
+
+// AttrInt annotates the span with an integer value without boxing.
+func (s *Span) AttrInt(key string, v int) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.Itoa(v)})
+	}
+	return s
+}
+
+// AttrBool annotates the span with a boolean value.
+func (s *Span) AttrBool(key string, v bool) *Span {
+	if s != nil {
+		s.attrs = append(s.attrs, Attr{Key: key, Value: strconv.FormatBool(v)})
+	}
+	return s
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Dur returns the span's recorded duration (0 on nil or untimed).
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return s.dur
+}
+
+// Find returns the first child span (depth-first) with the given name, or
+// nil — what tests use to assert on a recorded trace.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.name == name {
+		return s
+	}
+	for _, c := range s.children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// AttrValue returns the span's value for key ("" when absent).
+func (s *Span) AttrValue(key string) string {
+	if s == nil {
+		return ""
+	}
+	for _, a := range s.attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// render writes the span line and recurses with box-drawing guides:
+//
+//	SelectRange  (time=1.2ms)  lo=10 hi=90
+//	├─ plan  use_index=true est_rows=100
+//	└─ execute  (time=1.1ms)  path=index rows=97
+func (s *Span) render(b *strings.Builder, prefix, childPrefix string) {
+	b.WriteString(prefix)
+	b.WriteString(s.name)
+	if s.timed {
+		fmt.Fprintf(b, "  (time=%s)", fmtDur(s.dur))
+	}
+	for _, a := range s.attrs {
+		b.WriteByte(' ')
+		b.WriteString(a.Key)
+		b.WriteByte('=')
+		b.WriteString(a.Value)
+	}
+	b.WriteByte('\n')
+	for i, c := range s.children {
+		if i == len(s.children)-1 {
+			c.render(b, childPrefix+"└─ ", childPrefix+"   ")
+		} else {
+			c.render(b, childPrefix+"├─ ", childPrefix+"│  ")
+		}
+	}
+}
+
+// fmtDur formats a duration with stable precision for trace output.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}

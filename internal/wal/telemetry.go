@@ -1,0 +1,15 @@
+package wal
+
+// Telemetry for the durability layer: append volume, fsync latency, and
+// the group-commit batch size (records made durable per fsync — the
+// number group commit exists to maximise).  Disabled cost per Append is
+// one atomic load.
+
+import "cssidx/internal/telemetry"
+
+var (
+	ctrAppends    = telemetry.C("wal_appends_total")
+	ctrBytes      = telemetry.C("wal_bytes_logged_total")
+	histFsyncNs   = telemetry.H("wal_fsync_ns")
+	histGroupRecs = telemetry.H("wal_group_commit_records")
+)

@@ -56,6 +56,7 @@ import (
 	"time"
 
 	"cssidx/internal/failfs"
+	"cssidx/internal/telemetry"
 )
 
 // Encoding constants.
@@ -149,14 +150,15 @@ type Log struct {
 	path string
 	pol  Policy
 
-	mu       sync.Mutex
-	f        failfs.File
-	size     int64  // current on-disk size (valid bytes)
-	nextSeq  uint64 // seq the next Append takes
-	synced   uint64 // last seq known durable (0 = none)
-	unsynced int    // record bytes written since the last sync
-	err      error  // sticky: a failed sync/append poisons the log
-	closed   bool
+	mu           sync.Mutex
+	f            failfs.File
+	size         int64  // current on-disk size (valid bytes)
+	nextSeq      uint64 // seq the next Append takes
+	synced       uint64 // last seq known durable (0 = none)
+	unsynced     int    // record bytes written since the last sync
+	unsyncedRecs int    // records written since the last sync
+	err          error  // sticky: a failed sync/append poisons the log
+	closed       bool
 
 	flushStop chan struct{}
 	flushDone chan struct{}
@@ -315,6 +317,7 @@ func (l *Log) reset(baseSeq uint64) error {
 	l.nextSeq = baseSeq
 	l.synced = baseSeq - 1
 	l.unsynced = 0
+	l.unsyncedRecs = 0
 	return nil
 }
 
@@ -357,7 +360,10 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	}
 	l.size += int64(len(buf))
 	l.unsynced += len(buf)
+	l.unsyncedRecs++
 	l.nextSeq = seq + 1
+	ctrAppends.Inc()
+	ctrBytes.Add(uint64(len(buf)))
 
 	switch l.pol.Mode {
 	case ModeAlways:
@@ -380,11 +386,15 @@ func (l *Log) syncLocked() error {
 	if l.unsynced == 0 {
 		return nil
 	}
+	start := telemetry.Now()
 	if err := l.f.Sync(); err != nil {
 		l.err = fmt.Errorf("wal: sync failed: %w", err)
 		return l.err
 	}
+	histFsyncNs.Since(start)
+	histGroupRecs.Observe(uint64(l.unsyncedRecs))
 	l.unsynced = 0
+	l.unsyncedRecs = 0
 	l.synced = l.nextSeq - 1
 	return nil
 }
@@ -523,6 +533,7 @@ func (l *Log) Checkpoint() error {
 	l.f = f
 	l.size = headerSize
 	l.unsynced = 0
+	l.unsyncedRecs = 0
 	l.synced = l.nextSeq - 1 // the snapshot owns everything before here
 	return nil
 }
@@ -566,11 +577,8 @@ func (l *Log) Close() error {
 	var first error
 	if l.err == nil {
 		if l.unsynced > 0 {
-			if err := l.f.Sync(); err != nil {
+			if err := l.syncLocked(); err != nil {
 				first = err
-			} else {
-				l.unsynced = 0
-				l.synced = l.nextSeq - 1
 			}
 		}
 	} else {

@@ -225,6 +225,12 @@ func (x *ShardedIndex[K]) Len() int { return x.ix.Len() }
 // ShardCount returns the number of range shards.
 func (x *ShardedIndex[K]) ShardCount() int { return x.ix.ShardCount() }
 
+// Bounds returns the shard split boundaries (len = ShardCount()-1,
+// strictly ascending): shard i serves keys < Bounds()[i], the last shard
+// the rest.  Observability surfaces use it to report which shards a range
+// touches.
+func (x *ShardedIndex[K]) Bounds() []K { return x.ix.Bounds() }
+
 // Epochs returns each shard's current epoch (1 = initial build; +1 per
 // published rebuild).
 func (x *ShardedIndex[K]) Epochs() []uint64 { return x.ix.Epochs() }
