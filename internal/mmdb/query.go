@@ -580,7 +580,9 @@ func (t *Table) selectIn(col string, values []uint32, sp *telemetry.Span) ([]uin
 		ex.Attr("path", "index-grouped").AttrInt("workers", 1)
 	case plan.UseIndex:
 		out = t.indexes[col].SelectIn(values)
-		ex.Attr("path", "index-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(values)))
+		if ex != nil { // attr args must not run on the untraced path
+			ex.Attr("path", "index-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(values)))
+		}
 	default:
 		want := make(map[uint32]struct{}, len(values))
 		for _, v := range values {
@@ -721,7 +723,9 @@ func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []
 		ckey := rangeFP(t.name, p.Col, qcache.LayerTable, p.Lo, p.Hi)
 		if rids, kind := qc.LookupRangeKind(ckey, tok); kind != qcache.HitMiss {
 			sets[i] = rids
-			cj.Attr("path", "cache-"+kind.String()).AttrInt("rows", len(rids)).End()
+			if cj != nil { // attr args must not run on the untraced path
+				cj.Attr("path", "cache-"+kind.String()).AttrInt("rows", len(rids)).End()
+			}
 			continue
 		}
 		if plans[i].UseIndex {

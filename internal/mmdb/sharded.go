@@ -256,7 +256,9 @@ func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 		ex.Attr("path", "sharded-grouped").AttrInt("workers", 1)
 	case len(s.runs) == 0:
 		out = selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
-		ex.Attr("path", "sharded-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(distinct)))
+		if ex != nil { // attr args must not run on the untraced path
+			ex.Attr("path", "sharded-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(distinct)))
+		}
 	default:
 		out = selectInMerged(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns())
 		ex.Attr("path", "sharded-delta-merged").AttrInt("delta_runs", len(s.runs))

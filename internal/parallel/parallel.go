@@ -317,8 +317,9 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 			histRunNs.Since(wstart)
 		}()
 	}
-	trap.protect(func() { body(lo, lo+total/w) }) // the caller is worker 0
-	histRunNs.Since(spawn)
+	wstart := telemetry.Now() // bracket worker 0 like the spawned workers
+	trap.protect(func() { body(lo, lo+total/w) })
+	histRunNs.Since(wstart)
 	wg.Wait()
 	trap.rethrow()
 }
@@ -374,8 +375,9 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 			histRunNs.Since(wstart)
 		}()
 	}
+	wstart := telemetry.Now() // bracket worker 0 like the spawned workers
 	work()
-	histRunNs.Since(spawn)
+	histRunNs.Since(wstart)
 	wg.Wait()
 	trap.rethrow()
 }

@@ -13,6 +13,7 @@ package telemetry_test
 import (
 	"bytes"
 	"path/filepath"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -146,4 +147,64 @@ func TestRegistryCrossSubsystemStress(t *testing.T) {
 	if telemetry.H("parallel_worker_run_ns").Count() == 0 {
 		t.Error("parallel_worker_run_ns histogram empty after stress")
 	}
+}
+
+// TestRegistryRegisterDuringScrape registers brand-new series while
+// scrapes render concurrently: the engine does exactly this when a layer
+// registers its metrics after the -metrics HTTP server is already
+// serving.  Fails under -race if export ever reads the live series maps
+// instead of a locked copy.
+func TestRegistryRegisterDuringScrape(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	stop := make(chan struct{})
+	var registrar, scrapers sync.WaitGroup
+
+	registrar.Add(1)
+	go func() {
+		defer registrar.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Cap distinct names so scrape cost stays bounded; wrapped
+			// iterations keep writing through the same GetOrCreate and
+			// RegisterFunc paths, which is where the map writes race.
+			n := strconv.Itoa(i % 512)
+			reg.Counter("stress_counter_" + n).Inc()
+			reg.Gauge("stress_gauge_" + n).Set(int64(i))
+			reg.Histogram("stress_hist_" + n).Observe(uint64(i))
+			reg.RegisterFunc("stress_func_"+n, func() float64 { return float64(i) })
+		}
+	}()
+
+	for s := 0; s < 2; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			for i := 0; i < 200; i++ {
+				var b bytes.Buffer
+				if err := reg.WritePrometheus(&b); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+				if err := telemetry.ValidatePrometheus(b.Bytes()); err != nil {
+					t.Errorf("scrape does not parse: %v", err)
+					return
+				}
+				b.Reset()
+				if err := reg.WriteJSON(&b); err != nil {
+					t.Errorf("WriteJSON: %v", err)
+					return
+				}
+				_ = reg.Summary()
+			}
+		}()
+	}
+
+	// The scrapers bound the test; the registrar runs until they finish.
+	scrapers.Wait()
+	close(stop)
+	registrar.Wait()
 }

@@ -246,12 +246,32 @@ func (r *Registry) Value(name string) (float64, bool) {
 	return 0, false
 }
 
-// snapshot captures the series lists for export without holding the lock
-// while values are read (GaugeFuncs may take other locks).
+// snapshot copies the series lists for export without holding the lock
+// while values are read (GaugeFuncs may take other locks).  The maps are
+// copied, not aliased: registration can race with a scrape (e.g. a layer
+// registering its metrics after the -metrics server is already serving),
+// and exporting from the live maps would be a concurrent map read/write.
 func (r *Registry) snapshot() (order []string, cs map[string]*Counter, gs map[string]*Gauge, fs map[string]*GaugeFunc, hs map[string]*Histogram) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return append([]string(nil), r.order...), r.cs, r.gs, r.fs, r.hs
+	order = append([]string(nil), r.order...)
+	cs = make(map[string]*Counter, len(r.cs))
+	for k, v := range r.cs {
+		cs[k] = v
+	}
+	gs = make(map[string]*Gauge, len(r.gs))
+	for k, v := range r.gs {
+		gs[k] = v
+	}
+	fs = make(map[string]*GaugeFunc, len(r.fs))
+	for k, v := range r.fs {
+		fs[k] = v
+	}
+	hs = make(map[string]*Histogram, len(r.hs))
+	for k, v := range r.hs {
+		hs[k] = v
+	}
+	return order, cs, gs, fs, hs
 }
 
 // C returns a counter in the Default registry — the shorthand every
