@@ -7,20 +7,29 @@ package main
 // result cache and shows the chosen access path; the second shows the
 // cache serving it, so a single invocation demonstrates the whole
 // plan → cache → execute → admit life cycle.
+//
+// The queries run under the -timeout / -mem-budget governance context.
+// A governed abort is not a dead end: the partial trace is printed
+// anyway, with the span where execution stopped carrying an "aborted"
+// annotation, so EXPLAIN ANALYZE doubles as the post-mortem for why a
+// query was cut off.
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"cssidx"
+	"cssidx/internal/governor"
 	"cssidx/internal/mmdb"
 	"cssidx/internal/telemetry"
 	"cssidx/internal/workload"
 )
 
 // runExplain builds the demo tables and prints cold and warm traces for
-// each query shape.  Returns the process exit code.
-func runExplain(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, seed int64) int {
+// each query shape.  Returns the process exit code: 0 clean, 1 if any
+// query was aborted by the governance context or failed outright.
+func runExplain(ctx context.Context, stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, seed int64) int {
 	if _, ok := kinds[kindName]; !ok || kindName == "hash" {
 		fmt.Fprintf(stderr, "cssx: -explain needs an ordered -kind (got %q)\n", kindName)
 		return 2
@@ -55,11 +64,20 @@ func runExplain(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBy
 	}
 	outer.EnableCache(mmdb.CacheOptions{MinCostNs: -1})
 
+	aborts := 0
 	show := func(title string, q func(tr *telemetry.Trace) error) int {
 		for _, leg := range []string{"cold", "warm"} {
 			tr := telemetry.NewTrace(title)
 			if err := q(tr); err != nil {
-				return fail(err)
+				if !governor.IsAbort(err) {
+					return fail(err)
+				}
+				// Aborted, not broken: print the partial tree — its
+				// "aborted" span annotation marks where execution
+				// stopped — and move on to the next query shape.
+				aborts++
+				fmt.Fprintf(stdout, "-- %s (%s) ABORTED: %v\n%s\n", title, leg, err, tr)
+				continue
 			}
 			fmt.Fprintf(stdout, "-- %s (%s)\n%s\n", title, leg, tr)
 		}
@@ -72,31 +90,38 @@ func runExplain(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBy
 
 	fmt.Fprintf(stdout, "EXPLAIN ANALYZE over n=%d keys (%s index, result cache on)\n\n", len(keys), kindName)
 	if rc := show(fmt.Sprintf("SelectRange k = %d", point), func(tr *telemetry.Trace) error {
-		_, _, err := tab.SelectRangeTraced("k", point, point, tr)
+		_, _, err := tab.SelectRangeCtx(ctx, "k", point, point, tr)
 		return err
 	}); rc != 0 {
 		return rc
 	}
 	if rc := show(fmt.Sprintf("SelectRange k in [%d, %d]", lo, hi), func(tr *telemetry.Trace) error {
-		_, _, err := tab.SelectRangeTraced("k", lo, hi, tr)
+		_, _, err := tab.SelectRangeCtx(ctx, "k", lo, hi, tr)
 		return err
 	}); rc != 0 {
 		return rc
 	}
 	if rc := show(fmt.Sprintf("SelectIn k (%d values)", len(inVals)), func(tr *telemetry.Trace) error {
-		_, _, err := tab.SelectInTraced("k", inVals, tr)
+		_, _, err := tab.SelectInCtx(ctx, "k", inVals, tr)
 		return err
 	}); rc != 0 {
 		return rc
 	}
 	if rc := show("JoinWith probes.k = keys.k", func(tr *telemetry.Trace) error {
-		_, err := mmdb.JoinWithTraced(outer, "k", ix, mmdb.JoinOptions{}, func(o, i uint32) {}, tr)
+		_, err := mmdb.JoinWithCtx(ctx, outer, "k", ix, mmdb.JoinOptions{}, func(o, i uint32) {}, tr)
 		return err
 	}); rc != 0 {
 		return rc
 	}
-	return show("GroupAggregate by g over k", func(tr *telemetry.Trace) error {
-		_, err := mmdb.GroupAggregateTraced(tab, "g", "k", nil, tr)
+	if rc := show("GroupAggregate by g over k", func(tr *telemetry.Trace) error {
+		_, err := mmdb.GroupAggregateCtx(ctx, tab, "g", "k", nil, tr)
 		return err
-	})
+	}); rc != 0 {
+		return rc
+	}
+	if aborts > 0 {
+		fmt.Fprintf(stderr, "cssx: %d query leg(s) aborted by the governance context; partial traces above\n", aborts)
+		return 1
+	}
+	return 0
 }

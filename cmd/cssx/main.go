@@ -31,6 +31,16 @@
 //
 //	cssx -kind levelcss -n 1000000 -wal /tmp/cssx-wal -fsync group
 //
+// Every mmdb-driving mode (-explain, -cache, the -wal append loop, and
+// batch mode) runs under the resource-governance flags: -timeout DUR puts
+// the whole run under a deadline, -mem-budget BYTES caps query result
+// memory.  The query that trips a limit aborts with a typed error, and a
+// governed -explain still prints the partial EXPLAIN ANALYZE tree
+// annotated where execution stopped:
+//
+//	cssx -explain -timeout 200us
+//	cssx -explain -mem-budget 4096
+//
 // Example output column meanings:
 //
 //	space      bytes the structure needs beyond the sorted key array
@@ -42,6 +52,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,6 +67,7 @@ import (
 	"cssidx"
 	"cssidx/internal/cachesim"
 	"cssidx/internal/failfs"
+	"cssidx/internal/governor"
 	"cssidx/internal/mem"
 	"cssidx/internal/mmdb"
 	"cssidx/internal/simidx"
@@ -109,9 +121,24 @@ func run(args []string, stdout, stderr io.Writer) int {
 		explain     = fs.Bool("explain", false, "run one query of every shape (point, range, IN, join, aggregate) twice through the mmdb planner and print the EXPLAIN ANALYZE traces")
 		metricsAddr = fs.String("metrics", "", "serve /metrics (Prometheus text), /metrics.json and /debug/pprof on this address (e.g. :9090); enables telemetry collection")
 		linger      = fs.Duration("linger", 0, "with -metrics: keep the endpoint serving this long after the workload finishes")
+
+		timeout   = fs.Duration("timeout", 0, "abort the run's mmdb work (-explain, -cache, -wal appends, batch loops) after this long with a typed deadline error; 0 = no deadline")
+		memBudget = fs.Int64("mem-budget", 0, "per-run byte budget for mmdb query results; the query that exceeds it aborts with a typed budget error (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// The governance context every mmdb path runs under.  Without -timeout
+	// or -mem-budget this stays context.Background(), which the governor
+	// resolves to its nil zero-cost handle.
+	qctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		qctx, cancel = context.WithTimeout(qctx, *timeout)
+		defer cancel()
+	}
+	if *memBudget > 0 {
+		qctx = governor.WithBudget(qctx, *memBudget)
 	}
 	if *metricsAddr != "" {
 		telemetry.Enable()
@@ -146,13 +173,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *walDir != "" {
 		var rc int
-		keys, rc = durableKeys(stdout, stderr, *walDir, *fsyncMode, keys)
+		keys, rc = durableKeys(qctx, stdout, stderr, *walDir, *fsyncMode, keys)
 		if rc != 0 {
 			return rc
 		}
 	}
 	if *explain {
-		return runExplain(stdout, stderr, *kind, keys, *node, *hashdir, *seed)
+		return runExplain(qctx, stdout, stderr, *kind, keys, *node, *hashdir, *seed)
 	}
 	if *probefile != "" {
 		if *kind == "all" {
@@ -168,9 +195,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "cssx: -cache drives the mmdb selection path; -schedule/-sortbatch/-workers do not apply")
 				return 2
 			}
-			return runCachedBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize)
+			return runCachedBatchMode(qctx, stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize)
 		}
-		return runBatchMode(stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *schedule, *sortBatch, *workers)
+		return runBatchMode(qctx, stdout, stderr, *kind, keys, *node, *hashdir, *probefile, *batchSize, *schedule, *sortBatch, *workers)
 	}
 
 	probes := g.Lookups(keys, *lookups)
@@ -231,7 +258,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // -schedule auto the sampled duplicate-density estimate resolves per batch,
 // and tagging the timing with the requested setting would misattribute the
 // sort cost whenever auto flips between batches.
-func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, scheduleName string, sortBatch bool, workers int) int {
+func runBatchMode(ctx context.Context, stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int, scheduleName string, sortBatch bool, workers int) int {
 	probes, err := readProbes(probefile)
 	if err != nil {
 		fmt.Fprintf(stderr, "cssx: %v\n", err)
@@ -305,6 +332,12 @@ func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, node
 	minB, maxB := 0.0, 0.0
 	schedCounts := map[cssidx.BatchSchedule]int{}
 	for b, base := 0, 0; base < len(probes); b, base = b+1, base+batchSize {
+		if err := ctx.Err(); err != nil {
+			tw.Flush()
+			fmt.Fprintf(stderr, "cssx: aborted after %d of %d batches: %v\n",
+				b, (len(probes)+batchSize-1)/batchSize, err)
+			return 1
+		}
 		end := base + batchSize
 		if end > len(probes) {
 			end = len(probes)
@@ -350,7 +383,7 @@ func runBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, node
 // through the epoch-aware result cache, and the cache counters are dumped
 // at the end.  Repeated batches — the common shape of skewed probe files —
 // are answered from the cache; the "rows" column counts matching RIDs.
-func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int) int {
+func runCachedBatchMode(ctx context.Context, stdout, stderr io.Writer, kindName string, keys []uint32, nodeBytes, hashDir int, probefile string, batchSize int) int {
 	probes, err := readProbes(probefile)
 	if err != nil {
 		fmt.Fprintf(stderr, "cssx: %v\n", err)
@@ -387,10 +420,16 @@ func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32
 		}
 		chunk := probes[base:end]
 		start := time.Now()
-		rids, _, err := tab.SelectIn("k", chunk)
+		rids, _, err := tab.SelectInCtx(ctx, "k", chunk, nil)
 		el := time.Since(start).Seconds()
 		if err != nil {
-			fmt.Fprintf(stderr, "cssx: %v\n", err)
+			tw.Flush()
+			if governor.IsAbort(err) {
+				fmt.Fprintf(stderr, "cssx: aborted after %d of %d batches: %v\n",
+					b, (len(probes)+batchSize-1)/batchSize, err)
+			} else {
+				fmt.Fprintf(stderr, "cssx: %v\n", err)
+			}
 			return 1
 		}
 		rows += len(rids)
@@ -424,8 +463,10 @@ func runCachedBatchMode(stdout, stderr io.Writer, kindName string, keys []uint32
 // keys recovered from snapshot + log replay — rerunning the same command
 // after a crash (or plain exit) serves the exact key set the first run
 // acknowledged, which is the durability guarantee the README documents.
-// Returns the keys to index and a non-zero exit code on failure.
-func durableKeys(stdout, stderr io.Writer, dir, fsyncMode string, generated []uint32) ([]uint32, int) {
+// Returns the keys to index and a non-zero exit code on failure.  A
+// -timeout deadline governs the append loop: a cancelled batch either
+// never reached the log or is fully durable, never torn.
+func durableKeys(ctx context.Context, stdout, stderr io.Writer, dir, fsyncMode string, generated []uint32) ([]uint32, int) {
 	var pol wal.Policy
 	switch fsyncMode {
 	case "none":
@@ -449,8 +490,13 @@ func durableKeys(stdout, stderr io.Writer, dir, fsyncMode string, generated []ui
 		const chunk = 4096
 		for base := 0; base < len(keys); base += chunk {
 			end := min(base+chunk, len(keys))
-			if err := d.AppendRows(map[string][]uint32{"k": keys[base:end]}); err != nil {
-				fmt.Fprintf(stderr, "cssx: logging keys: %v\n", err)
+			if err := d.AppendRowsCtx(ctx, map[string][]uint32{"k": keys[base:end]}); err != nil {
+				if governor.IsAbort(err) {
+					fmt.Fprintf(stderr, "cssx: aborted logging keys after %d of %d (%d durable): %v\n",
+						base, len(keys), d.Rows(), err)
+				} else {
+					fmt.Fprintf(stderr, "cssx: logging keys: %v\n", err)
+				}
 				return nil, 1
 			}
 		}

@@ -312,6 +312,98 @@ func TestExplainNeedsOrderedKind(t *testing.T) {
 	}
 }
 
+// TestGovernedExplainBudgetAbort pins the -mem-budget satellite: a budget
+// small enough for the point query but not the range scan aborts the run
+// with a typed error AND still renders the partial EXPLAIN ANALYZE tree,
+// annotated at the span where execution stopped.
+func TestGovernedExplainBudgetAbort(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-explain", "-n", "20000", "-mem-budget", "2048"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1; stderr=%s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "outcome=hit") {
+		t.Errorf("point query should fit the budget and hit the cache warm:\n%s", s)
+	}
+	if !strings.Contains(s, "ABORTED: governor: memory budget exceeded") {
+		t.Errorf("missing typed abort banner:\n%s", s)
+	}
+	if !strings.Contains(s, "aborted=governor: memory budget exceeded") {
+		t.Errorf("partial trace missing the aborted span annotation:\n%s", s)
+	}
+	if !strings.Contains(errb.String(), "aborted by the governance context") {
+		t.Errorf("stderr missing abort summary: %s", errb.String())
+	}
+}
+
+// TestGovernedExplainDeadline: an already-hopeless -timeout aborts every
+// query leg with the deadline error, partial traces still print.
+func TestGovernedExplainDeadline(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-explain", "-n", "20000", "-timeout", "1ns"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1; stderr=%s", code, errb.String())
+	}
+	if s := out.String(); !strings.Contains(s, "aborted=context deadline exceeded") {
+		t.Errorf("partial traces missing deadline annotation:\n%s", s)
+	}
+	if !strings.Contains(errb.String(), "10 query leg(s) aborted") {
+		t.Errorf("stderr = %s", errb.String())
+	}
+}
+
+// TestGovernedExplainClean: generous limits change nothing — the governed
+// run exits 0 with the same trace shapes as an ungoverned one.
+func TestGovernedExplainClean(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-explain", "-n", "20000", "-timeout", "1m", "-mem-budget", "268435456"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit=%d stderr=%s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"outcome=miss", "outcome=hit", "GroupAggregate by g over k"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("governed clean run missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "ABORTED") {
+		t.Errorf("generous limits aborted something:\n%s", s)
+	}
+}
+
+// TestGovernedBatchModesTimeout: both batch loops honor the deadline with
+// a typed abort message instead of running to completion.
+func TestGovernedBatchModesTimeout(t *testing.T) {
+	path, _ := writeProbeFile(t, 4000, 600)
+	for _, extra := range [][]string{{"-cache"}, nil} {
+		var out, errb bytes.Buffer
+		args := append([]string{"-kind", "levelcss", "-n", "4000", "-probefile", path, "-batch", "64", "-timeout", "1ns"}, extra...)
+		code := run(args, &out, &errb)
+		if code != 1 {
+			t.Fatalf("args %v: exit=%d, want 1; stderr=%s", args, code, errb.String())
+		}
+		es := errb.String()
+		if !strings.Contains(es, "aborted after") || !strings.Contains(es, "context deadline exceeded") {
+			t.Errorf("args %v: stderr = %s", args, es)
+		}
+	}
+}
+
+// TestGovernedWALTimeout: the durable append loop honors the deadline and
+// reports how far the log got before the abort.
+func TestGovernedWALTimeout(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "wal")
+	var out, errb bytes.Buffer
+	code := run([]string{"-kind", "levelcss", "-n", "5000", "-wal", dir, "-timeout", "1ns"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit=%d, want 1; stderr=%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "aborted logging keys") {
+		t.Errorf("stderr = %s", errb.String())
+	}
+}
+
 // TestMetricsScrape drives a cached workload with collection enabled and
 // scrapes the registry through the same mux -metrics serves: the body
 // must parse as Prometheus text and carry the core engine series.

@@ -173,6 +173,7 @@ func Experiments() []Experiment {
 		{"durability", "Extension: WAL overhead per fsync policy (appends/s off/group/always, recovery vs log size)", runDurability},
 		{"telemetry", "Extension: metrics collection overhead, enabled vs disabled (parallel + sharded batch legs)", runTelemetry},
 		{"latency", "Extension: per-surface query latency p50/p90/p99 from the mmdb_query_ns histograms", runLatency},
+		{"governor", "Extension: query-governance overhead — legacy vs background-ctx vs fully governed legs", runGovernor},
 	}
 }
 

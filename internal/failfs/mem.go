@@ -44,6 +44,10 @@ type Mem struct {
 	short  map[int]bool
 	tmpSeq int
 
+	// scenario, when set, decides a fate for every operation the one-shot
+	// schedules above left alone (see scenario.go).
+	scenario Scenario
+
 	live    map[string]*memNode
 	durable map[string]*memNode
 }
@@ -140,7 +144,10 @@ func (m *Mem) step(name string) error {
 		delete(m.fail, n)
 		return fmt.Errorf("%s: %w", name, err)
 	}
-	return nil
+	if m.short[n] {
+		return nil // ShortWriteAt owns this op; Write applies the tear
+	}
+	return m.applyScenario(name, n)
 }
 
 // Crash applies the durability model and revives the filesystem:

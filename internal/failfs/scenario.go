@@ -1,0 +1,163 @@
+package failfs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+)
+
+// Named fault scenarios.  SetCrashAt/FailAt/ShortWriteAt target one
+// numbered operation — precise, but a schedule built from numbers is
+// brittle: it breaks the moment the code under test adds an fsync.  A
+// Scenario instead decides the fate of each operation from its trace
+// name ("write:db/t.wal", "sync-dir:db", …), so the same storm can be
+// replayed against any workload.  The chaos harness (internal/chaostest)
+// drives its soaks through the three canonical scenarios below:
+// FsyncStorm, TornTail and SlowIO.
+
+// Action is a Scenario's verdict on one operation.  The zero Action lets
+// the operation proceed untouched.
+type Action struct {
+	// Err, when non-nil, fails the operation (which takes no effect).
+	Err error
+	// Short, on a write, applies a seeded-random prefix of the buffer
+	// before failing — a torn in-flight write.  Ignored elsewhere.
+	Short bool
+	// Delay stalls the operation (and, as on a saturated device queue,
+	// everything behind it) before it proceeds.
+	Delay time.Duration
+}
+
+// Scenario is a reusable fault schedule keyed on operation names.
+// Decide is called under the filesystem lock for every numbered
+// operation; implementations must be deterministic for their seed and
+// must not call back into the filesystem.
+type Scenario interface {
+	// Name identifies the scenario in logs and test output.
+	Name() string
+	// Decide returns the fate of operation n, whose trace name is op.
+	Decide(op string, n int) Action
+}
+
+// SetScenario attaches a fault scenario to the filesystem; nil detaches.
+// One-shot schedules (FailAt, ShortWriteAt, SetCrashAt) still apply and
+// take precedence on their operation.
+func (m *Mem) SetScenario(s Scenario) {
+	m.mu.Lock()
+	m.scenario = s
+	m.mu.Unlock()
+}
+
+// applyScenario consults the attached scenario for operation n; m.mu held.
+// Called from step after the one-shot schedules have passed.
+func (m *Mem) applyScenario(name string, n int) error {
+	if m.scenario == nil {
+		return nil
+	}
+	act := m.scenario.Decide(name, n)
+	if act.Delay > 0 {
+		time.Sleep(act.Delay)
+	}
+	if act.Short && strings.HasPrefix(name, "write:") {
+		m.short[n] = true
+		return nil
+	}
+	if act.Err != nil {
+		return fmt.Errorf("%s: %w", name, act.Err)
+	}
+	return nil
+}
+
+// funcScenario adapts a closure; the rng gives each scenario its own
+// deterministic stream, advanced once per Decide under the fs lock.
+type funcScenario struct {
+	name string
+	fn   func(rng *rand.Rand, op string, n int) Action
+	rng  *rand.Rand
+}
+
+func (s *funcScenario) Name() string { return s.name }
+func (s *funcScenario) Decide(op string, n int) Action {
+	return s.fn(s.rng, op, n)
+}
+
+// FsyncStorm fails a rate fraction (0..1) of sync and sync-dir
+// operations with ErrInjected: the flaky disk whose write cache is fine
+// but whose flushes keep erroring.  Durable code must surface these as
+// I/O errors without corrupting what was already durable.
+func FsyncStorm(seed int64, rate float64) Scenario {
+	return &funcScenario{
+		name: "fsync-storm",
+		rng:  rand.New(rand.NewSource(seed)),
+		fn: func(rng *rand.Rand, op string, n int) Action {
+			if !strings.HasPrefix(op, "sync:") && !strings.HasPrefix(op, "sync-dir:") {
+				return Action{}
+			}
+			if rng.Float64() >= rate {
+				return Action{}
+			}
+			return Action{Err: ErrInjected}
+		},
+	}
+}
+
+// TornTail short-writes a rate fraction (0..1) of writes: a random
+// prefix of the buffer lands, the rest is lost, and the write reports
+// ErrInjected.  The write-ahead log's record framing must detect and
+// drop the torn tail on recovery.
+func TornTail(seed int64, rate float64) Scenario {
+	return &funcScenario{
+		name: "torn-tail",
+		rng:  rand.New(rand.NewSource(seed)),
+		fn: func(rng *rand.Rand, op string, n int) Action {
+			if !strings.HasPrefix(op, "write:") || rng.Float64() >= rate {
+				return Action{}
+			}
+			return Action{Short: true}
+		},
+	}
+}
+
+// SlowIO stalls a rate fraction (0..1) of operations by a seeded
+// duration up to max: the overloaded device whose queue backs up.  No
+// operation fails — the scenario exists to stretch the durable paths'
+// time under lock so deadline and cancellation storms land mid-I/O.
+func SlowIO(seed int64, rate float64, max time.Duration) Scenario {
+	return &funcScenario{
+		name: "slow-io",
+		rng:  rand.New(rand.NewSource(seed)),
+		fn: func(rng *rand.Rand, op string, n int) Action {
+			if max <= 0 || rng.Float64() >= rate {
+				return Action{}
+			}
+			return Action{Delay: time.Duration(rng.Int63n(int64(max)) + 1)}
+		},
+	}
+}
+
+// Compose chains scenarios: each operation is offered to every scenario
+// in order and the first non-zero Action wins, so a soak can run an
+// fsync storm and a torn-tail schedule at once.
+func Compose(scenarios ...Scenario) Scenario {
+	names := make([]string, len(scenarios))
+	for i, s := range scenarios {
+		names[i] = s.Name()
+	}
+	return &composed{name: strings.Join(names, "+"), parts: scenarios}
+}
+
+type composed struct {
+	name  string
+	parts []Scenario
+}
+
+func (c *composed) Name() string { return c.name }
+func (c *composed) Decide(op string, n int) Action {
+	for _, s := range c.parts {
+		if act := s.Decide(op, n); act != (Action{}) {
+			return act
+		}
+	}
+	return Action{}
+}

@@ -1,0 +1,156 @@
+package failfs
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// driveWAL runs a small create/write/sync workload and reports how many
+// of each outcome it saw.
+func driveWAL(t *testing.T, m *Mem) (writes, writeErrs, syncs, syncErrs int) {
+	t.Helper()
+	f, err := m.OpenAppend("db/t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("0123456789abcdef")
+	for i := 0; i < 200; i++ {
+		if _, err := f.Write(payload); err != nil {
+			writeErrs++
+		} else {
+			writes++
+		}
+		if err := f.Sync(); err != nil {
+			syncErrs++
+		} else {
+			syncs++
+		}
+	}
+	return
+}
+
+func TestFsyncStormFailsOnlySyncs(t *testing.T) {
+	m := NewMem(1)
+	m.SetScenario(FsyncStorm(7, 0.5))
+	writes, writeErrs, syncs, syncErrs := driveWAL(t, m)
+	if writeErrs != 0 {
+		t.Fatalf("fsync-storm failed %d writes", writeErrs)
+	}
+	if syncErrs == 0 || syncs == 0 {
+		t.Fatalf("fsync-storm at rate 0.5: %d sync errors, %d successes", syncErrs, syncs)
+	}
+	_ = writes
+	// Failed syncs must not have destroyed previously durable bytes.
+	if m.DurableLen("db/t.wal") < 0 {
+		// never SyncDir'd: not durably linked, which is correct
+		t.Log("file not durably linked (no SyncDir) — expected")
+	}
+}
+
+func TestTornTailShortWrites(t *testing.T) {
+	m := NewMem(2)
+	m.SetScenario(TornTail(7, 0.3))
+	f, err := m.OpenAppend("db/t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var torn int
+	var expect int64
+	for i := 0; i < 100; i++ {
+		n, err := f.Write([]byte("0123456789"))
+		expect += int64(n)
+		if err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("torn write surfaced as %v, want ErrInjected", err)
+			}
+			if n >= 10 {
+				t.Fatalf("torn write applied %d of 10 bytes", n)
+			}
+			torn++
+		} else if n != 10 {
+			t.Fatalf("clean write applied %d of 10 bytes", n)
+		}
+	}
+	if torn == 0 {
+		t.Fatal("torn-tail at rate 0.3 tore nothing in 100 writes")
+	}
+	// The reported byte counts must agree exactly with the file image.
+	size, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != expect {
+		t.Fatalf("file size %d, reported bytes %d", size, expect)
+	}
+}
+
+func TestSlowIODelaysWithoutFailing(t *testing.T) {
+	m := NewMem(3)
+	m.SetScenario(SlowIO(7, 1.0, 100*time.Microsecond))
+	start := time.Now()
+	writes, writeErrs, syncs, syncErrs := driveWAL(t, m)
+	if writeErrs != 0 || syncErrs != 0 {
+		t.Fatalf("slow-io failed operations: %d write errs, %d sync errs", writeErrs, syncErrs)
+	}
+	if writes != 200 || syncs != 200 {
+		t.Fatalf("slow-io lost operations: %d writes, %d syncs", writes, syncs)
+	}
+	// 401 delayed ops at up to 100µs each: elapsed must show the stall.
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("slow-io added no measurable delay (%v)", elapsed)
+	}
+}
+
+func TestScenarioDeterministic(t *testing.T) {
+	run := func() (int, int) {
+		m := NewMem(4)
+		m.SetScenario(Compose(FsyncStorm(11, 0.4), TornTail(12, 0.2)))
+		_, writeErrs, _, syncErrs := driveWAL(t, m)
+		return writeErrs, syncErrs
+	}
+	w1, s1 := run()
+	w2, s2 := run()
+	if w1 != w2 || s1 != s2 {
+		t.Fatalf("same seeds, different storms: (%d,%d) vs (%d,%d)", w1, s1, w2, s2)
+	}
+	if w1 == 0 || s1 == 0 {
+		t.Fatalf("composed scenario idle: %d write errs, %d sync errs", w1, s1)
+	}
+}
+
+func TestScenarioYieldsToOneShotSchedules(t *testing.T) {
+	m := NewMem(5)
+	m.SetScenario(SlowIO(7, 1.0, time.Microsecond))
+	custom := errors.New("custom fault")
+	// Find the op number of the first write by rehearsal.
+	r := NewMem(5)
+	rf, _ := r.OpenAppend("db/t.wal")
+	rf.Write([]byte("x"))
+	var writeOp = -1
+	for i, op := range r.Trace() {
+		if strings.HasPrefix(op, "write:") {
+			writeOp = i
+			break
+		}
+	}
+	if writeOp < 0 {
+		t.Fatal("no write in rehearsal trace")
+	}
+	m.FailAt(writeOp, custom)
+	f, err := m.OpenAppend("db/t.wal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, custom) {
+		t.Fatalf("FailAt overridden by scenario: %v", err)
+	}
+}
+
+func TestComposeNames(t *testing.T) {
+	s := Compose(FsyncStorm(1, 0.1), TornTail(2, 0.1), SlowIO(3, 0.1, time.Microsecond))
+	if s.Name() != "fsync-storm+torn-tail+slow-io" {
+		t.Fatalf("composed name %q", s.Name())
+	}
+}

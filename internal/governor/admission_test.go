@@ -1,0 +1,214 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mustAcquire(t *testing.T, a *Admission, class Class, bytes int64) *Grant {
+	t.Helper()
+	g, err := a.Acquire(context.Background(), class, bytes)
+	if err != nil {
+		t.Fatalf("Acquire(%s, %d): %v", class, bytes, err)
+	}
+	return g
+}
+
+func TestNilAdmissionAdmitsEverything(t *testing.T) {
+	var a *Admission
+	g, err := a.Acquire(context.Background(), ClassAggregate, 1<<40)
+	if err != nil || g != nil {
+		t.Fatalf("nil admission: got (%v, %v)", g, err)
+	}
+	g.Release() // nil-safe
+	if a.Stats() != (Stats{}) {
+		t.Fatal("nil admission stats must be zero")
+	}
+}
+
+func TestConcurrencyGate(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 2, MaxQueue: 4})
+	g1 := mustAcquire(t, a, ClassSelect, 0)
+	g2 := mustAcquire(t, a, ClassSelect, 0)
+
+	// Third select queues; it must be admitted when a slot frees.
+	got := make(chan error, 1)
+	go func() {
+		g, err := a.Acquire(context.Background(), ClassSelect, 0)
+		if err == nil {
+			g.Release()
+		}
+		got <- err
+	}()
+	// Give the goroutine time to enqueue, then confirm it is waiting.
+	deadline := time.Now().Add(time.Second)
+	for a.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if q := a.Stats().Queued; q != 1 {
+		t.Fatalf("Queued = %d, want 1", q)
+	}
+	g1.Release()
+	if err := <-got; err != nil {
+		t.Fatalf("queued select: %v", err)
+	}
+	g2.Release()
+	if s := a.Stats(); s.Running != 0 || s.Queued != 0 {
+		t.Fatalf("final stats: %+v", s)
+	}
+}
+
+func TestAggregateShedsFirst(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 1, MaxQueue: 4})
+	g := mustAcquire(t, a, ClassSelect, 0)
+	defer g.Release()
+	// Aggregates are never queued under overload.
+	if _, err := a.Acquire(context.Background(), ClassAggregate, 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("aggregate under overload: got %v, want ErrShed", err)
+	}
+}
+
+func TestQueueCapSheds(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 1, MaxQueue: 1})
+	g := mustAcquire(t, a, ClassSelect, 0)
+	defer g.Release()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		gq, err := a.Acquire(ctx, ClassSelect, 0)
+		if err == nil {
+			gq.Release()
+		}
+	}()
+	deadline := time.Now().Add(time.Second)
+	for a.Stats().Queued == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	// Queue is full for selects: the next select sheds...
+	if _, err := a.Acquire(context.Background(), ClassSelect, 0); !errors.Is(err, ErrShed) {
+		t.Fatalf("select past queue cap: got %v, want ErrShed", err)
+	}
+	// ...but a point lookup still has headroom (2x cap), so it queues;
+	// cancel it to avoid waiting for capacity.
+	pctx, pcancel := context.WithCancel(context.Background())
+	pcancel()
+	if _, err := a.Acquire(pctx, ClassPoint, 0); !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued point with cancelled ctx: got %v, want Canceled", err)
+	}
+	cancel()
+	wg.Wait()
+}
+
+func TestPointWokenBeforeSelect(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 1, MaxQueue: 8})
+	g := mustAcquire(t, a, ClassSelect, 0)
+
+	order := make(chan Class, 2)
+	var wg sync.WaitGroup
+	enqueue := func(class Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			gq, err := a.Acquire(context.Background(), class, 0)
+			if err != nil {
+				t.Errorf("Acquire(%s): %v", class, err)
+				return
+			}
+			order <- class
+			gq.Release()
+		}()
+		deadline := time.Now().Add(time.Second)
+		want := a.Stats().Queued + 1
+		for a.Stats().Queued < want && time.Now().Before(deadline) {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	enqueue(ClassSelect) // queued first...
+	enqueue(ClassPoint)  // ...but the point must be woken first
+	g.Release()
+	wg.Wait()
+	if first := <-order; first != ClassPoint {
+		t.Fatalf("first woken = %s, want point", first)
+	}
+}
+
+func TestBytesWatermark(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 8, MaxQueue: 4, MaxBytesInFlight: 100})
+	g1 := mustAcquire(t, a, ClassSelect, 80)
+	// Over the watermark with work in flight: queue (cancel to observe).
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := a.Acquire(ctx, ClassSelect, 50); !errors.Is(err, context.Canceled) {
+		t.Fatalf("over-watermark acquire: got %v, want Canceled (queued)", err)
+	}
+	g1.Release()
+	// An idle engine always admits, even a query bigger than the watermark:
+	// one huge query must never deadlock the gate.
+	gBig := mustAcquire(t, a, ClassSelect, 1<<30)
+	gBig.Release()
+	if s := a.Stats(); s.BytesInFlight != 0 {
+		t.Fatalf("BytesInFlight = %d, want 0", s.BytesInFlight)
+	}
+}
+
+func TestGrantReleaseIdempotent(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 1})
+	g := mustAcquire(t, a, ClassPoint, 10)
+	g.Release()
+	g.Release()
+	if s := a.Stats(); s.Running != 0 || s.BytesInFlight != 0 {
+		t.Fatalf("double release corrupted stats: %+v", s)
+	}
+}
+
+func TestCancelWhileQueuedLeavesNoResidue(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 1, MaxQueue: 8})
+	g := mustAcquire(t, a, ClassSelect, 0)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := a.Acquire(ctx, ClassSelect, 0); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("queued wait past deadline: got %v", err)
+	}
+	if q := a.Stats().Queued; q != 0 {
+		t.Fatalf("Queued after cancelled wait = %d, want 0", q)
+	}
+	g.Release()
+	if s := a.Stats(); s.Running != 0 {
+		t.Fatalf("Running = %d, want 0", s.Running)
+	}
+}
+
+// TestAcquireReleaseStorm hammers the controller from many goroutines under
+// the race detector.
+func TestAcquireReleaseStorm(t *testing.T) {
+	a := NewAdmission(Options{MaxConcurrent: 4, MaxQueue: 16, MaxBytesInFlight: 1 << 20})
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class := Class(i % int(numClasses))
+			for j := 0; j < 50; j++ {
+				ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+				g, err := a.Acquire(ctx, class, int64(i*100))
+				if err == nil {
+					g.Release()
+				} else if !errors.Is(err, ErrShed) && !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					t.Errorf("unexpected acquire error: %v", err)
+				}
+				cancel()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s := a.Stats(); s.Running != 0 || s.Queued != 0 || s.BytesInFlight != 0 {
+		t.Fatalf("storm left residue: %+v", s)
+	}
+}

@@ -1,0 +1,316 @@
+// Package governor is the engine's resource-governance layer: per-query
+// cancellation and deadlines (via context.Context), per-query memory
+// budgets charged at allocation sites, and an engine-level admission
+// controller that queues or sheds work under overload.
+//
+// The package is designed around the same hot-path discipline as
+// internal/telemetry: an ungoverned query (background context, no budget,
+// no admission controller) must cost essentially nothing.  governor.For
+// returns a nil *Ctl for such queries, and every method on *Ctl, *Budget,
+// *Checkpoint, and *Admission is nil-safe, compiling down to a single
+// pointer test on the ungoverned path.  Execution loops consult the
+// governor through a Checkpoint, which amortizes even that pointer test
+// down to once per stride rows.
+//
+// Abort taxonomy — every governed abort surfaces as exactly one of four
+// typed errors, so callers (and the chaos harness) can classify without
+// string matching:
+//
+//	context.Canceled        the caller gave up
+//	context.DeadlineExceeded the deadline passed
+//	ErrBudgetExceeded       the query out-grew its byte budget
+//	ErrShed                 admission control refused the work under overload
+package governor
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+)
+
+// ErrBudgetExceeded is returned (wrapped, with the observed sizes) when a
+// query charges its byte accountant past the configured limit.  Test with
+// errors.Is.
+var ErrBudgetExceeded = errors.New("governor: memory budget exceeded")
+
+// ErrShed is returned when the admission controller refuses work under
+// overload instead of queueing it.  Test with errors.Is.
+var ErrShed = errors.New("governor: shed by admission control")
+
+// DefaultStride is the number of rows a Checkpoint lets pass between
+// cancellation/budget checks inside long scans and merges.  Large enough
+// that the per-row cost is one decrement-and-branch, small enough that a
+// cancelled query stops within tens of microseconds.
+const DefaultStride = 32768
+
+// Budget is a per-query byte accountant.  Execution charges it at
+// allocation sites (result buffers, merge scratch, aggregate tables);
+// the first charge that pushes usage past the limit makes every
+// subsequent Err/Charge call fail with ErrBudgetExceeded.  A nil Budget
+// or a non-positive limit means "unlimited".  Safe for concurrent use by
+// parallel workers of one query.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewBudget returns a budget of limit bytes; limit <= 0 means unlimited.
+func NewBudget(limit int64) *Budget { return &Budget{limit: limit} }
+
+// Charge adds n bytes to the account and returns ErrBudgetExceeded
+// (wrapped with the sizes involved) if the account is now over limit.
+// The charge is NOT rolled back on failure: once a query trips its
+// budget every later check fails too, which is exactly what the abort
+// paths rely on.
+func (b *Budget) Charge(n int64) error {
+	if b == nil || b.limit <= 0 {
+		return nil
+	}
+	if used := b.used.Add(n); used > b.limit {
+		return fmt.Errorf("%w: %d of %d bytes", ErrBudgetExceeded, used, b.limit)
+	}
+	return nil
+}
+
+// Err reports ErrBudgetExceeded if the account has already tripped.
+func (b *Budget) Err() error {
+	if b == nil || b.limit <= 0 {
+		return nil
+	}
+	if used := b.used.Load(); used > b.limit {
+		return fmt.Errorf("%w: %d of %d bytes", ErrBudgetExceeded, used, b.limit)
+	}
+	return nil
+}
+
+// Used returns the bytes charged so far.
+func (b *Budget) Used() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Limit returns the configured limit (0 = unlimited).
+func (b *Budget) Limit() int64 {
+	if b == nil {
+		return 0
+	}
+	return b.limit
+}
+
+type ctxKey int
+
+const (
+	budgetKey ctxKey = iota
+	strideKey
+)
+
+// WithBudget derives a context carrying a fresh byte budget of limit
+// bytes.  Every query executed under the returned context shares the one
+// account, so a multi-statement batch can be bounded as a unit.
+func WithBudget(ctx context.Context, limit int64) context.Context {
+	return context.WithValue(ctx, budgetKey, NewBudget(limit))
+}
+
+// WithStride derives a context overriding the row-stride between
+// in-loop cancellation checks (DefaultStride otherwise).  Used by tests
+// and the chaos harness to make cancellation windows tight.
+func WithStride(ctx context.Context, rows int) context.Context {
+	return context.WithValue(ctx, strideKey, rows)
+}
+
+// ContextBudget returns the budget carried by ctx, or nil.
+func ContextBudget(ctx context.Context) *Budget {
+	if ctx == nil {
+		return nil
+	}
+	b, _ := ctx.Value(budgetKey).(*Budget)
+	return b
+}
+
+// Ctl is the per-query governance handle threaded through execution
+// internals.  It snapshots the context's done channel and budget once at
+// the query surface so inner loops never re-walk the context value
+// chain.  A nil *Ctl is the ungoverned query: every method returns the
+// zero value after a single pointer test.
+type Ctl struct {
+	ctx    context.Context
+	done   <-chan struct{}
+	budget *Budget
+	stride int
+
+	// admitted marks that this query already holds an admission grant, so
+	// a surface nested inside another (a WHERE conjunct probing a sharded
+	// index, a join probing an inner table) never re-acquires — which
+	// would deadlock a MaxConcurrent gate against itself.
+	admitted atomic.Bool
+}
+
+// For builds the governance handle for ctx.  It returns nil — the
+// zero-cost ungoverned path — when ctx carries neither a cancellation
+// signal nor a budget (context.Background(), context.TODO(), nil).
+func For(ctx context.Context) *Ctl {
+	if ctx == nil {
+		return nil
+	}
+	done := ctx.Done()
+	budget := ContextBudget(ctx)
+	if done == nil && budget == nil {
+		return nil
+	}
+	stride := DefaultStride
+	if s, ok := ctx.Value(strideKey).(int); ok && s > 0 {
+		stride = s
+	}
+	return &Ctl{ctx: ctx, done: done, budget: budget, stride: stride}
+}
+
+// Context returns the query's context (context.Background for nil Ctl),
+// for handing to layers that take a context directly.
+func (c *Ctl) Context() context.Context {
+	if c == nil {
+		return context.Background()
+	}
+	return c.ctx
+}
+
+// Budget returns the query's byte budget, or nil.
+func (c *Ctl) Budget() *Budget {
+	if c == nil {
+		return nil
+	}
+	return c.budget
+}
+
+// Stride returns the row-stride for in-loop checks.
+func (c *Ctl) Stride() int {
+	if c == nil {
+		return DefaultStride
+	}
+	return c.stride
+}
+
+// EnterAdmission marks the query as holding an admission grant and
+// reports whether this call took the mark: false means an enclosing
+// surface already admitted the query, and the caller must not acquire
+// again (nil Ctl — an ungoverned query — is never admitted and always
+// returns false).
+func (c *Ctl) EnterAdmission() bool {
+	if c == nil {
+		return false
+	}
+	return c.admitted.CompareAndSwap(false, true)
+}
+
+// ExitAdmission clears the admission mark; pair with a successful
+// EnterAdmission when the grant is released.
+func (c *Ctl) ExitAdmission() {
+	if c != nil {
+		c.admitted.Store(false)
+	}
+}
+
+// Err is the non-blocking governance check: context.Canceled /
+// context.DeadlineExceeded if the query's context is done,
+// ErrBudgetExceeded if the budget has tripped, nil otherwise.
+func (c *Ctl) Err() error {
+	if c == nil {
+		return nil
+	}
+	if c.done != nil {
+		select {
+		case <-c.done:
+			return c.ctx.Err()
+		default:
+		}
+	}
+	return c.budget.Err()
+}
+
+// Charge adds n bytes to the query's budget (no-op without one).
+func (c *Ctl) Charge(n int64) error {
+	if c == nil {
+		return nil
+	}
+	return c.budget.Charge(n)
+}
+
+// Checkpoint amortizes governance checks over a row loop.  Each worker
+// goroutine takes its own Checkpoint (the struct is not safe for
+// concurrent use; the underlying Ctl is).  Tick is called once per row
+// or chunk and performs the real check every stride ticks; Charge
+// accumulates byte deltas and flushes them to the shared budget at the
+// same cadence, so parallel workers don't contend on the budget atomic
+// per row.
+type Checkpoint struct {
+	ctl     *Ctl
+	stride  int
+	left    int
+	pending int64
+}
+
+// Checkpoint returns a fresh per-goroutine checkpoint (nil for nil Ctl).
+func (c *Ctl) Checkpoint() *Checkpoint {
+	if c == nil {
+		return nil
+	}
+	return &Checkpoint{ctl: c, stride: c.stride, left: c.stride}
+}
+
+// Tick counts one row; every stride rows it flushes pending byte
+// charges and runs the full cancellation/budget check.
+func (cp *Checkpoint) Tick() error {
+	if cp == nil {
+		return nil
+	}
+	cp.left--
+	if cp.left > 0 {
+		return nil
+	}
+	return cp.check()
+}
+
+// TickN counts n rows at once (for chunk-at-a-time loops).
+func (cp *Checkpoint) TickN(n int) error {
+	if cp == nil {
+		return nil
+	}
+	cp.left -= n
+	if cp.left > 0 {
+		return nil
+	}
+	return cp.check()
+}
+
+// Charge accumulates n bytes against the query budget, flushed at the
+// next stride boundary (or Flush).
+func (cp *Checkpoint) Charge(n int64) {
+	if cp == nil {
+		return
+	}
+	cp.pending += n
+}
+
+// Flush pushes any pending byte charges to the shared budget and runs a
+// full check immediately.  Call it when a worker finishes its span so
+// accumulated charges are not lost.
+func (cp *Checkpoint) Flush() error {
+	if cp == nil {
+		return nil
+	}
+	return cp.check()
+}
+
+func (cp *Checkpoint) check() error {
+	cp.left = cp.stride
+	if cp.pending != 0 {
+		n := cp.pending
+		cp.pending = 0
+		if err := cp.ctl.Charge(n); err != nil {
+			return err
+		}
+	}
+	return cp.ctl.Err()
+}

@@ -1,0 +1,156 @@
+package governor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestForUngovernedIsNil(t *testing.T) {
+	if For(context.Background()) != nil {
+		t.Fatal("Background context must yield nil Ctl")
+	}
+	if For(context.TODO()) != nil {
+		t.Fatal("TODO context must yield nil Ctl")
+	}
+	if For(nil) != nil {
+		t.Fatal("nil context must yield nil Ctl")
+	}
+	// Values alone (no cancel, no budget) stay ungoverned.
+	ctx := context.WithValue(context.Background(), "k", "v") //nolint:staticcheck // deliberate plain key
+	if For(ctx) != nil {
+		t.Fatal("value-only context must yield nil Ctl")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Ctl
+	if c.Err() != nil || c.Charge(1) != nil || c.Stride() != DefaultStride || c.Budget() != nil {
+		t.Fatal("nil Ctl methods must be zero-valued")
+	}
+	if c.Context() == nil {
+		t.Fatal("nil Ctl context must be Background")
+	}
+	var cp *Checkpoint
+	if cp != c.Checkpoint() {
+		t.Fatal("nil Ctl checkpoint must be nil")
+	}
+	if cp.Tick() != nil || cp.TickN(10) != nil || cp.Flush() != nil {
+		t.Fatal("nil Checkpoint methods must be nil")
+	}
+	cp.Charge(100) // must not panic
+	var b *Budget
+	if b.Charge(1) != nil || b.Err() != nil || b.Used() != 0 || b.Limit() != 0 {
+		t.Fatal("nil Budget methods must be zero-valued")
+	}
+}
+
+func TestBudgetCharge(t *testing.T) {
+	b := NewBudget(100)
+	if err := b.Charge(60); err != nil {
+		t.Fatalf("under-limit charge: %v", err)
+	}
+	if err := b.Charge(41); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-limit charge: got %v, want ErrBudgetExceeded", err)
+	}
+	// Once tripped, stays tripped.
+	if err := b.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("tripped budget Err: got %v", err)
+	}
+	if b.Used() != 101 {
+		t.Fatalf("Used = %d, want 101", b.Used())
+	}
+	if NewBudget(0).Charge(1<<40) != nil {
+		t.Fatal("limit 0 must be unlimited")
+	}
+}
+
+func TestCtlCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := For(ctx)
+	if c == nil {
+		t.Fatal("cancellable context must be governed")
+	}
+	if err := c.Err(); err != nil {
+		t.Fatalf("pre-cancel Err: %v", err)
+	}
+	cancel()
+	if err := c.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("post-cancel Err: got %v", err)
+	}
+}
+
+func TestCtlDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if err := For(ctx).Err(); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline Err: got %v", err)
+	}
+}
+
+func TestBudgetViaContext(t *testing.T) {
+	ctx := WithBudget(context.Background(), 64)
+	c := For(ctx)
+	if c == nil {
+		t.Fatal("budgeted context must be governed")
+	}
+	if ContextBudget(ctx) != c.Budget() {
+		t.Fatal("ContextBudget must return the Ctl's budget")
+	}
+	if err := c.Charge(100); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("over-budget charge: got %v", err)
+	}
+	if err := c.Err(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("Err after trip: got %v", err)
+	}
+}
+
+func TestCheckpointStride(t *testing.T) {
+	ctx, cancel := context.WithCancel(WithStride(context.Background(), 10))
+	c := For(ctx)
+	if c.Stride() != 10 {
+		t.Fatalf("Stride = %d, want 10", c.Stride())
+	}
+	cp := c.Checkpoint()
+	cancel()
+	// The first stride-1 ticks pass without checking; the stride-th must
+	// observe the cancellation.
+	for i := 0; i < 9; i++ {
+		if err := cp.Tick(); err != nil {
+			t.Fatalf("tick %d checked early: %v", i, err)
+		}
+	}
+	if err := cp.Tick(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("stride tick: got %v, want Canceled", err)
+	}
+}
+
+func TestCheckpointChargeFlush(t *testing.T) {
+	ctx := WithBudget(WithStride(context.Background(), 1000), 50)
+	c := For(ctx)
+	cp := c.Checkpoint()
+	cp.Charge(40)
+	cp.Charge(40)
+	// Pending charges flush at the stride boundary or explicit Flush.
+	if c.Budget().Used() != 0 {
+		t.Fatal("charges must stay pending until flush")
+	}
+	if err := cp.Flush(); !errors.Is(err, ErrBudgetExceeded) {
+		t.Fatalf("flush over budget: got %v", err)
+	}
+	if c.Budget().Used() != 80 {
+		t.Fatalf("Used = %d, want 80", c.Budget().Used())
+	}
+}
+
+func TestNoteAbortClassification(t *testing.T) {
+	// NoteAbort must not panic on any input; counter values are covered by
+	// the chaos harness reconciliation, which runs with telemetry enabled.
+	NoteAbort(nil)
+	NoteAbort(context.Canceled)
+	NoteAbort(context.DeadlineExceeded)
+	NoteAbort(ErrBudgetExceeded)
+	NoteAbort(ErrShed)
+	NoteAbort(errors.New("unrelated"))
+}

@@ -1,0 +1,53 @@
+package governor
+
+import (
+	"context"
+	"errors"
+
+	"cssidx/internal/telemetry"
+)
+
+// The governor_* series.  Counters follow the telemetry package's gating
+// (one atomic load when collection is off); the gauges are live so a
+// /metrics scrape sees queue depth and bytes in flight even with hot-path
+// collection disabled.
+var (
+	ctrCancels      = telemetry.C("governor_cancels_total")
+	ctrTimeouts     = telemetry.C("governor_timeouts_total")
+	ctrBudgetAborts = telemetry.C("governor_budget_aborts_total")
+	ctrSheds        = telemetry.C("governor_sheds_total")
+	ctrAdmitted     = telemetry.C("governor_admitted_total")
+	ctrQueuedTotal  = telemetry.C("governor_queued_total")
+
+	gaugeQueueDepth    = telemetry.G("governor_queue_depth")
+	gaugeBytesInFlight = telemetry.G("governor_bytes_in_flight")
+	gaugeRunning       = telemetry.G("governor_running")
+)
+
+// NoteAbort classifies a governed abort into the governor_* counters.
+// Query surfaces call it exactly once per failed query so the counters
+// reconcile 1:1 with observed outcomes.  Sheds are counted inside the
+// admission controller (where the decision is made), so ErrShed is
+// deliberately not re-counted here; unknown errors count nothing.
+func NoteAbort(err error) {
+	switch {
+	case err == nil:
+	case errors.Is(err, context.Canceled):
+		ctrCancels.Inc()
+	case errors.Is(err, context.DeadlineExceeded):
+		ctrTimeouts.Inc()
+	case errors.Is(err, ErrBudgetExceeded):
+		ctrBudgetAborts.Inc()
+	}
+}
+
+// IsAbort reports whether err is one of the governor's typed aborts —
+// cancellation, deadline, budget, or shed — as opposed to a real
+// execution failure.  Callers use it to decide between "the governor
+// stopped this on purpose" handling and ordinary error reporting.
+func IsAbort(err error) bool {
+	return errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded) ||
+		errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, ErrShed)
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 	"time"
 
+	"cssidx/internal/governor"
 	"cssidx/internal/qcache"
 )
 
@@ -250,6 +251,7 @@ type DB struct {
 	tables map[string]*Table
 	order  []string
 	cache  *qcache.Cache
+	gov    *governor.Admission
 }
 
 // NewDB creates a database whose tables share one result cache built from
@@ -268,6 +270,7 @@ func (db *DB) CreateTable(name string) (*Table, error) {
 	}
 	t := NewTable(name)
 	t.AttachCache(db.cache)
+	t.AttachGovernor(db.gov)
 	db.tables[name] = t
 	db.order = append(db.order, name)
 	return t, nil

@@ -1,6 +1,7 @@
 package mmdb
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"sync"
 
 	"cssidx/internal/failfs"
+	"cssidx/internal/governor"
 	"cssidx/internal/qcache"
 	"cssidx/internal/wal"
 )
@@ -113,10 +115,34 @@ func OpenDurable(fsys failfs.FS, dir, name string, pol wal.Policy) (*DurableTabl
 // nor applied.  On an empty table the batch defines the schema (columns
 // in sorted-name order), standing in for AddColumn.
 func (d *DurableTable) AppendRows(newCols map[string][]uint32) error {
+	return d.appendRows(nil, newCols)
+}
+
+// AppendRowsCtx is AppendRows honoring ctx's cancellation and deadline.
+// The context is checked up to the moment before the batch hits the log;
+// once logged, the batch is applied unconditionally — a record the WAL
+// acknowledged must be visible in the table, or recovery and the live
+// image would diverge.  So a cancelled durable append either never
+// touched the log or is fully durable and applied; it never leaks a
+// logged-but-unapplied record.
+func (d *DurableTable) AppendRowsCtx(ctx context.Context, newCols map[string][]uint32) error {
+	err := d.appendRows(governor.For(ctx), newCols)
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return err
+}
+
+func (d *DurableTable) appendRows(ctl *governor.Ctl, newCols map[string][]uint32) error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	names, err := d.validateBatch(newCols)
 	if err != nil {
+		return err
+	}
+	// Last cancellation point: past here the record is on the log and
+	// the apply must follow.
+	if err := ctl.Err(); err != nil {
 		return err
 	}
 	seq, err := d.log.Append(encodeBatch(names, newCols))

@@ -1,0 +1,95 @@
+package mmdb
+
+// Query governance: every public query surface has a *Ctx variant that
+// threads a context.Context (cancellation, deadline, per-query byte
+// budget via governor.WithBudget) through planning and execution, and a
+// Table can attach a governor.Admission controller that gates cache-miss
+// compute work under overload.
+//
+// The plumbing rules, which every new surface must follow:
+//
+//  1. The public *Ctx wrapper builds the handle once (governor.For) and
+//     checks it before touching any shared state, so an already-dead
+//     context costs nothing and serves nothing.
+//  2. Admission is acquired at the execute stage, after the cache
+//     missed: cache hits are served even under overload (the shed
+//     policy's "serve cached lookups last"), and the grant is released
+//     when the compute finishes or aborts.  Nested surfaces never
+//     re-acquire (governor.Ctl.EnterAdmission).
+//  3. Budgets are charged where result memory is allocated — scan
+//     buffers, merge copies, aggregate tables, join pair buffers —
+//     through a per-goroutine governor.Checkpoint so parallel workers
+//     do not contend on the budget atomic per row.
+//  4. Abort paths return BEFORE the cache admit stage, so a cancelled
+//     query can never insert a poisoned qcache entry; and they never
+//     interrupt a mutation mid-publish, so epochs and delta runs are
+//     never torn.  Every abort surfaces as one of the four typed errors
+//     and is counted once (governor.NoteAbort) at the public surface.
+//
+// An ungoverned call (background context, or the legacy non-Ctx
+// surfaces) resolves to a nil handle and pays a pointer test per
+// checkpoint — the "one atomic load when disabled" contract, pinned by
+// the governor bench experiment.
+
+import (
+	"cssidx/internal/governor"
+)
+
+// AttachGovernor attaches an admission controller to the table; nil
+// detaches.  Like AttachCache, attachment is not synchronized with
+// in-flight queries — attach before the table starts serving.
+func (t *Table) AttachGovernor(a *governor.Admission) { t.gov.Store(a) }
+
+// EnableGovernor builds and attaches an admission controller.
+func (t *Table) EnableGovernor(opts governor.Options) *governor.Admission {
+	a := governor.NewAdmission(opts)
+	t.gov.Store(a)
+	return a
+}
+
+// Governor returns the attached admission controller, or nil.
+func (t *Table) Governor() *governor.Admission { return t.gov.Load() }
+
+// admit gates one governed query's compute stage through the attached
+// admission controller.  Ungoverned queries (nil ctl), tables without a
+// controller, and nested surfaces of an already-admitted query pass for
+// free.  The returned release is always safe to call.
+func (t *Table) admit(ctl *governor.Ctl, class governor.Class, estBytes int64) (release func(), err error) {
+	release = func() {}
+	if ctl == nil {
+		return release, nil
+	}
+	a := t.gov.Load()
+	if a == nil || !ctl.EnterAdmission() {
+		return release, nil
+	}
+	g, err := a.Acquire(ctl.Context(), class, estBytes)
+	if err != nil {
+		ctl.ExitAdmission()
+		return release, err
+	}
+	return func() {
+		g.Release()
+		ctl.ExitAdmission()
+	}, nil
+}
+
+// AttachGovernor attaches one admission controller to every table in the
+// DB — current and future — so the whole database shares one concurrency
+// gate and bytes-in-flight watermark, the way CreateTable shares the
+// result cache.
+func (db *DB) AttachGovernor(a *governor.Admission) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.gov = a
+	for _, t := range db.tables {
+		t.AttachGovernor(a)
+	}
+}
+
+// Governor returns the DB-wide admission controller, or nil.
+func (db *DB) Governor() *governor.Admission {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gov
+}

@@ -1,0 +1,455 @@
+package mmdb
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"cssidx"
+	"cssidx/internal/failfs"
+	"cssidx/internal/governor"
+	"cssidx/internal/wal"
+)
+
+// governedCtx returns a cancellable context that engages the governor
+// (done channel non-nil) with a tight stride so cancellation windows are
+// one row wide.
+func governedCtx() (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(context.Background())
+	return governor.WithStride(ctx, 1), cancel
+}
+
+// TestCtxSurfacesMatchLegacy proves the governed execution path is the
+// same algorithm: every *Ctx surface under a live (never-aborting)
+// governed context returns bit-identical results to its legacy twin.
+func TestCtxSurfacesMatchLegacy(t *testing.T) {
+	cached, plain, _ := cachePair(t, 3000, 71)
+	ctx, cancel := governedCtx()
+	defer cancel()
+
+	want, wantPlan, err := plain.SelectRange("a", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gotPlan, err := cached.SelectRangeCtx(ctx, "a", 0, 1<<30, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPlan != wantPlan {
+		t.Fatalf("range plan: %+v vs %+v", gotPlan, wantPlan)
+	}
+	mustEqualU32(t, "SelectRangeCtx", got, want)
+
+	cVals, _ := plain.Column("c")
+	list := cVals.Domain().Values()
+	wantIn, _, err := plain.SelectIn("c", list)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotIn, _, err := cached.SelectInCtx(ctx, "c", list, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, "SelectInCtx", gotIn, wantIn)
+
+	preds := []RangePred{{Col: "a", Lo: 0, Hi: 1 << 30}, {Col: "b", Lo: 1 << 27, Hi: 1 << 31}}
+	wantW, _, err := plain.SelectWhere(preds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotW, _, err := cached.SelectWhereCtx(ctx, preds, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, "SelectWhereCtx", gotW, wantW)
+
+	wantAgg, err := GroupAggregate(plain, "c", "a", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotAgg, err := GroupAggregateCtx(ctx, cached, "c", "a", nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotAgg) != len(wantAgg) {
+		t.Fatalf("agg groups: %d vs %d", len(gotAgg), len(wantAgg))
+	}
+	for i := range wantAgg {
+		if gotAgg[i] != wantAgg[i] {
+			t.Fatalf("agg row %d: %+v vs %+v", i, gotAgg[i], wantAgg[i])
+		}
+	}
+
+	shC, _ := cached.ShardedIndex("b")
+	shP, _ := plain.ShardedIndex("b")
+	wantSh, err := shP.SelectRange(1<<27, 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSh, err := shC.SelectRangeCtx(ctx, 1<<27, 1<<31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustEqualU32(t, "sharded SelectRangeCtx", gotSh, wantSh)
+}
+
+// TestPreCancelledTypedErrors proves an already-dead context aborts every
+// surface with the precise typed error before touching the cache.
+func TestPreCancelledTypedErrors(t *testing.T) {
+	cached, _, _ := cachePair(t, 1000, 72)
+	before := cached.CacheStats()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	expired, cancel2 := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel2()
+
+	for name, ctx := range map[string]context.Context{
+		"cancelled": dead, "deadline": expired,
+	} {
+		wantErr := context.Canceled
+		if name == "deadline" {
+			wantErr = context.DeadlineExceeded
+		}
+		if _, _, err := cached.SelectRangeCtx(ctx, "a", 0, math.MaxUint32, nil); !errors.Is(err, wantErr) {
+			t.Fatalf("%s SelectRangeCtx: err = %v, want %v", name, err, wantErr)
+		}
+		if _, _, err := cached.SelectInCtx(ctx, "c", []uint32{1, 2}, nil); !errors.Is(err, wantErr) {
+			t.Fatalf("%s SelectInCtx: err = %v, want %v", name, err, wantErr)
+		}
+		if _, _, err := cached.SelectWhereCtx(ctx, []RangePred{{Col: "a", Lo: 0, Hi: 9}}, nil); !errors.Is(err, wantErr) {
+			t.Fatalf("%s SelectWhereCtx: err = %v, want %v", name, err, wantErr)
+		}
+		if _, err := GroupAggregateCtx(ctx, cached, "c", "a", nil, nil); !errors.Is(err, wantErr) {
+			t.Fatalf("%s GroupAggregateCtx: err = %v, want %v", name, err, wantErr)
+		}
+		if err := cached.AppendRowsCtx(ctx, map[string][]uint32{"a": {1}, "b": {1}, "c": {1}}); !errors.Is(err, wantErr) {
+			t.Fatalf("%s AppendRowsCtx: err = %v, want %v", name, err, wantErr)
+		}
+		sh, _ := cached.ShardedIndex("b")
+		if _, err := sh.SelectRangeCtx(ctx, 0, 9); !errors.Is(err, wantErr) {
+			t.Fatalf("%s sharded SelectRangeCtx: err = %v, want %v", name, err, wantErr)
+		}
+	}
+	if after := cached.CacheStats(); after.Inserts != before.Inserts {
+		t.Fatalf("pre-cancelled queries inserted cache entries: %+v -> %+v", before, after)
+	}
+	if rows := cached.Rows(); rows != 1000 {
+		t.Fatalf("cancelled append changed row count: %d", rows)
+	}
+}
+
+// TestBudgetAbortThenCleanRefill proves the no-poisoned-entry invariant
+// for budget aborts: a query killed mid-fill by ErrBudgetExceeded leaves
+// either no cache entry or a valid one, and the identical query re-run
+// without governance returns the exact oracle result.
+func TestBudgetAbortThenCleanRefill(t *testing.T) {
+	cached, plain, _ := cachePair(t, 4000, 73)
+
+	type q struct {
+		name string
+		run  func(ctx context.Context) error
+		ver  func() error
+	}
+	verRange := func() error {
+		want, _, _ := plain.SelectRange("a", 0, math.MaxUint32)
+		got, _, err := cached.SelectRange("a", 0, math.MaxUint32)
+		if err != nil {
+			return err
+		}
+		mustEqualU32(t, "refill SelectRange", got, want)
+		return nil
+	}
+	cVals, _ := plain.Column("c")
+	list := cVals.Domain().Values()
+	verIn := func() error {
+		want, _, _ := plain.SelectIn("c", list)
+		got, _, err := cached.SelectIn("c", list)
+		if err != nil {
+			return err
+		}
+		mustEqualU32(t, "refill SelectIn", got, want)
+		return nil
+	}
+	preds := []RangePred{{Col: "a", Lo: 0, Hi: math.MaxUint32}, {Col: "b", Lo: 0, Hi: math.MaxUint32}}
+	verWhere := func() error {
+		want, _, _ := plain.SelectWhere(preds)
+		got, _, err := cached.SelectWhere(preds)
+		if err != nil {
+			return err
+		}
+		mustEqualU32(t, "refill SelectWhere", got, want)
+		return nil
+	}
+	verAgg := func() error {
+		want, _ := GroupAggregate(plain, "c", "a", nil)
+		got, err := GroupAggregate(cached, "c", "a", nil)
+		if err != nil {
+			return err
+		}
+		if len(got) != len(want) {
+			t.Fatalf("refill agg groups: %d vs %d", len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("refill agg row %d: %+v vs %+v", i, got[i], want[i])
+			}
+		}
+		return nil
+	}
+	queries := []q{
+		{"range", func(ctx context.Context) error {
+			_, _, err := cached.SelectRangeCtx(ctx, "a", 0, math.MaxUint32, nil)
+			return err
+		}, verRange},
+		{"in", func(ctx context.Context) error {
+			_, _, err := cached.SelectInCtx(ctx, "c", list, nil)
+			return err
+		}, verIn},
+		{"where", func(ctx context.Context) error {
+			_, _, err := cached.SelectWhereCtx(ctx, preds, nil)
+			return err
+		}, verWhere},
+		{"agg", func(ctx context.Context) error {
+			_, err := GroupAggregateCtx(ctx, cached, "c", "a", nil, nil)
+			return err
+		}, verAgg},
+	}
+	for _, qu := range queries {
+		ctx := governor.WithStride(governor.WithBudget(context.Background(), 64), 1)
+		if err := qu.run(ctx); !errors.Is(err, governor.ErrBudgetExceeded) {
+			t.Fatalf("%s under 64-byte budget: err = %v, want ErrBudgetExceeded", qu.name, err)
+		}
+		// The same query ungoverned must now compute (or serve a valid
+		// partial-entry-free cache state) to the exact oracle result.
+		if err := qu.ver(); err != nil {
+			t.Fatalf("%s refill after budget abort: %v", qu.name, err)
+		}
+	}
+}
+
+// TestCancelMidFillCacheRace storms a cached table with governed queries
+// cancelled at arbitrary points while identical ungoverned queries run
+// concurrently and verify against a fixed oracle.  Run with -race: proves
+// cancellation mid-cache-fill never publishes a torn entry and never
+// corrupts a concurrent identical query.
+func TestCancelMidFillCacheRace(t *testing.T) {
+	cached, plain, _ := cachePair(t, 6000, 74)
+	want, _, err := plain.SelectRange("a", 0, math.MaxUint32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cVals, _ := plain.Column("c")
+	list := cVals.Domain().Values()
+	wantIn, _, err := plain.SelectIn("c", list)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const rounds = 60
+	var wg sync.WaitGroup
+	// Storm goroutines: governed queries cancelled mid-flight.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				ctx, cancel := context.WithCancel(context.Background())
+				ctx = governor.WithStride(ctx, 16)
+				go func() { cancel() }() // races the query body
+				var err error
+				if (g+i)%2 == 0 {
+					_, _, err = cached.SelectRangeCtx(ctx, "a", 0, math.MaxUint32, nil)
+				} else {
+					_, _, err = cached.SelectInCtx(ctx, "c", list, nil)
+				}
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Errorf("storm goroutine %d: unexpected error %v", g, err)
+				}
+				cancel()
+			}
+		}(g)
+	}
+	// Verifier goroutines: identical ungoverned queries must always be
+	// bit-identical to the oracle — whether they hit a cache entry a
+	// governed twin published or compute fresh.
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				got, _, err := cached.SelectRange("a", 0, math.MaxUint32)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(got) != len(want) {
+					t.Errorf("verifier: range len %d, want %d", len(got), len(want))
+					return
+				}
+				for j := range want {
+					if got[j] != want[j] {
+						t.Errorf("verifier: range [%d] = %d, want %d", j, got[j], want[j])
+						return
+					}
+				}
+				gotIn, _, err := cached.SelectIn("c", list)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if len(gotIn) != len(wantIn) {
+					t.Errorf("verifier: in len %d, want %d", len(gotIn), len(wantIn))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestAdmissionShedAndCacheHitUnderOverload proves the graceful-degradation
+// ordering: with the engine saturated, a cache-missing aggregate is shed
+// (ClassAggregate, shed first) while a query whose answer is already cached
+// is still served (cache hits never enter admission).
+func TestAdmissionShedAndCacheHitUnderOverload(t *testing.T) {
+	cached, _, _ := cachePair(t, 2000, 75)
+	gov := cached.EnableGovernor(governor.Options{MaxConcurrent: 1, MaxQueue: 0})
+
+	// Warm the range entry ungoverned.
+	want, _, err := cached.SelectRange("a", 0, 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Saturate the gate.
+	grant, err := gov.Acquire(context.Background(), governor.ClassSelect, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := governedCtx()
+	defer cancel()
+
+	// Cache-missing aggregate: shed immediately.
+	if _, aerr := GroupAggregateCtx(ctx, cached, "c", "a", nil, nil); !errors.Is(aerr, governor.ErrShed) {
+		grant.Release()
+		t.Fatalf("aggregate under overload: err = %v, want ErrShed", aerr)
+	}
+	// Cached range: served despite overload.
+	got, _, err := cached.SelectRangeCtx(ctx, "a", 0, 1<<30, nil)
+	if err != nil {
+		grant.Release()
+		t.Fatalf("cached range under overload: %v", err)
+	}
+	mustEqualU32(t, "cached range under overload", got, want)
+
+	grant.Release()
+	// Gate free again: the aggregate now runs.
+	if _, err := GroupAggregateCtx(ctx, cached, "c", "a", nil, nil); err != nil {
+		t.Fatalf("aggregate after release: %v", err)
+	}
+	if s := gov.Stats(); s.Running != 0 || s.Queued != 0 || s.BytesInFlight != 0 {
+		t.Fatalf("grants leaked: %+v", s)
+	}
+}
+
+// TestAppendRowsCtxAtomicity proves a cancelled governed append leaves the
+// table untouched, and on the durable path never leaves a logged batch
+// unapplied: the WAL and the live image stay in lockstep.
+func TestAppendRowsCtxAtomicity(t *testing.T) {
+	tab := NewTable("t")
+	if err := tab.AddColumn("k", []uint32{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tab.AppendRowsCtx(dead, map[string][]uint32{"k": {4}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled append: err = %v", err)
+	}
+	if tab.Rows() != 3 {
+		t.Fatalf("cancelled append mutated table: %d rows", tab.Rows())
+	}
+	live, cancel2 := governedCtx()
+	defer cancel2()
+	if err := tab.AppendRowsCtx(live, map[string][]uint32{"k": {4}}); err != nil {
+		t.Fatal(err)
+	}
+	if tab.Rows() != 4 {
+		t.Fatalf("live append: %d rows, want 4", tab.Rows())
+	}
+
+	// Durable: a cancelled append must not reach the log.
+	fsys := failfs.NewMem(99)
+	d, err := OpenDurable(fsys, "db", "t", wal.Always())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendRows(map[string][]uint32{"k": {10, 20}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AppendRowsCtx(dead, map[string][]uint32{"k": {30}}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled durable append: err = %v", err)
+	}
+	if err := d.AppendRowsCtx(live, map[string][]uint32{"k": {40}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Recovery replays exactly the appends that returned nil.
+	r, err := OpenDurable(fsys, "db", "t", wal.Always())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Rows() != 3 {
+		t.Fatalf("recovered %d rows, want 3 (cancelled batch must be absent)", r.Rows())
+	}
+	col, _ := r.Column("k")
+	recovered := make([]uint32, col.Len())
+	for i := range recovered {
+		recovered[i] = col.Value(i)
+	}
+	mustEqualU32(t, "recovered column", recovered, []uint32{10, 20, 40})
+}
+
+// TestJoinWithCtxGoverned checks the governed join: identical pair stream
+// when live, typed abort when cancelled, budget abort on pair buffers.
+func TestJoinWithCtxGoverned(t *testing.T) {
+	inner, outer := buildJoinTables(t, 76, 4000, 3000)
+	ix, err := inner.BuildIndex("k", cssidx.KindLevelCSS, cssidx.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantN, want := collectJoin(t, outer, "k", ix, JoinOptions{})
+
+	ctx, cancel := governedCtx()
+	defer cancel()
+	var got joinPairs
+	gotN, err := JoinWithCtx(ctx, outer, "k", ix, JoinOptions{}, func(o, i uint32) {
+		got.outer = append(got.outer, o)
+		got.inner = append(got.inner, i)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotN != wantN {
+		t.Fatalf("governed join: %d pairs, want %d", gotN, wantN)
+	}
+	mustEqualU32(t, "join outer RIDs", got.outer, want.outer)
+	mustEqualU32(t, "join inner RIDs", got.inner, want.inner)
+
+	dead, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, err := JoinWithCtx(dead, outer, "k", ix, JoinOptions{}, nil, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled join: err = %v", err)
+	}
+	tiny := governor.WithStride(governor.WithBudget(context.Background(), 32), 1)
+	if _, err := JoinWithCtx(tiny, outer, "k", ix, JoinOptions{}, nil, nil); !errors.Is(err, governor.ErrBudgetExceeded) {
+		t.Fatalf("budgeted join: err = %v, want ErrBudgetExceeded", err)
+	}
+}

@@ -14,6 +14,7 @@
 package mmdb
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -22,6 +23,7 @@ import (
 
 	"cssidx"
 	"cssidx/internal/domain"
+	"cssidx/internal/governor"
 	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
@@ -67,6 +69,9 @@ type Table struct {
 	// cache is the attached result cache (nil = caching off); behind an
 	// atomic pointer so concurrent sharded readers see attachment safely.
 	cache atomic.Pointer[qcache.Cache]
+	// gov is the attached admission controller (nil = admission off);
+	// same atomic-pointer discipline as cache (govern.go).
+	gov atomic.Pointer[governor.Admission]
 }
 
 // Column is one domain-encoded attribute.
@@ -255,6 +260,87 @@ func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
 	return deltaEqualAppend(ix.readRuns(), value, out)
 }
 
+// SelectEqualCtx is SelectEqual under governance: the context's
+// cancellation/deadline/budget are observed, and on an attached admission
+// controller the probe enters as ClassPoint — the class served last by the
+// shed policy, with extra queue headroom under overload.
+func (ix *SortedIndex) SelectEqualCtx(ctx context.Context, value uint32) ([]uint32, error) {
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	if ix.owner != nil {
+		release, err := ix.owner.admit(ctl, governor.ClassPoint, 0)
+		if err != nil {
+			governor.NoteAbort(err)
+			return nil, err
+		}
+		defer release()
+	}
+	out := ix.SelectEqual(value)
+	if err := ctl.Charge(4 * int64(len(out))); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	return out, nil
+}
+
+// SelectInCtx is SelectIn under governance; see SelectEqualCtx.  The list
+// probes under ClassSelect with cancellation observed at chunk boundaries.
+func (ix *SortedIndex) SelectInCtx(ctx context.Context, values []uint32) ([]uint32, error) {
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	var release = func() {}
+	if ix.owner != nil {
+		var err error
+		release, err = ix.owner.admit(ctl, governor.ClassSelect, 4*int64(len(values)))
+		if err != nil {
+			governor.NoteAbort(err)
+			return nil, err
+		}
+	}
+	defer release()
+	out, err := ix.selectInCtl(ctl, values)
+	if err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	return out, nil
+}
+
+// SelectRangeCtx is SelectRange under governance; the merged result is
+// charged against the context's budget after materialisation.
+func (ix *SortedIndex) SelectRangeCtx(ctx context.Context, lo, hi uint32) ([]uint32, error) {
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	var release = func() {}
+	if ix.owner != nil {
+		var err error
+		release, err = ix.owner.admit(ctl, governor.ClassSelect, 0)
+		if err != nil {
+			governor.NoteAbort(err)
+			return nil, err
+		}
+	}
+	defer release()
+	out, err := ix.SelectRange(lo, hi)
+	if err == nil {
+		err = ctl.Charge(4 * int64(len(out)))
+	}
+	if err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	return out, nil
+}
+
 // SelectIn returns the RIDs of rows whose column equals any value in the
 // IN-list, driving the index through the batched probe surface (one lockstep
 // domain translation + one batched equal-range probe per chunk of
@@ -262,18 +348,26 @@ func (ix *SortedIndex) SelectEqual(value uint32) []uint32 {
 // parallel worker pool.  Duplicate list values contribute their rows once;
 // RIDs come back grouped by list order, ascending within a value.
 func (ix *SortedIndex) SelectIn(values []uint32) []uint32 {
+	out, _ := ix.selectInCtl(nil, values)
+	return out
+}
+
+// selectInCtl is SelectIn under governance: the ctl's cancellation,
+// deadline and budget are observed at chunk boundaries inside the probe
+// loops (nil ctl = the legacy ungoverned path, bit-identical output).
+func (ix *SortedIndex) selectInCtl(ctl *governor.Ctl, values []uint32) ([]uint32, error) {
 	distinct := dedupeValues(values)
 	if len(ix.runs) == 0 {
-		return selectInRIDs(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, parallel.Options{})
+		return selectInRIDs(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, parallel.Options{}, ctl)
 	}
-	return selectInMerged(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns())
+	return selectInMerged(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns(), ctl.Checkpoint())
 }
 
 // selectInGrouped answers the pre-deduplicated IN-list single-threaded with
 // per-value group offsets, the admission shape the result cache's
 // subset/superset reuse needs.  Output rows are identical to SelectIn's.
-func (ix *SortedIndex) selectInGrouped(distinct []uint32) (out, goff []uint32) {
-	return selectInGrouped(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns(), true)
+func (ix *SortedIndex) selectInGrouped(distinct []uint32, cp *governor.Checkpoint) (out, goff []uint32, err error) {
+	return selectInGrouped(ix.col.dom, ix.rids, distinct, ix.equalRangeBatchIDs, ix.readRuns(), true, cp)
 }
 
 // selectInRIDs is the shared IN-list driver: deduped values are translated
@@ -281,25 +375,45 @@ func (ix *SortedIndex) selectInGrouped(distinct []uint32) (out, goff []uint32) {
 // present value.  Lists large enough for the worker options are split into
 // contiguous spans probed concurrently — probe is required to be safe for
 // concurrent use — and the per-span results concatenate in span order, so
-// the output is identical at every worker count.
-func selectInRIDs(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), par parallel.Options) []uint32 {
+// the output is identical at every worker count.  A governed call (non-nil
+// ctl) observes cancellation and the byte budget at chunk boundaries, each
+// worker through its own Checkpoint.
+func selectInRIDs(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), par parallel.Options, ctl *governor.Ctl) ([]uint32, error) {
 	w := par.WorkersFor(len(values))
-	if w <= 1 {
+	span := func(vals []uint32, cp *governor.Checkpoint) ([]uint32, error) {
 		var out []uint32
-		forEachEqualRange(dom, values, probe, func(first, last int32) {
+		err := forEachEqualRange(dom, vals, probe, cp, func(first, last int32) {
 			out = append(out, rids[first:last]...)
+			cp.Charge(4 * int64(last-first))
 		})
-		return out
+		if err == nil {
+			err = cp.Flush()
+		}
+		return out, err
+	}
+	if w <= 1 {
+		return span(values, ctl.Checkpoint())
 	}
 	outs := make([][]uint32, w)
-	parallel.Do(w, len(values), par, func(t int) {
+	errs := make([]error, w)
+	body := func(t int) {
 		lo, hi := parallel.Span(len(values), w, t)
-		var out []uint32
-		forEachEqualRange(dom, values[lo:hi], probe, func(first, last int32) {
-			out = append(out, rids[first:last]...)
-		})
-		outs[t] = out
-	})
+		outs[t], errs[t] = span(values[lo:hi], ctl.Checkpoint())
+	}
+	var err error
+	if ctl == nil {
+		parallel.Do(w, len(values), par, body)
+	} else {
+		err = parallel.DoCtx(ctl.Context(), w, len(values), par, body)
+	}
+	for _, e := range errs {
+		if err == nil && e != nil {
+			err = e
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
 	total := 0
 	for _, o := range outs {
 		total += len(o)
@@ -308,7 +422,7 @@ func selectInRIDs(dom *domain.IntDomain, rids []uint32, values []uint32, probe f
 	for _, o := range outs {
 		out = append(out, o...)
 	}
-	return out
+	return out, nil
 }
 
 // dedupeValues keeps the first occurrence of each value, preserving order.
@@ -532,9 +646,9 @@ func probeEqualCore(dom *domain.IntDomain, values []uint32, s *probeScratch, equ
 // domain translation and one batched equal-range for the base, then per
 // listed value the base RIDs followed by the runs' — the same value-grouped,
 // ascending-RID output selectInRIDs produces against a rebuilt index.
-func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun) []uint32 {
-	out, _ := selectInGrouped(dom, rids, values, probe, runs, false)
-	return out
+func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun, cp *governor.Checkpoint) ([]uint32, error) {
+	out, _, err := selectInGrouped(dom, rids, values, probe, runs, false, cp)
+	return out, err
 }
 
 // selectInGrouped is selectInMerged with group offsets: when wantGroups is
@@ -542,13 +656,14 @@ func selectInMerged(dom *domain.IntDomain, rids []uint32, values []uint32, probe
 // len(values)+1 entries), which is what the cache's subset/superset reuse
 // and per-group append patching need.  runs may be empty — the driver then
 // degenerates to the pure-base batched probe with identical output to
-// selectInRIDs at any worker count.
-func selectInGrouped(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun, wantGroups bool) (out, goff []uint32) {
+// selectInRIDs at any worker count.  cp (nil = ungoverned) is consulted
+// once per chunk and charged for the gathered rows.
+func selectInGrouped(dom *domain.IntDomain, rids []uint32, values []uint32, probe func(ids []uint32, first, last []int32), runs []idxRun, wantGroups bool, cp *governor.Checkpoint) (out, goff []uint32, err error) {
 	if len(values) == 0 {
 		if wantGroups {
 			goff = []uint32{0}
 		}
-		return nil, goff
+		return nil, goff, nil
 	}
 	if wantGroups {
 		goff = make([]uint32, 0, len(values)+1)
@@ -566,6 +681,7 @@ func selectInGrouped(dom *domain.IntDomain, rids []uint32, values []uint32, prob
 		if end > len(values) {
 			end = len(values)
 		}
+		prevRows := len(out)
 		chunk := values[base:end]
 		dom.IDsBatch(chunk, ids[:len(chunk)])
 		probes = probes[:0]
@@ -590,11 +706,15 @@ func selectInGrouped(dom *domain.IntDomain, rids []uint32, values []uint32, prob
 			}
 			out = deltaEqualAppend(runs, v, out)
 		}
+		cp.Charge(4 * int64(len(out)-prevRows))
+		if err := cp.TickN(len(chunk)); err != nil {
+			return nil, nil, err
+		}
 	}
 	if wantGroups {
 		goff = append(goff, uint32(len(out)))
 	}
-	return out, goff
+	return out, goff, cp.Flush()
 }
 
 // equalRangeBatchIDs answers the equal range of every domain-ID probe:
@@ -624,10 +744,12 @@ func (ix *SortedIndex) equalRangeBatchIDs(probes []uint32, first, last []int32) 
 // are translated to domain IDs in chunks of cssidx.DefaultBatchSize with one
 // lockstep descent each, absent values are compacted away, present IDs are
 // answered by one batched equal-range probe, and emit is called per value
-// with its half-open position range.
-func forEachEqualRange(dom *domain.IntDomain, values []uint32, probe func(ids []uint32, first, last []int32), emit func(first, last int32)) {
+// with its half-open position range.  cp (nil = ungoverned) is consulted
+// once per chunk; on abort the error surfaces mid-stream and emitted values
+// so far stand.
+func forEachEqualRange(dom *domain.IntDomain, values []uint32, probe func(ids []uint32, first, last []int32), cp *governor.Checkpoint, emit func(first, last int32)) error {
 	if len(values) == 0 {
-		return
+		return nil
 	}
 	batch := cssidx.DefaultBatchSize
 	if batch > len(values) {
@@ -643,6 +765,9 @@ func forEachEqualRange(dom *domain.IntDomain, values []uint32, probe func(ids []
 			end = len(values)
 		}
 		chunk := values[base:end]
+		if err := cp.TickN(len(chunk)); err != nil {
+			return err
+		}
 		dom.IDsBatch(chunk, ids[:len(chunk)])
 		probes = probes[:0]
 		for _, id := range ids[:len(chunk)] {
@@ -658,6 +783,7 @@ func forEachEqualRange(dom *domain.IntDomain, values []uint32, probe func(ids []
 			emit(first[j], last[j])
 		}
 	}
+	return nil
 }
 
 // --- joins -------------------------------------------------------------------
@@ -763,7 +889,7 @@ func JoinBatch(outer *Table, outerCol string, inner JoinIndex, batchSize int, em
 // disable the cache when streaming emission matters more than reuse.
 func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32)) (int, error) {
 	start := telemetry.Now()
-	n, err := joinWith(outer, outerCol, inner, opts, emit, nil)
+	n, err := joinWith(nil, outer, outerCol, inner, opts, emit, nil)
 	histJoinNs.Since(start)
 	return n, err
 }
@@ -773,13 +899,33 @@ func JoinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 // count.  tr may be nil.
 func JoinWithTraced(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32), tr *telemetry.Trace) (int, error) {
 	start := telemetry.Now()
-	n, err := joinWith(outer, outerCol, inner, opts, emit, tr.Root())
+	n, err := joinWith(nil, outer, outerCol, inner, opts, emit, tr.Root())
 	histJoinNs.Since(start)
 	tr.Finish()
 	return n, err
 }
 
-func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32), sp *telemetry.Span) (int, error) {
+// JoinWithCtx is JoinWith under governance: probe workers observe ctx's
+// cancellation/deadline at chunk boundaries, staged pairs are charged
+// against the context's budget, and on an attached admission controller
+// the join enters as ClassSelect after a cache miss.  A cancelled join
+// never fills the pair cache.  tr may be nil.
+func JoinWithCtx(ctx context.Context, outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32), tr *telemetry.Trace) (int, error) {
+	start := telemetry.Now()
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		return 0, abortEntry(tr, err)
+	}
+	n, err := joinWith(ctl, outer, outerCol, inner, opts, emit, tr.Root())
+	histJoinNs.Since(start)
+	tr.Finish()
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return n, err
+}
+
+func joinWith(ctl *governor.Ctl, outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, emit func(outerRID, innerRID uint32), sp *telemetry.Span) (int, error) {
 	col, ok := outer.cols[outerCol]
 	if !ok {
 		return 0, fmt.Errorf("mmdb: no column %s in table %s", outerCol, outer.name)
@@ -822,6 +968,12 @@ func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 			cacheable = emit != nil
 		}
 	}
+	release, aerr := outer.admit(ctl, governor.ClassSelect, 4*int64(len(col.raw)))
+	if aerr != nil {
+		sp.Attr("aborted", aerr.Error())
+		return 0, aerr
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
 	nRows := len(col.raw)
@@ -829,8 +981,10 @@ func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 	w := par.WorkersFor(nRows)
 	ex.Attr("path", "indexed-nested-loop").AttrInt("outer_rows", nRows).AttrInt("batch", batchSize).AttrInt("workers", w)
 
-	// joinSpan probes rows [lo, hi) in chunks, emitting through spanEmit.
-	joinSpan := func(lo, hi int, spanEmit func(outerRID, innerRID uint32)) int {
+	// joinSpan probes rows [lo, hi) in chunks, emitting through spanEmit;
+	// a governed join pays one checkpoint consult per chunk and charges
+	// the budget 8 bytes per staged pair.
+	joinSpan := func(lo, hi int, cp *governor.Checkpoint, spanEmit func(outerRID, innerRID uint32)) (int, error) {
 		s := newProbeScratch(batchSize)
 		defer scratchPool.Put(s)
 		count := 0
@@ -846,9 +1000,17 @@ func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 					spanEmit(uint32(chunkBase+ordinal), rid)
 				}
 			}
-			count += p.probeEqual(col.raw[base:end], s, chunkEmit)
+			n := p.probeEqual(col.raw[base:end], s, chunkEmit)
+			count += n
+			cp.Charge(8 * int64(n))
+			if err := cp.TickN(end - base); err != nil {
+				return count, err
+			}
 		}
-		return count
+		if err := cp.Flush(); err != nil {
+			return count, err
+		}
+		return count, nil
 	}
 
 	type pair struct{ outer, inner uint32 }
@@ -856,26 +1018,54 @@ func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 	count := 0
 	switch {
 	case w <= 1 && !cacheable:
-		n := joinSpan(0, nRows, emit)
+		n, err := joinSpan(0, nRows, ctl.Checkpoint(), emit)
+		if err != nil {
+			ex.Attr("aborted", err.Error())
+			ex.End()
+			return 0, err
+		}
 		ex.AttrInt("pairs", n)
 		ex.End()
 		return n, nil
 	case w <= 1:
+		var err error
 		bufs = make([][]pair, 1)
-		count = joinSpan(0, nRows, func(o, i uint32) { bufs[0] = append(bufs[0], pair{o, i}) })
+		count, err = joinSpan(0, nRows, ctl.Checkpoint(), func(o, i uint32) { bufs[0] = append(bufs[0], pair{o, i}) })
+		if err != nil {
+			ex.Attr("aborted", err.Error())
+			ex.End()
+			return 0, err
+		}
 	default:
 		counts := make([]int, w)
+		errs := make([]error, w)
 		if emit != nil || cacheable {
 			bufs = make([][]pair, w)
 		}
-		parallel.Do(w, nRows, par, func(t int) {
+		body := func(t int) {
 			lo, hi := parallel.Span(nRows, w, t)
 			var spanEmit func(outerRID, innerRID uint32)
 			if bufs != nil {
 				spanEmit = func(o, i uint32) { bufs[t] = append(bufs[t], pair{o, i}) }
 			}
-			counts[t] = joinSpan(lo, hi, spanEmit)
-		})
+			counts[t], errs[t] = joinSpan(lo, hi, ctl.Checkpoint(), spanEmit)
+		}
+		var err error
+		if ctl == nil {
+			parallel.Do(w, nRows, par, body)
+		} else {
+			err = parallel.DoCtx(ctl.Context(), w, nRows, par, body)
+		}
+		for _, e := range errs {
+			if err == nil && e != nil {
+				err = e
+			}
+		}
+		if err != nil {
+			ex.Attr("aborted", err.Error())
+			ex.End()
+			return 0, err
+		}
 		for _, c := range counts {
 			count += c
 		}
@@ -925,20 +1115,30 @@ func joinWith(outer *Table, outerCol string, inner JoinIndex, opts JoinOptions, 
 // may be relatively cheap to rebuild an index from scratch after a batch
 // of updates."
 func (t *Table) AppendRows(newCols map[string][]uint32) error {
-	if len(t.cols) == 0 {
-		return errors.New("mmdb: table has no columns")
+	return t.appendRows(nil, newCols)
+}
+
+// AppendRowsCtx is AppendRows honoring ctx: cancellation and deadline are
+// checked up to the last point before the mutation starts.  Once the fold
+// or absorb begins it runs to completion — aborting a half-published
+// rebuild would tear index epochs — so a cancelled append either happened
+// entirely or not at all.
+func (t *Table) AppendRowsCtx(ctx context.Context, newCols map[string][]uint32) error {
+	err := t.appendRows(governor.For(ctx), newCols)
+	if err != nil {
+		governor.NoteAbort(err)
 	}
-	var batch int
-	for i, name := range t.order {
-		vals, ok := newCols[name]
-		if !ok {
-			return fmt.Errorf("mmdb: batch missing column %s", name)
-		}
-		if i == 0 {
-			batch = len(vals)
-		} else if len(vals) != batch {
-			return fmt.Errorf("mmdb: batch column %s has %d rows, want %d", name, len(vals), batch)
-		}
+	return err
+}
+
+func (t *Table) appendRows(ctl *governor.Ctl, newCols map[string][]uint32) error {
+	batch, err := t.validateBatch(newCols)
+	if err != nil {
+		return err
+	}
+	// Last cancellation point: past here the batch lands atomically.
+	if err := ctl.Err(); err != nil {
+		return err
 	}
 	if batch == 0 || t.appendPol.shouldFold(t.rows-t.baseRows+batch, t.baseRows) {
 		t.foldRows(newCols, batch)
@@ -946,6 +1146,27 @@ func (t *Table) AppendRows(newCols map[string][]uint32) error {
 		t.absorbRows(newCols, batch)
 	}
 	return nil
+}
+
+// validateBatch checks an AppendRows batch supplies every column with
+// equal-length slices and returns the batch row count.
+func (t *Table) validateBatch(newCols map[string][]uint32) (int, error) {
+	if len(t.cols) == 0 {
+		return 0, errors.New("mmdb: table has no columns")
+	}
+	var batch int
+	for i, name := range t.order {
+		vals, ok := newCols[name]
+		if !ok {
+			return 0, fmt.Errorf("mmdb: batch missing column %s", name)
+		}
+		if i == 0 {
+			batch = len(vals)
+		} else if len(vals) != batch {
+			return 0, fmt.Errorf("mmdb: batch column %s has %d rows, want %d", name, len(vals), batch)
+		}
+	}
+	return batch, nil
 }
 
 // foldRows is the full-rebuild path: encodings, indexes and sharded epochs

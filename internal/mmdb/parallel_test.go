@@ -220,9 +220,9 @@ func TestSelectInParallelMatchesSequential(t *testing.T) {
 	}
 	// And the internal driver at forced worker counts.
 	deduped := dedupeValues(values)
-	seq := selectInRIDs(ix.col.dom, ix.rids, deduped, ix.equalRangeBatchIDs, parallelForce(1))
+	seq, _ := selectInRIDs(ix.col.dom, ix.rids, deduped, ix.equalRangeBatchIDs, parallelForce(1), nil)
 	for _, w := range []int{2, 4, 7} {
-		par := selectInRIDs(ix.col.dom, ix.rids, deduped, ix.equalRangeBatchIDs, parallelForce(w))
+		par, _ := selectInRIDs(ix.col.dom, ix.rids, deduped, ix.equalRangeBatchIDs, parallelForce(w), nil)
 		if len(par) != len(seq) {
 			t.Fatalf("workers=%d: %d rids, want %d", w, len(par), len(seq))
 		}

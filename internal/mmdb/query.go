@@ -1,15 +1,28 @@
 package mmdb
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
+	"cssidx/internal/governor"
 	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
 	"cssidx/internal/telemetry"
 )
+
+// abortEntry finalizes a query that died before execution started (the
+// entry governance check failed): the abort is classified into the
+// governor_* counters and the would-be trace root carries the annotation,
+// so even a zero-work EXPLAIN ANALYZE says why it stopped.
+func abortEntry(tr *telemetry.Trace, err error) error {
+	governor.NoteAbort(err)
+	tr.Root().Attr("aborted", err.Error())
+	tr.Finish()
+	return err
+}
 
 // This file adds the decision-support query layer on top of the storage:
 // grouped aggregation over domain IDs (the classic dictionary-encoded OLAP
@@ -39,7 +52,7 @@ type GroupRow = qcache.AggRow
 // aggregates are retokened when the append cannot touch them.
 func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]GroupRow, error) {
 	start := telemetry.Now()
-	rows, err := groupAggregate(t, groupCol, measureCol, rids, nil)
+	rows, err := groupAggregate(t, groupCol, measureCol, rids, nil, nil)
 	histAggNs.Since(start)
 	return rows, err
 }
@@ -48,13 +61,32 @@ func GroupAggregate(t *Table, groupCol, measureCol string, rids []uint32) ([]Gro
 // trace under tr's root span.  tr may be nil.
 func GroupAggregateTraced(t *Table, groupCol, measureCol string, rids []uint32, tr *telemetry.Trace) ([]GroupRow, error) {
 	start := telemetry.Now()
-	rows, err := groupAggregate(t, groupCol, measureCol, rids, tr.Root())
+	rows, err := groupAggregate(t, groupCol, measureCol, rids, nil, tr.Root())
 	histAggNs.Since(start)
 	tr.Finish()
 	return rows, err
 }
 
-func groupAggregate(t *Table, groupCol, measureCol string, rids []uint32, sp *telemetry.Span) ([]GroupRow, error) {
+// GroupAggregateCtx is GroupAggregate under governance: cancellation,
+// deadline and budget are observed per accumulated row (stride-amortized),
+// and on an attached admission controller a cache-missing aggregate enters
+// as ClassAggregate — the first class shed under overload.  tr may be nil.
+func GroupAggregateCtx(ctx context.Context, t *Table, groupCol, measureCol string, rids []uint32, tr *telemetry.Trace) ([]GroupRow, error) {
+	start := telemetry.Now()
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		return nil, abortEntry(tr, err)
+	}
+	rows, err := groupAggregate(t, groupCol, measureCol, rids, ctl, tr.Root())
+	histAggNs.Since(start)
+	tr.Finish()
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return rows, err
+}
+
+func groupAggregate(t *Table, groupCol, measureCol string, rids []uint32, ctl *governor.Ctl, sp *telemetry.Span) ([]GroupRow, error) {
 	gc, ok := t.cols[groupCol]
 	if !ok {
 		return nil, fmt.Errorf("mmdb: no column %s in table %s", groupCol, t.name)
@@ -83,14 +115,32 @@ func groupAggregate(t *Table, groupCol, measureCol string, rids []uint32, sp *te
 		cs.Attr("outcome", "miss")
 		cs.End()
 	}
+	nGroups := gc.dom.Len()
+	// Aggregates shed first: a cache-missing aggregate is the most
+	// expensive work class, so under overload admission refuses it
+	// outright rather than queueing it.
+	release, aerr := t.admit(ctl, governor.ClassAggregate, 24*int64(nGroups))
+	if aerr != nil {
+		sp.Attr("aborted", aerr.Error())
+		return nil, aerr
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
-	nGroups := gc.dom.Len()
+	// The accumulator arrays are the aggregate's dominant allocation:
+	// charge them up front so an over-budget aggregate dies before the
+	// scan, not after it.
+	if err := ctl.Charge(24 * int64(nGroups)); err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, err
+	}
 	counts := make([]int64, nGroups)
 	sums := make([]uint64, nGroups)
 	mins := make([]uint32, nGroups)
 	maxs := make([]uint32, nGroups)
 	var delta map[uint32]*GroupRow
+	cp := ctl.Checkpoint()
 
 	accumulate := func(row int) {
 		v := mc.raw[row]
@@ -131,12 +181,28 @@ func groupAggregate(t *Table, groupCol, measureCol string, rids []uint32, sp *te
 	}
 	if rids == nil {
 		for row := 0; row < t.rows; row++ {
+			if err := cp.Tick(); err != nil {
+				ex.Attr("aborted", err.Error())
+				ex.End()
+				return nil, err
+			}
 			accumulate(row)
 		}
 	} else {
 		for _, r := range rids {
+			if err := cp.Tick(); err != nil {
+				ex.Attr("aborted", err.Error())
+				ex.End()
+				return nil, err
+			}
 			accumulate(int(r))
 		}
+	}
+	cp.Charge(48 * int64(len(delta)))
+	if err := cp.Flush(); err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, err
 	}
 
 	out := make([]GroupRow, 0, nGroups+len(delta))
@@ -262,7 +328,7 @@ func (t *Table) planRangeIDs(col string, c *Column, loID, hiID uint32) Plan {
 // table generation.
 func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 	start := telemetry.Now()
-	rids, plan, err := t.selectRange(col, lo, hi, nil)
+	rids, plan, err := t.selectRange(nil, col, lo, hi, nil)
 	histRangeNs.Since(start)
 	return rids, plan, err
 }
@@ -272,13 +338,35 @@ func (t *Table) SelectRange(col string, lo, hi uint32) ([]uint32, Plan, error) {
 // touched, delta runs and per-stage timings.  tr may be nil.
 func (t *Table) SelectRangeTraced(col string, lo, hi uint32, tr *telemetry.Trace) ([]uint32, Plan, error) {
 	start := telemetry.Now()
-	rids, plan, err := t.selectRange(col, lo, hi, tr.Root())
+	rids, plan, err := t.selectRange(nil, col, lo, hi, tr.Root())
 	histRangeNs.Since(start)
 	tr.Finish()
 	return rids, plan, err
 }
 
-func (t *Table) selectRange(col string, lo, hi uint32, sp *telemetry.Span) ([]uint32, Plan, error) {
+// SelectRangeCtx is SelectRange under governance: ctx's cancellation,
+// deadline and byte budget (governor.WithBudget) are observed at stride
+// boundaries inside scans and merges, and on an attached admission
+// controller a cache-missing range enters as ClassSelect.  A cancelled
+// query never fills the result cache; with tr attached the partial
+// EXPLAIN ANALYZE tree is annotated where execution stopped.  tr may be
+// nil.
+func (t *Table) SelectRangeCtx(ctx context.Context, col string, lo, hi uint32, tr *telemetry.Trace) ([]uint32, Plan, error) {
+	start := telemetry.Now()
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		return nil, Plan{}, abortEntry(tr, err)
+	}
+	rids, plan, err := t.selectRange(ctl, col, lo, hi, tr.Root())
+	histRangeNs.Since(start)
+	tr.Finish()
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return rids, plan, err
+}
+
+func (t *Table) selectRange(ctl *governor.Ctl, col string, lo, hi uint32, sp *telemetry.Span) ([]uint32, Plan, error) {
 	c, ok := t.cols[col]
 	if !ok {
 		return nil, Plan{}, fmt.Errorf("mmdb: no column %s in table %s", col, t.name)
@@ -295,10 +383,10 @@ func (t *Table) selectRange(col string, lo, hi uint32, sp *telemetry.Span) ([]ui
 	notePlan(plan)
 	if plan.UseIndex {
 		if ix, ok := t.indexes[col]; ok {
-			rids, err := t.selectRangeIndexed(ix, col, lo, hi, plan, sp)
+			rids, err := t.selectRangeIndexed(ctl, ix, col, lo, hi, plan, sp)
 			return rids, plan, err
 		}
-		rids, err := t.sharded[col].selectRange(lo, hi, sp) // cached per frozen epoch inside
+		rids, err := t.sharded[col].selectRange(ctl, lo, hi, sp) // cached per frozen epoch inside
 		return rids, plan, err
 	}
 	if loID >= hiID && t.rows == t.baseRows {
@@ -317,9 +405,20 @@ func (t *Table) selectRange(col string, lo, hi uint32, sp *telemetry.Span) ([]ui
 	}
 	cs.Attr("outcome", "miss")
 	cs.End()
+	release, aerr := t.admit(ctl, governor.ClassSelect, 4*int64(plan.EstRows))
+	if aerr != nil {
+		sp.Attr("aborted", aerr.Error())
+		return nil, plan, aerr
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
-	out := scanRange(c, lo, hi)
+	out, err := scanRange(c, lo, hi, ctl.Checkpoint())
+	if err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, plan, err
+	}
 	ex.Attr("path", "scan").AttrInt("rows", len(out))
 	ex.End()
 	// Scan results are in row order, not value order, so they enter as
@@ -336,7 +435,7 @@ func (t *Table) selectRange(col string, lo, hi uint32, sp *telemetry.Span) ([]ui
 // selectRangeIndexed answers a raw closed range through the sorted index —
 // base segment merged with the delta runs — consulting and filling the
 // token-stamped cache.
-func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, plan Plan, sp *telemetry.Span) ([]uint32, error) {
+func (t *Table) selectRangeIndexed(ctl *governor.Ctl, ix *SortedIndex, col string, lo, hi uint32, plan Plan, sp *telemetry.Span) ([]uint32, error) {
 	qc, tok := t.Cache(), t.token()
 	key := rangeFP(t.name, col, qcache.LayerTable, lo, hi)
 	var cs *telemetry.Span
@@ -350,16 +449,35 @@ func (t *Table) selectRangeIndexed(ix *SortedIndex, col string, lo, hi uint32, p
 	}
 	if rids, ok, err := tryStitchRange(qc, key, tok, plan.EstRows, t.rows, ix.rangeDirect, cs); ok || err != nil {
 		cs.End()
+		// The stitched entry is valid data; only the caller's budget can
+		// still refuse the materialised copy.
+		if err == nil {
+			err = ctl.Charge(4 * int64(len(rids)))
+			if err != nil {
+				rids = nil
+			}
+		}
 		return rids, err
 	}
 	cs.Attr("outcome", "miss")
 	cs.End()
+	release, aerr := t.admit(ctl, governor.ClassSelect, 4*int64(plan.EstRows))
+	if aerr != nil {
+		sp.Attr("aborted", aerr.Error())
+		return nil, aerr
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
 	// The merged raw key run rides along so any subrange of this result
 	// can be answered by slicing it (containment reuse).
 	out, keys, err := ix.rangeMerged(lo, hi, qc.Enabled())
+	if err == nil {
+		err = ctl.Charge(4 * int64(len(out)))
+	}
 	if err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
 		return nil, err
 	}
 	ex.Attr("path", "sorted-index").AttrInt("delta_runs", len(ix.runs)).AttrInt("rows", len(out))
@@ -428,15 +546,21 @@ func tryStitchRange(qc *qcache.Cache, key qcache.Key, tok qcache.Token, estRows,
 }
 
 // scanRange is the sequential-scan access path: stream the raw column and
-// collect matching row numbers, in row order.
-func scanRange(c *Column, lo, hi uint32) []uint32 {
+// collect matching row numbers, in row order.  cp (nil = ungoverned) is
+// consulted per row at the amortized stride and charged 4 bytes per
+// collected RID.
+func scanRange(c *Column, lo, hi uint32, cp *governor.Checkpoint) ([]uint32, error) {
 	var out []uint32
 	for row, v := range c.raw {
+		if err := cp.Tick(); err != nil {
+			return nil, err
+		}
 		if v >= lo && v <= hi {
 			out = append(out, uint32(row))
+			cp.Charge(4)
 		}
 	}
-	return out
+	return out, cp.Flush()
 }
 
 // PlanIn chooses between the column's index and a sequential scan for the
@@ -494,7 +618,7 @@ func (t *Table) PlanIn(col string, values []uint32) (Plan, error) {
 // the missing values (inFillWorthwhile) before splicing them in.
 func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 	start := telemetry.Now()
-	rids, plan, err := t.selectIn(col, values, nil)
+	rids, plan, err := t.selectIn(nil, col, values, nil)
 	histInNs.Since(start)
 	return rids, plan, err
 }
@@ -503,13 +627,30 @@ func (t *Table) SelectIn(col string, values []uint32) ([]uint32, Plan, error) {
 // root span.  tr may be nil.
 func (t *Table) SelectInTraced(col string, values []uint32, tr *telemetry.Trace) ([]uint32, Plan, error) {
 	start := telemetry.Now()
-	rids, plan, err := t.selectIn(col, values, tr.Root())
+	rids, plan, err := t.selectIn(nil, col, values, tr.Root())
 	histInNs.Since(start)
 	tr.Finish()
 	return rids, plan, err
 }
 
-func (t *Table) selectIn(col string, values []uint32, sp *telemetry.Span) ([]uint32, Plan, error) {
+// SelectInCtx is SelectIn under governance; see SelectRangeCtx for the
+// contract.  tr may be nil.
+func (t *Table) SelectInCtx(ctx context.Context, col string, values []uint32, tr *telemetry.Trace) ([]uint32, Plan, error) {
+	start := telemetry.Now()
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		return nil, Plan{}, abortEntry(tr, err)
+	}
+	rids, plan, err := t.selectIn(ctl, col, values, tr.Root())
+	histInNs.Since(start)
+	tr.Finish()
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return rids, plan, err
+}
+
+func (t *Table) selectIn(ctl *governor.Ctl, col string, values []uint32, sp *telemetry.Span) ([]uint32, Plan, error) {
 	plan, err := t.PlanIn(col, values)
 	if err != nil {
 		return nil, Plan{}, err
@@ -521,7 +662,8 @@ func (t *Table) selectIn(col string, values []uint32, sp *telemetry.Span) ([]uin
 	notePlan(plan)
 	if plan.UseIndex {
 		if _, ok := t.indexes[col]; !ok {
-			return t.sharded[col].selectIn(values, sp), plan, nil
+			rids, err := t.sharded[col].selectIn(ctl, values, sp)
+			return rids, plan, err
 		}
 	}
 	qc, tok := t.Cache(), t.token()
@@ -568,18 +710,25 @@ func (t *Table) selectIn(col string, values []uint32, sp *telemetry.Span) ([]uin
 		cs.Attr("outcome", "miss")
 		cs.End()
 	}
+	release, aerr := t.admit(ctl, governor.ClassSelect, 4*int64(plan.EstRows))
+	if aerr != nil {
+		sp.Attr("aborted", aerr.Error())
+		return nil, plan, aerr
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
 	var out, goff []uint32
+	err = nil
 	switch {
 	case plan.UseIndex && qc.Enabled() && (parallel.Options{}).WorkersFor(len(distinct)) <= 1:
 		// Lists small enough to stay single-threaded compute with group
 		// offsets, the admission shape subset/superset reuse needs; larger
 		// lists keep the parallel driver and enter ungrouped.
-		out, goff = t.indexes[col].selectInGrouped(distinct)
+		out, goff, err = t.indexes[col].selectInGrouped(distinct, ctl.Checkpoint())
 		ex.Attr("path", "index-grouped").AttrInt("workers", 1)
 	case plan.UseIndex:
-		out = t.indexes[col].SelectIn(values)
+		out, err = t.indexes[col].selectInCtl(ctl, values)
 		if ex != nil { // attr args must not run on the untraced path
 			ex.Attr("path", "index-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(values)))
 		}
@@ -589,12 +738,25 @@ func (t *Table) selectIn(col string, values []uint32, sp *telemetry.Span) ([]uin
 			want[v] = struct{}{}
 		}
 		c := t.cols[col]
+		cp := ctl.Checkpoint()
 		for row, v := range c.raw {
+			if err = cp.Tick(); err != nil {
+				break
+			}
 			if _, hit := want[v]; hit {
 				out = append(out, uint32(row))
+				cp.Charge(4)
 			}
 		}
+		if err == nil {
+			err = cp.Flush()
+		}
 		ex.Attr("path", "scan")
+	}
+	if err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, plan, err
 	}
 	ex.AttrInt("rows", len(out))
 	ex.End()
@@ -651,7 +813,7 @@ type RangePred struct {
 // dashboard's range covers the other's.
 func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 	start := telemetry.Now()
-	rids, plans, err := t.selectWhere(preds, nil)
+	rids, plans, err := t.selectWhere(nil, preds, nil)
 	histWhereNs.Since(start)
 	return rids, plans, err
 }
@@ -660,13 +822,31 @@ func (t *Table) SelectWhere(preds []RangePred) ([]uint32, []Plan, error) {
 // under tr's root span, with one child span per conjunct.  tr may be nil.
 func (t *Table) SelectWhereTraced(preds []RangePred, tr *telemetry.Trace) ([]uint32, []Plan, error) {
 	start := telemetry.Now()
-	rids, plans, err := t.selectWhere(preds, tr.Root())
+	rids, plans, err := t.selectWhere(nil, preds, tr.Root())
 	histWhereNs.Since(start)
 	tr.Finish()
 	return rids, plans, err
 }
 
-func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []Plan, error) {
+// SelectWhereCtx is SelectWhere under governance; see SelectRangeCtx for
+// the contract.  Admission is acquired once for the whole conjunction —
+// conjuncts probing sharded indexes ride the same grant.  tr may be nil.
+func (t *Table) SelectWhereCtx(ctx context.Context, preds []RangePred, tr *telemetry.Trace) ([]uint32, []Plan, error) {
+	start := telemetry.Now()
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		return nil, nil, abortEntry(tr, err)
+	}
+	rids, plans, err := t.selectWhere(ctl, preds, tr.Root())
+	histWhereNs.Since(start)
+	tr.Finish()
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return rids, plans, err
+}
+
+func (t *Table) selectWhere(ctl *governor.Ctl, preds []RangePred, sp *telemetry.Span) ([]uint32, []Plan, error) {
 	if len(preds) == 0 {
 		return nil, nil, fmt.Errorf("mmdb: SelectWhere needs at least one predicate")
 	}
@@ -700,6 +880,18 @@ func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []
 		cs.Attr("outcome", "miss")
 		cs.End()
 	}
+	estBytes := int64(0)
+	for i := range plans {
+		estBytes += 4 * int64(plans[i].EstRows)
+	}
+	// One grant covers the whole conjunction: conjuncts probing sharded
+	// indexes below find the query already admitted and pass for free.
+	release, aerr := t.admit(ctl, governor.ClassSelect, estBytes)
+	if aerr != nil {
+		sp.Attr("aborted", aerr.Error())
+		return nil, nil, aerr
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
 
@@ -708,14 +900,25 @@ func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []
 	// each index answers all its boundary probes in one lockstep batch.
 	// A conjunct with delta rows to consider never short-circuits on an
 	// empty frozen ID range — the appended tail may hold matching values
-	// the dictionary has never seen.
+	// the dictionary has never seen.  Per-conjunct results that complete
+	// before an abort are valid data and stay cached; the conjunction
+	// entry itself is only inserted on full completion.
 	sets := make([][]uint32, len(preds))
 	byIndex := map[*SortedIndex][]int{}
 	conjSpans := make([]*telemetry.Span, len(preds))
+	abortConj := func(cj *telemetry.Span, err error) ([]uint32, []Plan, error) {
+		cj.Attr("aborted", err.Error()).End()
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, nil, err
+	}
 	for i, p := range preds {
 		cj := ex.Child("conjunct")
 		cj.Attr("col", p.Col).AttrInt("lo", int(p.Lo)).AttrInt("hi", int(p.Hi))
 		conjSpans[i] = cj
+		if err := ctl.Err(); err != nil {
+			return abortConj(cj, err)
+		}
 		if p.Lo > p.Hi || (loIDs[i] >= hiIDs[i] && t.rows == t.baseRows) {
 			cj.Attr("path", "empty").End()
 			continue // empty conjunct: the intersection is empty
@@ -742,23 +945,30 @@ func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []
 					continue // span ends after the batched resolution below
 				}
 				rids, keys, err := ix.rangeMerged(p.Lo, p.Hi, qc.Enabled())
+				if err == nil {
+					err = ctl.Charge(4 * int64(len(rids)))
+				}
 				if err != nil {
-					return nil, nil, err
+					return abortConj(cj, err)
 				}
 				sets[i] = rids
 				cj.Attr("path", "sorted-index").AttrInt("delta_runs", len(ix.runs)).AttrInt("rows", len(rids)).End()
 				qc.InsertRange(ckey, tok, keys, rids, estRecomputeNs(plans[i], t.rows))
 				continue
 			}
-			rids, err := t.sharded[p.Col].selectRange(p.Lo, p.Hi, cj)
+			rids, err := t.sharded[p.Col].selectRange(ctl, p.Lo, p.Hi, cj)
 			if err != nil {
-				return nil, nil, err
+				return abortConj(cj, err)
 			}
 			sets[i] = rids
 			cj.AttrInt("rows", len(rids)).End()
 			continue
 		}
-		sets[i] = scanRange(t.cols[p.Col], p.Lo, p.Hi)
+		rids, err := scanRange(t.cols[p.Col], p.Lo, p.Hi, ctl.Checkpoint())
+		if err != nil {
+			return abortConj(cj, err)
+		}
+		sets[i] = rids
 		cj.Attr("path", "scan").AttrInt("rows", len(sets[i])).End()
 		qc.InsertRange(ckey, tok, nil, sets[i], estRecomputeNs(plans[i], t.rows))
 	}
@@ -771,6 +981,9 @@ func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []
 		ix.bord.LowerBoundBatch(probes, out)
 		for j, i := range list {
 			first, last := out[2*j], out[2*j+1]
+			if err := ctl.Charge(4 * int64(last-first)); err != nil {
+				return abortConj(conjSpans[i], err)
+			}
 			rids := make([]uint32, last-first)
 			copy(rids, ix.rids[first:last])
 			sets[i] = rids
@@ -796,6 +1009,12 @@ func (t *Table) selectWhere(preds []RangePred, sp *telemetry.Span) ([]uint32, []
 	is := ex.Child("intersect")
 	var acc []uint32
 	for step, oi := range order {
+		if err := ctl.Err(); err != nil {
+			is.Attr("aborted", err.Error()).End()
+			ex.Attr("aborted", err.Error())
+			ex.End()
+			return nil, nil, err
+		}
 		rids := sets[oi]
 		sortu32.Sort(rids)
 		if step == 0 {

@@ -9,12 +9,14 @@ package mmdb
 // table level, on top of the per-shard epoch-swaps inside the index).
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 	"time"
 
 	"cssidx"
 	"cssidx/internal/domain"
+	"cssidx/internal/governor"
 	"cssidx/internal/parallel"
 	"cssidx/internal/qcache"
 	"cssidx/internal/sortu32"
@@ -163,6 +165,34 @@ func (ix *ShardedIndex) SelectEqual(value uint32) []uint32 {
 	return ix.cur.Load().selectEqual(value)
 }
 
+// SelectEqualCtx is SelectEqual under governance: the probe enters the
+// owning table's admission controller as ClassPoint — the class with the
+// most queue headroom, served last by the shed policy — and the result is
+// charged against ctx's byte budget.
+func (ix *ShardedIndex) SelectEqualCtx(ctx context.Context, value uint32) ([]uint32, error) {
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	var release = func() {}
+	if ix.tbl != nil {
+		var err error
+		release, err = ix.tbl.admit(ctl, governor.ClassPoint, 0)
+		if err != nil {
+			governor.NoteAbort(err)
+			return nil, err
+		}
+	}
+	defer release()
+	out := ix.SelectEqual(value)
+	if err := ctl.Charge(4 * int64(len(out))); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	return out, nil
+}
+
 // selectEqual answers one equality probe against this frozen epoch.  Reuse
 // fills go through here rather than ShardedIndex.SelectEqual so they probe
 // the entry's own epoch, not whatever the index pointer has moved on to.
@@ -192,12 +222,29 @@ func (ix *ShardedIndex) qc() *qcache.Cache {
 // contribute their rows once; RIDs come back grouped by list order,
 // ascending within a value.  Results are cached per frozen epoch.
 func (ix *ShardedIndex) SelectIn(values []uint32) []uint32 {
-	return ix.selectIn(values, nil)
+	out, _ := ix.selectIn(nil, values, nil)
+	return out
 }
 
-// selectIn is SelectIn threading a trace span recording the epoch-layer
-// cache outcome and execution shape.
-func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
+// SelectInCtx is SelectIn under governance; the list probes enter the
+// owning table's admission controller as ClassSelect after a cache miss.
+func (ix *ShardedIndex) SelectInCtx(ctx context.Context, values []uint32) ([]uint32, error) {
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	out, err := ix.selectIn(ctl, values, nil)
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return out, err
+}
+
+// selectIn is SelectIn threading the governance handle (nil = ungoverned)
+// and a trace span recording the epoch-layer cache outcome and execution
+// shape.
+func (ix *ShardedIndex) selectIn(ctl *governor.Ctl, values []uint32, sp *telemetry.Span) ([]uint32, error) {
 	s := ix.cur.Load()
 	distinct := dedupeValues(values)
 	qc, tok := ix.qc(), qcache.Token{Epoch: s.uid}
@@ -209,7 +256,7 @@ func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 		if rids, ok := qc.Lookup(key, tok); ok {
 			cs.Attr("outcome", "hit").AttrInt("rows", len(rids))
 			cs.End()
-			return rids
+			return rids, nil
 		}
 		if len(distinct) > 0 {
 			if r, ok := qc.LookupInReuse(key, tok, distinct); ok {
@@ -219,7 +266,7 @@ func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 					out, _ := assembleInGroups(distinct, r.Groups, nil)
 					cs.Attr("outcome", "subset-replay").AttrInt("rows", len(out))
 					cs.End()
-					return out
+					return out, nil
 				}
 				if inFillWorthwhile(len(r.Missing), len(distinct)) {
 					// Missing values probe the SAME frozen epoch the cached
@@ -235,7 +282,7 @@ func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 					qc.NoteInFill(key, len(r.Missing))
 					qc.InsertIn(key, tok, distinct, goff, out,
 						estRecomputeNs(Plan{UseIndex: true, EstRows: len(out)}, 0))
-					return out
+					return out, nil
 				}
 			}
 		}
@@ -243,25 +290,41 @@ func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 		cs.End()
 		grouped = len(distinct) > 0 && (parallel.Options{}).WorkersFor(len(distinct)) <= 1
 	}
+	var release = func() {}
+	if ix.tbl != nil {
+		var aerr error
+		release, aerr = ix.tbl.admit(ctl, governor.ClassSelect, 4*int64(len(distinct)))
+		if aerr != nil {
+			sp.Attr("aborted", aerr.Error())
+			return nil, aerr
+		}
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
 	v := s.idx.Snapshot()
 	var out, goff []uint32
+	var err error
 	switch {
 	case grouped:
 		// Small lists stay single-threaded and record group offsets, the
 		// admission shape subset/superset reuse needs; output rows are
 		// identical to the ungrouped drivers.
-		out, goff = selectInGrouped(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns(), true)
+		out, goff, err = selectInGrouped(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns(), true, ctl.Checkpoint())
 		ex.Attr("path", "sharded-grouped").AttrInt("workers", 1)
 	case len(s.runs) == 0:
-		out = selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{})
+		out, err = selectInRIDs(s.dom, s.rids, distinct, v.EqualRangeBatch, parallel.Options{}, ctl)
 		if ex != nil { // attr args must not run on the untraced path
 			ex.Attr("path", "sharded-batch").AttrInt("workers", (parallel.Options{}).WorkersFor(len(distinct)))
 		}
 	default:
-		out = selectInMerged(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns())
+		out, err = selectInMerged(s.dom, s.rids, distinct, v.EqualRangeBatch, s.readRuns(), ctl.Checkpoint())
 		ex.Attr("path", "sharded-delta-merged").AttrInt("delta_runs", len(s.runs))
+	}
+	if err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, err
 	}
 	if sp != nil {
 		ex.AttrInt("shards_touched", s.idx.ShardCount()).AttrInt("rows", len(out))
@@ -274,7 +337,7 @@ func (ix *ShardedIndex) selectIn(values []uint32, sp *telemetry.Span) []uint32 {
 	qc.InsertIn(key, tok, distinct, goff, out,
 		recomputeCost(time.Since(start), Plan{UseIndex: true, EstRows: len(out)}, 0))
 	ad.End()
-	return out
+	return out, nil
 }
 
 // joinFreeze captures the prober state for a whole join: the current
@@ -323,13 +386,30 @@ func (p *shardedJoinProber) probeEqual(values []uint32, s *probeScratch, emit fu
 // closed bounds, with containment reuse: a cached wider range on this
 // column (same epoch) answers the query by slicing its sorted run.
 func (ix *ShardedIndex) SelectRange(lo, hi uint32) ([]uint32, error) {
-	return ix.selectRange(lo, hi, nil)
+	return ix.selectRange(nil, lo, hi, nil)
 }
 
-// selectRange is SelectRange threading a trace span: it records the
-// epoch-layer cache outcome and, on a compute, the shards the normalized
-// ID range touches and the delta runs merged in.
-func (ix *ShardedIndex) selectRange(lo, hi uint32, sp *telemetry.Span) ([]uint32, error) {
+// SelectRangeCtx is SelectRange under governance; a cache-missing range
+// enters the owning table's admission controller as ClassSelect and the
+// merged result is charged against ctx's byte budget.
+func (ix *ShardedIndex) SelectRangeCtx(ctx context.Context, lo, hi uint32) ([]uint32, error) {
+	ctl := governor.For(ctx)
+	if err := ctl.Err(); err != nil {
+		governor.NoteAbort(err)
+		return nil, err
+	}
+	out, err := ix.selectRange(ctl, lo, hi, nil)
+	if err != nil {
+		governor.NoteAbort(err)
+	}
+	return out, err
+}
+
+// selectRange is SelectRange threading the governance handle (nil =
+// ungoverned) and a trace span: it records the epoch-layer cache outcome
+// and, on a compute, the shards the normalized ID range touches and the
+// delta runs merged in.
+func (ix *ShardedIndex) selectRange(ctl *governor.Ctl, lo, hi uint32, sp *telemetry.Span) ([]uint32, error) {
 	if lo > hi {
 		return nil, nil
 	}
@@ -357,9 +437,24 @@ func (ix *ShardedIndex) selectRange(lo, hi uint32, sp *telemetry.Span) ([]uint32
 		cs.Attr("outcome", "miss")
 		cs.End()
 	}
+	var release = func() {}
+	if ix.tbl != nil {
+		var aerr error
+		release, aerr = ix.tbl.admit(ctl, governor.ClassSelect, 4*int64(s.estRangeRows(loID, hiID)))
+		if aerr != nil {
+			sp.Attr("aborted", aerr.Error())
+			return nil, aerr
+		}
+	}
+	defer release()
 	ex := sp.Child("execute")
 	start := time.Now()
 	out, keys := s.rangeMerged(lo, hi, qc.Enabled())
+	if err := ctl.Charge(4 * int64(len(out))); err != nil {
+		ex.Attr("aborted", err.Error())
+		ex.End()
+		return nil, err
+	}
 	if sp != nil {
 		ex.Attr("path", "sharded").
 			AttrInt("shards_touched", shardsTouched(s.idx.Bounds(), loID, hiID)).

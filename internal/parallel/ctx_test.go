@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCtxCompletesWithLiveContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sum atomic.Int64
+	if err := RunCtx(ctx, 100_000, Options{Workers: 4, MinBatchPerWorker: 1}, func(lo, hi int) {
+		sum.Add(int64(hi - lo))
+	}); err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if sum.Load() != 100_000 {
+		t.Fatalf("covered %d rows, want 100000", sum.Load())
+	}
+}
+
+func TestRunCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunCtx(ctx, 1000, Options{}, func(lo, hi int) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if ran {
+		t.Fatal("body ran under a pre-cancelled context")
+	}
+}
+
+// TestRunCtxStopsMidSpan cancels from inside the body and verifies workers
+// stop at the next checkpoint instead of finishing their partitions.
+func TestRunCtxStopsMidSpan(t *testing.T) {
+	const n = 1 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rows atomic.Int64
+	err := RunCtx(ctx, n, Options{Workers: 4, MinBatchPerWorker: 1, CheckpointStride: 1024}, func(lo, hi int) {
+		rows.Add(int64(hi - lo))
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// Each of the 4 workers runs its first chunk (1024 rows) before it can
+	// observe the flag; everything beyond a couple of chunks per worker
+	// means checkpoints are not being honored.
+	if got := rows.Load(); got > 4*2*1024 {
+		t.Fatalf("processed %d rows after cancel, want <= %d", got, 4*2*1024)
+	}
+}
+
+func TestRunCtxSequentialHonorsCancel(t *testing.T) {
+	const n = 1 << 20
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var rows int64
+	err := RunCtx(ctx, n, Options{Workers: 1, CheckpointStride: 4096}, func(lo, hi int) {
+		rows += int64(hi - lo)
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if rows != 4096 {
+		t.Fatalf("sequential path processed %d rows, want one 4096 chunk", rows)
+	}
+}
+
+func TestRunCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	err := RunCtx(ctx, 1000, Options{}, func(lo, hi int) {})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+}
+
+// TestRunCtxPanicCancelsSiblings verifies governance-aware panic isolation:
+// one worker's panic trips the shared flag, so siblings stop at their next
+// checkpoint instead of running their partitions to completion.
+func TestRunCtxPanicCancelsSiblings(t *testing.T) {
+	const n = 1 << 22
+	var rows atomic.Int64
+	var panicked atomic.Bool
+	defer func() {
+		v := recover()
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %v, want *WorkerPanic", v)
+		}
+		if wp.Value != "boom" {
+			t.Fatalf("panic value = %v, want boom", wp.Value)
+		}
+		// Siblings must have stopped near their first checkpoints: well
+		// under the full n rows.
+		if got := rows.Load(); got > n/4 {
+			t.Fatalf("siblings processed %d of %d rows after panic", got, n)
+		}
+	}()
+	RunCtx(context.Background(), n, Options{Workers: 4, MinBatchPerWorker: 1, CheckpointStride: 512}, func(lo, hi int) {
+		if panicked.CompareAndSwap(false, true) {
+			panic("boom")
+		}
+		rows.Add(int64(hi - lo))
+	})
+	t.Fatal("RunCtx returned instead of re-panicking")
+}
+
+// TestRunPanicStillDrains pins the legacy contract: without a context,
+// panic isolation still re-panics a single WorkerPanic after join.
+func TestRunPanicStillDrains(t *testing.T) {
+	defer func() {
+		if _, ok := recover().(*WorkerPanic); !ok {
+			t.Fatal("want *WorkerPanic")
+		}
+	}()
+	Run(1<<20, Options{Workers: 4, MinBatchPerWorker: 1}, func(lo, hi int) {
+		panic("legacy")
+	})
+}
+
+func TestDoCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := DoCtx(ctx, 100, 1<<20, Options{}, func(task int) {
+		t.Error("task ran under a pre-cancelled context")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+}
+
+func TestDoCtxStopsHandingOutTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var tasks atomic.Int64
+	err := DoCtx(ctx, 1000, 1<<22, Options{Workers: 4, MinBatchPerWorker: 1}, func(task int) {
+		tasks.Add(1)
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	// Each worker may have been mid-draw when the flag flipped: a handful
+	// of tasks is fine, hundreds is not.
+	if got := tasks.Load(); got > 16 {
+		t.Fatalf("ran %d tasks after cancel", got)
+	}
+}
+
+func TestDoCtxSequentialHonorsCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var tasks int
+	err := DoCtx(ctx, 1000, 10, Options{}, func(task int) {
+		tasks++
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if tasks != 1 {
+		t.Fatalf("sequential path ran %d tasks, want 1", tasks)
+	}
+}
+
+func TestDoCtxCompletes(t *testing.T) {
+	var tasks atomic.Int64
+	if err := DoCtx(context.Background(), 257, 1<<20, Options{Workers: 4, MinBatchPerWorker: 1}, func(task int) {
+		tasks.Add(1)
+	}); err != nil {
+		t.Fatalf("DoCtx: %v", err)
+	}
+	if tasks.Load() != 257 {
+		t.Fatalf("ran %d tasks, want 257", tasks.Load())
+	}
+}

@@ -15,6 +15,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -89,6 +90,12 @@ func (p *panicTrap) rethrow() {
 // batches run on the calling goroutine.
 const DefaultMinPerWorker = 2048
 
+// DefaultCheckpointStride is the number of work items a worker processes
+// between looks at the batch's shared cancel flag.  One atomic load per
+// this many rows is invisible in the profile, yet bounds how far a worker
+// can run past a cancellation, a sibling's panic, or an expired deadline.
+const DefaultCheckpointStride = 65536
+
 // Options tunes the engine.  The zero value is the recommended default:
 // GOMAXPROCS workers with the small-batch sequential fallback.
 type Options struct {
@@ -107,6 +114,10 @@ type Options struct {
 	// per-probe cost is a property of the structure being probed (hot-cache
 	// probes need bigger spans than DRAM-missing ones).
 	Tuner *Tuner
+	// CheckpointStride is the number of rows a Run/RunCtx worker processes
+	// between looks at the shared cancel flag (sibling panic, context
+	// done); 0 means DefaultCheckpointStride.
+	CheckpointStride int
 }
 
 // --- adaptive worker sizing --------------------------------------------------
@@ -283,10 +294,45 @@ func Span(n, w, t int) (lo, hi int) {
 // remainder out under the derived value.  Every later Run resolves the
 // cached value with no measurement.
 //
-// A panic in any worker is recovered, the other workers finish their
-// spans, and Run re-panics once on the caller with a *WorkerPanic
-// holding the first panic's value and original stack.
+// A panic in any worker is recovered, the other workers stop at their
+// next checkpoint (see Options.CheckpointStride), and Run re-panics once
+// on the caller with a *WorkerPanic holding the first panic's value and
+// original stack.
 func Run(n int, opts Options, body func(lo, hi int)) {
+	runCtx(nil, nil, n, opts, body)
+}
+
+// RunCtx is Run bound to a context: workers consult a shared cancel flag
+// (context done, or a sibling's panic) at their partition boundary and
+// every CheckpointStride rows within it, so a cancelled or expired batch
+// stops within one stride per worker instead of running the partition to
+// completion.  The spans already processed are complete and in order;
+// spans past the cancellation point may be untouched — callers treat a
+// non-nil return (context.Canceled or context.DeadlineExceeded) as an
+// abort and discard partial output.  A worker panic still wins over
+// cancellation and re-panics as *WorkerPanic.
+func RunCtx(ctx context.Context, n int, opts Options, body func(lo, hi int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return runCtx(ctx, ctx.Done(), n, opts, body)
+}
+
+func runCtx(ctx context.Context, done <-chan struct{}, n int, opts Options, body func(lo, hi int)) error {
+	ctxErr := func() error {
+		if done == nil {
+			return nil
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
+	if err := ctxErr(); err != nil {
+		return err
+	}
 	opts, calibrate := opts.Resolved()
 	lo := 0
 	if calibrate && n >= 2*calibSpan {
@@ -297,13 +343,50 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 	}
 	total := n - lo
 	w := opts.WorkersFor(total)
-	if w == 1 {
-		if total > 0 {
-			body(lo, n)
-		}
-		return
+	stride := opts.CheckpointStride
+	if stride <= 0 {
+		stride = DefaultCheckpointStride
 	}
 	var trap panicTrap
+	// halted is the shared cancel flag every worker consults at chunk
+	// boundaries: a sibling's panic or the context ending stops the batch.
+	halted := func() bool {
+		if trap.tripped.Load() {
+			return true
+		}
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
+			}
+		}
+		return false
+	}
+	// runSpan walks one worker's span in checkpoint-stride chunks.  The
+	// first chunk always runs (an admitted worker makes progress), later
+	// chunks are skipped once the batch is halted.
+	runSpan := func(slo, shi int) {
+		for c := slo; c < shi; {
+			if c > slo && halted() {
+				return
+			}
+			e := c + stride
+			if e > shi {
+				e = shi
+			}
+			body(c, e)
+			c = e
+		}
+	}
+	if w == 1 {
+		if total > 0 {
+			// Sequential path: body runs on the calling goroutine and a
+			// panic propagates unwrapped, stack intact, as before.
+			runSpan(lo, n)
+		}
+		return ctxErr()
+	}
 	var wg sync.WaitGroup
 	wg.Add(w - 1)
 	spawn := telemetry.Now()
@@ -313,15 +396,16 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 			defer wg.Done()
 			histWaitNs.Since(spawn)
 			wstart := telemetry.Now()
-			trap.protect(func() { body(lo+slo, lo+shi) })
+			trap.protect(func() { runSpan(lo+slo, lo+shi) })
 			histRunNs.Since(wstart)
 		}()
 	}
 	wstart := telemetry.Now() // bracket worker 0 like the spawned workers
-	trap.protect(func() { body(lo, lo+total/w) })
+	trap.protect(func() { runSpan(lo, lo+total/w) })
 	histRunNs.Since(wstart)
 	wg.Wait()
 	trap.rethrow()
+	return ctxErr()
 }
 
 // Do executes body(task) for every task in [0, tasks), distributing tasks to
@@ -336,8 +420,40 @@ func Run(n int, opts Options, body func(lo, hi int)) {
 // with a *WorkerPanic holding the first panic's value and original
 // stack.
 func Do(tasks int, total int, opts Options, body func(task int)) {
+	doCtx(nil, nil, tasks, total, opts, body)
+}
+
+// DoCtx is Do bound to a context: workers stop drawing tasks once the
+// context is done (the task boundary is the checkpoint — tasks are the
+// irregular-work analogue of RunCtx's strides; a long task should bound
+// itself with a governor.Checkpoint).  Tasks already drawn finish; tasks
+// never drawn are skipped, and DoCtx returns context.Canceled or
+// context.DeadlineExceeded so the caller discards partial output.  A
+// worker panic still wins and re-panics as *WorkerPanic.
+func DoCtx(ctx context.Context, tasks int, total int, opts Options, body func(task int)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return doCtx(ctx, ctx.Done(), tasks, total, opts, body)
+}
+
+func doCtx(ctx context.Context, done <-chan struct{}, tasks int, total int, opts Options, body func(task int)) error {
+	ctxErr := func() error {
+		if done == nil {
+			return nil
+		}
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+			return nil
+		}
+	}
 	if tasks == 0 {
-		return
+		return ctxErr()
+	}
+	if err := ctxErr(); err != nil {
+		return err
 	}
 	// Irregular task lists calibrate nowhere (no probe prefix to time), but
 	// they resolve a Tuner another surface already calibrated.
@@ -348,14 +464,27 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 	}
 	if w == 1 {
 		for t := 0; t < tasks; t++ {
+			if t > 0 {
+				if err := ctxErr(); err != nil {
+					return err
+				}
+			}
 			body(t)
 		}
-		return
+		return ctxErr()
 	}
 	var trap panicTrap
 	var next atomic.Int64
 	work := func() {
-		for !trap.tripped.Load() { // a panic cancels the undrawn tasks
+		// A sibling's panic or the context ending cancels the undrawn tasks.
+		for !trap.tripped.Load() {
+			if done != nil {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			t := int(next.Add(1)) - 1
 			if t >= tasks {
 				return
@@ -380,4 +509,5 @@ func Do(tasks int, total int, opts Options, body func(task int)) {
 	histRunNs.Since(wstart)
 	wg.Wait()
 	trap.rethrow()
+	return ctxErr()
 }
